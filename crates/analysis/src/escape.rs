@@ -1,0 +1,457 @@
+//! Inter-procedural pointer escape analysis.
+//!
+//! Answers the question at the heart of the paper's HeapToStack
+//! transformation (Section IV-A): can a pointer become visible to
+//! another thread? A pointer escapes if it is stored to memory, passed
+//! to an unknown callee, returned, or converted to an integer; it does
+//! not escape through loads, comparisons, address arithmetic, frees, or
+//! callees that are known (recursively) not to leak it.
+
+use omp_ir::{FuncId, Function, InstId, InstKind, Module, RtlFn, Value};
+use std::collections::HashSet;
+
+/// Result of tracking a pointer's uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeResult {
+    /// All uses are thread-local; the pointer never becomes visible to
+    /// another thread.
+    NoEscape,
+    /// Some use may expose the pointer (the payload names the reason
+    /// class for diagnostics).
+    Escapes(EscapeReason),
+}
+
+/// Why a pointer was deemed escaping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeReason {
+    /// Stored as a value into memory.
+    StoredToMemory,
+    /// Passed to a callee that may leak it (unknown or indirect).
+    PassedToUnknown,
+    /// Returned to the caller.
+    Returned,
+    /// Converted to an integer.
+    ConvertedToInt,
+    /// Recursion depth limit hit; treated conservatively.
+    TooDeep,
+}
+
+const MAX_DEPTH: usize = 16;
+
+/// Tracks whether the pointer produced by `root` in `func` may escape to
+/// another thread.
+pub fn pointer_escapes(m: &Module, func: FuncId, root: Value) -> EscapeResult {
+    let mut visited = HashSet::new();
+    escapes_in(m, func, root, &mut visited, 0)
+}
+
+fn escapes_in(
+    m: &Module,
+    func: FuncId,
+    root: Value,
+    visited: &mut HashSet<(FuncId, Value)>,
+    depth: usize,
+) -> EscapeResult {
+    if depth > MAX_DEPTH {
+        return EscapeResult::Escapes(EscapeReason::TooDeep);
+    }
+    if !visited.insert((func, root)) {
+        return EscapeResult::NoEscape;
+    }
+    let f = m.func(func);
+    // Derived values whose uses must also be tracked.
+    let mut derived: Vec<Value> = Vec::new();
+    let mut result = EscapeResult::NoEscape;
+    let check_call = |m: &Module,
+                          callee: &Value,
+                          args: &[Value],
+                          visited: &mut HashSet<(FuncId, Value)>|
+     -> EscapeResult {
+        match callee {
+            Value::Func(cid) => {
+                let cf = m.func(*cid);
+                for (i, a) in args.iter().enumerate() {
+                    if *a != root {
+                        continue;
+                    }
+                    if let Some(rtl) = RtlFn::from_name(&cf.name) {
+                        match rtl {
+                            // Frees consume the pointer without leaking it.
+                            RtlFn::FreeShared | RtlFn::DataSharingPopStack => continue,
+                            // Publishing args to a parallel region shares
+                            // the pointer with the team's threads.
+                            RtlFn::Parallel51 => {
+                                return EscapeResult::Escapes(EscapeReason::PassedToUnknown)
+                            }
+                            _ => return EscapeResult::Escapes(EscapeReason::PassedToUnknown),
+                        }
+                    }
+                    if cf.param_attrs.get(i).is_some_and(|p| p.noescape) {
+                        continue;
+                    }
+                    if cf.attrs.pure_fn || cf.attrs.readonly {
+                        continue;
+                    }
+                    if cf.is_declaration() {
+                        return EscapeResult::Escapes(EscapeReason::PassedToUnknown);
+                    }
+                    // Recurse into the definition with the formal arg.
+                    match escapes_in(m, *cid, Value::Arg(i as u32), visited, depth + 1) {
+                        EscapeResult::NoEscape => {}
+                        e => return e,
+                    }
+                }
+                EscapeResult::NoEscape
+            }
+            _ => {
+                if args.contains(&root) {
+                    EscapeResult::Escapes(EscapeReason::PassedToUnknown)
+                } else {
+                    EscapeResult::NoEscape
+                }
+            }
+        }
+    };
+
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            let kind = f.inst(i);
+            let uses_root = {
+                let mut u = false;
+                kind.for_each_operand(|v| u |= v == root);
+                u
+            };
+            if !uses_root {
+                continue;
+            }
+            match kind {
+                InstKind::Store { ptr, val } => {
+                    if *val == root {
+                        return EscapeResult::Escapes(EscapeReason::StoredToMemory);
+                    }
+                    let _ = ptr; // storing *to* the pointer is fine
+                }
+                InstKind::Load { .. } | InstKind::Cmp { .. } => {}
+                InstKind::Gep { base, .. } if *base == root => {
+                    derived.push(Value::Inst(i));
+                }
+                InstKind::Gep { .. } => {
+                    // root used as the *index* of address arithmetic:
+                    // it has been treated as an integer somewhere; the
+                    // verifier rejects this for ptr-typed values.
+                }
+                InstKind::Cast { op, .. } => {
+                    if matches!(op, omp_ir::CastOp::PtrToInt) {
+                        return EscapeResult::Escapes(EscapeReason::ConvertedToInt);
+                    }
+                    derived.push(Value::Inst(i));
+                }
+                InstKind::Select { .. } | InstKind::Phi { .. } => {
+                    derived.push(Value::Inst(i));
+                }
+                InstKind::Call { callee, args, .. } => {
+                    match check_call(m, callee, args, visited) {
+                        EscapeResult::NoEscape => {}
+                        e => return e,
+                    }
+                }
+                InstKind::Bin { .. } | InstKind::Alloca { .. } => {}
+            }
+        }
+        let mut term_escape = false;
+        f.block(b).term.for_each_operand(|v| {
+            if v == root {
+                term_escape = true;
+            }
+        });
+        if term_escape {
+            // Either returned or used as a branch condition; conditions
+            // are i1 so this is a return.
+            result = EscapeResult::Escapes(EscapeReason::Returned);
+        }
+    }
+    if let EscapeResult::Escapes(_) = result {
+        return result;
+    }
+    for d in derived {
+        match escapes_in(m, func, d, visited, depth + 1) {
+            EscapeResult::NoEscape => {}
+            e => return e,
+        }
+    }
+    EscapeResult::NoEscape
+}
+
+/// Chases a pointer value back through address arithmetic to a local
+/// `alloca` in `f`, if that is its unique base.
+pub fn underlying_alloca(f: &Function, mut v: Value) -> Option<InstId> {
+    for _ in 0..MAX_DEPTH {
+        match v {
+            Value::Inst(i) => match f.inst(i) {
+                InstKind::Alloca { .. } => return Some(i),
+                InstKind::Gep { base, .. } => v = *base,
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether every path from the definition of `alloc` to a function exit
+/// passes a deallocation call (`free_rtl`) on the same pointer. This is
+/// the paper's second HeapToStack check ("the associated deallocation
+/// call has to be reached").
+pub fn dealloc_always_reached(
+    m: &Module,
+    func: FuncId,
+    alloc: InstId,
+    free_rtl: RtlFn,
+) -> bool {
+    let f = m.func(func);
+    let Some(start) = f.block_of(alloc) else {
+        return false;
+    };
+    let ptr = Value::Inst(alloc);
+    // Blocks containing a free of the pointer (position-insensitive within
+    // the block is fine because the frontend emits alloc first, free last).
+    let frees_in_block = |b| {
+        f.block(b).insts.iter().any(|&i| match f.inst(i) {
+            InstKind::Call {
+                callee: Value::Func(c),
+                args,
+                ..
+            } => {
+                m.func(*c).name == free_rtl.name() && args.first() == Some(&ptr)
+            }
+            _ => false,
+        })
+    };
+    // DFS from the alloc block; a path that reaches a return without
+    // passing a freeing block is a violation.
+    let mut visited = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(b) = stack.pop() {
+        if !visited.insert(b) {
+            continue;
+        }
+        if frees_in_block(b) {
+            continue; // path is satisfied
+        }
+        let succs = f.block(b).term.successors();
+        if succs.is_empty() {
+            if matches!(f.block(b).term, omp_ir::Terminator::Ret(_)) {
+                return false;
+            }
+            continue; // unreachable terminator
+        }
+        stack.extend(succs);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{Builder, Function, Module, Type};
+
+    fn fresh() -> Module {
+        Module::new("t")
+    }
+
+    #[test]
+    fn local_use_does_not_escape() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(Value::i32(1), p);
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        assert_eq!(pointer_escapes(&m, f, p), EscapeResult::NoEscape);
+    }
+
+    #[test]
+    fn store_of_pointer_escapes() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![Type::Ptr], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(p, Value::Arg(0));
+        b.ret(None);
+        assert_eq!(
+            pointer_escapes(&m, f, p),
+            EscapeResult::Escapes(EscapeReason::StoredToMemory)
+        );
+    }
+
+    #[test]
+    fn return_escapes() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::Ptr));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.ret(Some(p));
+        assert_eq!(
+            pointer_escapes(&m, f, p),
+            EscapeResult::Escapes(EscapeReason::Returned)
+        );
+    }
+
+    #[test]
+    fn gep_derived_escape_is_found() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![Type::Ptr], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(16, 8);
+        let q = b.gep_const(p, 8);
+        b.store(q, Value::Arg(0));
+        b.ret(None);
+        assert_eq!(
+            pointer_escapes(&m, f, p),
+            EscapeResult::Escapes(EscapeReason::StoredToMemory)
+        );
+    }
+
+    #[test]
+    fn unknown_callee_escapes_known_pure_does_not() {
+        let mut m = fresh();
+        let unknown = m.add_function(Function::declaration("unknown", vec![Type::Ptr], Type::Void));
+        let mut pure = Function::declaration("reader", vec![Type::Ptr], Type::F64);
+        pure.attrs.readonly = true;
+        let pure = m.add_function(pure);
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let g = m.add_function(Function::definition("g", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, f);
+            let p = b.alloca(4, 4);
+            b.call(unknown, vec![p]);
+            b.ret(None);
+            assert_eq!(
+                pointer_escapes(&m, f, p),
+                EscapeResult::Escapes(EscapeReason::PassedToUnknown)
+            );
+        }
+        {
+            let mut b = Builder::at_entry(&mut m, g);
+            let p = b.alloca(4, 4);
+            b.call(pure, vec![p]);
+            b.ret(None);
+            assert_eq!(pointer_escapes(&m, g, p), EscapeResult::NoEscape);
+        }
+    }
+
+    #[test]
+    fn noescape_attribute_is_honored() {
+        let mut m = fresh();
+        let mut callee = Function::declaration("writer", vec![Type::Ptr], Type::Void);
+        callee.param_attrs[0].noescape = true;
+        let callee = m.add_function(callee);
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.call(callee, vec![p]);
+        b.ret(None);
+        assert_eq!(pointer_escapes(&m, f, p), EscapeResult::NoEscape);
+    }
+
+    #[test]
+    fn recursion_into_definitions() {
+        // combine(ArgPtr) { unknown(ArgPtr); } — the paper's Figure 5a.
+        let mut m = fresh();
+        let unknown = m.add_function(Function::declaration("unknown", vec![Type::Ptr], Type::Void));
+        let combine = m.add_function(Function::definition(
+            "combine",
+            vec![Type::Ptr, Type::Ptr],
+            Type::F64,
+        ));
+        {
+            let mut b = Builder::at_entry(&mut m, combine);
+            b.call(unknown, vec![Value::Arg(0)]);
+            let v = b.load(Type::F64, Value::Arg(1));
+            b.ret(Some(v));
+        }
+        let f = m.add_function(Function::definition("device_function", vec![], Type::F64));
+        let mut b = Builder::at_entry(&mut m, f);
+        let arg_ptr = b.alloca(4, 4);
+        let lcl_ptr = b.alloca(8, 8);
+        let v = b.call(combine, vec![arg_ptr, lcl_ptr]);
+        b.ret(Some(v));
+        // Arg escapes into `unknown`; Lcl is only read.
+        assert!(matches!(
+            pointer_escapes(&m, f, arg_ptr),
+            EscapeResult::Escapes(EscapeReason::PassedToUnknown)
+        ));
+        assert_eq!(pointer_escapes(&m, f, lcl_ptr), EscapeResult::NoEscape);
+    }
+
+    #[test]
+    fn parallel_args_escape() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(8, 8);
+        b.call_rtl(RtlFn::Parallel51, vec![Value::Null, Value::i32(-1), p]);
+        b.ret(None);
+        assert!(matches!(
+            pointer_escapes(&m, f, p),
+            EscapeResult::Escapes(_)
+        ));
+    }
+
+    #[test]
+    fn free_does_not_escape() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.call_rtl(RtlFn::AllocShared, vec![Value::i64(8)]);
+        b.call_rtl(RtlFn::FreeShared, vec![p, Value::i64(8)]);
+        b.ret(None);
+        assert_eq!(pointer_escapes(&m, f, p), EscapeResult::NoEscape);
+    }
+
+    #[test]
+    fn underlying_alloca_chases_geps() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(64, 8);
+        let q = b.gep(p, Value::i64(2), 8, 4);
+        let r = b.gep_const(q, 8);
+        b.ret(None);
+        let fun = m.func(f);
+        let Value::Inst(pi) = p else { panic!() };
+        assert_eq!(underlying_alloca(fun, r), Some(pi));
+        assert_eq!(underlying_alloca(fun, Value::Arg(0)), None);
+    }
+
+    #[test]
+    fn dealloc_reached_on_straight_line() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.call_rtl(RtlFn::AllocShared, vec![Value::i64(8)]);
+        b.call_rtl(RtlFn::FreeShared, vec![p, Value::i64(8)]);
+        b.ret(None);
+        let Value::Inst(alloc) = p else { panic!() };
+        assert!(dealloc_always_reached(&m, f, alloc, RtlFn::FreeShared));
+    }
+
+    #[test]
+    fn dealloc_missing_on_one_path() {
+        let mut m = fresh();
+        let f = m.add_function(Function::definition("f", vec![Type::I1], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.call_rtl(RtlFn::AllocShared, vec![Value::i64(8)]);
+        let yes = b.new_block();
+        let no = b.new_block();
+        b.cond_br(Value::Arg(0), yes, no);
+        b.switch_to(yes);
+        b.call_rtl(RtlFn::FreeShared, vec![p, Value::i64(8)]);
+        b.ret(None);
+        b.switch_to(no);
+        b.ret(None); // leak on this path
+        let Value::Inst(alloc) = p else { panic!() };
+        assert!(!dealloc_always_reached(&m, f, alloc, RtlFn::FreeShared));
+    }
+}

@@ -1,0 +1,31 @@
+//! # omp-analysis
+//!
+//! Inter-procedural analyses for the `omp-gpu` compiler, mirroring the
+//! analysis layer the paper *"Efficient Execution of OpenMP on GPUs"*
+//! (CGO 2022) builds inside LLVM's `OpenMPOpt`:
+//!
+//! * [`callgraph`] — call graph, address-taken functions, reachability
+//!   from kernels;
+//! * [`effects`] — transitive side-effect summaries and the SPMDization
+//!   side-effect classification (Section IV-B3);
+//! * [`escape`] — inter-procedural pointer escape analysis backing
+//!   HeapToStack (Section IV-A);
+//! * [`domain`] — execution-domain analysis ("main thread only?")
+//!   backing HeapToShared and ThreadExecution folding (Sections IV-A,
+//!   IV-C);
+//! * [`liveness`] — SSA liveness and the register-pressure estimate used
+//!   by the GPU simulator to report Figure 10's register columns.
+
+pub mod callgraph;
+pub mod domain;
+pub mod effects;
+pub mod escape;
+pub mod liveness;
+
+pub use callgraph::CallGraph;
+pub use domain::{ExecDomain, ExecutionDomains};
+pub use effects::{EffectSummary, Effects, SideEffectKind};
+pub use escape::{
+    dealloc_always_reached, pointer_escapes, underlying_alloca, EscapeReason, EscapeResult,
+};
+pub use liveness::{kernel_register_estimate, Liveness};

@@ -1,0 +1,247 @@
+//! SSA liveness and register-pressure estimation.
+//!
+//! The paper reports per-kernel register usage (Figure 10); our GPU
+//! simulator estimates it from the maximum number of simultaneously live
+//! SSA values, weighted by their width in 32-bit registers.
+
+use omp_ir::{BlockId, FuncId, Function, InstKind, Module, Type, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Width of a value in 32-bit hardware registers.
+fn reg_width(ty: Type) -> u32 {
+    match ty {
+        Type::Void => 0,
+        Type::I1 | Type::I32 | Type::F32 => 1,
+        Type::I64 | Type::F64 | Type::Ptr => 2,
+    }
+}
+
+fn trackable(v: Value) -> bool {
+    matches!(v, Value::Inst(_) | Value::Arg(_))
+}
+
+/// Per-function liveness information.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: HashMap<BlockId, HashSet<Value>>,
+    /// Values live on exit from each block.
+    pub live_out: HashMap<BlockId, HashSet<Value>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` by backward iteration to a fixpoint.
+    pub fn compute(f: &Function) -> Liveness {
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        let mut live_in: HashMap<BlockId, HashSet<Value>> =
+            blocks.iter().map(|&b| (b, HashSet::new())).collect();
+        let mut live_out: HashMap<BlockId, HashSet<Value>> =
+            blocks.iter().map(|&b| (b, HashSet::new())).collect();
+
+        // Per-block uses (before def) and defs; phi uses are attributed to
+        // the predecessor edge.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in blocks.iter().rev() {
+                // live_out = union of successors' live_in adjusted for phis.
+                let mut out: HashSet<Value> = HashSet::new();
+                for s in f.block(b).term.successors() {
+                    for &v in &live_in[&s] {
+                        out.insert(v);
+                    }
+                    // Remove successor phi results, add our incoming values.
+                    for &i in &f.block(s).insts {
+                        if let InstKind::Phi { incoming, .. } = f.inst(i) {
+                            out.remove(&Value::Inst(i));
+                            for (pred, v) in incoming {
+                                if *pred == b && trackable(*v) {
+                                    out.insert(*v);
+                                }
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // live_in = (live_out - defs) + uses, scanning backwards.
+                let mut live = out.clone();
+                f.block(b).term.for_each_operand(|v| {
+                    if trackable(v) {
+                        live.insert(v);
+                    }
+                });
+                for &i in f.block(b).insts.iter().rev() {
+                    live.remove(&Value::Inst(i));
+                    if let InstKind::Phi { .. } = f.inst(i) {
+                        continue; // phi uses belong to predecessors
+                    }
+                    f.inst(i).for_each_operand(|v| {
+                        if trackable(v) {
+                            live.insert(v);
+                        }
+                    });
+                }
+                // Phi results are live-in (they are defined "on entry").
+                // We model them as defs at block start: they are not
+                // live-in themselves.
+                if live != live_in[&b] {
+                    live_in.insert(b, live);
+                    changed = true;
+                }
+                live_out.insert(b, out);
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Maximum register pressure (in 32-bit registers) across all program
+    /// points of `f`.
+    pub fn max_pressure(&self, f: &Function) -> u32 {
+        let width = |v: Value| reg_width(f.value_type(v));
+        let mut max = 0u32;
+        for b in f.block_ids() {
+            let mut live: HashSet<Value> = self.live_out[&b].clone();
+            let mut cur: u32 = live.iter().map(|&v| width(v)).sum();
+            max = max.max(cur);
+            for &i in f.block(b).insts.iter().rev() {
+                if live.remove(&Value::Inst(i)) {
+                    cur -= width(Value::Inst(i));
+                }
+                if !matches!(f.inst(i), InstKind::Phi { .. }) {
+                    f.inst(i).for_each_operand(|v| {
+                        if trackable(v) && live.insert(v) {
+                            cur += width(v);
+                        }
+                    });
+                }
+                max = max.max(cur);
+            }
+        }
+        max
+    }
+}
+
+/// Register estimate for a whole kernel: the maximum pressure over the
+/// kernel entry and every function reachable from it, plus a fixed ABI
+/// reserve. Address-taken functions reachable through indirect calls
+/// inflate the count — the effect the paper attributes to "spurious call
+/// edges assumed by the GPU vendor toolchains" (Section IV-B2, PR46450).
+pub fn kernel_register_estimate(
+    m: &Module,
+    reachable: impl IntoIterator<Item = FuncId>,
+) -> u32 {
+    const ABI_RESERVE: u32 = 8;
+    let mut regs = ABI_RESERVE;
+    for fid in reachable {
+        let f = m.func(fid);
+        if f.is_declaration() {
+            continue;
+        }
+        let lv = Liveness::compute(f);
+        regs = regs.max(ABI_RESERVE + lv.max_pressure(f));
+    }
+    regs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{BinOp, Builder, CmpOp, Function, Module};
+
+    #[test]
+    fn straight_line_pressure() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I32], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let a = b.bin(BinOp::Add, Type::I32, Value::Arg(0), Value::i32(1));
+        let c = b.bin(BinOp::Mul, Type::I32, a, a);
+        let d = b.bin(BinOp::Add, Type::I32, c, Value::Arg(0));
+        b.ret(Some(d));
+        let fun = m.func(f);
+        let lv = Liveness::compute(fun);
+        // arg0 and a live simultaneously (both i32) -> at least 2.
+        let p = lv.max_pressure(fun);
+        assert!(p >= 2, "pressure {p}");
+        assert!(p <= 4);
+    }
+
+    #[test]
+    fn wide_values_count_double() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition(
+            "f",
+            vec![Type::F64, Type::F64],
+            Type::F64,
+        ));
+        let mut b = Builder::at_entry(&mut m, f);
+        let s = b.bin(BinOp::FAdd, Type::F64, Value::Arg(0), Value::Arg(1));
+        let t = b.bin(BinOp::FMul, Type::F64, s, Value::Arg(0));
+        b.ret(Some(t));
+        let fun = m.func(f);
+        let lv = Liveness::compute(fun);
+        // At the fmul: s and arg0 live = 2 f64 = 4 registers.
+        assert!(lv.max_pressure(fun) >= 4);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I64], Type::I64));
+        let mut b = Builder::at_entry(&mut m, f);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64);
+        let acc = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::i64(0));
+        b.add_phi_incoming(acc, entry, Value::i64(0));
+        let c = b.cmp(CmpOp::Slt, Type::I64, i, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let acc2 = b.bin(BinOp::Add, Type::I64, acc, i);
+        let i2 = b.bin(BinOp::Add, Type::I64, i, Value::i64(1));
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let fun = m.func(f);
+        let lv = Liveness::compute(fun);
+        // In the body: i, acc, arg0 all live (3 x i64 = 6 regs).
+        assert!(lv.max_pressure(fun) >= 6);
+        // acc is live out of the header into exit.
+        let exit_in = &lv.live_in[&exit];
+        assert!(exit_in.iter().any(|v| matches!(v, Value::Inst(_))));
+    }
+
+    #[test]
+    fn kernel_estimate_includes_reachable() {
+        let mut m = Module::new("t");
+        let heavy = m.add_function(Function::definition(
+            "heavy",
+            vec![Type::F64, Type::F64, Type::F64],
+            Type::F64,
+        ));
+        {
+            let mut b = Builder::at_entry(&mut m, heavy);
+            let x = b.bin(BinOp::FMul, Type::F64, Value::Arg(0), Value::Arg(1));
+            let y = b.bin(BinOp::FMul, Type::F64, Value::Arg(1), Value::Arg(2));
+            let z = b.bin(BinOp::FMul, Type::F64, Value::Arg(0), Value::Arg(2));
+            let s1 = b.bin(BinOp::FAdd, Type::F64, x, y);
+            let s2 = b.bin(BinOp::FAdd, Type::F64, s1, z);
+            b.ret(Some(s2));
+        }
+        let light = m.add_function(Function::definition("light", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, light);
+            b.ret(None);
+        }
+        let only_light = kernel_register_estimate(&m, [light]);
+        let with_heavy = kernel_register_estimate(&m, [light, heavy]);
+        assert!(with_heavy > only_light);
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches over the paper's workloads.
+//!
+//! One group per table/figure of the evaluation:
+//!
+//! * `fig9_opt_pipeline` — wall time of the OpenMP optimization
+//!   pipeline per proxy (the work behind Figure 9's counts);
+//! * `fig10_kernels` — simulated execution per proxy for the three
+//!   builds Figure 10 compares;
+//! * `fig11_configs` — simulated execution across every optimization
+//!   configuration (the bars of Figures 11a–11d).
+//!
+//! The simulated *cycle* numbers (the paper's metric) come from the
+//! `fig9`/`fig10`/`fig11` binaries; these benches track the harness
+//! itself so regressions in compiler or simulator throughput are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_gpu::{all_proxies, pipeline, BuildConfig, Scale};
+
+fn fig9_opt_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_opt_pipeline");
+    g.sample_size(10);
+    for app in all_proxies(Scale::Small) {
+        let src = app.openmp_source();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(app.name()),
+            &src,
+            |b, src| {
+                b.iter(|| pipeline::build(src, BuildConfig::LlvmDev).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig10_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_kernels");
+    g.sample_size(10);
+    for app in all_proxies(Scale::Small) {
+        for cfg in [
+            BuildConfig::CudaStyle,
+            BuildConfig::Llvm12Baseline,
+            BuildConfig::LlvmDev,
+        ] {
+            g.bench_function(
+                BenchmarkId::new(app.name(), cfg.label()),
+                |b| {
+                    b.iter(|| {
+                        let o = pipeline::run_proxy(app.as_ref(), cfg);
+                        assert!(o.error.is_none(), "{:?}", o.error);
+                        o.stats.unwrap().cycles
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig11_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_configs");
+    g.sample_size(10);
+    // One representative proxy per sub-figure keeps the run short; the
+    // binaries cover the full matrix.
+    for app in all_proxies(Scale::Small) {
+        for cfg in BuildConfig::ALL {
+            g.bench_function(
+                BenchmarkId::new(app.name(), cfg.label()),
+                |b| {
+                    b.iter(|| {
+                        let o = pipeline::run_proxy(app.as_ref(), cfg);
+                        o.cycles().unwrap_or(0)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9_opt_pipeline, fig10_kernels, fig11_configs);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Dumps every optimization remark (paper Section IV-D) emitted while
+//! compiling the four proxy applications with the full pipeline —
+//! the "actionable and informative feedback" deliverable.
+//!
+//! Usage: `cargo run --release -p omp-bench --bin remarks [--scale small]`
+
+use omp_bench::scale_from_args;
+use omp_benchmarks::all_proxies;
+use omp_gpu::{pipeline, BuildConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Optimization remarks (LLVM Dev pipeline; see docs/remarks.md)");
+    for app in all_proxies(scale) {
+        let (_, report) = pipeline::build(&app.openmp_source(), BuildConfig::LlvmDev)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let report = report.expect("optimizer ran");
+        println!("\n== {} ({} remarks) ==", app.name(), report.remarks.len());
+        for r in report.remarks.all() {
+            println!("  {r}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! # omp-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section V):
+//!
+//! * `fig9` — optimization opportunities and remarks per benchmark
+//!   (Figure 9);
+//! * `fig10` — kernel time, shared memory and register usage per build
+//!   (Figure 10);
+//! * `fig11` — relative kernel performance per configuration
+//!   (Figures 11a–11d), with the paper's reported values alongside;
+//! * Criterion benches over the same workloads (see `benches/`).
+
+use omp_benchmarks::Scale;
+use omp_gpu::pipeline::RunOutcome;
+use omp_gpu::{all_proxies, pipeline};
+
+/// Results for one proxy application across every configuration.
+pub struct ProxyResults {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// One outcome per [`omp_gpu::BuildConfig::ALL`] entry.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+/// Runs every proxy under every configuration at the given scale.
+pub fn collect(scale: Scale) -> Vec<ProxyResults> {
+    all_proxies(scale)
+        .into_iter()
+        .map(|app| ProxyResults {
+            name: match app.name() {
+                "XSBench" => "XSBench",
+                "RSBench" => "RSBench",
+                "SU3Bench" => "SU3Bench",
+                _ => "miniQMC",
+            },
+            outcomes: pipeline::run_all_configs(app.as_ref()),
+        })
+        .collect()
+}
+
+/// Parses the scale from argv / env (`--scale bench|small`,
+/// `OMP_BENCH_SCALE`); defaults to `Bench`.
+pub fn scale_from_args() -> Scale {
+    let mut args = std::env::args().skip(1);
+    let mut scale = std::env::var("OMP_BENCH_SCALE").unwrap_or_default();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            scale = args.next().unwrap_or_default();
+        }
+    }
+    match scale.as_str() {
+        "small" => Scale::Small,
+        _ => Scale::Bench,
+    }
+}
+
+/// Formats a cycle count with thousands separators.
+pub fn fmt_cycles(c: u64) -> String {
+    let s = c.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(fmt_cycles(0), "0");
+        assert_eq!(fmt_cycles(999), "999");
+        assert_eq!(fmt_cycles(1000), "1,000");
+        assert_eq!(fmt_cycles(1234567), "1,234,567");
+    }
+}

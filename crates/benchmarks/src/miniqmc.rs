@@ -1,0 +1,274 @@
+//! miniQMC-mini: batched spline evaluation (QMCPACK proxy).
+//!
+//! A generic-mode kernel over walkers. For each walker the main thread
+//! samples a 3D position (through pointers: three read-only locals that
+//! HeapToStack recovers — the paper's 3 stack conversions), then a
+//! parallel region evaluates the orbitals, writing values, gradients and
+//! laplacians into eighteen per-walker work buffers. Worker threads
+//! write *through* those buffers, so HeapToStack must refuse them;
+//! because the allocations are main-thread-only, HeapToShared turns all
+//! eighteen into static shared memory — the paper's Figure 9 row
+//! (3 / 18). The sequential epilogue reduces the buffers into the
+//! per-walker output.
+
+use crate::{lcg01, ProxyApp, Scale, Workload};
+use omp_gpusim::{Device, LaunchDims, RtVal, SimError};
+
+/// Work buffers written by the parallel region (paper: 18 shared).
+const N_BUFFERS: usize = 18;
+/// Buffer length (orbitals are indexed directly; must be >= n_orbitals).
+const BUF_LEN: i64 = 16;
+
+/// miniQMC proxy parameters.
+pub struct MiniQmc {
+    n_walkers: i64,
+    n_orbitals: i64,
+    n_coef_blocks: i64,
+    dims: LaunchDims,
+}
+
+impl MiniQmc {
+    /// Creates the proxy at the given scale.
+    pub fn new(scale: Scale) -> MiniQmc {
+        match scale {
+            Scale::Small => MiniQmc {
+                n_walkers: 8,
+                n_orbitals: 8,
+                n_coef_blocks: 8,
+                dims: LaunchDims {
+                    teams: Some(2),
+                    threads: Some(8),
+                },
+            },
+            Scale::Bench => MiniQmc {
+                n_walkers: 48,
+                n_orbitals: 16,
+                n_coef_blocks: 8,
+                dims: LaunchDims {
+                    teams: Some(4),
+                    threads: Some(16),
+                },
+            },
+        }
+    }
+
+    fn coefs(&self) -> Vec<f64> {
+        let n = (self.n_coef_blocks * self.n_orbitals * 4) as usize;
+        (0..n).map(|i| lcg01(i as i64 * 19 + 11) - 0.5).collect()
+    }
+
+    fn positions(&self) -> Vec<f64> {
+        let n = (self.n_walkers * 3) as usize;
+        (0..n).map(|i| lcg01(i as i64 * 23 + 29)).collect()
+    }
+
+    /// Weight applied to buffer `k` (mirrors the generated source).
+    fn weight(k: usize) -> f64 {
+        0.25 + k as f64 * 0.125
+    }
+
+    /// Host reference implementation.
+    fn reference(&self) -> Vec<f64> {
+        let coefs = self.coefs();
+        let pos = self.positions();
+        let mut out = Vec::with_capacity(self.n_walkers as usize);
+        for w in 0..self.n_walkers {
+            let x = pos[(w * 3) as usize];
+            let y = pos[(w * 3 + 1) as usize];
+            let z = pos[(w * 3 + 2) as usize];
+            let block = w % self.n_coef_blocks;
+            let mut bufs = vec![vec![0.0f64; BUF_LEN as usize]; N_BUFFERS];
+            for o in 0..self.n_orbitals {
+                let base = ((block * self.n_orbitals + o) * 4) as usize;
+                let u = x + 0.1 * o as f64;
+                let t = coefs[base]
+                    + coefs[base + 1] * u
+                    + coefs[base + 2] * y * u
+                    + coefs[base + 3] * z;
+                for (k, buf) in bufs.iter_mut().enumerate() {
+                    buf[o as usize] = t * Self::weight(k);
+                }
+            }
+            let mut sum = 0.0;
+            for buf in &bufs {
+                for o in 0..self.n_orbitals {
+                    sum += buf[o as usize];
+                }
+            }
+            out.push(sum);
+        }
+        out
+    }
+}
+
+impl ProxyApp for MiniQmc {
+    fn name(&self) -> &'static str {
+        "miniQMC"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "spo_eval"
+    }
+
+    fn dims(&self) -> LaunchDims {
+        self.dims
+    }
+
+    fn openmp_source(&self) -> String {
+        let decls: String = (0..N_BUFFERS)
+            .map(|k| format!("    double buf{k}[{BUF_LEN}];\n"))
+            .collect();
+        let writes: String = (0..N_BUFFERS)
+            .map(|k| {
+                format!(
+                    "      buf{k}[o] = t * {w:.3};\n",
+                    w = Self::weight(k)
+                )
+            })
+            .collect();
+        let reduce: String = (0..N_BUFFERS)
+            .map(|k| format!("      sum += buf{k}[o];\n"))
+            .collect();
+        format!(
+            r#"
+static void sample_pos(double* pos, long w, double* x, double* y, double* z) {{
+  *x = pos[w * 3];
+  *y = pos[w * 3 + 1];
+  *z = pos[w * 3 + 2];
+}}
+
+static double spline_eval(double* coefs, long block, long n_orbitals, long o,
+                          double x, double y, double z) {{
+  long base = (block * n_orbitals + o) * 4;
+  double u = x + 0.1 * (double)o;
+  return coefs[base] + coefs[base + 1] * u + coefs[base + 2] * y * u
+       + coefs[base + 3] * z;
+}}
+
+void spo_eval(double* coefs, double* pos, double* vals, long n_walkers,
+              long n_orbitals, long n_blocks) {{
+  #pragma omp target teams distribute
+  for (long w = 0; w < n_walkers; w++) {{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    sample_pos(pos, w, &x, &y, &z);
+    long block = w % n_blocks;
+{decls}
+    #pragma omp parallel for
+    for (long o = 0; o < n_orbitals; o++) {{
+      double t = spline_eval(coefs, block, n_orbitals, o, x, y, z);
+{writes}    }}
+    double sum = 0.0;
+    for (long o = 0; o < n_orbitals; o++) {{
+{reduce}    }}
+    vals[w] = sum;
+  }}
+}}
+"#
+        )
+    }
+
+    fn cuda_source(&self) -> String {
+        // Kernel-language style: one thread per walker, everything in
+        // registers, a single pass, no work buffers at all.
+        r#"
+void spo_eval(double* coefs, double* pos, double* vals, long n_walkers,
+              long n_orbitals, long n_blocks) {
+  #pragma omp target teams distribute parallel for
+  for (long w = 0; w < n_walkers; w++) {
+    double x = pos[w * 3];
+    double y = pos[w * 3 + 1];
+    double z = pos[w * 3 + 2];
+    long block = w % n_blocks;
+    double sum = 0.0;
+    for (long o = 0; o < n_orbitals; o++) {
+      long base = (block * n_orbitals + o) * 4;
+      double u = x + 0.1 * (double)o;
+      double t = coefs[base] + coefs[base + 1] * u + coefs[base + 2] * y * u
+               + coefs[base + 3] * z;
+      double wsum = 0.0;
+      for (long k = 0; k < 18; k++) {
+        wsum += 0.25 + (double)k * 0.125;
+      }
+      sum += t * wsum;
+    }
+    vals[w] = sum;
+  }
+}
+"#
+        .to_string()
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Result<Workload, SimError> {
+        let coefs = dev.alloc_f64(&self.coefs())?;
+        let pos = dev.alloc_f64(&self.positions())?;
+        let out = dev.alloc_f64(&vec![0.0; self.n_walkers as usize])?;
+        Ok(Workload {
+            args: vec![
+                RtVal::Ptr(coefs),
+                RtVal::Ptr(pos),
+                RtVal::Ptr(out),
+                RtVal::I64(self.n_walkers),
+                RtVal::I64(self.n_orbitals),
+                RtVal::I64(self.n_coef_blocks),
+            ],
+            out_buf: out,
+            out_len: self.n_walkers as usize,
+            expected: self.reference(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_finite_and_nonzero() {
+        let r = MiniQmc::new(Scale::Small).reference();
+        assert_eq!(r.len(), 8);
+        assert!(r.iter().all(|v| v.is_finite()));
+        assert!(r.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn cuda_reference_agrees_with_buffered_reference() {
+        // The CUDA rewrite computes t * sum(weights) directly; verify
+        // the algebra matches the buffered version.
+        let q = MiniQmc::new(Scale::Small);
+        let wsum: f64 = (0..N_BUFFERS).map(MiniQmc::weight).sum();
+        let coefs = q.coefs();
+        let pos = q.positions();
+        let mut cuda_out = Vec::new();
+        for w in 0..q.n_walkers {
+            let x = pos[(w * 3) as usize];
+            let y = pos[(w * 3 + 1) as usize];
+            let z = pos[(w * 3 + 2) as usize];
+            let block = w % q.n_coef_blocks;
+            let mut sum = 0.0;
+            for o in 0..q.n_orbitals {
+                let base = ((block * q.n_orbitals + o) * 4) as usize;
+                let u = x + 0.1 * o as f64;
+                let t = coefs[base]
+                    + coefs[base + 1] * u
+                    + coefs[base + 2] * y * u
+                    + coefs[base + 3] * z;
+                sum += t * wsum;
+            }
+            cuda_out.push(sum);
+        }
+        let reference = q.reference();
+        for (a, b) in cuda_out.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn source_has_eighteen_buffers() {
+        let src = MiniQmc::new(Scale::Small).openmp_source();
+        for k in 0..N_BUFFERS {
+            assert!(src.contains(&format!("buf{k}[")));
+        }
+    }
+}

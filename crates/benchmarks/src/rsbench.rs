@@ -1,0 +1,351 @@
+//! RSBench-mini: compute-bound multipole cross-section lookup (the
+//! reduced-data-movement alternative to XSBench).
+//!
+//! An SPMD-source kernel; each lookup walks the resonance windows of
+//! every nuclide in the sampled material, evaluating trigonometric
+//! "sigT factors" and pole contributions. Seven locals are globalized:
+//! the sampled `energy`/`mat`, a `norm` cell, and four work arrays
+//! (`sig_t_factors`, `micro_xs`, `macro_xs`, and a `scratch` resonance
+//! buffer). The scratch buffer is deliberately sized so that, without
+//! HeapToStack, the per-thread runtime allocations of a whole team
+//! overflow shared memory and exhaust the device heap — reproducing the
+//! paper's out-of-memory outcome for the unoptimized build (Figure 11b).
+
+use crate::{lcg01, ProxyApp, Scale, Workload};
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal, SimError};
+
+/// Scratch elements per lookup (8 bytes each).
+const SCRATCH: i64 = 64;
+
+/// RSBench proxy parameters.
+pub struct RsBench {
+    n_lookups: i64,
+    n_nuclides: i64,
+    n_windows: i64,
+    num_l: i64,
+    n_mats: i64,
+    nuclides_per_mat: i64,
+    dims: LaunchDims,
+    scale: Scale,
+}
+
+impl RsBench {
+    /// Creates the proxy at the given scale.
+    pub fn new(scale: Scale) -> RsBench {
+        match scale {
+            Scale::Small => RsBench {
+                n_lookups: 64,
+                n_nuclides: 8,
+                n_windows: 6,
+                num_l: 4,
+                n_mats: 12,
+                nuclides_per_mat: 3,
+                dims: LaunchDims {
+                    teams: Some(2),
+                    threads: Some(16),
+                },
+                scale,
+            },
+            Scale::Bench => RsBench {
+                n_lookups: 1024,
+                n_nuclides: 16,
+                n_windows: 12,
+                num_l: 4,
+                n_mats: 12,
+                nuclides_per_mat: 4,
+                dims: LaunchDims {
+                    teams: Some(4),
+                    threads: Some(128),
+                },
+                scale,
+            },
+        }
+    }
+
+    fn poles(&self) -> Vec<f64> {
+        let n = (self.n_nuclides * self.n_windows * 4) as usize;
+        (0..n).map(|i| lcg01(i as i64 * 13 + 1) + 0.2).collect()
+    }
+
+    fn mats(&self) -> Vec<i32> {
+        let n = (self.n_mats * self.nuclides_per_mat) as usize;
+        (0..n)
+            .map(|i| ((i as i64 * 11 + 5) % self.n_nuclides) as i32)
+            .collect()
+    }
+
+    /// Host reference implementation (mirrors the kernel exactly).
+    fn reference(&self) -> Vec<f64> {
+        let poles = self.poles();
+        let mats = self.mats();
+        let mut out = Vec::with_capacity(self.n_lookups as usize);
+        for i in 0..self.n_lookups {
+            let energy = lcg01(i) + 0.1;
+            let mat = i % self.n_mats;
+            let mut sig_t = vec![0.0f64; (2 * self.num_l) as usize];
+            let mut macro_xs = [0.0f64; 4];
+            let mut scratch_sum = 0.0f64;
+            for j in 0..self.nuclides_per_mat {
+                let nuc = mats[(mat * self.nuclides_per_mat + j) as usize] as i64;
+                // calculate_sig_t_factors
+                for l in 0..self.num_l {
+                    let phi = energy * (l + 1) as f64 * 0.3;
+                    sig_t[(2 * l) as usize] = phi.cos();
+                    sig_t[(2 * l + 1) as usize] = phi.sin();
+                }
+                // calculate_micro_xs
+                let mut micro = [0.0f64; 4];
+                for w in 0..self.n_windows {
+                    let base = ((nuc * self.n_windows + w) * 4) as usize;
+                    let psi = poles[base] / (energy + poles[base + 1] + 0.1);
+                    let l = (w % self.num_l) as usize;
+                    micro[0] += psi * sig_t[2 * l];
+                    micro[1] += psi * sig_t[2 * l + 1];
+                    micro[2] += psi * 0.3;
+                    micro[3] += psi * psi * 0.1;
+                }
+                for k in 0..4 {
+                    macro_xs[k] += micro[k];
+                }
+                // scratch walk (resonance accumulation buffer)
+                for s in 0..SCRATCH {
+                    let v = energy * (s + 1) as f64 * 0.01;
+                    scratch_sum += v;
+                }
+            }
+            let norm = 1.0 / (1.0 + energy);
+            out.push((macro_xs[0] + macro_xs[1] + macro_xs[2] + macro_xs[3]) * norm
+                + scratch_sum * 0.000001);
+        }
+        out
+    }
+}
+
+impl ProxyApp for RsBench {
+    fn name(&self) -> &'static str {
+        "RSBench"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "rs_lookup"
+    }
+
+    fn dims(&self) -> LaunchDims {
+        self.dims
+    }
+
+    fn device_config(&self) -> DeviceConfig {
+        match self.scale {
+            // Tests must run every configuration to completion.
+            Scale::Small => DeviceConfig::default(),
+            // The paper's setup: default LIBOMPTARGET_HEAP_SIZE — too
+            // small for the unoptimized per-thread allocations.
+            Scale::Bench => DeviceConfig {
+                global_heap_bytes: 16 * 1024,
+                ..DeviceConfig::default()
+            },
+        }
+    }
+
+    fn openmp_source(&self) -> String {
+        format!(
+            r#"
+static void sample_problem(long i, double* energy, long* mat) {{
+  long h = (i * 9973 + 12345) % 100000;
+  *energy = (double)h / 100000.0 + 0.1;
+  *mat = i % {n_mats};
+}}
+
+static void calculate_sig_t_factors(double e, double* sig_t, long num_l) {{
+  for (long l = 0; l < num_l; l++) {{
+    double phi = e * (double)(l + 1) * 0.3;
+    sig_t[2 * l] = cos(phi);
+    sig_t[2 * l + 1] = sin(phi);
+  }}
+}}
+
+static void calculate_micro_xs(double e, long nuc, double* poles,
+                               double* micro, double* sig_t,
+                               long n_windows, long num_l) {{
+  for (long k = 0; k < 4; k++) {{ micro[k] = 0.0; }}
+  for (long w = 0; w < n_windows; w++) {{
+    long base = (nuc * n_windows + w) * 4;
+    double psi = poles[base] / (e + poles[base + 1] + 0.1);
+    long l = w % num_l;
+    micro[0] += psi * sig_t[2 * l];
+    micro[1] += psi * sig_t[2 * l + 1];
+    micro[2] += psi * 0.3;
+    micro[3] += psi * psi * 0.1;
+  }}
+}}
+
+static double walk_scratch(double e, double* scratch, long n) {{
+  double acc = 0.0;
+  for (long s = 0; s < n; s++) {{
+    scratch[s] = e * (double)(s + 1) * 0.01;
+  }}
+  for (long s = 0; s < n; s++) {{
+    acc += scratch[s];
+  }}
+  return acc;
+}}
+
+static void accumulate_macro(double* macro_xs, double* micro) {{
+  for (long k = 0; k < 4; k++) {{ macro_xs[k] += micro[k]; }}
+}}
+
+static double normalize(double e, double* norm) {{
+  *norm = 1.0 / (1.0 + e);
+  return *norm;
+}}
+
+void rs_lookup(double* poles, int* mats, double* results, long n_lookups,
+               long n_windows, long num_l, long nucs_per_mat) {{
+  #pragma omp target teams distribute parallel for thread_limit({threads})
+  for (long i = 0; i < n_lookups; i++) {{
+    double energy = 0.0;
+    long mat = 0;
+    sample_problem(i, &energy, &mat);
+    double sig_t[{sig_t_len}];
+    double micro_xs[4];
+    double macro_xs[4];
+    double scratch[{scratch}];
+    double norm_cell = 0.0;
+    for (long k = 0; k < 4; k++) {{ macro_xs[k] = 0.0; }}
+    double scratch_sum = 0.0;
+    for (long j = 0; j < nucs_per_mat; j++) {{
+      long nuc = (long)mats[mat * nucs_per_mat + j];
+      calculate_sig_t_factors(energy, sig_t, num_l);
+      calculate_micro_xs(energy, nuc, poles, micro_xs, sig_t, n_windows,
+                         num_l);
+      accumulate_macro(macro_xs, micro_xs);
+      scratch_sum += walk_scratch(energy, scratch, {scratch});
+    }}
+    double norm = normalize(energy, &norm_cell);
+    results[i] = (macro_xs[0] + macro_xs[1] + macro_xs[2] + macro_xs[3])
+                 * norm + scratch_sum * 0.000001;
+  }}
+}}
+"#,
+            n_mats = self.n_mats,
+            threads = self.dims.threads.unwrap_or(64),
+            sig_t_len = 2 * self.num_l,
+            scratch = SCRATCH,
+        )
+    }
+
+    fn cuda_source(&self) -> String {
+        // Kernel-language style: per-thread arrays stay private (never
+        // address-taken), everything computed inline.
+        format!(
+            r#"
+void rs_lookup(double* poles, int* mats, double* results, long n_lookups,
+               long n_windows, long num_l, long nucs_per_mat) {{
+  #pragma omp target teams distribute parallel for thread_limit({threads})
+  for (long i = 0; i < n_lookups; i++) {{
+    long h = (i * 9973 + 12345) % 100000;
+    double energy = (double)h / 100000.0 + 0.1;
+    long mat = i % {n_mats};
+    double sig_t[{sig_t_len}];
+    double scratch[{scratch}];
+    double m0 = 0.0;
+    double m1 = 0.0;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    double scratch_sum = 0.0;
+    for (long j = 0; j < nucs_per_mat; j++) {{
+      long nuc = (long)mats[mat * nucs_per_mat + j];
+      for (long l = 0; l < num_l; l++) {{
+        double phi = energy * (double)(l + 1) * 0.3;
+        sig_t[2 * l] = cos(phi);
+        sig_t[2 * l + 1] = sin(phi);
+      }}
+      for (long w = 0; w < n_windows; w++) {{
+        long base = (nuc * n_windows + w) * 4;
+        double psi = poles[base] / (energy + poles[base + 1] + 0.1);
+        long l = w % num_l;
+        m0 += psi * sig_t[2 * l];
+        m1 += psi * sig_t[2 * l + 1];
+        m2 += psi * 0.3;
+        m3 += psi * psi * 0.1;
+      }}
+      for (long s = 0; s < {scratch}; s++) {{
+        scratch[s] = energy * (double)(s + 1) * 0.01;
+      }}
+      for (long s = 0; s < {scratch}; s++) {{
+        scratch_sum += scratch[s];
+      }}
+    }}
+    double norm = 1.0 / (1.0 + energy);
+    results[i] = (m0 + m1 + m2 + m3) * norm + scratch_sum * 0.000001;
+  }}
+}}
+"#,
+            n_mats = self.n_mats,
+            threads = self.dims.threads.unwrap_or(64),
+            sig_t_len = 2 * self.num_l,
+            scratch = SCRATCH,
+        )
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Result<Workload, SimError> {
+        let poles = dev.alloc_f64(&self.poles())?;
+        let mats = dev.alloc_i32(&self.mats())?;
+        let out = dev.alloc_f64(&vec![0.0; self.n_lookups as usize])?;
+        Ok(Workload {
+            args: vec![
+                RtVal::Ptr(poles),
+                RtVal::Ptr(mats),
+                RtVal::Ptr(out),
+                RtVal::I64(self.n_lookups),
+                RtVal::I64(self.n_windows),
+                RtVal::I64(self.num_l),
+                RtVal::I64(self.nuclides_per_mat),
+            ],
+            out_buf: out,
+            out_len: self.n_lookups as usize,
+            expected: self.reference(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_finite() {
+        let r = RsBench::new(Scale::Small).reference();
+        assert_eq!(r.len(), 64);
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bench_scale_shrinks_heap() {
+        let cfg = RsBench::new(Scale::Bench).device_config();
+        assert!(cfg.global_heap_bytes < DeviceConfig::default().global_heap_bytes);
+        let small = RsBench::new(Scale::Small).device_config();
+        assert_eq!(
+            small.global_heap_bytes,
+            DeviceConfig::default().global_heap_bytes
+        );
+    }
+
+    #[test]
+    fn openmp_source_has_seven_escaping_locals() {
+        let src = RsBench::new(Scale::Small).openmp_source();
+        // All seven: energy, mat, sig_t, micro_xs, macro_xs, scratch,
+        // norm_cell are address-taken or passed by pointer.
+        for v in [
+            "&energy",
+            "&mat",
+            "sig_t",
+            "micro_xs",
+            "macro_xs",
+            "scratch",
+            "&norm_cell",
+        ] {
+            assert!(src.contains(v), "{v}");
+        }
+    }
+}

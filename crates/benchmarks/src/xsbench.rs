@@ -1,0 +1,276 @@
+//! XSBench-mini: memory-bound continuous-energy macroscopic neutron
+//! cross-section lookup (proxy for OpenMC's main kernel).
+//!
+//! The OpenMP version is the real XSBench structure: an SPMD-source
+//! `target teams distribute parallel for` over lookups; each lookup
+//! samples an energy/material, binary-searches the unionized energy
+//! grid, and accumulates five cross sections over the material's
+//! nuclides. Three locals are globalized by the frontend (the sampled
+//! `energy` and `mat` written through pointers, and the `macro_xs`
+//! accumulation array passed to `calculate_macro_xs`) — the paper's
+//! Figure 9 reports exactly 3 HeapToStack conversions for XSBench.
+
+use crate::{lcg01, ProxyApp, Scale, Workload};
+use omp_gpusim::{Device, LaunchDims, RtVal, SimError};
+
+/// XSBench proxy parameters.
+pub struct XsBench {
+    n_lookups: i64,
+    n_gridpoints: i64,
+    n_nuclides: i32,
+    n_mats: i64,
+    nuclides_per_mat: i64,
+    dims: LaunchDims,
+}
+
+impl XsBench {
+    /// Creates the proxy at the given scale.
+    pub fn new(scale: Scale) -> XsBench {
+        match scale {
+            Scale::Small => XsBench {
+                n_lookups: 128,
+                n_gridpoints: 128,
+                n_nuclides: 8,
+                n_mats: 12,
+                nuclides_per_mat: 4,
+                dims: LaunchDims {
+                    teams: Some(2),
+                    threads: Some(16),
+                },
+            },
+            Scale::Bench => XsBench {
+                n_lookups: 2048,
+                n_gridpoints: 1024,
+                n_nuclides: 32,
+                n_mats: 12,
+                nuclides_per_mat: 8,
+                dims: LaunchDims {
+                    teams: Some(8),
+                    threads: Some(64),
+                },
+            },
+        }
+    }
+
+    fn energy_grid(&self) -> Vec<f64> {
+        (0..self.n_gridpoints)
+            .map(|i| (i as f64 + 0.5) / self.n_gridpoints as f64)
+            .collect()
+    }
+
+    fn xs_data(&self) -> Vec<f64> {
+        let n = (self.n_nuclides as i64 * self.n_gridpoints * 5) as usize;
+        (0..n).map(|i| lcg01(i as i64 * 31 + 7) * 0.5).collect()
+    }
+
+    fn mats(&self) -> Vec<i32> {
+        let n = (self.n_mats * self.nuclides_per_mat) as usize;
+        (0..n)
+            .map(|i| ((i as i64 * 17 + 3) % self.n_nuclides as i64) as i32)
+            .collect()
+    }
+
+    /// Host reference implementation (mirrors the kernel exactly).
+    fn reference(&self) -> Vec<f64> {
+        let egrid = self.energy_grid();
+        let xs = self.xs_data();
+        let mats = self.mats();
+        let mut out = Vec::with_capacity(self.n_lookups as usize);
+        for i in 0..self.n_lookups {
+            let energy = lcg01(i);
+            let mat = (i % self.n_mats) as usize;
+            // Binary search.
+            let mut lo = 0i64;
+            let mut hi = self.n_gridpoints - 1;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if egrid[mid as usize] < energy {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let idx = lo;
+            let mut macro_xs = [0.0f64; 5];
+            for j in 0..self.nuclides_per_mat {
+                let nuc = mats[(mat as i64 * self.nuclides_per_mat + j) as usize] as i64;
+                let f = egrid[idx as usize] - energy;
+                let base = (nuc * self.n_gridpoints + idx) * 5;
+                for (k, slot) in macro_xs.iter_mut().enumerate() {
+                    let lowv = xs[(base + k as i64) as usize];
+                    *slot += lowv * (1.0 - f) + lowv * f * 0.5;
+                }
+            }
+            out.push(macro_xs.iter().sum());
+        }
+        out
+    }
+}
+
+impl ProxyApp for XsBench {
+    fn name(&self) -> &'static str {
+        "XSBench"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "xs_lookup"
+    }
+
+    fn dims(&self) -> LaunchDims {
+        self.dims
+    }
+
+    fn openmp_source(&self) -> String {
+        format!(
+            r#"
+static void sample_problem(long i, double* energy, int* mat) {{
+  long h = (i * 9973 + 12345) % 100000;
+  *energy = (double)h / 100000.0;
+  *mat = (int)(i % {n_mats});
+}}
+
+static long grid_search(double* egrid, long n, double e) {{
+  long lo = 0;
+  long hi = n - 1;
+  while (lo < hi) {{
+    long mid = (lo + hi) / 2;
+    if (egrid[mid] < e) {{ lo = mid + 1; }} else {{ hi = mid; }}
+  }}
+  return lo;
+}}
+
+static void calculate_macro_xs(double e, int mat, long idx, double* egrid,
+                               double* xs_data, int* mats,
+                               double* macro_xs,
+                               long n_gridpoints, long nucs_per_mat) {{
+  for (int k = 0; k < 5; k++) {{ macro_xs[k] = 0.0; }}
+  for (long j = 0; j < nucs_per_mat; j++) {{
+    long nuc = (long)mats[(long)mat * nucs_per_mat + j];
+    double f = egrid[idx] - e;
+    long base = (nuc * n_gridpoints + idx) * 5;
+    for (long k = 0; k < 5; k++) {{
+      double lowv = xs_data[base + k];
+      macro_xs[k] += lowv * (1.0 - f) + lowv * f * 0.5;
+    }}
+  }}
+}}
+
+void xs_lookup(double* egrid, double* xs_data, int* mats, double* results,
+               long n_lookups, long n_gridpoints, long nucs_per_mat) {{
+  #pragma omp target teams distribute parallel for thread_limit({threads})
+  for (long i = 0; i < n_lookups; i++) {{
+    double energy = 0.0;
+    int mat = 0;
+    sample_problem(i, &energy, &mat);
+    double macro_xs[5];
+    long idx = grid_search(egrid, n_gridpoints, energy);
+    calculate_macro_xs(energy, mat, idx, egrid, xs_data, mats, macro_xs,
+                       n_gridpoints, nucs_per_mat);
+    results[i] = macro_xs[0] + macro_xs[1] + macro_xs[2] + macro_xs[3]
+               + macro_xs[4];
+  }}
+}}
+"#,
+            n_mats = self.n_mats,
+            threads = self.dims.threads.unwrap_or(64),
+        )
+    }
+
+    fn cuda_source(&self) -> String {
+        // Kernel-language style: no address-taken locals, accumulation in
+        // scalars, sampling inlined.
+        format!(
+            r#"
+static long grid_search(double* egrid, long n, double e) {{
+  long lo = 0;
+  long hi = n - 1;
+  while (lo < hi) {{
+    long mid = (lo + hi) / 2;
+    if (egrid[mid] < e) {{ lo = mid + 1; }} else {{ hi = mid; }}
+  }}
+  return lo;
+}}
+
+void xs_lookup(double* egrid, double* xs_data, int* mats, double* results,
+               long n_lookups, long n_gridpoints, long nucs_per_mat) {{
+  #pragma omp target teams distribute parallel for thread_limit({threads})
+  for (long i = 0; i < n_lookups; i++) {{
+    long h = (i * 9973 + 12345) % 100000;
+    double energy = (double)h / 100000.0;
+    int mat = (int)(i % {n_mats});
+    long idx = grid_search(egrid, n_gridpoints, energy);
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+    double s3 = 0.0;
+    double s4 = 0.0;
+    for (long j = 0; j < nucs_per_mat; j++) {{
+      long nuc = (long)mats[(long)mat * nucs_per_mat + j];
+      double f = egrid[idx] - energy;
+      long base = (nuc * n_gridpoints + idx) * 5;
+      double l0 = xs_data[base];
+      double l1 = xs_data[base + 1];
+      double l2 = xs_data[base + 2];
+      double l3 = xs_data[base + 3];
+      double l4 = xs_data[base + 4];
+      s0 += l0 * (1.0 - f) + l0 * f * 0.5;
+      s1 += l1 * (1.0 - f) + l1 * f * 0.5;
+      s2 += l2 * (1.0 - f) + l2 * f * 0.5;
+      s3 += l3 * (1.0 - f) + l3 * f * 0.5;
+      s4 += l4 * (1.0 - f) + l4 * f * 0.5;
+    }}
+    results[i] = s0 + s1 + s2 + s3 + s4;
+  }}
+}}
+"#,
+            n_mats = self.n_mats,
+            threads = self.dims.threads.unwrap_or(64),
+        )
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Result<Workload, SimError> {
+        let egrid = dev.alloc_f64(&self.energy_grid())?;
+        let xs = dev.alloc_f64(&self.xs_data())?;
+        let mats = dev.alloc_i32(&self.mats())?;
+        let out = dev.alloc_f64(&vec![0.0; self.n_lookups as usize])?;
+        Ok(Workload {
+            args: vec![
+                RtVal::Ptr(egrid),
+                RtVal::Ptr(xs),
+                RtVal::Ptr(mats),
+                RtVal::Ptr(out),
+                RtVal::I64(self.n_lookups),
+                RtVal::I64(self.n_gridpoints),
+                RtVal::I64(self.nuclides_per_mat),
+            ],
+            out_buf: out,
+            out_len: self.n_lookups as usize,
+            expected: self.reference(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let a = XsBench::new(Scale::Small).reference();
+        let b = XsBench::new(Scale::Small).reference();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        assert!(a.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn sources_have_expected_structure() {
+        let x = XsBench::new(Scale::Small);
+        let omp = x.openmp_source();
+        assert!(omp.contains("target teams distribute parallel for"));
+        assert!(omp.contains("&energy"));
+        assert!(omp.contains("macro_xs"));
+        let cuda = x.cuda_source();
+        assert!(!cuda.contains('&'), "CUDA style takes no addresses");
+    }
+}

@@ -1,0 +1,221 @@
+//! `ompgpu` — a small driver CLI over the pipeline, for exploring the
+//! compiler interactively:
+//!
+//! ```text
+//! ompgpu build kernel.c [--config dev] [--emit-ir] [--remarks]
+//! ompgpu run   kernel.c --kernel name [--config dev]
+//!              [--teams N] [--threads N]
+//!              [--arg buf:f64:LEN | --arg buf:i64:LEN
+//!               | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
+//!              [--dump N]
+//! ```
+//!
+//! Buffer arguments are zero-initialized device allocations; `--dump N`
+//! prints the first N elements of every buffer after the launch.
+
+use omp_gpu::{pipeline, BuildConfig, Device, LaunchDims, RtVal};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks]\n  \
+         ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
+         [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n\n\
+         CFG: llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_config(s: &str) -> Option<BuildConfig> {
+    Some(match s {
+        "llvm12" => BuildConfig::Llvm12Baseline,
+        "noopt" => BuildConfig::NoOpenmpOpt,
+        "h2s2" => BuildConfig::H2S2,
+        "h2s2rtc" => BuildConfig::H2S2Rtc,
+        "h2s2rtccsm" => BuildConfig::H2S2RtcCsm,
+        "dev" => BuildConfig::LlvmDev,
+        "cuda" => BuildConfig::CudaStyle,
+        _ => return None,
+    })
+}
+
+enum ArgSpec {
+    BufF64(usize),
+    BufI64(usize),
+    I64(i64),
+    I32(i32),
+    F64(f64),
+}
+
+fn parse_arg(s: &str) -> Option<ArgSpec> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["buf", "f64", n] => Some(ArgSpec::BufF64(n.parse().ok()?)),
+        ["buf", "i64", n] => Some(ArgSpec::BufI64(n.parse().ok()?)),
+        ["i64", v] => Some(ArgSpec::I64(v.parse().ok()?)),
+        ["i32", v] => Some(ArgSpec::I32(v.parse().ok()?)),
+        ["f64", v] => Some(ArgSpec::F64(v.parse().ok()?)),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        return usage();
+    };
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ompgpu: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = BuildConfig::LlvmDev;
+    let mut emit_ir = false;
+    let mut show_remarks = false;
+    let mut kernel: Option<String> = None;
+    let mut teams: Option<u32> = None;
+    let mut threads: Option<u32> = None;
+    let mut specs: Vec<ArgSpec> = Vec::new();
+    let mut dump = 0usize;
+    let mut it = args.iter().skip(2);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(c) => config = c,
+                None => return usage(),
+            },
+            "--emit-ir" => emit_ir = true,
+            "--remarks" => show_remarks = true,
+            "--kernel" => kernel = it.next().cloned(),
+            "--teams" => teams = it.next().and_then(|s| s.parse().ok()),
+            "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
+            "--dump" => dump = it.next().and_then(|s| s.parse().ok()).unwrap_or(8),
+            "--arg" => match it.next().and_then(|s| parse_arg(s)) {
+                Some(s) => specs.push(s),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("ompgpu: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let (module, report) = match pipeline::build(&source, config) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("ompgpu: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(r) = &report {
+        let c = r.counts;
+        eprintln!(
+            "[{}] h2s={} h2shared={} spmdized={} csm={} folds={} remarks={}",
+            config.label(),
+            c.heap_to_stack,
+            c.heap_to_shared,
+            c.spmdized,
+            c.csm_rewritten,
+            c.folds_exec_mode + c.folds_parallel_level + c.folds_launch_params,
+            r.remarks.len()
+        );
+        if show_remarks {
+            for remark in r.remarks.all() {
+                eprintln!("{remark}");
+            }
+        }
+    }
+    match mode.as_str() {
+        "build" => {
+            if emit_ir {
+                print!("{}", omp_ir::printer::print_module(&module));
+            } else {
+                for k in &module.kernels {
+                    println!(
+                        "kernel {} ({:?} mode, {} functions in module)",
+                        k.source_name,
+                        k.exec_mode,
+                        module.num_functions()
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(kernel) = kernel else {
+                eprintln!("ompgpu run: --kernel NAME is required");
+                return usage();
+            };
+            let mut dev = match Device::new(&module, Default::default()) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("ompgpu: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut rt_args = Vec::new();
+            let mut buffers: Vec<(u64, usize, bool)> = Vec::new(); // (addr, len, is_f64)
+            for s in &specs {
+                match s {
+                    ArgSpec::BufF64(n) => {
+                        let a = dev.alloc_f64(&vec![0.0; *n]).expect("alloc");
+                        buffers.push((a, *n, true));
+                        rt_args.push(RtVal::Ptr(a));
+                    }
+                    ArgSpec::BufI64(n) => {
+                        let a = dev.alloc_i64(&vec![0; *n]).expect("alloc");
+                        buffers.push((a, *n, false));
+                        rt_args.push(RtVal::Ptr(a));
+                    }
+                    ArgSpec::I64(v) => rt_args.push(RtVal::I64(*v)),
+                    ArgSpec::I32(v) => rt_args.push(RtVal::I32(*v)),
+                    ArgSpec::F64(v) => rt_args.push(RtVal::F64(*v)),
+                }
+            }
+            match dev.launch(&kernel, &rt_args, LaunchDims { teams, threads }) {
+                Ok(stats) => {
+                    println!(
+                        "kernel time: {} cycles   regs: {}   smem: {} B   heap: {} B",
+                        stats.cycles, stats.registers, stats.shared_mem_bytes, stats.heap_bytes
+                    );
+                    println!(
+                        "insts: {}   mem accesses: {} ({} coalesced / {} scattered)   barriers: {}",
+                        stats.instructions,
+                        stats.memory_accesses,
+                        stats.coalesced_accesses,
+                        stats.uncoalesced_accesses,
+                        stats.barriers
+                    );
+                    if dump > 0 {
+                        for (i, (addr, len, is_f64)) in buffers.iter().enumerate() {
+                            let k = dump.min(*len);
+                            if *is_f64 {
+                                println!(
+                                    "buf{i}[..{k}] = {:?}",
+                                    dev.read_f64(*addr, k).unwrap()
+                                );
+                            } else {
+                                println!(
+                                    "buf{i}[..{k}] = {:?}",
+                                    dev.read_i64(*addr, k).unwrap()
+                                );
+                            }
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("ompgpu: launch failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

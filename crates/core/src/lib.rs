@@ -1,0 +1,39 @@
+//! # omp-gpu
+//!
+//! The facade crate of the reproduction of *"Efficient Execution of
+//! OpenMP on GPUs"* (CGO 2022): compile the mini-C OpenMP dialect,
+//! run the paper's OpenMP-aware optimizations, and execute the result
+//! on the GPU simulator.
+//!
+//! * [`BuildConfig`] — the build configurations of the paper's
+//!   Figure 11 legends (LLVM 12 baseline, "No OpenMP Optimization",
+//!   `h2s²`, `+RTCspec`, `+CSM`, the full LLVM Dev pipeline, and the
+//!   CUDA-style watermark);
+//! * [`pipeline::build`] — source → optimized module under a
+//!   configuration;
+//! * [`pipeline::run_proxy`] / [`pipeline::run_all_configs`] — build,
+//!   launch, and verify one of the four proxy applications.
+//!
+//! ```
+//! use omp_gpu::{pipeline, BuildConfig};
+//!
+//! let src = r#"
+//! void scale(double* a, double f, long n) {
+//!   #pragma omp target teams distribute parallel for
+//!   for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
+//! }
+//! "#;
+//! let (module, _report) = pipeline::build(src, BuildConfig::LlvmDev).unwrap();
+//! assert_eq!(module.kernels.len(), 1);
+//! ```
+
+pub mod config;
+pub mod pipeline;
+
+pub use config::BuildConfig;
+pub use omp_benchmarks::{all_proxies, ProxyApp, Scale};
+pub use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
+pub use omp_gpusim::{Device, DeviceConfig, KernelStats, LaunchDims, RtVal, SimError};
+pub use omp_ir::Module;
+pub use omp_opt::{OpenMpOptConfig, OptReport};
+pub use pipeline::{build, run_all_configs, run_proxy, RunOutcome};

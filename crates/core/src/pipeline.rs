@@ -1,0 +1,148 @@
+//! The compile → optimize → simulate pipeline.
+
+use crate::config::BuildConfig;
+use omp_benchmarks::{verify, ProxyApp, Workload};
+use omp_frontend::CompileError;
+use omp_gpusim::{Device, KernelStats, SimError};
+use omp_ir::Module;
+use omp_opt::OptReport;
+use std::fmt;
+
+/// A compilation failure anywhere in the pipeline.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Frontend diagnostics.
+    Compile(CompileError),
+    /// Post-optimization IR verification failure (optimizer bug).
+    Verify(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::Verify(e) => write!(f, "post-optimization verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Compiles `source` under `config`, returning the optimized module and
+/// the optimizer's report (when the OpenMP pass ran).
+pub fn build(source: &str, config: BuildConfig) -> Result<(Module, Option<OptReport>), BuildError> {
+    let fe = config.frontend_options("bench");
+    let mut module = omp_frontend::compile(source, &fe).map_err(BuildError::Compile)?;
+    let report = match config.opt_config() {
+        Some(cfg) => Some(omp_opt::run(&mut module, &cfg)),
+        None => {
+            omp_passes::run_pipeline(&mut module);
+            None
+        }
+    };
+    let errs = omp_ir::verifier::verify_module(&module);
+    if !errs.is_empty() {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        return Err(BuildError::Verify(msgs.join("; ")));
+    }
+    Ok((module, report))
+}
+
+/// Result of running one proxy application under one configuration.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The configuration label.
+    pub config: BuildConfig,
+    /// Launch statistics on success; `None` when the launch failed
+    /// (e.g. out of memory — RSBench's unoptimized build).
+    pub stats: Option<KernelStats>,
+    /// Error string when the launch failed.
+    pub error: Option<String>,
+    /// Optimizer report, when the OpenMP pass ran.
+    pub report: Option<OptReport>,
+}
+
+impl RunOutcome {
+    /// Kernel cycles, if the run succeeded.
+    pub fn cycles(&self) -> Option<u64> {
+        self.stats.as_ref().map(|s| s.cycles)
+    }
+}
+
+/// Builds and runs `app` under `config`, verifying results on success.
+pub fn run_proxy(app: &dyn ProxyApp, config: BuildConfig) -> RunOutcome {
+    let source = if config.uses_cuda_source() {
+        app.cuda_source()
+    } else {
+        app.openmp_source()
+    };
+    let (module, report) = match build(&source, config) {
+        Ok(x) => x,
+        Err(e) => {
+            return RunOutcome {
+                config,
+                stats: None,
+                error: Some(e.to_string()),
+                report: None,
+            }
+        }
+    };
+    let mut dev = match Device::new(&module, app.device_config()) {
+        Ok(d) => d,
+        Err(e) => {
+            return RunOutcome {
+                config,
+                stats: None,
+                error: Some(e.to_string()),
+                report,
+            }
+        }
+    };
+    let workload: Workload = match app.prepare(&mut dev) {
+        Ok(w) => w,
+        Err(e) => {
+            return RunOutcome {
+                config,
+                stats: None,
+                error: Some(e.to_string()),
+                report,
+            }
+        }
+    };
+    match dev.launch(app.kernel_name(), &workload.args, app.dims()) {
+        Ok(stats) => match verify(&mut dev, &workload) {
+            Ok(()) => RunOutcome {
+                config,
+                stats: Some(stats),
+                error: None,
+                report,
+            },
+            Err(e) => RunOutcome {
+                config,
+                stats: None,
+                error: Some(format!("verification failed: {e}")),
+                report,
+            },
+        },
+        Err(e @ SimError::Mem(_)) => RunOutcome {
+            config,
+            stats: None,
+            error: Some(format!("OOM/memory: {e}")),
+            report,
+        },
+        Err(e) => RunOutcome {
+            config,
+            stats: None,
+            error: Some(e.to_string()),
+            report,
+        },
+    }
+}
+
+/// Runs one proxy under every configuration.
+pub fn run_all_configs(app: &dyn ProxyApp) -> Vec<RunOutcome> {
+    BuildConfig::ALL
+        .iter()
+        .map(|&c| run_proxy(app, c))
+        .collect()
+}

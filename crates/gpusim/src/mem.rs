@@ -1,0 +1,567 @@
+//! Simulated device memory: global memory (+ heap), per-team shared
+//! memory, and per-thread local memory.
+//!
+//! Addresses are 64-bit with a space tag in the top nibble:
+//!
+//! ```text
+//! 0x0                  null
+//! 0x1ooo_oooo_oooo     global memory offset o
+//! 0x2tt._....          shared memory of team t (offset in low 32 bits)
+//! 0x3...               local memory of (team, thread)
+//! 0x4...               function address (index in low bits)
+//! ```
+//!
+//! Loads and stores validate that the executing thread may touch the
+//! target: shared memory belongs to one team, local memory to one
+//! thread. Cross-thread local accesses optionally trap — this is what
+//! makes the unsound LLVM 12 "SPMD mode uses stack memory" fast path
+//! (paper Figure 3) observable in the simulator.
+
+use crate::config::DeviceConfig;
+use crate::value::RtVal;
+use omp_ir::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+const TAG_SHIFT: u32 = 60;
+const TAG_GLOBAL: u64 = 1;
+const TAG_SHARED: u64 = 2;
+const TAG_LOCAL: u64 = 3;
+const TAG_FUNC: u64 = 4;
+
+/// Decoded address space of a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// Global memory at `offset`.
+    Global { offset: u64 },
+    /// Shared memory of `team` at `offset`.
+    Shared { team: u32, offset: u64 },
+    /// Local memory of `(team, thread)` at `offset`.
+    Local { team: u32, thread: u32, offset: u64 },
+    /// A function address.
+    Func { index: u32 },
+}
+
+/// Classification used by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Global memory (coalescing decided by the interpreter).
+    Global,
+    /// Shared memory.
+    Shared,
+    /// Thread-local memory.
+    Local,
+}
+
+/// Builds a global-memory address.
+pub fn global_addr(offset: u64) -> u64 {
+    (TAG_GLOBAL << TAG_SHIFT) | offset
+}
+
+/// Builds a shared-memory address for `team`.
+pub fn shared_addr(team: u32, offset: u64) -> u64 {
+    (TAG_SHARED << TAG_SHIFT) | ((team as u64) << 32) | offset
+}
+
+/// Builds a local-memory address for `(team, thread)`.
+pub fn local_addr(team: u32, thread: u32, offset: u64) -> u64 {
+    (TAG_LOCAL << TAG_SHIFT) | ((team as u64) << 40) | ((thread as u64) << 24) | offset
+}
+
+/// Builds a function address.
+pub fn func_addr(index: u32) -> u64 {
+    (TAG_FUNC << TAG_SHIFT) | index as u64
+}
+
+/// Decodes an address into its space.
+pub fn decode(addr: u64) -> Option<Space> {
+    match addr >> TAG_SHIFT {
+        TAG_GLOBAL => Some(Space::Global {
+            offset: addr & 0x0FFF_FFFF_FFFF_FFFF,
+        }),
+        TAG_SHARED => Some(Space::Shared {
+            team: ((addr >> 32) & 0x0FFF_FFFF) as u32,
+            offset: addr & 0xFFFF_FFFF,
+        }),
+        TAG_LOCAL => Some(Space::Local {
+            team: ((addr >> 40) & 0xF_FFFF) as u32,
+            thread: ((addr >> 24) & 0xFFFF) as u32,
+            offset: addr & 0xFF_FFFF,
+        }),
+        TAG_FUNC => Some(Space::Func {
+            index: (addr & 0xFFFF_FFFF) as u32,
+        }),
+        _ => None,
+    }
+}
+
+/// A memory access or allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Null or undecodable pointer.
+    InvalidPointer(u64),
+    /// Access beyond the bounds of its region.
+    OutOfBounds(u64),
+    /// A thread touched another thread's local memory.
+    CrossThreadLocal {
+        /// Team/thread of the accessor.
+        accessor: (u32, u32),
+        /// Team/thread owning the memory.
+        owner: (u32, u32),
+    },
+    /// A thread touched another team's shared memory.
+    CrossTeamShared,
+    /// The device heap (globalization fallback) is exhausted — the
+    /// paper's RSBench out-of-memory outcome.
+    HeapExhausted {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+    },
+    /// Global-memory buffer allocation failed.
+    GlobalExhausted,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidPointer(a) => write!(f, "invalid pointer 0x{a:x}"),
+            MemError::OutOfBounds(a) => write!(f, "out-of-bounds access at 0x{a:x}"),
+            MemError::CrossThreadLocal { accessor, owner } => write!(
+                f,
+                "thread {accessor:?} accessed local memory of thread {owner:?}"
+            ),
+            MemError::CrossTeamShared => write!(f, "cross-team shared memory access"),
+            MemError::HeapExhausted { requested } => {
+                write!(f, "device heap exhausted (requested {requested} bytes)")
+            }
+            MemError::GlobalExhausted => write!(f, "global memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A simple first-fit free-list allocator over a byte range.
+#[derive(Debug, Clone, Default)]
+struct FreeListAlloc {
+    start: u64,
+    cursor: u64,
+    limit: u64,
+    free: Vec<(u64, u64)>, // (offset, size)
+    live: u64,
+    high_water: u64,
+}
+
+impl FreeListAlloc {
+    fn new(start: u64, limit: u64) -> FreeListAlloc {
+        FreeListAlloc {
+            start,
+            cursor: start,
+            limit,
+            free: Vec::new(),
+            live: 0,
+            high_water: start,
+        }
+    }
+
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        let size = size.max(1).div_ceil(8) * 8;
+        if let Some(i) = self.free.iter().position(|&(_, s)| s >= size) {
+            let (off, s) = self.free.remove(i);
+            if s > size {
+                self.free.push((off + size, s - size));
+            }
+            self.live += size;
+            return Some(off);
+        }
+        if self.cursor + size > self.limit {
+            return None;
+        }
+        let off = self.cursor;
+        self.cursor += size;
+        self.high_water = self.high_water.max(self.cursor);
+        self.live += size;
+        Some(off)
+    }
+
+    fn dealloc(&mut self, offset: u64, size: u64) {
+        let size = size.max(1).div_ceil(8) * 8;
+        self.live = self.live.saturating_sub(size);
+        self.free.push((offset, size));
+        // Cheap compaction: if everything is free again, reset fully.
+        if self.live == 0 {
+            self.free.clear();
+            self.cursor = self.start;
+        }
+    }
+}
+
+/// Per-team shared memory: statics + a globalization stack region.
+#[derive(Debug, Clone)]
+pub struct TeamShared {
+    data: Vec<u8>,
+    alloc: FreeListAlloc,
+}
+
+/// The whole simulated memory system.
+#[derive(Debug)]
+pub struct Memory {
+    cfg: DeviceConfig,
+    global: Vec<u8>,
+    global_cursor: u64,
+    heap: FreeListAlloc,
+    heap_base: u64,
+    shared: HashMap<u32, TeamShared>,
+    shared_static_size: u64,
+    local: HashMap<(u32, u32), Vec<u8>>,
+    /// High-water mark of shared usage across all teams (statics +
+    /// globalization stack), reported as the kernel's shared-memory
+    /// footprint.
+    pub shared_high_water: u64,
+    /// High-water mark of heap usage.
+    pub heap_high_water: u64,
+}
+
+impl Memory {
+    /// Creates the memory system. `shared_static_size` is the total size
+    /// of the module's static shared globals, placed at the base of
+    /// every team's shared memory.
+    pub fn new(cfg: &DeviceConfig, shared_static_size: u64) -> Memory {
+        let heap_base = cfg.global_mem_bytes;
+        Memory {
+            cfg: cfg.clone(),
+            global: vec![0; (cfg.global_mem_bytes + cfg.global_heap_bytes) as usize],
+            global_cursor: 0,
+            heap: FreeListAlloc::new(heap_base, heap_base + cfg.global_heap_bytes),
+            heap_base,
+            shared: HashMap::new(),
+            shared_static_size,
+            local: HashMap::new(),
+            shared_high_water: shared_static_size,
+            heap_high_water: 0,
+        }
+    }
+
+    /// Allocates a host-visible global buffer; returns its address.
+    pub fn alloc_global(&mut self, size: u64) -> Result<u64, MemError> {
+        let size = size.max(1).div_ceil(8) * 8;
+        if self.global_cursor + size > self.cfg.global_mem_bytes {
+            return Err(MemError::GlobalExhausted);
+        }
+        let off = self.global_cursor;
+        self.global_cursor += size;
+        Ok(global_addr(off))
+    }
+
+    fn team_shared(&mut self, team: u32) -> &mut TeamShared {
+        let statics = self.shared_static_size;
+        let cap = self.cfg.shared_mem_per_team;
+        self.shared.entry(team).or_insert_with(|| TeamShared {
+            data: vec![0; cap.max(statics) as usize],
+            alloc: FreeListAlloc::new(statics, cap.max(statics)),
+        })
+    }
+
+    /// Device-side globalization allocation: tries the team's shared
+    /// stack first, falls back to the device heap (the paper's
+    /// `LIBOMPTARGET_HEAP_SIZE` fallback). Returns the address.
+    pub fn alloc_shared(&mut self, team: u32, size: u64) -> Result<u64, MemError> {
+        if let Some(off) = self.team_shared(team).alloc.alloc(size) {
+            let hw = self.team_shared(team).alloc.high_water;
+            self.shared_high_water = self.shared_high_water.max(hw);
+            return Ok(shared_addr(team, off));
+        }
+        match self.heap.alloc(size) {
+            Some(off) => {
+                self.heap_high_water = self.heap_high_water.max(self.heap.live);
+                Ok(global_addr(off))
+            }
+            None => Err(MemError::HeapExhausted { requested: size }),
+        }
+    }
+
+    /// Frees a globalization allocation made by
+    /// [`Memory::alloc_shared`].
+    pub fn free_shared(&mut self, addr: u64, size: u64) -> Result<(), MemError> {
+        match decode(addr) {
+            Some(Space::Shared { team, offset }) => {
+                self.team_shared(team).alloc.dealloc(offset, size);
+                Ok(())
+            }
+            Some(Space::Global { offset }) if offset >= self.heap_base => {
+                self.heap.dealloc(offset, size);
+                Ok(())
+            }
+            _ => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    fn local_arena(&mut self, team: u32, thread: u32) -> &mut Vec<u8> {
+        let cap = self.cfg.local_mem_per_thread as usize;
+        self.local
+            .entry((team, thread))
+            .or_insert_with(|| vec![0; cap])
+    }
+
+    /// Raw byte slice resolution with permission checks.
+    fn resolve(
+        &mut self,
+        addr: u64,
+        len: u64,
+        team: u32,
+        thread: u32,
+    ) -> Result<(&mut [u8], AccessClass), MemError> {
+        let space = decode(addr).ok_or(MemError::InvalidPointer(addr))?;
+        match space {
+            Space::Global { offset } => {
+                let end = offset + len;
+                if end > self.global.len() as u64 {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                Ok((
+                    &mut self.global[offset as usize..end as usize],
+                    AccessClass::Global,
+                ))
+            }
+            Space::Shared { team: t, offset } => {
+                if t != team {
+                    return Err(MemError::CrossTeamShared);
+                }
+                let arena = self.team_shared(t);
+                let end = offset + len;
+                if end > arena.data.len() as u64 {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                Ok((
+                    &mut arena.data[offset as usize..end as usize],
+                    AccessClass::Shared,
+                ))
+            }
+            Space::Local {
+                team: t,
+                thread: th,
+                offset,
+            } => {
+                if (t, th) != (team, thread) && self.cfg.trap_on_cross_thread_local {
+                    return Err(MemError::CrossThreadLocal {
+                        accessor: (team, thread),
+                        owner: (t, th),
+                    });
+                }
+                let arena = self.local_arena(t, th);
+                let end = offset + len;
+                if end > arena.len() as u64 {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                Ok((
+                    &mut arena[offset as usize..end as usize],
+                    AccessClass::Local,
+                ))
+            }
+            Space::Func { .. } => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    /// Loads a typed value. `(team, thread)` identify the accessor.
+    pub fn load(
+        &mut self,
+        addr: u64,
+        ty: Type,
+        team: u32,
+        thread: u32,
+    ) -> Result<(RtVal, AccessClass), MemError> {
+        let (bytes, class) = self.resolve(addr, ty.size(), team, thread)?;
+        Ok((RtVal::from_bytes(ty, bytes), class))
+    }
+
+    /// Stores a typed value. `(team, thread)` identify the accessor.
+    pub fn store(
+        &mut self,
+        addr: u64,
+        val: RtVal,
+        team: u32,
+        thread: u32,
+    ) -> Result<AccessClass, MemError> {
+        let bytes = val.to_bytes();
+        let (dst, class) = self.resolve(addr, bytes.len() as u64, team, thread)?;
+        dst.copy_from_slice(&bytes);
+        Ok(class)
+    }
+
+    /// Host-side buffer write (no permission checks, global space only).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        match decode(addr) {
+            Some(Space::Global { offset }) => {
+                let end = offset as usize + data.len();
+                if end > self.global.len() {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                self.global[offset as usize..end].copy_from_slice(data);
+                Ok(())
+            }
+            _ => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    /// Host-side buffer read.
+    pub fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        match decode(addr) {
+            Some(Space::Global { offset }) => {
+                let end = offset as usize + len;
+                if end > self.global.len() {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                Ok(self.global[offset as usize..end].to_vec())
+            }
+            _ => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    /// Resets the per-launch state (shared memory, local memory, heap,
+    /// high-water marks) while keeping global buffers intact.
+    pub fn reset_launch_state(&mut self) {
+        self.shared.clear();
+        self.local.clear();
+        self.heap = FreeListAlloc::new(self.heap_base, self.heap_base + self.cfg.global_heap_bytes);
+        self.shared_high_water = self.shared_static_size;
+        self.heap_high_water = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(&DeviceConfig::default(), 0)
+    }
+
+    #[test]
+    fn address_encoding_roundtrip() {
+        assert_eq!(
+            decode(global_addr(0x1234)),
+            Some(Space::Global { offset: 0x1234 })
+        );
+        assert_eq!(
+            decode(shared_addr(3, 0x40)),
+            Some(Space::Shared {
+                team: 3,
+                offset: 0x40
+            })
+        );
+        assert_eq!(
+            decode(local_addr(2, 17, 0x100)),
+            Some(Space::Local {
+                team: 2,
+                thread: 17,
+                offset: 0x100
+            })
+        );
+        assert_eq!(decode(func_addr(9)), Some(Space::Func { index: 9 }));
+        assert_eq!(decode(0), None);
+    }
+
+    #[test]
+    fn global_rw() {
+        let mut m = mem();
+        let a = m.alloc_global(64).unwrap();
+        m.store(a, RtVal::F64(3.5), 0, 0).unwrap();
+        let (v, class) = m.load(a, Type::F64, 0, 0).unwrap();
+        assert_eq!(v, RtVal::F64(3.5));
+        assert_eq!(class, AccessClass::Global);
+    }
+
+    #[test]
+    fn shared_permissions() {
+        let mut m = mem();
+        let a = m.alloc_shared(1, 16).unwrap();
+        m.store(a, RtVal::I32(7), 1, 5).unwrap();
+        let (v, class) = m.load(a, Type::I32, 1, 9).unwrap();
+        assert_eq!(v, RtVal::I32(7));
+        assert_eq!(class, AccessClass::Shared);
+        // Another team cannot touch it.
+        assert_eq!(
+            m.load(a, Type::I32, 2, 0).unwrap_err(),
+            MemError::CrossTeamShared
+        );
+    }
+
+    #[test]
+    fn cross_thread_local_traps() {
+        let mut m = mem();
+        let a = local_addr(0, 1, 0x10);
+        m.store(a, RtVal::I32(1), 0, 1).unwrap();
+        let err = m.load(a, Type::I32, 0, 2).unwrap_err();
+        assert!(matches!(err, MemError::CrossThreadLocal { .. }));
+    }
+
+    #[test]
+    fn cross_thread_local_allowed_when_configured() {
+        let cfg = DeviceConfig {
+            trap_on_cross_thread_local: false,
+            ..DeviceConfig::default()
+        };
+        let mut m = Memory::new(&cfg, 0);
+        let a = local_addr(0, 1, 0x10);
+        m.store(a, RtVal::I32(42), 0, 1).unwrap();
+        let (v, _) = m.load(a, Type::I32, 0, 2).unwrap();
+        assert_eq!(v, RtVal::I32(42));
+    }
+
+    #[test]
+    fn shared_overflow_falls_back_to_heap_then_oom() {
+        let cfg = DeviceConfig {
+            shared_mem_per_team: 64,
+            global_heap_bytes: 128,
+            ..DeviceConfig::default()
+        };
+        let mut m = Memory::new(&cfg, 0);
+        // Fill shared.
+        let a = m.alloc_shared(0, 64).unwrap();
+        assert!(matches!(decode(a), Some(Space::Shared { .. })));
+        // Next goes to the heap.
+        let b = m.alloc_shared(0, 64).unwrap();
+        assert!(matches!(decode(b), Some(Space::Global { .. })));
+        let _c = m.alloc_shared(0, 64).unwrap();
+        // Heap now exhausted.
+        let err = m.alloc_shared(0, 64).unwrap_err();
+        assert!(matches!(err, MemError::HeapExhausted { .. }));
+        // Freeing makes room again.
+        m.free_shared(b, 64).unwrap();
+        assert!(m.alloc_shared(0, 64).is_ok());
+    }
+
+    #[test]
+    fn free_list_reuses_shared() {
+        let mut m = mem();
+        let a = m.alloc_shared(0, 32).unwrap();
+        m.free_shared(a, 32).unwrap();
+        let b = m.alloc_shared(0, 32).unwrap();
+        assert_eq!(a, b, "freed block should be reused");
+    }
+
+    #[test]
+    fn high_water_tracking() {
+        let mut m = mem();
+        let _a = m.alloc_shared(0, 100).unwrap();
+        let _b = m.alloc_shared(0, 100).unwrap();
+        assert!(m.shared_high_water >= 200);
+    }
+
+    #[test]
+    fn host_read_write() {
+        let mut m = mem();
+        let a = m.alloc_global(16).unwrap();
+        m.write_bytes(a, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(a, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut m = mem();
+        let err = m
+            .load(global_addr(u64::MAX >> 8), Type::I64, 0, 0)
+            .unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Launch statistics — the quantities the paper's Figure 10 reports
+//! (kernel time, shared memory, registers) plus diagnostic counters.
+
+use std::collections::HashMap;
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Kernel time in model cycles: teams are scheduled round-robin over
+    /// SMs, SM time is the sum of its teams, kernel time the max SM.
+    pub cycles: u64,
+    /// Per-team cycle counts.
+    pub team_cycles: Vec<u64>,
+    /// Shared-memory footprint in bytes (static shared globals plus the
+    /// globalization stack high-water mark) — Figure 10's "SMem" column.
+    pub shared_mem_bytes: u64,
+    /// Device-heap (globalization fallback) high-water mark in bytes.
+    pub heap_bytes: u64,
+    /// Estimated registers per thread — Figure 10's "# Regs" column.
+    pub registers: u32,
+    /// Total executed instructions across all threads.
+    pub instructions: u64,
+    /// Dynamic calls to each runtime entry point.
+    pub rtl_calls: HashMap<String, u64>,
+    /// Globalization allocations performed.
+    pub globalization_allocs: u64,
+    /// Barriers executed (per group release).
+    pub barriers: u64,
+    /// Indirect calls executed.
+    pub indirect_calls: u64,
+    /// Generic-mode parallel-region dispatches.
+    pub parallel_regions: u64,
+    /// Memory accesses executed.
+    pub memory_accesses: u64,
+    /// Global-memory accesses classified as coalesced.
+    pub coalesced_accesses: u64,
+    /// Global-memory accesses classified as uncoalesced.
+    pub uncoalesced_accesses: u64,
+}
+
+impl KernelStats {
+    /// Dynamic count of calls to the named runtime function.
+    pub fn rtl_count(&self, name: &str) -> u64 {
+        self.rtl_calls.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregates team cycles into the kernel time given an SM count:
+    /// team `i` runs on SM `i % num_sms`; SM time is the sum of its
+    /// teams; kernel time is the maximum SM time.
+    pub fn finish(&mut self, num_sms: u32) {
+        let n = num_sms.max(1) as usize;
+        let mut sm = vec![0u64; n];
+        for (i, &c) in self.team_cycles.iter().enumerate() {
+            sm[i % n] += c;
+        }
+        self.cycles = sm.into_iter().max().unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm_aggregation() {
+        let mut s = KernelStats {
+            team_cycles: vec![100, 200, 300, 400],
+            ..KernelStats::default()
+        };
+        s.finish(2);
+        // SM0: 100 + 300 = 400; SM1: 200 + 400 = 600.
+        assert_eq!(s.cycles, 600);
+        s.finish(4);
+        assert_eq!(s.cycles, 400);
+        s.finish(1);
+        assert_eq!(s.cycles, 1000);
+    }
+
+    #[test]
+    fn rtl_count_lookup() {
+        let mut s = KernelStats::default();
+        s.rtl_calls.insert("__kmpc_barrier".into(), 3);
+        assert_eq!(s.rtl_count("__kmpc_barrier"), 3);
+        assert_eq!(s.rtl_count("nope"), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Launching hand-built IR modules (no frontend): exercises interpreter
+//! semantics that the dialect cannot express directly — phi swap
+//! simultaneity, unsigned operations, casts, and selects.
+
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal};
+use omp_ir::{
+    BinOp, Builder, CastOp, CmpOp, ExecMode, Function, KernelInfo, Module, Type, Value,
+};
+
+fn kernelize(m: &mut Module, f: omp_ir::FuncId, name: &str) {
+    m.kernels.push(KernelInfo {
+        func: f,
+        exec_mode: ExecMode::Spmd,
+        num_teams: Some(1),
+        thread_limit: Some(1),
+        source_name: name.into(),
+    });
+}
+
+fn one_thread() -> LaunchDims {
+    LaunchDims {
+        teams: Some(1),
+        threads: Some(1),
+    }
+}
+
+/// The classic phi-swap: `(a, b) = (b, a)` each iteration. Evaluating
+/// phis sequentially instead of simultaneously would corrupt one of
+/// them.
+#[test]
+fn phi_swap_is_simultaneous() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition(
+        "swap",
+        vec![Type::Ptr, Type::I64],
+        Type::Void,
+    ));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64);
+        let a = b.phi(Type::I64);
+        let bb = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::i64(0));
+        b.add_phi_incoming(a, entry, Value::i64(1));
+        b.add_phi_incoming(bb, entry, Value::i64(2));
+        let c = b.cmp(CmpOp::Slt, Type::I64, i, Value::Arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add_i64(i, Value::i64(1));
+        // swap: a' = b, b' = a
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(a, body, bb);
+        b.add_phi_incoming(bb, body, a);
+        b.br(header);
+        b.switch_to(exit);
+        b.store(a, Value::Arg(0));
+        let slot1 = b.gep_const(Value::Arg(0), 8);
+        b.store(bb, slot1);
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "swap");
+    omp_ir::verifier::assert_valid(&m);
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_i64(&[0, 0]).unwrap();
+    // Odd number of swaps: (1,2) -> (2,1)
+    dev.launch("swap", &[RtVal::Ptr(out), RtVal::I64(5)], one_thread())
+        .unwrap();
+    assert_eq!(dev.read_i64(out, 2).unwrap(), vec![2, 1]);
+    // Even number of swaps: back to (1,2)
+    dev.launch("swap", &[RtVal::Ptr(out), RtVal::I64(4)], one_thread())
+        .unwrap();
+    assert_eq!(dev.read_i64(out, 2).unwrap(), vec![1, 2]);
+}
+
+/// Unsigned division/comparison and zero-extension semantics.
+#[test]
+fn unsigned_ops_and_casts() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("u", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        // -8 as u32 / 2
+        let udiv = b.bin(BinOp::UDiv, Type::I32, Value::i32(-8), Value::i32(2));
+        let wide = b.cast(CastOp::ZExt, udiv, Type::I64);
+        b.store(wide, Value::Arg(0));
+        // unsigned comparison: -1 (as u32) > 5
+        let ug = b.cmp(CmpOp::Ugt, Type::I32, Value::i32(-1), Value::i32(5));
+        let ug64 = b.cast(CastOp::ZExt, ug, Type::I64);
+        let s1 = b.gep_const(Value::Arg(0), 8);
+        b.store(ug64, s1);
+        // trunc of a large i64
+        let t = b.cast(CastOp::Trunc, Value::i64(0x1_2345_6789), Type::I32);
+        let t64 = b.cast(CastOp::SExt, t, Type::I64);
+        let s2 = b.gep_const(Value::Arg(0), 16);
+        b.store(t64, s2);
+        // lshr vs ashr
+        let lshr = b.bin(BinOp::LShr, Type::I32, Value::i32(-16), Value::i32(2));
+        let l64 = b.cast(CastOp::ZExt, lshr, Type::I64);
+        let s3 = b.gep_const(Value::Arg(0), 24);
+        b.store(l64, s3);
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "u");
+    omp_ir::verifier::assert_valid(&m);
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_i64(&[0; 4]).unwrap();
+    dev.launch("u", &[RtVal::Ptr(out)], one_thread()).unwrap();
+    let v = dev.read_i64(out, 4).unwrap();
+    assert_eq!(v[0], ((u32::MAX - 7) / 2) as i64);
+    assert_eq!(v[1], 1);
+    assert_eq!(v[2], 0x2345_6789);
+    assert_eq!(v[3], ((-16i32 as u32) >> 2) as i64);
+}
+
+/// Select on both arms, fp casts, and f32 rounding.
+#[test]
+fn selects_and_float_casts() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition(
+        "s",
+        vec![Type::Ptr, Type::I1],
+        Type::Void,
+    ));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let sel = b.select(Value::Arg(1), Type::F64, Value::f64(1.25), Value::f64(-2.5));
+        b.store(sel, Value::Arg(0));
+        // f64 -> f32 -> f64 loses precision deterministically
+        let narrow = b.cast(CastOp::FpTrunc, Value::f64(0.1), Type::F32);
+        let wide = b.cast(CastOp::FpExt, narrow, Type::F64);
+        let s1 = b.gep_const(Value::Arg(0), 8);
+        b.store(wide, s1);
+        // fptosi truncates toward zero
+        let i = b.cast(CastOp::FpToSi, Value::f64(-3.9), Type::I64);
+        let fl = b.cast(CastOp::SiToFp, i, Type::F64);
+        let s2 = b.gep_const(Value::Arg(0), 16);
+        b.store(fl, s2);
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "s");
+    omp_ir::verifier::assert_valid(&m);
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_f64(&[0.0; 3]).unwrap();
+    dev.launch("s", &[RtVal::Ptr(out), RtVal::Bool(true)], one_thread())
+        .unwrap();
+    let v = dev.read_f64(out, 3).unwrap();
+    assert_eq!(v[0], 1.25);
+    assert_eq!(v[1], 0.1f32 as f64);
+    assert_eq!(v[2], -3.0);
+    dev.launch("s", &[RtVal::Ptr(out), RtVal::Bool(false)], one_thread())
+        .unwrap();
+    assert_eq!(dev.read_f64(out, 3).unwrap()[0], -2.5);
+}
+
+/// Division by zero at runtime is a trap, not a wrong answer.
+#[test]
+fn division_by_zero_traps() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition(
+        "d",
+        vec![Type::Ptr, Type::I64],
+        Type::Void,
+    ));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let q = b.bin(BinOp::SDiv, Type::I64, Value::i64(10), Value::Arg(1));
+        b.store(q, Value::Arg(0));
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "d");
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_i64(&[0]).unwrap();
+    dev.launch("d", &[RtVal::Ptr(out), RtVal::I64(2)], one_thread())
+        .unwrap();
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 5);
+    let err = dev
+        .launch("d", &[RtVal::Ptr(out), RtVal::I64(0)], one_thread())
+        .unwrap_err();
+    assert!(matches!(err, omp_gpusim::SimError::Trap(_)));
+}
+
+/// `unreachable` reached at runtime is reported as a trap with the
+/// function name.
+#[test]
+fn unreachable_reports_function() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("bad", vec![Type::Ptr], Type::Void));
+    {
+        let fun = m.func_mut(f);
+        let e = fun.entry();
+        fun.block_mut(e).term = omp_ir::Terminator::Unreachable;
+    }
+    kernelize(&mut m, f, "bad");
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_i64(&[0]).unwrap();
+    let err = dev
+        .launch("bad", &[RtVal::Ptr(out)], one_thread())
+        .unwrap_err();
+    match err {
+        omp_gpusim::SimError::Trap(msg) => assert!(msg.contains("bad"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Shared-space module globals resolve per team and are initialized.
+#[test]
+fn global_initializers_and_shared_globals() {
+    let mut m = Module::new("t");
+    let ginit = m.add_global(omp_ir::Global {
+        name: "seed".into(),
+        size: 8,
+        align: 8,
+        space: omp_ir::AddrSpace::Global,
+        init: Some(42i64.to_le_bytes().to_vec()),
+        is_const: false,
+    });
+    let gshared = m.add_global(omp_ir::Global {
+        name: "scratch".into(),
+        size: 8,
+        align: 8,
+        space: omp_ir::AddrSpace::Shared,
+        init: None,
+        is_const: false,
+    });
+    let f = m.add_function(Function::definition("g", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let seed = b.load(Type::I64, Value::Global(ginit));
+        let team = b.call_rtl(omp_ir::RtlFn::TeamNum, vec![]);
+        let team64 = b.cast(CastOp::SExt, team, Type::I64);
+        let v = b.add_i64(seed, team64);
+        b.store(v, Value::Global(gshared));
+        let back = b.load(Type::I64, Value::Global(gshared));
+        let slot = b.gep_elem8(Value::Arg(0), team64);
+        b.store(back, slot);
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "g");
+    omp_ir::verifier::assert_valid(&m);
+    let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    let out = dev.alloc_i64(&[0, 0]).unwrap();
+    dev.launch(
+        "g",
+        &[RtVal::Ptr(out)],
+        LaunchDims {
+            teams: Some(2),
+            threads: Some(1),
+        },
+    )
+    .unwrap();
+    // Each team sees its own shared `scratch`: no cross-team clobber.
+    assert_eq!(dev.read_i64(out, 2).unwrap(), vec![42, 43]);
+}

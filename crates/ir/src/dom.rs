@@ -1,0 +1,253 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use crate::function::Function;
+use crate::value::BlockId;
+use std::collections::HashMap;
+
+/// The dominator tree of a function's CFG.
+///
+/// Blocks unreachable from the entry have no dominator information and
+/// are reported as not dominated by (and not dominating) anything except
+/// themselves.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Reverse postorder of reachable blocks (entry first).
+    pub rpo: Vec<BlockId>,
+    idom: HashMap<BlockId, BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let entry = f.entry();
+        // DFS postorder.
+        let mut post = Vec::new();
+        let mut state: HashMap<BlockId, u8> = HashMap::new();
+        let mut stack = vec![(entry, 0usize)];
+        state.insert(entry, 1);
+        while let Some((b, i)) = stack.pop() {
+            let succs = f.block(b).term.successors();
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !state.contains_key(&s) {
+                    state.insert(s, 1);
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+        let preds = f.predecessors();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.get(&b).into_iter().flatten() {
+                    if !idom.contains_key(&p) {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            rpo,
+            idom,
+            rpo_index,
+        }
+    }
+
+    fn intersect(
+        idom: &HashMap<BlockId, BlockId>,
+        rpo_index: &HashMap<BlockId, usize>,
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[&a];
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom.get(&b) {
+            Some(&d) if d != b || self.rpo_index.get(&b) != Some(&0) => Some(d),
+            Some(_) => None, // entry
+            None => None,
+        }
+    }
+
+    /// Whether block `a` dominates block `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return a == b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[&cur];
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+
+    /// The dominance frontier of every reachable block.
+    pub fn dominance_frontiers(&self, f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
+        let preds = f.predecessors();
+        let mut df: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in &self.rpo {
+            let ps = match preds.get(&b) {
+                Some(p) if p.len() >= 2 => p,
+                _ => continue,
+            };
+            let Some(b_idom) = self.idom.get(&b).copied() else {
+                continue;
+            };
+            for &p in ps {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != b_idom {
+                    let e = df.entry(runner).or_default();
+                    if !e.contains(&b) {
+                        e.push(b);
+                    }
+                    let next = self.idom[&runner];
+                    if next == runner {
+                        break;
+                    }
+                    runner = next;
+                }
+            }
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Terminator;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Builds the classic diamond: entry -> (a | b) -> join.
+    fn diamond() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut f = Function::definition("d", vec![], Type::Void);
+        let e = f.entry();
+        let a = f.add_block();
+        let b = f.add_block();
+        let j = f.add_block();
+        f.block_mut(e).term = Terminator::CondBr {
+            cond: Value::bool(true),
+            then_bb: a,
+            else_bb: b,
+        };
+        f.block_mut(a).term = Terminator::Br(j);
+        f.block_mut(b).term = Terminator::Br(j);
+        f.block_mut(j).term = Terminator::Ret(None);
+        (f, e, a, b, j)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, e, a, b, j) = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(e), None);
+        assert_eq!(dt.idom(a), Some(e));
+        assert_eq!(dt.idom(b), Some(e));
+        assert_eq!(dt.idom(j), Some(e));
+        assert!(dt.dominates(e, j));
+        assert!(!dt.dominates(a, j));
+        assert!(dt.dominates(a, a));
+    }
+
+    #[test]
+    fn dominance_frontiers_of_diamond() {
+        let (f, e, a, b, j) = diamond();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df.get(&a), Some(&vec![j]));
+        assert_eq!(df.get(&b), Some(&vec![j]));
+        assert_eq!(df.get(&e), None);
+        assert_eq!(df.get(&j), None);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header <-> body; header -> exit
+        let mut f = Function::definition("l", vec![], Type::Void);
+        let e = f.entry();
+        let h = f.add_block();
+        let body = f.add_block();
+        let x = f.add_block();
+        f.block_mut(e).term = Terminator::Br(h);
+        f.block_mut(h).term = Terminator::CondBr {
+            cond: Value::bool(true),
+            then_bb: body,
+            else_bb: x,
+        };
+        f.block_mut(body).term = Terminator::Br(h);
+        f.block_mut(x).term = Terminator::Ret(None);
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(h), Some(e));
+        assert_eq!(dt.idom(body), Some(h));
+        assert_eq!(dt.idom(x), Some(h));
+        assert!(dt.dominates(h, body));
+        assert!(!dt.dominates(body, x));
+        // back-edge gives header a frontier containing itself
+        let df = dt.dominance_frontiers(&f);
+        assert!(df.get(&body).is_some_and(|v| v.contains(&h)));
+        assert!(df.get(&h).is_some_and(|v| v.contains(&h)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_handled() {
+        let mut f = Function::definition("u", vec![], Type::Void);
+        let e = f.entry();
+        let dead = f.add_block();
+        f.block_mut(e).term = Terminator::Ret(None);
+        f.block_mut(dead).term = Terminator::Ret(None);
+        let dt = DomTree::compute(&f);
+        assert!(dt.is_reachable(e));
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(e, dead));
+        assert!(dt.dominates(dead, dead));
+        assert_eq!(dt.rpo, vec![e]);
+    }
+}

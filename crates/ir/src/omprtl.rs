@@ -1,0 +1,376 @@
+//! The OpenMP GPU device runtime ABI.
+//!
+//! The paper's optimizations "look for uses of known LLVM/OpenMP runtime
+//! functions that have been emitted by the front-end in response to user
+//! pragmas" (Section IV). This module is the single source of truth for
+//! that ABI: the frontend emits calls to these functions, the
+//! `omp-opt` pass recognizes them by name, and the GPU simulator
+//! implements their semantics.
+//!
+//! # Contract
+//!
+//! * `__kmpc_target_init(mode) -> i32` — first call in every kernel.
+//!   `mode` is [`MODE_GENERIC`] or [`MODE_SPMD`]. In generic mode it
+//!   returns `-1` for the team's main thread and the worker index
+//!   (`>= 0`) for every other thread; in SPMD mode it returns `-1` for
+//!   all threads, so the frontend's `is_worker` branch sends every
+//!   thread into the user code.
+//! * Workers loop on `__kmpc_kernel_parallel() -> ptr`, which blocks
+//!   until the main thread publishes a parallel region (returning an
+//!   opaque work token — a function address, or a small integer id after
+//!   the state-machine rewrite) or the kernel ends (returning `null`).
+//! * `__kmpc_parallel_51(token, num_threads, args)` — main-thread side
+//!   of a `parallel` directive. Publishes `token`/`args`, wakes workers,
+//!   participates as thread 0, waits for completion. In SPMD mode every
+//!   thread calls it and directly invokes its own copy of the region.
+//!   At parallel level >= 1 the region is serialized onto the caller.
+//! * Globalization: `__kmpc_alloc_shared`/`__kmpc_free_shared` are the
+//!   simplified (LLVM 13, Fig. 4c) scheme; the
+//!   `__kmpc_data_sharing_*` entry points are the legacy coalesced
+//!   (LLVM 12, Fig. 4b) scheme.
+
+use crate::types::Type;
+
+/// `mode` argument of `__kmpc_target_init` for generic execution.
+pub const MODE_GENERIC: i64 = 1;
+/// `mode` argument of `__kmpc_target_init` for SPMD execution.
+pub const MODE_SPMD: i64 = 2;
+
+/// Known device runtime entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtlFn {
+    /// `i32 __kmpc_target_init(i32 mode)`
+    TargetInit,
+    /// `void __kmpc_target_deinit(i32 mode)`
+    TargetDeinit,
+    /// `void __kmpc_parallel_51(ptr token, i32 num_threads, ptr args)`
+    Parallel51,
+    /// `ptr __kmpc_kernel_parallel()`
+    KernelParallel,
+    /// `void __kmpc_kernel_end_parallel()`
+    KernelEndParallel,
+    /// `ptr __kmpc_get_parallel_args()`
+    GetParallelArgs,
+    /// `ptr __kmpc_alloc_shared(i64 size)` — simplified globalization.
+    AllocShared,
+    /// `void __kmpc_free_shared(ptr mem, i64 size)`
+    FreeShared,
+    /// `ptr __kmpc_data_sharing_coalesced_push_stack(i64 size, i32 warp)`
+    /// — legacy globalization (LLVM 12).
+    DataSharingPushStack,
+    /// `void __kmpc_data_sharing_pop_stack(ptr mem)`
+    DataSharingPopStack,
+    /// `i1 __kmpc_is_spmd_exec_mode()`
+    IsSpmdExecMode,
+    /// `i32 __kmpc_parallel_level()`
+    ParallelLevel,
+    /// `i1 __kmpc_is_generic_main_thread()`
+    IsGenericMainThread,
+    /// `i1 __kmpc_in_active_parallel()` — legacy globalization helper.
+    InActiveParallel,
+    /// `void __kmpc_barrier()` — barrier across the current parallel team.
+    Barrier,
+    /// `void __kmpc_barrier_simple_spmd()` — barrier across all hardware
+    /// threads of the team (used by SPMDization guards).
+    BarrierSimpleSpmd,
+    /// `i64 __kmpc_static_chunk_lb(i64 n)` — worksharing across threads.
+    StaticChunkLb,
+    /// `i64 __kmpc_static_chunk_ub(i64 n)`
+    StaticChunkUb,
+    /// `i64 __kmpc_distribute_chunk_lb(i64 n)` — worksharing across teams.
+    DistributeChunkLb,
+    /// `i64 __kmpc_distribute_chunk_ub(i64 n)`
+    DistributeChunkUb,
+    /// `i32 omp_get_thread_num()`
+    ThreadNum,
+    /// `i32 omp_get_num_threads()`
+    NumThreads,
+    /// `i32 omp_get_team_num()`
+    TeamNum,
+    /// `i32 omp_get_num_teams()`
+    NumTeams,
+    /// `i32 __kmpc_get_warp_size()`
+    WarpSize,
+    /// `i32 __kmpc_get_warp_id()`
+    WarpId,
+    /// `i32 __kmpc_get_lane_id()`
+    LaneId,
+}
+
+/// All runtime functions, for iteration.
+pub const ALL_RTL_FNS: &[RtlFn] = &[
+    RtlFn::TargetInit,
+    RtlFn::TargetDeinit,
+    RtlFn::Parallel51,
+    RtlFn::KernelParallel,
+    RtlFn::KernelEndParallel,
+    RtlFn::GetParallelArgs,
+    RtlFn::AllocShared,
+    RtlFn::FreeShared,
+    RtlFn::DataSharingPushStack,
+    RtlFn::DataSharingPopStack,
+    RtlFn::IsSpmdExecMode,
+    RtlFn::ParallelLevel,
+    RtlFn::IsGenericMainThread,
+    RtlFn::InActiveParallel,
+    RtlFn::Barrier,
+    RtlFn::BarrierSimpleSpmd,
+    RtlFn::StaticChunkLb,
+    RtlFn::StaticChunkUb,
+    RtlFn::DistributeChunkLb,
+    RtlFn::DistributeChunkUb,
+    RtlFn::ThreadNum,
+    RtlFn::NumThreads,
+    RtlFn::TeamNum,
+    RtlFn::NumTeams,
+    RtlFn::WarpSize,
+    RtlFn::WarpId,
+    RtlFn::LaneId,
+];
+
+impl RtlFn {
+    /// The symbol name the frontend emits and the optimizer matches.
+    pub fn name(self) -> &'static str {
+        match self {
+            RtlFn::TargetInit => "__kmpc_target_init",
+            RtlFn::TargetDeinit => "__kmpc_target_deinit",
+            RtlFn::Parallel51 => "__kmpc_parallel_51",
+            RtlFn::KernelParallel => "__kmpc_kernel_parallel",
+            RtlFn::KernelEndParallel => "__kmpc_kernel_end_parallel",
+            RtlFn::GetParallelArgs => "__kmpc_get_parallel_args",
+            RtlFn::AllocShared => "__kmpc_alloc_shared",
+            RtlFn::FreeShared => "__kmpc_free_shared",
+            RtlFn::DataSharingPushStack => "__kmpc_data_sharing_coalesced_push_stack",
+            RtlFn::DataSharingPopStack => "__kmpc_data_sharing_pop_stack",
+            RtlFn::IsSpmdExecMode => "__kmpc_is_spmd_exec_mode",
+            RtlFn::ParallelLevel => "__kmpc_parallel_level",
+            RtlFn::IsGenericMainThread => "__kmpc_is_generic_main_thread",
+            RtlFn::InActiveParallel => "__kmpc_in_active_parallel",
+            RtlFn::Barrier => "__kmpc_barrier",
+            RtlFn::BarrierSimpleSpmd => "__kmpc_barrier_simple_spmd",
+            RtlFn::StaticChunkLb => "__kmpc_static_chunk_lb",
+            RtlFn::StaticChunkUb => "__kmpc_static_chunk_ub",
+            RtlFn::DistributeChunkLb => "__kmpc_distribute_chunk_lb",
+            RtlFn::DistributeChunkUb => "__kmpc_distribute_chunk_ub",
+            RtlFn::ThreadNum => "omp_get_thread_num",
+            RtlFn::NumThreads => "omp_get_num_threads",
+            RtlFn::TeamNum => "omp_get_team_num",
+            RtlFn::NumTeams => "omp_get_num_teams",
+            RtlFn::WarpSize => "__kmpc_get_warp_size",
+            RtlFn::WarpId => "__kmpc_get_warp_id",
+            RtlFn::LaneId => "__kmpc_get_lane_id",
+        }
+    }
+
+    /// Inverse of [`RtlFn::name`].
+    pub fn from_name(name: &str) -> Option<RtlFn> {
+        ALL_RTL_FNS.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// `(params, return)` signature.
+    pub fn signature(self) -> (Vec<Type>, Type) {
+        use Type::*;
+        match self {
+            RtlFn::TargetInit => (vec![I32], I32),
+            RtlFn::TargetDeinit => (vec![I32], Void),
+            RtlFn::Parallel51 => (vec![Ptr, I32, Ptr], Void),
+            RtlFn::KernelParallel => (vec![], Ptr),
+            RtlFn::KernelEndParallel => (vec![], Void),
+            RtlFn::GetParallelArgs => (vec![], Ptr),
+            RtlFn::AllocShared => (vec![I64], Ptr),
+            RtlFn::FreeShared => (vec![Ptr, I64], Void),
+            RtlFn::DataSharingPushStack => (vec![I64, I32], Ptr),
+            RtlFn::DataSharingPopStack => (vec![Ptr], Void),
+            RtlFn::IsSpmdExecMode => (vec![], I1),
+            RtlFn::ParallelLevel => (vec![], I32),
+            RtlFn::IsGenericMainThread => (vec![], I1),
+            RtlFn::InActiveParallel => (vec![], I1),
+            RtlFn::Barrier => (vec![], Void),
+            RtlFn::BarrierSimpleSpmd => (vec![], Void),
+            RtlFn::StaticChunkLb | RtlFn::StaticChunkUb => (vec![I64], I64),
+            RtlFn::DistributeChunkLb | RtlFn::DistributeChunkUb => (vec![I64], I64),
+            RtlFn::ThreadNum
+            | RtlFn::NumThreads
+            | RtlFn::TeamNum
+            | RtlFn::NumTeams
+            | RtlFn::WarpSize
+            | RtlFn::WarpId
+            | RtlFn::LaneId => (vec![], I32),
+        }
+    }
+
+    /// Whether this call allocates globalized memory (the targets of the
+    /// paper's HeapToStack / HeapToShared transformations).
+    pub fn is_globalization_alloc(self) -> bool {
+        matches!(self, RtlFn::AllocShared | RtlFn::DataSharingPushStack)
+    }
+
+    /// The deallocation counterpart of a globalization allocation.
+    pub fn dealloc_counterpart(self) -> Option<RtlFn> {
+        match self {
+            RtlFn::AllocShared => Some(RtlFn::FreeShared),
+            RtlFn::DataSharingPushStack => Some(RtlFn::DataSharingPopStack),
+            _ => None,
+        }
+    }
+
+    /// Whether the call synchronizes threads (barriers and the
+    /// parallel-region protocol). Synchronization blocks SPMD-amenable
+    /// reordering and must be respected by HeapToStack reachability.
+    pub fn is_synchronizing(self) -> bool {
+        matches!(
+            self,
+            RtlFn::Barrier
+                | RtlFn::BarrierSimpleSpmd
+                | RtlFn::Parallel51
+                | RtlFn::KernelParallel
+                | RtlFn::KernelEndParallel
+                | RtlFn::TargetInit
+                | RtlFn::TargetDeinit
+        )
+    }
+
+    /// Whether the result only depends on the execution context (thread
+    /// id, launch geometry, mode) and not on memory — such calls are
+    /// side-effect free and candidates for the paper's Section IV-C
+    /// constant folding.
+    pub fn is_context_query(self) -> bool {
+        matches!(
+            self,
+            RtlFn::IsSpmdExecMode
+                | RtlFn::ParallelLevel
+                | RtlFn::IsGenericMainThread
+                | RtlFn::InActiveParallel
+                | RtlFn::ThreadNum
+                | RtlFn::NumThreads
+                | RtlFn::TeamNum
+                | RtlFn::NumTeams
+                | RtlFn::WarpSize
+                | RtlFn::WarpId
+                | RtlFn::LaneId
+                | RtlFn::StaticChunkLb
+                | RtlFn::StaticChunkUb
+                | RtlFn::DistributeChunkLb
+                | RtlFn::DistributeChunkUb
+        )
+    }
+
+    /// Whether it is safe for *all* threads of a team to execute this
+    /// call even when the original program only had the main thread
+    /// execute it. Used by SPMDization: such calls are "OpenMP-specific
+    /// allocation related code" (Section IV-B3) or pure queries, and do
+    /// not count as side effects that need guarding.
+    pub fn is_spmd_amenable(self) -> bool {
+        self.is_context_query()
+            || matches!(
+                self,
+                RtlFn::Barrier | RtlFn::BarrierSimpleSpmd | RtlFn::KernelEndParallel
+            )
+    }
+}
+
+/// Math intrinsics available to device code. They are declared like
+/// ordinary external functions but carry `pure_fn`, so analyses treat
+/// them as side-effect free, and the simulator implements them natively.
+pub const MATH_FNS: &[(&str, u32, bool)] = &[
+    // (name, arity, is_f32)
+    ("sqrt", 1, false),
+    ("sqrtf", 1, true),
+    ("exp", 1, false),
+    ("expf", 1, true),
+    ("log", 1, false),
+    ("logf", 1, true),
+    ("sin", 1, false),
+    ("sinf", 1, true),
+    ("cos", 1, false),
+    ("cosf", 1, true),
+    ("fabs", 1, false),
+    ("fabsf", 1, true),
+    ("pow", 2, false),
+    ("powf", 2, true),
+    ("fmin", 2, false),
+    ("fminf", 2, true),
+    ("fmax", 2, false),
+    ("fmaxf", 2, true),
+    ("floor", 1, false),
+    ("floorf", 1, true),
+];
+
+/// Returns `(params, ret)` for a math intrinsic, or `None` if `name`
+/// is not one.
+pub fn math_fn_signature(name: &str) -> Option<(Vec<Type>, Type)> {
+    MATH_FNS.iter().find(|(n, _, _)| *n == name).map(|&(_, arity, f32)| {
+        let ty = if f32 { Type::F32 } else { Type::F64 };
+        (vec![ty; arity as usize], ty)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for &f in ALL_RTL_FNS {
+            assert_eq!(RtlFn::from_name(f.name()), Some(f), "{f:?}");
+        }
+        assert_eq!(RtlFn::from_name("not_a_runtime_fn"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = ALL_RTL_FNS.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), ALL_RTL_FNS.len());
+    }
+
+    #[test]
+    fn alloc_dealloc_pairing() {
+        assert!(RtlFn::AllocShared.is_globalization_alloc());
+        assert!(RtlFn::DataSharingPushStack.is_globalization_alloc());
+        assert!(!RtlFn::Barrier.is_globalization_alloc());
+        assert_eq!(
+            RtlFn::AllocShared.dealloc_counterpart(),
+            Some(RtlFn::FreeShared)
+        );
+        assert_eq!(
+            RtlFn::DataSharingPushStack.dealloc_counterpart(),
+            Some(RtlFn::DataSharingPopStack)
+        );
+        assert_eq!(RtlFn::Barrier.dealloc_counterpart(), None);
+    }
+
+    #[test]
+    fn context_queries_are_spmd_amenable() {
+        for &f in ALL_RTL_FNS {
+            if f.is_context_query() {
+                assert!(f.is_spmd_amenable(), "{f:?}");
+                assert!(!f.is_synchronizing(), "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_have_expected_shapes() {
+        let (p, r) = RtlFn::TargetInit.signature();
+        assert_eq!(p, vec![Type::I32]);
+        assert_eq!(r, Type::I32);
+        let (p, r) = RtlFn::AllocShared.signature();
+        assert_eq!(p, vec![Type::I64]);
+        assert_eq!(r, Type::Ptr);
+        let (p, r) = RtlFn::Parallel51.signature();
+        assert_eq!(p, vec![Type::Ptr, Type::I32, Type::Ptr]);
+        assert_eq!(r, Type::Void);
+    }
+
+    #[test]
+    fn math_signatures() {
+        let (p, r) = math_fn_signature("sqrt").unwrap();
+        assert_eq!(p, vec![Type::F64]);
+        assert_eq!(r, Type::F64);
+        let (p, r) = math_fn_signature("powf").unwrap();
+        assert_eq!(p, vec![Type::F32, Type::F32]);
+        assert_eq!(r, Type::F32);
+        assert!(math_fn_signature("nope").is_none());
+    }
+}

@@ -1,0 +1,904 @@
+//! Parser for the textual IR produced by [`crate::printer`].
+
+use crate::function::{Function, Linkage, ParamAttrs};
+use crate::inst::{BinOp, CastOp, CmpOp, InstKind, Terminator};
+use crate::module::{AddrSpace, ExecMode, Global, KernelInfo, Module};
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing textual IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a module from its textual form.
+pub fn parse_module(text: &str) -> Result<Module> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+/// Cursor over the tokens of one line.
+struct Cursor<'a> {
+    line: usize,
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: usize, s: &'a str) -> Cursor<'a> {
+        Cursor {
+            line,
+            rest: s.trim(),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn is_empty(&mut self) -> bool {
+        self.skip_ws();
+        self.rest.is_empty()
+    }
+
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        // Plain prefix matching: tokens like `%v`, `%arg` and `bb` are
+        // immediately followed by digits, and the grammar has no keyword
+        // pairs where one is a strict prefix of the other in the same
+        // position, so no word-boundary check is needed.
+        if let Some(r) = self.rest.strip_prefix(tok) {
+            self.rest = r;
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}` at `{}`", self.rest)))
+        }
+    }
+
+    fn word(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == '$'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(self.err(format!("expected identifier at `{}`", self.rest)));
+        }
+        let (w, r) = self.rest.split_at(end);
+        self.rest = r;
+        Ok(w)
+    }
+
+    fn number_i64(&mut self) -> Result<i64> {
+        self.skip_ws();
+        let neg = self.rest.starts_with('-');
+        let body = if neg { &self.rest[1..] } else { self.rest };
+        if let Some(hex) = body.strip_prefix("0x") {
+            let end = hex
+                .find(|c: char| !c.is_ascii_hexdigit())
+                .unwrap_or(hex.len());
+            let v = u64::from_str_radix(&hex[..end], 16)
+                .map_err(|e| self.err(format!("bad hex: {e}")))?;
+            self.rest = &body[2 + end..];
+            return Ok(if neg { -(v as i64) } else { v as i64 });
+        }
+        let end = body
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(body.len());
+        if end == 0 {
+            return Err(self.err(format!("expected number at `{}`", self.rest)));
+        }
+        let v: i64 = body[..end]
+            .parse()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.rest = &body[end..];
+        Ok(if neg { -v } else { v })
+    }
+
+    fn number_u64(&mut self) -> Result<u64> {
+        let v = self.number_i64()?;
+        u64::try_from(v).map_err(|_| self.err("expected unsigned number"))
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        self.skip_ws();
+        let r = self
+            .rest
+            .strip_prefix('"')
+            .ok_or_else(|| self.err("expected string literal"))?;
+        let end = r.find('"').ok_or_else(|| self.err("unterminated string"))?;
+        let s = r[..end].to_string();
+        self.rest = &r[end + 1..];
+        Ok(s)
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        let w = self.word()?;
+        match w {
+            "void" => Ok(Type::Void),
+            "i1" => Ok(Type::I1),
+            "i32" => Ok(Type::I32),
+            "i64" => Ok(Type::I64),
+            "f32" => Ok(Type::F32),
+            "f64" => Ok(Type::F64),
+            "ptr" => Ok(Type::Ptr),
+            _ => Err(self.err(format!("unknown type `{w}`"))),
+        }
+    }
+}
+
+/// A not-yet-resolved operand (names instead of arena ids).
+#[derive(Debug, Clone)]
+enum RawValue {
+    Inst(u32),
+    Arg(u32),
+    ConstInt(i64, Type),
+    ConstFloat(u64, Type),
+    Symbol(String),
+    Null,
+    Undef(Type),
+}
+
+#[derive(Debug)]
+enum RawInst {
+    Alloca { size: u64, align: u64 },
+    Load { ty: Type, ptr: RawValue },
+    Store { val: RawValue, ptr: RawValue },
+    Bin { op: BinOp, ty: Type, lhs: RawValue, rhs: RawValue },
+    Cmp { op: CmpOp, ty: Type, lhs: RawValue, rhs: RawValue },
+    Cast { op: CastOp, val: RawValue, to: Type },
+    Gep { base: RawValue, index: RawValue, scale: u64, offset: i64 },
+    Call { callee: RawValue, args: Vec<RawValue>, ret: Type },
+    Select { cond: RawValue, ty: Type, on_true: RawValue, on_false: RawValue },
+    Phi { ty: Type, incoming: Vec<(u32, RawValue)> },
+}
+
+struct RawFunction {
+    fid: crate::value::FuncId,
+    raw_blocks: Vec<(u32, Vec<(usize, Option<u32>, RawInst)>, RawTerm, usize)>,
+}
+
+#[derive(Debug)]
+enum RawTerm {
+    Br(u32),
+    CondBr(RawValue, u32, u32),
+    Ret(Option<RawValue>),
+    Unreachable,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find(';') {
+                    Some(p) => &l[..p],
+                    None => l,
+                };
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn parse(&mut self) -> Result<Module> {
+        let mut m = Module::new("parsed");
+        let mut pending_kernels: Vec<(usize, String, ExecMode, Option<u32>, Option<u32>, String)> =
+            Vec::new();
+        let mut pending_bodies: Vec<RawFunction> = Vec::new();
+        while let Some((ln, line)) = self.next() {
+            let mut c = Cursor::new(ln, line);
+            if c.eat("module") {
+                m.name = c.quoted()?;
+            } else if c.eat("global") {
+                self.parse_global(&mut c, &mut m)?;
+            } else if c.eat("kernel") {
+                c.expect("@")?;
+                let name = c.word()?.to_string();
+                let mode = match c.word()? {
+                    "generic" => ExecMode::Generic,
+                    "spmd" => ExecMode::Spmd,
+                    w => return Err(c.err(format!("unknown exec mode `{w}`"))),
+                };
+                let mut num_teams = None;
+                let mut thread_limit = None;
+                let mut source = String::new();
+                loop {
+                    if c.eat("num_teams") {
+                        c.expect("(")?;
+                        num_teams = Some(c.number_u64()? as u32);
+                        c.expect(")")?;
+                    } else if c.eat("thread_limit") {
+                        c.expect("(")?;
+                        thread_limit = Some(c.number_u64()? as u32);
+                        c.expect(")")?;
+                    } else if c.eat("source") {
+                        source = c.quoted()?;
+                    } else {
+                        break;
+                    }
+                }
+                pending_kernels.push((ln, name, mode, num_teams, thread_limit, source));
+            } else if c.eat("declare") || line.starts_with("define") {
+                let is_def = line.starts_with("define");
+                if is_def {
+                    c = Cursor::new(ln, line);
+                    c.expect("define")?;
+                }
+                if let Some(raw) = self.parse_function_header_and_body(&mut c, is_def, &mut m)? {
+                    pending_bodies.push(raw);
+                }
+            } else {
+                return Err(c.err(format!("unexpected top-level line `{line}`")));
+            }
+        }
+        // Resolve bodies now that every symbol is registered.
+        for raw in pending_bodies {
+            self.resolve_function(raw, &mut m)?;
+        }
+        for (ln, name, mode, num_teams, thread_limit, source) in pending_kernels {
+            let func = m.function_id(&name).ok_or(ParseError {
+                line: ln,
+                message: format!("kernel references unknown function `{name}`"),
+            })?;
+            m.kernels.push(KernelInfo {
+                func,
+                exec_mode: mode,
+                num_teams,
+                thread_limit,
+                source_name: source,
+            });
+        }
+        Ok(m)
+    }
+
+    fn parse_global(&mut self, c: &mut Cursor<'_>, m: &mut Module) -> Result<()> {
+        c.expect("@")?;
+        let name = c.word()?.to_string();
+        c.expect(":")?;
+        let space = match c.word()? {
+            "global" => AddrSpace::Global,
+            "shared" => AddrSpace::Shared,
+            w => return Err(c.err(format!("unknown address space `{w}`"))),
+        };
+        let size = c.number_u64()?;
+        c.expect("align")?;
+        let align = c.number_u64()?;
+        let is_const = c.eat("const");
+        let mut init = None;
+        if c.eat("init") {
+            c.expect("[")?;
+            let mut bytes = Vec::new();
+            while !c.eat("]") {
+                let w = c.word()?;
+                let b = u8::from_str_radix(w, 16)
+                    .map_err(|e| c.err(format!("bad init byte `{w}`: {e}")))?;
+                bytes.push(b);
+            }
+            init = Some(bytes);
+        }
+        m.add_global(Global {
+            name,
+            size,
+            align,
+            space,
+            init,
+            is_const,
+        });
+        Ok(())
+    }
+
+    fn parse_function_header_and_body(
+        &mut self,
+        c: &mut Cursor<'_>,
+        is_def: bool,
+        m: &mut Module,
+    ) -> Result<Option<RawFunction>> {
+        let linkage = if c.eat("internal") {
+            Linkage::Internal
+        } else {
+            Linkage::External
+        };
+        c.expect("@")?;
+        let name = c.word()?.to_string();
+        c.expect("(")?;
+        let mut params = Vec::new();
+        let mut pattrs = Vec::new();
+        if !c.eat(")") {
+            loop {
+                let ty = c.ty()?;
+                let mut pa = ParamAttrs::default();
+                loop {
+                    if c.eat("noescape") {
+                        pa.noescape = true;
+                    } else if c.eat("readonly") {
+                        pa.readonly = true;
+                    } else {
+                        break;
+                    }
+                }
+                c.expect("%arg")?;
+                let _ = c.number_u64()?;
+                params.push(ty);
+                pattrs.push(pa);
+                if c.eat(")") {
+                    break;
+                }
+                c.expect(",")?;
+            }
+        }
+        c.expect("->")?;
+        let ret = c.ty()?;
+        let mut f = Function::declaration(name, params, ret);
+        f.param_attrs = pattrs;
+        f.linkage = linkage;
+        if c.eat("attrs") {
+            c.expect("(")?;
+            while !c.eat(")") {
+                match c.word()? {
+                    "pure" => f.attrs.pure_fn = true,
+                    "readonly" => f.attrs.readonly = true,
+                    "spmd_amenable" => f.attrs.spmd_amenable = true,
+                    "no_openmp" => f.attrs.no_openmp = true,
+                    "no_sync" => f.attrs.no_sync = true,
+                    "internalized_copy" => f.attrs.internalized_copy = true,
+                    w => return Err(c.err(format!("unknown attr `{w}`"))),
+                }
+            }
+        }
+        if !is_def {
+            m.add_function(f);
+            return Ok(None);
+        }
+        c.expect("{")?;
+        // Collect the body lines.
+        let mut raw_blocks: Vec<(u32, Vec<(usize, Option<u32>, RawInst)>, RawTerm, usize)> =
+            Vec::new();
+        let mut cur: Option<(u32, Vec<(usize, Option<u32>, RawInst)>, usize)> = None;
+        loop {
+            let (ln, line) = self
+                .next()
+                .ok_or_else(|| c.err("unexpected end of input in function body"))?;
+            if line == "}" {
+                if cur.is_some() {
+                    return Err(ParseError {
+                        line: ln,
+                        message: "block missing terminator".into(),
+                    });
+                }
+                break;
+            }
+            let mut lc = Cursor::new(ln, line);
+            if let Some(label) = line.strip_suffix(':') {
+                if cur.is_some() {
+                    return Err(lc.err("previous block missing terminator"));
+                }
+                let mut lbl = Cursor::new(ln, label);
+                lbl.expect("bb")?;
+                let n = lbl.number_u64()? as u32;
+                cur = Some((n, Vec::new(), ln));
+                continue;
+            }
+            let Some((_, insts, _)) = cur.as_mut() else {
+                return Err(lc.err("instruction outside block"));
+            };
+            if let Some(t) = Self::try_parse_term(&mut lc)? {
+                let (id, insts, start) = cur.take().unwrap();
+                raw_blocks.push((id, insts, t, start));
+                continue;
+            }
+            let (res, inst) = Self::parse_inst(&mut lc)?;
+            insts.push((ln, res, inst));
+        }
+
+        let fid = m.add_function(f);
+        return Ok(Some(RawFunction {
+            fid,
+            raw_blocks,
+        }));
+    }
+
+    /// Resolves a collected function body once all module symbols exist.
+    fn resolve_function(&mut self, raw: RawFunction, m: &mut Module) -> Result<()> {
+        let RawFunction { fid, raw_blocks } = raw;
+        // Resolve: create blocks, map labels, allocate instruction ids.
+        let mut block_map: HashMap<u32, BlockId> = HashMap::new();
+        for (label, _, _, _) in &raw_blocks {
+            let b = m.func_mut(fid).add_block();
+            block_map.insert(*label, b);
+        }
+        let mut inst_map: HashMap<u32, InstId> = HashMap::new();
+        // Pre-allocate result ids so forward references (phis) resolve.
+        let mut placements: Vec<(BlockId, Vec<(usize, InstId, RawInst)>, RawTerm, usize)> =
+            Vec::new();
+        for (label, insts, term, ln) in raw_blocks {
+            let b = block_map[&label];
+            let mut placed = Vec::new();
+            for (iln, res, inst) in insts {
+                let id = m
+                    .func_mut(fid)
+                    .alloc_inst(InstKind::Alloca { size: 0, align: 1 });
+                if let Some(r) = res {
+                    inst_map.insert(r, id);
+                }
+                placed.push((iln, id, inst));
+            }
+            placements.push((b, placed, term, ln));
+        }
+        let resolve = |line: usize, v: &RawValue, m: &Module| -> Result<Value> {
+            Ok(match v {
+                RawValue::Inst(n) => Value::Inst(*inst_map.get(n).ok_or(ParseError {
+                    line,
+                    message: format!("unknown value %v{n}"),
+                })?),
+                RawValue::Arg(n) => Value::Arg(*n),
+                RawValue::ConstInt(v, ty) => Value::ConstInt(*v, *ty),
+                RawValue::ConstFloat(bits, ty) => Value::ConstFloat(*bits, *ty),
+                RawValue::Symbol(s) => {
+                    if let Some(f) = m.function_id(s) {
+                        Value::Func(f)
+                    } else if let Some(g) = m.global_id(s) {
+                        Value::Global(g)
+                    } else {
+                        return Err(ParseError {
+                            line,
+                            message: format!("unknown symbol @{s}"),
+                        });
+                    }
+                }
+                RawValue::Null => Value::Null,
+                RawValue::Undef(ty) => Value::Undef(*ty),
+            })
+        };
+        let resolve_block = |line: usize, n: u32| -> Result<BlockId> {
+            block_map.get(&n).copied().ok_or(ParseError {
+                line,
+                message: format!("unknown block bb{n}"),
+            })
+        };
+        for (b, placed, term, tln) in placements {
+            for (iln, id, raw) in placed {
+                let kind = match raw {
+                    RawInst::Alloca { size, align } => InstKind::Alloca { size, align },
+                    RawInst::Load { ty, ptr } => InstKind::Load {
+                        ty,
+                        ptr: resolve(iln, &ptr, m)?,
+                    },
+                    RawInst::Store { val, ptr } => InstKind::Store {
+                        val: resolve(iln, &val, m)?,
+                        ptr: resolve(iln, &ptr, m)?,
+                    },
+                    RawInst::Bin { op, ty, lhs, rhs } => InstKind::Bin {
+                        op,
+                        ty,
+                        lhs: resolve(iln, &lhs, m)?,
+                        rhs: resolve(iln, &rhs, m)?,
+                    },
+                    RawInst::Cmp { op, ty, lhs, rhs } => InstKind::Cmp {
+                        op,
+                        ty,
+                        lhs: resolve(iln, &lhs, m)?,
+                        rhs: resolve(iln, &rhs, m)?,
+                    },
+                    RawInst::Cast { op, val, to } => InstKind::Cast {
+                        op,
+                        val: resolve(iln, &val, m)?,
+                        to,
+                    },
+                    RawInst::Gep {
+                        base,
+                        index,
+                        scale,
+                        offset,
+                    } => InstKind::Gep {
+                        base: resolve(iln, &base, m)?,
+                        index: resolve(iln, &index, m)?,
+                        scale,
+                        offset,
+                    },
+                    RawInst::Call { callee, args, ret } => {
+                        let callee = resolve(iln, &callee, m)?;
+                        let mut rargs = Vec::with_capacity(args.len());
+                        for a in &args {
+                            rargs.push(resolve(iln, a, m)?);
+                        }
+                        InstKind::Call {
+                            callee,
+                            args: rargs,
+                            ret,
+                        }
+                    }
+                    RawInst::Select {
+                        cond,
+                        ty,
+                        on_true,
+                        on_false,
+                    } => InstKind::Select {
+                        cond: resolve(iln, &cond, m)?,
+                        ty,
+                        on_true: resolve(iln, &on_true, m)?,
+                        on_false: resolve(iln, &on_false, m)?,
+                    },
+                    RawInst::Phi { ty, incoming } => {
+                        let mut inc = Vec::with_capacity(incoming.len());
+                        for (bn, v) in &incoming {
+                            inc.push((resolve_block(iln, *bn)?, resolve(iln, v, m)?));
+                        }
+                        InstKind::Phi { ty, incoming: inc }
+                    }
+                };
+                m.func_mut(fid).replace_inst(id, kind);
+                m.func_mut(fid).block_mut(b).insts.push(id);
+            }
+            let t = match term {
+                RawTerm::Br(n) => Terminator::Br(resolve_block(tln, n)?),
+                RawTerm::CondBr(v, a, bb) => Terminator::CondBr {
+                    cond: resolve(tln, &v, m)?,
+                    then_bb: resolve_block(tln, a)?,
+                    else_bb: resolve_block(tln, bb)?,
+                },
+                RawTerm::Ret(None) => Terminator::Ret(None),
+                RawTerm::Ret(Some(v)) => Terminator::Ret(Some(resolve(tln, &v, m)?)),
+                RawTerm::Unreachable => Terminator::Unreachable,
+            };
+            m.func_mut(fid).block_mut(b).term = t;
+        }
+        Ok(())
+    }
+
+    fn parse_value(c: &mut Cursor<'_>) -> Result<RawValue> {
+        if c.eat("%v") {
+            return Ok(RawValue::Inst(c.number_u64()? as u32));
+        }
+        if c.eat("%arg") {
+            return Ok(RawValue::Arg(c.number_u64()? as u32));
+        }
+        if c.eat("@") {
+            return Ok(RawValue::Symbol(c.word()?.to_string()));
+        }
+        if c.eat("null") {
+            return Ok(RawValue::Null);
+        }
+        if c.eat("undef") {
+            return Ok(RawValue::Undef(c.ty()?));
+        }
+        let ty = c.ty()?;
+        if ty.is_float() {
+            // Hex-bits form or decimal.
+            c.skip_ws();
+            if c.rest.starts_with("0x") {
+                let bits = c.number_i64()? as u64;
+                return Ok(RawValue::ConstFloat(bits, ty));
+            }
+            // decimal float: take chars until , ) ] or space
+            let end = c
+                .rest
+                .find([',', ')', ']', ' '])
+                .unwrap_or(c.rest.len());
+            let s = &c.rest[..end];
+            let v: f64 = s
+                .parse()
+                .map_err(|e| c.err(format!("bad float `{s}`: {e}")))?;
+            c.rest = &c.rest[end..];
+            let bits = if ty == Type::F32 {
+                ((v as f32) as f64).to_bits()
+            } else {
+                v.to_bits()
+            };
+            return Ok(RawValue::ConstFloat(bits, ty));
+        }
+        let v = c.number_i64()?;
+        Ok(RawValue::ConstInt(v, ty))
+    }
+
+    fn try_parse_term(c: &mut Cursor<'_>) -> Result<Option<RawTerm>> {
+        if c.eat("br") {
+            c.expect("bb")?;
+            return Ok(Some(RawTerm::Br(c.number_u64()? as u32)));
+        }
+        if c.eat("condbr") {
+            let v = Self::parse_value(c)?;
+            c.expect(",")?;
+            c.expect("bb")?;
+            let a = c.number_u64()? as u32;
+            c.expect(",")?;
+            c.expect("bb")?;
+            let b = c.number_u64()? as u32;
+            return Ok(Some(RawTerm::CondBr(v, a, b)));
+        }
+        if c.eat("ret") {
+            if c.is_empty() {
+                return Ok(Some(RawTerm::Ret(None)));
+            }
+            return Ok(Some(RawTerm::Ret(Some(Self::parse_value(c)?))));
+        }
+        if c.eat("unreachable") {
+            return Ok(Some(RawTerm::Unreachable));
+        }
+        Ok(None)
+    }
+
+    fn parse_inst(c: &mut Cursor<'_>) -> Result<(Option<u32>, RawInst)> {
+        let mut res = None;
+        c.skip_ws();
+        if c.rest.starts_with("%v") {
+            c.expect("%v")?;
+            res = Some(c.number_u64()? as u32);
+            c.expect("=")?;
+        }
+        let op = c.word()?;
+        let inst = match op {
+            "alloca" => {
+                let size = c.number_u64()?;
+                c.expect("align")?;
+                let align = c.number_u64()?;
+                RawInst::Alloca { size, align }
+            }
+            "load" => {
+                let ty = c.ty()?;
+                c.expect(",")?;
+                RawInst::Load {
+                    ty,
+                    ptr: Self::parse_value(c)?,
+                }
+            }
+            "store" => {
+                let val = Self::parse_value(c)?;
+                c.expect(",")?;
+                RawInst::Store {
+                    val,
+                    ptr: Self::parse_value(c)?,
+                }
+            }
+            "cmp" => {
+                let pred = c.word()?;
+                let op = CmpOp::from_mnemonic(pred)
+                    .ok_or_else(|| c.err(format!("unknown predicate `{pred}`")))?;
+                let ty = c.ty()?;
+                let lhs = Self::parse_value(c)?;
+                c.expect(",")?;
+                let rhs = Self::parse_value(c)?;
+                RawInst::Cmp { op, ty, lhs, rhs }
+            }
+            "cast" => {
+                let kind = c.word()?;
+                let op = CastOp::from_mnemonic(kind)
+                    .ok_or_else(|| c.err(format!("unknown cast `{kind}`")))?;
+                let val = Self::parse_value(c)?;
+                c.expect("to")?;
+                let to = c.ty()?;
+                RawInst::Cast { op, val, to }
+            }
+            "gep" => {
+                let base = Self::parse_value(c)?;
+                c.expect(",")?;
+                let index = Self::parse_value(c)?;
+                c.expect(",")?;
+                let scale = c.number_u64()?;
+                c.expect(",")?;
+                let offset = c.number_i64()?;
+                RawInst::Gep {
+                    base,
+                    index,
+                    scale,
+                    offset,
+                }
+            }
+            "call" => {
+                let callee = Self::parse_value(c)?;
+                c.expect("(")?;
+                let mut args = Vec::new();
+                if !c.eat(")") {
+                    loop {
+                        args.push(Self::parse_value(c)?);
+                        if c.eat(")") {
+                            break;
+                        }
+                        c.expect(",")?;
+                    }
+                }
+                c.expect("->")?;
+                let ret = c.ty()?;
+                RawInst::Call { callee, args, ret }
+            }
+            "select" => {
+                let cond = Self::parse_value(c)?;
+                c.expect(",")?;
+                let ty = c.ty()?;
+                let on_true = Self::parse_value(c)?;
+                c.expect(",")?;
+                let on_false = Self::parse_value(c)?;
+                RawInst::Select {
+                    cond,
+                    ty,
+                    on_true,
+                    on_false,
+                }
+            }
+            "phi" => {
+                let ty = c.ty()?;
+                let mut incoming = Vec::new();
+                while c.eat("[") {
+                    c.expect("bb")?;
+                    let b = c.number_u64()? as u32;
+                    c.expect(",")?;
+                    let v = Self::parse_value(c)?;
+                    c.expect("]")?;
+                    incoming.push((b, v));
+                    let _ = c.eat(",");
+                }
+                RawInst::Phi { ty, incoming }
+            }
+            other => {
+                if let Some(op) = BinOp::from_mnemonic(other) {
+                    let ty = c.ty()?;
+                    let lhs = Self::parse_value(c)?;
+                    c.expect(",")?;
+                    let rhs = Self::parse_value(c)?;
+                    RawInst::Bin { op, ty, lhs, rhs }
+                } else {
+                    return Err(c.err(format!("unknown instruction `{other}`")));
+                }
+            }
+        };
+        if !c.is_empty() {
+            return Err(c.err(format!("trailing tokens `{}`", c.rest)));
+        }
+        Ok((res, inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+module "sample"
+
+global @buf : shared 64 align 8 const init [01 ff]
+global @data : global 4096 align 8
+
+kernel @kern generic num_teams(4) source "region"
+
+declare @__kmpc_target_init(i32 %arg0) -> i32
+declare internal @helper(ptr noescape %arg0) -> f64 attrs(pure spmd_amenable)
+
+define @kern(ptr %arg0, i64 %arg1) -> void {
+bb0:
+  %v0 = call @__kmpc_target_init(i32 1) -> i32
+  %v1 = cmp sge i32 %v0, i32 0
+  condbr %v1, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  %v2 = alloca 8 align 8
+  store f64 1.5, %v2
+  %v3 = load f64, %v2
+  %v4 = gep %arg0, %arg1, 8, 0
+  store %v3, %v4
+  %v5 = call @helper(%v2) -> f64
+  %v6 = select %v1, f64 %v5, f64 0x3ff0000000000000
+  br bb3
+bb3:
+  ret
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert_eq!(m.name, "sample");
+        assert_eq!(m.num_functions(), 3);
+        assert_eq!(m.kernels.len(), 1);
+        let k = &m.kernels[0];
+        assert_eq!(m.func(k.func).name, "kern");
+        assert_eq!(k.num_teams, Some(4));
+        let helper = m.func(m.function_id("helper").unwrap());
+        assert!(helper.attrs.pure_fn);
+        assert!(helper.attrs.spmd_amenable);
+        assert!(helper.param_attrs[0].noescape);
+        assert_eq!(helper.linkage, Linkage::Internal);
+        let kern = m.func(m.function_id("kern").unwrap());
+        assert_eq!(kern.num_blocks(), 4);
+    }
+
+    #[test]
+    fn roundtrip_print_parse_print() {
+        let m1 = parse_module(SAMPLE).unwrap();
+        let t1 = print_module(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_module("module \"x\"\nbogus top").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unexpected top-level"));
+    }
+
+    #[test]
+    fn error_on_unknown_value() {
+        let text = "define @f() -> void {\nbb0:\n  store i32 1, %v9\n  ret\n}";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("unknown value"));
+    }
+
+    #[test]
+    fn error_on_missing_terminator() {
+        let text = "define @f() -> void {\nbb0:\n}";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("terminator"));
+    }
+
+    #[test]
+    fn parses_phis_with_forward_refs() {
+        let text = r#"
+define @f(i64 %arg0) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0, i64 0], [bb2, %v2]
+  %v1 = cmp slt i64 %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add i64 %v0, i64 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#;
+        let m = parse_module(text).unwrap();
+        let f = m.func(m.function_id("f").unwrap());
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.num_insts(), 3);
+    }
+}

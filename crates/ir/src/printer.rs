@@ -1,0 +1,309 @@
+//! Textual form of the IR (printer half; see [`crate::parser`] for the
+//! reader). The format round-trips: `parse(print(m))` reproduces an
+//! equivalent module.
+
+use crate::function::{Function, Linkage};
+use crate::inst::{InstKind, Terminator};
+use crate::module::{AddrSpace, ExecMode, Module};
+use crate::types::Type;
+use crate::value::{FuncId, Value};
+use std::fmt::Write;
+
+/// Prints a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    out.push('\n');
+    for g in m.global_ids() {
+        let g = m.global(g);
+        let space = match g.space {
+            AddrSpace::Global => "global",
+            AddrSpace::Shared => "shared",
+        };
+        let _ = write!(out, "global @{} : {} {} align {}", g.name, space, g.size, g.align);
+        if g.is_const {
+            out.push_str(" const");
+        }
+        if let Some(init) = &g.init {
+            out.push_str(" init [");
+            for (i, b) in init.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{b:02x}");
+            }
+            out.push(']');
+        }
+        out.push('\n');
+    }
+    if m.global_ids().next().is_some() {
+        out.push('\n');
+    }
+    for k in &m.kernels {
+        let mode = match k.exec_mode {
+            ExecMode::Generic => "generic",
+            ExecMode::Spmd => "spmd",
+        };
+        let _ = write!(out, "kernel @{} {}", m.func(k.func).name, mode);
+        if let Some(t) = k.num_teams {
+            let _ = write!(out, " num_teams({t})");
+        }
+        if let Some(t) = k.thread_limit {
+            let _ = write!(out, " thread_limit({t})");
+        }
+        let _ = writeln!(out, " source \"{}\"", k.source_name);
+    }
+    if !m.kernels.is_empty() {
+        out.push('\n');
+    }
+    for fid in m.func_ids() {
+        print_function(m, fid, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn attrs_string(f: &Function) -> String {
+    let mut a = Vec::new();
+    if f.attrs.pure_fn {
+        a.push("pure");
+    }
+    if f.attrs.readonly {
+        a.push("readonly");
+    }
+    if f.attrs.spmd_amenable {
+        a.push("spmd_amenable");
+    }
+    if f.attrs.no_openmp {
+        a.push("no_openmp");
+    }
+    if f.attrs.no_sync {
+        a.push("no_sync");
+    }
+    if f.attrs.internalized_copy {
+        a.push("internalized_copy");
+    }
+    if a.is_empty() {
+        String::new()
+    } else {
+        format!(" attrs({})", a.join(" "))
+    }
+}
+
+/// Prints one function (declaration or definition) into `out`.
+pub fn print_function(m: &Module, fid: FuncId, out: &mut String) {
+    let f = m.func(fid);
+    let kw = if f.is_declaration() { "declare" } else { "define" };
+    let link = match f.linkage {
+        Linkage::External => "",
+        Linkage::Internal => "internal ",
+    };
+    let _ = write!(out, "{kw} {link}@{}(", f.name);
+    for (i, (ty, pa)) in f.params.iter().zip(&f.param_attrs).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{ty}");
+        if pa.noescape {
+            out.push_str(" noescape");
+        }
+        if pa.readonly {
+            out.push_str(" readonly");
+        }
+        let _ = write!(out, " %arg{i}");
+    }
+    let _ = write!(out, ") -> {}{}", f.ret, attrs_string(f));
+    if f.is_declaration() {
+        out.push('\n');
+        return;
+    }
+    out.push_str(" {\n");
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{b}:");
+        for &i in &f.block(b).insts {
+            out.push_str("  ");
+            print_inst(m, f, i, out);
+            out.push('\n');
+        }
+        out.push_str("  ");
+        print_term(m, f, &f.block(b).term, out);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+fn val(m: &Module, v: Value) -> String {
+    match v {
+        Value::Inst(id) => format!("{id}"),
+        Value::Arg(n) => format!("%arg{n}"),
+        Value::ConstInt(c, ty) => format!("{ty} {c}"),
+        Value::ConstFloat(bits, ty) => format!("{ty} 0x{bits:016x}"),
+        Value::Global(id) => format!("@{}", m.global(id).name),
+        Value::Func(id) => format!("@{}", m.func(id).name),
+        Value::Null => "null".to_string(),
+        Value::Undef(ty) => format!("undef {ty}"),
+    }
+}
+
+fn print_inst(m: &Module, f: &Function, id: crate::value::InstId, out: &mut String) {
+    let k = f.inst(id);
+    let res = k.result_type();
+    if res != Type::Void {
+        let _ = write!(out, "{id} = ");
+    }
+    match k {
+        InstKind::Alloca { size, align } => {
+            let _ = write!(out, "alloca {size} align {align}");
+        }
+        InstKind::Load { ptr, ty } => {
+            let _ = write!(out, "load {ty}, {}", val(m, *ptr));
+        }
+        InstKind::Store { ptr, val: v } => {
+            let _ = write!(out, "store {}, {}", val(m, *v), val(m, *ptr));
+        }
+        InstKind::Bin { op, ty, lhs, rhs } => {
+            let _ = write!(out, "{op} {ty} {}, {}", val(m, *lhs), val(m, *rhs));
+        }
+        InstKind::Cmp { op, ty, lhs, rhs } => {
+            let _ = write!(out, "cmp {op} {ty} {}, {}", val(m, *lhs), val(m, *rhs));
+        }
+        InstKind::Cast { op, val: v, to } => {
+            let _ = write!(out, "cast {op} {} to {to}", val(m, *v));
+        }
+        InstKind::Gep {
+            base,
+            index,
+            scale,
+            offset,
+        } => {
+            let _ = write!(
+                out,
+                "gep {}, {}, {scale}, {offset}",
+                val(m, *base),
+                val(m, *index)
+            );
+        }
+        InstKind::Call { callee, args, ret } => {
+            let _ = write!(out, "call {}(", val(m, *callee));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&val(m, *a));
+            }
+            let _ = write!(out, ") -> {ret}");
+        }
+        InstKind::Select {
+            cond,
+            ty,
+            on_true,
+            on_false,
+        } => {
+            let _ = write!(
+                out,
+                "select {}, {ty} {}, {}",
+                val(m, *cond),
+                val(m, *on_true),
+                val(m, *on_false)
+            );
+        }
+        InstKind::Phi { ty, incoming } => {
+            let _ = write!(out, "phi {ty}");
+            for (i, (b, v)) in incoming.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                let _ = write!(out, "{sep}[{b}, {}]", val(m, *v));
+            }
+        }
+    }
+}
+
+fn print_term(m: &Module, _f: &Function, t: &Terminator, out: &mut String) {
+    match t {
+        Terminator::Br(b) => {
+            let _ = write!(out, "br {b}");
+        }
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            let _ = write!(out, "condbr {}, {then_bb}, {else_bb}", val(m, *cond));
+        }
+        Terminator::Ret(None) => out.push_str("ret"),
+        Terminator::Ret(Some(v)) => {
+            let _ = write!(out, "ret {}", val(m, *v));
+        }
+        Terminator::Unreachable => out.push_str("unreachable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::function::Function;
+    use crate::inst::{BinOp, CmpOp};
+    use crate::module::{Global, KernelInfo};
+
+    #[test]
+    fn prints_declaration_and_definition() {
+        let mut m = Module::new("t");
+        m.add_function(Function::declaration(
+            "ext",
+            vec![Type::I32, Type::Ptr],
+            Type::F64,
+        ));
+        let f = m.add_function(Function::definition("k", vec![Type::I64], Type::I64));
+        let mut b = Builder::at_entry(&mut m, f);
+        let v = b.bin(BinOp::Add, Type::I64, Value::Arg(0), Value::i64(1));
+        let c = b.cmp(CmpOp::Slt, Type::I64, v, Value::i64(10));
+        let s = b.select(c, Type::I64, v, Value::i64(0));
+        b.ret(Some(s));
+        let text = print_module(&m);
+        assert!(text.contains("declare @ext(i32 %arg0, ptr %arg1) -> f64"));
+        assert!(text.contains("define @k(i64 %arg0) -> i64 {"));
+        assert!(text.contains("add i64 %arg0, i64 1"));
+        assert!(text.contains("cmp slt i64"));
+        assert!(text.contains("select"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn prints_globals_and_kernels() {
+        let mut m = Module::new("t");
+        m.add_global(Global {
+            name: "buf".into(),
+            size: 64,
+            align: 8,
+            space: AddrSpace::Shared,
+            init: Some(vec![1, 2, 255]),
+            is_const: true,
+        });
+        let f = m.add_function(Function::definition("kern", vec![], Type::Void));
+        m.kernels.push(KernelInfo {
+            func: f,
+            exec_mode: ExecMode::Generic,
+            num_teams: Some(8),
+            thread_limit: Some(128),
+            source_name: "region".into(),
+        });
+        let mut b = Builder::at_entry(&mut m, f);
+        b.ret(None);
+        let text = print_module(&m);
+        assert!(text.contains("global @buf : shared 64 align 8 const init [01 02 ff]"));
+        assert!(text
+            .contains("kernel @kern generic num_teams(8) thread_limit(128) source \"region\""));
+    }
+
+    #[test]
+    fn prints_attrs_and_param_attrs() {
+        let mut m = Module::new("t");
+        let mut f = Function::declaration("h", vec![Type::Ptr], Type::Void);
+        f.attrs.spmd_amenable = true;
+        f.attrs.pure_fn = true;
+        f.param_attrs[0].noescape = true;
+        m.add_function(f);
+        let text = print_module(&m);
+        assert!(text.contains("@h(ptr noescape %arg0) -> void attrs(pure spmd_amenable)"));
+    }
+}

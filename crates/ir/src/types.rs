@@ -1,0 +1,130 @@
+//! Scalar types of the IR.
+//!
+//! The IR is deliberately small: scalar integers, floats, and an opaque
+//! pointer type (like modern LLVM). Aggregates are modelled as byte blobs
+//! addressed through [`Type::Ptr`] with explicit offset arithmetic
+//! ([`crate::InstKind::Gep`]).
+
+use std::fmt;
+
+/// A scalar IR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// The unit type; only valid as a function return type.
+    Void,
+    /// A one-bit boolean.
+    I1,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A 32-bit IEEE-754 float.
+    F32,
+    /// A 64-bit IEEE-754 float.
+    F64,
+    /// An opaque pointer (64-bit, address-space agnostic).
+    Ptr,
+}
+
+impl Type {
+    /// Size of a value of this type in bytes, as stored in memory.
+    ///
+    /// `I1` occupies one byte; `Void` has no storage and returns 0.
+    pub fn size(self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::I1 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+        }
+    }
+
+    /// Natural alignment in bytes (same as [`Type::size`] except `Void`).
+    pub fn align(self) -> u64 {
+        self.size().max(1)
+    }
+
+    /// Whether this is one of the integer types (`i1`, `i32`, `i64`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this is one of the floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether a value of this type can be produced by an instruction.
+    pub fn is_first_class(self) -> bool {
+        self != Type::Void
+    }
+
+    /// Bit width for integer types; `None` otherwise.
+    pub fn int_bits(self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Void => "void",
+            Type::I1 => "i1",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_alignment() {
+        assert_eq!(Type::Void.size(), 0);
+        assert_eq!(Type::I1.size(), 1);
+        assert_eq!(Type::I32.size(), 4);
+        assert_eq!(Type::F32.size(), 4);
+        assert_eq!(Type::I64.size(), 8);
+        assert_eq!(Type::F64.size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+        assert_eq!(Type::Void.align(), 1);
+        assert_eq!(Type::F64.align(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I1.is_int());
+        assert!(Type::I32.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F64.is_float());
+        assert!(!Type::Ptr.is_float());
+        assert!(!Type::Void.is_first_class());
+        assert!(Type::Ptr.is_first_class());
+    }
+
+    #[test]
+    fn int_bits() {
+        assert_eq!(Type::I1.int_bits(), Some(1));
+        assert_eq!(Type::I32.int_bits(), Some(32));
+        assert_eq!(Type::I64.int_bits(), Some(64));
+        assert_eq!(Type::F32.int_bits(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

@@ -1,0 +1,195 @@
+//! Values: SSA results, arguments, and constants.
+
+use crate::types::Type;
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("entity index overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifies an instruction within its [`crate::Function`].
+    InstId,
+    "%v"
+);
+entity_id!(
+    /// Identifies a basic block within its [`crate::Function`].
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Identifies a function within its [`crate::Module`].
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Identifies a global variable within its [`crate::Module`].
+    GlobalId,
+    "gv"
+);
+
+/// An SSA value: either the result of an instruction, a function argument,
+/// or a constant. `Value` is small and `Copy`; instructions store their
+/// operands as `Value`s directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The result of instruction `InstId` in the enclosing function.
+    Inst(InstId),
+    /// The `n`-th formal argument of the enclosing function.
+    Arg(u32),
+    /// An integer constant of the given type (`i1`, `i32` or `i64`).
+    /// The payload is sign-extended to `i64`.
+    ConstInt(i64, Type),
+    /// A floating-point constant. Stored as raw IEEE-754 bits of the
+    /// `f64` representation so `Value` can be `Eq + Hash`.
+    ConstFloat(u64, Type),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// The address of a function (used for indirect calls and as callee).
+    Func(FuncId),
+    /// The null pointer.
+    Null,
+    /// An undefined value of the given type.
+    Undef(Type),
+}
+
+impl Value {
+    /// Convenience constructor for an `i32` constant.
+    pub fn i32(v: i32) -> Value {
+        Value::ConstInt(v as i64, Type::I32)
+    }
+
+    /// Convenience constructor for an `i64` constant.
+    pub fn i64(v: i64) -> Value {
+        Value::ConstInt(v, Type::I64)
+    }
+
+    /// Convenience constructor for an `i1` (boolean) constant.
+    pub fn bool(v: bool) -> Value {
+        Value::ConstInt(v as i64, Type::I1)
+    }
+
+    /// Convenience constructor for an `f32` constant.
+    pub fn f32(v: f32) -> Value {
+        Value::ConstFloat((v as f64).to_bits(), Type::F32)
+    }
+
+    /// Convenience constructor for an `f64` constant.
+    pub fn f64(v: f64) -> Value {
+        Value::ConstFloat(v.to_bits(), Type::F64)
+    }
+
+    /// The `f64` payload of a float constant, if this is one.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Value::ConstFloat(bits, _) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// The integer payload of an integer constant, if this is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::ConstInt(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is any kind of constant (including globals,
+    /// function addresses, null and undef).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Value::Inst(_) | Value::Arg(_))
+    }
+
+    /// Whether this is an integer constant equal to `v` (any width).
+    pub fn is_int_const(self, v: i64) -> bool {
+        matches!(self, Value::ConstInt(c, _) if c == v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "{id}"),
+            Value::Arg(n) => write!(f, "%arg{n}"),
+            Value::ConstInt(v, ty) => write!(f, "{ty} {v}"),
+            Value::ConstFloat(bits, ty) => {
+                write!(f, "{ty} 0x{bits:016x}")
+            }
+            Value::Global(id) => write!(f, "@{id}"),
+            Value::Func(id) => write!(f, "@{id}"),
+            Value::Null => write!(f, "null"),
+            Value::Undef(ty) => write!(f, "{ty} undef"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_id_roundtrip() {
+        let id = InstId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "%v42");
+        assert_eq!(BlockId::from_index(3).to_string(), "bb3");
+        assert_eq!(FuncId::from_index(1).to_string(), "fn1");
+        assert_eq!(GlobalId::from_index(0).to_string(), "gv0");
+    }
+
+    #[test]
+    fn constant_constructors() {
+        assert_eq!(Value::i32(7), Value::ConstInt(7, Type::I32));
+        assert_eq!(Value::i64(-1), Value::ConstInt(-1, Type::I64));
+        assert_eq!(Value::bool(true), Value::ConstInt(1, Type::I1));
+        assert_eq!(Value::f64(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::f32(2.0).as_float(), Some(2.0));
+        assert_eq!(Value::i32(9).as_int(), Some(9));
+        assert_eq!(Value::f64(1.0).as_int(), None);
+    }
+
+    #[test]
+    fn const_classification() {
+        assert!(Value::i32(0).is_const());
+        assert!(Value::Null.is_const());
+        assert!(Value::Undef(Type::I32).is_const());
+        assert!(Value::Global(GlobalId(0)).is_const());
+        assert!(!Value::Inst(InstId(0)).is_const());
+        assert!(!Value::Arg(0).is_const());
+        assert!(Value::i32(5).is_int_const(5));
+        assert!(!Value::i32(5).is_int_const(6));
+        assert!(!Value::f64(5.0).is_int_const(5));
+    }
+
+    #[test]
+    fn float_constants_are_hashable_and_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::f64(1.0));
+        assert!(s.contains(&Value::f64(1.0)));
+        assert!(!s.contains(&Value::f64(2.0)));
+    }
+}

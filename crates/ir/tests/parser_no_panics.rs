@@ -1,0 +1,49 @@
+//! The textual-IR parser must reject garbage with errors, never panic.
+
+use omp_ir::parser::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(src in "[ -~\\n]{0,300}") {
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn mutated_ir_never_panics(cut in 0usize..500, sub in 0usize..500, ch in 32u8..126) {
+        let base = r#"
+module "m"
+global @g : shared 16 align 8
+kernel @k spmd source "k"
+declare @ext(i32 %arg0) -> f64
+define @k(ptr %arg0) -> void {
+bb0:
+  %v0 = alloca 8 align 8
+  store f64 1.5, %v0
+  %v1 = load f64, %v0
+  %v2 = call @ext(i32 3) -> f64
+  %v3 = fadd f64 %v1, %v2
+  store %v3, %arg0
+  condbr i1 1, bb1, bb2
+bb1:
+  ret
+bb2:
+  %v4 = phi i64 [bb0, i64 0]
+  ret
+}
+"#;
+        let mut s: Vec<char> = base.chars().collect();
+        if !s.is_empty() {
+            let c = cut % s.len();
+            s.truncate(s.len() - c);
+        }
+        if !s.is_empty() {
+            let i = sub % s.len();
+            s[i] = ch as char;
+        }
+        let text: String = s.into_iter().collect();
+        let _ = parse_module(&text);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests on the IR itself: randomly generated (valid by
+//! construction) functions must verify, print, re-parse, and reach a
+//! textual fixed point; constant folding must agree with itself under
+//! operand commutation where the operator is commutative.
+
+use omp_ir::{
+    fold, parser, printer, verifier, BinOp, Builder, CmpOp, Function, Module, Type, Value,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Bin(u8, u8, u8),    // op selector, lhs selector, rhs selector
+    Cmp(u8, u8, u8),    // predicate selector, lhs, rhs
+    Select(u8, u8, u8), // cond from cmp pool, arms
+    CastToI64(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::Bin(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::Cmp(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::Select(a, b, c)),
+        any::<u8>().prop_map(Step::CastToI64),
+    ]
+}
+
+const INT_OPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::SDiv,
+    BinOp::SRem,
+    BinOp::Shl,
+];
+
+const PREDS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Slt,
+    CmpOp::Sle,
+    CmpOp::Ugt,
+    CmpOp::Uge,
+];
+
+/// Builds a random straight-line function from the recipe; returns the
+/// module. Every operand choice indexes into the pool of previously
+/// defined i32 values, so the result is always verifier-clean.
+fn build_module(steps: &[Step]) -> Module {
+    let mut m = Module::new("prop");
+    let f = m.add_function(Function::definition(
+        "f",
+        vec![Type::I32, Type::I32],
+        Type::I32,
+    ));
+    let mut b = Builder::at_entry(&mut m, f);
+    let mut ints: Vec<Value> = vec![Value::Arg(0), Value::Arg(1), Value::i32(7), Value::i32(-3)];
+    let mut bools: Vec<Value> = vec![Value::bool(true)];
+    for s in steps {
+        match s {
+            Step::Bin(op, l, r) => {
+                let op = INT_OPS[*op as usize % INT_OPS.len()];
+                let lhs = ints[*l as usize % ints.len()];
+                let mut rhs = ints[*r as usize % ints.len()];
+                // Keep every operation defined: divisors nonzero, shift
+                // amounts in range. (Undefined values would let identity
+                // simplifications like `x - x -> 0` legitimately refine
+                // results the step evaluator calls undefined.)
+                match op {
+                    BinOp::SDiv | BinOp::SRem => {
+                        rhs = b.bin(BinOp::Or, Type::I32, rhs, Value::i32(1));
+                        ints.push(rhs);
+                    }
+                    BinOp::Shl => {
+                        rhs = b.bin(BinOp::And, Type::I32, rhs, Value::i32(7));
+                        ints.push(rhs);
+                    }
+                    _ => {}
+                }
+                ints.push(b.bin(op, Type::I32, lhs, rhs));
+            }
+            Step::Cmp(p, l, r) => {
+                let op = PREDS[*p as usize % PREDS.len()];
+                let lhs = ints[*l as usize % ints.len()];
+                let rhs = ints[*r as usize % ints.len()];
+                bools.push(b.cmp(op, Type::I32, lhs, rhs));
+            }
+            Step::Select(c, t, e) => {
+                let cond = bools[*c as usize % bools.len()];
+                let tv = ints[*t as usize % ints.len()];
+                let ev = ints[*e as usize % ints.len()];
+                ints.push(b.select(cond, Type::I32, tv, ev));
+            }
+            Step::CastToI64(v) => {
+                let val = ints[*v as usize % ints.len()];
+                let wide = b.cast(omp_ir::CastOp::SExt, val, Type::I64);
+                let back = b.cast(omp_ir::CastOp::Trunc, wide, Type::I32);
+                ints.push(back);
+            }
+        }
+    }
+    let ret = *ints.last().unwrap();
+    b.ret(Some(ret));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_functions_verify_and_roundtrip(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let m = build_module(&steps);
+        prop_assert!(verifier::verify_module(&m).is_empty());
+        let t1 = printer::print_module(&m);
+        let m2 = parser::parse_module(&t1).expect("parse");
+        prop_assert!(verifier::verify_module(&m2).is_empty());
+        let t2 = printer::print_module(&m2);
+        let m3 = parser::parse_module(&t2).expect("reparse");
+        let t3 = printer::print_module(&m3);
+        prop_assert_eq!(t2, t3);
+    }
+
+    #[test]
+    fn passes_preserve_straight_line_semantics(steps in prop::collection::vec(step_strategy(), 1..30)) {
+        // Optimizing a straight-line function must not change the
+        // constant it folds to when all inputs are constants: replace
+        // the arguments with literals and compare the fully-folded
+        // return against itself after the pipeline.
+        let m = build_module(&steps);
+        let mut a = m.clone();
+        // Substituting args for constants makes everything foldable.
+        let fid = a.func_ids().next().unwrap();
+        a.func_mut(fid).replace_all_uses(Value::Arg(0), Value::i32(11));
+        a.func_mut(fid).replace_all_uses(Value::Arg(1), Value::i32(-5));
+        let mut b = a.clone();
+        omp_passes::run_pipeline(&mut b);
+        prop_assert!(verifier::verify_module(&b).is_empty());
+        // With all inputs constant and every operation defined, the
+        // pipeline must fold the return to exactly the value the
+        // demand-driven evaluator computes. `i32::MIN / -1` remains the
+        // one intentionally-undefined corner (the folder refuses it);
+        // the generator's small literals combined with `| 1` divisors
+        // can still reach it through wrapping arithmetic, so tolerate an
+        // unfolded return only when the evaluator also says undefined.
+        let bf = b.func(fid);
+        let expected = eval_straight_line(&a, fid);
+        match bf.block(bf.entry()).term {
+            omp_ir::Terminator::Ret(Some(v @ Value::ConstInt(..))) => {
+                if let Some(e) = expected {
+                    prop_assert_eq!(v, e);
+                }
+            }
+            omp_ir::Terminator::Ret(Some(_)) => {
+                prop_assert!(
+                    expected.is_none(),
+                    "pipeline failed to fold a defined constant expression"
+                );
+            }
+            ref t => prop_assert!(false, "unexpected terminator {:?}", t),
+        }
+    }
+}
+
+/// Evaluates the return value of a straight-line function with constant
+/// operands by demand-driven constant folding — only the instructions
+/// the result actually depends on are evaluated (dead instructions may
+/// be undefined without affecting the result, mirroring DCE).
+/// `None` when a *needed* step is undefined.
+fn eval_straight_line(m: &Module, fid: omp_ir::FuncId) -> Option<Value> {
+    use std::collections::HashMap;
+    let f = m.func(fid);
+    fn eval(
+        f: &Function,
+        v: Value,
+        memo: &mut HashMap<omp_ir::InstId, Option<Value>>,
+    ) -> Option<Value> {
+        match v {
+            Value::Inst(i) => {
+                if let Some(r) = memo.get(&i) {
+                    return *r;
+                }
+                let mut k = f.inst(i).clone();
+                let mut ok = true;
+                k.map_operands(|op| match eval(f, op, memo) {
+                    Some(r) => r,
+                    None => {
+                        ok = false;
+                        op
+                    }
+                });
+                let r = if ok { fold::fold_inst(&k) } else { None };
+                memo.insert(i, r);
+                r
+            }
+            other => Some(other),
+        }
+    }
+    let mut memo = HashMap::new();
+    match f.block(f.entry()).term {
+        omp_ir::Terminator::Ret(Some(v)) => eval(f, v, &mut memo),
+        _ => None,
+    }
+}

@@ -1,0 +1,83 @@
+//! Configuration of the OpenMP optimization pass, mirroring the LLVM
+//! flags listed in the paper's artifact appendix.
+
+/// Which OpenMP-specific optimizations run. Field names follow the
+/// artifact's `openmp-opt-disable-*` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenMpOptConfig {
+    /// `openmp-opt-disable-spmdization`.
+    pub disable_spmdization: bool,
+    /// `openmp-opt-disable-deglobalization` (HeapToStack + HeapToShared).
+    pub disable_deglobalization: bool,
+    /// `openmp-opt-disable-state-machine-rewrite`.
+    pub disable_state_machine_rewrite: bool,
+    /// `openmp-opt-disable-folding` (runtime-call constant folding).
+    pub disable_folding: bool,
+    /// Disable aggressive internalization of external definitions.
+    pub disable_internalization: bool,
+    /// Enable the D102107-style HeapToStack extension that chases
+    /// pointers through capture structs of SPMDized (devirtualized)
+    /// parallel regions. With it SU3Bench's locals land on the stack as
+    /// in the paper's Figure 9; without it they land in shared memory as
+    /// in the published artifact.
+    pub spmd_capture_heap_to_stack: bool,
+    /// Run the generic cleanup pipeline (mem2reg/const-prop/DCE/CFG)
+    /// after the OpenMP transformations.
+    pub run_cleanup_pipeline: bool,
+    /// Ablation: emit one guard region per side effect (the naive
+    /// scheme of Figure 7b) instead of grouping side effects into
+    /// shared guard regions (Figure 7c).
+    pub disable_guard_grouping: bool,
+}
+
+impl Default for OpenMpOptConfig {
+    fn default() -> Self {
+        OpenMpOptConfig {
+            disable_spmdization: false,
+            disable_deglobalization: false,
+            disable_state_machine_rewrite: false,
+            disable_folding: false,
+            disable_internalization: false,
+            spmd_capture_heap_to_stack: true,
+            run_cleanup_pipeline: true,
+            disable_guard_grouping: false,
+        }
+    }
+}
+
+impl OpenMpOptConfig {
+    /// Everything off — the "No OpenMP Optimization" configuration of
+    /// the paper's Figure 11.
+    pub fn all_disabled() -> OpenMpOptConfig {
+        OpenMpOptConfig {
+            disable_spmdization: true,
+            disable_deglobalization: true,
+            disable_state_machine_rewrite: true,
+            disable_folding: true,
+            disable_internalization: true,
+            spmd_capture_heap_to_stack: false,
+            run_cleanup_pipeline: true,
+            disable_guard_grouping: false,
+        }
+    }
+
+    /// Everything on (the LLVM Dev configuration).
+    pub fn all_enabled() -> OpenMpOptConfig {
+        OpenMpOptConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let off = OpenMpOptConfig::all_disabled();
+        assert!(off.disable_spmdization && off.disable_folding);
+        assert!(off.run_cleanup_pipeline);
+        let on = OpenMpOptConfig::all_enabled();
+        assert!(!on.disable_spmdization);
+        assert!(on.spmd_capture_heap_to_stack);
+    }
+}

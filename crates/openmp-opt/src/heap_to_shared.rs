@@ -1,0 +1,205 @@
+//! HeapToShared (paper Section IV-A).
+//!
+//! When HeapToStack cannot fire (the pointer is genuinely shared with
+//! other threads), but the runtime allocation is only executed by the
+//! team's main thread, the allocation is replaced by a statically
+//! allocated shared-memory global. This removes all allocation
+//! instructions, exposes the memory to later optimizations, and trades
+//! kernel-lifetime occupancy for speed — exactly the trade the paper
+//! found always worthwhile.
+
+use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use omp_ir::{AddrSpace, FuncId, Global, InstId, InstKind, Module, RtlFn, Value};
+use std::collections::HashSet;
+
+/// Result counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapToSharedResult {
+    /// Allocations replaced by static shared memory.
+    pub moved: usize,
+    /// Allocations left as runtime calls (data-sharing remark emitted).
+    pub remaining: usize,
+}
+
+/// Maximum size moved to shared memory without user opt-in.
+const MAX_SHARED_BYTES: u64 = 16 * 1024;
+
+/// Runs HeapToShared. `main_only_allocs` holds the `(function, alloc)`
+/// pairs proven (before any SPMDization) to execute on the team main
+/// thread only; `recursive` the set of functions that may recurse (their
+/// allocations cannot get a single static slot).
+pub fn run(
+    m: &mut Module,
+    main_only_allocs: &HashSet<(FuncId, InstId)>,
+    recursive: &HashSet<FuncId>,
+    remarks: &mut Remarks,
+) -> HeapToSharedResult {
+    let mut result = HeapToSharedResult::default();
+    let mut counter = 0usize;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        if m.func(fid).is_declaration() {
+            continue;
+        }
+        let fname = m.func(fid).name.clone();
+        // Collect candidates.
+        let mut candidates: Vec<(InstId, u64)> = Vec::new();
+        let mut blocked: Vec<InstId> = Vec::new();
+        m.func(fid).for_each_inst(|_, i, k| {
+            if let InstKind::Call {
+                callee: Value::Func(c),
+                args,
+                ..
+            } = k
+            {
+                if m.func(*c).name != RtlFn::AllocShared.name() {
+                    return;
+                }
+                let size = match args.first() {
+                    Some(Value::ConstInt(s, _)) if *s >= 0 => *s as u64,
+                    _ => {
+                        blocked.push(i);
+                        return;
+                    }
+                };
+                if main_only_allocs.contains(&(fid, i))
+                    && !recursive.contains(&fid)
+                    && size <= MAX_SHARED_BYTES
+                {
+                    candidates.push((i, size));
+                } else {
+                    blocked.push(i);
+                }
+            }
+        });
+        for (alloc, size) in candidates {
+            let g = m.add_global(Global {
+                name: format!("__omp_static_shared.{counter}"),
+                size,
+                align: 8,
+                space: AddrSpace::Shared,
+                init: None,
+                is_const: false,
+            });
+            counter += 1;
+            sharify(m, fid, alloc, g);
+            result.moved += 1;
+            remarks.push(Remark::new(
+                ids::MOVED_TO_SHARED,
+                RemarkKind::Passed,
+                fname.clone(),
+                format!("Replacing globalized variable with {size} bytes of shared memory."),
+            ));
+        }
+        for _ in &blocked {
+            result.remaining += 1;
+            remarks.push(Remark::new(
+                ids::DATA_SHARING_REMAINS,
+                RemarkKind::Missed,
+                fname.clone(),
+                "Found thread data sharing on the GPU. Expect degraded performance \
+                 due to data globalization.",
+            ));
+        }
+    }
+    result
+}
+
+fn sharify(m: &mut Module, fid: FuncId, alloc: InstId, g: omp_ir::GlobalId) {
+    let p = Value::Inst(alloc);
+    let f = m.func(fid);
+    let mut frees: Vec<InstId> = Vec::new();
+    f.for_each_inst(|_, i, k| {
+        if let InstKind::Call {
+            callee: Value::Func(c),
+            args,
+            ..
+        } = k
+        {
+            if m.func(*c).name == RtlFn::FreeShared.name() && args.first() == Some(&p) {
+                frees.push(i);
+            }
+        }
+    });
+    let fm = m.func_mut(fid);
+    for i in frees {
+        fm.remove_inst(i);
+    }
+    fm.replace_all_uses(p, Value::Global(g));
+    fm.remove_inst(alloc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{Builder, Function, Type};
+
+    fn setup() -> (Module, FuncId, InstId) {
+        let mut m = Module::new("t");
+        let sink = m.add_function(Function::declaration("sink", vec![Type::Ptr], Type::Void));
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.call_rtl(RtlFn::AllocShared, vec![Value::i64(16)]);
+        b.call(sink, vec![p]); // escapes: HeapToStack would fail
+        b.call_rtl(RtlFn::FreeShared, vec![p, Value::i64(16)]);
+        b.ret(None);
+        let Value::Inst(alloc) = p else { panic!() };
+        (m, f, alloc)
+    }
+
+    #[test]
+    fn main_only_allocation_becomes_static_shared() {
+        let (mut m, f, alloc) = setup();
+        let mut rem = Remarks::default();
+        let facts: HashSet<_> = [(f, alloc)].into_iter().collect();
+        let r = run(&mut m, &facts, &HashSet::new(), &mut rem);
+        assert_eq!(r.moved, 1);
+        assert_eq!(r.remaining, 0);
+        assert_eq!(m.static_shared_bytes(), 16);
+        assert_eq!(rem.count(ids::MOVED_TO_SHARED), 1);
+        omp_ir::verifier::assert_valid(&m);
+        let text = omp_ir::printer::print_module(&m);
+        assert!(!text.contains("call @__kmpc_alloc_shared"));
+        assert!(text.contains("__omp_static_shared.0 : shared 16"));
+    }
+
+    #[test]
+    fn multi_thread_allocation_stays_with_remark() {
+        let (mut m, _f, _alloc) = setup();
+        let mut rem = Remarks::default();
+        let r = run(&mut m, &HashSet::new(), &HashSet::new(), &mut rem);
+        assert_eq!(r.moved, 0);
+        assert_eq!(r.remaining, 1);
+        assert_eq!(rem.count(ids::DATA_SHARING_REMAINS), 1);
+        let text = omp_ir::printer::print_module(&m);
+        assert!(text.contains("__kmpc_alloc_shared"));
+    }
+
+    #[test]
+    fn recursive_functions_are_skipped() {
+        let (mut m, f, alloc) = setup();
+        let mut rem = Remarks::default();
+        let facts: HashSet<_> = [(f, alloc)].into_iter().collect();
+        let rec: HashSet<_> = [f].into_iter().collect();
+        let r = run(&mut m, &facts, &rec, &mut rem);
+        assert_eq!(r.moved, 0);
+        assert_eq!(r.remaining, 1);
+    }
+
+    #[test]
+    fn oversized_allocations_are_skipped() {
+        let mut m = Module::new("t");
+        let sink = m.add_function(Function::declaration("sink", vec![Type::Ptr], Type::Void));
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.call_rtl(RtlFn::AllocShared, vec![Value::i64(64 * 1024)]);
+        b.call(sink, vec![p]);
+        b.call_rtl(RtlFn::FreeShared, vec![p, Value::i64(64 * 1024)]);
+        b.ret(None);
+        let Value::Inst(alloc) = p else { panic!() };
+        let facts: HashSet<_> = [(f, alloc)].into_iter().collect();
+        let mut rem = Remarks::default();
+        let r = run(&mut m, &facts, &HashSet::new(), &mut rem);
+        assert_eq!(r.moved, 0);
+        assert_eq!(r.remaining, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Aggressive internalization (paper Section IV, preamble).
+//!
+//! The inter-procedural analyses "perform best with full visibility of
+//! the kernel, called functions, and the callers of all functions". An
+//! externally visible function could be called from anywhere, poisoning
+//! execution-domain and escape facts. We therefore duplicate every
+//! external-linkage definition: the internal copy is used by all callers
+//! inside the module (full caller visibility), while the original is
+//! kept for unknown external callers.
+
+use omp_ir::{FuncId, Function, Linkage, Module, Value};
+
+/// Runs internalization. Returns the number of functions duplicated.
+pub fn run(m: &mut Module) -> usize {
+    let candidates: Vec<FuncId> = m
+        .func_ids()
+        .filter(|&f| {
+            let fun = m.func(f);
+            !fun.is_declaration()
+                && fun.linkage == Linkage::External
+                && !m.is_kernel(f)
+                && !fun.attrs.internalized_copy
+                && m.function_id(&format!("{}.internalized", fun.name)).is_none()
+        })
+        .collect();
+    let mut mapping: Vec<(FuncId, FuncId)> = Vec::new();
+    for orig in candidates {
+        let mut copy: Function = m.func(orig).clone();
+        copy.name = format!("{}.internalized", copy.name);
+        copy.linkage = Linkage::Internal;
+        copy.attrs.internalized_copy = true;
+        let copy_id = m.add_function(copy);
+        mapping.push((orig, copy_id));
+    }
+    // Redirect every module-internal use to the internal copy (call
+    // sites and address-taken uses alike).
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        if m.func(fid).is_declaration() {
+            continue;
+        }
+        for &(orig, copy) in &mapping {
+            m.func_mut(fid)
+                .replace_all_uses(Value::Func(orig), Value::Func(copy));
+        }
+    }
+    mapping.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{Builder, ExecMode, KernelInfo, Type};
+
+    #[test]
+    fn duplicates_external_definitions() {
+        let mut m = Module::new("t");
+        let helper = m.add_function(Function::definition("helper", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, helper);
+            b.ret(None);
+        }
+        let kern = m.add_function(Function::definition("kern", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, kern);
+            b.call(helper, vec![]);
+            b.ret(None);
+        }
+        m.kernels.push(KernelInfo {
+            func: kern,
+            exec_mode: ExecMode::Generic,
+            num_teams: None,
+            thread_limit: None,
+            source_name: "kern".into(),
+        });
+        assert_eq!(run(&mut m), 1);
+        let copy = m.function_id("helper.internalized").unwrap();
+        assert_eq!(m.func(copy).linkage, Linkage::Internal);
+        assert!(m.func(copy).attrs.internalized_copy);
+        // The kernel now calls the copy.
+        let kf = m.func(kern);
+        let mut calls_copy = false;
+        kf.for_each_inst(|_, _, k| {
+            if let omp_ir::InstKind::Call {
+                callee: Value::Func(c),
+                ..
+            } = k
+            {
+                calls_copy |= *c == copy;
+            }
+        });
+        assert!(calls_copy);
+        // Original remains, externally visible.
+        assert_eq!(m.func(helper).linkage, Linkage::External);
+    }
+
+    #[test]
+    fn skips_kernels_declarations_and_internals() {
+        let mut m = Module::new("t");
+        m.add_function(Function::declaration("decl", vec![], Type::Void));
+        let mut internal = Function::definition("already", vec![], Type::Void);
+        internal.linkage = Linkage::Internal;
+        let i = m.add_function(internal);
+        {
+            let mut b = Builder::at_entry(&mut m, i);
+            b.ret(None);
+        }
+        let kern = m.add_function(Function::definition("kern", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, kern);
+            b.ret(None);
+        }
+        m.kernels.push(KernelInfo {
+            func: kern,
+            exec_mode: ExecMode::Spmd,
+            num_teams: None,
+            thread_limit: None,
+            source_name: "kern".into(),
+        });
+        assert_eq!(run(&mut m), 0);
+    }
+
+    #[test]
+    fn idempotent_on_copies() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, f);
+            b.ret(None);
+        }
+        assert_eq!(run(&mut m), 1);
+        // Running again must not duplicate the copy (only `f` itself,
+        // which already has a copy — but re-running would clash on the
+        // name; the attribute check prevents re-copying copies, and the
+        // unique-name assertion guards the rest).
+        // `f` would be duplicated again under a clashing name; verify
+        // the copy is not.
+        let copy = m.function_id("f.internalized").unwrap();
+        assert!(m.func(copy).attrs.internalized_copy);
+    }
+}

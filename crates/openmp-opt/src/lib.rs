@@ -1,0 +1,191 @@
+//! # omp-opt
+//!
+//! The paper's contribution: OpenMP-aware inter-procedural analyses and
+//! optimizations over `omp-ir`, reproducing LLVM's `OpenMPOpt` pass as
+//! described in *"Efficient Execution of OpenMP on GPUs"* (CGO 2022):
+//!
+//! * aggressive [`internalize`]-ation for full caller visibility;
+//! * [`spmdization`] of generic-mode kernels with side-effect guard
+//!   grouping (Figure 7), value broadcasts, and parallel-region
+//!   devirtualization;
+//! * deglobalization: [`heap_to_stack`] and [`heap_to_shared`]
+//!   (Section IV-A, Figures 4–6);
+//! * the custom [`state_machine`] rewrite eliminating function pointers
+//!   and indirect dispatch (Section IV-B2);
+//! * OpenMP runtime-call [`folding`] (Section IV-C);
+//! * optimization [`remarks`] with `OMPxxx` identifiers and OpenMP 5.1
+//!   assumption handling (Section IV-D).
+//!
+//! [`run`] drives everything in the order the paper's pipeline uses and
+//! returns the per-category counts of the paper's Figure 9.
+
+pub mod config;
+pub mod folding;
+pub mod heap_to_shared;
+pub mod heap_to_stack;
+pub mod internalize;
+pub mod remarks;
+pub mod spmdization;
+pub mod state_machine;
+
+pub use config::OpenMpOptConfig;
+pub use remarks::{Remark, RemarkKind, Remarks};
+
+use omp_analysis::{CallGraph, ExecutionDomains};
+use omp_ir::{FuncId, InstId, InstKind, Module, RtlFn, Value};
+use std::collections::HashSet;
+
+/// Optimization statistics: the columns of the paper's Figure 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptCounts {
+    /// Externally visible functions duplicated for analysis precision.
+    pub internalized: usize,
+    /// Globalized variables moved to the stack (h2s).
+    pub heap_to_stack: usize,
+    /// Globalized variables moved to static shared memory.
+    pub heap_to_shared: usize,
+    /// Generic kernels converted to SPMD mode.
+    pub spmdized: usize,
+    /// Generic kernels where a custom state machine was possible
+    /// (reported in parentheses when SPMDization obsoletes it).
+    pub csm_possible: usize,
+    /// Custom state machines actually generated (no fallback).
+    pub csm_rewritten: usize,
+    /// Custom state machines that kept the indirect fallback.
+    pub csm_with_fallback: usize,
+    /// Execution-mode / thread-execution runtime calls folded (EM).
+    pub folds_exec_mode: usize,
+    /// Parallel-level runtime calls folded (PL).
+    pub folds_parallel_level: usize,
+    /// Launch-parameter runtime calls folded.
+    pub folds_launch_params: usize,
+    /// Guard regions emitted by SPMDization (after grouping).
+    pub guard_regions: usize,
+    /// Values broadcast out of guard regions.
+    pub broadcasts: usize,
+}
+
+/// Result of one optimizer run.
+#[derive(Debug, Clone, Default)]
+pub struct OptReport {
+    /// Figure 9 counters.
+    pub counts: OptCounts,
+    /// All emitted remarks (Section IV-D).
+    pub remarks: Remarks,
+}
+
+/// Runs the OpenMP optimization pipeline on `m`.
+pub fn run(m: &mut Module, cfg: &OpenMpOptConfig) -> OptReport {
+    let mut report = OptReport::default();
+
+    // 0. Early cleanup: promote memory to SSA so the inter-procedural
+    //    analyses see through parameter cells (LLVM runs SROA/mem2reg
+    //    before OpenMPOpt for the same reason).
+    if cfg.run_cleanup_pipeline {
+        omp_passes::run_pipeline(m);
+    }
+
+    // 1. Internalization.
+    if !cfg.disable_internalization {
+        report.counts.internalized = internalize::run(m);
+    }
+
+    // 2. Snapshot main-thread-only allocation facts and recursion before
+    //    SPMDization rewrites control flow.
+    let (main_only_allocs, recursive) = collect_alloc_facts(m);
+
+    // 3. Custom-state-machine feasibility (analysis only, for Figure 9's
+    //    parenthesized counts).
+    report.counts.csm_possible = state_machine::possible(m);
+
+    // 4. SPMDization.
+    if !cfg.disable_spmdization {
+        let r = spmdization::run_with_grouping(
+            m,
+            !cfg.disable_guard_grouping,
+            &mut report.remarks,
+        );
+        report.counts.spmdized = r.spmdized;
+        report.counts.guard_regions = r.guard_regions;
+        report.counts.broadcasts = r.broadcasts;
+    }
+
+    // 5. Deglobalization: HeapToStack (with capture chasing after
+    //    devirtualization), then HeapToShared for the rest.
+    if !cfg.disable_deglobalization {
+        let h2s = heap_to_stack::run(m, cfg.spmd_capture_heap_to_stack, &mut report.remarks);
+        report.counts.heap_to_stack = h2s.moved;
+        let h2sh = heap_to_shared::run(m, &main_only_allocs, &recursive, &mut report.remarks);
+        report.counts.heap_to_shared = h2sh.moved;
+    }
+
+    // 6. Custom state machine for kernels that stayed generic.
+    if !cfg.disable_state_machine_rewrite {
+        let r = state_machine::run(m, &mut report.remarks);
+        report.counts.csm_rewritten = r.rewritten;
+        report.counts.csm_with_fallback = r.with_fallback;
+    }
+
+    // 7. Runtime-call folding.
+    if !cfg.disable_folding {
+        let f = folding::run(m, &mut report.remarks);
+        report.counts.folds_exec_mode = f.exec_mode;
+        report.counts.folds_parallel_level = f.parallel_level;
+        report.counts.folds_launch_params = f.launch_params;
+    }
+
+    // 8. Cleanup + a second folding round (folding exposes constants the
+    //    pipeline propagates, which can expose more foldable calls).
+    if cfg.run_cleanup_pipeline {
+        omp_passes::run_pipeline(m);
+        if !cfg.disable_folding {
+            let f = folding::run(m, &mut report.remarks);
+            report.counts.folds_exec_mode += f.exec_mode;
+            report.counts.folds_parallel_level += f.parallel_level;
+            report.counts.folds_launch_params += f.launch_params;
+            omp_passes::run_pipeline(m);
+        }
+    }
+    report
+}
+
+/// Collects `(function, alloc-instruction)` pairs proven to execute on
+/// the team main thread only, plus the set of (potentially) recursive
+/// functions — the preconditions HeapToShared needs, computed before
+/// SPMDization changes execution domains.
+fn collect_alloc_facts(m: &Module) -> (HashSet<(FuncId, InstId)>, HashSet<FuncId>) {
+    let cg = CallGraph::build(m);
+    let domains = ExecutionDomains::compute(m, &cg);
+    let mut main_only = HashSet::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        if f.is_declaration() {
+            continue;
+        }
+        f.for_each_inst(|b, i, k| {
+            if let InstKind::Call {
+                callee: Value::Func(c),
+                ..
+            } = k
+            {
+                if m.func(*c).name == RtlFn::AllocShared.name()
+                    && domains.is_main_only(fid, b)
+                {
+                    main_only.insert((fid, i));
+                }
+            }
+        });
+    }
+    // Recursion: a function reachable from its own callees.
+    let mut recursive = HashSet::new();
+    for fid in m.func_ids() {
+        if m.func(fid).is_declaration() {
+            continue;
+        }
+        let from_callees = cg.reachable_from(cg.callees_of(fid).iter().copied());
+        if from_callees.contains(&fid) {
+            recursive.insert(fid);
+        }
+    }
+    (main_only, recursive)
+}

@@ -1,0 +1,172 @@
+//! Optimization remarks (paper Section IV-D).
+//!
+//! Every transformation emits a remark identified by a unique `OMPxxx`
+//! number, mirroring the identifiers documented at
+//! `https://openmp.llvm.org/remarks/OptimizationRemarks.html`. Remarks
+//! either report a performed transformation or a missed opportunity
+//! together with actionable advice.
+
+use std::fmt;
+
+/// Remark category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemarkKind {
+    /// A transformation was performed.
+    Passed,
+    /// An opportunity was identified but could not be taken.
+    Missed,
+    /// Neutral analysis information.
+    Analysis,
+}
+
+/// One optimization remark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remark {
+    /// `OMPxxx` identifier (e.g. 110 for "moved to stack").
+    pub id: u32,
+    /// Category.
+    pub kind: RemarkKind,
+    /// Function the remark is attached to.
+    pub function: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Remark {
+    /// Creates a remark.
+    pub fn new(
+        id: u32,
+        kind: RemarkKind,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Remark {
+        Remark {
+            id,
+            kind,
+            function: function.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Remark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flag = match self.kind {
+            RemarkKind::Passed => "-Rpass=openmp-opt",
+            RemarkKind::Missed => "-Rpass-missed=openmp-opt",
+            RemarkKind::Analysis => "-Rpass-analysis=openmp-opt",
+        };
+        write!(
+            f,
+            "{}: remark: {} [OMP{}] [{}]",
+            self.function, self.message, self.id, flag
+        )
+    }
+}
+
+/// Remark identifiers used by this implementation (aligned with the
+/// LLVM `openmp-opt` numbering where one exists).
+pub mod ids {
+    /// Moving globalized variable to the stack (HeapToStack).
+    pub const MOVED_TO_STACK: u32 = 110;
+    /// Replacing globalized variable with shared memory (HeapToShared).
+    pub const MOVED_TO_SHARED: u32 = 111;
+    /// Found thread data sharing on the GPU (globalization remains).
+    pub const DATA_SHARING_REMAINS: u32 = 112;
+    /// Could not move globalized variable to the stack.
+    pub const STACK_MOVE_FAILED: u32 = 113;
+    /// Transformed generic-mode kernel to SPMD mode.
+    pub const SPMDIZED: u32 = 120;
+    /// Value has potential side effects preventing SPMD-mode execution.
+    pub const SPMD_BLOCKED: u32 = 121;
+    /// Generic-mode kernel is executed with a customized state machine.
+    pub const CUSTOM_STATE_MACHINE: u32 = 131;
+    /// Generic-mode kernel needs the fallback indirect dispatch.
+    pub const STATE_MACHINE_FALLBACK: u32 = 132;
+    /// Parallel region is used in unknown ways; state machine kept.
+    pub const PARALLEL_REGION_UNKNOWN: u32 = 133;
+    /// Internalization failed for an externally visible function.
+    pub const INTERNALIZATION_FAILED: u32 = 142;
+    /// Replacing an OpenMP runtime call with a constant.
+    pub const RUNTIME_CALL_FOLDED: u32 = 170;
+    /// Removing unused/dead OpenMP runtime machinery.
+    pub const DEAD_RUNTIME_CODE: u32 = 180;
+}
+
+/// A collection of remarks with convenience queries.
+#[derive(Debug, Clone, Default)]
+pub struct Remarks {
+    entries: Vec<Remark>,
+}
+
+impl Remarks {
+    /// Adds a remark.
+    pub fn push(&mut self, r: Remark) {
+        self.entries.push(r);
+    }
+
+    /// All remarks in emission order.
+    pub fn all(&self) -> &[Remark] {
+        &self.entries
+    }
+
+    /// Number of remarks emitted.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no remarks were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remarks with the given id.
+    pub fn with_id(&self, id: u32) -> Vec<&Remark> {
+        self.entries.iter().filter(|r| r.id == id).collect()
+    }
+
+    /// Count of remarks with the given id.
+    pub fn count(&self, id: u32) -> usize {
+        self.entries.iter().filter(|r| r.id == id).count()
+    }
+
+    /// Count of missed-opportunity remarks.
+    pub fn missed(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|r| r.kind == RemarkKind::Missed)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format_matches_clang_style() {
+        let r = Remark::new(
+            ids::DATA_SHARING_REMAINS,
+            RemarkKind::Missed,
+            "device_function",
+            "Found thread data sharing on the GPU. Expect degraded performance due to data globalization.",
+        );
+        let s = r.to_string();
+        assert!(s.contains("[OMP112]"));
+        assert!(s.contains("-Rpass-missed=openmp-opt"));
+        assert!(s.contains("device_function"));
+    }
+
+    #[test]
+    fn collection_queries() {
+        let mut rs = Remarks::default();
+        assert!(rs.is_empty());
+        rs.push(Remark::new(ids::MOVED_TO_STACK, RemarkKind::Passed, "f", "x"));
+        rs.push(Remark::new(ids::MOVED_TO_STACK, RemarkKind::Passed, "g", "y"));
+        rs.push(Remark::new(ids::SPMD_BLOCKED, RemarkKind::Missed, "k", "z"));
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.count(ids::MOVED_TO_STACK), 2);
+        assert_eq!(rs.with_id(ids::SPMD_BLOCKED).len(), 1);
+        assert_eq!(rs.missed(), 1);
+    }
+}

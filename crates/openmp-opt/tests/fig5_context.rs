@@ -1,0 +1,100 @@
+//! The paper's Figures 5 and 6: the same generic device function
+//! (Figure 4a) is optimized differently depending on its calling
+//! context.
+//!
+//! * Called only from single-threaded (teams) context (Fig. 5b): `Lcl`
+//!   moves to the stack and `Arg` — which escapes into an unknown
+//!   callee — moves to *static shared memory* (Fig. 6a).
+//! * Called (also) from a parallel context (Fig. 5c): `Arg`'s runtime
+//!   allocation must stay, with an OMP112 remark (Fig. 6b / Fig. 8).
+
+use omp_frontend::{compile, FrontendOptions};
+use omp_opt::remarks::ids;
+use omp_opt::OpenMpOptConfig;
+
+const DEVICE_FUNCTION: &str = r#"
+void unknown(float* p);
+static double combine(float* a, noescape double* b) {
+  unknown(a);
+  return (double)*a + *b;
+}
+static double device_function(float arg) {
+  double lcl = 1.5;
+  return combine(&arg, &lcl);
+}
+"#;
+
+fn counts_for(call_site: &str) -> (usize, usize, usize, omp_opt::Remarks) {
+    let src = format!("{DEVICE_FUNCTION}\n{call_site}");
+    let mut m = compile(&src, &FrontendOptions::default()).unwrap();
+    // SPMDization would devirtualize and change the context; the
+    // figure's scenario is about the *generic* calling contexts, so run
+    // with SPMDization disabled.
+    let cfg = OpenMpOptConfig {
+        disable_spmdization: true,
+        ..OpenMpOptConfig::default()
+    };
+    let r = omp_opt::run(&mut m, &cfg);
+    omp_ir::verifier::assert_valid(&m);
+    (
+        r.counts.heap_to_stack,
+        r.counts.heap_to_shared,
+        r.remarks.count(ids::DATA_SHARING_REMAINS),
+        r.remarks,
+    )
+}
+
+#[test]
+fn one_thread_only_context_gives_stack_plus_shared() {
+    // Figure 5b: the only call site runs on the team main thread.
+    let (h2s, h2shared, omp112, remarks) = counts_for(
+        r#"
+void one_thread_only(double* out, long n) {
+  #pragma omp target teams distribute
+  for (long i = 0; i < n; i++) {
+    out[i] = device_function((float)i);
+  }
+}
+"#,
+    );
+    // Lcl -> stack (OMP110); Arg -> static shared memory (OMP111).
+    assert_eq!(h2s, 1, "{remarks:#?}");
+    assert_eq!(h2shared, 1, "{remarks:#?}");
+    assert_eq!(omp112, 0);
+    assert_eq!(remarks.count(ids::MOVED_TO_STACK), 1);
+    assert_eq!(remarks.count(ids::MOVED_TO_SHARED), 1);
+}
+
+#[test]
+fn many_threads_context_keeps_runtime_allocation() {
+    // Figure 5c: the device function is reached from a parallel region,
+    // so the escaping Arg cannot get a single static shared slot.
+    let (h2s, h2shared, omp112, remarks) = counts_for(
+        r#"
+void many_threads(double* out, long n) {
+  #pragma omp target teams
+  {
+    #pragma omp parallel for
+    for (long i = 0; i < n; i++) {
+      out[i] = device_function((float)i);
+    }
+  }
+}
+"#,
+    );
+    // Lcl still stackifies; Arg keeps its runtime allocation and the
+    // user gets the Figure 8 remark pair. (The kernel's own main-thread
+    // capture struct may still be staticized — that is the one
+    // permissible OMP111 here, and it must be on the kernel, not on
+    // device_function.)
+    assert_eq!(h2s, 1, "{remarks:#?}");
+    assert!(h2shared <= 1, "{remarks:#?}");
+    assert!(omp112 >= 1, "{remarks:#?}");
+    assert_eq!(remarks.count(ids::MOVED_TO_STACK), 1);
+    for r in remarks.with_id(ids::MOVED_TO_SHARED) {
+        assert!(
+            r.function.contains("__omp_offloading"),
+            "Arg must not be staticized in a parallel context: {r}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! # omp-passes
+//!
+//! Generic middle-end transformations for the `omp-gpu` compiler. The
+//! paper's OpenMP-specific optimizations (crate `omp-opt`) expose
+//! opportunities — e.g. HeapToStack produces `alloca`s and runtime-call
+//! folding produces constants — and these passes realize them:
+//!
+//! * [`mem2reg`] — promote memory to SSA registers;
+//! * [`constprop`] — constant propagation + branch folding;
+//! * [`dce`] — dead code elimination;
+//! * [`simplify_cfg`] — unreachable-block removal and block merging.
+//!
+//! [`run_pipeline`] iterates them to a fixpoint, mirroring how LLVM's
+//! default pipeline cleans up after `OpenMPOpt`.
+
+pub mod constprop;
+pub mod dce;
+pub mod mem2reg;
+pub mod simplify_cfg;
+
+use omp_ir::Module;
+
+/// Statistics from one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Allocas promoted to SSA values.
+    pub promoted_allocas: usize,
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+    /// Blocks removed or merged.
+    pub blocks_removed: usize,
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs the cleanup pipeline (mem2reg, constprop, DCE, simplify-cfg)
+/// until nothing changes (bounded by a generous iteration cap).
+pub fn run_pipeline(m: &mut Module) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    for _ in 0..16 {
+        stats.iterations += 1;
+        let promoted = mem2reg::run(m);
+        let folded = constprop::run(m);
+        let removed = dce::run(m);
+        let blocks = simplify_cfg::run(m);
+        stats.promoted_allocas += promoted;
+        stats.folded += folded;
+        stats.dce_removed += removed;
+        stats.blocks_removed += blocks;
+        if promoted + folded + removed + blocks == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{BinOp, Builder, CmpOp, Function, Terminator, Type, Value};
+
+    /// End-to-end: a memory-based accumulator with a constant bound
+    /// collapses to straight-line code.
+    #[test]
+    fn pipeline_reaches_fixpoint_and_simplifies() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(Value::i32(5), p);
+        let v = b.load(Type::I32, p);
+        let c = b.cmp(CmpOp::Sgt, Type::I32, v, Value::i32(3));
+        let yes = b.new_block();
+        let no = b.new_block();
+        b.cond_br(c, yes, no);
+        b.switch_to(yes);
+        let r = b.bin(BinOp::Mul, Type::I32, v, Value::i32(2));
+        b.ret(Some(r));
+        b.switch_to(no);
+        b.ret(Some(Value::i32(0)));
+        let stats = run_pipeline(&mut m);
+        assert!(stats.promoted_allocas >= 1);
+        assert!(stats.folded >= 1);
+        omp_ir::verifier::assert_valid(&m);
+        let fun = m.func(f);
+        assert_eq!(fun.num_blocks(), 1);
+        match &fun.block(fun.entry()).term {
+            Terminator::Ret(Some(v)) => assert_eq!(*v, Value::i32(10)),
+            t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_is_idempotent() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I32], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let v = b.bin(BinOp::Add, Type::I32, Value::Arg(0), Value::i32(1));
+        b.ret(Some(v));
+        let s1 = run_pipeline(&mut m);
+        let text1 = omp_ir::printer::print_module(&m);
+        let s2 = run_pipeline(&mut m);
+        let text2 = omp_ir::printer::print_module(&m);
+        assert_eq!(text1, text2);
+        assert_eq!(s1.folded, 0);
+        assert_eq!(s2.iterations, 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! Promotion of memory to SSA registers (LLVM's `mem2reg`).
+//!
+//! Promotes `alloca`s whose only uses are whole-value loads and stores
+//! (no address arithmetic, no escape) into SSA values with phi nodes at
+//! dominance frontiers. In the pipeline this runs after HeapToStack so
+//! the paper's "use local memory (aka. registers)" effect materializes.
+
+use omp_ir::{
+    BlockId, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Runs mem2reg on every function definition. Returns the number of
+/// promoted allocas.
+pub fn run(m: &mut Module) -> usize {
+    let mut count = 0;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        if !m.func(fid).is_declaration() {
+            count += promote_function(m, fid);
+        }
+    }
+    count
+}
+
+/// Whether the alloca can be promoted: every use is a load of the full
+/// value or a store *to* it (not of it), and all loads/stores use one
+/// consistent type.
+fn promotable(f: &Function, alloca: InstId) -> Option<Type> {
+    let ptr = Value::Inst(alloca);
+    let mut ty: Option<Type> = None;
+    let mut ok = true;
+    f.for_each_inst(|_, _, kind| match kind {
+        InstKind::Load { ptr: p, ty: t } if *p == ptr => match ty {
+            None => ty = Some(*t),
+            Some(prev) if prev == *t => {}
+            _ => ok = false,
+        },
+        InstKind::Store { ptr: p, val } if *p == ptr => {
+            if *val == ptr {
+                ok = false;
+            } else {
+                let vt = f.value_type(*val);
+                match ty {
+                    None => ty = Some(vt),
+                    Some(prev) if prev == vt => {}
+                    _ => ok = false,
+                }
+            }
+        }
+        other => {
+            let mut used = false;
+            other.for_each_operand(|v| used |= v == ptr);
+            if used {
+                ok = false;
+            }
+        }
+    });
+    // Also check terminators (e.g. returning the pointer).
+    for b in f.block_ids() {
+        f.block(b).term.for_each_operand(|v| {
+            if v == ptr {
+                ok = false;
+            }
+        });
+    }
+    if ok {
+        ty
+    } else {
+        None
+    }
+}
+
+fn promote_function(m: &mut Module, fid: FuncId) -> usize {
+    let f = m.func(fid);
+    let allocas: Vec<(InstId, Type)> = f
+        .inst_ids()
+        .filter_map(|(_, i)| match f.inst(i) {
+            InstKind::Alloca { .. } => promotable(f, i).map(|t| (i, t)),
+            _ => None,
+        })
+        .collect();
+    if allocas.is_empty() {
+        return 0;
+    }
+    let dt = DomTree::compute(f);
+    let df = dt.dominance_frontiers(f);
+
+    for &(alloca, ty) in &allocas {
+        promote_one(m, fid, alloca, ty, &dt, &df);
+    }
+    allocas.len()
+}
+
+fn promote_one(
+    m: &mut Module,
+    fid: FuncId,
+    alloca: InstId,
+    ty: Type,
+    dt: &DomTree,
+    df: &HashMap<BlockId, Vec<BlockId>>,
+) {
+    let ptr = Value::Inst(alloca);
+    // 1. Blocks containing stores (defs).
+    let f = m.func(fid);
+    let mut def_blocks: Vec<BlockId> = Vec::new();
+    for b in f.block_ids() {
+        if f.block(b)
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i), InstKind::Store { ptr: p, .. } if *p == ptr))
+        {
+            def_blocks.push(b);
+        }
+    }
+    // 2. Phi placement at iterated dominance frontiers.
+    let mut phi_blocks: HashSet<BlockId> = HashSet::new();
+    let mut work = def_blocks.clone();
+    while let Some(b) = work.pop() {
+        for &fr in df.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+            if phi_blocks.insert(fr) {
+                work.push(fr);
+            }
+        }
+    }
+    // Insert empty phis.
+    let mut phis: HashMap<BlockId, InstId> = HashMap::new();
+    for &b in &phi_blocks {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        let id = m.func_mut(fid).insert_inst(
+            b,
+            0,
+            InstKind::Phi {
+                ty,
+                incoming: vec![],
+            },
+        );
+        phis.insert(b, id);
+    }
+    // 3. Renaming walk over the dominator tree.
+    let f = m.func(fid);
+    let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for &b in &dt.rpo {
+        if let Some(p) = dt.idom(b) {
+            children.entry(p).or_default().push(b);
+        }
+    }
+    let entry = f.entry();
+    // (block, incoming value)
+    let mut replacements: HashMap<InstId, Value> = HashMap::new(); // load -> value
+    let mut removals: Vec<InstId> = Vec::new();
+    let mut phi_incomings: Vec<(InstId, BlockId, Value)> = Vec::new();
+    let mut stack: Vec<(BlockId, Value)> = vec![(entry, Value::Undef(ty))];
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    while let Some((b, mut cur)) = stack.pop() {
+        if !visited.insert(b) {
+            continue;
+        }
+        if let Some(&phi) = phis.get(&b) {
+            cur = Value::Inst(phi);
+        }
+        for &i in &f.block(b).insts {
+            match f.inst(i) {
+                InstKind::Load { ptr: p, .. } if *p == ptr => {
+                    replacements.insert(i, cur);
+                    removals.push(i);
+                }
+                InstKind::Store { ptr: p, val } if *p == ptr => {
+                    cur = *val;
+                    removals.push(i);
+                }
+                _ => {}
+            }
+        }
+        for s in f.block(b).term.successors() {
+            if let Some(&phi) = phis.get(&s) {
+                phi_incomings.push((phi, b, cur));
+            }
+            if !visited.contains(&s) && dt.is_reachable(s) {
+                // Continue with the value along this edge; dominator-tree
+                // children inherit from their idom, which this walk
+                // approximates because we only push successors (every
+                // dominated block is reached through dominated paths).
+                stack.push((s, cur));
+            }
+        }
+        let _ = &children;
+    }
+    // Loads and stores in unreachable blocks were never visited; patch
+    // them so removing the alloca leaves no dangling uses.
+    for (_, i) in f.inst_ids() {
+        match f.inst(i) {
+            InstKind::Load { ptr: p, .. } if *p == ptr && !replacements.contains_key(&i) => {
+                replacements.insert(i, Value::Undef(ty));
+                removals.push(i);
+            }
+            InstKind::Store { ptr: p, .. } if *p == ptr && !removals.contains(&i) => {
+                removals.push(i);
+            }
+            _ => {}
+        }
+    }
+    // Apply phi incomings (dedup per (phi, pred)).
+    {
+        let fmut = m.func_mut(fid);
+        let mut seen: HashSet<(InstId, BlockId)> = HashSet::new();
+        for (phi, pred, v) in phi_incomings {
+            if !seen.insert((phi, pred)) {
+                continue;
+            }
+            let v = resolve(&replacements, v);
+            if let InstKind::Phi { incoming, .. } = fmut.inst_mut(phi) {
+                incoming.push((pred, v));
+            }
+        }
+    }
+    // Replace loads with the reaching values, transitively resolving
+    // loads that were themselves replaced.
+    let final_replacements: Vec<(InstId, Value)> = replacements
+        .keys()
+        .map(|&l| (l, resolve(&replacements, Value::Inst(l))))
+        .collect();
+    let fmut = m.func_mut(fid);
+    for (load, v) in final_replacements {
+        fmut.replace_all_uses(Value::Inst(load), v);
+    }
+    for r in removals {
+        fmut.remove_inst(r);
+    }
+    fmut.remove_inst(alloca);
+}
+
+fn resolve(replacements: &HashMap<InstId, Value>, mut v: Value) -> Value {
+    for _ in 0..64 {
+        match v {
+            Value::Inst(i) => match replacements.get(&i) {
+                Some(&next) if next != v => v = next,
+                _ => return v,
+            },
+            _ => return v,
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{BinOp, Builder, CmpOp, Function};
+
+    #[test]
+    fn straight_line_promotion() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I32], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(Value::Arg(0), p);
+        let v = b.load(Type::I32, p);
+        let w = b.bin(BinOp::Add, Type::I32, v, Value::i32(1));
+        b.store(w, p);
+        let x = b.load(Type::I32, p);
+        b.ret(Some(x));
+        assert_eq!(run(&mut m), 1);
+        omp_ir::verifier::assert_valid(&m);
+        let fun = m.func(f);
+        // No allocas, loads or stores remain.
+        let mut bad = 0;
+        fun.for_each_inst(|_, _, k| {
+            if matches!(
+                k,
+                InstKind::Alloca { .. } | InstKind::Load { .. } | InstKind::Store { .. }
+            ) {
+                bad += 1;
+            }
+        });
+        assert_eq!(bad, 0);
+    }
+
+    #[test]
+    fn diamond_gets_phi() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I1], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(Value::i32(0), p);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::Arg(0), t, e);
+        b.switch_to(t);
+        b.store(Value::i32(1), p);
+        b.br(j);
+        b.switch_to(e);
+        b.store(Value::i32(2), p);
+        b.br(j);
+        b.switch_to(j);
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        assert_eq!(run(&mut m), 1);
+        omp_ir::verifier::assert_valid(&m);
+        let fun = m.func(f);
+        let mut phis = 0;
+        fun.for_each_inst(|_, _, k| {
+            if matches!(k, InstKind::Phi { .. }) {
+                phis += 1;
+            }
+        });
+        assert_eq!(phis, 1);
+        // The phi must have both incoming edges.
+        fun.for_each_inst(|_, _, k| {
+            if let InstKind::Phi { incoming, .. } = k {
+                assert_eq!(incoming.len(), 2);
+                let vals: Vec<Value> = incoming.iter().map(|(_, v)| *v).collect();
+                assert!(vals.contains(&Value::i32(1)));
+                assert!(vals.contains(&Value::i32(2)));
+            }
+        });
+    }
+
+    #[test]
+    fn loop_promotion_builds_phi_cycle() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![Type::I64], Type::I64));
+        let mut b = Builder::at_entry(&mut m, f);
+        let entry = b.current_block();
+        let acc = b.alloca(8, 8);
+        b.store(Value::i64(0), acc);
+        let i = b.alloca(8, 8);
+        b.store(Value::i64(0), i);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(Type::I64, i);
+        let c = b.cmp(CmpOp::Slt, Type::I64, iv, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let av = b.load(Type::I64, acc);
+        let a2 = b.bin(BinOp::Add, Type::I64, av, iv);
+        b.store(a2, acc);
+        let i2 = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1));
+        b.store(i2, i);
+        b.br(header);
+        b.switch_to(exit);
+        let out = b.load(Type::I64, acc);
+        b.ret(Some(out));
+        let _ = entry;
+        assert_eq!(run(&mut m), 2);
+        omp_ir::verifier::assert_valid(&m);
+        let fun = m.func(f);
+        let mut loads = 0;
+        fun.for_each_inst(|_, _, k| {
+            if matches!(k, InstKind::Load { .. }) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 0);
+    }
+
+    #[test]
+    fn escaping_alloca_not_promoted() {
+        let mut m = Module::new("t");
+        let sink = m.add_function(Function::declaration("sink", vec![Type::Ptr], Type::Void));
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        b.store(Value::i32(1), p);
+        b.call(sink, vec![p]);
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        assert_eq!(run(&mut m), 0);
+    }
+
+    #[test]
+    fn gep_use_blocks_promotion() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(16, 8);
+        let q = b.gep_const(p, 4);
+        b.store(Value::i32(1), q);
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        assert_eq!(run(&mut m), 0);
+    }
+
+    #[test]
+    fn mixed_types_block_promotion() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(8, 8);
+        b.store(Value::f64(1.0), p);
+        let v = b.load(Type::I32, p); // type pun
+        b.ret(Some(v));
+        assert_eq!(run(&mut m), 0);
+    }
+
+    #[test]
+    fn load_before_store_becomes_undef() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::I32));
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.alloca(4, 4);
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        assert_eq!(run(&mut m), 1);
+        omp_ir::verifier::assert_valid(&m);
+        let fun = m.func(f);
+        match &fun.block(fun.entry()).term {
+            omp_ir::Terminator::Ret(Some(Value::Undef(Type::I32))) => {}
+            t => panic!("expected ret undef, got {t:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's Section IV-D workflow: the compiler tells you *why* an
+//! optimization was missed, and an OpenMP 5.1 assumption fixes it.
+//!
+//! Run with: `cargo run --release -p omp-gpu --example remarks_workflow`
+
+use omp_gpu::{pipeline, BuildConfig};
+
+const WITHOUT_ASSUMPTION: &str = r#"
+void stats_hook(double* out);
+void kern(double* out, long nblocks, long nthreads) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < nblocks; b++) {
+    stats_hook(out);
+    #pragma omp parallel for
+    for (long t = 0; t < nthreads; t++) {
+      out[b * nthreads + t] = (double)(b + t);
+    }
+  }
+}
+"#;
+
+fn main() {
+    println!("Step 1: compile with an external call in the sequential region.\n");
+    let (_, report) = pipeline::build(WITHOUT_ASSUMPTION, BuildConfig::LlvmDev).unwrap();
+    let report = report.unwrap();
+    assert_eq!(report.counts.spmdized, 0);
+    for r in report.remarks.all() {
+        println!("  {r}");
+    }
+    println!("\n  -> SPMDization was blocked: `stats_hook` is defined elsewhere,");
+    println!("     so the compiler must assume it is not safe for all threads.\n");
+
+    println!("Step 2: follow the remark's advice — add the assumption.\n");
+    let with_assumption = format!(
+        "#pragma omp assume ext_spmd_amenable\n{}",
+        WITHOUT_ASSUMPTION.trim_start()
+    );
+    let (_, report) = pipeline::build(&with_assumption, BuildConfig::LlvmDev).unwrap();
+    let report = report.unwrap();
+    for r in report.remarks.all() {
+        println!("  {r}");
+    }
+    assert_eq!(report.counts.spmdized, 1);
+    println!("\n  -> With `#pragma omp assume ext_spmd_amenable` the kernel is");
+    println!("     now executed in SPMD mode — no worker state machine at all.");
+}
