@@ -19,9 +19,7 @@
 //! in a main-only context.
 
 use crate::callgraph::CallGraph;
-use omp_ir::{
-    BlockId, CmpOp, ExecMode, FuncId, Function, InstId, InstKind, Module, RtlFn, Value,
-};
+use omp_ir::{BlockId, CmpOp, ExecMode, FuncId, Function, InstId, InstKind, Module, RtlFn, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Whether code may be executed by many threads or only the team main
@@ -66,13 +64,12 @@ impl ExecutionDomains {
             ctx.insert(fid, ExecDomain::MainOnly);
         }
         let mut work: VecDeque<FuncId> = VecDeque::new();
-        let pessimize = |fid: FuncId,
-                             ctx: &mut HashMap<FuncId, ExecDomain>,
-                             work: &mut VecDeque<FuncId>| {
-            if ctx.insert(fid, ExecDomain::Multi) != Some(ExecDomain::Multi) {
-                work.push_back(fid);
-            }
-        };
+        let pessimize =
+            |fid: FuncId, ctx: &mut HashMap<FuncId, ExecDomain>, work: &mut VecDeque<FuncId>| {
+                if ctx.insert(fid, ExecDomain::Multi) != Some(ExecDomain::Multi) {
+                    work.push_back(fid);
+                }
+            };
         // Roots: kernels (all threads enter the kernel function itself),
         // outlined parallel regions, address-taken functions, and
         // externally visible definitions (unknown callers could be
@@ -88,10 +85,7 @@ impl ExecutionDomains {
         }
         for fid in m.func_ids() {
             let f = m.func(fid);
-            if !f.is_declaration()
-                && f.linkage == omp_ir::Linkage::External
-                && !m.is_kernel(fid)
-            {
+            if !f.is_declaration() && f.linkage == omp_ir::Linkage::External && !m.is_kernel(fid) {
                 pessimize(fid, &mut ctx, &mut work);
             }
         }
@@ -225,24 +219,15 @@ fn main_edge_of_condition(m: &Module, f: &Function, cond: Value) -> Option<bool>
         names.iter().any(|r| m.func(*c).name == r.name())
     };
     // Pattern: thread_num() == 0  (then-edge main)
-    if *op == CmpOp::Eq
-        && is_rtl_call(*lhs, &[RtlFn::ThreadNum])
-        && rhs.is_int_const(0)
-    {
+    if *op == CmpOp::Eq && is_rtl_call(*lhs, &[RtlFn::ThreadNum]) && rhs.is_int_const(0) {
         return Some(true);
     }
     // Pattern: thread_num() != 0  (else-edge main)
-    if *op == CmpOp::Ne
-        && is_rtl_call(*lhs, &[RtlFn::ThreadNum])
-        && rhs.is_int_const(0)
-    {
+    if *op == CmpOp::Ne && is_rtl_call(*lhs, &[RtlFn::ThreadNum]) && rhs.is_int_const(0) {
         return Some(false);
     }
     // Pattern: __kmpc_is_generic_main_thread() == true
-    if *op == CmpOp::Eq
-        && is_rtl_call(*lhs, &[RtlFn::IsGenericMainThread])
-        && rhs.is_int_const(1)
-    {
+    if *op == CmpOp::Eq && is_rtl_call(*lhs, &[RtlFn::IsGenericMainThread]) && rhs.is_int_const(1) {
         return Some(true);
     }
     // Frontend prologue: tid = target_init(..); is_worker = tid >= 0.
@@ -347,7 +332,7 @@ mod tests {
         assert!(!d.is_main_only(k, blocks[1]));
         assert!(d.is_main_only(k, blocks[2]));
         assert!(!d.is_main_only(k, blocks[3])); // both threads rejoin
-        // payload called only from the main block => MainOnly context.
+                                                // payload called only from the main block => MainOnly context.
         assert_eq!(d.func_context[&payload], ExecDomain::MainOnly);
     }
 

@@ -208,9 +208,7 @@ impl Effects {
                             for (j, a) in args.iter().enumerate() {
                                 if j < 32 && cs.param_written & (1 << j) != 0 {
                                     match chase_base(m, f, *a) {
-                                        Base::Param(n) if n < 32 => {
-                                            cs2.param_written |= 1 << n
-                                        }
+                                        Base::Param(n) if n < 32 => cs2.param_written |= 1 << n,
                                         Base::Local => {}
                                         _ => cs2.writes_nonlocal = true,
                                     }
@@ -236,7 +234,10 @@ impl Effects {
 
     /// The summary of `f`.
     pub fn summary(&self, f: FuncId) -> EffectSummary {
-        self.summaries.get(&f).copied().unwrap_or_else(EffectSummary::unknown)
+        self.summaries
+            .get(&f)
+            .copied()
+            .unwrap_or_else(EffectSummary::unknown)
     }
 
     /// Classifies one instruction for SPMDization (see
@@ -539,11 +540,7 @@ mod tests {
         // sample(&x): writes through its parameter; the argument is a
         // globalization allocation => replicated per thread => amenable.
         let mut m = Module::new("t");
-        let sample = m.add_function(Function::definition(
-            "sample",
-            vec![Type::Ptr],
-            Type::Void,
-        ));
+        let sample = m.add_function(Function::definition("sample", vec![Type::Ptr], Type::Void));
         {
             let mut b = Builder::at_entry(&mut m, sample);
             b.store(Value::f64(2.0), Value::Arg(0));

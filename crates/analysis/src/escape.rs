@@ -63,9 +63,9 @@ fn escapes_in(
     let mut derived: Vec<Value> = Vec::new();
     let mut result = EscapeResult::NoEscape;
     let check_call = |m: &Module,
-                          callee: &Value,
-                          args: &[Value],
-                          visited: &mut HashSet<(FuncId, Value)>|
+                      callee: &Value,
+                      args: &[Value],
+                      visited: &mut HashSet<(FuncId, Value)>|
      -> EscapeResult {
         match callee {
             Value::Func(cid) => {
@@ -149,12 +149,10 @@ fn escapes_in(
                 InstKind::Select { .. } | InstKind::Phi { .. } => {
                     derived.push(Value::Inst(i));
                 }
-                InstKind::Call { callee, args, .. } => {
-                    match check_call(m, callee, args, visited) {
-                        EscapeResult::NoEscape => {}
-                        e => return e,
-                    }
-                }
+                InstKind::Call { callee, args, .. } => match check_call(m, callee, args, visited) {
+                    EscapeResult::NoEscape => {}
+                    e => return e,
+                },
                 InstKind::Bin { .. } | InstKind::Alloca { .. } => {}
             }
         }
@@ -202,12 +200,7 @@ pub fn underlying_alloca(f: &Function, mut v: Value) -> Option<InstId> {
 /// passes a deallocation call (`free_rtl`) on the same pointer. This is
 /// the paper's second HeapToStack check ("the associated deallocation
 /// call has to be reached").
-pub fn dealloc_always_reached(
-    m: &Module,
-    func: FuncId,
-    alloc: InstId,
-    free_rtl: RtlFn,
-) -> bool {
+pub fn dealloc_always_reached(m: &Module, func: FuncId, alloc: InstId, free_rtl: RtlFn) -> bool {
     let f = m.func(func);
     let Some(start) = f.block_of(alloc) else {
         return false;
@@ -221,9 +214,7 @@ pub fn dealloc_always_reached(
                 callee: Value::Func(c),
                 args,
                 ..
-            } => {
-                m.func(*c).name == free_rtl.name() && args.first() == Some(&ptr)
-            }
+            } => m.func(*c).name == free_rtl.name() && args.first() == Some(&ptr),
             _ => false,
         })
     };
@@ -316,7 +307,11 @@ mod tests {
     #[test]
     fn unknown_callee_escapes_known_pure_does_not() {
         let mut m = fresh();
-        let unknown = m.add_function(Function::declaration("unknown", vec![Type::Ptr], Type::Void));
+        let unknown = m.add_function(Function::declaration(
+            "unknown",
+            vec![Type::Ptr],
+            Type::Void,
+        ));
         let mut pure = Function::declaration("reader", vec![Type::Ptr], Type::F64);
         pure.attrs.readonly = true;
         let pure = m.add_function(pure);
@@ -359,7 +354,11 @@ mod tests {
     fn recursion_into_definitions() {
         // combine(ArgPtr) { unknown(ArgPtr); } — the paper's Figure 5a.
         let mut m = fresh();
-        let unknown = m.add_function(Function::declaration("unknown", vec![Type::Ptr], Type::Void));
+        let unknown = m.add_function(Function::declaration(
+            "unknown",
+            vec![Type::Ptr],
+            Type::Void,
+        ));
         let combine = m.add_function(Function::definition(
             "combine",
             vec![Type::Ptr, Type::Ptr],

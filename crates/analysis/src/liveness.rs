@@ -127,10 +127,7 @@ impl Liveness {
 /// reserve. Address-taken functions reachable through indirect calls
 /// inflate the count — the effect the paper attributes to "spurious call
 /// edges assumed by the GPU vendor toolchains" (Section IV-B2, PR46450).
-pub fn kernel_register_estimate(
-    m: &Module,
-    reachable: impl IntoIterator<Item = FuncId>,
-) -> u32 {
+pub fn kernel_register_estimate(m: &Module, reachable: impl IntoIterator<Item = FuncId>) -> u32 {
     const ABI_RESERVE: u32 = 8;
     let mut regs = ABI_RESERVE;
     for fid in reachable {

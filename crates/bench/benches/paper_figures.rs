@@ -21,13 +21,9 @@ fn fig9_opt_pipeline(c: &mut Criterion) {
     g.sample_size(10);
     for app in all_proxies(Scale::Small) {
         let src = app.openmp_source();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(app.name()),
-            &src,
-            |b, src| {
-                b.iter(|| pipeline::build(src, BuildConfig::LlvmDev).unwrap());
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &src, |b, src| {
+            b.iter(|| pipeline::build(src, BuildConfig::LlvmDev).unwrap());
+        });
     }
     g.finish();
 }
@@ -41,16 +37,13 @@ fn fig10_kernels(c: &mut Criterion) {
             BuildConfig::Llvm12Baseline,
             BuildConfig::LlvmDev,
         ] {
-            g.bench_function(
-                BenchmarkId::new(app.name(), cfg.label()),
-                |b| {
-                    b.iter(|| {
-                        let o = pipeline::run_proxy(app.as_ref(), cfg);
-                        assert!(o.error.is_none(), "{:?}", o.error);
-                        o.stats.unwrap().cycles
-                    });
-                },
-            );
+            g.bench_function(BenchmarkId::new(app.name(), cfg.label()), |b| {
+                b.iter(|| {
+                    let o = pipeline::run_proxy(app.as_ref(), cfg);
+                    assert!(o.error.is_none(), "{:?}", o.error);
+                    o.stats.unwrap().cycles
+                });
+            });
         }
     }
     g.finish();
@@ -63,15 +56,12 @@ fn fig11_configs(c: &mut Criterion) {
     // binaries cover the full matrix.
     for app in all_proxies(Scale::Small) {
         for cfg in BuildConfig::ALL {
-            g.bench_function(
-                BenchmarkId::new(app.name(), cfg.label()),
-                |b| {
-                    b.iter(|| {
-                        let o = pipeline::run_proxy(app.as_ref(), cfg);
-                        o.cycles().unwrap_or(0)
-                    });
-                },
-            );
+            g.bench_function(BenchmarkId::new(app.name(), cfg.label()), |b| {
+                b.iter(|| {
+                    let o = pipeline::run_proxy(app.as_ref(), cfg);
+                    o.cycles().unwrap_or(0)
+                });
+            });
         }
     }
     g.finish();

@@ -15,7 +15,10 @@ use omp_benchmarks::{all_proxies, verify, ProxyApp};
 use omp_gpusim::Device;
 use omp_opt::OpenMpOptConfig;
 
-fn run_with(app: &dyn ProxyApp, cfg: &OpenMpOptConfig) -> Result<(u64, omp_opt::OptCounts), String> {
+fn run_with(
+    app: &dyn ProxyApp,
+    cfg: &OpenMpOptConfig,
+) -> Result<(u64, omp_opt::OptCounts), String> {
     let mut m = omp_frontend::compile(
         &app.openmp_source(),
         &omp_frontend::FrontendOptions::default(),
@@ -53,8 +56,7 @@ void fig7(double* a, double* b, double* c, double* d, long nb, long nt) {
 
 fn run_fig7(cfg: &OpenMpOptConfig) -> (u64, usize) {
     use omp_gpusim::{LaunchDims, RtVal};
-    let mut m =
-        omp_frontend::compile(FIG7, &omp_frontend::FrontendOptions::default()).unwrap();
+    let mut m = omp_frontend::compile(FIG7, &omp_frontend::FrontendOptions::default()).unwrap();
     let report = omp_opt::run(&mut m, cfg);
     let mut dev = Device::new(&m, Default::default()).unwrap();
     let nb = 32i64;

@@ -119,12 +119,7 @@ impl ProxyApp for MiniQmc {
             .map(|k| format!("    double buf{k}[{BUF_LEN}];\n"))
             .collect();
         let writes: String = (0..N_BUFFERS)
-            .map(|k| {
-                format!(
-                    "      buf{k}[o] = t * {w:.3};\n",
-                    w = Self::weight(k)
-                )
-            })
+            .map(|k| format!("      buf{k}[o] = t * {w:.3};\n", w = Self::weight(k)))
             .collect();
         let reduce: String = (0..N_BUFFERS)
             .map(|k| format!("      sum += buf{k}[o];\n"))

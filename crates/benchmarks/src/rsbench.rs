@@ -114,8 +114,10 @@ impl RsBench {
                 }
             }
             let norm = 1.0 / (1.0 + energy);
-            out.push((macro_xs[0] + macro_xs[1] + macro_xs[2] + macro_xs[3]) * norm
-                + scratch_sum * 0.000001);
+            out.push(
+                (macro_xs[0] + macro_xs[1] + macro_xs[2] + macro_xs[3]) * norm
+                    + scratch_sum * 0.000001,
+            );
         }
         out
     }

@@ -19,17 +19,33 @@ fn main() {
             match (&o.stats, &o.error) {
                 (Some(s), _) => {
                     let rel = base.map(|b| b as f64 / s.cycles as f64).unwrap_or(0.0);
-                    println!("  {:44} {:>10} cyc  {:>6.2}x  regs={:<3} smem={:<6} heap={}",
-                        format!("{:?}", o.config), s.cycles, rel, s.registers, s.shared_mem_bytes, s.heap_bytes);
+                    println!(
+                        "  {:44} {:>10} cyc  {:>6.2}x  regs={:<3} smem={:<6} heap={}",
+                        format!("{:?}", o.config),
+                        s.cycles,
+                        rel,
+                        s.registers,
+                        s.shared_mem_bytes,
+                        s.heap_bytes
+                    );
                 }
                 (None, Some(e)) => println!("  {:44} FAILED: {e}", format!("{:?}", o.config)),
                 _ => unreachable!(),
             }
             if let Some(r) = &o.report {
                 let c = r.counts;
-                println!("      h2s={} h2shared={} spmd={} csm=({}) {} EM={} PL={} LP={} remarks={}",
-                    c.heap_to_stack, c.heap_to_shared, c.spmdized, c.csm_possible, c.csm_rewritten,
-                    c.folds_exec_mode, c.folds_parallel_level, c.folds_launch_params, r.remarks.len());
+                println!(
+                    "      h2s={} h2shared={} spmd={} csm=({}) {} EM={} PL={} LP={} remarks={}",
+                    c.heap_to_stack,
+                    c.heap_to_shared,
+                    c.spmdized,
+                    c.csm_possible,
+                    c.csm_rewritten,
+                    c.folds_exec_mode,
+                    c.folds_parallel_level,
+                    c.folds_launch_params,
+                    r.remarks.len()
+                );
             }
         }
     }

@@ -2,28 +2,94 @@
 //! compiler interactively:
 //!
 //! ```text
-//! ompgpu build kernel.c [--config dev] [--emit-ir] [--remarks]
-//! ompgpu run   kernel.c --kernel name [--config dev]
-//!              [--teams N] [--threads N]
-//!              [--arg buf:f64:LEN | --arg buf:i64:LEN
-//!               | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
-//!              [--dump N]
+//! ompgpu build  kernel.c [--config dev] [--emit-ir] [--remarks]
+//! ompgpu run    kernel.c --kernel name [--config dev]
+//!               [--teams N] [--threads N]
+//!               [--arg buf:f64:LEN | --arg buf:i64:LEN
+//!                | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
+//!               [--dump N]
+//! ompgpu verify [--scale small|bench] [--examples DIR] [FILE.c ...]
 //! ```
 //!
 //! Buffer arguments are zero-initialized device allocations; `--dump N`
 //! prints the first N elements of every buffer after the launch.
+//!
+//! `verify` runs the differential-execution oracle: the four proxy
+//! benchmarks — plus every `.c` example with an `// oracle-*:` header
+//! in `--examples DIR` or listed explicitly — are executed under all
+//! six OpenMP-source configurations of the paper's ablation matrix and
+//! must produce bit-identical outputs with monotone resource
+//! statistics. Exit status is non-zero on any divergence.
 
-use omp_gpu::{pipeline, BuildConfig, Device, LaunchDims, RtVal};
+use omp_gpu::{oracle, pipeline, BuildConfig, Device, LaunchDims, RtVal, Scale};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks]\n  \
          ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
-         [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n\n\
+         [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n  \
+         ompgpu verify [--scale small|bench] [--examples DIR] [FILE.c ...]\n\n\
          CFG: llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda"
     );
     ExitCode::from(2)
+}
+
+fn verify_main(args: &[String]) -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut dirs: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("small") => scale = Scale::Small,
+                Some("bench") => scale = Scale::Bench,
+                _ => return usage(),
+            },
+            "--examples" => match it.next() {
+                Some(d) => dirs.push(d.clone()),
+                None => return usage(),
+            },
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => return usage(),
+        }
+    }
+    let mut report = oracle::verify_proxies(scale);
+    for dir in &dirs {
+        match oracle::verify_examples_dir(std::path::Path::new(dir)) {
+            Ok(r) => report.cases.extend(r.cases),
+            Err(e) => {
+                eprintln!("ompgpu verify: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ompgpu verify: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = std::path::Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        report.cases.push(oracle::verify_example(&name, &source));
+    }
+    print!("{}", report.render());
+    let (pass, total) = (
+        report.cases.iter().filter(|c| c.passed()).count(),
+        report.cases.len(),
+    );
+    println!("{pass}/{total} cases passed");
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn parse_config(s: &str) -> Option<BuildConfig> {
@@ -64,6 +130,9 @@ fn main() -> ExitCode {
     let Some(mode) = args.first() else {
         return usage();
     };
+    if mode == "verify" {
+        return verify_main(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return usage();
     };
@@ -196,15 +265,9 @@ fn main() -> ExitCode {
                         for (i, (addr, len, is_f64)) in buffers.iter().enumerate() {
                             let k = dump.min(*len);
                             if *is_f64 {
-                                println!(
-                                    "buf{i}[..{k}] = {:?}",
-                                    dev.read_f64(*addr, k).unwrap()
-                                );
+                                println!("buf{i}[..{k}] = {:?}", dev.read_f64(*addr, k).unwrap());
                             } else {
-                                println!(
-                                    "buf{i}[..{k}] = {:?}",
-                                    dev.read_i64(*addr, k).unwrap()
-                                );
+                                println!("buf{i}[..{k}] = {:?}", dev.read_i64(*addr, k).unwrap());
                             }
                         }
                     }

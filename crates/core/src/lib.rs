@@ -12,7 +12,10 @@
 //! * [`pipeline::build`] — source → optimized module under a
 //!   configuration;
 //! * [`pipeline::run_proxy`] / [`pipeline::run_all_configs`] — build,
-//!   launch, and verify one of the four proxy applications.
+//!   launch, and verify one of the four proxy applications;
+//! * [`oracle`] — the differential-execution oracle: every subject runs
+//!   under the full ablation matrix and must produce bit-identical
+//!   outputs with monotone resource statistics (`ompgpu verify`).
 //!
 //! ```
 //! use omp_gpu::{pipeline, BuildConfig};
@@ -28,12 +31,16 @@
 //! ```
 
 pub mod config;
+pub mod oracle;
 pub mod pipeline;
 
 pub use config::BuildConfig;
 pub use omp_benchmarks::{all_proxies, ProxyApp, Scale};
 pub use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
-pub use omp_gpusim::{Device, DeviceConfig, KernelStats, LaunchDims, RtVal, SimError};
+pub use omp_gpusim::{
+    Device, DeviceConfig, KernelStats, LaunchDims, RtVal, SimError, StatsSnapshot,
+};
 pub use omp_ir::Module;
-pub use omp_opt::{OpenMpOptConfig, OptReport};
+pub use omp_opt::{OpenMpOptConfig, OptReport, PassStat};
+pub use oracle::{OracleCase, OracleReport};
 pub use pipeline::{build, run_all_configs, run_proxy, RunOutcome};

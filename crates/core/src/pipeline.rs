@@ -3,9 +3,9 @@
 use crate::config::BuildConfig;
 use omp_benchmarks::{verify, ProxyApp, Workload};
 use omp_frontend::CompileError;
-use omp_gpusim::{Device, KernelStats, SimError};
+use omp_gpusim::{Device, KernelStats, SimError, StatsSnapshot};
 use omp_ir::Module;
-use omp_opt::OptReport;
+use omp_opt::{OptReport, PassStat};
 use std::fmt;
 
 /// A compilation failure anywhere in the pipeline.
@@ -66,6 +66,21 @@ impl RunOutcome {
     /// Kernel cycles, if the run succeeded.
     pub fn cycles(&self) -> Option<u64> {
         self.stats.as_ref().map(|s| s.cycles)
+    }
+
+    /// Deterministic, order-stable statistics (sorted runtime-call
+    /// counts), if the run succeeded — the form the oracle records.
+    pub fn snapshot(&self) -> Option<StatsSnapshot> {
+        self.stats.as_ref().map(|s| s.snapshot())
+    }
+
+    /// Per-pass optimizer statistics, derived from the structured
+    /// remarks (empty when the OpenMP pass did not run).
+    pub fn pass_stats(&self) -> Vec<PassStat> {
+        self.report
+            .as_ref()
+            .map(|r| r.pass_stats())
+            .unwrap_or_default()
     }
 }
 

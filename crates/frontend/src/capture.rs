@@ -74,7 +74,15 @@ fn walk_stmt(
     match s {
         Stmt::Block(ss) => {
             for s in ss {
-                walk_stmt(s, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+                walk_stmt(
+                    s,
+                    arrays,
+                    on_ident,
+                    on_addr,
+                    on_decl,
+                    enter_parallel,
+                    descend_parallel,
+                );
             }
         }
         Stmt::VarDecl { name, init, .. } => {
@@ -90,9 +98,25 @@ fn walk_stmt(
             else_branch,
         } => {
             walk_expr(cond, arrays, on_ident, on_addr);
-            walk_stmt(then_branch, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            walk_stmt(
+                then_branch,
+                arrays,
+                on_ident,
+                on_addr,
+                on_decl,
+                enter_parallel,
+                descend_parallel,
+            );
             if let Some(e) = else_branch {
-                walk_stmt(e, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+                walk_stmt(
+                    e,
+                    arrays,
+                    on_ident,
+                    on_addr,
+                    on_decl,
+                    enter_parallel,
+                    descend_parallel,
+                );
             }
         }
         Stmt::For { header, body } => {
@@ -100,11 +124,27 @@ fn walk_stmt(
             walk_expr(&header.ub, arrays, on_ident, on_addr);
             walk_expr(&header.step, arrays, on_ident, on_addr);
             on_decl(&header.var);
-            walk_stmt(body, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            walk_stmt(
+                body,
+                arrays,
+                on_ident,
+                on_addr,
+                on_decl,
+                enter_parallel,
+                descend_parallel,
+            );
         }
         Stmt::While { cond, body } => {
             walk_expr(cond, arrays, on_ident, on_addr);
-            walk_stmt(body, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+            walk_stmt(
+                body,
+                arrays,
+                on_ident,
+                on_addr,
+                on_decl,
+                enter_parallel,
+                descend_parallel,
+            );
         }
         Stmt::Return(Some(e)) => walk_expr(e, arrays, on_ident, on_addr),
         Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
@@ -114,7 +154,15 @@ fn walk_stmt(
                 if is_parallel && !descend_parallel {
                     enter_parallel(b);
                 } else {
-                    walk_stmt(b, arrays, on_ident, on_addr, on_decl, enter_parallel, descend_parallel);
+                    walk_stmt(
+                        b,
+                        arrays,
+                        on_ident,
+                        on_addr,
+                        on_decl,
+                        enter_parallel,
+                        descend_parallel,
+                    );
                 }
             }
         }
@@ -174,11 +222,7 @@ pub fn assigned_vars(s: &Stmt) -> HashSet<String> {
     fn walk_s(s: &Stmt, out: &mut HashSet<String>) {
         match s {
             Stmt::Block(ss) => ss.iter().for_each(|s| walk_s(s, out)),
-            Stmt::VarDecl { init, .. } => {
-                if let Some(e) = init {
-                    walk_e(e, out);
-                }
-            }
+            Stmt::VarDecl { init: Some(e), .. } => walk_e(e, out),
             Stmt::Expr(e) => walk_e(e, out),
             Stmt::If {
                 cond,
@@ -224,7 +268,15 @@ pub fn captured_vars(body: &Stmt, outer: &HashSet<String>) -> Vec<String> {
             declared.insert(n.to_string());
         };
         let empty = HashSet::new();
-        walk_stmt(body, &empty, &mut |_| {}, &mut |_| {}, &mut on_decl, &mut |_| {}, true);
+        walk_stmt(
+            body,
+            &empty,
+            &mut |_| {},
+            &mut |_| {},
+            &mut on_decl,
+            &mut |_| {},
+            true,
+        );
     }
     let mut on_ident = |n: &str| {
         if outer.contains(n) && !declared.contains(n) && !captured.iter().any(|c| c == n) {
@@ -253,7 +305,15 @@ pub fn address_taken(f: &FuncDecl) -> HashSet<String> {
         let mut on_addr = |n: &str| {
             out.insert(n.to_string());
         };
-        walk_stmt(body, &arrays, &mut |_| {}, &mut on_addr, &mut |_| {}, &mut |_| {}, true);
+        walk_stmt(
+            body,
+            &arrays,
+            &mut |_| {},
+            &mut on_addr,
+            &mut |_| {},
+            &mut |_| {},
+            true,
+        );
     }
     out
 }
@@ -309,7 +369,15 @@ pub fn escaping_locals(f: &FuncDecl) -> HashSet<String> {
         let mut on_decl = |n: &str| {
             outer.insert(n.to_string());
         };
-        walk_stmt(body, &arrays, &mut |_| {}, &mut |_| {}, &mut on_decl, &mut |_| {}, true);
+        walk_stmt(
+            body,
+            &arrays,
+            &mut |_| {},
+            &mut |_| {},
+            &mut on_decl,
+            &mut |_| {},
+            true,
+        );
     }
     let mut regions: Vec<&Stmt> = Vec::new();
     collect_parallel_regions(body, &mut regions);

@@ -272,7 +272,11 @@ impl FnLowerer<'_, '_> {
                     CType::Double => Value::f64(0.0),
                     _ => return Err(self.err("cannot negate this type")),
                 };
-                let bop = if t.is_float() { BinOp::FSub } else { BinOp::Sub };
+                let bop = if t.is_float() {
+                    BinOp::FSub
+                } else {
+                    BinOp::Sub
+                };
                 let r = self.emit(InstKind::Bin {
                     op: bop,
                     ty: ct2ty(t),
@@ -347,12 +351,13 @@ impl FnLowerer<'_, '_> {
     pub(crate) fn lower_bool(&mut self, e: &Expr) -> Result<Value> {
         match e {
             Expr::Binary {
-                op: op @ (BinaryOp::Lt
-                | BinaryOp::Le
-                | BinaryOp::Gt
-                | BinaryOp::Ge
-                | BinaryOp::Eq
-                | BinaryOp::Ne),
+                op:
+                    op @ (BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+                    | BinaryOp::Eq
+                    | BinaryOp::Ne),
                 lhs,
                 rhs,
             } => {

@@ -763,9 +763,7 @@ impl<'m, 'p> FnLowerer<'m, 'p> {
                     c.name
                 )));
             };
-            let by_value = !c.assigned
-                && info.array.is_none()
-                && !self.escaping.contains(&c.name);
+            let by_value = !c.assigned && info.array.is_none() && !self.escaping.contains(&c.name);
             cap_infos.push((c.name.clone(), info.clone(), by_value));
         }
         // Create the outlined function.
@@ -1125,6 +1123,19 @@ fn lower_kernel(
         lw.block = wexit;
         lw.br(exit_bb);
         // Main path.
+        lw.block = main_bb;
+    } else {
+        // SPMD: Clang still guards the user code on `init == -1` (every
+        // thread passes at runtime); OpenMPOpt's execution-mode folding
+        // is what removes the check at compile time (Section IV-C).
+        let is_user = lw.emit(InstKind::Cmp {
+            op: CmpOp::Eq,
+            ty: Type::I32,
+            lhs: tid,
+            rhs: Value::i32(-1),
+        });
+        let main_bb = lw.new_block();
+        lw.cond_br(is_user, main_bb, exit_bb);
         lw.block = main_bb;
     }
     lw.push_scope();

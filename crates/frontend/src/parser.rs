@@ -118,8 +118,9 @@ impl Parser {
                     let Token::Pragma(text) = self.bump() else {
                         unreachable!()
                     };
-                    let a = parse_assume_pragma(&text)
-                        .ok_or_else(|| self.err(format!("unsupported top-level pragma `{text}`")))?;
+                    let a = parse_assume_pragma(&text).ok_or_else(|| {
+                        self.err(format!("unsupported top-level pragma `{text}`"))
+                    })?;
                     pending_assumptions.spmd_amenable |= a.spmd_amenable;
                     pending_assumptions.no_openmp |= a.no_openmp;
                     pending_assumptions.pure_fn |= a.pure_fn;
@@ -458,8 +459,7 @@ impl Parser {
 
     fn bit_and(&mut self) -> Result<Expr> {
         let mut e = self.equality()?;
-        while *self.peek() == Token::Punct(Punct::Amp)
-            && *self.peek2() != Token::Punct(Punct::Amp)
+        while *self.peek() == Token::Punct(Punct::Amp) && *self.peek2() != Token::Punct(Punct::Amp)
         {
             self.bump();
             let r = self.equality()?;
@@ -696,9 +696,9 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
         }
     }
     let clause = |name: &str| clauses.iter().find(|(w, _)| *w == name).map(|&(_, n)| n);
-    match words.first()? {
-        &"barrier" if words.len() == 1 && clauses.is_empty() => Some(OmpDirective::Barrier),
-        &"target" => {
+    match *words.first()? {
+        "barrier" if words.len() == 1 && clauses.is_empty() => Some(OmpDirective::Barrier),
+        "target" => {
             let mut teams = false;
             let mut distribute = false;
             let mut parallel = false;
@@ -730,7 +730,7 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
                 thread_limit: clause("thread_limit"),
             })
         }
-        &"parallel" => {
+        "parallel" => {
             let mut for_loop = false;
             for w in &words[1..] {
                 match *w {
@@ -854,10 +854,7 @@ void f() {
 
     #[test]
     fn canonical_loop_variants() {
-        let p = parse_program(
-            "void f(long n) { for (long i = 2; i <= n; i += 3) { } }",
-        )
-        .unwrap();
+        let p = parse_program("void f(long n) { for (long i = 2; i <= n; i += 3) { } }").unwrap();
         let f = p.func("f").unwrap();
         let Stmt::Block(stmts) = f.body.as_ref().unwrap() else {
             panic!()
@@ -881,7 +878,9 @@ void f() {
 
     #[test]
     fn rejects_bad_pragmas() {
-        assert!(parse_program("void f() {\n#pragma omp target simd\nfor(int i=0;i<1;i++){} }").is_err());
+        assert!(
+            parse_program("void f() {\n#pragma omp target simd\nfor(int i=0;i<1;i++){} }").is_err()
+        );
         assert!(
             parse_program("void f() {\n#pragma omp parallel for\nint x = 0; }").is_err(),
             "worksharing without loop must be rejected"
@@ -890,10 +889,8 @@ void f() {
 
     #[test]
     fn expressions_precedence_and_casts() {
-        let p = parse_program(
-            "double f(double* a, int i) { return (double)i * a[i + 1] + 2.0; }",
-        )
-        .unwrap();
+        let p = parse_program("double f(double* a, int i) { return (double)i * a[i + 1] + 2.0; }")
+            .unwrap();
         let f = p.func("f").unwrap();
         let Stmt::Block(stmts) = f.body.as_ref().unwrap() else {
             panic!()
@@ -902,7 +899,13 @@ void f() {
             panic!("{stmts:?}")
         };
         assert_eq!(*op, BinaryOp::Add);
-        assert!(matches!(**lhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **lhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -914,12 +917,24 @@ void f() {
         };
         assert!(matches!(
             &stmts[0],
-            Stmt::VarDecl { init: Some(Expr::Unary { op: UnaryOp::Deref, .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::Unary {
+                    op: UnaryOp::Deref,
+                    ..
+                }),
+                ..
+            }
         ));
         let Stmt::Expr(Expr::Call { args, .. }) = &stmts[1] else {
             panic!()
         };
-        assert!(matches!(args[0], Expr::Unary { op: UnaryOp::Addr, .. }));
+        assert!(matches!(
+            args[0],
+            Expr::Unary {
+                op: UnaryOp::Addr,
+                ..
+            }
+        ));
     }
 
     #[test]

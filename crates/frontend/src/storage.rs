@@ -316,7 +316,6 @@ impl FnLowerer<'_, '_> {
         self.br(cont_bb);
         self.block = cont_bb;
     }
-
 }
 
 /// Collects legacy-aggregate slot sizes in the exact order lowering
@@ -337,10 +336,8 @@ fn collect_legacy_slots(
         }
         Stmt::VarDecl {
             name, ty, array, ..
-        } => {
-            if escaping.contains(name) {
-                out.push(storage_size(*ty, *array));
-            }
+        } if escaping.contains(name) => {
+            out.push(storage_size(*ty, *array));
         }
         Stmt::If {
             then_branch,

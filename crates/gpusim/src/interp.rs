@@ -16,8 +16,8 @@ use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_ir::omprtl::MODE_SPMD;
 use omp_ir::{
-    AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, GlobalId, InstId, InstKind,
-    Module, RtlFn, Terminator, Type, Value,
+    AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, GlobalId, InstId, InstKind, Module,
+    RtlFn, Terminator, Type, Value,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -88,11 +88,11 @@ struct Frame {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RetHook {
     /// Main thread finished its share of a generic parallel region.
-    JoinGeneric,
+    Generic,
     /// SPMD thread finished a parallel region: implicit team barrier.
-    JoinSpmd,
+    Spmd,
     /// Serialized nested region: pop context only.
-    JoinSerialized,
+    Serialized,
 }
 
 struct Thread {
@@ -546,12 +546,7 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn do_return(
-        &mut self,
-        team: &mut Team,
-        hw: u32,
-        val: Option<RtVal>,
-    ) -> Result<(), SimError> {
+    fn do_return(&mut self, team: &mut Team, hw: u32, val: Option<RtVal>) -> Result<(), SimError> {
         let th = &mut team.threads[hw as usize];
         let frame = th.frames.pop().expect("return without frame");
         th.local_sp = frame.local_sp_save;
@@ -565,15 +560,15 @@ impl<'a> Interp<'a> {
         }
         match frame.hook {
             None => {}
-            Some(RetHook::JoinSerialized) => {
+            Some(RetHook::Serialized) => {
                 team.threads[hw as usize].ctx.pop();
             }
-            Some(RetHook::JoinSpmd) => {
+            Some(RetHook::Spmd) => {
                 team.threads[hw as usize].ctx.pop();
                 // Implicit barrier at the end of an SPMD parallel region.
                 self.enter_barrier(team, hw, true)?;
             }
-            Some(RetHook::JoinGeneric) => {
+            Some(RetHook::Generic) => {
                 // Main thread finished its share; wait for workers.
                 team.threads[hw as usize].ctx.pop();
                 if team.outstanding > 0 {
@@ -642,6 +637,9 @@ impl<'a> Interp<'a> {
         }
     }
 
+    // One parameter per coalescing-model input; bundling them into a
+    // struct would just rename the tuple.
+    #[allow(clippy::too_many_arguments)]
     fn access_cost(
         &mut self,
         team: &mut Team,
@@ -826,7 +824,11 @@ impl<'a> Interp<'a> {
         args: &[Value],
         _indirect: bool,
     ) -> Result<(), SimError> {
-        *self.stats.rtl_calls.entry(rtl.name().to_string()).or_insert(0) += 1;
+        *self
+            .stats
+            .rtl_calls
+            .entry(rtl.name().to_string())
+            .or_insert(0) += 1;
         let f = team.threads[hw as usize].frames.last().unwrap();
         let mut vals = Vec::with_capacity(args.len());
         for a in args {
@@ -849,7 +851,11 @@ impl<'a> Interp<'a> {
             RtlFn::TargetInit => {
                 let mode = vals[0].as_i64().unwrap_or(1);
                 let spmd = mode == MODE_SPMD;
-                team.mode = if spmd { ExecMode::Spmd } else { ExecMode::Generic };
+                team.mode = if spmd {
+                    ExecMode::Spmd
+                } else {
+                    ExecMode::Generic
+                };
                 let th = &mut team.threads[hw as usize];
                 let ret = if spmd {
                     th.ctx = vec![(hw as i32, self.team_size as i32)];
@@ -925,9 +931,7 @@ impl<'a> Interp<'a> {
                 let th = &mut team.threads[hw as usize];
                 th.ctx.pop();
                 team.outstanding = team.outstanding.saturating_sub(1);
-                if team.outstanding == 0
-                    && team.threads[0].status == Status::WaitJoin
-                {
+                if team.outstanding == 0 && team.threads[0].status == Status::WaitJoin {
                     self.finish_join(team);
                 }
                 done!(None::<RtVal>)
@@ -998,10 +1002,7 @@ impl<'a> Interp<'a> {
             }
             RtlFn::StaticChunkLb | RtlFn::StaticChunkUb => {
                 let n = vals[0].as_i64().unwrap_or(0).max(0);
-                let (tid, nt) = *team.threads[hw as usize]
-                    .ctx
-                    .last()
-                    .unwrap_or(&(0, 1));
+                let (tid, nt) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
                 let nt = nt.max(1) as i64;
                 let tid = tid as i64;
                 let chunk = (n + nt - 1) / nt;
@@ -1017,7 +1018,11 @@ impl<'a> Interp<'a> {
                 let chunk = (n + teams - 1) / teams;
                 let lb = (t * chunk).min(n);
                 let ub = (lb + chunk).min(n);
-                let v = if rtl == RtlFn::DistributeChunkLb { lb } else { ub };
+                let v = if rtl == RtlFn::DistributeChunkLb {
+                    lb
+                } else {
+                    ub
+                };
                 done!(Some(RtVal::I64(v)))
             }
             RtlFn::ThreadNum => {
@@ -1088,7 +1093,7 @@ impl<'a> Interp<'a> {
             // Nested parallelism is serialized onto the caller.
             let th = &mut team.threads[hw as usize];
             th.ctx.push((0, 1));
-            push_region_frame(th, RetHook::JoinSerialized, vec![RtVal::Ptr(args_ptr)]);
+            push_region_frame(th, RetHook::Serialized, vec![RtVal::Ptr(args_ptr)]);
             self.charge(team, hw, self.cost.call);
             return Ok(());
         }
@@ -1097,7 +1102,7 @@ impl<'a> Interp<'a> {
                 let th = &mut team.threads[hw as usize];
                 let (tid, n) = *th.ctx.last().unwrap_or(&(hw as i32, self.team_size as i32));
                 th.ctx.push((tid, n));
-                push_region_frame(th, RetHook::JoinSpmd, vec![RtVal::Ptr(args_ptr)]);
+                push_region_frame(th, RetHook::Spmd, vec![RtVal::Ptr(args_ptr)]);
                 self.charge(team, hw, self.cost.parallel_dispatch_spmd);
                 Ok(())
             }
@@ -1130,7 +1135,7 @@ impl<'a> Interp<'a> {
                 }
                 let th = &mut team.threads[hw as usize];
                 th.ctx.push((0, n));
-                push_region_frame(th, RetHook::JoinGeneric, vec![RtVal::Ptr(args_ptr)]);
+                push_region_frame(th, RetHook::Generic, vec![RtVal::Ptr(args_ptr)]);
                 self.charge(team, hw, self.cost.parallel_dispatch_generic);
                 self.stats.parallel_regions += 1;
                 Ok(())

@@ -234,9 +234,7 @@ impl<'m> Device<'m> {
         // state-machine rewrite eliminates).
         let cg = CallGraph::build(self.module);
         let reachable = cg.reachable_from([kfunc]);
-        let has_indirect = reachable
-            .iter()
-            .any(|f| cg.has_indirect_call.contains(f));
+        let has_indirect = reachable.iter().any(|f| cg.has_indirect_call.contains(f));
         stats.registers = kernel_register_estimate(self.module, reachable.iter().copied());
         if has_indirect {
             stats.registers += 24;

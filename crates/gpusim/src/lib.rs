@@ -14,7 +14,10 @@
 //! generic parallel dispatch.
 //!
 //! Kernel launches report the paper's Figure 10 quantities: kernel time
-//! (cycles), shared-memory footprint, and a register estimate.
+//! (cycles), shared-memory footprint, and a register estimate — as raw
+//! [`KernelStats`], or as a [`StatsSnapshot`]: a deterministic,
+//! comparison-friendly projection the differential-execution oracle
+//! uses to assert monotone resource usage along the ablation chain.
 //!
 //! ```
 //! use omp_frontend::{compile, FrontendOptions};
@@ -54,5 +57,5 @@ pub use cost::CostModel;
 pub use interp::SimError;
 pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
-pub use stats::KernelStats;
+pub use stats::{KernelStats, StatsSnapshot};
 pub use value::RtVal;

@@ -38,10 +38,95 @@ pub struct KernelStats {
     pub uncoalesced_accesses: u64,
 }
 
+/// A deterministic, order-stable projection of [`KernelStats`]: the
+/// `rtl_calls` map is flattened into a name-sorted vector so two runs of
+/// the same program compare equal with `==` and serialize identically —
+/// the form the differential oracle records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Kernel time in model cycles.
+    pub cycles: u64,
+    /// Shared-memory footprint in bytes.
+    pub shared_mem_bytes: u64,
+    /// Device-heap (globalization fallback) high-water mark in bytes.
+    pub heap_bytes: u64,
+    /// Estimated registers per thread.
+    pub registers: u32,
+    /// Total executed instructions across all threads.
+    pub instructions: u64,
+    /// Globalization allocations performed.
+    pub globalization_allocs: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Indirect calls executed.
+    pub indirect_calls: u64,
+    /// Generic-mode parallel-region dispatches.
+    pub parallel_regions: u64,
+    /// Memory accesses executed.
+    pub memory_accesses: u64,
+    /// Dynamic calls per runtime entry point, sorted by name.
+    pub rtl_calls: Vec<(String, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Serializes to one flat JSON object with stable field order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        for (k, v) in [
+            ("cycles", self.cycles),
+            ("shared_mem_bytes", self.shared_mem_bytes),
+            ("heap_bytes", self.heap_bytes),
+            ("registers", self.registers as u64),
+            ("instructions", self.instructions),
+            ("globalization_allocs", self.globalization_allocs),
+            ("barriers", self.barriers),
+            ("indirect_calls", self.indirect_calls),
+            ("parallel_regions", self.parallel_regions),
+            ("memory_accesses", self.memory_accesses),
+        ] {
+            s.push_str(&format!("\"{k}\":{v},"));
+        }
+        s.push_str("\"rtl_calls\":{");
+        for (i, (name, n)) in self.rtl_calls.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{n}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
 impl KernelStats {
     /// Dynamic count of calls to the named runtime function.
     pub fn rtl_count(&self, name: &str) -> u64 {
         self.rtl_calls.get(name).copied().unwrap_or(0)
+    }
+
+    /// Deterministic snapshot (sorted `rtl_calls`) for comparison and
+    /// serialization.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut rtl_calls: Vec<(String, u64)> = self
+            .rtl_calls
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        rtl_calls.sort();
+        StatsSnapshot {
+            cycles: self.cycles,
+            shared_mem_bytes: self.shared_mem_bytes,
+            heap_bytes: self.heap_bytes,
+            registers: self.registers,
+            instructions: self.instructions,
+            globalization_allocs: self.globalization_allocs,
+            barriers: self.barriers,
+            indirect_calls: self.indirect_calls,
+            parallel_regions: self.parallel_regions,
+            memory_accesses: self.memory_accesses,
+            rtl_calls,
+        }
     }
 
     /// Aggregates team cycles into the kernel time given an SM count:
@@ -82,5 +167,34 @@ mod tests {
         s.rtl_calls.insert("__kmpc_barrier".into(), 3);
         assert_eq!(s.rtl_count("__kmpc_barrier"), 3);
         assert_eq!(s.rtl_count("nope"), 0);
+    }
+
+    #[test]
+    fn snapshot_sorts_rtl_calls_and_compares_equal() {
+        let mut a = KernelStats::default();
+        a.rtl_calls.insert("b".into(), 2);
+        a.rtl_calls.insert("a".into(), 1);
+        let mut b = KernelStats::default();
+        b.rtl_calls.insert("a".into(), 1);
+        b.rtl_calls.insert("b".into(), 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(
+            a.snapshot().rtl_calls,
+            vec![("a".to_string(), 1), ("b".to_string(), 2)]
+        );
+        assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut s = KernelStats {
+            cycles: 7,
+            ..KernelStats::default()
+        };
+        s.rtl_calls.insert("__kmpc_barrier".into(), 3);
+        let j = s.snapshot().to_json();
+        assert!(j.starts_with("{\"cycles\":7,"));
+        assert!(j.contains("\"rtl_calls\":{\"__kmpc_barrier\":3}"));
+        assert!(j.ends_with("}}"));
     }
 }

@@ -104,7 +104,10 @@ void fig1(double* out, long nblocks, long nthreads) {
     // Generic dispatch happened (one per block iteration).
     assert!(stats.parallel_regions >= nb as u64 / 2);
     assert!(stats.rtl_count("__kmpc_parallel_51") >= nb as u64);
-    assert!(stats.globalization_allocs > 0, "team_val must be globalized");
+    assert!(
+        stats.globalization_allocs > 0,
+        "team_val must be globalized"
+    );
 }
 
 #[test]
@@ -128,8 +131,10 @@ void fig3(long* cell, int* out, int base) {
     // The dialect has no int-to-pointer casts; emulate via helpers.
     let src = src
         .replace("cell[0] = (long)&lcl;", "publish(cell, &lcl);")
-        .replace("out[omp_get_thread_num()] = *(int*)cell[0];",
-                 "out[omp_get_thread_num()] = read_published(cell);");
+        .replace(
+            "out[omp_get_thread_num()] = *(int*)cell[0];",
+            "out[omp_get_thread_num()] = read_published(cell);",
+        );
     let full = format!(
         r#"
 void publish(long* cell, int* p);
@@ -174,7 +179,7 @@ void share(double* out, long nthreads) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_f64(&vec![0.0; 8]).unwrap();
+    let out = dev.alloc_f64(&[0.0; 8]).unwrap();
     dev.launch("share", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 8))
         .unwrap();
     let vals = dev.read_f64(out, 8).unwrap();
@@ -201,7 +206,7 @@ void share(double* out, long nthreads) {
     // Generic mode: legacy allocates from the data-sharing stack; works.
     let m = build_legacy(src);
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_f64(&vec![0.0; 8]).unwrap();
+    let out = dev.alloc_f64(&[0.0; 8]).unwrap();
     dev.launch("share", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 8))
         .unwrap();
     assert_eq!(dev.read_f64(out, 8).unwrap(), vec![7.5; 8]);
@@ -237,7 +242,7 @@ void spmd_share(double* out, long n) {
     };
     let m = compile(src, &opts).unwrap();
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_f64(&vec![0.0; 8]).unwrap();
+    let out = dev.alloc_f64(&[0.0; 8]).unwrap();
     let err = dev
         .launch("share", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 8))
         .unwrap_err();
@@ -279,8 +284,8 @@ void neighbors(long* a, long* b, long n) {
         )
         .unwrap();
     let out = dev.read_i64(b, n).unwrap();
-    for i in 0..n {
-        assert_eq!(out[i], (((i + 1) % n) * 100) as i64, "thread {i}");
+    for (i, &got) in out.iter().enumerate() {
+        assert_eq!(got, (((i + 1) % n) * 100) as i64, "thread {i}");
     }
     assert!(stats.barriers >= 1);
 }
@@ -307,8 +312,12 @@ void nested(long* out, long n) {
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
     let n = 16usize;
     let out = dev.alloc_i64(&vec![0; n]).unwrap();
-    dev.launch("nested", &[RtVal::Ptr(out), RtVal::I64(n as i64)], dims(1, 4))
-        .unwrap();
+    dev.launch(
+        "nested",
+        &[RtVal::Ptr(out), RtVal::I64(n as i64)],
+        dims(1, 4),
+    )
+    .unwrap();
     let vals = dev.read_i64(out, n).unwrap();
     assert_eq!(vals, vec![1i64; n], "each iteration exactly once, tid 0");
 }
@@ -442,9 +451,9 @@ void mathy(double* out) {
     let out = dev.alloc_f64(&[0.0; 4]).unwrap();
     dev.launch("mathy", &[RtVal::Ptr(out)], dims(1, 4)).unwrap();
     let v = dev.read_f64(out, 4).unwrap();
-    for i in 0..4usize {
+    for (i, &got) in v.iter().enumerate() {
         let x = (i + 1) as f64;
-        assert!((v[i] - (x.sqrt() + 1.0 + x.max(2.0) + x)).abs() < 1e-12);
+        assert!((got - (x.sqrt() + 1.0 + x.max(2.0) + x)).abs() < 1e-12);
     }
 }
 
@@ -569,7 +578,7 @@ void work(double* out, long n) {
 "#;
     let run = |m: &omp_ir::Module| -> Vec<f64> {
         let mut dev = Device::new(m, DeviceConfig::default()).unwrap();
-        let out = dev.alloc_f64(&vec![0.0; 16]).unwrap();
+        let out = dev.alloc_f64(&[0.0; 16]).unwrap();
         dev.launch("work", &[RtVal::Ptr(out), RtVal::I64(4)], dims(2, 4))
             .unwrap();
         dev.read_f64(out, 16).unwrap()

@@ -3,9 +3,7 @@
 //! simultaneity, unsigned operations, casts, and selects.
 
 use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal};
-use omp_ir::{
-    BinOp, Builder, CastOp, CmpOp, ExecMode, Function, KernelInfo, Module, Type, Value,
-};
+use omp_ir::{BinOp, Builder, CastOp, CmpOp, ExecMode, Function, KernelInfo, Module, Type, Value};
 
 fn kernelize(m: &mut Module, f: omp_ir::FuncId, name: &str) {
     m.kernels.push(KernelInfo {

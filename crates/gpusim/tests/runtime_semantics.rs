@@ -75,13 +75,9 @@ void narrow(long* count, long nthreads) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_i64(&vec![-1; 8]).unwrap();
-    dev.launch(
-        "narrow",
-        &[RtVal::Ptr(out), RtVal::I64(8)],
-        dims(1, 8),
-    )
-    .unwrap();
+    let out = dev.alloc_i64(&[-1; 8]).unwrap();
+    dev.launch("narrow", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 8))
+        .unwrap();
     let v = dev.read_i64(out, 8).unwrap();
     // Exactly three participants, each seeing a team of three.
     assert_eq!(&v[..3], &[3, 3, 3]);
@@ -109,7 +105,7 @@ void nest(long* out, long n) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_i64(&vec![-1; 8]).unwrap();
+    let out = dev.alloc_i64(&[-1; 8]).unwrap();
     dev.launch("nest", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 4))
         .unwrap();
     let v = dev.read_i64(out, 8).unwrap();
@@ -226,7 +222,7 @@ void nested_barrier(long* out, long n) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let out = dev.alloc_i64(&vec![0; 4]).unwrap();
+    let out = dev.alloc_i64(&[0; 4]).unwrap();
     dev.launch(
         "nested_barrier",
         &[RtVal::Ptr(out), RtVal::I64(4)],
@@ -253,7 +249,7 @@ void counted(double* a, long n) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
-    let a = dev.alloc_f64(&vec![0.0; 16]).unwrap();
+    let a = dev.alloc_f64(&[0.0; 16]).unwrap();
     let stats = dev
         .launch("counted", &[RtVal::Ptr(a), RtVal::I64(4)], dims(1, 4))
         .unwrap();

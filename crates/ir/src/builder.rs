@@ -60,7 +60,9 @@ impl<'m> Builder<'m> {
     }
 
     fn push(&mut self, kind: InstKind) -> InstId {
-        self.module.func_mut(self.func).append_inst(self.block, kind)
+        self.module
+            .func_mut(self.func)
+            .append_inst(self.block, kind)
     }
 
     fn pushv(&mut self, kind: InstKind) -> Value {

@@ -31,8 +31,8 @@ impl DomTree {
             if i < succs.len() {
                 stack.push((b, i + 1));
                 let s = succs[i];
-                if !state.contains_key(&s) {
-                    state.insert(s, 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = state.entry(s) {
+                    e.insert(1);
                     stack.push((s, 0));
                 }
             } else {

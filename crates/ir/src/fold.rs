@@ -45,7 +45,7 @@ pub fn fold_bin(op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Option<Value> {
     let b = rhs.as_int()?;
     let ua = to_unsigned(a, ty);
     let ub = to_unsigned(b, ty);
-    let bits = ty.int_bits().unwrap_or(64) as u32;
+    let bits = ty.int_bits().unwrap_or(64);
     let r = match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -118,8 +118,7 @@ pub fn fold_cmp(op: CmpOp, ty: Type, lhs: Value, rhs: Value) -> Option<Value> {
     }
     // Pointer equality against null is foldable for globals/functions.
     if ty == Type::Ptr {
-        let known_nonnull =
-            |v: Value| matches!(v, Value::Global(_) | Value::Func(_));
+        let known_nonnull = |v: Value| matches!(v, Value::Global(_) | Value::Func(_));
         let r = match (lhs, rhs, op) {
             (Value::Null, Value::Null, CmpOp::Eq) => Some(true),
             (Value::Null, Value::Null, CmpOp::Ne) => Some(false),
@@ -257,18 +256,12 @@ pub fn simplify_bin(op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Option<Value
         }
         BinOp::Add | BinOp::Or | BinOp::Xor if lhs.is_int_const(0) => Some(rhs),
         BinOp::Sub if rhs.is_int_const(0) => Some(lhs),
-        BinOp::Sub if lhs == rhs && !lhs.is_const() && ty.is_int() => {
-            Some(Value::ConstInt(0, ty))
-        }
+        BinOp::Sub if lhs == rhs && !lhs.is_const() && ty.is_int() => Some(Value::ConstInt(0, ty)),
         BinOp::Mul if rhs.is_int_const(1) => Some(lhs),
         BinOp::Mul if lhs.is_int_const(1) => Some(rhs),
-        BinOp::Mul if rhs.is_int_const(0) || lhs.is_int_const(0) => {
-            Some(Value::ConstInt(0, ty))
-        }
+        BinOp::Mul if rhs.is_int_const(0) || lhs.is_int_const(0) => Some(Value::ConstInt(0, ty)),
         BinOp::SDiv | BinOp::UDiv if rhs.is_int_const(1) => Some(lhs),
-        BinOp::And if rhs.is_int_const(0) || lhs.is_int_const(0) => {
-            Some(Value::ConstInt(0, ty))
-        }
+        BinOp::And if rhs.is_int_const(0) || lhs.is_int_const(0) => Some(Value::ConstInt(0, ty)),
         _ => None,
     }
 }
@@ -369,12 +362,7 @@ mod tests {
             Some(Value::bool(false))
         );
         assert_eq!(
-            fold_cmp(
-                CmpOp::Ne,
-                Type::Ptr,
-                Value::Func(FuncId(1)),
-                Value::Null
-            ),
+            fold_cmp(CmpOp::Ne, Type::Ptr, Value::Func(FuncId(1)), Value::Null),
             Some(Value::bool(true))
         );
     }
@@ -418,8 +406,14 @@ mod tests {
             Some(Value::i32(2))
         );
         let x = Value::Arg(0);
-        assert_eq!(simplify_bin(BinOp::Add, Type::I32, x, Value::i32(0)), Some(x));
-        assert_eq!(simplify_bin(BinOp::Mul, Type::I32, x, Value::i32(1)), Some(x));
+        assert_eq!(
+            simplify_bin(BinOp::Add, Type::I32, x, Value::i32(0)),
+            Some(x)
+        );
+        assert_eq!(
+            simplify_bin(BinOp::Mul, Type::I32, x, Value::i32(1)),
+            Some(x)
+        );
         assert_eq!(
             simplify_bin(BinOp::Mul, Type::I32, x, Value::i32(0)),
             Some(Value::i32(0))

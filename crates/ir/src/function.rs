@@ -166,9 +166,7 @@ impl Function {
 
     /// Whether the block id refers to a live block.
     pub fn is_live_block(&self, id: BlockId) -> bool {
-        self.blocks
-            .get(id.index())
-            .is_some_and(|b| b.is_some())
+        self.blocks.get(id.index()).is_some_and(|b| b.is_some())
     }
 
     /// Allocates an instruction in the arena without placing it in a block.
@@ -204,9 +202,7 @@ impl Function {
 
     /// Whether the instruction id refers to a live instruction.
     pub fn is_live_inst(&self, id: InstId) -> bool {
-        self.insts
-            .get(id.index())
-            .is_some_and(|i| i.is_some())
+        self.insts.get(id.index()).is_some_and(|i| i.is_some())
     }
 
     /// Removes an instruction from its block and frees its arena slot.
@@ -225,17 +221,14 @@ impl Function {
 
     /// Total number of live instructions.
     pub fn num_insts(&self) -> usize {
-        self.layout
-            .iter()
-            .map(|&b| self.block(b).insts.len())
-            .sum()
+        self.layout.iter().map(|&b| self.block(b).insts.len()).sum()
     }
 
     /// Iterates `(block, inst)` pairs in layout order.
     pub fn inst_ids(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
-        self.layout.iter().flat_map(move |&b| {
-            self.block(b).insts.iter().map(move |&i| (b, i))
-        })
+        self.layout
+            .iter()
+            .flat_map(move |&b| self.block(b).insts.iter().map(move |&i| (b, i)))
     }
 
     /// The block containing `inst`, if it is placed.

@@ -49,6 +49,6 @@ pub use dom::DomTree;
 pub use function::{BlockData, FuncAttrs, Function, Linkage, ParamAttrs};
 pub use inst::{BinOp, CastOp, CmpOp, InstKind, Terminator};
 pub use module::{AddrSpace, ExecMode, Global, KernelInfo, Module};
-pub use omprtl::RtlFn;
+pub use omprtl::{math_fn_signature, RtlFn};
 pub use types::Type;
 pub use value::{BlockId, FuncId, GlobalId, InstId, Value};

@@ -299,10 +299,13 @@ pub const MATH_FNS: &[(&str, u32, bool)] = &[
 /// Returns `(params, ret)` for a math intrinsic, or `None` if `name`
 /// is not one.
 pub fn math_fn_signature(name: &str) -> Option<(Vec<Type>, Type)> {
-    MATH_FNS.iter().find(|(n, _, _)| *n == name).map(|&(_, arity, f32)| {
-        let ty = if f32 { Type::F32 } else { Type::F64 };
-        (vec![ty; arity as usize], ty)
-    })
+    MATH_FNS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, arity, f32)| {
+            let ty = if f32 { Type::F32 } else { Type::F64 };
+            (vec![ty; arity as usize], ty)
+        })
 }
 
 #[cfg(test)]

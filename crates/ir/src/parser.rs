@@ -67,7 +67,6 @@ impl<'a> Cursor<'a> {
         self.rest.is_empty()
     }
 
-
     fn eat(&mut self, tok: &str) -> bool {
         self.skip_ws();
         // Plain prefix matching: tokens like `%v`, `%arg` and `bb` are
@@ -175,21 +174,72 @@ enum RawValue {
 
 #[derive(Debug)]
 enum RawInst {
-    Alloca { size: u64, align: u64 },
-    Load { ty: Type, ptr: RawValue },
-    Store { val: RawValue, ptr: RawValue },
-    Bin { op: BinOp, ty: Type, lhs: RawValue, rhs: RawValue },
-    Cmp { op: CmpOp, ty: Type, lhs: RawValue, rhs: RawValue },
-    Cast { op: CastOp, val: RawValue, to: Type },
-    Gep { base: RawValue, index: RawValue, scale: u64, offset: i64 },
-    Call { callee: RawValue, args: Vec<RawValue>, ret: Type },
-    Select { cond: RawValue, ty: Type, on_true: RawValue, on_false: RawValue },
-    Phi { ty: Type, incoming: Vec<(u32, RawValue)> },
+    Alloca {
+        size: u64,
+        align: u64,
+    },
+    Load {
+        ty: Type,
+        ptr: RawValue,
+    },
+    Store {
+        val: RawValue,
+        ptr: RawValue,
+    },
+    Bin {
+        op: BinOp,
+        ty: Type,
+        lhs: RawValue,
+        rhs: RawValue,
+    },
+    Cmp {
+        op: CmpOp,
+        ty: Type,
+        lhs: RawValue,
+        rhs: RawValue,
+    },
+    Cast {
+        op: CastOp,
+        val: RawValue,
+        to: Type,
+    },
+    Gep {
+        base: RawValue,
+        index: RawValue,
+        scale: u64,
+        offset: i64,
+    },
+    Call {
+        callee: RawValue,
+        args: Vec<RawValue>,
+        ret: Type,
+    },
+    Select {
+        cond: RawValue,
+        ty: Type,
+        on_true: RawValue,
+        on_false: RawValue,
+    },
+    Phi {
+        ty: Type,
+        incoming: Vec<(u32, RawValue)>,
+    },
 }
+
+/// One parsed instruction line: (line number, result id, instruction).
+type RawInstLine = (usize, Option<u32>, RawInst);
+/// One parsed block: (label, instructions, terminator, terminator line).
+type RawBlock = (u32, Vec<RawInstLine>, RawTerm, usize);
+/// A `kernel` header awaiting symbol resolution:
+/// (line, function name, mode, num_teams, thread_limit, source name).
+type PendingKernel = (usize, String, ExecMode, Option<u32>, Option<u32>, String);
+/// A resolved block ready for placement: (block, (line, id, inst) triples,
+/// terminator, terminator line).
+type Placement = (BlockId, Vec<(usize, InstId, RawInst)>, RawTerm, usize);
 
 struct RawFunction {
     fid: crate::value::FuncId,
-    raw_blocks: Vec<(u32, Vec<(usize, Option<u32>, RawInst)>, RawTerm, usize)>,
+    raw_blocks: Vec<RawBlock>,
 }
 
 #[derive(Debug)]
@@ -229,8 +279,7 @@ impl<'a> Parser<'a> {
 
     fn parse(&mut self) -> Result<Module> {
         let mut m = Module::new("parsed");
-        let mut pending_kernels: Vec<(usize, String, ExecMode, Option<u32>, Option<u32>, String)> =
-            Vec::new();
+        let mut pending_kernels: Vec<PendingKernel> = Vec::new();
         let mut pending_bodies: Vec<RawFunction> = Vec::new();
         while let Some((ln, line)) = self.next() {
             let mut c = Cursor::new(ln, line);
@@ -398,9 +447,8 @@ impl<'a> Parser<'a> {
         }
         c.expect("{")?;
         // Collect the body lines.
-        let mut raw_blocks: Vec<(u32, Vec<(usize, Option<u32>, RawInst)>, RawTerm, usize)> =
-            Vec::new();
-        let mut cur: Option<(u32, Vec<(usize, Option<u32>, RawInst)>, usize)> = None;
+        let mut raw_blocks: Vec<RawBlock> = Vec::new();
+        let mut cur: Option<(u32, Vec<RawInstLine>, usize)> = None;
         loop {
             let (ln, line) = self
                 .next()
@@ -438,10 +486,7 @@ impl<'a> Parser<'a> {
         }
 
         let fid = m.add_function(f);
-        return Ok(Some(RawFunction {
-            fid,
-            raw_blocks,
-        }));
+        Ok(Some(RawFunction { fid, raw_blocks }))
     }
 
     /// Resolves a collected function body once all module symbols exist.
@@ -455,8 +500,7 @@ impl<'a> Parser<'a> {
         }
         let mut inst_map: HashMap<u32, InstId> = HashMap::new();
         // Pre-allocate result ids so forward references (phis) resolve.
-        let mut placements: Vec<(BlockId, Vec<(usize, InstId, RawInst)>, RawTerm, usize)> =
-            Vec::new();
+        let mut placements: Vec<Placement> = Vec::new();
         for (label, insts, term, ln) in raw_blocks {
             let b = block_map[&label];
             let mut placed = Vec::new();
@@ -617,10 +661,7 @@ impl<'a> Parser<'a> {
                 return Ok(RawValue::ConstFloat(bits, ty));
             }
             // decimal float: take chars until , ) ] or space
-            let end = c
-                .rest
-                .find([',', ')', ']', ' '])
-                .unwrap_or(c.rest.len());
+            let end = c.rest.find([',', ')', ']', ' ']).unwrap_or(c.rest.len());
             let s = &c.rest[..end];
             let v: f64 = s
                 .parse()

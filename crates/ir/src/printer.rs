@@ -1,13 +1,55 @@
 //! Textual form of the IR (printer half; see [`crate::parser`] for the
-//! reader). The format round-trips: `parse(print(m))` reproduces an
-//! equivalent module.
+//! reader). The format round-trips byte-for-byte: `parse(print(m))`
+//! prints identically, because the printer renumbers values and blocks
+//! densely per function — in order of appearance, one number per
+//! instruction (void instructions consume a number without printing
+//! it), exactly the order the parser allocates ids in. Raw in-memory
+//! ids are sparse after transformations and never appear in output.
 
 use crate::function::{Function, Linkage};
 use crate::inst::{InstKind, Terminator};
 use crate::module::{AddrSpace, ExecMode, Module};
 use crate::types::Type;
-use crate::value::{FuncId, Value};
+use crate::value::{BlockId, FuncId, InstId, Value};
+use std::collections::HashMap;
 use std::fmt::Write;
+
+/// Dense per-function printing names: instruction and block numbers in
+/// order of appearance, mirroring the parser's id allocation.
+struct Names {
+    insts: HashMap<InstId, usize>,
+    blocks: HashMap<BlockId, usize>,
+}
+
+impl Names {
+    fn for_function(f: &Function) -> Names {
+        let mut insts = HashMap::new();
+        let mut blocks = HashMap::new();
+        for b in f.block_ids() {
+            let n = blocks.len();
+            blocks.insert(b, n);
+            for &i in &f.block(b).insts {
+                let n = insts.len();
+                insts.insert(i, n);
+            }
+        }
+        Names { insts, blocks }
+    }
+
+    fn inst(&self, id: InstId) -> String {
+        match self.insts.get(&id) {
+            Some(n) => format!("%v{n}"),
+            None => format!("{id}"), // dangling reference; invalid IR
+        }
+    }
+
+    fn block(&self, b: BlockId) -> String {
+        match self.blocks.get(&b) {
+            Some(n) => format!("bb{n}"),
+            None => format!("{b}"), // dangling reference; invalid IR
+        }
+    }
+}
 
 /// Prints a whole module.
 pub fn print_module(m: &Module) -> String {
@@ -20,7 +62,11 @@ pub fn print_module(m: &Module) -> String {
             AddrSpace::Global => "global",
             AddrSpace::Shared => "shared",
         };
-        let _ = write!(out, "global @{} : {} {} align {}", g.name, space, g.size, g.align);
+        let _ = write!(
+            out,
+            "global @{} : {} {} align {}",
+            g.name, space, g.size, g.align
+        );
         if g.is_const {
             out.push_str(" const");
         }
@@ -93,7 +139,11 @@ fn attrs_string(f: &Function) -> String {
 /// Prints one function (declaration or definition) into `out`.
 pub fn print_function(m: &Module, fid: FuncId, out: &mut String) {
     let f = m.func(fid);
-    let kw = if f.is_declaration() { "declare" } else { "define" };
+    let kw = if f.is_declaration() {
+        "declare"
+    } else {
+        "define"
+    };
     let link = match f.linkage {
         Linkage::External => "",
         Linkage::Internal => "internal ",
@@ -118,23 +168,24 @@ pub fn print_function(m: &Module, fid: FuncId, out: &mut String) {
         return;
     }
     out.push_str(" {\n");
+    let names = Names::for_function(f);
     for b in f.block_ids() {
-        let _ = writeln!(out, "{b}:");
+        let _ = writeln!(out, "{}:", names.block(b));
         for &i in &f.block(b).insts {
             out.push_str("  ");
-            print_inst(m, f, i, out);
+            print_inst(m, f, &names, i, out);
             out.push('\n');
         }
         out.push_str("  ");
-        print_term(m, f, &f.block(b).term, out);
+        print_term(m, &names, &f.block(b).term, out);
         out.push('\n');
     }
     out.push_str("}\n");
 }
 
-fn val(m: &Module, v: Value) -> String {
+fn val(m: &Module, names: &Names, v: Value) -> String {
     match v {
-        Value::Inst(id) => format!("{id}"),
+        Value::Inst(id) => names.inst(id),
         Value::Arg(n) => format!("%arg{n}"),
         Value::ConstInt(c, ty) => format!("{ty} {c}"),
         Value::ConstFloat(bits, ty) => format!("{ty} 0x{bits:016x}"),
@@ -145,30 +196,40 @@ fn val(m: &Module, v: Value) -> String {
     }
 }
 
-fn print_inst(m: &Module, f: &Function, id: crate::value::InstId, out: &mut String) {
+fn print_inst(m: &Module, f: &Function, names: &Names, id: InstId, out: &mut String) {
     let k = f.inst(id);
     let res = k.result_type();
     if res != Type::Void {
-        let _ = write!(out, "{id} = ");
+        let _ = write!(out, "{} = ", names.inst(id));
     }
     match k {
         InstKind::Alloca { size, align } => {
             let _ = write!(out, "alloca {size} align {align}");
         }
         InstKind::Load { ptr, ty } => {
-            let _ = write!(out, "load {ty}, {}", val(m, *ptr));
+            let _ = write!(out, "load {ty}, {}", val(m, names, *ptr));
         }
         InstKind::Store { ptr, val: v } => {
-            let _ = write!(out, "store {}, {}", val(m, *v), val(m, *ptr));
+            let _ = write!(out, "store {}, {}", val(m, names, *v), val(m, names, *ptr));
         }
         InstKind::Bin { op, ty, lhs, rhs } => {
-            let _ = write!(out, "{op} {ty} {}, {}", val(m, *lhs), val(m, *rhs));
+            let _ = write!(
+                out,
+                "{op} {ty} {}, {}",
+                val(m, names, *lhs),
+                val(m, names, *rhs)
+            );
         }
         InstKind::Cmp { op, ty, lhs, rhs } => {
-            let _ = write!(out, "cmp {op} {ty} {}, {}", val(m, *lhs), val(m, *rhs));
+            let _ = write!(
+                out,
+                "cmp {op} {ty} {}, {}",
+                val(m, names, *lhs),
+                val(m, names, *rhs)
+            );
         }
         InstKind::Cast { op, val: v, to } => {
-            let _ = write!(out, "cast {op} {} to {to}", val(m, *v));
+            let _ = write!(out, "cast {op} {} to {to}", val(m, names, *v));
         }
         InstKind::Gep {
             base,
@@ -179,17 +240,17 @@ fn print_inst(m: &Module, f: &Function, id: crate::value::InstId, out: &mut Stri
             let _ = write!(
                 out,
                 "gep {}, {}, {scale}, {offset}",
-                val(m, *base),
-                val(m, *index)
+                val(m, names, *base),
+                val(m, names, *index)
             );
         }
         InstKind::Call { callee, args, ret } => {
-            let _ = write!(out, "call {}(", val(m, *callee));
+            let _ = write!(out, "call {}(", val(m, names, *callee));
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                out.push_str(&val(m, *a));
+                out.push_str(&val(m, names, *a));
             }
             let _ = write!(out, ") -> {ret}");
         }
@@ -202,36 +263,42 @@ fn print_inst(m: &Module, f: &Function, id: crate::value::InstId, out: &mut Stri
             let _ = write!(
                 out,
                 "select {}, {ty} {}, {}",
-                val(m, *cond),
-                val(m, *on_true),
-                val(m, *on_false)
+                val(m, names, *cond),
+                val(m, names, *on_true),
+                val(m, names, *on_false)
             );
         }
         InstKind::Phi { ty, incoming } => {
             let _ = write!(out, "phi {ty}");
             for (i, (b, v)) in incoming.iter().enumerate() {
                 let sep = if i == 0 { " " } else { ", " };
-                let _ = write!(out, "{sep}[{b}, {}]", val(m, *v));
+                let _ = write!(out, "{sep}[{}, {}]", names.block(*b), val(m, names, *v));
             }
         }
     }
 }
 
-fn print_term(m: &Module, _f: &Function, t: &Terminator, out: &mut String) {
+fn print_term(m: &Module, names: &Names, t: &Terminator, out: &mut String) {
     match t {
         Terminator::Br(b) => {
-            let _ = write!(out, "br {b}");
+            let _ = write!(out, "br {}", names.block(*b));
         }
         Terminator::CondBr {
             cond,
             then_bb,
             else_bb,
         } => {
-            let _ = write!(out, "condbr {}, {then_bb}, {else_bb}", val(m, *cond));
+            let _ = write!(
+                out,
+                "condbr {}, {}, {}",
+                val(m, names, *cond),
+                names.block(*then_bb),
+                names.block(*else_bb)
+            );
         }
         Terminator::Ret(None) => out.push_str("ret"),
         Terminator::Ret(Some(v)) => {
-            let _ = write!(out, "ret {}", val(m, *v));
+            let _ = write!(out, "ret {}", val(m, names, *v));
         }
         Terminator::Unreachable => out.push_str("unreachable"),
     }
@@ -291,8 +358,9 @@ mod tests {
         b.ret(None);
         let text = print_module(&m);
         assert!(text.contains("global @buf : shared 64 align 8 const init [01 02 ff]"));
-        assert!(text
-            .contains("kernel @kern generic num_teams(8) thread_limit(128) source \"region\""));
+        assert!(
+            text.contains("kernel @kern generic num_teams(8) thread_limit(128) source \"region\"")
+        );
     }
 
     #[test]

@@ -172,15 +172,16 @@ fn verify_function(m: &Module, fid: FuncId, errs: &mut Vec<VerifyError>) {
         }
         // Terminator checks.
         match &f.block(b).term {
-            Terminator::CondBr { cond, .. } => {
-                if f.value_type(*cond) != Type::I1 {
-                    err(format!("condbr in {b} has non-i1 condition"));
-                }
+            Terminator::CondBr { cond, .. } if f.value_type(*cond) != Type::I1 => {
+                err(format!("condbr in {b} has non-i1 condition"));
             }
             Terminator::Ret(v) => {
                 let got = v.map(|v| f.value_type(v)).unwrap_or(Type::Void);
                 if got != f.ret {
-                    err(format!("return type {got} does not match {ret}", ret = f.ret));
+                    err(format!(
+                        "return type {got} does not match {ret}",
+                        ret = f.ret
+                    ));
                 }
             }
             _ => {}
@@ -188,13 +189,7 @@ fn verify_function(m: &Module, fid: FuncId, errs: &mut Vec<VerifyError>) {
     }
 }
 
-fn check_types(
-    m: &Module,
-    f: &Function,
-    i: InstId,
-    kind: &InstKind,
-    err: &mut impl FnMut(String),
-) {
+fn check_types(m: &Module, f: &Function, i: InstId, kind: &InstKind, err: &mut impl FnMut(String)) {
     let vt = |v: Value| f.value_type(v);
     match kind {
         InstKind::Load { ptr, ty } => {
@@ -365,7 +360,9 @@ mod tests {
         fun.block_mut(e).insts.push(later);
         fun.block_mut(e).term = Terminator::Ret(None);
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.message.contains("before its definition")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("before its definition")));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   fold when the clauses are compile-time constants, and
 //!   `__kmpc_get_warp_size` folds to the device constant.
 
-use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
 use omp_analysis::{CallGraph, ExecDomain, ExecutionDomains};
 use omp_ir::{ExecMode, FuncId, InstId, InstKind, Module, RtlFn, Type, Value};
 use std::collections::{HashMap, HashSet};
@@ -52,10 +52,8 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
         }
         let reaching = kernels_reaching.get(&fid).map(Vec::as_slice).unwrap_or(&[]);
         let all_modes: Option<ExecMode> = {
-            let modes: HashSet<ExecMode> = reaching
-                .iter()
-                .map(|&k| m.kernels[k].exec_mode)
-                .collect();
+            let modes: HashSet<ExecMode> =
+                reaching.iter().map(|&k| m.kernels[k].exec_mode).collect();
             if modes.len() == 1 {
                 modes.into_iter().next()
             } else {
@@ -86,7 +84,7 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                         ));
                     }
                 }
-                RtlFn::TargetInit => {
+                RtlFn::TargetInit
                     // In SPMD kernels the initializer returns -1 for all
                     // threads; folding the *result* (the call stays for
                     // its effects) lets the worker branch die. Skip when
@@ -94,14 +92,11 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                     // folding round) so counts and remarks stay exact.
                     if m.kernel_for(fid).map(|ki| ki.exec_mode) == Some(ExecMode::Spmd)
                         && f.count_uses(Value::Inst(i)) > 0
-                    {
+                    => {
                         edits.push((fid, i, Value::i32(-1), "em-init", "__kmpc_target_init"));
                     }
-                }
                 RtlFn::IsGenericMainThread => {
-                    if ctx == Some(ExecDomain::MainOnly)
-                        && all_modes == Some(ExecMode::Generic)
-                    {
+                    if ctx == Some(ExecDomain::MainOnly) && all_modes == Some(ExecMode::Generic) {
                         edits.push((
                             fid,
                             i,
@@ -122,11 +117,9 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                 RtlFn::ParallelLevel => {
                     if ctx == Some(ExecDomain::MainOnly) {
                         edits.push((fid, i, Value::i32(0), "pl", "__kmpc_parallel_level"));
-                    } else if domains.parallel_regions.contains(&fid) && !regions_have_nesting
-                    {
+                    } else if domains.parallel_regions.contains(&fid) && !regions_have_nesting {
                         edits.push((fid, i, Value::i32(1), "pl", "__kmpc_parallel_level"));
-                    } else if m.kernel_for(fid).map(|ki| ki.exec_mode)
-                        == Some(ExecMode::Spmd)
+                    } else if m.kernel_for(fid).map(|ki| ki.exec_mode) == Some(ExecMode::Spmd)
                         && !regions_have_nesting
                     {
                         // In the base SPMD context the level is 0.
@@ -134,10 +127,8 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                     }
                 }
                 RtlFn::NumTeams => {
-                    let teams: HashSet<Option<u32>> = reaching
-                        .iter()
-                        .map(|&k| m.kernels[k].num_teams)
-                        .collect();
+                    let teams: HashSet<Option<u32>> =
+                        reaching.iter().map(|&k| m.kernels[k].num_teams).collect();
                     if teams.len() == 1 {
                         if let Some(Some(t)) = teams.into_iter().next() {
                             edits.push((
@@ -150,11 +141,11 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                         }
                     }
                 }
-                RtlFn::NumThreads => {
+                RtlFn::NumThreads
                     // Foldable only when every reaching kernel is SPMD
                     // with the same thread_limit and no dispatch narrows
                     // the team (no explicit num_threads clauses).
-                    if all_modes == Some(ExecMode::Spmd) && !reaching.is_empty() {
+                    if all_modes == Some(ExecMode::Spmd) && !reaching.is_empty() => {
                         let limits: HashSet<Option<u32>> = reaching
                             .iter()
                             .map(|&k| m.kernels[k].thread_limit)
@@ -173,7 +164,6 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                             }
                         }
                     }
-                }
                 RtlFn::WarpSize => {
                     edits.push((
                         fid,
@@ -207,12 +197,17 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> FoldCounts {
                 }
             }
         }
-        remarks.push(Remark::new(
-            ids::RUNTIME_CALL_FOLDED,
-            RemarkKind::Passed,
-            fname,
-            format!("Replacing OpenMP runtime call {name} with a constant."),
-        ));
+        remarks.push(
+            Remark::new(
+                ids::RUNTIME_CALL_FOLDED,
+                RemarkKind::Passed,
+                fname,
+                format!("Replacing OpenMP runtime call {name} with a constant."),
+            )
+            .in_pass(passes::FOLDING)
+            .with_action(actions::FOLD)
+            .at(name),
+        );
     }
     for (fid, insts) in removed_calls {
         let fm = m.func_mut(fid);

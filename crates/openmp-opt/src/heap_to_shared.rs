@@ -8,7 +8,7 @@
 //! kernel-lifetime occupancy for speed — exactly the trade the paper
 //! found always worthwhile.
 
-use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
 use omp_ir::{AddrSpace, FuncId, Global, InstId, InstKind, Module, RtlFn, Value};
 use std::collections::HashSet;
 
@@ -83,22 +83,33 @@ pub fn run(
             counter += 1;
             sharify(m, fid, alloc, g);
             result.moved += 1;
-            remarks.push(Remark::new(
-                ids::MOVED_TO_SHARED,
-                RemarkKind::Passed,
-                fname.clone(),
-                format!("Replacing globalized variable with {size} bytes of shared memory."),
-            ));
+            remarks.push(
+                Remark::new(
+                    ids::MOVED_TO_SHARED,
+                    RemarkKind::Passed,
+                    fname.clone(),
+                    format!("Replacing globalized variable with {size} bytes of shared memory."),
+                )
+                .in_pass(passes::HEAP_TO_SHARED)
+                .with_action(actions::SHARIFY)
+                .at(format!("%{}", alloc.index()))
+                .with_bytes(size),
+            );
         }
-        for _ in &blocked {
+        for alloc in &blocked {
             result.remaining += 1;
-            remarks.push(Remark::new(
-                ids::DATA_SHARING_REMAINS,
-                RemarkKind::Missed,
-                fname.clone(),
-                "Found thread data sharing on the GPU. Expect degraded performance \
-                 due to data globalization.",
-            ));
+            remarks.push(
+                Remark::new(
+                    ids::DATA_SHARING_REMAINS,
+                    RemarkKind::Missed,
+                    fname.clone(),
+                    "Found thread data sharing on the GPU. Expect degraded performance \
+                     due to data globalization.",
+                )
+                .in_pass(passes::HEAP_TO_SHARED)
+                .with_action(actions::KEEP_GLOBALIZED)
+                .at(format!("%{}", alloc.index())),
+            );
         }
     }
     result

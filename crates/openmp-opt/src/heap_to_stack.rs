@@ -11,7 +11,7 @@
 //! thread-local) — the D102107 extension the paper's Figure 9 relies on
 //! for SU3Bench.
 
-use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
 use omp_analysis::{pointer_escapes, underlying_alloca, EscapeResult};
 use omp_ir::{FuncId, InstId, InstKind, Module, RtlFn, Value};
 
@@ -36,22 +36,25 @@ pub fn run(m: &mut Module, chase_captures: bool, remarks: &mut Remarks) -> HeapT
         if m.func(fid).is_declaration() {
             continue;
         }
-        loop {
-            let Some((alloc, size)) = find_candidate(m, fid, chase_captures) else {
-                break;
-            };
+        while let Some((alloc, size)) = find_candidate(m, fid, chase_captures) {
             let capture = is_capture_struct(m, fid, alloc);
             stackify(m, fid, alloc, size);
             if capture {
                 result.capture_structs += 1;
             } else {
                 result.moved += 1;
-                remarks.push(Remark::new(
-                    ids::MOVED_TO_STACK,
-                    RemarkKind::Passed,
-                    m.func(fid).name.clone(),
-                    "Moving globalized variable to the stack.",
-                ));
+                remarks.push(
+                    Remark::new(
+                        ids::MOVED_TO_STACK,
+                        RemarkKind::Passed,
+                        m.func(fid).name.clone(),
+                        "Moving globalized variable to the stack.",
+                    )
+                    .in_pass(passes::HEAP_TO_STACK)
+                    .with_action(actions::STACKIFY)
+                    .at(format!("%{}", alloc.index()))
+                    .with_bytes(size),
+                );
             }
         }
         // Count the survivors for reporting.
@@ -164,9 +167,12 @@ fn capture_chase(m: &Module, fid: FuncId, p: Value, depth: usize) -> bool {
                     if name == RtlFn::FreeShared.name() {
                         return;
                     }
-                    if cf.param_attrs.iter().zip(args).any(|(pa, a)| {
-                        *a == root && pa.noescape
-                    }) {
+                    if cf
+                        .param_attrs
+                        .iter()
+                        .zip(args)
+                        .any(|(pa, a)| *a == root && pa.noescape)
+                    {
                         return;
                     }
                     if cf.is_declaration() {
@@ -414,10 +420,8 @@ fn written_through(f: &omp_ir::Function, root: Value) -> bool {
         let mut hit = false;
         f.for_each_inst(|_, i, k| match k {
             InstKind::Store { ptr, .. } if *ptr == p => hit = true,
-            InstKind::Gep { base, .. } if *base == p => {
-                if !ptrs.contains(&Value::Inst(i)) {
-                    ptrs.push(Value::Inst(i));
-                }
+            InstKind::Gep { base, .. } if *base == p && !ptrs.contains(&Value::Inst(i)) => {
+                ptrs.push(Value::Inst(i));
             }
             _ => {}
         });
@@ -512,8 +516,11 @@ mod tests {
     fn paper_fig5_lcl_moves_arg_does_not() {
         // combine(ArgPtr, LclPtr) { unknown(ArgPtr); *LclPtr + *ArgPtr }
         let mut m = Module::new("t");
-        let unknown =
-            m.add_function(Function::declaration("unknown", vec![Type::Ptr], Type::Void));
+        let unknown = m.add_function(Function::declaration(
+            "unknown",
+            vec![Type::Ptr],
+            Type::Void,
+        ));
         let combine = m.add_function(Function::definition(
             "combine",
             vec![Type::Ptr, Type::Ptr],

@@ -8,7 +8,57 @@
 //! inside the module (full caller visibility), while the original is
 //! kept for unknown external callers.
 
-use omp_ir::{FuncId, Function, Linkage, Module, Value};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
+use omp_ir::{FuncId, Function, InstKind, Linkage, Module, RtlFn, Value};
+
+/// Runs internalization and reports external declarations the analyses
+/// stay blind to (OMP142). Returns the number of functions duplicated.
+pub fn run_with_remarks(m: &mut Module, remarks: &mut Remarks) -> usize {
+    let n = run(m);
+    // A declaration has no body to duplicate: callers keep full
+    // visibility of nothing, and every inter-procedural fact about the
+    // callee degrades to "unknown". Surface each one actually called
+    // from this module — runtime and math intrinsics excluded, their
+    // semantics are modeled exactly.
+    let mut called: Vec<FuncId> = Vec::new();
+    for fid in m.func_ids() {
+        if m.func(fid).is_declaration() {
+            continue;
+        }
+        m.func(fid).for_each_inst(|_, _, k| {
+            if let InstKind::Call {
+                callee: Value::Func(c),
+                ..
+            } = k
+            {
+                if !called.contains(c) {
+                    called.push(*c);
+                }
+            }
+        });
+    }
+    for callee in called {
+        let f = m.func(callee);
+        if !f.is_declaration()
+            || RtlFn::from_name(&f.name).is_some()
+            || omp_ir::math_fn_signature(&f.name).is_some()
+        {
+            continue;
+        }
+        remarks.push(
+            Remark::new(
+                ids::INTERNALIZATION_FAILED,
+                RemarkKind::Missed,
+                &f.name,
+                "Could not internalize function. Some optimizations may not \
+                 be possible.",
+            )
+            .in_pass(passes::INTERNALIZE)
+            .with_action(actions::KEEP_EXTERNAL),
+        );
+    }
+    n
+}
 
 /// Runs internalization. Returns the number of functions duplicated.
 pub fn run(m: &mut Module) -> usize {
@@ -20,7 +70,8 @@ pub fn run(m: &mut Module) -> usize {
                 && fun.linkage == Linkage::External
                 && !m.is_kernel(f)
                 && !fun.attrs.internalized_copy
-                && m.function_id(&format!("{}.internalized", fun.name)).is_none()
+                && m.function_id(&format!("{}.internalized", fun.name))
+                    .is_none()
         })
         .collect();
     let mut mapping: Vec<(FuncId, FuncId)> = Vec::new();
@@ -117,6 +168,34 @@ mod tests {
             source_name: "kern".into(),
         });
         assert_eq!(run(&mut m), 0);
+    }
+
+    #[test]
+    fn called_external_declaration_gets_omp142() {
+        let mut m = Module::new("t");
+        let ext = m.add_function(Function::declaration("mystery", vec![], Type::Void));
+        let sqrt = m.add_function(Function::declaration("sqrt", vec![Type::F64], Type::F64));
+        let kern = m.add_function(Function::definition("kern", vec![], Type::Void));
+        {
+            let mut b = Builder::at_entry(&mut m, kern);
+            b.call(ext, vec![]);
+            b.call(sqrt, vec![Value::f64(2.0)]);
+            b.ret(None);
+        }
+        let mut remarks = Remarks::default();
+        run_with_remarks(&mut m, &mut remarks);
+        let r: Vec<_> = remarks
+            .all()
+            .iter()
+            .filter(|r| r.id == ids::INTERNALIZATION_FAILED)
+            .cloned()
+            .collect();
+        // The opaque declaration is reported; the math intrinsic is not.
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].function, "mystery");
+        assert_eq!(r[0].pass, passes::INTERNALIZE);
+        assert_eq!(r[0].action, actions::KEEP_EXTERNAL);
+        assert_eq!(r[0].kind, RemarkKind::Missed);
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!
 //! [`run`] drives everything in the order the paper's pipeline uses and
 //! returns the per-category counts of the paper's Figure 9.
+//!
+//! Every remark additionally carries a structured payload — emitting
+//! pass, enclosing function, call site, action verb, and bytes moved —
+//! serialized as stable JSON lines ([`Remarks::to_json_lines`]); see
+//! `docs/remarks.md` for the format contract. [`OptReport::pass_stats`]
+//! folds the stream into per-pass transformed/missed/bytes-moved
+//! counters consumed by the differential oracle (`ompgpu verify`).
 
 pub mod config;
 pub mod folding;
@@ -29,7 +36,7 @@ pub mod spmdization;
 pub mod state_machine;
 
 pub use config::OpenMpOptConfig;
-pub use remarks::{Remark, RemarkKind, Remarks};
+pub use remarks::{actions, passes, Remark, RemarkKind, Remarks};
 
 use omp_analysis::{CallGraph, ExecutionDomains};
 use omp_ir::{FuncId, InstId, InstKind, Module, RtlFn, Value};
@@ -72,6 +79,48 @@ pub struct OptReport {
     pub counts: OptCounts,
     /// All emitted remarks (Section IV-D).
     pub remarks: Remarks,
+    /// Cumulative statistics of the cleanup pipeline rounds (mem2reg,
+    /// constprop, DCE, simplify-cfg) run between the OpenMP passes.
+    pub cleanup: omp_passes::PipelineStats,
+}
+
+/// Per-pass statistics, derived from the structured remarks and Figure 9
+/// counters. One row per pass in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStat {
+    /// Stable pass name (see [`remarks::passes`]).
+    pub pass: &'static str,
+    /// Transformations performed.
+    pub transformed: usize,
+    /// Opportunities identified but missed.
+    pub missed: usize,
+    /// Bytes moved by the pass (deglobalization only).
+    pub bytes_moved: u64,
+}
+
+impl OptReport {
+    /// Per-pass statistics in pipeline order. `internalize` counts come
+    /// from [`OptCounts`] (the pass emits no per-site remarks); every
+    /// other row is aggregated from the structured remarks.
+    pub fn pass_stats(&self) -> Vec<PassStat> {
+        remarks::passes::ALL
+            .iter()
+            .map(|&pass| {
+                let rs = self.remarks.for_pass(pass);
+                let transformed = if pass == remarks::passes::INTERNALIZE {
+                    self.counts.internalized
+                } else {
+                    rs.iter().filter(|r| r.kind == RemarkKind::Passed).count()
+                };
+                PassStat {
+                    pass,
+                    transformed,
+                    missed: rs.iter().filter(|r| r.kind == RemarkKind::Missed).count(),
+                    bytes_moved: self.remarks.bytes_moved(pass),
+                }
+            })
+            .collect()
+    }
 }
 
 /// Runs the OpenMP optimization pipeline on `m`.
@@ -82,12 +131,12 @@ pub fn run(m: &mut Module, cfg: &OpenMpOptConfig) -> OptReport {
     //    analyses see through parameter cells (LLVM runs SROA/mem2reg
     //    before OpenMPOpt for the same reason).
     if cfg.run_cleanup_pipeline {
-        omp_passes::run_pipeline(m);
+        accumulate(&mut report.cleanup, omp_passes::run_pipeline(m));
     }
 
     // 1. Internalization.
     if !cfg.disable_internalization {
-        report.counts.internalized = internalize::run(m);
+        report.counts.internalized = internalize::run_with_remarks(m, &mut report.remarks);
     }
 
     // 2. Snapshot main-thread-only allocation facts and recursion before
@@ -100,11 +149,7 @@ pub fn run(m: &mut Module, cfg: &OpenMpOptConfig) -> OptReport {
 
     // 4. SPMDization.
     if !cfg.disable_spmdization {
-        let r = spmdization::run_with_grouping(
-            m,
-            !cfg.disable_guard_grouping,
-            &mut report.remarks,
-        );
+        let r = spmdization::run_with_grouping(m, !cfg.disable_guard_grouping, &mut report.remarks);
         report.counts.spmdized = r.spmdized;
         report.counts.guard_regions = r.guard_regions;
         report.counts.broadcasts = r.broadcasts;
@@ -137,16 +182,24 @@ pub fn run(m: &mut Module, cfg: &OpenMpOptConfig) -> OptReport {
     // 8. Cleanup + a second folding round (folding exposes constants the
     //    pipeline propagates, which can expose more foldable calls).
     if cfg.run_cleanup_pipeline {
-        omp_passes::run_pipeline(m);
+        accumulate(&mut report.cleanup, omp_passes::run_pipeline(m));
         if !cfg.disable_folding {
             let f = folding::run(m, &mut report.remarks);
             report.counts.folds_exec_mode += f.exec_mode;
             report.counts.folds_parallel_level += f.parallel_level;
             report.counts.folds_launch_params += f.launch_params;
-            omp_passes::run_pipeline(m);
+            accumulate(&mut report.cleanup, omp_passes::run_pipeline(m));
         }
     }
     report
+}
+
+fn accumulate(total: &mut omp_passes::PipelineStats, round: omp_passes::PipelineStats) {
+    total.promoted_allocas += round.promoted_allocas;
+    total.folded += round.folded;
+    total.dce_removed += round.dce_removed;
+    total.blocks_removed += round.blocks_removed;
+    total.iterations += round.iterations;
 }
 
 /// Collects `(function, alloc-instruction)` pairs proven to execute on
@@ -168,9 +221,7 @@ fn collect_alloc_facts(m: &Module) -> (HashSet<(FuncId, InstId)>, HashSet<FuncId
                 ..
             } = k
             {
-                if m.func(*c).name == RtlFn::AllocShared.name()
-                    && domains.is_main_only(fid, b)
-                {
+                if m.func(*c).name == RtlFn::AllocShared.name() && domains.is_main_only(fid, b) {
                     main_only.insert((fid, i));
                 }
             }

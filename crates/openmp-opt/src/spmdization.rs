@@ -23,7 +23,7 @@
 //!    and the kernel metadata switch to SPMD; the worker state machine
 //!    becomes dead code that folding + CFG cleanup remove.
 
-use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
 use omp_analysis::{CallGraph, Effects, SideEffectKind};
 use omp_ir::omprtl::{MODE_GENERIC, MODE_SPMD};
 use omp_ir::{
@@ -69,31 +69,44 @@ pub fn run_with_grouping(
                 result.spmdized += 1;
                 result.guard_regions += guards;
                 result.broadcasts += broadcasts;
-                remarks.push(Remark::new(
-                    ids::SPMDIZED,
-                    RemarkKind::Passed,
-                    kname.clone(),
-                    "Transformed generic-mode kernel to SPMD-mode.",
-                ));
-                remarks.push(Remark::new(
-                    ids::DEAD_RUNTIME_CODE,
-                    RemarkKind::Passed,
-                    kname,
-                    "Removing unused worker state machine from SPMD-mode kernel.",
-                ));
+                remarks.push(
+                    Remark::new(
+                        ids::SPMDIZED,
+                        RemarkKind::Passed,
+                        kname.clone(),
+                        "Transformed generic-mode kernel to SPMD-mode.",
+                    )
+                    .in_pass(passes::SPMDIZATION)
+                    .with_action(actions::SPMDIZE),
+                );
+                remarks.push(
+                    Remark::new(
+                        ids::DEAD_RUNTIME_CODE,
+                        RemarkKind::Passed,
+                        kname,
+                        "Removing unused worker state machine from SPMD-mode kernel.",
+                    )
+                    .in_pass(passes::SPMDIZATION)
+                    .with_action(actions::REMOVE_DEAD_RUNTIME),
+                );
             }
             Err(reason) => {
-                remarks.push(Remark::new(
-                    ids::SPMD_BLOCKED,
-                    RemarkKind::Missed,
-                    kname,
-                    format!(
-                        "Value has potential side effects preventing SPMD-mode \
-                         execution ({reason}). Add `#pragma omp assume \
-                         ext_spmd_amenable` if the callee can be executed by \
-                         all threads."
-                    ),
-                ));
+                remarks.push(
+                    Remark::new(
+                        ids::SPMD_BLOCKED,
+                        RemarkKind::Missed,
+                        kname,
+                        format!(
+                            "Value has potential side effects preventing SPMD-mode \
+                             execution ({reason}). Add `#pragma omp assume \
+                             ext_spmd_amenable` if the callee can be executed by \
+                             all threads."
+                        ),
+                    )
+                    .in_pass(passes::SPMDIZATION)
+                    .with_action(actions::SPMD_BLOCKED)
+                    .at(reason),
+                );
             }
         }
     }
@@ -102,11 +115,7 @@ pub fn run_with_grouping(
 
 /// Attempts the transformation on one kernel function. Returns
 /// `(guard_regions, broadcasts)` on success.
-fn try_spmdize(
-    m: &mut Module,
-    kfunc: FuncId,
-    grouping: bool,
-) -> Result<(usize, usize), String> {
+fn try_spmdize(m: &mut Module, kfunc: FuncId, grouping: bool) -> Result<(usize, usize), String> {
     let cg = CallGraph::build(m);
     let effects = Effects::compute(m, &cg);
     let main_blocks = omp_analysis::domain::main_only_blocks(m, kfunc);
@@ -126,10 +135,7 @@ fn try_spmdize(
             continue;
         }
         let segments = plan_block(m, &effects, kfunc, b, grouping)?;
-        if segments
-            .iter()
-            .any(|s| matches!(s, Segment::Guard(_)))
-        {
+        if segments.iter().any(|s| matches!(s, Segment::Guard(_))) {
             plan.push((b, segments));
         }
     }
@@ -172,20 +178,20 @@ fn plan_block(
     let mut plain: Vec<InstId> = Vec::new();
     let mut pending: Vec<InstId> = Vec::new();
 
-    let flush = |segments: &mut Vec<Segment>, plain: &mut Vec<InstId>, pending: &mut Vec<InstId>| {
-        if !plain.is_empty() {
-            segments.push(Segment::Plain(std::mem::take(plain)));
-        }
-        if !pending.is_empty() {
-            segments.push(Segment::Guard(std::mem::take(pending)));
-        }
-    };
+    let flush =
+        |segments: &mut Vec<Segment>, plain: &mut Vec<InstId>, pending: &mut Vec<InstId>| {
+            if !plain.is_empty() {
+                segments.push(Segment::Plain(std::mem::take(plain)));
+            }
+            if !pending.is_empty() {
+                segments.push(Segment::Guard(std::mem::take(pending)));
+            }
+        };
 
     for &i in &f.block(b).insts {
         let kind = f.inst(i);
-        let class = effects.classify_for_spmdization(m, kind, |ptr| {
-            targets_replicated_object(m, f, ptr)
-        });
+        let class =
+            effects.classify_for_spmdization(m, kind, |ptr| targets_replicated_object(m, f, ptr));
         match class {
             SideEffectKind::Blocking => {
                 let desc = match kind {
@@ -274,8 +280,7 @@ fn targets_replicated_object(m: &Module, f: &omp_ir::Function, mut ptr: Value) -
                     ..
                 } => {
                     let name = &m.func(*c).name;
-                    return RtlFn::from_name(name)
-                        .is_some_and(|r| r.is_globalization_alloc());
+                    return RtlFn::from_name(name).is_some_and(|r| r.is_globalization_alloc());
                 }
                 _ => return false,
             },

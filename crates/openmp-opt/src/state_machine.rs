@@ -9,7 +9,7 @@
 //! removing the address-taken uses that inflate register counts
 //! (PR46450), and the indirect fallback becomes `unreachable`.
 
-use crate::remarks::{ids, Remark, RemarkKind, Remarks};
+use crate::remarks::{actions, ids, passes, Remark, RemarkKind, Remarks};
 use omp_analysis::CallGraph;
 use omp_ir::{
     BlockId, CastOp, CmpOp, ExecMode, FuncId, InstId, InstKind, Module, RtlFn, Terminator, Type,
@@ -158,13 +158,17 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> StateMachineResult {
             // unknown dispatch.
             let has_dispatch = find_dispatch(m, kernel).is_some();
             if has_dispatch {
-                remarks.push(Remark::new(
-                    ids::PARALLEL_REGION_UNKNOWN,
-                    RemarkKind::Missed,
-                    kname,
-                    "Parallel region is used in unknown ways. Will not attempt to \
-                     rewrite the state machine.",
-                ));
+                remarks.push(
+                    Remark::new(
+                        ids::PARALLEL_REGION_UNKNOWN,
+                        RemarkKind::Missed,
+                        kname,
+                        "Parallel region is used in unknown ways. Will not attempt to \
+                         rewrite the state machine.",
+                    )
+                    .in_pass(passes::STATE_MACHINE)
+                    .with_action(actions::KEEP_STATE_MACHINE),
+                );
             }
             continue;
         }
@@ -189,21 +193,29 @@ pub fn run(m: &mut Module, remarks: &mut Remarks) -> StateMachineResult {
         );
         if closed {
             result.rewritten += 1;
-            remarks.push(Remark::new(
-                ids::CUSTOM_STATE_MACHINE,
-                RemarkKind::Passed,
-                kname,
-                "Rewriting generic-mode kernel with a customized state machine.",
-            ));
+            remarks.push(
+                Remark::new(
+                    ids::CUSTOM_STATE_MACHINE,
+                    RemarkKind::Passed,
+                    kname,
+                    "Rewriting generic-mode kernel with a customized state machine.",
+                )
+                .in_pass(passes::STATE_MACHINE)
+                .with_action(actions::CUSTOM_STATE_MACHINE),
+            );
         } else {
             result.with_fallback += 1;
-            remarks.push(Remark::new(
-                ids::STATE_MACHINE_FALLBACK,
-                RemarkKind::Passed,
-                kname,
-                "Generic-mode kernel is executed with a customized state machine \
-                 that requires a fallback.",
-            ));
+            remarks.push(
+                Remark::new(
+                    ids::STATE_MACHINE_FALLBACK,
+                    RemarkKind::Passed,
+                    kname,
+                    "Generic-mode kernel is executed with a customized state machine \
+                     that requires a fallback.",
+                )
+                .in_pass(passes::STATE_MACHINE)
+                .with_action(actions::STATE_MACHINE_FALLBACK),
+            );
         }
     }
     // With a closed world, replace every parallel_51 function-pointer

@@ -128,7 +128,10 @@ fn full_pipeline_is_faster_and_spmdizes() {
         s_off.cycles
     );
     // No runtime globalization calls remain.
-    assert_eq!(s_on.globalization_allocs, 0, "h2s should remove allocations");
+    assert_eq!(
+        s_on.globalization_allocs, 0,
+        "h2s should remove allocations"
+    );
     // The worker state machine is gone: no generic dispatches.
     assert_eq!(s_on.parallel_regions, 0);
 }
@@ -203,7 +206,11 @@ void kern(double* out, long n) {
 "#;
     let (_, report) = compile_opt(src, &OpenMpOptConfig::default());
     use omp_opt::remarks::ids;
-    assert!(report.remarks.count(ids::MOVED_TO_STACK) >= 1, "{:#?}", report.remarks);
+    assert!(
+        report.remarks.count(ids::MOVED_TO_STACK) >= 1,
+        "{:#?}",
+        report.remarks
+    );
     assert!(
         report.remarks.count(ids::DATA_SHARING_REMAINS) >= 1
             || report.remarks.count(ids::MOVED_TO_SHARED) >= 1
@@ -283,7 +290,11 @@ void kern(long* counter, double* out, long nb, long nt) {
     )
     .unwrap();
     let counts = dev.read_i64(counter, nb as usize).unwrap();
-    assert_eq!(counts, vec![1; nb as usize], "guards must not replicate stores");
+    assert_eq!(
+        counts,
+        vec![1; nb as usize],
+        "guards must not replicate stores"
+    );
     let vals = dev.read_f64(out, (nb * nt) as usize).unwrap();
     assert!(vals.iter().all(|&v| v == 1.0));
 }
@@ -292,7 +303,8 @@ void kern(long* counter, double* out, long nb, long nt) {
 fn optimizer_is_idempotent() {
     // Running the pipeline twice must be a no-op the second time:
     // same IR text, no new transformations.
-    for src in [FIG1_LIKE] {
+    {
+        let src = FIG1_LIKE;
         let mut m = compile(src, &FrontendOptions::default()).unwrap();
         let r1 = omp_opt::run(&mut m, &OpenMpOptConfig::default());
         let t1 = omp_ir::printer::print_module(&m);

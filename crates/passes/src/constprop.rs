@@ -97,8 +97,7 @@ fn run_function(m: &mut Module, fid: FuncId) -> usize {
         }
         // Fold constant conditional branches.
         let f = m.func(fid);
-        let mut branch_fixes: Vec<(omp_ir::BlockId, omp_ir::BlockId, omp_ir::BlockId)> =
-            Vec::new();
+        let mut branch_fixes: Vec<(omp_ir::BlockId, omp_ir::BlockId, omp_ir::BlockId)> = Vec::new();
         for b in f.block_ids() {
             if let Terminator::CondBr {
                 cond,

@@ -42,9 +42,11 @@ fn run_function(m: &mut Module, fid: FuncId) -> usize {
         let f = m.func(fid);
         // Collect all used values.
         let mut used: HashSet<Value> = HashSet::new();
-        f.for_each_inst(|_, _, k| k.for_each_operand(|v| {
-            used.insert(v);
-        }));
+        f.for_each_inst(|_, _, k| {
+            k.for_each_operand(|v| {
+                used.insert(v);
+            })
+        });
         for b in f.block_ids() {
             f.block(b).term.for_each_operand(|v| {
                 used.insert(v);
@@ -125,7 +127,9 @@ mod tests {
         let f = m.add_function(Function::definition("f", vec![], Type::Void));
         let mut b = Builder::at_entry(&mut m, f);
         b.call_rtl(RtlFn::ThreadNum, vec![]);
-        let sqrt = b.module().get_or_declare("sqrt", vec![Type::F64], Type::F64);
+        let sqrt = b
+            .module()
+            .get_or_declare("sqrt", vec![Type::F64], Type::F64);
         b.call(sqrt, vec![Value::f64(2.0)]);
         b.ret(None);
         assert_eq!(run(&mut m), 2);

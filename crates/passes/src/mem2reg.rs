@@ -5,9 +5,7 @@
 //! dominance frontiers. In the pipeline this runs after HeapToStack so
 //! the paper's "use local memory (aka. registers)" effect materializes.
 
-use omp_ir::{
-    BlockId, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value,
-};
+use omp_ir::{BlockId, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Runs mem2reg on every function definition. Returns the number of
@@ -122,9 +120,13 @@ fn promote_one(
             }
         }
     }
-    // Insert empty phis.
+    // Insert empty phis, in block order: HashSet iteration order is
+    // seeded per process, and instruction ids must not depend on it or
+    // the printed IR differs from run to run.
     let mut phis: HashMap<BlockId, InstId> = HashMap::new();
-    for &b in &phi_blocks {
+    let mut ordered_phi_blocks: Vec<BlockId> = phi_blocks.iter().copied().collect();
+    ordered_phi_blocks.sort();
+    for b in ordered_phi_blocks {
         if !dt.is_reachable(b) {
             continue;
         }

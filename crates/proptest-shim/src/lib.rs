@@ -1,0 +1,650 @@
+//! # proptest (offline stand-in)
+//!
+//! A small, dependency-free, deterministic property-testing engine that
+//! implements the subset of the real `proptest` crate's API this
+//! workspace uses. It exists because the build environment has no
+//! network access: the workspace `[patch.crates-io]` table redirects the
+//! `proptest` dependency here, so `cargo test` resolves fully offline
+//! while the property tests keep running for real.
+//!
+//! Supported surface (everything the in-tree tests use):
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(...)]` header;
+//! * [`Strategy`] with [`Strategy::prop_map`], [`Strategy::boxed`], and
+//!   [`Strategy::prop_recursive`];
+//! * integer-range strategies (`0usize..400`), [`any`], [`Just`],
+//!   tuple strategies, [`prop_oneof!`], `prop::collection::vec`, and a
+//!   regex-subset string strategy (`"[ -~\\n]{0,200}"` style: literal
+//!   atoms, character classes with ranges, `{m,n}`/`{n}`/`*`/`+`/`?`
+//!   repetition);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (panic-based).
+//!
+//! Unlike the real crate there is no shrinking: a failing case prints
+//! its inputs and the deterministic seed instead. Set `PROPTEST_SEED`
+//! to an integer to replay a run under a different seed.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic splitmix64 generator; the whole engine draws from it.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds from `PROPTEST_SEED` (when set) mixed with the test name,
+    /// so every test gets its own deterministic stream.
+    pub fn from_env(test_name: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x00_5eed_c0de);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(base ^ h)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[lo, hi)` over signed 128-bit arithmetic.
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range strategy {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        let k = if span <= u64::MAX as u128 {
+            self.below(span as u64) as u128
+        } else {
+            ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span
+        };
+        lo + k as i128
+    }
+}
+
+/// A value generator. The real crate's `Strategy` also drives
+/// shrinking; here generation is everything.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies: `f` receives the strategy for the smaller
+    /// structure and returns the strategy for the bigger one. `depth`
+    /// bounds the nesting; `_desired_size` and `_expected_branch_size`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so generated structures
+            // have random (bounded) depth, not always the maximum.
+            cur = Union::new(vec![leaf.clone(), f(cur).boxed()]).boxed();
+        }
+        cur
+    }
+}
+
+/// Clonable type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of the same value type — the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (the subset of
+/// `proptest::arbitrary::Arbitrary` the tests use).
+pub trait ArbitraryValue: Debug + Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an unconstrained value of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// A `&str` is a strategy generating strings from a regex subset:
+/// literal atoms, `[...]` classes (ranges, escapes, leading `^`
+/// complement over printable ASCII + newline), `.` (printable ASCII),
+/// and `{m,n}` / `{n}` / `*` / `+` / `?` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn printable_ascii() -> Vec<char> {
+    (' '..='~').collect()
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // chars[i] is the first char after '['.
+    let mut members: Vec<char> = Vec::new();
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        if c == '-' && pending.is_some() && i < chars.len() && chars[i] != ']' {
+            // Range: pending-next.
+            let lo = pending.take().unwrap();
+            let hi = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 2;
+                unescape(chars[i - 1])
+            } else {
+                i += 1;
+                chars[i - 1]
+            };
+            for m in lo..=hi {
+                members.push(m);
+            }
+        } else {
+            if let Some(p) = pending.take() {
+                members.push(p);
+            }
+            pending = Some(c);
+        }
+    }
+    if let Some(p) = pending {
+        members.push(p);
+    }
+    let end = if i < chars.len() { i + 1 } else { i }; // skip ']'
+    if negated {
+        let mut space = printable_ascii();
+        space.push('\n');
+        space.retain(|c| !members.contains(c));
+        members = space;
+    }
+    (members, end)
+}
+
+fn parse_repetition(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, 32, i + 1),
+        Some('+') => (1, 32, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let mut j = i + 1;
+            let mut lo = 0usize;
+            while let Some(d) = chars.get(j).and_then(|c| c.to_digit(10)) {
+                lo = lo * 10 + d as usize;
+                j += 1;
+            }
+            let hi = if chars.get(j) == Some(&',') {
+                j += 1;
+                let mut h = 0usize;
+                let mut any = false;
+                while let Some(d) = chars.get(j).and_then(|c| c.to_digit(10)) {
+                    h = h * 10 + d as usize;
+                    j += 1;
+                    any = true;
+                }
+                if any {
+                    h
+                } else {
+                    lo + 32
+                }
+            } else {
+                lo
+            };
+            if chars.get(j) == Some(&'}') {
+                j += 1;
+            }
+            (lo, hi.max(lo), j)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (members, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1),
+            '.' => (printable_ascii(), i + 1),
+            '\\' if i + 1 < chars.len() => (vec![unescape(chars[i + 1])], i + 2),
+            c => (vec![c], i + 1),
+        };
+        let (lo, hi, next) = parse_repetition(&chars, next);
+        let n = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        if !members.is_empty() {
+            for _ in 0..n {
+                out.push(members[rng.below(members.len() as u64) as usize]);
+            }
+        }
+        i = next;
+    }
+    out
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of a given length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(strategy, lo..hi)` — vectors with `lo..hi` elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range_i128(
+                self.len.start as i128,
+                self.len.end.max(self.len.start + 1) as i128,
+            ) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Assert inside a property (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Assert equality inside a property (panics, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The test-defining macro. Mirrors the real crate's syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0i64..100, v in prop::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::from_env(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = { $strat };)+
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                let __inputs: ::std::string::String = [$(
+                    format!(concat!(stringify!($arg), " = {:?}"), &$arg)
+                ),+].join(", ");
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(payload) = __result {
+                    eprintln!(
+                        "[proptest] {} failed on case {}/{} with inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, ArbitraryValue, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+
+    /// The `prop` module alias (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::generate(&(1usize..40), &mut rng);
+            assert!((1..40).contains(&u));
+            let b = Strategy::generate(&(32u8..126), &mut rng);
+            assert!((32..126).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~\\n]{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let lit = Strategy::generate(&"ab{3}", &mut rng);
+        assert_eq!(lit, "abbb");
+    }
+
+    #[test]
+    fn oneof_map_vec_and_recursive_compose() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i64),
+            Pair(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 0,
+                T::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaves_in_range(t: &T) -> bool {
+            match t {
+                T::Leaf(v) => (0..5).contains(v) || *v == 9,
+                T::Pair(a, b) => leaves_in_range(a) && leaves_in_range(b),
+            }
+        }
+        let leaf = prop_oneof![(0i64..5).prop_map(T::Leaf), Just(T::Leaf(9))];
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(11);
+        let mut saw_pair = false;
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+            assert!(leaves_in_range(&t));
+            saw_pair |= matches!(t, T::Pair(..));
+        }
+        assert!(saw_pair);
+        let vs = Strategy::generate(&crate::collection::vec(0u8..10, 2..5), &mut rng);
+        assert!((2..5).contains(&vs.len()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_generates_and_runs(x in 0i64..100, v in prop::collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

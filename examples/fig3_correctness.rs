@@ -34,7 +34,10 @@ fn main() {
         },
     )
     .unwrap();
-    println!("globalized build: out = {:?}", dev.read_f64(out, 8).unwrap());
+    println!(
+        "globalized build: out = {:?}",
+        dev.read_f64(out, 8).unwrap()
+    );
 
     // Unsound build (-fopenmp-cuda-mode): team_val stays on the stack;
     // worker threads touch another thread's local memory and trap.

@@ -1,0 +1,24 @@
+// Sequential stores to global memory before a parallel region: under
+// SPMDization these must be wrapped in main-thread guards and grouped
+// into a single guard region (the paper's Figure 7). Bit-identical
+// outputs across the matrix prove the guards preserve the
+// only-one-thread-writes semantics.
+//
+// oracle-kernel: guarded
+// oracle-teams: 2
+// oracle-threads: 32
+// oracle-arg: buf f64 64
+// oracle-arg: buf f64 4 iota
+// oracle-arg: i64 64
+void guarded(double* out, double* scratch, long n) {
+  #pragma omp target teams
+  {
+    scratch[0] = 10.0;
+    double x = 3.0 * 4.0;
+    scratch[1] = x;
+    #pragma omp parallel for
+    for (long t = 0; t < n; t++) {
+      out[t] = scratch[0] + scratch[1] + (double)t;
+    }
+  }
+}

@@ -1,0 +1,25 @@
+// Per-team local array read by the nested parallel region: the array is
+// captured by reference, so its frame storage is globalized. The
+// deglobalization passes must keep the worker threads' view of the
+// array intact while moving it to faster memory.
+//
+// oracle-kernel: local_array
+// oracle-teams: 4
+// oracle-threads: 8
+// oracle-arg: buf f64 64
+// oracle-arg: i64 8
+// oracle-arg: i64 8
+void local_array(double* out, long nb, long nt) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < nb; b++) {
+    double w[4];
+    w[0] = (double)b;
+    w[1] = (double)b * 2.0;
+    w[2] = (double)b + 0.5;
+    w[3] = 1.0;
+    #pragma omp parallel for
+    for (long t = 0; t < nt; t++) {
+      out[b * nt + t] = w[0] + w[1] * w[2] + w[3] + (double)t;
+    }
+  }
+}

@@ -1,0 +1,18 @@
+// A chain of math intrinsics with a helper function: exercises
+// internalization plus folding inside callees. Floating-point special
+// functions are deterministic in the simulator, so the results must
+// still be bit-identical across every configuration.
+//
+// oracle-kernel: math_chain
+// oracle-arg: buf f64 96 pseudo
+// oracle-arg: i64 96
+static double shape(double x) {
+  return sqrt(x + 1.0) * exp(0.0 - x) + fabs(x - 0.5);
+}
+
+void math_chain(double* a, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) {
+    a[i] = shape(a[i]) + pow(a[i] + 1.0, 2.0);
+  }
+}

@@ -1,0 +1,18 @@
+// Kernel whose arithmetic depends on OpenMP runtime queries
+// (`omp_get_num_threads`, `omp_get_num_teams`): runtime-call folding
+// replaces these with launch constants under `RTCspec`, and the oracle
+// confirms the folded constants agree with the values the simulator
+// would have returned dynamically.
+//
+// oracle-kernel: queries
+// oracle-teams: 4
+// oracle-threads: 32
+// oracle-arg: buf f64 128
+// oracle-arg: i64 128
+void queries(double* out, long n) {
+  #pragma omp target teams distribute parallel for num_teams(4) thread_limit(32)
+  for (long i = 0; i < n; i++) {
+    long stride = (long)omp_get_num_threads() * (long)omp_get_num_teams();
+    out[i] = (double)i + (double)stride * 0.001;
+  }
+}

@@ -1,0 +1,21 @@
+// SAXPY in the mini-C OpenMP dialect: the canonical SPMD-source kernel
+// (`target teams distribute parallel for`). Nothing is globalized, so
+// every configuration lowers it to essentially the same code — the
+// oracle's sanity baseline.
+//
+// Run it by hand:
+//   cargo run -p omp-gpu --bin ompgpu -- run examples/omp/saxpy.c \
+//     --kernel saxpy --arg buf:f64:64 --arg buf:f64:64 \
+//     --arg f64:2.5 --arg i64:64 --dump 4
+//
+// oracle-kernel: saxpy
+// oracle-arg: buf f64 64 pseudo
+// oracle-arg: buf f64 64 iota
+// oracle-arg: f64 2.5
+// oracle-arg: i64 64
+void saxpy(double* y, double* x, double a, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}

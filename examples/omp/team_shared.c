@@ -1,0 +1,23 @@
+// Generic-mode kernel with a team-shared scalar: `tv` is computed by
+// the team main thread and read by the nested parallel region, so Clang
+// globalizes it (`__kmpc_alloc_shared`). The ablation matrix exercises
+// the full story: the LLVM 12 legacy scheme, plain globalization,
+// HeapToStack under SPMDization's devirtualization, and the custom
+// state machine for the configurations that stay generic.
+//
+// oracle-kernel: team_shared
+// oracle-teams: 4
+// oracle-threads: 16
+// oracle-arg: buf f64 128
+// oracle-arg: i64 8
+// oracle-arg: i64 16
+void team_shared(double* out, long nb, long nt) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < nb; b++) {
+    double tv = (double)b * 2.0 + 1.0;
+    #pragma omp parallel for
+    for (long t = 0; t < nt; t++) {
+      out[b * nt + t] = tv + (double)t;
+    }
+  }
+}

@@ -31,7 +31,9 @@ void weighted_fill(double* out, long nblocks, long nthreads) {
         let (module, report) = pipeline::build(source, config).expect("compile");
         let mut dev = Device::new(&module, Default::default()).expect("device");
         let (nb, nt) = (8i64, 16i64);
-        let out = dev.alloc_f64(&vec![0.0; (nb * nt) as usize]).expect("alloc");
+        let out = dev
+            .alloc_f64(&vec![0.0; (nb * nt) as usize])
+            .expect("alloc");
         let stats = dev
             .launch(
                 "weighted_fill",
@@ -53,7 +55,8 @@ void weighted_fill(double* out, long nblocks, long nthreads) {
                 r.counts.heap_to_stack,
                 r.counts.heap_to_shared,
                 r.counts.spmdized,
-                r.counts.folds_exec_mode + r.counts.folds_parallel_level
+                r.counts.folds_exec_mode
+                    + r.counts.folds_parallel_level
                     + r.counts.folds_launch_params,
             );
             for remark in r.remarks.all().iter().take(4) {

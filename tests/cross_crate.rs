@@ -62,7 +62,11 @@ fn su3_imaginary_plane_is_correct() {
             }
             let expect = im * scale;
             let g = got[base + e];
-            assert!((g - expect).abs() < 1e-9, "im[{}]: {g} vs {expect}", base + e);
+            assert!(
+                (g - expect).abs() < 1e-9,
+                "im[{}]: {g} vs {expect}",
+                base + e
+            );
         }
     }
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, and the full test suite — entirely
+# offline (the workspace has no registry dependencies; proptest and
+# criterion resolve to the in-tree shims).
+#
+#   tools/ci.sh          # run everything
+#   tools/ci.sh fmt      # just one stage: fmt | clippy | test
+#
+# Exits non-zero on the first failing stage.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Never touch the network, even if a stray registry dep sneaks in:
+# fail fast instead of hanging on a download.
+export CARGO_NET_OFFLINE=true
+
+stage="${1:-all}"
+
+run_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+run_clippy() {
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+}
+
+run_test() {
+    echo "==> cargo test -q"
+    cargo test -q --workspace --offline
+}
+
+case "$stage" in
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    all)
+        run_fmt
+        run_clippy
+        run_test
+        echo "==> tier-1 gate passed"
+        ;;
+    *)
+        echo "usage: tools/ci.sh [fmt|clippy|test]" >&2
+        exit 2
+        ;;
+esac
