@@ -1,0 +1,268 @@
+//! Wall-clock benchmark for the simulator's execution-plan layer.
+//!
+//! Times host seconds (and records simulated cycles) for every
+//! proxy × configuration, plus the headline `ompgpu verify` wall-clock
+//! the PR's acceptance criterion is stated against, and writes the
+//! results as JSON:
+//!
+//! ```text
+//! cargo run --release -p omp-bench --bin bench_gpusim -- \
+//!     [--scale small|bench] [--jobs N] [--out BENCH_gpusim.json]
+//! ```
+//!
+//! The JSON embeds the pre-plan baseline measured on this container
+//! before the execution-plan layer landed, so the speedup is visible
+//! from the artifact alone.
+
+use omp_benchmarks::Scale;
+use omp_gpu::{all_proxies, oracle, pipeline, BuildConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// `ompgpu verify --scale small` wall-clock of the pre-execution-plan
+/// seed on this container (1 CPU). The container's wall-clock drifts
+/// 30-50% between time windows, so these were taken *interleaved* with
+/// the post-plan binary in one window: each seed run below was
+/// immediately followed by a post-plan run
+/// ([`INTERLEAVED_POST_PLAN_SECONDS`]); the pairwise ratio is the
+/// defensible speedup, independent of which window the artifact is
+/// regenerated in.
+const PRE_PLAN_VERIFY_SMALL_SECONDS: [f64; 7] = [0.180, 0.187, 0.162, 0.207, 0.175, 0.189, 0.231];
+
+/// Post-plan `ompgpu verify --scale small` runs from the same
+/// interleaved measurement window as [`PRE_PLAN_VERIFY_SMALL_SECONDS`].
+const INTERLEAVED_POST_PLAN_SECONDS: [f64; 7] = [0.095, 0.096, 0.114, 0.110, 0.113, 0.134, 0.148];
+
+struct ConfigRow {
+    label: &'static str,
+    wall_seconds: f64,
+    cycles: Option<u64>,
+    error: Option<String>,
+}
+
+struct ProxyRows {
+    name: &'static str,
+    rows: Vec<ConfigRow>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut jobs: Option<u32> = None;
+    let mut out_path = "BENCH_gpusim.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("bench") => scale = Scale::Bench,
+                other => {
+                    eprintln!("bench_gpusim: bad --scale {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = Some(n),
+                None => {
+                    eprintln!("bench_gpusim: --jobs needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_gpusim: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_gpusim: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Bench => "bench",
+    };
+
+    // Headline number: the full differential oracle over all proxies,
+    // the same work `ompgpu verify --scale <scale>` does. Three runs:
+    // the first is cold (page faults, cache warmup), so the minimum is
+    // the honest steady-state figure and all runs are recorded.
+    let mut verify_runs = [0f64; 3];
+    let mut verify_passed = true;
+    for r in verify_runs.iter_mut() {
+        let t0 = Instant::now();
+        let report = oracle::verify_proxies_jobs(scale, jobs);
+        *r = t0.elapsed().as_secs_f64();
+        verify_passed &= report.passed();
+    }
+    let verify_seconds = verify_runs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let verify_mean = verify_runs.iter().sum::<f64>() / verify_runs.len() as f64;
+
+    // Per-proxy, per-config wall clock and simulated cycles.
+    let mut proxies: Vec<ProxyRows> = Vec::new();
+    for app in all_proxies(scale) {
+        let mut rows = Vec::new();
+        for &config in BuildConfig::ALL.iter() {
+            let t = Instant::now();
+            let outcome = pipeline::run_proxy(app.as_ref(), config);
+            rows.push(ConfigRow {
+                label: config.label(),
+                wall_seconds: t.elapsed().as_secs_f64(),
+                cycles: outcome.cycles(),
+                error: outcome.error,
+            });
+        }
+        proxies.push(ProxyRows {
+            name: app.name(),
+            rows,
+        });
+    }
+
+    let baseline_mean = PRE_PLAN_VERIFY_SMALL_SECONDS.iter().sum::<f64>()
+        / PRE_PLAN_VERIFY_SMALL_SECONDS.len() as f64;
+    let baseline_min = PRE_PLAN_VERIFY_SMALL_SECONDS
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let interleaved_mean = INTERLEAVED_POST_PLAN_SECONDS.iter().sum::<f64>()
+        / INTERLEAVED_POST_PLAN_SECONDS.len() as f64;
+    let interleaved_min = INTERLEAVED_POST_PLAN_SECONDS
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"bench_gpusim/v1\",");
+    let _ = writeln!(j, "  \"scale\": \"{scale_name}\",");
+    // Parallel team execution only improves wall-clock with >1 host
+    // CPU; record the core count so speedups are interpretable.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(j, "  \"host_cpus\": {cpus},");
+    match jobs {
+        Some(n) => {
+            let _ = writeln!(j, "  \"jobs\": {n},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"jobs\": null,");
+        }
+    }
+    let _ = writeln!(j, "  \"pre_plan_baseline\": {{");
+    let _ = writeln!(
+        j,
+        "    \"verify_small_wall_seconds\": [{}],",
+        PRE_PLAN_VERIFY_SMALL_SECONDS
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        j,
+        "    \"verify_small_wall_mean_seconds\": {baseline_mean:.4},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"verify_small_wall_min_seconds\": {baseline_min:.4},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"interleaved_post_plan_seconds\": [{}],",
+        INTERLEAVED_POST_PLAN_SECONDS
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        j,
+        "    \"same_window_speedup_mean\": {:.2},",
+        baseline_mean / interleaved_mean.max(1e-9)
+    );
+    let _ = writeln!(
+        j,
+        "    \"same_window_speedup_min\": {:.2}",
+        baseline_min / interleaved_min.max(1e-9)
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(
+        j,
+        "  \"verify_wall_seconds_runs\": [{}],",
+        verify_runs
+            .iter()
+            .map(|s| format!("{s:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(j, "  \"verify_wall_seconds\": {verify_seconds:.4},");
+    let _ = writeln!(j, "  \"verify_wall_mean_seconds\": {verify_mean:.4},");
+    let _ = writeln!(j, "  \"verify_passed\": {verify_passed},");
+    if matches!(scale, Scale::Small) {
+        // Like-for-like: steady-state minimum against baseline minimum,
+        // mean against mean.
+        let _ = writeln!(
+            j,
+            "  \"speedup_vs_pre_plan\": {:.2},",
+            baseline_min / verify_seconds.max(1e-9)
+        );
+        let _ = writeln!(
+            j,
+            "  \"speedup_vs_pre_plan_mean\": {:.2},",
+            baseline_mean / verify_mean.max(1e-9)
+        );
+    }
+    let _ = writeln!(j, "  \"proxies\": [");
+    for (pi, p) in proxies.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", p.name);
+        let _ = writeln!(j, "      \"configs\": [");
+        for (ri, r) in p.rows.iter().enumerate() {
+            let cycles = r
+                .cycles
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let error = r
+                .error
+                .as_deref()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .unwrap_or_else(|| "null".to_string());
+            let _ = writeln!(
+                j,
+                "        {{ \"config\": \"{}\", \"wall_seconds\": {:.4}, \
+                 \"cycles\": {}, \"error\": {} }}{}",
+                json_escape(r.label),
+                r.wall_seconds,
+                cycles,
+                error,
+                if ri + 1 < p.rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(j, "    }}{}", if pi + 1 < proxies.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &j) {
+        eprintln!("bench_gpusim: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "verify --scale {scale_name}: {verify_seconds:.3}s wall \
+         (pre-plan baseline mean {baseline_mean:.3}s) -> {out_path}"
+    );
+}

@@ -4,15 +4,20 @@
 //! ```text
 //! ompgpu build  kernel.c [--config dev] [--emit-ir] [--remarks]
 //! ompgpu run    kernel.c --kernel name [--config dev]
-//!               [--teams N] [--threads N]
+//!               [--teams N] [--threads N] [--jobs N]
 //!               [--arg buf:f64:LEN | --arg buf:i64:LEN
 //!                | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
 //!               [--dump N]
-//! ompgpu verify [--scale small|bench] [--examples DIR] [FILE.c ...]
+//! ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]
 //! ```
 //!
 //! Buffer arguments are zero-initialized device allocations; `--dump N`
 //! prints the first N elements of every buffer after the launch.
+//!
+//! `--jobs N` sets the number of host worker threads the simulator may
+//! use to execute independent teams (`0` = auto-detect; the
+//! `OMPGPU_JOBS` environment variable is the default). Results are
+//! bit-identical for every setting.
 //!
 //! `verify` runs the differential-execution oracle: the four proxy
 //! benchmarks — plus every `.c` example with an `// oracle-*:` header
@@ -28,15 +33,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks]\n  \
          ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
-         [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n  \
-         ompgpu verify [--scale small|bench] [--examples DIR] [FILE.c ...]\n\n\
-         CFG: llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda"
+         [--jobs N] [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n  \
+         ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]\n\n\
+         CFG: llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
+         --jobs N: simulator worker threads for independent teams (0 = auto)"
     );
     ExitCode::from(2)
 }
 
 fn verify_main(args: &[String]) -> ExitCode {
     let mut scale = Scale::Small;
+    let mut jobs: Option<u32> = None;
     let mut dirs: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -47,6 +54,10 @@ fn verify_main(args: &[String]) -> ExitCode {
                 Some("bench") => scale = Scale::Bench,
                 _ => return usage(),
             },
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = Some(n),
+                None => return usage(),
+            },
             "--examples" => match it.next() {
                 Some(d) => dirs.push(d.clone()),
                 None => return usage(),
@@ -55,9 +66,9 @@ fn verify_main(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    let mut report = oracle::verify_proxies(scale);
+    let mut report = oracle::verify_proxies_jobs(scale, jobs);
     for dir in &dirs {
-        match oracle::verify_examples_dir(std::path::Path::new(dir)) {
+        match oracle::verify_examples_dir_jobs(std::path::Path::new(dir), jobs) {
             Ok(r) => report.cases.extend(r.cases),
             Err(e) => {
                 eprintln!("ompgpu verify: {e}");
@@ -77,7 +88,9 @@ fn verify_main(args: &[String]) -> ExitCode {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| file.clone());
-        report.cases.push(oracle::verify_example(&name, &source));
+        report
+            .cases
+            .push(oracle::verify_example_jobs(&name, &source, jobs));
     }
     print!("{}", report.render());
     let (pass, total) = (
@@ -149,6 +162,7 @@ fn main() -> ExitCode {
     let mut kernel: Option<String> = None;
     let mut teams: Option<u32> = None;
     let mut threads: Option<u32> = None;
+    let mut jobs: Option<u32> = None;
     let mut specs: Vec<ArgSpec> = Vec::new();
     let mut dump = 0usize;
     let mut it = args.iter().skip(2);
@@ -163,6 +177,7 @@ fn main() -> ExitCode {
             "--kernel" => kernel = it.next().cloned(),
             "--teams" => teams = it.next().and_then(|s| s.parse().ok()),
             "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
+            "--jobs" => jobs = it.next().and_then(|s| s.parse().ok()),
             "--dump" => dump = it.next().and_then(|s| s.parse().ok()).unwrap_or(8),
             "--arg" => match it.next().and_then(|s| parse_arg(s)) {
                 Some(s) => specs.push(s),
@@ -228,6 +243,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Some(j) = jobs {
+                dev.set_jobs(j);
+            }
             let mut rt_args = Vec::new();
             let mut buffers: Vec<(u64, usize, bool)> = Vec::new(); // (addr, len, is_f64)
             for s in &specs {

@@ -29,7 +29,9 @@
 use crate::config::BuildConfig;
 use crate::pipeline;
 use omp_benchmarks::{all_proxies, ProxyApp, Scale};
+use omp_frontend::GlobalizationScheme;
 use omp_gpusim::{Device, LaunchDims, RtVal, StatsSnapshot};
+use omp_ir::Module;
 use omp_opt::PassStat;
 
 /// The configurations the oracle compares: every entry of the paper's
@@ -312,9 +314,52 @@ fn pass_stats_of(report: &Option<omp_opt::OptReport>) -> Vec<PassStat> {
     report.as_ref().map(|r| r.pass_stats()).unwrap_or_default()
 }
 
+/// Frontend compilation cache for one subject.
+///
+/// The frontend's output depends on the build configuration only
+/// through its globalization scheme (no [`ORACLE_CONFIGS`] entry
+/// compiles in CUDA mode), so the six-config ablation matrix needs at
+/// most two frontend runs per subject — one `Legacy`, one `Simplified`.
+/// Each lookup clones the cached module; the clone is what the
+/// per-configuration optimizer then mutates.
+struct FrontendCache<'s> {
+    source: &'s str,
+    entries: Vec<(GlobalizationScheme, Result<Module, String>)>,
+}
+
+impl<'s> FrontendCache<'s> {
+    fn new(source: &'s str) -> FrontendCache<'s> {
+        FrontendCache {
+            source,
+            entries: Vec::new(),
+        }
+    }
+
+    fn module(&mut self, config: BuildConfig) -> Result<Module, String> {
+        let fe = config.frontend_options("bench");
+        debug_assert!(!fe.cuda_mode, "oracle configs compile OpenMP source");
+        let scheme = fe.globalization;
+        if let Some((_, cached)) = self.entries.iter().find(|(s, _)| *s == scheme) {
+            return cached.clone();
+        }
+        let result = pipeline::compile_frontend(self.source, config).map_err(|e| e.to_string());
+        self.entries.push((scheme, result.clone()));
+        result
+    }
+}
+
 /// Runs one proxy under one configuration, capturing output bits.
-fn run_proxy_config(app: &dyn ProxyApp, config: BuildConfig) -> CaseResult {
-    let (module, report) = match pipeline::build(&app.openmp_source(), config) {
+fn run_proxy_config(
+    app: &dyn ProxyApp,
+    frontend: Result<Module, String>,
+    config: BuildConfig,
+    jobs: Option<u32>,
+) -> CaseResult {
+    let module = match frontend {
+        Ok(m) => m,
+        Err(e) => return CaseResult::failed(config, e),
+    };
+    let (module, report) = match pipeline::optimize(module, config) {
         Ok(x) => x,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
@@ -323,6 +368,9 @@ fn run_proxy_config(app: &dyn ProxyApp, config: BuildConfig) -> CaseResult {
         Ok(d) => d,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
+    if let Some(j) = jobs {
+        dev.set_jobs(j);
+    }
     let workload = match app.prepare(&mut dev) {
         Ok(w) => w,
         Err(e) => return CaseResult::failed(config, e.to_string()),
@@ -351,8 +399,17 @@ fn run_proxy_config(app: &dyn ProxyApp, config: BuildConfig) -> CaseResult {
 
 /// Runs one example spec under one configuration, capturing the bits of
 /// every buffer argument.
-fn run_example_config(source: &str, spec: &ExampleSpec, config: BuildConfig) -> CaseResult {
-    let (module, report) = match pipeline::build(source, config) {
+fn run_example_config(
+    frontend: Result<Module, String>,
+    spec: &ExampleSpec,
+    config: BuildConfig,
+    jobs: Option<u32>,
+) -> CaseResult {
+    let module = match frontend {
+        Ok(m) => m,
+        Err(e) => return CaseResult::failed(config, e),
+    };
+    let (module, report) = match pipeline::optimize(module, config) {
         Ok(x) => x,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
@@ -361,6 +418,9 @@ fn run_example_config(source: &str, spec: &ExampleSpec, config: BuildConfig) -> 
         Ok(d) => d,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
+    if let Some(j) = jobs {
+        dev.set_jobs(j);
+    }
     let mut args: Vec<RtVal> = Vec::new();
     let mut buffers: Vec<(u64, usize, bool)> = Vec::new(); // (addr, len, is_f64)
     for a in &spec.args {
@@ -542,19 +602,32 @@ fn finish_case(name: &str, results: Vec<CaseResult>) -> OracleCase {
 
 /// Verifies one proxy benchmark across the full matrix.
 pub fn verify_proxy(app: &dyn ProxyApp) -> OracleCase {
+    verify_proxy_jobs(app, None)
+}
+
+/// [`verify_proxy`] with an explicit simulator worker-thread count
+/// (`None` leaves the device default; `Some(0)` is auto-detect).
+pub fn verify_proxy_jobs(app: &dyn ProxyApp, jobs: Option<u32>) -> OracleCase {
+    let source = app.openmp_source();
+    let mut cache = FrontendCache::new(&source);
     let results = ORACLE_CONFIGS
         .iter()
-        .map(|&c| run_proxy_config(app, c))
+        .map(|&c| run_proxy_config(app, cache.module(c), c, jobs))
         .collect();
     finish_case(app.name(), results)
 }
 
 /// Verifies all four proxy benchmarks.
 pub fn verify_proxies(scale: Scale) -> OracleReport {
+    verify_proxies_jobs(scale, None)
+}
+
+/// [`verify_proxies`] with an explicit simulator worker-thread count.
+pub fn verify_proxies_jobs(scale: Scale, jobs: Option<u32>) -> OracleReport {
     OracleReport {
         cases: all_proxies(scale)
             .iter()
-            .map(|a| verify_proxy(a.as_ref()))
+            .map(|a| verify_proxy_jobs(a.as_ref(), jobs))
             .collect(),
     }
 }
@@ -562,6 +635,11 @@ pub fn verify_proxies(scale: Scale) -> OracleReport {
 /// Verifies one example source (with an `// oracle-*:` header) across
 /// the full matrix.
 pub fn verify_example(name: &str, source: &str) -> OracleCase {
+    verify_example_jobs(name, source, None)
+}
+
+/// [`verify_example`] with an explicit simulator worker-thread count.
+pub fn verify_example_jobs(name: &str, source: &str, jobs: Option<u32>) -> OracleCase {
     let spec = match ExampleSpec::parse(source) {
         Ok(s) => s,
         Err(e) => {
@@ -573,15 +651,25 @@ pub fn verify_example(name: &str, source: &str) -> OracleCase {
             }
         }
     };
+    let mut cache = FrontendCache::new(source);
     let results = ORACLE_CONFIGS
         .iter()
-        .map(|&c| run_example_config(source, &spec, c))
+        .map(|&c| run_example_config(cache.module(c), &spec, c, jobs))
         .collect();
     finish_case(name, results)
 }
 
 /// Verifies every `.c` file in a directory of oracle examples.
 pub fn verify_examples_dir(dir: &std::path::Path) -> Result<OracleReport, String> {
+    verify_examples_dir_jobs(dir, None)
+}
+
+/// [`verify_examples_dir`] with an explicit simulator worker-thread
+/// count.
+pub fn verify_examples_dir_jobs(
+    dir: &std::path::Path,
+    jobs: Option<u32>,
+) -> Result<OracleReport, String> {
     let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|e| e.ok())
@@ -600,7 +688,7 @@ pub fn verify_examples_dir(dir: &std::path::Path) -> Result<OracleReport, String
             .unwrap_or_else(|| path.display().to_string());
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        report.cases.push(verify_example(&name, &source));
+        report.cases.push(verify_example_jobs(&name, &source, jobs));
     }
     Ok(report)
 }

@@ -28,11 +28,25 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-/// Compiles `source` under `config`, returning the optimized module and
-/// the optimizer's report (when the OpenMP pass ran).
-pub fn build(source: &str, config: BuildConfig) -> Result<(Module, Option<OptReport>), BuildError> {
+/// Runs only the frontend for `source` under `config`.
+///
+/// The frontend output depends on `config` solely through its
+/// [`FrontendOptions`](omp_frontend::FrontendOptions) (in practice: the
+/// globalization scheme), so callers running many configurations over
+/// the same source can compile once per distinct option set, clone the
+/// module, and feed each clone to [`optimize`].
+pub fn compile_frontend(source: &str, config: BuildConfig) -> Result<Module, BuildError> {
     let fe = config.frontend_options("bench");
-    let mut module = omp_frontend::compile(source, &fe).map_err(BuildError::Compile)?;
+    omp_frontend::compile(source, &fe).map_err(BuildError::Compile)
+}
+
+/// Optimizes and verifies a frontend module under `config`, returning
+/// the final module and the optimizer's report (when the OpenMP pass
+/// ran).
+pub fn optimize(
+    mut module: Module,
+    config: BuildConfig,
+) -> Result<(Module, Option<OptReport>), BuildError> {
     let report = match config.opt_config() {
         Some(cfg) => Some(omp_opt::run(&mut module, &cfg)),
         None => {
@@ -46,6 +60,12 @@ pub fn build(source: &str, config: BuildConfig) -> Result<(Module, Option<OptRep
         return Err(BuildError::Verify(msgs.join("; ")));
     }
     Ok((module, report))
+}
+
+/// Compiles `source` under `config`, returning the optimized module and
+/// the optimizer's report (when the OpenMP pass ran).
+pub fn build(source: &str, config: BuildConfig) -> Result<(Module, Option<OptReport>), BuildError> {
+    optimize(compile_frontend(source, config)?, config)
 }
 
 /// Result of running one proxy application under one configuration.

@@ -1,4 +1,4 @@
-//! The kernel interpreter: executes IR for every thread of every team,
+//! The kernel interpreter: executes IR for every thread of one team,
 //! implementing the OpenMP device runtime semantics and charging the
 //! cost model.
 //!
@@ -8,19 +8,30 @@
 //! barriers, termination — release blocked threads and align their
 //! cycle counters, which is how synchronization shows up in kernel
 //! time.
+//!
+//! Execution is driven by the precompiled [`crate::plan::ExecPlan`]:
+//! instruction kinds and terminators are *borrowed* from the module
+//! (never cloned per step), call targets are pre-resolved enums instead
+//! of name strings, frames are allocated at their final register-file
+//! size, and the coalescing-model state lives in dense `Vec`s indexed
+//! by a plan-wide access-site number.
+//!
+//! One [`TeamExec`] runs one team to completion over a private
+//! [`TeamMemView`]; teams are independent, so the launch layer
+//! (`launch.rs`) may run several on parallel host threads and merge the
+//! resulting [`TeamOutcome`]s in team-id order.
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::mem::{self, AccessClass, MemError, Memory};
+use crate::mem::{self, AccessClass, FastMap, MemError, TeamMemDelta, TeamMemView};
+use crate::plan::{CallTarget, ExecPlan, MathKind, NUM_RTL_FNS};
 use crate::stats::KernelStats;
 use crate::value::RtVal;
-use omp_ir::omprtl::MODE_SPMD;
+use omp_ir::omprtl::{ALL_RTL_FNS, MODE_SPMD};
 use omp_ir::{
-    AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, GlobalId, InstId, InstKind, Module,
-    RtlFn, Terminator, Type, Value,
+    AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, InstId, InstKind, Module, RtlFn,
+    Terminator, Type, Value,
 };
-use std::collections::{HashMap, HashSet};
-
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -77,6 +88,7 @@ struct Frame {
     block: BlockId,
     prev_block: Option<BlockId>,
     idx: usize,
+    /// Pre-sized to the function's register count at frame push.
     regs: Vec<Option<RtVal>>,
     args: Vec<RtVal>,
     local_sp_save: u64,
@@ -99,6 +111,10 @@ struct Thread {
     hw: u32,
     status: Status,
     frames: Vec<Frame>,
+    /// Retired frames recycled by later calls, so a call in steady
+    /// state allocates nothing: the register and argument vectors of
+    /// popped frames are reused at the next push.
+    pool: Vec<Frame>,
     cycles: u64,
     insts: u64,
     /// (omp thread id, team size) context stack.
@@ -106,32 +122,70 @@ struct Thread {
     local_sp: u64,
     /// Result delivered by a release (consumed by the blocked call).
     resume: Option<RtVal>,
-    /// Access sites this thread has already contributed a coalescing
-    /// sample for (only the first visit is compared).
-    sampled: HashSet<InstId>,
+    /// Bitset over plan-wide access sites this thread has already
+    /// contributed a coalescing sample for (only the first visit is
+    /// compared).
+    sampled: Vec<u64>,
 }
 
 impl Thread {
-    fn new(hw: u32) -> Thread {
+    fn new(hw: u32, sample_words: usize) -> Thread {
         Thread {
             hw,
             status: Status::Ready,
             frames: Vec::new(),
+            pool: Vec::new(),
             cycles: 0,
             insts: 0,
             ctx: Vec::new(),
             local_sp: 0,
             resume: None,
-            sampled: HashSet::new(),
+            sampled: vec![0; sample_words],
         }
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SiteClass {
-    Coalesced,
-    Uncoalesced,
+/// Builds a call frame, recycling vectors from `pool` when possible.
+/// `args` is left empty for the caller to fill.
+#[allow(clippy::too_many_arguments)]
+fn make_frame(
+    pool: &mut Vec<Frame>,
+    func: FuncId,
+    block: BlockId,
+    num_regs: usize,
+    local_sp_save: u64,
+    ret_to: Option<InstId>,
+    hook: Option<RetHook>,
+) -> Frame {
+    let (regs, args) = match pool.pop() {
+        Some(mut f) => {
+            f.regs.clear();
+            f.args.clear();
+            (f.regs, f.args)
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+    let mut frame = Frame {
+        func,
+        block,
+        prev_block: None,
+        idx: 0,
+        regs,
+        args,
+        local_sp_save,
+        ret_to,
+        hook,
+    };
+    frame.regs.resize(num_regs, None);
+    frame
 }
+
+const SITE_UNKNOWN: u8 = 0;
+const SITE_COALESCED: u8 = 1;
+const SITE_UNCOALESCED: u8 = 2;
+
+/// Sentinel lane for an empty coalescing sample slot.
+const NO_SAMPLE: u32 = u32::MAX;
 
 /// Per-team runtime state.
 struct Team {
@@ -149,117 +203,173 @@ struct Team {
     outstanding: u32,
     terminated: bool,
     /// Sizes of legacy push-stack allocations (for pop).
-    push_sizes: HashMap<u64, u64>,
+    push_sizes: FastMap<u64>,
 }
 
-/// The interpreter for one kernel launch.
-pub struct Interp<'a> {
-    module: &'a Module,
+/// Statistics gathered while one team runs; merged into the launch's
+/// [`KernelStats`] in team-id order. Runtime-call counts are a dense
+/// array indexed by `RtlFn` discriminant — no per-call string keys.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TeamStats {
+    pub instructions: u64,
+    pub rtl_calls: [u64; NUM_RTL_FNS],
+    pub globalization_allocs: u64,
+    pub barriers: u64,
+    pub indirect_calls: u64,
+    pub parallel_regions: u64,
+    pub memory_accesses: u64,
+    pub coalesced_accesses: u64,
+    pub uncoalesced_accesses: u64,
+}
+
+impl TeamStats {
+    /// Folds this team's counters into the launch statistics.
+    pub fn merge_into(&self, s: &mut KernelStats) {
+        s.instructions += self.instructions;
+        s.globalization_allocs += self.globalization_allocs;
+        s.barriers += self.barriers;
+        s.indirect_calls += self.indirect_calls;
+        s.parallel_regions += self.parallel_regions;
+        s.memory_accesses += self.memory_accesses;
+        s.coalesced_accesses += self.coalesced_accesses;
+        s.uncoalesced_accesses += self.uncoalesced_accesses;
+        for (i, f) in ALL_RTL_FNS.iter().enumerate() {
+            if self.rtl_calls[i] != 0 {
+                *s.rtl_calls.entry(f.name().to_string()).or_insert(0) += self.rtl_calls[i];
+            }
+        }
+    }
+}
+
+/// Everything one finished team hands back to the launch layer.
+pub(crate) struct TeamOutcome {
+    pub cycles: u64,
+    pub stats: TeamStats,
+    pub delta: TeamMemDelta,
+}
+
+/// The interpreter for one team of a kernel launch. Owns the team's
+/// memory view and all mutable state, sharing only read-only module,
+/// plan, and configuration — which is what makes running several
+/// `TeamExec`s on parallel host threads sound.
+pub(crate) struct TeamExec<'a, 'm> {
+    module: &'m Module,
+    plan: &'a ExecPlan<'m>,
     cfg: &'a DeviceConfig,
     cost: &'a CostModel,
-    mem: &'a mut Memory,
-    globals: &'a HashMap<GlobalId, (AddrSpace, u64)>,
+    /// Dense global placement table indexed by `GlobalId`.
+    globals: &'a [(AddrSpace, u64)],
+    mem: TeamMemView<'a>,
     num_teams: u32,
     team_size: u32,
-    /// Running statistics.
-    pub stats: KernelStats,
-    site_class: HashMap<(FuncId, InstId), SiteClass>,
-    site_samples: HashMap<(u32, FuncId, InstId, u32), (u32, u64)>,
+    team: Team,
+    stats: TeamStats,
+    /// Dense per-site classification (`SITE_*`), plan-wide index.
+    site_class: Vec<u8>,
+    /// Per-(warp, site) first sample: `(lane, addr)`.
+    site_samples: Vec<(u32, u64)>,
+    total_sites: usize,
     /// Set by allocation runtime calls: the current thread yields so
     /// that per-thread allocations overlap in time, modelling the
     /// concurrent footprint of a real launch.
     yield_flag: bool,
+    debug_coalesce: bool,
+    /// Reusable scratch for evaluated call arguments (taken with
+    /// `mem::take` around uses, so steady-state calls don't allocate).
+    scratch_args: Vec<RtVal>,
+    /// Reusable scratch for simultaneous phi evaluation.
+    scratch_phis: Vec<(InstId, RtVal)>,
 }
 
-impl<'a> Interp<'a> {
-    /// Creates an interpreter for a launch of `num_teams x team_size`.
+impl<'a, 'm> TeamExec<'a, 'm> {
+    /// Creates the executor for one team. The caller must have checked
+    /// that `kernel` is a defined function of the plan.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
-        module: &'a Module,
+        module: &'m Module,
+        plan: &'a ExecPlan<'m>,
         cfg: &'a DeviceConfig,
         cost: &'a CostModel,
-        mem: &'a mut Memory,
-        globals: &'a HashMap<GlobalId, (AddrSpace, u64)>,
+        globals: &'a [(AddrSpace, u64)],
+        mem: TeamMemView<'a>,
         num_teams: u32,
         team_size: u32,
-    ) -> Interp<'a> {
-        Interp {
-            module,
-            cfg,
-            cost,
-            mem,
-            globals,
-            num_teams,
-            team_size,
-            stats: KernelStats::default(),
-            site_class: HashMap::new(),
-            site_samples: HashMap::new(),
-            yield_flag: false,
-        }
-    }
-
-    /// Runs the kernel function with `args` on every team; returns the
-    /// per-team cycle counts.
-    pub fn run(&mut self, kernel: FuncId, args: &[RtVal]) -> Result<Vec<u64>, SimError> {
-        let mode = self
-            .module
-            .kernel_for(kernel)
-            .map(|k| k.exec_mode)
-            .unwrap_or(ExecMode::Spmd);
-        let mut team_cycles = Vec::with_capacity(self.num_teams as usize);
-        for team_id in 0..self.num_teams {
-            let cycles = self.run_team(kernel, args, team_id, mode)?;
-            team_cycles.push(cycles);
-        }
-        Ok(team_cycles)
-    }
-
-    fn run_team(
-        &mut self,
-        kernel: FuncId,
-        args: &[RtVal],
         team_id: u32,
         mode: ExecMode,
-    ) -> Result<u64, SimError> {
+        kernel: FuncId,
+        args: &[RtVal],
+    ) -> TeamExec<'a, 'm> {
+        let kplan = plan.func(kernel).expect("launch checked kernel is defined");
+        let total_sites = plan.total_sites() as usize;
+        let sample_words = total_sites.div_ceil(64);
+        let warps = (team_size.div_ceil(cfg.warp_size.max(1))).max(1) as usize;
         let mut team = Team {
             id: team_id,
             mode,
-            threads: (0..self.team_size).map(Thread::new).collect(),
+            threads: (0..team_size)
+                .map(|hw| Thread::new(hw, sample_words))
+                .collect(),
             work_token: RtVal::Ptr(0),
             work_args: 0,
             assigned: Vec::new(),
             dispatch_n: 0,
             outstanding: 0,
             terminated: false,
-            push_sizes: HashMap::new(),
+            push_sizes: FastMap::default(),
         };
         for t in &mut team.threads {
             t.frames.push(Frame {
                 func: kernel,
-                block: self.module.func(kernel).entry(),
+                block: kplan.entry,
                 prev_block: None,
                 idx: 0,
-                regs: vec![None; 0],
+                regs: vec![None; kplan.num_regs],
                 args: args.to_vec(),
                 local_sp_save: 0,
                 ret_to: None,
                 hook: None,
             });
         }
+        TeamExec {
+            module,
+            plan,
+            cfg,
+            cost,
+            globals,
+            mem,
+            num_teams,
+            team_size,
+            team,
+            stats: TeamStats::default(),
+            site_class: vec![SITE_UNKNOWN; total_sites],
+            site_samples: vec![(NO_SAMPLE, 0); warps * total_sites],
+            total_sites,
+            yield_flag: false,
+            debug_coalesce: std::env::var_os("OMP_GPUSIM_DEBUG_COALESCE").is_some(),
+            scratch_args: Vec::new(),
+            scratch_phis: Vec::new(),
+        }
+    }
+
+    /// Runs the team to completion; returns its cycle count, statistics
+    /// and memory effects.
+    pub fn run(mut self) -> Result<TeamOutcome, SimError> {
         // Round-robin scheduling until every thread is done.
         loop {
             let mut progressed = false;
             for hw in 0..self.team_size {
-                if team.threads[hw as usize].status != Status::Ready {
+                if self.team.threads[hw as usize].status != Status::Ready {
                     continue;
                 }
                 progressed = true;
-                self.run_thread(&mut team, hw)?;
+                self.run_thread(hw)?;
             }
-            if team.threads.iter().all(|t| t.status == Status::Done) {
+            if self.team.threads.iter().all(|t| t.status == Status::Done) {
                 break;
             }
             if !progressed {
-                let states: Vec<String> = team
+                let states: Vec<String> = self
+                    .team
                     .threads
                     .iter()
                     .map(|t| format!("t{}:{:?}", t.hw, t.status))
@@ -267,23 +377,206 @@ impl<'a> Interp<'a> {
                 return Err(SimError::Deadlock(states.join(" ")));
             }
         }
-        let max = team.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
-        self.stats.instructions += team.threads.iter().map(|t| t.insts).sum::<u64>();
-        Ok(max)
+        let cycles = self
+            .team
+            .threads
+            .iter()
+            .map(|t| t.cycles)
+            .max()
+            .unwrap_or(0);
+        self.stats.instructions += self.team.threads.iter().map(|t| t.insts).sum::<u64>();
+        Ok(TeamOutcome {
+            cycles,
+            stats: self.stats,
+            delta: self.mem.finish(),
+        })
     }
 
-    fn run_thread(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
-        while team.threads[hw as usize].status == Status::Ready {
-            self.step(team, hw)?;
-            if self.yield_flag {
-                self.yield_flag = false;
-                break;
+    /// Runs thread `hw` until it blocks, yields, or finishes.
+    ///
+    /// The hot loop is organized as *block runs*: the outer loop
+    /// resolves the running frame's function and block plan once, and
+    /// the inner loop dispatches straight-line instructions off the
+    /// resolved code slice without re-resolving anything. Calls,
+    /// terminators and status changes break back out to re-resolve.
+    fn run_thread(&mut self, hw: u32) -> Result<(), SimError> {
+        let plan = self.plan;
+        let max_insts = self.cfg.max_insts_per_thread;
+        'resolve: while self.team.threads[hw as usize].status == Status::Ready {
+            let th = &mut self.team.threads[hw as usize];
+            let Some(frame) = th.frames.last() else {
+                th.insts += 1;
+                if th.insts > max_insts {
+                    return Err(SimError::Runaway);
+                }
+                th.status = Status::Done;
+                continue 'resolve;
+            };
+            let fid = frame.func;
+            let fp = plan.func(fid).expect("frame in undefined function");
+            let bp = fp.block(frame.block);
+            let code = bp.code.as_slice();
+            loop {
+                let th = &mut self.team.threads[hw as usize];
+                th.insts += 1;
+                if th.insts > max_insts {
+                    return Err(SimError::Runaway);
+                }
+                let frame = th.frames.last().unwrap();
+                if frame.idx >= code.len() {
+                    self.step_terminator(hw)?;
+                    continue 'resolve;
+                }
+                let (inst_id, kind) = code[frame.idx];
+                match kind {
+                    InstKind::Alloca { size, .. } => {
+                        let size = *size;
+                        let th = &mut self.team.threads[hw as usize];
+                        let addr = mem::local_addr(self.team.id, hw, th.local_sp);
+                        th.local_sp += size.max(1).div_ceil(8) * 8;
+                        if th.local_sp > self.cfg.local_mem_per_thread {
+                            return Err(SimError::Trap("thread-local stack overflow".into()));
+                        }
+                        let f = th.frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, RtVal::Ptr(addr));
+                        f.idx += 1;
+                        self.charge(hw, self.cost.simple_op);
+                    }
+                    InstKind::Load { ptr, ty } => {
+                        let (ptr, ty) = (*ptr, *ty);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let p = Self::eval(self.globals, self.team.id, f, ptr)?
+                            .as_ptr()
+                            .ok_or_else(|| SimError::Trap("load through non-pointer".into()))?;
+                        let (v, class) = self.mem.load(p, ty, hw)?;
+                        let site = fp.site_base + inst_id.0;
+                        let cost = self.access_cost(hw, fid, site, p, ty, class);
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, v);
+                        f.idx += 1;
+                        self.charge(hw, cost);
+                        self.stats.memory_accesses += 1;
+                    }
+                    InstKind::Store { ptr, val } => {
+                        let (ptr, val) = (*ptr, *val);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let p = Self::eval(self.globals, self.team.id, f, ptr)?
+                            .as_ptr()
+                            .ok_or_else(|| SimError::Trap("store through non-pointer".into()))?;
+                        let v = Self::eval(self.globals, self.team.id, f, val)?;
+                        let class = self.mem.store(p, v, hw)?;
+                        let site = fp.site_base + inst_id.0;
+                        let cost = self.access_cost(hw, fid, site, p, v.ty(), class);
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        f.idx += 1;
+                        self.charge(hw, cost);
+                        self.stats.memory_accesses += 1;
+                    }
+                    InstKind::Bin { op, ty, lhs, rhs } => {
+                        let (op, ty, lhs, rhs) = (*op, *ty, *lhs, *rhs);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let a = Self::eval(self.globals, self.team.id, f, lhs)?;
+                        let b = Self::eval(self.globals, self.team.id, f, rhs)?;
+                        let v = exec_bin(op, ty, a, b)?;
+                        let cost = self.cost.bin_cost(op);
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, v);
+                        f.idx += 1;
+                        self.charge(hw, cost);
+                    }
+                    InstKind::Cmp { op, ty, lhs, rhs } => {
+                        let (op, ty, lhs, rhs) = (*op, *ty, *lhs, *rhs);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let a = Self::eval(self.globals, self.team.id, f, lhs)?;
+                        let b = Self::eval(self.globals, self.team.id, f, rhs)?;
+                        let v = exec_cmp(op, ty, a, b)?;
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, v);
+                        f.idx += 1;
+                        self.charge(hw, self.cost.simple_op);
+                    }
+                    InstKind::Cast { op, val, to } => {
+                        let (op, val, to) = (*op, *val, *to);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let a = Self::eval(self.globals, self.team.id, f, val)?;
+                        let v = exec_cast(op, a, to)?;
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, v);
+                        f.idx += 1;
+                        self.charge(hw, self.cost.simple_op);
+                    }
+                    InstKind::Gep {
+                        base,
+                        index,
+                        scale,
+                        offset,
+                    } => {
+                        let (base, index, scale, offset) = (*base, *index, *scale, *offset);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let b = Self::eval(self.globals, self.team.id, f, base)?
+                            .as_ptr()
+                            .ok_or_else(|| SimError::Trap("gep on non-pointer".into()))?;
+                        let i = Self::eval(self.globals, self.team.id, f, index)?
+                            .as_i64()
+                            .ok_or_else(|| SimError::Trap("gep with non-integer index".into()))?;
+                        let addr = (b as i64 + i * scale as i64 + offset) as u64;
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, RtVal::Ptr(addr));
+                        f.idx += 1;
+                        self.charge(hw, self.cost.int_op);
+                    }
+                    InstKind::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                        ..
+                    } => {
+                        let (cond, on_true, on_false) = (*cond, *on_true, *on_false);
+                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let c = Self::eval(self.globals, self.team.id, f, cond)?
+                            .as_bool()
+                            .ok_or_else(|| SimError::Trap("select on non-boolean".into()))?;
+                        let v = if c {
+                            Self::eval(self.globals, self.team.id, f, on_true)?
+                        } else {
+                            Self::eval(self.globals, self.team.id, f, on_false)?
+                        };
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        Self::set_reg(f, inst_id, v);
+                        f.idx += 1;
+                        self.charge(hw, self.cost.simple_op);
+                    }
+                    InstKind::Phi { .. } => {
+                        // Phis are executed as part of block transition;
+                        // a phi in the middle of a block (not the leading
+                        // header the plan splits off) is skipped
+                        // defensively.
+                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        f.idx += 1;
+                    }
+                    InstKind::Call { callee, args, .. } => {
+                        let target = fp.call_targets[inst_id.index()];
+                        self.exec_call(hw, inst_id, target, *callee, args)?;
+                        // The call may have pushed a frame, blocked the
+                        // thread, or requested a scheduler yield.
+                        if self.yield_flag {
+                            self.yield_flag = false;
+                            return Ok(());
+                        }
+                        continue 'resolve;
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    fn eval(&self, team: &Team, _hw: u32, frame: &Frame, v: Value) -> Result<RtVal, SimError> {
+    fn eval(
+        globals: &[(AddrSpace, u64)],
+        team_id: u32,
+        frame: &Frame,
+        v: Value,
+    ) -> Result<RtVal, SimError> {
         Ok(match v {
             Value::Inst(i) => frame
                 .regs
@@ -305,10 +598,12 @@ impl<'a> Interp<'a> {
                 _ => RtVal::F64(f64::from_bits(bits)),
             },
             Value::Global(g) => {
-                let (space, offset) = self.globals[&g];
+                // The plan validated every global reference, so the
+                // dense table lookup cannot miss.
+                let (space, offset) = globals[g.index()];
                 match space {
                     AddrSpace::Global => RtVal::Ptr(mem::global_addr(offset)),
-                    AddrSpace::Shared => RtVal::Ptr(mem::shared_addr(team.id, offset)),
+                    AddrSpace::Shared => RtVal::Ptr(mem::shared_addr(team_id, offset)),
                 }
             }
             Value::Func(f) => RtVal::Ptr(mem::func_addr(f.0)),
@@ -317,197 +612,54 @@ impl<'a> Interp<'a> {
         })
     }
 
+    #[inline]
     fn set_reg(frame: &mut Frame, inst: InstId, v: RtVal) {
-        if frame.regs.len() <= inst.index() {
-            frame.regs.resize(inst.index() + 1, None);
-        }
         frame.regs[inst.index()] = Some(v);
     }
 
-    fn charge(&mut self, team: &mut Team, hw: u32, cycles: u64) {
-        team.threads[hw as usize].cycles += cycles;
+    #[inline]
+    fn charge(&mut self, hw: u32, cycles: u64) {
+        self.team.threads[hw as usize].cycles += cycles;
     }
 
-    /// Executes one instruction or terminator for thread `hw`.
-    fn step(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
-        let th = &mut team.threads[hw as usize];
-        th.insts += 1;
-        if th.insts > self.cfg.max_insts_per_thread {
-            return Err(SimError::Runaway);
-        }
-        let Some(frame) = th.frames.last() else {
-            th.status = Status::Done;
-            return Ok(());
-        };
-        let func = self.module.func(frame.func);
-        let block = func.block(frame.block);
-        if frame.idx >= block.insts.len() {
-            return self.step_terminator(team, hw);
-        }
-        let inst_id = block.insts[frame.idx];
-        let kind = func.inst(inst_id).clone();
+    fn step_terminator(&mut self, hw: u32) -> Result<(), SimError> {
+        let plan = self.plan;
+        let frame = self.team.threads[hw as usize].frames.last().unwrap();
         let fid = frame.func;
-        match kind {
-            InstKind::Alloca { size, .. } => {
-                let th = &mut team.threads[hw as usize];
-                let addr = mem::local_addr(team.id, hw, th.local_sp);
-                th.local_sp += size.max(1).div_ceil(8) * 8;
-                if th.local_sp > self.cfg.local_mem_per_thread {
-                    return Err(SimError::Trap("thread-local stack overflow".into()));
-                }
-                let f = th.frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, RtVal::Ptr(addr));
-                f.idx += 1;
-                self.charge(team, hw, self.cost.simple_op);
-            }
-            InstKind::Load { ptr, ty } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let p = self
-                    .eval(team, hw, f, ptr)?
-                    .as_ptr()
-                    .ok_or_else(|| SimError::Trap("load through non-pointer".into()))?;
-                let (v, class) = self.mem.load(p, ty, team.id, hw)?;
-                let cost = self.access_cost(team, hw, fid, inst_id, p, ty, class);
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, v);
-                f.idx += 1;
-                self.charge(team, hw, cost);
-                self.stats.memory_accesses += 1;
-            }
-            InstKind::Store { ptr, val } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let p = self
-                    .eval(team, hw, f, ptr)?
-                    .as_ptr()
-                    .ok_or_else(|| SimError::Trap("store through non-pointer".into()))?;
-                let v = self.eval(team, hw, f, val)?;
-                let class = self.mem.store(p, v, team.id, hw)?;
-                let cost = self.access_cost(team, hw, fid, inst_id, p, v.ty(), class);
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                f.idx += 1;
-                self.charge(team, hw, cost);
-                self.stats.memory_accesses += 1;
-            }
-            InstKind::Bin { op, ty, lhs, rhs } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let a = self.eval(team, hw, f, lhs)?;
-                let b = self.eval(team, hw, f, rhs)?;
-                let v = exec_bin(op, ty, a, b)?;
-                let cost = self.cost.bin_cost(op);
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, v);
-                f.idx += 1;
-                self.charge(team, hw, cost);
-            }
-            InstKind::Cmp { op, ty, lhs, rhs } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let a = self.eval(team, hw, f, lhs)?;
-                let b = self.eval(team, hw, f, rhs)?;
-                let v = exec_cmp(op, ty, a, b)?;
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, v);
-                f.idx += 1;
-                self.charge(team, hw, self.cost.simple_op);
-            }
-            InstKind::Cast { op, val, to } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let a = self.eval(team, hw, f, val)?;
-                let v = exec_cast(op, a, to)?;
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, v);
-                f.idx += 1;
-                self.charge(team, hw, self.cost.simple_op);
-            }
-            InstKind::Gep {
-                base,
-                index,
-                scale,
-                offset,
-            } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let b = self
-                    .eval(team, hw, f, base)?
-                    .as_ptr()
-                    .ok_or_else(|| SimError::Trap("gep on non-pointer".into()))?;
-                let i = self
-                    .eval(team, hw, f, index)?
-                    .as_i64()
-                    .ok_or_else(|| SimError::Trap("gep with non-integer index".into()))?;
-                let addr = (b as i64 + i * scale as i64 + offset) as u64;
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, RtVal::Ptr(addr));
-                f.idx += 1;
-                self.charge(team, hw, self.cost.int_op);
-            }
-            InstKind::Select {
-                cond,
-                on_true,
-                on_false,
-                ..
-            } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let c = self
-                    .eval(team, hw, f, cond)?
-                    .as_bool()
-                    .ok_or_else(|| SimError::Trap("select on non-boolean".into()))?;
-                let v = if c {
-                    self.eval(team, hw, f, on_true)?
-                } else {
-                    self.eval(team, hw, f, on_false)?
-                };
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                Self::set_reg(f, inst_id, v);
-                f.idx += 1;
-                self.charge(team, hw, self.cost.simple_op);
-            }
-            InstKind::Phi { .. } => {
-                // Phis are executed as part of block transition; hitting
-                // one here means the transition logic placed us past
-                // them already — skip defensively.
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
-                f.idx += 1;
-            }
-            InstKind::Call { callee, args, ret } => {
-                self.exec_call(team, hw, inst_id, callee, &args, ret)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn step_terminator(&mut self, team: &mut Team, hw: u32) -> Result<(), SimError> {
-        let frame = team.threads[hw as usize].frames.last().unwrap();
-        let func = self.module.func(frame.func);
-        let term = func.block(frame.block).term.clone();
+        let fp = plan.func(fid).expect("frame in undefined function");
+        let term = fp.block(frame.block).term;
         match term {
             Terminator::Br(target) => {
-                self.transition(team, hw, target)?;
-                self.charge(team, hw, self.cost.simple_op);
+                let target = *target;
+                self.transition(hw, target)?;
+                self.charge(hw, self.cost.simple_op);
             }
             Terminator::CondBr {
                 cond,
                 then_bb,
                 else_bb,
             } => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let c = self
-                    .eval(team, hw, f, cond)?
+                let (cond, then_bb, else_bb) = (*cond, *then_bb, *else_bb);
+                let f = self.team.threads[hw as usize].frames.last().unwrap();
+                let c = Self::eval(self.globals, self.team.id, f, cond)?
                     .as_bool()
                     .ok_or_else(|| SimError::Trap("branch on non-boolean".into()))?;
-                self.transition(team, hw, if c { then_bb } else { else_bb })?;
-                self.charge(team, hw, self.cost.simple_op);
+                self.transition(hw, if c { then_bb } else { else_bb })?;
+                self.charge(hw, self.cost.simple_op);
             }
             Terminator::Ret(v) => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
+                let v = *v;
+                let f = self.team.threads[hw as usize].frames.last().unwrap();
                 let val = match v {
-                    Some(v) => Some(self.eval(team, hw, f, v)?),
+                    Some(v) => Some(Self::eval(self.globals, self.team.id, f, v)?),
                     None => None,
                 };
-                self.do_return(team, hw, val)?;
+                self.do_return(hw, val)?;
             }
             Terminator::Unreachable => {
                 return Err(SimError::Trap(format!(
                     "reached `unreachable` in @{}",
-                    func.name
+                    self.module.func(fid).name
                 )));
             }
         }
@@ -516,38 +668,42 @@ impl<'a> Interp<'a> {
 
     /// Moves to `target`, evaluating its phi nodes against the current
     /// block.
-    fn transition(&mut self, team: &mut Team, hw: u32, target: BlockId) -> Result<(), SimError> {
-        let frame = team.threads[hw as usize].frames.last().unwrap();
+    fn transition(&mut self, hw: u32, target: BlockId) -> Result<(), SimError> {
+        let plan = self.plan;
+        let frame = self.team.threads[hw as usize].frames.last().unwrap();
         let from = frame.block;
-        let func = self.module.func(frame.func);
-        // Evaluate all phis simultaneously.
-        let mut phi_vals: Vec<(InstId, RtVal)> = Vec::new();
-        for &i in &func.block(target).insts {
-            if let InstKind::Phi { incoming, .. } = func.inst(i) {
-                let Some((_, v)) = incoming.iter().find(|(p, _)| *p == from) else {
+        let fp = plan.func(frame.func).expect("frame in undefined function");
+        let tp = fp.block(target);
+        if !tp.phis.is_empty() {
+            // Evaluate all phis simultaneously, into the reusable
+            // scratch (a Trap mid-evaluation abandons the buffer,
+            // which only matters on already-fatal paths).
+            let mut phi_vals = std::mem::take(&mut self.scratch_phis);
+            phi_vals.clear();
+            for &(i, incoming) in &tp.phis {
+                let Some(&(_, v)) = incoming.iter().find(|(p, _)| *p == from) else {
                     return Err(SimError::Trap(format!(
                         "phi {i} has no incoming for predecessor {from}"
                     )));
                 };
-                let frame = team.threads[hw as usize].frames.last().unwrap();
-                phi_vals.push((i, self.eval(team, hw, frame, *v)?));
-            } else {
-                break;
+                let frame = self.team.threads[hw as usize].frames.last().unwrap();
+                phi_vals.push((i, Self::eval(self.globals, self.team.id, frame, v)?));
             }
+            let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+            for &(i, v) in &phi_vals {
+                Self::set_reg(f, i, v);
+            }
+            self.scratch_phis = phi_vals;
         }
-        let nphis = phi_vals.len();
-        let f = team.threads[hw as usize].frames.last_mut().unwrap();
-        for (i, v) in phi_vals {
-            Self::set_reg(f, i, v);
-        }
+        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
         f.prev_block = Some(from);
         f.block = target;
-        f.idx = nphis;
+        f.idx = 0;
         Ok(())
     }
 
-    fn do_return(&mut self, team: &mut Team, hw: u32, val: Option<RtVal>) -> Result<(), SimError> {
-        let th = &mut team.threads[hw as usize];
+    fn do_return(&mut self, hw: u32, val: Option<RtVal>) -> Result<(), SimError> {
+        let th = &mut self.team.threads[hw as usize];
         let frame = th.frames.pop().expect("return without frame");
         th.local_sp = frame.local_sp_save;
         if let (Some(ret_to), Some(parent)) = (frame.ret_to, th.frames.last_mut()) {
@@ -558,60 +714,68 @@ impl<'a> Interp<'a> {
         if th.frames.is_empty() {
             th.status = Status::Done;
         }
-        match frame.hook {
+        let hook = frame.hook;
+        th.pool.push(frame);
+        match hook {
             None => {}
             Some(RetHook::Serialized) => {
-                team.threads[hw as usize].ctx.pop();
+                self.team.threads[hw as usize].ctx.pop();
             }
             Some(RetHook::Spmd) => {
-                team.threads[hw as usize].ctx.pop();
+                self.team.threads[hw as usize].ctx.pop();
                 // Implicit barrier at the end of an SPMD parallel region.
-                self.enter_barrier(team, hw, true)?;
+                self.enter_barrier(hw, true)?;
             }
             Some(RetHook::Generic) => {
                 // Main thread finished its share; wait for workers.
-                team.threads[hw as usize].ctx.pop();
-                if team.outstanding > 0 {
-                    team.threads[hw as usize].status = Status::WaitJoin;
+                self.team.threads[hw as usize].ctx.pop();
+                if self.team.outstanding > 0 {
+                    self.team.threads[hw as usize].status = Status::WaitJoin;
                 } else {
-                    self.finish_join(team);
+                    self.finish_join();
                 }
             }
         }
         Ok(())
     }
 
-    fn finish_join(&mut self, team: &mut Team) {
+    fn finish_join(&mut self) {
         // Align the main thread with the slowest participant.
-        let max = team.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
-        let main = &mut team.threads[0];
+        let max = self
+            .team
+            .threads
+            .iter()
+            .map(|t| t.cycles)
+            .max()
+            .unwrap_or(0);
+        let main = &mut self.team.threads[0];
         main.cycles = main.cycles.max(max) + self.cost.barrier;
         if main.status == Status::WaitJoin {
             main.status = Status::Ready;
         }
-        team.dispatch_n = 0;
+        self.team.dispatch_n = 0;
     }
 
-    fn enter_barrier(&mut self, team: &mut Team, hw: u32, simple: bool) -> Result<(), SimError> {
+    fn enter_barrier(&mut self, hw: u32, simple: bool) -> Result<(), SimError> {
         // Determine the barrier group.
-        let group = self.barrier_group(team, hw, simple);
+        let group = self.barrier_group(hw, simple);
         if group.len() <= 1 {
-            self.charge(team, hw, self.cost.barrier);
+            self.charge(hw, self.cost.barrier);
             return Ok(());
         }
-        team.threads[hw as usize].status = Status::AtBarrier(simple);
+        self.team.threads[hw as usize].status = Status::AtBarrier(simple);
         // Release when every member has arrived.
         let all_arrived = group
-            .iter()
-            .all(|&t| matches!(team.threads[t as usize].status, Status::AtBarrier(_)));
+            .clone()
+            .all(|t| matches!(self.team.threads[t as usize].status, Status::AtBarrier(_)));
         if all_arrived {
             let max = group
-                .iter()
-                .map(|&t| team.threads[t as usize].cycles)
+                .clone()
+                .map(|t| self.team.threads[t as usize].cycles)
                 .max()
                 .unwrap_or(0);
-            for &t in &group {
-                let th = &mut team.threads[t as usize];
+            for t in group {
+                let th = &mut self.team.threads[t as usize];
                 th.cycles = max + self.cost.barrier;
                 th.status = Status::Ready;
             }
@@ -620,18 +784,21 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn barrier_group(&self, team: &Team, hw: u32, simple: bool) -> Vec<u32> {
+    /// Every barrier group is a contiguous prefix of the team (or the
+    /// arriving thread alone), so it is represented as a range rather
+    /// than a materialized list.
+    fn barrier_group(&self, hw: u32, simple: bool) -> std::ops::Range<u32> {
         if simple {
-            return (0..self.team_size).collect();
+            return 0..self.team_size;
         }
-        let th = &team.threads[hw as usize];
+        let th = &self.team.threads[hw as usize];
         match th.ctx.last() {
-            Some(&(_, n)) if n <= 1 => vec![hw],
+            Some(&(_, n)) if n <= 1 => hw..hw + 1,
             _ => {
-                if team.mode == ExecMode::Generic && team.dispatch_n > 0 {
-                    (0..team.dispatch_n as u32).collect()
+                if self.team.mode == ExecMode::Generic && self.team.dispatch_n > 0 {
+                    0..self.team.dispatch_n as u32
                 } else {
-                    (0..self.team_size).collect()
+                    0..self.team_size
                 }
             }
         }
@@ -642,10 +809,9 @@ impl<'a> Interp<'a> {
     #[allow(clippy::too_many_arguments)]
     fn access_cost(
         &mut self,
-        team: &mut Team,
         hw: u32,
         func: FuncId,
-        site: InstId,
+        site: u32,
         addr: u64,
         ty: Type,
         class: AccessClass,
@@ -653,7 +819,7 @@ impl<'a> Interp<'a> {
         match class {
             AccessClass::Local => self.cost.local_access,
             AccessClass::Shared | AccessClass::Global => {
-                let coalesced = self.classify(team, hw, func, site, addr, ty);
+                let coalesced = self.classify(hw, func, site, addr, ty);
                 match (class, coalesced) {
                     (AccessClass::Shared, true) => self.cost.shared_access,
                     (AccessClass::Shared, false) => self.cost.shared_access * 8,
@@ -673,177 +839,185 @@ impl<'a> Interp<'a> {
     /// Streaming coalescing detector: lanes of a warp executing the same
     /// static access site with consecutive addresses are coalesced.
     /// Classification is optimistic and sticks to "uncoalesced" once a
-    /// stride mismatch is observed.
-    fn classify(
-        &mut self,
-        team: &mut Team,
-        hw: u32,
-        func: FuncId,
-        site: InstId,
-        addr: u64,
-        ty: Type,
-    ) -> bool {
-        if let Some(SiteClass::Uncoalesced) = self.site_class.get(&(func, site)) {
+    /// stride mismatch is observed. All state is per-team and densely
+    /// indexed by the plan-wide site number, so teams classify
+    /// independently of scheduling order.
+    fn classify(&mut self, hw: u32, func: FuncId, site: u32, addr: u64, ty: Type) -> bool {
+        if self.site_class[site as usize] == SITE_UNCOALESCED {
             return false;
         }
         // Only each thread's first visit to a site is compared: a
         // thread's later iterations stride by design and say nothing
         // about cross-lane coalescing.
-        if !team.threads[hw as usize].sampled.insert(site) {
+        let th = &mut self.team.threads[hw as usize];
+        let (w, b) = ((site / 64) as usize, site % 64);
+        if th.sampled[w] & (1 << b) != 0 {
             return true;
         }
+        th.sampled[w] |= 1 << b;
         // Sample the first dynamic occurrence of this site in each warp:
         // lanes with consecutive addresses are coalesced. The result is
         // sticky per site once a stride mismatch is observed.
         let warp = hw / self.cfg.warp_size;
         let lane = hw % self.cfg.warp_size;
-        let key = (team.id * 4096 + warp, func, site, 0);
-        match self.site_samples.get(&key) {
-            Some(&(plane, paddr)) => {
-                if plane != lane {
-                    let lane_delta = lane as i64 - plane as i64;
-                    let addr_delta = addr as i64 - paddr as i64;
-                    let expected = lane_delta * ty.size() as i64;
-                    // Accesses within a couple of cache lines of the
-                    // ideal position still coalesce into few memory
-                    // transactions on real hardware; only genuinely
-                    // scattered patterns pay the full penalty.
-                    const WINDOW: i64 = 128;
-                    if addr_delta != 0 && (addr_delta - expected).abs() > WINDOW {
-                        if std::env::var_os("OMP_GPUSIM_DEBUG_COALESCE").is_some() {
-                            eprintln!(
-                                "uncoalesced: @{} {site}: lane {plane}@{paddr:#x} vs lane {lane}@{addr:#x}",
-                                self.module.func(func).name
-                            );
-                        }
-                        self.site_class.insert((func, site), SiteClass::Uncoalesced);
-                        return false;
-                    }
+        let slot = warp as usize * self.total_sites + site as usize;
+        let (plane, paddr) = self.site_samples[slot];
+        if plane == NO_SAMPLE {
+            self.site_samples[slot] = (lane, addr);
+        } else if plane != lane {
+            let lane_delta = lane as i64 - plane as i64;
+            let addr_delta = addr as i64 - paddr as i64;
+            let expected = lane_delta * ty.size() as i64;
+            // Accesses within a couple of cache lines of the ideal
+            // position still coalesce into few memory transactions on
+            // real hardware; only genuinely scattered patterns pay the
+            // full penalty.
+            const WINDOW: i64 = 128;
+            if addr_delta != 0 && (addr_delta - expected).abs() > WINDOW {
+                if self.debug_coalesce {
+                    eprintln!(
+                        "uncoalesced: @{} site {site}: lane {plane}@{paddr:#x} vs lane {lane}@{addr:#x}",
+                        self.module.func(func).name
+                    );
                 }
-            }
-            None => {
-                self.site_samples.insert(key, (lane, addr));
+                self.site_class[site as usize] = SITE_UNCOALESCED;
+                return false;
             }
         }
-        self.site_class
-            .entry((func, site))
-            .or_insert(SiteClass::Coalesced);
+        if self.site_class[site as usize] == SITE_UNKNOWN {
+            self.site_class[site as usize] = SITE_COALESCED;
+        }
         true
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_call(
         &mut self,
-        team: &mut Team,
         hw: u32,
         inst_id: InstId,
+        target: CallTarget,
         callee: Value,
         args: &[Value],
-        ret: Type,
     ) -> Result<(), SimError> {
-        // Resolve the callee.
-        let (target, indirect): (FuncId, bool) = match callee {
-            Value::Func(f) => (f, false),
-            other => {
-                let f = team.threads[hw as usize].frames.last().unwrap();
-                let p = self
-                    .eval(team, hw, f, other)?
+        // Direct call sites were resolved at plan build; indirect ones
+        // decode the runtime pointer and look up the callee's nature.
+        let (target, indirect) = match target {
+            CallTarget::Indirect => {
+                let f = self.team.threads[hw as usize].frames.last().unwrap();
+                let p = Self::eval(self.globals, self.team.id, f, callee)?
                     .as_ptr()
                     .ok_or_else(|| SimError::Trap("indirect call on non-pointer".into()))?;
-                match mem::decode(p) {
-                    Some(mem::Space::Func { index }) => (FuncId(index), true),
+                let fid = match mem::decode(p) {
+                    Some(mem::Space::Func { index }) => FuncId(index),
                     _ => {
                         return Err(SimError::Trap(format!(
                             "indirect call through invalid target 0x{p:x}"
                         )))
                     }
-                }
+                };
+                let t = self.plan.nature(fid).ok_or_else(|| {
+                    SimError::Trap(format!("indirect call through invalid target 0x{p:x}"))
+                })?;
+                (t, true)
             }
+            t => (t, false),
         };
-        let callee_fn = self.module.func(target);
-        let name = callee_fn.name.clone();
-        // Runtime functions.
-        if let Some(rtl) = RtlFn::from_name(&name) {
-            return self.exec_rtl(team, hw, inst_id, rtl, args, indirect);
-        }
-        // Math intrinsics.
-        if omp_ir::omprtl::math_fn_signature(&name).is_some() {
-            let f = team.threads[hw as usize].frames.last().unwrap();
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                vals.push(self.eval(team, hw, f, *a)?);
+        match target {
+            CallTarget::Rtl(rtl) => self.exec_rtl(hw, inst_id, rtl, args),
+            CallTarget::Math(kind, f32out) => {
+                let mut vals = std::mem::take(&mut self.scratch_args);
+                vals.clear();
+                let f = self.team.threads[hw as usize].frames.last().unwrap();
+                for a in args {
+                    vals.push(Self::eval(self.globals, self.team.id, f, *a)?);
+                }
+                let v = exec_math(kind, f32out, &vals)?;
+                self.scratch_args = vals;
+                let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                Self::set_reg(f, inst_id, v);
+                f.idx += 1;
+                self.charge(hw, self.cost.math_fn);
+                Ok(())
             }
-            let v = exec_math(&name, &vals)?;
-            let f = team.threads[hw as usize].frames.last_mut().unwrap();
-            Self::set_reg(f, inst_id, v);
-            f.idx += 1;
-            self.charge(team, hw, self.cost.math_fn);
-            return Ok(());
+            CallTarget::Extern(fid) => Err(SimError::Trap(format!(
+                "call to unresolved external function @{}",
+                self.module.func(fid).name
+            ))),
+            CallTarget::Direct(target) => {
+                let tplan = self.plan.func(target).expect("direct target is defined");
+                let (entry, num_regs) = (tplan.entry, tplan.num_regs);
+                // Ordinary call: push a (recycled) frame.
+                let team_id = self.team.id;
+                let th = &mut self.team.threads[hw as usize];
+                let sp = th.local_sp;
+                let mut fr = make_frame(
+                    &mut th.pool,
+                    target,
+                    entry,
+                    num_regs,
+                    sp,
+                    Some(inst_id),
+                    None,
+                );
+                let f = th.frames.last().unwrap();
+                for a in args {
+                    fr.args.push(Self::eval(self.globals, team_id, f, *a)?);
+                }
+                th.frames.last_mut().unwrap().idx += 1;
+                th.frames.push(fr);
+                let mut cost = self.cost.call;
+                if indirect {
+                    cost += self.cost.indirect_call_penalty;
+                    self.stats.indirect_calls += 1;
+                }
+                self.charge(hw, cost);
+                Ok(())
+            }
+            CallTarget::Indirect => unreachable!("indirect targets resolve to a nature"),
         }
-        if callee_fn.is_declaration() {
-            return Err(SimError::Trap(format!(
-                "call to unresolved external function @{name}"
-            )));
-        }
-        // Ordinary call: push a frame.
-        let f = team.threads[hw as usize].frames.last().unwrap();
-        let mut vals = Vec::with_capacity(args.len());
-        for a in args {
-            vals.push(self.eval(team, hw, f, *a)?);
-        }
-        let _ = ret;
-        let th = &mut team.threads[hw as usize];
-        th.frames.last_mut().unwrap().idx += 1;
-        let sp = th.local_sp;
-        th.frames.push(Frame {
-            func: target,
-            block: callee_fn.entry(),
-            prev_block: None,
-            idx: 0,
-            regs: Vec::new(),
-            args: vals,
-            local_sp_save: sp,
-            ret_to: Some(inst_id),
-            hook: None,
-        });
-        let mut cost = self.cost.call;
-        if indirect {
-            cost += self.cost.indirect_call_penalty;
-            self.stats.indirect_calls += 1;
-        }
-        self.charge(team, hw, cost);
-        Ok(())
     }
 
     fn exec_rtl(
         &mut self,
-        team: &mut Team,
         hw: u32,
         inst_id: InstId,
         rtl: RtlFn,
         args: &[Value],
-        _indirect: bool,
     ) -> Result<(), SimError> {
-        *self
-            .stats
-            .rtl_calls
-            .entry(rtl.name().to_string())
-            .or_insert(0) += 1;
-        let f = team.threads[hw as usize].frames.last().unwrap();
-        let mut vals = Vec::with_capacity(args.len());
+        self.stats.rtl_calls[rtl as usize] += 1;
+        let mut vals = std::mem::take(&mut self.scratch_args);
+        vals.clear();
+        let f = self.team.threads[hw as usize].frames.last().unwrap();
         for a in args {
-            vals.push(self.eval(team, hw, f, *a)?);
+            match Self::eval(self.globals, self.team.id, f, *a) {
+                Ok(v) => vals.push(v),
+                Err(e) => {
+                    self.scratch_args = vals;
+                    return Err(e);
+                }
+            }
         }
+        let result = self.exec_rtl_inner(hw, inst_id, rtl, &vals);
+        self.scratch_args = vals;
+        result
+    }
+
+    fn exec_rtl_inner(
+        &mut self,
+        hw: u32,
+        inst_id: InstId,
+        rtl: RtlFn,
+        vals: &[RtVal],
+    ) -> Result<(), SimError> {
         let base_cost = self.cost.rtl_cost(rtl);
         // Helper to finish a non-blocking call.
         macro_rules! done {
             ($v:expr) => {{
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 if let Some(v) = $v {
                     Self::set_reg(f, inst_id, v);
                 }
                 f.idx += 1;
-                self.charge(team, hw, base_cost);
+                self.charge(hw, base_cost);
                 return Ok(());
             }};
         }
@@ -851,14 +1025,15 @@ impl<'a> Interp<'a> {
             RtlFn::TargetInit => {
                 let mode = vals[0].as_i64().unwrap_or(1);
                 let spmd = mode == MODE_SPMD;
-                team.mode = if spmd {
+                self.team.mode = if spmd {
                     ExecMode::Spmd
                 } else {
                     ExecMode::Generic
                 };
-                let th = &mut team.threads[hw as usize];
+                let team_size = self.team_size;
+                let th = &mut self.team.threads[hw as usize];
                 let ret = if spmd {
-                    th.ctx = vec![(hw as i32, self.team_size as i32)];
+                    th.ctx = vec![(hw as i32, team_size as i32)];
                     -1
                 } else if hw == 0 {
                     th.ctx = vec![(0, 1)];
@@ -875,19 +1050,19 @@ impl<'a> Interp<'a> {
                 } else {
                     self.cost.target_init_generic
                 };
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 Self::set_reg(f, inst_id, RtVal::I32(ret));
                 f.idx += 1;
-                self.charge(team, hw, cost);
+                self.charge(hw, cost);
                 Ok(())
             }
             RtlFn::TargetDeinit => {
-                if team.mode == ExecMode::Generic && hw == 0 && !team.terminated {
-                    team.terminated = true;
+                if self.team.mode == ExecMode::Generic && hw == 0 && !self.team.terminated {
+                    self.team.terminated = true;
                     // Release all waiting workers with a null token.
-                    let main_cycles = team.threads[0].cycles;
+                    let main_cycles = self.team.threads[0].cycles;
                     for t in 1..self.team_size {
-                        let th = &mut team.threads[t as usize];
+                        let th = &mut self.team.threads[t as usize];
                         if th.status == Status::WaitWork {
                             th.resume = Some(RtVal::Ptr(0));
                             th.status = Status::Ready;
@@ -898,52 +1073,53 @@ impl<'a> Interp<'a> {
                 done!(None::<RtVal>)
             }
             RtlFn::KernelParallel => {
-                let th = &mut team.threads[hw as usize];
+                let dispatch_n = self.team.dispatch_n;
+                let th = &mut self.team.threads[hw as usize];
                 if let Some(v) = th.resume.take() {
                     // Released: either a work token or null (terminate).
                     if v != RtVal::Ptr(0) {
-                        th.ctx.push((hw as i32, team.dispatch_n));
+                        th.ctx.push((hw as i32, dispatch_n));
                     }
                     let f = th.frames.last_mut().unwrap();
                     Self::set_reg(f, inst_id, v);
                     f.idx += 1;
-                    self.charge(team, hw, self.cost.worker_wakeup);
+                    self.charge(hw, self.cost.worker_wakeup);
                     return Ok(());
                 }
-                if let Some(pos) = team.assigned.iter().position(|&a| a == hw) {
-                    team.assigned.remove(pos);
-                    let tok = team.work_token;
-                    let th = &mut team.threads[hw as usize];
-                    th.ctx.push((hw as i32, team.dispatch_n));
+                if let Some(pos) = self.team.assigned.iter().position(|&a| a == hw) {
+                    self.team.assigned.remove(pos);
+                    let tok = self.team.work_token;
+                    let th = &mut self.team.threads[hw as usize];
+                    th.ctx.push((hw as i32, dispatch_n));
                     let f = th.frames.last_mut().unwrap();
                     Self::set_reg(f, inst_id, tok);
                     f.idx += 1;
-                    self.charge(team, hw, self.cost.worker_wakeup);
+                    self.charge(hw, self.cost.worker_wakeup);
                     return Ok(());
                 }
-                if team.terminated {
+                if self.team.terminated {
                     done!(Some(RtVal::Ptr(0)));
                 }
-                th.status = Status::WaitWork;
+                self.team.threads[hw as usize].status = Status::WaitWork;
                 Ok(())
             }
             RtlFn::KernelEndParallel => {
-                let th = &mut team.threads[hw as usize];
+                let th = &mut self.team.threads[hw as usize];
                 th.ctx.pop();
-                team.outstanding = team.outstanding.saturating_sub(1);
-                if team.outstanding == 0 && team.threads[0].status == Status::WaitJoin {
-                    self.finish_join(team);
+                self.team.outstanding = self.team.outstanding.saturating_sub(1);
+                if self.team.outstanding == 0 && self.team.threads[0].status == Status::WaitJoin {
+                    self.finish_join();
                 }
                 done!(None::<RtVal>)
             }
             RtlFn::GetParallelArgs => {
-                let a = team.work_args;
+                let a = self.team.work_args;
                 done!(Some(RtVal::Ptr(a)))
             }
-            RtlFn::Parallel51 => self.exec_parallel51(team, hw, inst_id, &vals),
+            RtlFn::Parallel51 => self.exec_parallel51(hw, inst_id, vals),
             RtlFn::AllocShared => {
                 let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
-                let addr = self.mem.alloc_shared(team.id, size)?;
+                let addr = self.mem.alloc_shared(size)?;
                 self.stats.globalization_allocs += 1;
                 self.yield_flag = true;
                 done!(Some(RtVal::Ptr(addr)))
@@ -958,51 +1134,51 @@ impl<'a> Interp<'a> {
             }
             RtlFn::DataSharingPushStack => {
                 let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
-                let addr = self.mem.alloc_shared(team.id, size)?;
-                team.push_sizes.insert(addr, size);
+                let addr = self.mem.alloc_shared(size)?;
+                self.team.push_sizes.insert(addr, size);
                 self.stats.globalization_allocs += 1;
                 self.yield_flag = true;
                 done!(Some(RtVal::Ptr(addr)))
             }
             RtlFn::DataSharingPopStack => {
                 let addr = vals[0].as_ptr().unwrap_or(0);
-                if let Some(size) = team.push_sizes.remove(&addr) {
+                if let Some(size) = self.team.push_sizes.remove(&addr) {
                     self.mem.free_shared(addr, size)?;
                 }
                 done!(None::<RtVal>)
             }
             RtlFn::IsSpmdExecMode => {
-                let v = team.mode == ExecMode::Spmd;
+                let v = self.team.mode == ExecMode::Spmd;
                 done!(Some(RtVal::Bool(v)))
             }
             RtlFn::ParallelLevel => {
-                let lvl = team.threads[hw as usize].ctx.len().saturating_sub(1) as i32;
+                let lvl = self.team.threads[hw as usize].ctx.len().saturating_sub(1) as i32;
                 done!(Some(RtVal::I32(lvl)))
             }
             RtlFn::IsGenericMainThread => {
-                let v = team.mode == ExecMode::Generic && hw == 0;
+                let v = self.team.mode == ExecMode::Generic && hw == 0;
                 done!(Some(RtVal::Bool(v)))
             }
             RtlFn::InActiveParallel => {
-                let th = &team.threads[hw as usize];
+                let th = &self.team.threads[hw as usize];
                 let v = th.ctx.len() >= 2 && th.ctx.last().is_some_and(|&(_, n)| n > 1);
                 done!(Some(RtVal::Bool(v)))
             }
             RtlFn::Barrier => {
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 f.idx += 1;
-                self.enter_barrier(team, hw, false)?;
+                self.enter_barrier(hw, false)?;
                 Ok(())
             }
             RtlFn::BarrierSimpleSpmd => {
-                let f = team.threads[hw as usize].frames.last_mut().unwrap();
+                let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 f.idx += 1;
-                self.enter_barrier(team, hw, true)?;
+                self.enter_barrier(hw, true)?;
                 Ok(())
             }
             RtlFn::StaticChunkLb | RtlFn::StaticChunkUb => {
                 let n = vals[0].as_i64().unwrap_or(0).max(0);
-                let (tid, nt) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
+                let (tid, nt) = *self.team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
                 let nt = nt.max(1) as i64;
                 let tid = tid as i64;
                 let chunk = (n + nt - 1) / nt;
@@ -1014,7 +1190,7 @@ impl<'a> Interp<'a> {
             RtlFn::DistributeChunkLb | RtlFn::DistributeChunkUb => {
                 let n = vals[0].as_i64().unwrap_or(0).max(0);
                 let teams = self.num_teams.max(1) as i64;
-                let t = team.id as i64;
+                let t = self.team.id as i64;
                 let chunk = (n + teams - 1) / teams;
                 let lb = (t * chunk).min(n);
                 let ub = (lb + chunk).min(n);
@@ -1026,14 +1202,14 @@ impl<'a> Interp<'a> {
                 done!(Some(RtVal::I64(v)))
             }
             RtlFn::ThreadNum => {
-                let (tid, _) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
+                let (tid, _) = *self.team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
                 done!(Some(RtVal::I32(tid)))
             }
             RtlFn::NumThreads => {
-                let (_, n) = *team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
+                let (_, n) = *self.team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
                 done!(Some(RtVal::I32(n)))
             }
-            RtlFn::TeamNum => done!(Some(RtVal::I32(team.id as i32))),
+            RtlFn::TeamNum => done!(Some(RtVal::I32(self.team.id as i32))),
             RtlFn::NumTeams => done!(Some(RtVal::I32(self.num_teams as i32))),
             RtlFn::WarpSize => done!(Some(RtVal::I32(self.cfg.warp_size as i32))),
             RtlFn::WarpId => done!(Some(RtVal::I32((hw / self.cfg.warp_size) as i32))),
@@ -1043,7 +1219,6 @@ impl<'a> Interp<'a> {
 
     fn exec_parallel51(
         &mut self,
-        team: &mut Team,
         hw: u32,
         inst_id: InstId,
         vals: &[RtVal],
@@ -1068,42 +1243,47 @@ impl<'a> Interp<'a> {
                 }
             },
         };
-        let region_fn = self.module.func(region);
-        if region_fn.is_declaration() {
-            return Err(SimError::Trap("parallel region is a declaration".into()));
+        if region.index() >= self.module.num_functions() {
+            return Err(SimError::Trap(
+                "parallel_51 with unresolvable region token".into(),
+            ));
         }
-        let entry = region_fn.entry();
-        let depth = team.threads[hw as usize].ctx.len();
-        let push_region_frame = |th: &mut Thread, hook: RetHook, args: Vec<RtVal>| {
+        let Some(rplan) = self.plan.func(region) else {
+            return Err(SimError::Trap("parallel region is a declaration".into()));
+        };
+        let (entry, num_regs) = (rplan.entry, rplan.num_regs);
+        let depth = self.team.threads[hw as usize].ctx.len();
+        let push_region_frame = |th: &mut Thread, hook: RetHook, arg: RtVal| {
             th.frames.last_mut().unwrap().idx += 1;
             let sp = th.local_sp;
-            th.frames.push(Frame {
-                func: region,
-                block: entry,
-                prev_block: None,
-                idx: 0,
-                regs: Vec::new(),
-                args,
-                local_sp_save: sp,
-                ret_to: Some(inst_id),
-                hook: Some(hook),
-            });
+            let mut fr = make_frame(
+                &mut th.pool,
+                region,
+                entry,
+                num_regs,
+                sp,
+                Some(inst_id),
+                Some(hook),
+            );
+            fr.args.push(arg);
+            th.frames.push(fr);
         };
         if depth >= 2 {
             // Nested parallelism is serialized onto the caller.
-            let th = &mut team.threads[hw as usize];
+            let th = &mut self.team.threads[hw as usize];
             th.ctx.push((0, 1));
-            push_region_frame(th, RetHook::Serialized, vec![RtVal::Ptr(args_ptr)]);
-            self.charge(team, hw, self.cost.call);
+            push_region_frame(th, RetHook::Serialized, RtVal::Ptr(args_ptr));
+            self.charge(hw, self.cost.call);
             return Ok(());
         }
-        match team.mode {
+        match self.team.mode {
             ExecMode::Spmd => {
-                let th = &mut team.threads[hw as usize];
-                let (tid, n) = *th.ctx.last().unwrap_or(&(hw as i32, self.team_size as i32));
+                let team_size = self.team_size;
+                let th = &mut self.team.threads[hw as usize];
+                let (tid, n) = *th.ctx.last().unwrap_or(&(hw as i32, team_size as i32));
                 th.ctx.push((tid, n));
-                push_region_frame(th, RetHook::Spmd, vec![RtVal::Ptr(args_ptr)]);
-                self.charge(team, hw, self.cost.parallel_dispatch_spmd);
+                push_region_frame(th, RetHook::Spmd, RtVal::Ptr(args_ptr));
+                self.charge(hw, self.cost.parallel_dispatch_spmd);
                 Ok(())
             }
             ExecMode::Generic => {
@@ -1117,26 +1297,26 @@ impl<'a> Interp<'a> {
                 } else {
                     nthreads.min(self.team_size as i32)
                 };
-                team.work_token = token;
-                team.work_args = args_ptr;
-                team.dispatch_n = n;
-                team.outstanding = (n - 1).max(0) as u32;
-                team.assigned.clear();
-                let main_cycles = team.threads[0].cycles + self.cost.parallel_dispatch_generic;
+                self.team.work_token = token;
+                self.team.work_args = args_ptr;
+                self.team.dispatch_n = n;
+                self.team.outstanding = (n - 1).max(0) as u32;
+                self.team.assigned.clear();
+                let main_cycles = self.team.threads[0].cycles + self.cost.parallel_dispatch_generic;
                 for w in 1..n as u32 {
-                    let th = &mut team.threads[w as usize];
+                    let th = &mut self.team.threads[w as usize];
                     if th.status == Status::WaitWork {
                         th.resume = Some(token);
                         th.status = Status::Ready;
                         th.cycles = th.cycles.max(main_cycles);
                     } else {
-                        team.assigned.push(w);
+                        self.team.assigned.push(w);
                     }
                 }
-                let th = &mut team.threads[hw as usize];
+                let th = &mut self.team.threads[hw as usize];
                 th.ctx.push((0, n));
-                push_region_frame(th, RetHook::Generic, vec![RtVal::Ptr(args_ptr)]);
-                self.charge(team, hw, self.cost.parallel_dispatch_generic);
+                push_region_frame(th, RetHook::Generic, RtVal::Ptr(args_ptr));
+                self.charge(hw, self.cost.parallel_dispatch_generic);
                 self.stats.parallel_regions += 1;
                 Ok(())
             }
@@ -1297,25 +1477,25 @@ fn int_to(ty: Type, v: i64) -> RtVal {
     }
 }
 
-fn exec_math(name: &str, args: &[RtVal]) -> Result<RtVal, SimError> {
-    let f32out = name.ends_with('f');
+/// Math intrinsics, dispatched on the plan-resolved [`MathKind`] —
+/// no name strings in the hot path.
+fn exec_math(kind: MathKind, f32out: bool, args: &[RtVal]) -> Result<RtVal, SimError> {
     let x = args
         .first()
         .and_then(|v| v.as_f64())
-        .ok_or_else(|| SimError::Trap(format!("bad argument to {name}")))?;
+        .ok_or_else(|| SimError::Trap(format!("bad argument to math fn {kind:?}")))?;
     let y = args.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0);
-    let r = match name.trim_end_matches('f') {
-        "sqrt" => x.sqrt(),
-        "exp" => x.exp(),
-        "log" => x.ln(),
-        "sin" => x.sin(),
-        "cos" => x.cos(),
-        "fabs" => x.abs(),
-        "pow" => x.powf(y),
-        "fmin" => x.min(y),
-        "fmax" => x.max(y),
-        "floor" => x.floor(),
-        other => return Err(SimError::Trap(format!("unknown math fn {other}"))),
+    let r = match kind {
+        MathKind::Sqrt => x.sqrt(),
+        MathKind::Exp => x.exp(),
+        MathKind::Log => x.ln(),
+        MathKind::Sin => x.sin(),
+        MathKind::Cos => x.cos(),
+        MathKind::Fabs => x.abs(),
+        MathKind::Pow => x.powf(y),
+        MathKind::Fmin => x.min(y),
+        MathKind::Fmax => x.max(y),
+        MathKind::Floor => x.floor(),
     };
     Ok(if f32out {
         RtVal::F32(r as f32)

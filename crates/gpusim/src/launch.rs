@@ -1,14 +1,21 @@
 //! Host-side device API: buffer management and kernel launches.
+//!
+//! At construction the device decodes the module into an
+//! [`ExecPlan`] — resolving every call target and pre-sizing every
+//! frame — so launches pay no per-step decode cost. Launches run each
+//! team on its own [`crate::mem::TeamMemView`]; teams are independent,
+//! so the scheduler can fan them out over host threads (`jobs`) and
+//! still merge results deterministically in team-id order.
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::interp::{Interp, SimError};
+use crate::interp::{SimError, TeamExec, TeamOutcome};
 use crate::mem::Memory;
+use crate::plan::ExecPlan;
 use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_analysis::{kernel_register_estimate, CallGraph};
-use omp_ir::{AddrSpace, GlobalId, Module, Type};
-use std::collections::HashMap;
+use omp_ir::{AddrSpace, ExecMode, Module, Type};
 
 /// Launch geometry overrides.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,10 +32,15 @@ pub struct LaunchDims {
 /// heap are per-launch.
 pub struct Device<'m> {
     module: &'m Module,
+    plan: ExecPlan<'m>,
     cfg: DeviceConfig,
     cost: CostModel,
     mem: Memory,
-    globals: HashMap<GlobalId, (AddrSpace, u64)>,
+    /// Placement of every module global, indexed densely by `GlobalId`.
+    globals: Vec<(AddrSpace, u64)>,
+    /// Host worker threads for team execution: 0 = auto (one per
+    /// available core, capped by the team count), 1 = run inline.
+    jobs: u32,
 }
 
 impl<'m> Device<'m> {
@@ -43,17 +55,18 @@ impl<'m> Device<'m> {
         cfg: DeviceConfig,
         cost: CostModel,
     ) -> Result<Device<'m>, SimError> {
+        let plan = ExecPlan::build(module)?;
         // Lay out shared-space globals at the base of each team's shared
         // memory and global-space globals at the base of global memory.
         let mut shared_off = 0u64;
-        let mut globals = HashMap::new();
+        let mut globals = vec![(AddrSpace::Global, 0u64); plan.num_globals()];
         let mut global_inits: Vec<(u64, Vec<u8>)> = Vec::new();
         // First pass: shared.
         for g in module.global_ids() {
             let gl = module.global(g);
             if gl.space == AddrSpace::Shared {
                 shared_off = shared_off.div_ceil(gl.align.max(1)) * gl.align.max(1);
-                globals.insert(g, (AddrSpace::Shared, shared_off));
+                globals[g.index()] = (AddrSpace::Shared, shared_off);
                 shared_off += gl.size;
             }
         }
@@ -63,7 +76,7 @@ impl<'m> Device<'m> {
             if gl.space == AddrSpace::Global {
                 let addr = mem.alloc_global(gl.size)?;
                 let off = addr & 0x0FFF_FFFF_FFFF_FFFF;
-                globals.insert(g, (AddrSpace::Global, off));
+                globals[g.index()] = (AddrSpace::Global, off);
                 if let Some(init) = &gl.init {
                     global_inits.push((addr, init.clone()));
                 }
@@ -72,18 +85,36 @@ impl<'m> Device<'m> {
         for (addr, data) in global_inits {
             mem.write_bytes(addr, &data)?;
         }
+        let jobs = std::env::var("OMPGPU_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         Ok(Device {
             module,
+            plan,
             cfg,
             cost,
             mem,
             globals,
+            jobs,
         })
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
+    }
+
+    /// Sets the number of host worker threads used to execute teams
+    /// (0 = auto). Results are bit-identical for every setting; this
+    /// only trades host wall-clock time.
+    pub fn set_jobs(&mut self, jobs: u32) {
+        self.jobs = jobs;
+    }
+
+    /// The configured host worker-thread count (0 = auto).
+    pub fn jobs(&self) -> u32 {
+        self.jobs
     }
 
     /// Allocates a device buffer of `bytes` bytes; returns its address.
@@ -200,6 +231,9 @@ impl<'m> Device<'m> {
                 )));
             }
         }
+        if self.plan.func(kfunc).is_none() {
+            return Err(SimError::Trap(format!("kernel `{name}` is a declaration")));
+        }
         let teams = dims
             .teams
             .or(kernel.num_teams)
@@ -210,19 +244,19 @@ impl<'m> Device<'m> {
             .or(kernel.thread_limit)
             .unwrap_or(self.cfg.default_threads)
             .max(1);
+        let mode = kernel.exec_mode;
         // Fresh per-launch memory regions (buffers persist).
         self.mem.reset_launch_state();
-        let mut interp = Interp::new(
-            self.module,
-            &self.cfg,
-            &self.cost,
-            &mut self.mem,
-            &self.globals,
-            teams,
-            threads,
-        );
-        let team_cycles = interp.run(kfunc, args)?;
-        let mut stats = std::mem::take(&mut interp.stats);
+        let outcomes = self.run_teams(kfunc, args, teams, threads, mode)?;
+        let mut stats = KernelStats::default();
+        let mut team_cycles = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            // Team-id order: the merge below makes parallel execution
+            // bit-identical to sequential.
+            team_cycles.push(outcome.cycles);
+            outcome.stats.merge_into(&mut stats);
+            self.mem.apply_delta(outcome.delta);
+        }
         stats.team_cycles = team_cycles;
         stats.finish(self.cfg.num_sms);
         stats.shared_mem_bytes = self.mem.shared_high_water;
@@ -240,5 +274,101 @@ impl<'m> Device<'m> {
             stats.registers += 24;
         }
         Ok(stats)
+    }
+
+    /// Runs all teams of a launch — inline, or fanned out over `jobs`
+    /// host threads — and returns their outcomes in team-id order. On
+    /// error, the lowest team id's error is returned (the one sequential
+    /// execution would hit first) and no memory effects are applied.
+    fn run_teams(
+        &self,
+        kfunc: omp_ir::FuncId,
+        args: &[RtVal],
+        teams: u32,
+        threads: u32,
+        mode: ExecMode,
+    ) -> Result<Vec<TeamOutcome>, SimError> {
+        let jobs = match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(teams)
+        .max(1);
+        let run_one = |team_id: u32| -> Result<TeamOutcome, SimError> {
+            TeamExec::new(
+                self.module,
+                &self.plan,
+                &self.cfg,
+                &self.cost,
+                &self.globals,
+                self.mem.team_view(team_id),
+                teams,
+                threads,
+                team_id,
+                mode,
+                kfunc,
+                args,
+            )
+            .run()
+        };
+        let mut slots: Vec<Option<Result<TeamOutcome, SimError>>> =
+            (0..teams).map(|_| None).collect();
+        if jobs <= 1 {
+            for team_id in 0..teams {
+                let r = run_one(team_id);
+                let failed = r.is_err();
+                slots[team_id as usize] = Some(r);
+                if failed {
+                    break;
+                }
+            }
+        } else {
+            // Round-robin team assignment: worker w runs teams w, w+jobs,
+            // w+2*jobs, ... and stops its own chain at the first error.
+            std::thread::scope(|s| {
+                let run_one = &run_one;
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut team_id = w;
+                            while team_id < teams {
+                                let r = run_one(team_id);
+                                let failed = r.is_err();
+                                out.push((team_id, r));
+                                if failed {
+                                    break;
+                                }
+                                team_id += jobs;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (team_id, r) in h.join().expect("team worker panicked") {
+                        slots[team_id as usize] = Some(r);
+                    }
+                }
+            });
+        }
+        // Scan in team-id order: the first error found is the one with
+        // the lowest team id, because a missing slot can only trail an
+        // error in the same worker's chain.
+        let mut outcomes = Vec::with_capacity(teams as usize);
+        for slot in slots {
+            match slot {
+                Some(Ok(o)) => outcomes.push(o),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(SimError::Trap(
+                        "internal: team skipped without a prior error".into(),
+                    ))
+                }
+            }
+        }
+        Ok(outcomes)
     }
 }

@@ -49,6 +49,7 @@ pub mod cost;
 pub mod interp;
 pub mod launch;
 pub mod mem;
+pub mod plan;
 pub mod stats;
 pub mod value;
 
@@ -57,5 +58,6 @@ pub use cost::CostModel;
 pub use interp::SimError;
 pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
+pub use plan::ExecPlan;
 pub use stats::{KernelStats, StatsSnapshot};
 pub use value::RtVal;

@@ -16,6 +16,18 @@
 //! thread. Cross-thread local accesses optionally trap — this is what
 //! makes the unsound LLVM 12 "SPMD mode uses stack memory" fast path
 //! (paper Figure 3) observable in the simulator.
+//!
+//! # Per-team views
+//!
+//! Teams are independent, so a launch hands every team a
+//! [`TeamMemView`]: a read-only borrow of the pre-launch global memory
+//! plus team-private state (shared memory, local arenas, a full-capacity
+//! globalization heap, and a copy-on-write page journal for global
+//! stores). Views never alias mutable state, which lets the scheduler
+//! run teams on separate host threads. After the launch the journals are
+//! merged back into global memory **in team-id order** — the same
+//! last-writer-wins outcome sequential execution produces — so results
+//! are bit-identical regardless of how many worker threads ran.
 
 use crate::config::DeviceConfig;
 use crate::value::RtVal;
@@ -28,6 +40,50 @@ const TAG_GLOBAL: u64 = 1;
 const TAG_SHARED: u64 = 2;
 const TAG_LOCAL: u64 = 3;
 const TAG_FUNC: u64 = 4;
+
+/// Copy-on-write page size for per-team global-memory journals.
+const PAGE: usize = 256;
+const PAGE_WORDS: usize = PAGE / 64;
+
+/// Multiply-based hasher for page-number keys. Page journals are hit
+/// on every global load/store, where the default SipHash is the
+/// dominant cost; page numbers are small dense integers, so one
+/// Fibonacci multiply spreads them across buckets with good high bits.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl std::hash::Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback for non-u64 keys (unused on page maps).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`PageHasher`]-keyed maps.
+#[derive(Default, Clone)]
+pub struct PageHash;
+
+impl std::hash::BuildHasher for PageHash {
+    type Hasher = PageHasher;
+    #[inline]
+    fn build_hasher(&self) -> PageHasher {
+        PageHasher::default()
+    }
+}
+
+/// A `u64`-keyed map with the cheap [`PageHasher`].
+pub type FastMap<V> = HashMap<u64, V, PageHash>;
 
 /// Decoded address space of a pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +206,7 @@ struct FreeListAlloc {
     free: Vec<(u64, u64)>, // (offset, size)
     live: u64,
     high_water: u64,
+    live_high: u64,
 }
 
 impl FreeListAlloc {
@@ -161,6 +218,7 @@ impl FreeListAlloc {
             free: Vec::new(),
             live: 0,
             high_water: start,
+            live_high: 0,
         }
     }
 
@@ -172,6 +230,7 @@ impl FreeListAlloc {
                 self.free.push((off + size, s - size));
             }
             self.live += size;
+            self.live_high = self.live_high.max(self.live);
             return Some(off);
         }
         if self.cursor + size > self.limit {
@@ -181,6 +240,7 @@ impl FreeListAlloc {
         self.cursor += size;
         self.high_water = self.high_water.max(self.cursor);
         self.live += size;
+        self.live_high = self.live_high.max(self.live);
         Some(off)
     }
 
@@ -198,22 +258,283 @@ impl FreeListAlloc {
 
 /// Per-team shared memory: statics + a globalization stack region.
 #[derive(Debug, Clone)]
-pub struct TeamShared {
+struct TeamShared {
     data: Vec<u8>,
     alloc: FreeListAlloc,
 }
 
-/// The whole simulated memory system.
+/// One copy-on-write page of a team's global-memory journal: a snapshot
+/// of the pre-launch bytes with the team's own stores applied, plus a
+/// per-byte dirty bitmap so merging only writes back bytes the team
+/// actually stored.
+#[derive(Debug)]
+struct CowPage {
+    data: Box<[u8; PAGE]>,
+    dirty: [u64; PAGE_WORDS],
+}
+
+/// The global-memory effects of one team's execution, merged back into
+/// [`Memory`] with [`Memory::apply_delta`] after the team finishes.
+#[derive(Debug)]
+pub struct TeamMemDelta {
+    pages: FastMap<CowPage>,
+    shared_high_water: u64,
+    heap_live_high: u64,
+}
+
+/// One team's private window onto device memory during a launch: a
+/// read-only borrow of pre-launch global memory plus team-owned shared
+/// memory, local arenas, a full-capacity globalization heap, and the
+/// copy-on-write store journal. Safe to move to a worker thread.
+#[derive(Debug)]
+pub struct TeamMemView<'a> {
+    base: &'a [u8],
+    team: u32,
+    pages: FastMap<CowPage>,
+    shared: TeamShared,
+    local: Vec<Vec<u8>>,
+    heap: FreeListAlloc,
+    heap_base: u64,
+    local_cap: u64,
+    trap_cross_local: bool,
+}
+
+impl<'a> TeamMemView<'a> {
+    fn page_for_write(&mut self, page: u64) -> &mut CowPage {
+        let base = self.base;
+        self.pages.entry(page).or_insert_with(|| {
+            let mut data = Box::new([0u8; PAGE]);
+            let start = (page as usize) * PAGE;
+            let n = PAGE.min(base.len().saturating_sub(start));
+            data[..n].copy_from_slice(&base[start..start + n]);
+            CowPage {
+                data,
+                dirty: [0; PAGE_WORDS],
+            }
+        })
+    }
+
+    fn read_global(&self, addr: u64, offset: u64, out: &mut [u8]) -> Result<(), MemError> {
+        let end = offset + out.len() as u64;
+        if end > self.base.len() as u64 {
+            return Err(MemError::OutOfBounds(addr));
+        }
+        let mut o = offset as usize;
+        let mut i = 0;
+        while i < out.len() {
+            let page = (o / PAGE) as u64;
+            let po = o % PAGE;
+            let n = (PAGE - po).min(out.len() - i);
+            match self.pages.get(&page) {
+                Some(p) => out[i..i + n].copy_from_slice(&p.data[po..po + n]),
+                None => out[i..i + n].copy_from_slice(&self.base[o..o + n]),
+            }
+            i += n;
+            o += n;
+        }
+        Ok(())
+    }
+
+    fn write_global(&mut self, addr: u64, offset: u64, data: &[u8]) -> Result<(), MemError> {
+        let end = offset + data.len() as u64;
+        if end > self.base.len() as u64 {
+            return Err(MemError::OutOfBounds(addr));
+        }
+        let mut o = offset as usize;
+        let mut i = 0;
+        while i < data.len() {
+            let page = (o / PAGE) as u64;
+            let po = o % PAGE;
+            let n = (PAGE - po).min(data.len() - i);
+            let p = self.page_for_write(page);
+            p.data[po..po + n].copy_from_slice(&data[i..i + n]);
+            for b in po..po + n {
+                p.dirty[b / 64] |= 1 << (b % 64);
+            }
+            i += n;
+            o += n;
+        }
+        Ok(())
+    }
+
+    /// Device-side globalization allocation: tries the team's shared
+    /// stack first, falls back to the device heap (the paper's
+    /// `LIBOMPTARGET_HEAP_SIZE` fallback). Returns the address.
+    pub fn alloc_shared(&mut self, size: u64) -> Result<u64, MemError> {
+        if let Some(off) = self.shared.alloc.alloc(size) {
+            return Ok(shared_addr(self.team, off));
+        }
+        match self.heap.alloc(size) {
+            Some(off) => Ok(global_addr(off)),
+            None => Err(MemError::HeapExhausted { requested: size }),
+        }
+    }
+
+    /// Frees a globalization allocation made by
+    /// [`TeamMemView::alloc_shared`].
+    pub fn free_shared(&mut self, addr: u64, size: u64) -> Result<(), MemError> {
+        match decode(addr) {
+            Some(Space::Shared { team, offset }) if team == self.team => {
+                self.shared.alloc.dealloc(offset, size);
+                Ok(())
+            }
+            Some(Space::Global { offset }) if offset >= self.heap_base => {
+                self.heap.dealloc(offset, size);
+                Ok(())
+            }
+            _ => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    /// The arena for `thread`'s local memory, grown on demand: arenas
+    /// start empty and extend geometrically (zero-filled, preserving
+    /// the read-zero semantics of untouched local memory) up to the
+    /// configured per-thread capacity, so threads that use a few
+    /// hundred bytes of stack never pay for the full capacity.
+    fn local_arena(&mut self, thread: u32, end: u64) -> Result<&mut Vec<u8>, MemError> {
+        let cap = self.local_cap as usize;
+        if thread as usize >= self.local.len() {
+            self.local.resize_with(thread as usize + 1, Vec::new);
+        }
+        let arena = &mut self.local[thread as usize];
+        if end as usize > arena.len() {
+            let want = (end as usize).next_power_of_two().max(4096).min(cap);
+            arena.resize(want, 0);
+        }
+        Ok(arena)
+    }
+
+    /// Loads a typed value. `thread` identifies the accessor within this
+    /// view's team.
+    pub fn load(
+        &mut self,
+        addr: u64,
+        ty: Type,
+        thread: u32,
+    ) -> Result<(RtVal, AccessClass), MemError> {
+        let space = decode(addr).ok_or(MemError::InvalidPointer(addr))?;
+        let len = ty.size();
+        match space {
+            Space::Global { offset } => {
+                let mut buf = [0u8; 8];
+                self.read_global(addr, offset, &mut buf[..len as usize])?;
+                Ok((RtVal::from_bytes(ty, &buf), AccessClass::Global))
+            }
+            Space::Shared { team, offset } => {
+                if team != self.team {
+                    return Err(MemError::CrossTeamShared);
+                }
+                let end = offset + len;
+                if end > self.shared.data.len() as u64 {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                Ok((
+                    RtVal::from_bytes(ty, &self.shared.data[offset as usize..end as usize]),
+                    AccessClass::Shared,
+                ))
+            }
+            Space::Local {
+                team,
+                thread: th,
+                offset,
+            } => {
+                self.check_local(addr, team, th, thread)?;
+                let end = offset + len;
+                if end > self.local_cap {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                let arena = self.local_arena(th, end)?;
+                Ok((
+                    RtVal::from_bytes(ty, &arena[offset as usize..end as usize]),
+                    AccessClass::Local,
+                ))
+            }
+            Space::Func { .. } => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    /// Stores a typed value. `thread` identifies the accessor within
+    /// this view's team.
+    pub fn store(&mut self, addr: u64, val: RtVal, thread: u32) -> Result<AccessClass, MemError> {
+        let space = decode(addr).ok_or(MemError::InvalidPointer(addr))?;
+        let mut buf = [0u8; 8];
+        let len = val.write_le(&mut buf);
+        let bytes = &buf[..len];
+        match space {
+            Space::Global { offset } => {
+                self.write_global(addr, offset, bytes)?;
+                Ok(AccessClass::Global)
+            }
+            Space::Shared { team, offset } => {
+                if team != self.team {
+                    return Err(MemError::CrossTeamShared);
+                }
+                let end = offset + len as u64;
+                if end > self.shared.data.len() as u64 {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                self.shared.data[offset as usize..end as usize].copy_from_slice(bytes);
+                Ok(AccessClass::Shared)
+            }
+            Space::Local {
+                team,
+                thread: th,
+                offset,
+            } => {
+                self.check_local(addr, team, th, thread)?;
+                let end = offset + len as u64;
+                if end > self.local_cap {
+                    return Err(MemError::OutOfBounds(addr));
+                }
+                let arena = self.local_arena(th, end)?;
+                arena[offset as usize..end as usize].copy_from_slice(bytes);
+                Ok(AccessClass::Local)
+            }
+            Space::Func { .. } => Err(MemError::InvalidPointer(addr)),
+        }
+    }
+
+    fn check_local(&self, addr: u64, team: u32, owner: u32, accessor: u32) -> Result<(), MemError> {
+        // Cross-team local access is impossible under team isolation —
+        // trap regardless of configuration; cross-thread access within
+        // the team is what the unsound SPMD stack fast path exercises
+        // and is gated by `trap_on_cross_thread_local`.
+        if team != self.team {
+            return Err(MemError::CrossThreadLocal {
+                accessor: (self.team, accessor),
+                owner: (team, owner),
+            });
+        }
+        if owner != accessor && self.trap_cross_local {
+            return Err(MemError::CrossThreadLocal {
+                accessor: (self.team, accessor),
+                owner: (team, owner),
+            });
+        }
+        let _ = addr;
+        Ok(())
+    }
+
+    /// Consumes the view, returning the effects to merge back into the
+    /// launch-level [`Memory`].
+    pub fn finish(self) -> TeamMemDelta {
+        TeamMemDelta {
+            pages: self.pages,
+            shared_high_water: self.shared.alloc.high_water,
+            heap_live_high: self.heap.live_high,
+        }
+    }
+}
+
+/// The launch-level memory system: host-visible global memory plus the
+/// per-launch high-water marks folded in from each team's view.
 #[derive(Debug)]
 pub struct Memory {
     cfg: DeviceConfig,
     global: Vec<u8>,
     global_cursor: u64,
-    heap: FreeListAlloc,
     heap_base: u64,
-    shared: HashMap<u32, TeamShared>,
     shared_static_size: u64,
-    local: HashMap<(u32, u32), Vec<u8>>,
     /// High-water mark of shared usage across all teams (statics +
     /// globalization stack), reported as the kernel's shared-memory
     /// footprint.
@@ -232,11 +553,8 @@ impl Memory {
             cfg: cfg.clone(),
             global: vec![0; (cfg.global_mem_bytes + cfg.global_heap_bytes) as usize],
             global_cursor: 0,
-            heap: FreeListAlloc::new(heap_base, heap_base + cfg.global_heap_bytes),
             heap_base,
-            shared: HashMap::new(),
             shared_static_size,
-            local: HashMap::new(),
             shared_high_water: shared_static_size,
             heap_high_water: 0,
         }
@@ -253,139 +571,50 @@ impl Memory {
         Ok(global_addr(off))
     }
 
-    fn team_shared(&mut self, team: u32) -> &mut TeamShared {
+    /// Creates the private memory view for one team of a launch. Views
+    /// borrow the pre-launch global memory read-only, so every team of a
+    /// launch can hold one simultaneously.
+    pub fn team_view(&self, team: u32) -> TeamMemView<'_> {
         let statics = self.shared_static_size;
-        let cap = self.cfg.shared_mem_per_team;
-        self.shared.entry(team).or_insert_with(|| TeamShared {
-            data: vec![0; cap.max(statics) as usize],
-            alloc: FreeListAlloc::new(statics, cap.max(statics)),
-        })
-    }
-
-    /// Device-side globalization allocation: tries the team's shared
-    /// stack first, falls back to the device heap (the paper's
-    /// `LIBOMPTARGET_HEAP_SIZE` fallback). Returns the address.
-    pub fn alloc_shared(&mut self, team: u32, size: u64) -> Result<u64, MemError> {
-        if let Some(off) = self.team_shared(team).alloc.alloc(size) {
-            let hw = self.team_shared(team).alloc.high_water;
-            self.shared_high_water = self.shared_high_water.max(hw);
-            return Ok(shared_addr(team, off));
-        }
-        match self.heap.alloc(size) {
-            Some(off) => {
-                self.heap_high_water = self.heap_high_water.max(self.heap.live);
-                Ok(global_addr(off))
-            }
-            None => Err(MemError::HeapExhausted { requested: size }),
+        let cap = self.cfg.shared_mem_per_team.max(statics);
+        TeamMemView {
+            base: &self.global,
+            team,
+            pages: FastMap::default(),
+            shared: TeamShared {
+                data: vec![0; cap as usize],
+                alloc: FreeListAlloc::new(statics, cap),
+            },
+            local: Vec::new(),
+            heap: FreeListAlloc::new(self.heap_base, self.heap_base + self.cfg.global_heap_bytes),
+            heap_base: self.heap_base,
+            local_cap: self.cfg.local_mem_per_thread,
+            trap_cross_local: self.cfg.trap_on_cross_thread_local,
         }
     }
 
-    /// Frees a globalization allocation made by
-    /// [`Memory::alloc_shared`].
-    pub fn free_shared(&mut self, addr: u64, size: u64) -> Result<(), MemError> {
-        match decode(addr) {
-            Some(Space::Shared { team, offset }) => {
-                self.team_shared(team).alloc.dealloc(offset, size);
-                Ok(())
+    /// Merges one team's store journal and high-water marks back into
+    /// global memory. Call once per team **in team-id order**: later
+    /// teams overwrite earlier ones on (unsynchronized) conflicts, the
+    /// same outcome sequential execution produces. Heap-region pages are
+    /// scratch and are not written back.
+    pub fn apply_delta(&mut self, delta: TeamMemDelta) {
+        for (page, p) in delta.pages {
+            let start = (page as usize) * PAGE;
+            for w in 0..PAGE_WORDS {
+                let mut bits = p.dirty[w];
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let off = start + w * 64 + b;
+                    if (off as u64) < self.heap_base && off < self.global.len() {
+                        self.global[off] = p.data[w * 64 + b];
+                    }
+                }
             }
-            Some(Space::Global { offset }) if offset >= self.heap_base => {
-                self.heap.dealloc(offset, size);
-                Ok(())
-            }
-            _ => Err(MemError::InvalidPointer(addr)),
         }
-    }
-
-    fn local_arena(&mut self, team: u32, thread: u32) -> &mut Vec<u8> {
-        let cap = self.cfg.local_mem_per_thread as usize;
-        self.local
-            .entry((team, thread))
-            .or_insert_with(|| vec![0; cap])
-    }
-
-    /// Raw byte slice resolution with permission checks.
-    fn resolve(
-        &mut self,
-        addr: u64,
-        len: u64,
-        team: u32,
-        thread: u32,
-    ) -> Result<(&mut [u8], AccessClass), MemError> {
-        let space = decode(addr).ok_or(MemError::InvalidPointer(addr))?;
-        match space {
-            Space::Global { offset } => {
-                let end = offset + len;
-                if end > self.global.len() as u64 {
-                    return Err(MemError::OutOfBounds(addr));
-                }
-                Ok((
-                    &mut self.global[offset as usize..end as usize],
-                    AccessClass::Global,
-                ))
-            }
-            Space::Shared { team: t, offset } => {
-                if t != team {
-                    return Err(MemError::CrossTeamShared);
-                }
-                let arena = self.team_shared(t);
-                let end = offset + len;
-                if end > arena.data.len() as u64 {
-                    return Err(MemError::OutOfBounds(addr));
-                }
-                Ok((
-                    &mut arena.data[offset as usize..end as usize],
-                    AccessClass::Shared,
-                ))
-            }
-            Space::Local {
-                team: t,
-                thread: th,
-                offset,
-            } => {
-                if (t, th) != (team, thread) && self.cfg.trap_on_cross_thread_local {
-                    return Err(MemError::CrossThreadLocal {
-                        accessor: (team, thread),
-                        owner: (t, th),
-                    });
-                }
-                let arena = self.local_arena(t, th);
-                let end = offset + len;
-                if end > arena.len() as u64 {
-                    return Err(MemError::OutOfBounds(addr));
-                }
-                Ok((
-                    &mut arena[offset as usize..end as usize],
-                    AccessClass::Local,
-                ))
-            }
-            Space::Func { .. } => Err(MemError::InvalidPointer(addr)),
-        }
-    }
-
-    /// Loads a typed value. `(team, thread)` identify the accessor.
-    pub fn load(
-        &mut self,
-        addr: u64,
-        ty: Type,
-        team: u32,
-        thread: u32,
-    ) -> Result<(RtVal, AccessClass), MemError> {
-        let (bytes, class) = self.resolve(addr, ty.size(), team, thread)?;
-        Ok((RtVal::from_bytes(ty, bytes), class))
-    }
-
-    /// Stores a typed value. `(team, thread)` identify the accessor.
-    pub fn store(
-        &mut self,
-        addr: u64,
-        val: RtVal,
-        team: u32,
-        thread: u32,
-    ) -> Result<AccessClass, MemError> {
-        let bytes = val.to_bytes();
-        let (dst, class) = self.resolve(addr, bytes.len() as u64, team, thread)?;
-        dst.copy_from_slice(&bytes);
-        Ok(class)
+        self.shared_high_water = self.shared_high_water.max(delta.shared_high_water);
+        self.heap_high_water = self.heap_high_water.max(delta.heap_live_high);
     }
 
     /// Host-side buffer write (no permission checks, global space only).
@@ -404,7 +633,7 @@ impl Memory {
     }
 
     /// Host-side buffer read.
-    pub fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
         match decode(addr) {
             Some(Space::Global { offset }) => {
                 let end = offset as usize + len;
@@ -417,12 +646,10 @@ impl Memory {
         }
     }
 
-    /// Resets the per-launch state (shared memory, local memory, heap,
-    /// high-water marks) while keeping global buffers intact.
+    /// Resets the per-launch state (high-water marks) while keeping
+    /// global buffers intact. Shared/local/heap state is per-team and
+    /// created fresh with each [`Memory::team_view`].
     pub fn reset_launch_state(&mut self) {
-        self.shared.clear();
-        self.local.clear();
-        self.heap = FreeListAlloc::new(self.heap_base, self.heap_base + self.cfg.global_heap_bytes);
         self.shared_high_water = self.shared_static_size;
         self.heap_high_water = 0;
     }
@@ -462,36 +689,78 @@ mod tests {
     }
 
     #[test]
-    fn global_rw() {
+    fn global_rw_through_view_and_merge() {
         let mut m = mem();
         let a = m.alloc_global(64).unwrap();
-        m.store(a, RtVal::F64(3.5), 0, 0).unwrap();
-        let (v, class) = m.load(a, Type::F64, 0, 0).unwrap();
-        assert_eq!(v, RtVal::F64(3.5));
+        let mut v = m.team_view(0);
+        v.store(a, RtVal::F64(3.5), 0).unwrap();
+        let (val, class) = v.load(a, Type::F64, 0).unwrap();
+        assert_eq!(val, RtVal::F64(3.5));
         assert_eq!(class, AccessClass::Global);
+        let delta = v.finish();
+        m.apply_delta(delta);
+        let bytes = m.read_bytes(a, 8).unwrap();
+        assert_eq!(f64::from_le_bytes(bytes.try_into().unwrap()), 3.5);
+    }
+
+    #[test]
+    fn team_views_are_isolated_until_merge() {
+        let mut m = mem();
+        let a = m.alloc_global(16).unwrap();
+        let mut v0 = m.team_view(0);
+        let mut v1 = m.team_view(1);
+        v0.store(a, RtVal::I64(7), 0).unwrap();
+        // Team 1 still sees the pre-launch value.
+        assert_eq!(v1.load(a, Type::I64, 0).unwrap().0, RtVal::I64(0));
+        // Disjoint bytes in the same page merge independently.
+        v1.store(a + 8, RtVal::I64(9), 0).unwrap();
+        let (d0, d1) = (v0.finish(), v1.finish());
+        m.apply_delta(d0);
+        m.apply_delta(d1);
+        let b = m.read_bytes(a, 16).unwrap();
+        assert_eq!(i64::from_le_bytes(b[..8].try_into().unwrap()), 7);
+        assert_eq!(i64::from_le_bytes(b[8..].try_into().unwrap()), 9);
+    }
+
+    #[test]
+    fn merge_is_last_team_wins_in_id_order() {
+        let mut m = mem();
+        let a = m.alloc_global(8).unwrap();
+        let mut v0 = m.team_view(0);
+        let mut v1 = m.team_view(1);
+        v0.store(a, RtVal::I64(1), 0).unwrap();
+        v1.store(a, RtVal::I64(2), 0).unwrap();
+        let (d0, d1) = (v0.finish(), v1.finish());
+        m.apply_delta(d0);
+        m.apply_delta(d1);
+        let b = m.read_bytes(a, 8).unwrap();
+        assert_eq!(i64::from_le_bytes(b.try_into().unwrap()), 2);
     }
 
     #[test]
     fn shared_permissions() {
-        let mut m = mem();
-        let a = m.alloc_shared(1, 16).unwrap();
-        m.store(a, RtVal::I32(7), 1, 5).unwrap();
-        let (v, class) = m.load(a, Type::I32, 1, 9).unwrap();
-        assert_eq!(v, RtVal::I32(7));
+        let m = mem();
+        let mut v = m.team_view(1);
+        let a = v.alloc_shared(16).unwrap();
+        v.store(a, RtVal::I32(7), 5).unwrap();
+        let (val, class) = v.load(a, Type::I32, 9).unwrap();
+        assert_eq!(val, RtVal::I32(7));
         assert_eq!(class, AccessClass::Shared);
         // Another team cannot touch it.
+        let mut other = m.team_view(2);
         assert_eq!(
-            m.load(a, Type::I32, 2, 0).unwrap_err(),
+            other.load(a, Type::I32, 0).unwrap_err(),
             MemError::CrossTeamShared
         );
     }
 
     #[test]
     fn cross_thread_local_traps() {
-        let mut m = mem();
+        let m = mem();
+        let mut v = m.team_view(0);
         let a = local_addr(0, 1, 0x10);
-        m.store(a, RtVal::I32(1), 0, 1).unwrap();
-        let err = m.load(a, Type::I32, 0, 2).unwrap_err();
+        v.store(a, RtVal::I32(1), 1).unwrap();
+        let err = v.load(a, Type::I32, 2).unwrap_err();
         assert!(matches!(err, MemError::CrossThreadLocal { .. }));
     }
 
@@ -501,11 +770,24 @@ mod tests {
             trap_on_cross_thread_local: false,
             ..DeviceConfig::default()
         };
-        let mut m = Memory::new(&cfg, 0);
+        let m = Memory::new(&cfg, 0);
+        let mut v = m.team_view(0);
         let a = local_addr(0, 1, 0x10);
-        m.store(a, RtVal::I32(42), 0, 1).unwrap();
-        let (v, _) = m.load(a, Type::I32, 0, 2).unwrap();
-        assert_eq!(v, RtVal::I32(42));
+        v.store(a, RtVal::I32(42), 1).unwrap();
+        let (val, _) = v.load(a, Type::I32, 2).unwrap();
+        assert_eq!(val, RtVal::I32(42));
+    }
+
+    #[test]
+    fn cross_team_local_always_traps() {
+        let cfg = DeviceConfig {
+            trap_on_cross_thread_local: false,
+            ..DeviceConfig::default()
+        };
+        let m = Memory::new(&cfg, 0);
+        let mut v = m.team_view(0);
+        let err = v.load(local_addr(1, 0, 0), Type::I32, 0).unwrap_err();
+        assert!(matches!(err, MemError::CrossThreadLocal { .. }));
     }
 
     #[test]
@@ -515,36 +797,41 @@ mod tests {
             global_heap_bytes: 128,
             ..DeviceConfig::default()
         };
-        let mut m = Memory::new(&cfg, 0);
+        let m = Memory::new(&cfg, 0);
+        let mut v = m.team_view(0);
         // Fill shared.
-        let a = m.alloc_shared(0, 64).unwrap();
+        let a = v.alloc_shared(64).unwrap();
         assert!(matches!(decode(a), Some(Space::Shared { .. })));
         // Next goes to the heap.
-        let b = m.alloc_shared(0, 64).unwrap();
+        let b = v.alloc_shared(64).unwrap();
         assert!(matches!(decode(b), Some(Space::Global { .. })));
-        let _c = m.alloc_shared(0, 64).unwrap();
+        let _c = v.alloc_shared(64).unwrap();
         // Heap now exhausted.
-        let err = m.alloc_shared(0, 64).unwrap_err();
+        let err = v.alloc_shared(64).unwrap_err();
         assert!(matches!(err, MemError::HeapExhausted { .. }));
         // Freeing makes room again.
-        m.free_shared(b, 64).unwrap();
-        assert!(m.alloc_shared(0, 64).is_ok());
+        v.free_shared(b, 64).unwrap();
+        assert!(v.alloc_shared(64).is_ok());
     }
 
     #[test]
     fn free_list_reuses_shared() {
-        let mut m = mem();
-        let a = m.alloc_shared(0, 32).unwrap();
-        m.free_shared(a, 32).unwrap();
-        let b = m.alloc_shared(0, 32).unwrap();
+        let m = mem();
+        let mut v = m.team_view(0);
+        let a = v.alloc_shared(32).unwrap();
+        v.free_shared(a, 32).unwrap();
+        let b = v.alloc_shared(32).unwrap();
         assert_eq!(a, b, "freed block should be reused");
     }
 
     #[test]
     fn high_water_tracking() {
         let mut m = mem();
-        let _a = m.alloc_shared(0, 100).unwrap();
-        let _b = m.alloc_shared(0, 100).unwrap();
+        let mut v = m.team_view(0);
+        let _a = v.alloc_shared(100).unwrap();
+        let _b = v.alloc_shared(100).unwrap();
+        let d = v.finish();
+        m.apply_delta(d);
         assert!(m.shared_high_water >= 200);
     }
 
@@ -558,9 +845,10 @@ mod tests {
 
     #[test]
     fn out_of_bounds_detected() {
-        let mut m = mem();
-        let err = m
-            .load(global_addr(u64::MAX >> 8), Type::I64, 0, 0)
+        let m = mem();
+        let mut v = m.team_view(0);
+        let err = v
+            .load(global_addr(u64::MAX >> 8), Type::I64, 0)
             .unwrap_err();
         assert!(matches!(err, MemError::OutOfBounds(_)));
     }

@@ -1,0 +1,398 @@
+//! Precompiled execution plans: the module is decoded **once** at
+//! device construction into flat per-function tables, so the hot
+//! interpreter loop never clones instruction kinds or terminators and
+//! never resolves a callee by string comparison.
+//!
+//! A [`FuncPlan`] holds, per defined function:
+//!
+//! * block bodies split into leading phis and straight-line code, each
+//!   entry borrowing the instruction from the module arena;
+//! * the pre-resolved [`CallTarget`] of every direct call site
+//!   (runtime entry point, math intrinsic, or ordinary function);
+//! * `num_regs`, the register-file size a frame needs (the instruction
+//!   arena bound), so frames are allocated at full size exactly once;
+//! * `site_base`, this function's offset into the plan-wide dense
+//!   access-site index used by the coalescing tables.
+//!
+//! Plan construction validates every call and operand: a call to an
+//! undefined function id is a clean [`SimError`] at `Device::new` time
+//! instead of an index panic mid-run.
+
+use crate::interp::SimError;
+use omp_ir::omprtl::{math_fn_signature, RtlFn, ALL_RTL_FNS};
+use omp_ir::{BlockId, FuncId, InstId, InstKind, Module, Terminator, Value};
+
+/// Number of runtime entry points — the size of the dense per-team
+/// runtime-call counter table.
+pub(crate) const NUM_RTL_FNS: usize = ALL_RTL_FNS.len();
+
+/// A math intrinsic, resolved from its name at plan-build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MathKind {
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Fabs,
+    Pow,
+    Fmin,
+    Fmax,
+    Floor,
+}
+
+impl MathKind {
+    fn from_name(name: &str) -> Option<MathKind> {
+        Some(match name.trim_end_matches('f') {
+            "sqrt" => MathKind::Sqrt,
+            "exp" => MathKind::Exp,
+            "log" => MathKind::Log,
+            "sin" => MathKind::Sin,
+            "cos" => MathKind::Cos,
+            "fabs" => MathKind::Fabs,
+            "pow" => MathKind::Pow,
+            "fmin" => MathKind::Fmin,
+            "fmax" => MathKind::Fmax,
+            "floor" => MathKind::Floor,
+            _ => return None,
+        })
+    }
+}
+
+/// Pre-resolved dispatch target of a call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CallTarget {
+    /// Call into a defined function body.
+    Direct(FuncId),
+    /// OpenMP device runtime entry point.
+    Rtl(RtlFn),
+    /// Math intrinsic (`true` = `f32` result, the `-f` suffix forms).
+    Math(MathKind, bool),
+    /// Declaration with no runtime semantics — traps if executed.
+    Extern(FuncId),
+    /// Callee is a runtime value; resolved per execution.
+    Indirect,
+}
+
+/// One basic block, decoded: leading phis (evaluated on block entry),
+/// the remaining instructions, and the terminator — all borrowed from
+/// the module, never cloned.
+pub(crate) struct BlockPlan<'m> {
+    pub phis: Vec<(InstId, &'m [(BlockId, Value)])>,
+    pub code: Vec<(InstId, &'m InstKind)>,
+    pub term: &'m Terminator,
+}
+
+/// The decoded form of one defined function.
+pub(crate) struct FuncPlan<'m> {
+    pub entry: BlockId,
+    /// Frame register-file size: one slot per instruction-arena entry.
+    pub num_regs: usize,
+    /// Offset of this function's sites in the dense plan-wide index.
+    pub site_base: u32,
+    /// Indexed by `BlockId`; `None` for dead arena slots.
+    pub blocks: Vec<Option<BlockPlan<'m>>>,
+    /// Indexed by `InstId`; meaningful only at `Call` instructions.
+    pub call_targets: Vec<CallTarget>,
+}
+
+impl<'m> FuncPlan<'m> {
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BlockPlan<'m> {
+        self.blocks[id.index()]
+            .as_ref()
+            .expect("dead block executed")
+    }
+}
+
+/// The precompiled execution plan for a module: per-function tables
+/// plus the function-nature table used to dispatch indirect calls.
+pub struct ExecPlan<'m> {
+    funcs: Vec<Option<FuncPlan<'m>>>,
+    /// Indexed by `FuncId`: how a call to that function dispatches
+    /// (never `Indirect`).
+    nature: Vec<CallTarget>,
+    /// Total number of access sites across all functions — the length
+    /// of the dense coalescing-state tables.
+    total_sites: u32,
+    num_globals: usize,
+}
+
+impl<'m> ExecPlan<'m> {
+    /// Decodes `module` into an execution plan, validating every call
+    /// target and operand reference.
+    pub fn build(module: &'m Module) -> Result<ExecPlan<'m>, SimError> {
+        let num_functions = module.num_functions();
+        let num_globals = module.global_ids().count();
+        let mut nature = Vec::with_capacity(num_functions);
+        for fid in module.func_ids() {
+            let f = module.func(fid);
+            nature.push(if let Some(rtl) = RtlFn::from_name(&f.name) {
+                CallTarget::Rtl(rtl)
+            } else if math_fn_signature(&f.name).is_some() {
+                let kind = MathKind::from_name(&f.name)
+                    .ok_or_else(|| SimError::Trap(format!("unknown math fn {}", f.name)))?;
+                CallTarget::Math(kind, f.name.ends_with('f'))
+            } else if f.is_declaration() {
+                CallTarget::Extern(fid)
+            } else {
+                CallTarget::Direct(fid)
+            });
+        }
+        let mut funcs: Vec<Option<FuncPlan<'m>>> = Vec::with_capacity(num_functions);
+        let mut total_sites: u32 = 0;
+        for fid in module.func_ids() {
+            let f = module.func(fid);
+            if f.is_declaration() {
+                funcs.push(None);
+                continue;
+            }
+            let check =
+                |v: Value| -> Result<(), SimError> {
+                    match v {
+                        Value::Func(g) if g.index() >= num_functions => Err(SimError::Trap(
+                            format!("@{}: reference to undefined function {g}", f.name),
+                        )),
+                        Value::Global(g) if g.index() >= num_globals => Err(SimError::Trap(
+                            format!("@{}: reference to undefined global {g}", f.name),
+                        )),
+                        _ => Ok(()),
+                    }
+                };
+            let mut num_regs = 0usize;
+            let mut max_block = 0usize;
+            for b in f.block_ids() {
+                max_block = max_block.max(b.index() + 1);
+                for &i in &f.block(b).insts {
+                    num_regs = num_regs.max(i.index() + 1);
+                }
+            }
+            let mut blocks: Vec<Option<BlockPlan<'m>>> = (0..max_block).map(|_| None).collect();
+            let mut call_targets = vec![CallTarget::Indirect; num_regs];
+            for b in f.block_ids() {
+                let data = f.block(b);
+                let mut phis = Vec::new();
+                let mut code = Vec::new();
+                let mut in_header = true;
+                for &i in &data.insts {
+                    let kind = f.inst(i);
+                    match kind {
+                        InstKind::Phi { incoming, .. } if in_header => {
+                            for &(_, v) in incoming.iter() {
+                                check(v)?;
+                            }
+                            phis.push((i, incoming.as_slice()));
+                            continue;
+                        }
+                        _ => in_header = false,
+                    }
+                    for_each_operand(kind, &mut |v| check(v).is_ok())
+                        .then_some(())
+                        .ok_or_else(|| bad_operand(&f.name, kind, num_functions, num_globals))?;
+                    if let InstKind::Call {
+                        callee: Value::Func(g),
+                        ..
+                    } = *kind
+                    {
+                        // `check` above already rejected out-of-range
+                        // ids; resolve in-range ones to their nature.
+                        call_targets[i.index()] = nature[g.index()];
+                    }
+                    code.push((i, kind));
+                }
+                match &data.term {
+                    Terminator::CondBr { cond, .. } => check(*cond)?,
+                    Terminator::Ret(Some(v)) => check(*v)?,
+                    _ => {}
+                }
+                blocks[b.index()] = Some(BlockPlan {
+                    phis,
+                    code,
+                    term: &data.term,
+                });
+            }
+            funcs.push(Some(FuncPlan {
+                entry: f.entry(),
+                num_regs,
+                site_base: total_sites,
+                blocks,
+                call_targets,
+            }));
+            total_sites += num_regs as u32;
+        }
+        Ok(ExecPlan {
+            funcs,
+            nature,
+            total_sites,
+            num_globals,
+        })
+    }
+
+    /// The decoded plan for a defined function, or `None` for
+    /// declarations.
+    #[inline]
+    pub(crate) fn func(&self, id: FuncId) -> Option<&FuncPlan<'m>> {
+        self.funcs.get(id.index()).and_then(|f| f.as_ref())
+    }
+
+    /// How a call to `id` dispatches, or `None` if out of range.
+    #[inline]
+    pub(crate) fn nature(&self, id: FuncId) -> Option<CallTarget> {
+        self.nature.get(id.index()).copied()
+    }
+
+    /// Total access-site count (dense coalescing-table length).
+    #[inline]
+    pub(crate) fn total_sites(&self) -> u32 {
+        self.total_sites
+    }
+
+    /// Number of globals the plan was validated against.
+    pub(crate) fn num_globals(&self) -> usize {
+        self.num_globals
+    }
+}
+
+fn bad_operand(func: &str, kind: &InstKind, num_functions: usize, num_globals: usize) -> SimError {
+    // Re-walk to produce a precise message (cold path).
+    let mut msg = format!("@{func}: invalid operand in {kind:?}");
+    for_each_operand(kind, &mut |v| {
+        match v {
+            Value::Func(g) if g.index() >= num_functions => {
+                msg = format!("@{func}: call or reference to undefined function {g}");
+            }
+            Value::Global(g) if g.index() >= num_globals => {
+                msg = format!("@{func}: reference to undefined global {g}");
+            }
+            _ => {}
+        }
+        true
+    });
+    SimError::Trap(msg)
+}
+
+/// Visits each operand; stops early (returning `false`) when the
+/// visitor does.
+fn for_each_operand(kind: &InstKind, f: &mut impl FnMut(Value) -> bool) -> bool {
+    let mut ok = true;
+    let mut visit = |v: Value| {
+        if ok && !f(v) {
+            ok = false;
+        }
+    };
+    match kind {
+        InstKind::Alloca { .. } => {}
+        InstKind::Load { ptr, .. } => visit(*ptr),
+        InstKind::Store { ptr, val } => {
+            visit(*ptr);
+            visit(*val);
+        }
+        InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+            visit(*lhs);
+            visit(*rhs);
+        }
+        InstKind::Cast { val, .. } => visit(*val),
+        InstKind::Gep { base, index, .. } => {
+            visit(*base);
+            visit(*index);
+        }
+        InstKind::Call { callee, args, .. } => {
+            visit(*callee);
+            for a in args {
+                visit(*a);
+            }
+        }
+        InstKind::Select {
+            cond,
+            on_true,
+            on_false,
+            ..
+        } => {
+            visit(*cond);
+            visit(*on_true);
+            visit(*on_false);
+        }
+        InstKind::Phi { incoming, .. } => {
+            for &(_, v) in incoming {
+                visit(v);
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{Function, Type};
+
+    fn module_with_call(callee: Value) -> Module {
+        let mut m = Module::new("t");
+        let mut f = Function::definition("k", vec![], Type::Void);
+        let e = f.entry();
+        f.append_inst(
+            e,
+            InstKind::Call {
+                callee,
+                args: vec![],
+                ret: Type::Void,
+            },
+        );
+        f.block_mut(e).term = Terminator::Ret(None);
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn plan_rejects_call_to_undefined_function() {
+        let m = module_with_call(Value::Func(FuncId(999)));
+        let err = ExecPlan::build(&m).err().expect("must not build");
+        match err {
+            SimError::Trap(msg) => assert!(msg.contains("undefined function"), "{msg}"),
+            other => panic!("expected a trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_rejects_reference_to_undefined_global() {
+        let mut m = Module::new("t");
+        let mut f = Function::definition("k", vec![], Type::Void);
+        let e = f.entry();
+        f.append_inst(
+            e,
+            InstKind::Load {
+                ptr: Value::Global(omp_ir::GlobalId(7)),
+                ty: Type::I64,
+            },
+        );
+        f.block_mut(e).term = Terminator::Ret(None);
+        m.add_function(f);
+        assert!(matches!(ExecPlan::build(&m), Err(SimError::Trap(_))));
+    }
+
+    #[test]
+    fn plan_resolves_rtl_and_direct_targets() {
+        let mut m = Module::new("t");
+        let rtl = m.add_function(Function::declaration("__kmpc_barrier", vec![], Type::Void));
+        let mut f = Function::definition("k", vec![], Type::Void);
+        let e = f.entry();
+        let call = f.append_inst(
+            e,
+            InstKind::Call {
+                callee: Value::Func(rtl),
+                args: vec![],
+                ret: Type::Void,
+            },
+        );
+        f.block_mut(e).term = Terminator::Ret(None);
+        let k = m.add_function(f);
+        let plan = ExecPlan::build(&m).unwrap();
+        let fp = plan.func(k).unwrap();
+        assert!(matches!(
+            fp.call_targets[call.index()],
+            CallTarget::Rtl(RtlFn::Barrier)
+        ));
+        assert!(matches!(plan.nature(k), Some(CallTarget::Direct(_))));
+        assert!(plan.func(rtl).is_none());
+    }
+}

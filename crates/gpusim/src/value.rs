@@ -83,6 +83,37 @@ impl RtVal {
         }
     }
 
+    /// Serializes the value into a caller-provided buffer without
+    /// allocating; returns the number of bytes written.
+    pub fn write_le(self, buf: &mut [u8; 8]) -> usize {
+        match self {
+            RtVal::Bool(b) => {
+                buf[0] = b as u8;
+                1
+            }
+            RtVal::I32(v) => {
+                buf[..4].copy_from_slice(&v.to_le_bytes());
+                4
+            }
+            RtVal::I64(v) => {
+                buf.copy_from_slice(&v.to_le_bytes());
+                8
+            }
+            RtVal::F32(v) => {
+                buf[..4].copy_from_slice(&v.to_le_bytes());
+                4
+            }
+            RtVal::F64(v) => {
+                buf.copy_from_slice(&v.to_le_bytes());
+                8
+            }
+            RtVal::Ptr(p) => {
+                buf.copy_from_slice(&p.to_le_bytes());
+                8
+            }
+        }
+    }
+
     /// Deserializes a value of type `ty` from little-endian bytes.
     pub fn from_bytes(ty: Type, bytes: &[u8]) -> RtVal {
         match ty {

@@ -4,9 +4,11 @@
 # criterion resolve to the in-tree shims).
 #
 #   tools/ci.sh          # run everything
-#   tools/ci.sh fmt      # just one stage: fmt | clippy | test
+#   tools/ci.sh fmt      # just one stage: fmt | clippy | test | bench
 #
-# Exits non-zero on the first failing stage.
+# Exits non-zero on the first failing stage. The `bench` stage is
+# informational: it regenerates BENCH_gpusim.json (simulator wall-clock
+# per proxy/config) but is not part of the gating `all` run.
 
 set -eu
 
@@ -33,10 +35,17 @@ run_test() {
     cargo test -q --workspace --offline
 }
 
+run_bench() {
+    echo "==> bench_gpusim (informational, writes BENCH_gpusim.json)"
+    cargo run --release -q -p omp-bench --bin bench_gpusim --offline -- \
+        --scale small --out BENCH_gpusim.json
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    bench) run_bench ;;
     all)
         run_fmt
         run_clippy
@@ -44,7 +53,7 @@ case "$stage" in
         echo "==> tier-1 gate passed"
         ;;
     *)
-        echo "usage: tools/ci.sh [fmt|clippy|test]" >&2
+        echo "usage: tools/ci.sh [fmt|clippy|test|bench]" >&2
         exit 2
         ;;
 esac
