@@ -14,13 +14,16 @@
 //!   backing HeapToShared and ThreadExecution folding (Sections IV-A,
 //!   IV-C);
 //! * [`liveness`] — SSA liveness and the register-pressure estimate used
-//!   by the GPU simulator to report Figure 10's register columns.
+//!   by the GPU simulator to report Figure 10's register columns;
+//! * [`loops`] — natural-loop forest over the dominator tree, backing
+//!   loop-invariant code motion in the classic mid-end.
 
 pub mod callgraph;
 pub mod domain;
 pub mod effects;
 pub mod escape;
 pub mod liveness;
+pub mod loops;
 
 pub use callgraph::CallGraph;
 pub use domain::{ExecDomain, ExecutionDomains};
@@ -29,3 +32,4 @@ pub use escape::{
     dealloc_always_reached, pointer_escapes, underlying_alloca, EscapeReason, EscapeResult,
 };
 pub use liveness::{kernel_register_estimate, Liveness};
+pub use loops::{Loop, LoopForest};

@@ -34,6 +34,7 @@ const PRE_PLAN_VERIFY_SMALL_SECONDS: [f64; 7] = [0.180, 0.187, 0.162, 0.207, 0.1
 const INTERLEAVED_POST_PLAN_SECONDS: [f64; 7] = [0.095, 0.096, 0.114, 0.110, 0.113, 0.134, 0.148];
 
 struct ConfigRow {
+    config: BuildConfig,
     label: &'static str,
     wall_seconds: f64,
     cycles: Option<u64>,
@@ -43,6 +44,28 @@ struct ConfigRow {
 struct ProxyRows {
     name: &'static str,
     rows: Vec<ConfigRow>,
+}
+
+/// The repository revision the numbers were measured at, so a committed
+/// artifact is traceable to its code.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Geometric mean of per-proxy Dev-vs-CUDA (or any) cycle ratios.
+fn geomean(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
 }
 
 fn json_escape(s: &str) -> String {
@@ -120,6 +143,7 @@ fn main() {
             let t = Instant::now();
             let outcome = pipeline::run_proxy(app.as_ref(), config);
             rows.push(ConfigRow {
+                config,
                 label: config.label(),
                 wall_seconds: t.elapsed().as_secs_f64(),
                 cycles: outcome.cycles(),
@@ -145,9 +169,28 @@ fn main() {
         .cloned()
         .fold(f64::INFINITY, f64::min);
 
+    // Per-proxy CUDA yardstick cycles, for the v2 ratio columns.
+    let cuda_cycles = |p: &ProxyRows| -> Option<u64> {
+        p.rows
+            .iter()
+            .find(|r| r.config == BuildConfig::CudaStyle)
+            .and_then(|r| r.cycles)
+    };
+    let ratio_of = |p: &ProxyRows, r: &ConfigRow| -> Option<f64> {
+        match (r.cycles, cuda_cycles(p)) {
+            (Some(c), Some(base)) if base > 0 => Some(c as f64 / base as f64),
+            _ => None,
+        }
+    };
+
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"bench_gpusim/v1\",");
+    let _ = writeln!(j, "  \"schema\": \"bench_gpusim/v2\",");
+    let _ = writeln!(
+        j,
+        "  \"git_revision\": \"{}\",",
+        json_escape(&git_revision())
+    );
     let _ = writeln!(j, "  \"scale\": \"{scale_name}\",");
     // Parallel team execution only improves wall-clock with >1 host
     // CPU; record the core count so speedups are interpretable.
@@ -235,6 +278,9 @@ fn main() {
                 .cycles
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "null".to_string());
+            let ratio = ratio_of(p, r)
+                .map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "null".to_string());
             let error = r
                 .error
                 .as_deref()
@@ -243,10 +289,11 @@ fn main() {
             let _ = writeln!(
                 j,
                 "        {{ \"config\": \"{}\", \"wall_seconds\": {:.4}, \
-                 \"cycles\": {}, \"error\": {} }}{}",
+                 \"cycles\": {}, \"cycles_vs_cuda_ratio\": {}, \"error\": {} }}{}",
                 json_escape(r.label),
                 r.wall_seconds,
                 cycles,
+                ratio,
                 error,
                 if ri + 1 < p.rows.len() { "," } else { "" }
             );
@@ -254,7 +301,50 @@ fn main() {
         let _ = writeln!(j, "      ]");
         let _ = writeln!(j, "    }}{}", if pi + 1 < proxies.len() { "," } else { "" });
     }
-    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "  ],");
+
+    // Cross-proxy geometric means of the cycles-vs-CUDA ratio, one per
+    // configuration, plus a flat greppable headline for the Dev
+    // pipeline (the paper's figure-of-merit).
+    let _ = writeln!(j, "  \"summary\": {{");
+    let _ = writeln!(j, "    \"geomean_cycles_vs_cuda_ratio\": {{");
+    let mut dev_geomean: Option<f64> = None;
+    for (ci, &config) in BuildConfig::ALL.iter().enumerate() {
+        let ratios: Vec<f64> = proxies
+            .iter()
+            .filter_map(|p| {
+                p.rows
+                    .iter()
+                    .find(|r| r.config == config)
+                    .and_then(|r| ratio_of(p, r))
+            })
+            .collect();
+        let g = geomean(&ratios);
+        if config == BuildConfig::LlvmDev {
+            dev_geomean = g;
+        }
+        let _ = writeln!(
+            j,
+            "      \"{}\": {}{}",
+            json_escape(config.label()),
+            g.map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "null".to_string()),
+            if ci + 1 < BuildConfig::ALL.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(j, "    }},");
+    let _ = writeln!(
+        j,
+        "    \"geomean_dev_cycles_vs_cuda_ratio\": {}",
+        dev_geomean
+            .map(|x| format!("{x:.4}"))
+            .unwrap_or_else(|| "null".to_string())
+    );
+    let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
     if let Err(e) = std::fs::write(&out_path, &j) {

@@ -40,15 +40,194 @@ pub fn compile_frontend(source: &str, config: BuildConfig) -> Result<Module, Bui
     omp_frontend::compile(source, &fe).map_err(BuildError::Compile)
 }
 
+/// The mid-end pass manager: owns the pass ordering for one
+/// [`BuildConfig`], shares one [`omp_passes::AnalysisCache`] across the
+/// classic passes, and folds their statistics into the optimizer's
+/// structured remark stream.
+///
+/// Schedule for configurations with an OpenMP optimizer config:
+///
+/// 1. **early inliner** — exposes foldable `__kmpc_*` patterns and
+///    deglobalization candidates to `openmp-opt` (conservative: callees
+///    with structural OpenMP calls are kept outlined);
+/// 2. **openmp-opt** — the paper's OpenMP-aware passes;
+/// 3. **late inliner** — cleans up outlined parallel regions the OpenMP
+///    passes specialized or left behind;
+/// 4. **cleanup** (mem2reg/constprop/DCE/simplify-cfg to fixpoint) — so
+///    GVN and LICM see promoted SSA form;
+/// 5. **GVN**, **LICM**, **GVN** — redundancy elimination, invariant
+///    hoisting, then a second GVN round to merge hoisted duplicates;
+/// 6. **final cleanup** — removes code the scalar passes made dead.
+///
+/// The call graph, dominator trees, and loop forest are cached between
+/// passes; each pass invalidates per function on mutation, and the
+/// opaque steps (`omp_opt::run`, the cleanup pipeline) invalidate
+/// everything.
+///
+/// `Llvm12Baseline` and `CudaStyle` deliberately bypass the mid-end and
+/// keep the legacy cleanup-only pipeline: the CUDA configuration is the
+/// yardstick every ratio is measured against, and the LLVM 12 baseline
+/// models a toolchain that predates these passes.
+struct PassManager {
+    cache: omp_passes::AnalysisCache,
+    remarks: Vec<omp_opt::Remark>,
+    cleanup: omp_passes::PipelineStats,
+}
+
+impl PassManager {
+    fn new() -> PassManager {
+        PassManager {
+            cache: omp_passes::AnalysisCache::new(),
+            remarks: Vec::new(),
+            cleanup: omp_passes::PipelineStats::default(),
+        }
+    }
+
+    /// Runs the full schedule, returning the report with the classic
+    /// passes' remarks merged in.
+    fn run(mut self, module: &mut Module, cfg: &omp_opt::OpenMpOptConfig) -> OptReport {
+        self.inline_step(
+            module,
+            &omp_passes::InlineOptions::pre_openmp_opt(),
+            "early",
+        );
+        self.cache.invalidate_all();
+        let mut report = omp_opt::run(module, cfg);
+        self.cache.invalidate_all();
+        self.inline_step(
+            module,
+            &omp_passes::InlineOptions::post_openmp_opt(),
+            "late",
+        );
+        self.cleanup_step(module);
+        self.gvn_licm_steps(module);
+        for r in self.remarks {
+            report.remarks.push(r);
+        }
+        add_pipeline_stats(&mut report.cleanup, self.cleanup);
+        report
+    }
+
+    fn inline_step(&mut self, module: &mut Module, opts: &omp_passes::InlineOptions, stage: &str) {
+        use omp_opt::remarks::{actions, ids, passes};
+        for d in omp_passes::inline::run(module, &mut self.cache, opts) {
+            let r = if d.inlined {
+                omp_opt::Remark::new(
+                    ids::INLINED,
+                    omp_opt::RemarkKind::Passed,
+                    d.caller,
+                    format!(
+                        "inlined '{}' ({} instructions, {}, {} stage)",
+                        d.callee, d.callee_insts, d.reason, stage
+                    ),
+                )
+                .with_action(actions::INLINE)
+                .with_bytes(d.callee_insts as u64)
+            } else {
+                omp_opt::Remark::new(
+                    ids::INLINE_SKIPPED,
+                    omp_opt::RemarkKind::Missed,
+                    d.caller,
+                    format!(
+                        "kept call to '{}' ({} instructions, {}, {} stage)",
+                        d.callee, d.callee_insts, d.reason, stage
+                    ),
+                )
+                .with_action(actions::KEEP_CALL)
+            };
+            self.remarks.push(r.in_pass(passes::INLINE).at(d.callee));
+        }
+    }
+
+    fn cleanup_step(&mut self, module: &mut Module) {
+        self.cache.invalidate_all();
+        add_pipeline_stats(&mut self.cleanup, omp_passes::run_pipeline(module));
+        self.cache.invalidate_all();
+    }
+
+    /// Iterates GVN → LICM → cleanup to a bounded fixpoint: forwarding
+    /// loads kills stores, dead stores de-escape the allocas whose
+    /// address they captured, and the next round forwards through the
+    /// newly private memory. Per function, all rounds are reported as
+    /// one GVN remark and one LICM remark.
+    fn gvn_licm_steps(&mut self, module: &mut Module) {
+        use omp_opt::remarks::{actions, ids, passes};
+        // (function, eliminated, forwarded, dead stores), first-seen
+        // (module layout) order.
+        let mut gvn: Vec<(String, usize, usize, usize)> = Vec::new();
+        let mut licm: Vec<(String, usize)> = Vec::new();
+        for _ in 0..6 {
+            let mut changed = 0usize;
+            for s in omp_passes::gvn::run(module, &mut self.cache) {
+                changed += s.eliminated + s.loads_forwarded + s.dead_stores;
+                match gvn.iter_mut().find(|(f, _, _, _)| *f == s.function) {
+                    Some((_, elim, fwd, dse)) => {
+                        *elim += s.eliminated;
+                        *fwd += s.loads_forwarded;
+                        *dse += s.dead_stores;
+                    }
+                    None => gvn.push((s.function, s.eliminated, s.loads_forwarded, s.dead_stores)),
+                }
+            }
+            for s in omp_passes::licm::run(module, &mut self.cache) {
+                changed += s.hoisted;
+                match licm.iter_mut().find(|(f, _)| *f == s.function) {
+                    Some((_, h)) => *h += s.hoisted,
+                    None => licm.push((s.function, s.hoisted)),
+                }
+            }
+            self.cleanup_step(module);
+            if changed == 0 {
+                break;
+            }
+        }
+        for (function, eliminated, forwarded, dead_stores) in gvn {
+            self.remarks.push(
+                omp_opt::Remark::new(
+                    ids::CSE_ELIMINATED,
+                    omp_opt::RemarkKind::Passed,
+                    function,
+                    format!(
+                        "eliminated {eliminated} redundant instructions, \
+                         forwarded {forwarded} loads, \
+                         removed {dead_stores} dead stores"
+                    ),
+                )
+                .in_pass(passes::GVN)
+                .with_action(actions::CSE),
+            );
+        }
+        for (function, hoisted) in licm {
+            self.remarks.push(
+                omp_opt::Remark::new(
+                    ids::LOOP_INVARIANT_HOISTED,
+                    omp_opt::RemarkKind::Passed,
+                    function,
+                    format!("hoisted {hoisted} loop-invariant instructions"),
+                )
+                .in_pass(passes::LICM)
+                .with_action(actions::HOIST),
+            );
+        }
+    }
+}
+
+fn add_pipeline_stats(into: &mut omp_passes::PipelineStats, from: omp_passes::PipelineStats) {
+    into.promoted_allocas += from.promoted_allocas;
+    into.folded += from.folded;
+    into.dce_removed += from.dce_removed;
+    into.blocks_removed += from.blocks_removed;
+    into.iterations += from.iterations;
+}
+
 /// Optimizes and verifies a frontend module under `config`, returning
-/// the final module and the optimizer's report (when the OpenMP pass
-/// ran).
+/// the final module and the optimizer's report (when the mid-end ran).
 pub fn optimize(
     mut module: Module,
     config: BuildConfig,
 ) -> Result<(Module, Option<OptReport>), BuildError> {
     let report = match config.opt_config() {
-        Some(cfg) => Some(omp_opt::run(&mut module, &cfg)),
+        Some(cfg) => Some(PassManager::new().run(&mut module, &cfg)),
         None => {
             omp_passes::run_pipeline(&mut module);
             None

@@ -1,0 +1,194 @@
+//! Golden IR tests for the classic mid-end passes (inliner, GVN, LICM)
+//! on small hand-built fixtures.
+//!
+//! Each test builds a module exercising one pass's signature
+//! transformation, runs just that pass, and compares the printed IR
+//! against a checked-in golden file, then re-parses and re-prints the
+//! output to keep the parse→print fixpoint honest (the same contract as
+//! the whole-proxy goldens in `golden_ir.rs`).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! OMP_UPDATE_GOLDEN=1 cargo test -p omp-gpu --test golden_passes
+//! ```
+
+use omp_ir::{BinOp, Builder, CmpOp, Function, Module, Type, Value};
+use omp_passes::{AnalysisCache, InlineOptions};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(name: &str, text: &str) {
+    let path = golden_dir().join(format!("{name}.ir"));
+    if std::env::var_os("OMP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with OMP_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, text,
+        "{name}: IR drifted from golden file; if intentional, regenerate with OMP_UPDATE_GOLDEN=1"
+    );
+}
+
+fn roundtrip(name: &str, m: &Module) {
+    omp_ir::verifier::assert_valid(m);
+    let printed = omp_ir::printer::print_module(m);
+    check_golden(name, &printed);
+    let reparsed = omp_ir::parser::parse_module(&printed)
+        .unwrap_or_else(|e| panic!("{name}: printer output does not parse: {e}"));
+    let reprinted = omp_ir::printer::print_module(&reparsed);
+    assert_eq!(
+        printed, reprinted,
+        "{name}: print→parse→print is not a fixpoint"
+    );
+}
+
+/// A small helper callee with an alloca and two return paths, called
+/// from a loop: inlining must hoist the cloned alloca to the caller
+/// entry, merge the returns through a phi, and delete the call.
+#[test]
+fn inline_merges_callee_into_caller() {
+    let mut m = Module::new("pass_inline");
+    let callee = m.add_function(Function::definition(
+        "clamp_scaled",
+        vec![Type::I64],
+        Type::I64,
+    ));
+    {
+        let mut b = Builder::at_entry(&mut m, callee);
+        let p = b.alloca(8, 8);
+        b.store(Value::Arg(0), p);
+        let v = b.load(Type::I64, p);
+        let s = b.bin(BinOp::Mul, Type::I64, v, Value::i64(3));
+        let c = b.cmp(CmpOp::Slt, Type::I64, s, Value::i64(100));
+        let small = b.new_block();
+        let big = b.new_block();
+        b.cond_br(c, small, big);
+        b.switch_to(small);
+        b.ret(Some(s));
+        b.switch_to(big);
+        b.ret(Some(Value::i64(100)));
+    }
+    let caller = m.add_function(Function::definition("sum", vec![Type::I64], Type::I64));
+    {
+        let mut b = Builder::at_entry(&mut m, caller);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.phi(Type::I64);
+        let acc = b.phi(Type::I64);
+        let c = b.cmp(CmpOp::Slt, Type::I64, iv, Value::Arg(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let r = b.call(callee, vec![iv]);
+        let acc2 = b.bin(BinOp::Add, Type::I64, acc, r);
+        let iv2 = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1));
+        b.br(header);
+        b.add_phi_incoming(iv, entry, Value::i64(0));
+        b.add_phi_incoming(iv, body, iv2);
+        b.add_phi_incoming(acc, entry, Value::i64(0));
+        b.add_phi_incoming(acc, body, acc2);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+    }
+    let mut cache = AnalysisCache::new();
+    let decisions = omp_passes::inline::run(&mut m, &mut cache, &InlineOptions::pre_openmp_opt());
+    assert!(decisions.iter().any(|d| d.inlined));
+    roundtrip("pass_inline", &m);
+}
+
+/// The argument-struct pattern SPMD inlining produces: fields stored
+/// into one alloca and reloaded (same block and across a dominating
+/// edge). GVN must forward every load and delete the dead stores.
+#[test]
+fn gvn_forwards_struct_fields_and_kills_dead_stores() {
+    let mut m = Module::new("pass_gvn");
+    let f = m.add_function(Function::definition(
+        "kernel_body",
+        vec![Type::I64, Type::I64, Type::F64],
+        Type::F64,
+    ));
+    let mut b = Builder::at_entry(&mut m, f);
+    let s = b.alloca(24, 8);
+    b.store(Value::Arg(0), s);
+    let f1 = b.gep(s, Value::i64(1), 8, 0);
+    b.store(Value::Arg(1), f1);
+    let f2 = b.gep(s, Value::i64(2), 8, 0);
+    b.store(Value::Arg(2), f2);
+    let v0 = b.load(Type::I64, s);
+    let v1 = b.load(Type::I64, f1);
+    let next = b.new_block();
+    b.br(next);
+    b.switch_to(next);
+    // Cross-block reload: the stores all live in the (dominating) entry.
+    let v2 = b.load(Type::F64, f2);
+    let t0 = b.bin(BinOp::Add, Type::I64, v0, v1);
+    let t1 = b.cast(omp_ir::CastOp::SiToFp, t0, Type::F64);
+    let t2 = b.bin(BinOp::FAdd, Type::F64, t1, v2);
+    b.ret(Some(t2));
+    let mut cache = AnalysisCache::new();
+    let stats = omp_passes::gvn::run(&mut m, &mut cache);
+    assert_eq!(stats[0].loads_forwarded, 3);
+    assert_eq!(stats[0].dead_stores, 3);
+    roundtrip("pass_gvn", &m);
+}
+
+/// An inner-loop body recomputing a loop-invariant product and
+/// reloading a loop-invariant private slot: LICM must move both to a
+/// preheader.
+#[test]
+fn licm_hoists_invariants_to_a_preheader() {
+    let mut m = Module::new("pass_licm");
+    let f = m.add_function(Function::definition(
+        "scale_sum",
+        vec![Type::I64, Type::I64, Type::F64],
+        Type::F64,
+    ));
+    let mut b = Builder::at_entry(&mut m, f);
+    let entry = b.current_block();
+    let p = b.alloca(8, 8);
+    b.store(Value::Arg(2), p);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let iv = b.phi(Type::I64);
+    let acc = b.phi(Type::F64);
+    let c = b.cmp(CmpOp::Slt, Type::I64, iv, Value::Arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    // Invariant: arg1 * 8 and the load of the private slot.
+    let inv = b.bin(BinOp::Mul, Type::I64, Value::Arg(1), Value::i64(8));
+    let w = b.load(Type::F64, p);
+    let ivf = b.cast(omp_ir::CastOp::SiToFp, iv, Type::F64);
+    let invf = b.cast(omp_ir::CastOp::SiToFp, inv, Type::F64);
+    let t0 = b.bin(BinOp::FMul, Type::F64, ivf, invf);
+    let t1 = b.bin(BinOp::FMul, Type::F64, t0, w);
+    let acc2 = b.bin(BinOp::FAdd, Type::F64, acc, t1);
+    let iv2 = b.bin(BinOp::Add, Type::I64, iv, Value::i64(1));
+    b.br(header);
+    b.add_phi_incoming(iv, entry, Value::i64(0));
+    b.add_phi_incoming(iv, body, iv2);
+    b.add_phi_incoming(acc, entry, Value::f64(0.0));
+    b.add_phi_incoming(acc, body, acc2);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+    let mut cache = AnalysisCache::new();
+    let stats = omp_passes::licm::run(&mut m, &mut cache);
+    assert!(stats[0].hoisted >= 3, "hoisted {}", stats[0].hoisted);
+    roundtrip("pass_licm", &m);
+}

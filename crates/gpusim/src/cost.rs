@@ -22,6 +22,13 @@ pub struct CostModel {
     pub math_fn: u64,
     /// Branch / compare / select / cast.
     pub simple_op: u64,
+    /// Pointer<->integer reinterpretation (`inttoptr`, `ptrtoint`).
+    /// Free: on real GPUs these are register renames, not ALU work
+    /// (LLVM's TTI likewise prices no-op casts at zero). Keeping them
+    /// free also keeps the custom state-machine rewrite — which
+    /// materializes integer region tokens as `inttoptr` — from being
+    /// charged for instructions a real backend would fold away.
+    pub ptr_reinterpret: u64,
     /// Direct call overhead (frame setup).
     pub call: u64,
     /// Additional penalty for an indirect call through a pointer.
@@ -70,6 +77,7 @@ impl Default for CostModel {
             div_op: 10,
             math_fn: 20,
             simple_op: 1,
+            ptr_reinterpret: 0,
             call: 5,
             indirect_call_penalty: 60,
             shared_access: 8,

@@ -503,7 +503,13 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op);
+                        let c = match op {
+                            omp_ir::CastOp::IntToPtr | omp_ir::CastOp::PtrToInt => {
+                                self.cost.ptr_reinterpret
+                            }
+                            _ => self.cost.simple_op,
+                        };
+                        self.charge(hw, c);
                     }
                     InstKind::Gep {
                         base,

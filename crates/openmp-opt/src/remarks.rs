@@ -232,15 +232,25 @@ pub mod passes {
     pub const FOLDING: &str = "folding";
     /// Aggressive internalization.
     pub const INTERNALIZE: &str = "internalize";
+    /// Size-budgeted function inlining (classic mid-end; runs before
+    /// and after the OpenMP-aware passes).
+    pub const INLINE: &str = "inline";
+    /// Global value numbering / CSE (classic mid-end).
+    pub const GVN: &str = "gvn";
+    /// Loop-invariant code motion (classic mid-end).
+    pub const LICM: &str = "licm";
 
     /// All pass names, in pipeline order.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 9] = [
+        INLINE,
         INTERNALIZE,
         SPMDIZATION,
         HEAP_TO_STACK,
         HEAP_TO_SHARED,
         STATE_MACHINE,
         FOLDING,
+        GVN,
+        LICM,
     ];
 }
 
@@ -268,6 +278,14 @@ pub mod actions {
     pub const FOLD: &str = "fold";
     /// External declaration left opaque to the analyses.
     pub const KEEP_EXTERNAL: &str = "keep-external";
+    /// Callee body spliced over a callsite.
+    pub const INLINE: &str = "inline";
+    /// Callsite kept (budget, recursion, or structural runtime calls).
+    pub const KEEP_CALL: &str = "keep-call";
+    /// Redundant expressions replaced by dominating duplicates.
+    pub const CSE: &str = "cse";
+    /// Loop-invariant instructions moved to a preheader.
+    pub const HOIST: &str = "hoist";
 }
 
 fn intern_pass(s: &str) -> &'static str {
@@ -275,7 +293,7 @@ fn intern_pass(s: &str) -> &'static str {
 }
 
 fn intern_action(s: &str) -> &'static str {
-    const ALL: [&str; 11] = [
+    const ALL: [&str; 15] = [
         actions::STACKIFY,
         actions::SHARIFY,
         actions::KEEP_GLOBALIZED,
@@ -287,6 +305,10 @@ fn intern_action(s: &str) -> &'static str {
         actions::KEEP_STATE_MACHINE,
         actions::FOLD,
         actions::KEEP_EXTERNAL,
+        actions::INLINE,
+        actions::KEEP_CALL,
+        actions::CSE,
+        actions::HOIST,
     ];
     ALL.iter().find(|a| **a == s).copied().unwrap_or("")
 }
@@ -460,6 +482,14 @@ pub mod ids {
     pub const RUNTIME_CALL_FOLDED: u32 = 170;
     /// Removing unused/dead OpenMP runtime machinery.
     pub const DEAD_RUNTIME_CODE: u32 = 180;
+    /// Callsite inlined by the classic mid-end inliner.
+    pub const INLINED: u32 = 201;
+    /// Callsite deliberately kept by the inliner.
+    pub const INLINE_SKIPPED: u32 = 202;
+    /// Redundant expressions eliminated by GVN/CSE.
+    pub const CSE_ELIMINATED: u32 = 210;
+    /// Loop-invariant instructions hoisted by LICM.
+    pub const LOOP_INVARIANT_HOISTED: u32 = 220;
 }
 
 /// A collection of remarks with convenience queries.

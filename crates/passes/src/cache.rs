@@ -1,0 +1,137 @@
+//! Analysis caching across mid-end passes.
+//!
+//! The pass manager (`omp-gpu`'s `pipeline` module) owns one
+//! [`AnalysisCache`] per optimization run. Passes request the call
+//! graph, dominator trees, and loop forests through it; results are
+//! computed lazily, shared across passes, and invalidated precisely
+//! when a pass mutates the IR (per function for CFG-local analyses,
+//! globally for the call graph).
+
+use omp_analysis::{CallGraph, LoopForest};
+use omp_ir::{DomTree, FuncId, Module};
+use std::collections::HashMap;
+
+/// Lazily computed, mutation-invalidated analysis results.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    call_graph: Option<CallGraph>,
+    doms: HashMap<FuncId, DomTree>,
+    loops: HashMap<FuncId, LoopForest>,
+    /// Analyses computed since construction (cache misses).
+    pub computed: usize,
+    /// Analyses served from the cache (cache hits).
+    pub hits: usize,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// The module call graph (cached until [`invalidate_call_graph`]
+    /// or [`invalidate_all`] is called).
+    ///
+    /// [`invalidate_call_graph`]: AnalysisCache::invalidate_call_graph
+    /// [`invalidate_all`]: AnalysisCache::invalidate_all
+    pub fn call_graph(&mut self, m: &Module) -> &CallGraph {
+        if self.call_graph.is_none() {
+            self.call_graph = Some(CallGraph::build(m));
+            self.computed += 1;
+        } else {
+            self.hits += 1;
+        }
+        self.call_graph.as_ref().unwrap()
+    }
+
+    /// The dominator tree of `f` (must be a definition).
+    pub fn dom(&mut self, m: &Module, f: FuncId) -> &DomTree {
+        match self.doms.entry(f) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.computed += 1;
+                e.insert(DomTree::compute(m.func(f)))
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+        }
+    }
+
+    /// The loop forest of `f` (must be a definition). Computes (and
+    /// caches) the dominator tree as a prerequisite.
+    pub fn loop_forest(&mut self, m: &Module, f: FuncId) -> &LoopForest {
+        if !self.loops.contains_key(&f) {
+            let dom = self.dom(m, f).clone();
+            self.loops.insert(f, LoopForest::compute(m.func(f), &dom));
+            self.computed += 1;
+        } else {
+            self.hits += 1;
+        }
+        &self.loops[&f]
+    }
+
+    /// Drops CFG-derived analyses of `f` after its body was mutated.
+    pub fn invalidate_function(&mut self, f: FuncId) {
+        self.doms.remove(&f);
+        self.loops.remove(&f);
+    }
+
+    /// Drops the call graph after call edges changed (inlining,
+    /// devirtualization, dead-call elimination).
+    pub fn invalidate_call_graph(&mut self) {
+        self.call_graph = None;
+    }
+
+    /// Drops everything (after a pass with unknown mutation footprint).
+    pub fn invalidate_all(&mut self) {
+        self.call_graph = None;
+        self.doms.clear();
+        self.loops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{Builder, Function, Type};
+
+    fn module() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::definition("f", vec![], Type::Void));
+        let mut b = Builder::at_entry(&mut m, f);
+        b.ret(None);
+        (m, f)
+    }
+
+    #[test]
+    fn caches_and_invalidates() {
+        let (m, f) = module();
+        let mut cache = AnalysisCache::new();
+        cache.dom(&m, f);
+        assert_eq!((cache.computed, cache.hits), (1, 0));
+        cache.dom(&m, f);
+        assert_eq!((cache.computed, cache.hits), (1, 1));
+        cache.loop_forest(&m, f);
+        // Loop forest reuses the cached dominator tree.
+        assert_eq!((cache.computed, cache.hits), (2, 2));
+        cache.invalidate_function(f);
+        cache.dom(&m, f);
+        assert_eq!(cache.computed, 3);
+    }
+
+    #[test]
+    fn call_graph_is_cached_separately() {
+        let (m, f) = module();
+        let mut cache = AnalysisCache::new();
+        cache.call_graph(&m);
+        cache.call_graph(&m);
+        assert_eq!((cache.computed, cache.hits), (1, 1));
+        cache.invalidate_function(f);
+        cache.call_graph(&m);
+        assert_eq!(cache.hits, 2, "function invalidation keeps the call graph");
+        cache.invalidate_call_graph();
+        cache.call_graph(&m);
+        assert_eq!(cache.computed, 2);
+    }
+}

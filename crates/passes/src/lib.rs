@@ -12,11 +12,31 @@
 //!
 //! [`run_pipeline`] iterates them to a fixpoint, mirroring how LLVM's
 //! default pipeline cleans up after `OpenMPOpt`.
+//!
+//! The classic mid-end (run by the pass manager in `omp-gpu`'s
+//! `pipeline` module around `omp-opt`) adds:
+//!
+//! * [`inline`] — size-budgeted function inlining, run both before and
+//!   after the OpenMP-aware passes;
+//! * [`gvn`] — global value numbering / CSE with block-local load
+//!   forwarding;
+//! * [`licm`] — loop-invariant code motion over the natural-loop forest
+//!   from `omp-analysis`;
+//! * [`cache`] — the [`AnalysisCache`] those passes share.
 
+pub mod cache;
 pub mod constprop;
 pub mod dce;
+pub mod gvn;
+pub mod inline;
+pub mod licm;
 pub mod mem2reg;
 pub mod simplify_cfg;
+
+pub use cache::AnalysisCache;
+pub use gvn::GvnStats;
+pub use inline::{InlineDecision, InlineOptions};
+pub use licm::LicmStats;
 
 use omp_ir::Module;
 

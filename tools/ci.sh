@@ -37,8 +37,32 @@ run_test() {
 
 run_bench() {
     echo "==> bench_gpusim (informational, writes BENCH_gpusim.json)"
+    # Capture the committed geomean Dev-vs-CUDA cycle ratio BEFORE the
+    # run overwrites the artifact in place.
+    committed_ratio=""
+    if [ -f BENCH_gpusim.json ]; then
+        committed_ratio=$(sed -n \
+            's/.*"geomean_dev_cycles_vs_cuda_ratio": \([0-9.]*\).*/\1/p' \
+            BENCH_gpusim.json | head -n 1)
+    fi
     cargo run --release -q -p omp-bench --bin bench_gpusim --offline -- \
         --scale small --out BENCH_gpusim.json
+    new_ratio=$(sed -n \
+        's/.*"geomean_dev_cycles_vs_cuda_ratio": \([0-9.]*\).*/\1/p' \
+        BENCH_gpusim.json | head -n 1)
+    # Non-gating: warn when the geomean ratio regressed vs the committed
+    # artifact (simulated cycles are deterministic, so any increase is a
+    # real pipeline regression, but the bench stage stays informational).
+    if [ -n "$committed_ratio" ] && [ -n "$new_ratio" ]; then
+        worse=$(awk "BEGIN { print ($new_ratio > $committed_ratio) ? 1 : 0 }")
+        if [ "$worse" = "1" ]; then
+            echo "WARNING: geomean Dev cycles-vs-CUDA ratio regressed:" \
+                "$committed_ratio (committed) -> $new_ratio (this build)" >&2
+        else
+            echo "geomean Dev cycles-vs-CUDA ratio: $new_ratio" \
+                "(committed: $committed_ratio)"
+        fi
+    fi
 }
 
 case "$stage" in
