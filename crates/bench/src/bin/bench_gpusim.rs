@@ -16,6 +16,7 @@
 
 use omp_benchmarks::Scale;
 use omp_gpu::{all_proxies, oracle, pipeline, BuildConfig};
+use omp_json::escape as json_escape;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -66,18 +67,6 @@ fn geomean(ratios: &[f64]) -> Option<f64> {
         return None;
     }
     Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 fn main() {
@@ -155,6 +144,33 @@ fn main() {
             rows,
         });
     }
+
+    // Informational: what turning the cycle-attribution profiler on
+    // costs in host wall-clock, measured on one proxy under the Dev
+    // pipeline. Best-of-three per mode so a cold first run does not
+    // inflate the ratio.
+    let overhead_proxy = "SU3Bench";
+    let profile_overhead = all_proxies(scale)
+        .iter()
+        .find(|p| p.name() == overhead_proxy)
+        .map(|app| {
+            let best = |f: &dyn Fn()| -> f64 {
+                (0..3)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        f();
+                        t0.elapsed().as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let off = best(&|| {
+                pipeline::run_proxy(app.as_ref(), BuildConfig::LlvmDev);
+            });
+            let on = best(&|| {
+                pipeline::profile_proxy(app.as_ref(), BuildConfig::LlvmDev, jobs);
+            });
+            (off, on)
+        });
 
     let baseline_mean = PRE_PLAN_VERIFY_SMALL_SECONDS.iter().sum::<f64>()
         / PRE_PLAN_VERIFY_SMALL_SECONDS.len() as f64;
@@ -254,6 +270,25 @@ fn main() {
     let _ = writeln!(j, "  \"verify_wall_seconds\": {verify_seconds:.4},");
     let _ = writeln!(j, "  \"verify_wall_mean_seconds\": {verify_mean:.4},");
     let _ = writeln!(j, "  \"verify_passed\": {verify_passed},");
+    // Informational only — not gated: host cost of ProfileMode::On.
+    match profile_overhead {
+        Some((off, on)) => {
+            let _ = writeln!(j, "  \"profile_overhead\": {{");
+            let _ = writeln!(j, "    \"proxy\": \"{}\",", json_escape(overhead_proxy));
+            let _ = writeln!(
+                j,
+                "    \"config\": \"{}\",",
+                json_escape(BuildConfig::LlvmDev.label())
+            );
+            let _ = writeln!(j, "    \"off_wall_seconds\": {off:.4},");
+            let _ = writeln!(j, "    \"on_wall_seconds\": {on:.4},");
+            let _ = writeln!(j, "    \"ratio\": {:.3}", on / off.max(1e-9));
+            let _ = writeln!(j, "  }},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"profile_overhead\": null,");
+        }
+    }
     if matches!(scale, Scale::Small) {
         // Like-for-like: steady-state minimum against baseline minimum,
         // mean against mean.

@@ -2,22 +2,44 @@
 //! compiler interactively:
 //!
 //! ```text
-//! ompgpu build  kernel.c [--config dev] [--emit-ir] [--remarks]
-//! ompgpu run    kernel.c --kernel name [--config dev]
-//!               [--teams N] [--threads N] [--jobs N]
-//!               [--arg buf:f64:LEN | --arg buf:i64:LEN
-//!                | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
-//!               [--dump N]
-//! ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]
+//! ompgpu build   kernel.c [--config dev] [--emit-ir] [--remarks] [--time-passes]
+//! ompgpu run     kernel.c --kernel name [--config dev]
+//!                [--teams N] [--threads N] [--jobs N] [--json]
+//!                [--arg buf:f64:LEN[:init] | --arg buf:i64:LEN[:init]
+//!                 | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
+//!                [--dump N] [--time-passes]
+//! ompgpu profile kernel.c --kernel name [--config dev | --all-configs]
+//!                [--teams N] [--threads N] [--jobs N] [--arg SPEC]...
+//!                [--json] [--trace out.json] [--time-passes]
+//! ompgpu profile --proxy NAME [--scale small|bench] [--config dev | --all-configs]
+//!                [--jobs N] [--json] [--trace out.json] [--time-passes]
+//! ompgpu verify  [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]
 //! ```
 //!
-//! Buffer arguments are zero-initialized device allocations; `--dump N`
-//! prints the first N elements of every buffer after the launch.
+//! Buffer arguments are device allocations initialized per the optional
+//! `init` suffix (`zero` — the default — `iota`, or `pseudo`); `--dump N`
+//! prints the first N elements of every buffer after the launch. When a
+//! source file carries an `// oracle-*:` header (see
+//! [`oracle::ExampleSpec`]), `profile` uses it for the kernel name,
+//! launch geometry, and arguments unless flags override them.
 //!
 //! `--jobs N` sets the number of host worker threads the simulator may
 //! use to execute independent teams (`0` = auto-detect; the
-//! `OMPGPU_JOBS` environment variable is the default). Results are
-//! bit-identical for every setting.
+//! `OMPGPU_JOBS` environment variable is the default). Results — stats
+//! and profiles alike — are bit-identical for every setting.
+//!
+//! `profile` runs the kernel with cycle-attribution profiling enabled
+//! and prints a ranked hot-function table, a per-instruction-class
+//! breakdown, and a runtime-entry-point cycle table. `--json` emits the
+//! profile as JSON on stdout; `--trace FILE` writes a Chrome
+//! trace-event timeline (load it in Perfetto or `chrome://tracing`):
+//! one track per SM, spans per team and per parallel region in
+//! model-cycle time. `--all-configs` profiles the kernel under every
+//! configuration of the ablation matrix and prints a side-by-side
+//! per-function cycle table (Figure 10 style).
+//!
+//! `--time-passes` prints per-stage mid-end wall times and IR deltas
+//! (on stderr; wall times are host measurements and non-deterministic).
 //!
 //! `verify` runs the differential-execution oracle: the four proxy
 //! benchmarks — plus every `.c` example with an `// oracle-*:` header
@@ -26,16 +48,27 @@
 //! must produce bit-identical outputs with monotone resource
 //! statistics. Exit status is non-zero on any divergence.
 
-use omp_gpu::{oracle, pipeline, BuildConfig, Device, LaunchDims, RtVal, Scale};
+use omp_gpu::oracle::{self, ArgSpec, BufInit, ExampleSpec};
+use omp_gpu::{
+    all_proxies, pipeline, BuildConfig, Device, KernelStats, LaunchDims, LaunchProfile, OptReport,
+    ProfileMode, Scale,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks]\n  \
+        "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks] [--time-passes]\n  \
          ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
-         [--jobs N] [--arg buf:f64:LEN|buf:i64:LEN|i64:V|i32:V|f64:V]... [--dump N]\n  \
+         [--jobs N] [--json] [--arg SPEC]... [--dump N] [--time-passes]\n  \
+         ompgpu profile <file.c> [--kernel NAME] [--config CFG | --all-configs]\n             \
+         [--teams N] [--threads N] [--jobs N] [--arg SPEC]...\n             \
+         [--json] [--trace FILE] [--time-passes]\n  \
+         ompgpu profile --proxy NAME [--scale small|bench] [--config CFG | --all-configs]\n             \
+         [--jobs N] [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]\n\n\
-         CFG: llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
+         CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
+         SPEC: buf:f64:LEN[:init] | buf:i64:LEN[:init] | i64:V | i32:V | f64:V\n      \
+         (init: zero | iota | pseudo; default zero)\n\
          --jobs N: simulator worker threads for independent teams (0 = auto)"
     );
     ExitCode::from(2)
@@ -118,24 +151,352 @@ fn parse_config(s: &str) -> Option<BuildConfig> {
     })
 }
 
-enum ArgSpec {
-    BufF64(usize),
-    BufI64(usize),
-    I64(i64),
-    I32(i32),
-    F64(f64),
+/// The short CLI spelling of a configuration (the inverse of
+/// [`parse_config`]) — used in tables where the full label is too wide.
+fn config_name(c: BuildConfig) -> &'static str {
+    match c {
+        BuildConfig::Llvm12Baseline => "llvm12",
+        BuildConfig::NoOpenmpOpt => "noopt",
+        BuildConfig::H2S2 => "h2s2",
+        BuildConfig::H2S2Rtc => "h2s2rtc",
+        BuildConfig::H2S2RtcCsm => "h2s2rtccsm",
+        BuildConfig::LlvmDev => "dev",
+        BuildConfig::CudaStyle => "cuda",
+    }
+}
+
+fn parse_buf_init(s: &str) -> Option<BufInit> {
+    Some(match s {
+        "zero" => BufInit::Zero,
+        "iota" => BufInit::Iota,
+        "pseudo" => BufInit::Pseudo,
+        _ => return None,
+    })
 }
 
 fn parse_arg(s: &str) -> Option<ArgSpec> {
     let parts: Vec<&str> = s.split(':').collect();
     match parts.as_slice() {
-        ["buf", "f64", n] => Some(ArgSpec::BufF64(n.parse().ok()?)),
-        ["buf", "i64", n] => Some(ArgSpec::BufI64(n.parse().ok()?)),
+        ["buf", "f64", n] => Some(ArgSpec::BufF64(n.parse().ok()?, BufInit::Zero)),
+        ["buf", "f64", n, init] => Some(ArgSpec::BufF64(n.parse().ok()?, parse_buf_init(init)?)),
+        ["buf", "i64", n] => Some(ArgSpec::BufI64(n.parse().ok()?, BufInit::Zero)),
+        ["buf", "i64", n, init] => Some(ArgSpec::BufI64(n.parse().ok()?, parse_buf_init(init)?)),
         ["i64", v] => Some(ArgSpec::I64(v.parse().ok()?)),
         ["i32", v] => Some(ArgSpec::I32(v.parse().ok()?)),
         ["f64", v] => Some(ArgSpec::F64(v.parse().ok()?)),
         _ => None,
     }
+}
+
+fn print_time_passes(report: Option<&OptReport>) {
+    match report {
+        Some(r) => eprint!("{}", pipeline::render_pass_timings(&r.pass_timings)),
+        None => eprint!("{}", pipeline::render_pass_timings(&[])),
+    }
+}
+
+/// Per-team cycle spread of a launch: `(min, median, max)`. The median
+/// is the lower-middle element for even team counts.
+fn team_spread(team_cycles: &[u64]) -> Option<(u64, u64, u64)> {
+    if team_cycles.is_empty() {
+        return None;
+    }
+    let mut v = team_cycles.to_vec();
+    v.sort_unstable();
+    Some((v[0], v[(v.len() - 1) / 2], v[v.len() - 1]))
+}
+
+// ---------------------------------------------------------------------
+// ompgpu profile
+// ---------------------------------------------------------------------
+
+/// One profiled launch: the statistics, the profile, and the optimizer
+/// report of the build that produced it.
+struct Profiled {
+    stats: KernelStats,
+    profile: LaunchProfile,
+    report: Option<OptReport>,
+}
+
+/// Profiles `kernel` of a source file under one configuration.
+fn profile_file(
+    source: &str,
+    kernel: &str,
+    dims: LaunchDims,
+    specs: &[ArgSpec],
+    config: BuildConfig,
+    jobs: Option<u32>,
+) -> Result<Profiled, String> {
+    let (module, report) = pipeline::build(source, config).map_err(|e| e.to_string())?;
+    let mut dev = Device::new(&module, Default::default()).map_err(|e| e.to_string())?;
+    dev.set_profile(ProfileMode::On);
+    if let Some(j) = jobs {
+        dev.set_jobs(j);
+    }
+    let (args, _buffers) = oracle::materialize_args(&mut dev, specs)?;
+    let (stats, profile) = dev
+        .launch_profiled(kernel, &args, dims)
+        .map_err(|e| format!("launch failed: {e}"))?;
+    let profile = profile.expect("profiling was enabled");
+    Ok(Profiled {
+        stats,
+        profile,
+        report,
+    })
+}
+
+/// Profiles one proxy application under one configuration.
+fn profile_proxy_config(
+    name: &str,
+    scale: Scale,
+    config: BuildConfig,
+    jobs: Option<u32>,
+) -> Result<Profiled, String> {
+    let proxies = all_proxies(scale);
+    let app = proxies
+        .iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = proxies.iter().map(|p| p.name()).collect();
+            format!("unknown proxy {name:?} (known: {})", known.join(", "))
+        })?;
+    let run = pipeline::profile_proxy(app.as_ref(), config, jobs);
+    match (run.outcome.stats, run.profile) {
+        (Some(stats), Some(profile)) => Ok(Profiled {
+            stats,
+            profile,
+            report: run.outcome.report,
+        }),
+        _ => Err(run
+            .outcome
+            .error
+            .unwrap_or_else(|| "launch produced no profile".into())),
+    }
+}
+
+/// Renders the `--all-configs` ablation view: a Figure-10-style summary
+/// per configuration plus a side-by-side exclusive-cycle table per
+/// function.
+fn render_ablation(results: &[(BuildConfig, Result<Profiled, String>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("ablation summary:\n");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>10} {:>6} {:>12}",
+        "CONFIG", "CYCLES", "SMEM B", "REGS", "INSTS"
+    );
+    for (config, r) in results {
+        match r {
+            Ok(p) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>12} {:>10} {:>6} {:>12}",
+                    config_name(*config),
+                    p.stats.cycles,
+                    p.stats.shared_mem_bytes,
+                    p.stats.registers,
+                    p.stats.instructions
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  {:<12} failed: {}", config_name(*config), e);
+            }
+        }
+    }
+    // Union of profiled functions, in first-seen hot order across the
+    // configurations (so the fully optimized column drives the ranking
+    // of functions it still contains).
+    let mut names: Vec<String> = Vec::new();
+    for (_, r) in results.iter().rev() {
+        if let Ok(p) = r {
+            for f in p.profile.hot_functions() {
+                if !names.contains(&f.name) {
+                    names.push(f.name.clone());
+                }
+            }
+        }
+    }
+    out.push_str("\nexclusive cycles per function (- = not present):\n");
+    let mut header = format!("  {:<28}", "FUNCTION");
+    for (config, _) in results {
+        let _ = write!(header, " {:>12}", config_name(*config));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    for name in &names {
+        let mut row = format!("  {:<28}", name);
+        for (_, r) in results {
+            let cell = match r {
+                Ok(p) => p
+                    .profile
+                    .functions
+                    .iter()
+                    .find(|f| &f.name == name)
+                    .map(|f| f.exclusive_cycles.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                Err(_) => "-".into(),
+            };
+            let _ = write!(row, " {:>12}", cell);
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes and validates the Chrome trace-event artifact.
+fn write_trace(path: &str, profile: &LaunchProfile) -> Result<(), String> {
+    let trace = profile.chrome_trace();
+    omp_json::validate(&trace).map_err(|e| format!("internal error: invalid trace JSON: {e}"))?;
+    std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(())
+}
+
+fn profile_main(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut proxy: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut config = BuildConfig::LlvmDev;
+    let mut all_configs = false;
+    let mut kernel: Option<String> = None;
+    let mut teams: Option<u32> = None;
+    let mut threads: Option<u32> = None;
+    let mut jobs: Option<u32> = None;
+    let mut specs: Vec<ArgSpec> = Vec::new();
+    let mut trace: Option<String> = None;
+    let mut json = false;
+    let mut time_passes = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--proxy" => proxy = it.next().cloned(),
+            "--scale" => match it.next().map(String::as_str) {
+                Some("small") => scale = Scale::Small,
+                Some("bench") => scale = Scale::Bench,
+                _ => return usage(),
+            },
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(c) => config = c,
+                None => return usage(),
+            },
+            "--all-configs" => all_configs = true,
+            "--kernel" => kernel = it.next().cloned(),
+            "--teams" => teams = it.next().and_then(|s| s.parse().ok()),
+            "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
+            "--jobs" => jobs = it.next().and_then(|s| s.parse().ok()),
+            "--trace" => trace = it.next().cloned(),
+            "--json" => json = true,
+            "--time-passes" => time_passes = true,
+            "--arg" => match it.next().and_then(|s| parse_arg(s)) {
+                Some(s) => specs.push(s),
+                None => return usage(),
+            },
+            f if !f.starts_with('-') && path.is_none() => path = Some(f.to_string()),
+            other => {
+                eprintln!("ompgpu profile: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    if all_configs && (json || trace.is_some()) {
+        eprintln!(
+            "ompgpu profile: --json/--trace need a single configuration (drop --all-configs)"
+        );
+        return ExitCode::from(2);
+    }
+
+    // Resolve the subject into a closure profiling it under one config.
+    let subject: Box<dyn Fn(BuildConfig) -> Result<Profiled, String>> = if let Some(name) = proxy {
+        if path.is_some() {
+            eprintln!("ompgpu profile: give either a source file or --proxy, not both");
+            return ExitCode::from(2);
+        }
+        Box::new(move |c| profile_proxy_config(&name, scale, c, jobs))
+    } else {
+        let Some(path) = path else {
+            eprintln!("ompgpu profile: need a source file or --proxy NAME");
+            return usage();
+        };
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ompgpu: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Fall back to the file's `// oracle-*:` header for anything the
+        // flags left unspecified.
+        if let Ok(spec) = ExampleSpec::parse(&source) {
+            kernel = kernel.or(Some(spec.kernel));
+            teams = teams.or(spec.teams);
+            threads = threads.or(spec.threads);
+            if specs.is_empty() {
+                specs = spec.args;
+            }
+        }
+        let Some(kernel) = kernel else {
+            eprintln!(
+                "ompgpu profile: --kernel NAME is required \
+                 (no `// oracle-kernel:` header in {path})"
+            );
+            return ExitCode::from(2);
+        };
+        let dims = LaunchDims { teams, threads };
+        Box::new(move |c| profile_file(&source, &kernel, dims, &specs, c, jobs))
+    };
+
+    if all_configs {
+        // CUDA-style builds compile a different source; the ablation view
+        // covers the OpenMP-source configurations the paper ablates.
+        let configs = [
+            BuildConfig::Llvm12Baseline,
+            BuildConfig::NoOpenmpOpt,
+            BuildConfig::H2S2,
+            BuildConfig::H2S2Rtc,
+            BuildConfig::H2S2RtcCsm,
+            BuildConfig::LlvmDev,
+        ];
+        let results: Vec<(BuildConfig, Result<Profiled, String>)> =
+            configs.iter().map(|&c| (c, subject(c))).collect();
+        if time_passes {
+            for (config, r) in &results {
+                if let Ok(p) = r {
+                    eprintln!("[{}]", config.label());
+                    print_time_passes(p.report.as_ref());
+                }
+            }
+        }
+        print!("{}", render_ablation(&results));
+        if results.iter().any(|(_, r)| r.is_err()) {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let profiled = match subject(config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ompgpu profile: [{}] {e}", config.label());
+            return ExitCode::FAILURE;
+        }
+    };
+    if time_passes {
+        print_time_passes(profiled.report.as_ref());
+    }
+    if let Some(path) = &trace {
+        if let Err(e) = write_trace(path, &profiled.profile) {
+            eprintln!("ompgpu profile: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if json {
+        println!("{}", profiled.profile.to_json());
+    } else {
+        print!("{}", profiled.profile.render());
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -145,6 +506,9 @@ fn main() -> ExitCode {
     };
     if mode == "verify" {
         return verify_main(&args[1..]);
+    }
+    if mode == "profile" {
+        return profile_main(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return usage();
@@ -159,6 +523,8 @@ fn main() -> ExitCode {
     let mut config = BuildConfig::LlvmDev;
     let mut emit_ir = false;
     let mut show_remarks = false;
+    let mut time_passes = false;
+    let mut json = false;
     let mut kernel: Option<String> = None;
     let mut teams: Option<u32> = None;
     let mut threads: Option<u32> = None;
@@ -174,6 +540,8 @@ fn main() -> ExitCode {
             },
             "--emit-ir" => emit_ir = true,
             "--remarks" => show_remarks = true,
+            "--time-passes" => time_passes = true,
+            "--json" => json = true,
             "--kernel" => kernel = it.next().cloned(),
             "--teams" => teams = it.next().and_then(|s| s.parse().ok()),
             "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
@@ -215,6 +583,9 @@ fn main() -> ExitCode {
             }
         }
     }
+    if time_passes {
+        print_time_passes(report.as_ref());
+    }
     match mode.as_str() {
         "build" => {
             if emit_ir {
@@ -246,39 +617,37 @@ fn main() -> ExitCode {
             if let Some(j) = jobs {
                 dev.set_jobs(j);
             }
-            let mut rt_args = Vec::new();
-            let mut buffers: Vec<(u64, usize, bool)> = Vec::new(); // (addr, len, is_f64)
-            for s in &specs {
-                match s {
-                    ArgSpec::BufF64(n) => {
-                        let a = dev.alloc_f64(&vec![0.0; *n]).expect("alloc");
-                        buffers.push((a, *n, true));
-                        rt_args.push(RtVal::Ptr(a));
-                    }
-                    ArgSpec::BufI64(n) => {
-                        let a = dev.alloc_i64(&vec![0; *n]).expect("alloc");
-                        buffers.push((a, *n, false));
-                        rt_args.push(RtVal::Ptr(a));
-                    }
-                    ArgSpec::I64(v) => rt_args.push(RtVal::I64(*v)),
-                    ArgSpec::I32(v) => rt_args.push(RtVal::I32(*v)),
-                    ArgSpec::F64(v) => rt_args.push(RtVal::F64(*v)),
+            let (rt_args, buffers) = match oracle::materialize_args(&mut dev, &specs) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("ompgpu: {e}");
+                    return ExitCode::FAILURE;
                 }
-            }
+            };
             match dev.launch(&kernel, &rt_args, LaunchDims { teams, threads }) {
                 Ok(stats) => {
-                    println!(
-                        "kernel time: {} cycles   regs: {}   smem: {} B   heap: {} B",
-                        stats.cycles, stats.registers, stats.shared_mem_bytes, stats.heap_bytes
-                    );
-                    println!(
-                        "insts: {}   mem accesses: {} ({} coalesced / {} scattered)   barriers: {}",
-                        stats.instructions,
-                        stats.memory_accesses,
-                        stats.coalesced_accesses,
-                        stats.uncoalesced_accesses,
-                        stats.barriers
-                    );
+                    if json {
+                        println!("{}", stats.snapshot().to_json());
+                    } else {
+                        println!(
+                            "kernel time: {} cycles   regs: {}   smem: {} B   heap: {} B",
+                            stats.cycles, stats.registers, stats.shared_mem_bytes, stats.heap_bytes
+                        );
+                        println!(
+                            "insts: {}   mem accesses: {} ({} coalesced / {} scattered)   barriers: {}",
+                            stats.instructions,
+                            stats.memory_accesses,
+                            stats.coalesced_accesses,
+                            stats.uncoalesced_accesses,
+                            stats.barriers
+                        );
+                        if let Some((min, median, max)) = team_spread(&stats.team_cycles) {
+                            println!(
+                                "team cycles: min {min} / median {median} / max {max} ({} teams)",
+                                stats.team_cycles.len()
+                            );
+                        }
+                    }
                     if dump > 0 {
                         for (i, (addr, len, is_f64)) in buffers.iter().enumerate() {
                             let k = dump.min(*len);

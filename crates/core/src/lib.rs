@@ -38,9 +38,12 @@ pub use config::BuildConfig;
 pub use omp_benchmarks::{all_proxies, ProxyApp, Scale};
 pub use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
 pub use omp_gpusim::{
-    Device, DeviceConfig, KernelStats, LaunchDims, RtVal, SimError, StatsSnapshot,
+    Device, DeviceConfig, KernelStats, LaunchDims, LaunchProfile, ProfileMode, RtVal, SimError,
+    StatsSnapshot,
 };
 pub use omp_ir::Module;
-pub use omp_opt::{OpenMpOptConfig, OptReport, PassStat};
+pub use omp_opt::{OpenMpOptConfig, OptReport, PassStat, PassTiming};
 pub use oracle::{OracleCase, OracleReport};
-pub use pipeline::{build, run_all_configs, run_proxy, RunOutcome};
+pub use pipeline::{
+    build, profile_proxy, render_pass_timings, run_all_configs, run_proxy, ProfiledRun, RunOutcome,
+};

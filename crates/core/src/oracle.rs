@@ -306,6 +306,53 @@ fn lcg01(i: i64) -> f64 {
     h as f64 / 100_000.0
 }
 
+/// `(device address, element count, is_f64)` of a materialized buffer.
+pub type BufferHandle = (u64, usize, bool);
+
+/// Materializes launch arguments on a device: buffers are allocated and
+/// deterministically initialized per their [`BufInit`]; scalars pass
+/// through. Returns the launch arguments plus a [`BufferHandle`] for
+/// every buffer, in argument order.
+pub fn materialize_args(
+    dev: &mut Device,
+    specs: &[ArgSpec],
+) -> Result<(Vec<RtVal>, Vec<BufferHandle>), String> {
+    let mut args: Vec<RtVal> = Vec::new();
+    let mut buffers: Vec<BufferHandle> = Vec::new();
+    for a in specs {
+        match *a {
+            ArgSpec::BufF64(n, init) => {
+                let data: Vec<f64> = (0..n as i64)
+                    .map(|i| match init {
+                        BufInit::Zero => 0.0,
+                        BufInit::Iota => i as f64,
+                        BufInit::Pseudo => lcg01(i),
+                    })
+                    .collect();
+                let addr = dev.alloc_f64(&data).map_err(|e| e.to_string())?;
+                buffers.push((addr, n, true));
+                args.push(RtVal::Ptr(addr));
+            }
+            ArgSpec::BufI64(n, init) => {
+                let data: Vec<i64> = (0..n as i64)
+                    .map(|i| match init {
+                        BufInit::Zero => 0,
+                        BufInit::Iota => i,
+                        BufInit::Pseudo => (lcg01(i) * 1000.0) as i64,
+                    })
+                    .collect();
+                let addr = dev.alloc_i64(&data).map_err(|e| e.to_string())?;
+                buffers.push((addr, n, false));
+                args.push(RtVal::Ptr(addr));
+            }
+            ArgSpec::I64(v) => args.push(RtVal::I64(v)),
+            ArgSpec::I32(v) => args.push(RtVal::I32(v)),
+            ArgSpec::F64(v) => args.push(RtVal::F64(v)),
+        }
+    }
+    Ok((args, buffers))
+}
+
 // ---------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------
@@ -421,47 +468,10 @@ fn run_example_config(
     if let Some(j) = jobs {
         dev.set_jobs(j);
     }
-    let mut args: Vec<RtVal> = Vec::new();
-    let mut buffers: Vec<(u64, usize, bool)> = Vec::new(); // (addr, len, is_f64)
-    for a in &spec.args {
-        match *a {
-            ArgSpec::BufF64(n, init) => {
-                let data: Vec<f64> = (0..n as i64)
-                    .map(|i| match init {
-                        BufInit::Zero => 0.0,
-                        BufInit::Iota => i as f64,
-                        BufInit::Pseudo => lcg01(i),
-                    })
-                    .collect();
-                match dev.alloc_f64(&data) {
-                    Ok(addr) => {
-                        buffers.push((addr, n, true));
-                        args.push(RtVal::Ptr(addr));
-                    }
-                    Err(e) => return CaseResult::failed(config, e.to_string()),
-                }
-            }
-            ArgSpec::BufI64(n, init) => {
-                let data: Vec<i64> = (0..n as i64)
-                    .map(|i| match init {
-                        BufInit::Zero => 0,
-                        BufInit::Iota => i,
-                        BufInit::Pseudo => (lcg01(i) * 1000.0) as i64,
-                    })
-                    .collect();
-                match dev.alloc_i64(&data) {
-                    Ok(addr) => {
-                        buffers.push((addr, n, false));
-                        args.push(RtVal::Ptr(addr));
-                    }
-                    Err(e) => return CaseResult::failed(config, e.to_string()),
-                }
-            }
-            ArgSpec::I64(v) => args.push(RtVal::I64(v)),
-            ArgSpec::I32(v) => args.push(RtVal::I32(v)),
-            ArgSpec::F64(v) => args.push(RtVal::F64(v)),
-        }
-    }
+    let (args, buffers) = match materialize_args(&mut dev, &spec.args) {
+        Ok(x) => x,
+        Err(e) => return CaseResult::failed(config, e),
+    };
     let dims = LaunchDims {
         teams: spec.teams,
         threads: spec.threads,

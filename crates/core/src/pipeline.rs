@@ -3,10 +3,11 @@
 use crate::config::BuildConfig;
 use omp_benchmarks::{verify, ProxyApp, Workload};
 use omp_frontend::CompileError;
-use omp_gpusim::{Device, KernelStats, SimError, StatsSnapshot};
+use omp_gpusim::{Device, KernelStats, LaunchProfile, ProfileMode, SimError, StatsSnapshot};
 use omp_ir::Module;
-use omp_opt::{OptReport, PassStat};
+use omp_opt::{OptReport, PassStat, PassTiming};
 use std::fmt;
+use std::time::Instant;
 
 /// A compilation failure anywhere in the pipeline.
 #[derive(Debug)]
@@ -72,6 +73,33 @@ struct PassManager {
     cache: omp_passes::AnalysisCache,
     remarks: Vec<omp_opt::Remark>,
     cleanup: omp_passes::PipelineStats,
+    timings: Vec<PassTiming>,
+}
+
+/// Live IR size: defined functions, their blocks, and instructions.
+#[derive(Debug, Clone, Copy)]
+struct ModuleShape {
+    funcs: usize,
+    blocks: usize,
+    insts: usize,
+}
+
+fn module_shape(m: &Module) -> ModuleShape {
+    let mut s = ModuleShape {
+        funcs: 0,
+        blocks: 0,
+        insts: 0,
+    };
+    for id in m.func_ids() {
+        let f = m.func(id);
+        if f.is_declaration() {
+            continue;
+        }
+        s.funcs += 1;
+        s.blocks += f.num_blocks();
+        s.insts += f.num_insts();
+    }
+    s
 }
 
 impl PassManager {
@@ -80,27 +108,92 @@ impl PassManager {
             cache: omp_passes::AnalysisCache::new(),
             remarks: Vec::new(),
             cleanup: omp_passes::PipelineStats::default(),
+            timings: Vec::new(),
+        }
+    }
+
+    /// Records one run of a stage. Repeated runs of the same stage (the
+    /// GVN → LICM → cleanup fixpoint rounds) merge into one entry: wall
+    /// time and `runs` accumulate, the before-shape keeps the first
+    /// observation and the after-shape the last.
+    fn record(&mut self, pass: &str, t0: Instant, before: ModuleShape, after: ModuleShape) {
+        let nanos = t0.elapsed().as_nanos() as u64;
+        match self.timings.iter_mut().find(|t| t.pass == pass) {
+            Some(t) => {
+                t.wall_nanos += nanos;
+                t.runs += 1;
+                t.insts_after = after.insts;
+                t.blocks_after = after.blocks;
+                t.funcs_after = after.funcs;
+            }
+            None => self.timings.push(PassTiming {
+                pass: pass.to_string(),
+                wall_nanos: nanos,
+                runs: 1,
+                insts_before: before.insts,
+                insts_after: after.insts,
+                blocks_before: before.blocks,
+                blocks_after: after.blocks,
+                funcs_before: before.funcs,
+                funcs_after: after.funcs,
+            }),
         }
     }
 
     /// Runs the full schedule, returning the report with the classic
     /// passes' remarks merged in.
     fn run(mut self, module: &mut Module, cfg: &omp_opt::OpenMpOptConfig) -> OptReport {
+        let (before, t0) = (module_shape(module), Instant::now());
         self.inline_step(
             module,
             &omp_passes::InlineOptions::pre_openmp_opt(),
             "early",
         );
+        self.record("early-inline", t0, before, module_shape(module));
         self.cache.invalidate_all();
+        let (before, t0) = (module_shape(module), Instant::now());
         let mut report = omp_opt::run(module, cfg);
+        self.record("openmp-opt", t0, before, module_shape(module));
         self.cache.invalidate_all();
+        let (before, t0) = (module_shape(module), Instant::now());
         self.inline_step(
             module,
             &omp_passes::InlineOptions::post_openmp_opt(),
             "late",
         );
+        self.record("late-inline", t0, before, module_shape(module));
         self.cleanup_step(module);
         self.gvn_licm_steps(module);
+        // Stage summaries as OMP230 analysis remarks. The message carries
+        // run counts and IR deltas only — never wall time — so remark
+        // streams stay deterministic run to run.
+        {
+            use omp_opt::remarks::{ids, passes};
+            for t in &self.timings {
+                self.remarks.push(
+                    omp_opt::Remark::new(
+                        ids::PASS_TIMING,
+                        omp_opt::RemarkKind::Analysis,
+                        "<module>",
+                        format!(
+                            "stage '{}' ran {}x: {} -> {} instructions, \
+                             {} -> {} blocks, {} -> {} functions",
+                            t.pass,
+                            t.runs,
+                            t.insts_before,
+                            t.insts_after,
+                            t.blocks_before,
+                            t.blocks_after,
+                            t.funcs_before,
+                            t.funcs_after
+                        ),
+                    )
+                    .in_pass(passes::PIPELINE)
+                    .at(t.pass.clone()),
+                );
+            }
+        }
+        report.pass_timings = std::mem::take(&mut self.timings);
         for r in self.remarks {
             report.remarks.push(r);
         }
@@ -140,9 +233,11 @@ impl PassManager {
     }
 
     fn cleanup_step(&mut self, module: &mut Module) {
+        let (before, t0) = (module_shape(module), Instant::now());
         self.cache.invalidate_all();
         add_pipeline_stats(&mut self.cleanup, omp_passes::run_pipeline(module));
         self.cache.invalidate_all();
+        self.record("cleanup", t0, before, module_shape(module));
     }
 
     /// Iterates GVN → LICM → cleanup to a bounded fixpoint: forwarding
@@ -158,6 +253,7 @@ impl PassManager {
         let mut licm: Vec<(String, usize)> = Vec::new();
         for _ in 0..6 {
             let mut changed = 0usize;
+            let (before, t0) = (module_shape(module), Instant::now());
             for s in omp_passes::gvn::run(module, &mut self.cache) {
                 changed += s.eliminated + s.loads_forwarded + s.dead_stores;
                 match gvn.iter_mut().find(|(f, _, _, _)| *f == s.function) {
@@ -169,6 +265,8 @@ impl PassManager {
                     None => gvn.push((s.function, s.eliminated, s.loads_forwarded, s.dead_stores)),
                 }
             }
+            self.record("gvn", t0, before, module_shape(module));
+            let (before, t0) = (module_shape(module), Instant::now());
             for s in omp_passes::licm::run(module, &mut self.cache) {
                 changed += s.hoisted;
                 match licm.iter_mut().find(|(f, _)| *f == s.function) {
@@ -176,6 +274,7 @@ impl PassManager {
                     None => licm.push((s.function, s.hoisted)),
                 }
             }
+            self.record("licm", t0, before, module_shape(module));
             self.cleanup_step(module);
             if changed == 0 {
                 break;
@@ -359,4 +458,111 @@ pub fn run_all_configs(app: &dyn ProxyApp) -> Vec<RunOutcome> {
         .iter()
         .map(|&c| run_proxy(app, c))
         .collect()
+}
+
+/// Renders the pass-timing table printed by `--time-passes`. Wall times
+/// are host measurements and vary run to run; the IR deltas are
+/// deterministic.
+pub fn render_pass_timings(timings: &[PassTiming]) -> String {
+    if timings.is_empty() {
+        return "pass timings: (mid-end did not run for this configuration)\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str("pass timings (wall time is host-side; IR deltas are before -> after):\n");
+    out.push_str(&format!(
+        "  {:<13} {:>10} {:>5}  {:>15}  {:>13}  {:>11}\n",
+        "STAGE", "WALL", "RUNS", "INSTS", "BLOCKS", "FUNCS"
+    ));
+    for t in timings {
+        out.push_str(&format!(
+            "  {:<13} {:>10} {:>5}  {:>6} -> {:<6}  {:>5} -> {:<5}  {:>4} -> {:<4}\n",
+            t.pass,
+            format_nanos(t.wall_nanos),
+            t.runs,
+            t.insts_before,
+            t.insts_after,
+            t.blocks_before,
+            t.blocks_after,
+            t.funcs_before,
+            t.funcs_after,
+        ));
+    }
+    let total: u64 = timings.iter().map(|t| t.wall_nanos).sum();
+    out.push_str(&format!(
+        "  total mid-end wall time: {}\n",
+        format_nanos(total)
+    ));
+    out
+}
+
+fn format_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.3}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.3}ms", n as f64 / 1e6)
+    } else {
+        format!("{:.1}us", n as f64 / 1e3)
+    }
+}
+
+/// Result of one profiled proxy run: the ordinary [`RunOutcome`] plus
+/// the cycle-attribution profile (present whenever the launch ran).
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// The ordinary outcome (stats, error, optimizer report).
+    pub outcome: RunOutcome,
+    /// The launch profile; `None` when the build or launch failed.
+    pub profile: Option<LaunchProfile>,
+}
+
+/// Builds and runs `app` under `config` with profiling enabled,
+/// verifying results on success. `jobs` overrides the host worker-thread
+/// count when given (profiles are bit-identical for every setting).
+pub fn profile_proxy(app: &dyn ProxyApp, config: BuildConfig, jobs: Option<u32>) -> ProfiledRun {
+    let fail = |error: String, report: Option<OptReport>| ProfiledRun {
+        outcome: RunOutcome {
+            config,
+            stats: None,
+            error: Some(error),
+            report,
+        },
+        profile: None,
+    };
+    let source = if config.uses_cuda_source() {
+        app.cuda_source()
+    } else {
+        app.openmp_source()
+    };
+    let (module, report) = match build(&source, config) {
+        Ok(x) => x,
+        Err(e) => return fail(e.to_string(), None),
+    };
+    let mut dev = match Device::new(&module, app.device_config()) {
+        Ok(d) => d,
+        Err(e) => return fail(e.to_string(), report),
+    };
+    dev.set_profile(ProfileMode::On);
+    if let Some(j) = jobs {
+        dev.set_jobs(j);
+    }
+    let workload: Workload = match app.prepare(&mut dev) {
+        Ok(w) => w,
+        Err(e) => return fail(e.to_string(), report),
+    };
+    match dev.launch_profiled(app.kernel_name(), &workload.args, app.dims()) {
+        Ok((stats, profile)) => match verify(&mut dev, &workload) {
+            Ok(()) => ProfiledRun {
+                outcome: RunOutcome {
+                    config,
+                    stats: Some(stats),
+                    error: None,
+                    report,
+                },
+                profile,
+            },
+            Err(e) => fail(format!("verification failed: {e}"), report),
+        },
+        Err(e @ SimError::Mem(_)) => fail(format!("OOM/memory: {e}"), report),
+        Err(e) => fail(e.to_string(), report),
+    }
 }

@@ -1,0 +1,95 @@
+//! Profiles must be bit-identical regardless of host parallelism, and
+//! profiling must not perturb the unprofiled pipeline.
+
+use omp_gpu::{all_proxies, pipeline, BuildConfig, Scale};
+
+#[test]
+fn proxy_profile_is_bit_identical_across_jobs() {
+    let proxies = all_proxies(Scale::Small);
+    let app = proxies
+        .iter()
+        .find(|p| p.name() == "SU3Bench")
+        .expect("SU3Bench proxy");
+    let one = pipeline::profile_proxy(app.as_ref(), BuildConfig::LlvmDev, Some(1));
+    let four = pipeline::profile_proxy(app.as_ref(), BuildConfig::LlvmDev, Some(4));
+    assert_eq!(one.outcome.error, None);
+    assert_eq!(four.outcome.error, None);
+    let (p1, p4) = (one.profile.unwrap(), four.profile.unwrap());
+    assert_eq!(p1, p4, "profile must not depend on --jobs");
+    assert_eq!(p1.to_json(), p4.to_json());
+    assert_eq!(p1.chrome_trace(), p4.chrome_trace());
+    assert_eq!(
+        one.outcome.stats.as_ref().map(|s| s.snapshot()),
+        four.outcome.stats.as_ref().map(|s| s.snapshot())
+    );
+}
+
+#[test]
+fn profiling_does_not_perturb_stats() {
+    let proxies = all_proxies(Scale::Small);
+    let app = proxies
+        .iter()
+        .find(|p| p.name() == "SU3Bench")
+        .expect("SU3Bench proxy");
+    let plain = pipeline::run_proxy(app.as_ref(), BuildConfig::LlvmDev);
+    let profiled = pipeline::profile_proxy(app.as_ref(), BuildConfig::LlvmDev, None);
+    assert_eq!(
+        plain.snapshot(),
+        profiled.outcome.stats.as_ref().map(|s| s.snapshot()),
+        "profiling on vs off must produce identical statistics"
+    );
+}
+
+#[test]
+fn pass_timings_and_remarks_are_recorded_deterministically() {
+    let src = r#"
+void scale(double* a, double f, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
+}
+"#;
+    let (_, r1) = pipeline::build(src, BuildConfig::LlvmDev).unwrap();
+    let (_, r2) = pipeline::build(src, BuildConfig::LlvmDev).unwrap();
+    let (r1, r2) = (r1.unwrap(), r2.unwrap());
+    assert!(!r1.pass_timings.is_empty(), "mid-end stages must be timed");
+    for t in &r1.pass_timings {
+        assert!(t.runs > 0);
+    }
+    for stage in ["early-inline", "openmp-opt", "cleanup"] {
+        assert!(
+            r1.pass_timings.iter().any(|t| t.pass == stage),
+            "missing stage {stage}"
+        );
+    }
+    // Wall time varies run to run; everything else — including the
+    // OMP230 remark stream — must not.
+    let strip = |r: &omp_gpu::OptReport| {
+        r.pass_timings
+            .iter()
+            .map(|t| {
+                (
+                    t.pass.clone(),
+                    t.runs,
+                    t.insts_before,
+                    t.insts_after,
+                    t.blocks_before,
+                    t.blocks_after,
+                    t.funcs_before,
+                    t.funcs_after,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&r1), strip(&r2));
+    assert_eq!(
+        r1.remarks.to_json_lines(),
+        r2.remarks.to_json_lines(),
+        "remark streams (incl. OMP230) must be deterministic"
+    );
+    let timing_remarks = r1.remarks.with_id(omp_opt::remarks::ids::PASS_TIMING);
+    assert_eq!(timing_remarks.len(), r1.pass_timings.len());
+    // The rendered table is the only place wall time appears.
+    let table = pipeline::render_pass_timings(&r1.pass_timings);
+    assert!(table.contains("early-inline"));
+    assert!(table.contains("total mid-end wall time"));
+}

@@ -1,5 +1,7 @@
 //! Device configuration.
 
+use crate::profile::ProfileMode;
+
 /// Static description of the simulated GPU (defaults are loosely
 /// V100-shaped: 80 SMs, 32-wide warps, 48 KiB of shared memory per
 /// resident team).
@@ -33,6 +35,11 @@ pub struct DeviceConfig {
     pub trap_on_cross_thread_local: bool,
     /// Upper bound on executed instructions per thread (runaway guard).
     pub max_insts_per_thread: u64,
+    /// Whether launches gather a cycle-attribution profile
+    /// ([`crate::LaunchProfile`]). `Off` (the default) leaves launch
+    /// behavior and statistics byte-identical to a build without
+    /// profiling.
+    pub profile: ProfileMode,
 }
 
 impl Default for DeviceConfig {
@@ -48,6 +55,7 @@ impl Default for DeviceConfig {
             local_mem_per_thread: 256 * 1024,
             trap_on_cross_thread_local: true,
             max_insts_per_thread: 200_000_000,
+            profile: ProfileMode::Off,
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::mem::{self, AccessClass, FastMap, MemError, TeamMemDelta, TeamMemView};
 use crate::plan::{CallTarget, ExecPlan, MathKind, NUM_RTL_FNS};
+use crate::profile::{CycleClass, ProfileMode, TeamProfile, TeamProfileState};
 use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_ir::omprtl::{ALL_RTL_FNS, MODE_SPMD};
@@ -246,6 +247,8 @@ pub(crate) struct TeamOutcome {
     pub cycles: u64,
     pub stats: TeamStats,
     pub delta: TeamMemDelta,
+    /// Present iff the device config enables profiling.
+    pub profile: Option<TeamProfile>,
 }
 
 /// The interpreter for one team of a kernel launch. Owns the team's
@@ -279,6 +282,9 @@ pub(crate) struct TeamExec<'a, 'm> {
     scratch_args: Vec<RtVal>,
     /// Reusable scratch for simultaneous phi evaluation.
     scratch_phis: Vec<(InstId, RtVal)>,
+    /// Cycle-attribution collector; `None` when profiling is off, so
+    /// the hot path pays one branch per charge.
+    prof: Option<Box<TeamProfileState>>,
 }
 
 impl<'a, 'm> TeamExec<'a, 'm> {
@@ -330,6 +336,17 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 hook: None,
             });
         }
+        let prof = (cfg.profile == ProfileMode::On).then(|| {
+            let mut p = Box::new(TeamProfileState::new(
+                module.num_functions(),
+                team_size as usize,
+            ));
+            // Every thread starts with the kernel frame on its stack.
+            for hw in 0..team_size {
+                p.on_push(hw, kernel, 0);
+            }
+            p
+        });
         TeamExec {
             module,
             plan,
@@ -348,6 +365,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             debug_coalesce: std::env::var_os("OMP_GPUSIM_DEBUG_COALESCE").is_some(),
             scratch_args: Vec::new(),
             scratch_phis: Vec::new(),
+            prof,
         }
     }
 
@@ -385,10 +403,13 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             .max()
             .unwrap_or(0);
         self.stats.instructions += self.team.threads.iter().map(|t| t.insts).sum::<u64>();
+        let total_thread_cycles = self.team.threads.iter().map(|t| t.cycles).sum::<u64>();
+        let profile = self.prof.take().map(|p| p.finish(total_thread_cycles));
         Ok(TeamOutcome {
             cycles,
             stats: self.stats,
             delta: self.mem.finish(),
+            profile,
         })
     }
 
@@ -440,7 +461,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op);
+                        self.charge(hw, self.cost.simple_op, CycleClass::Alloca);
                     }
                     InstKind::Load { ptr, ty } => {
                         let (ptr, ty) = (*ptr, *ty);
@@ -454,7 +475,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, cost);
+                        self.charge(hw, cost, CycleClass::Load);
                         self.stats.memory_accesses += 1;
                     }
                     InstKind::Store { ptr, val } => {
@@ -469,7 +490,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let cost = self.access_cost(hw, fid, site, p, v.ty(), class);
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         f.idx += 1;
-                        self.charge(hw, cost);
+                        self.charge(hw, cost, CycleClass::Store);
                         self.stats.memory_accesses += 1;
                     }
                     InstKind::Bin { op, ty, lhs, rhs } => {
@@ -482,7 +503,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, cost);
+                        self.charge(hw, cost, CycleClass::Alu);
                     }
                     InstKind::Cmp { op, ty, lhs, rhs } => {
                         let (op, ty, lhs, rhs) = (*op, *ty, *lhs, *rhs);
@@ -493,7 +514,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op);
+                        self.charge(hw, self.cost.simple_op, CycleClass::Alu);
                     }
                     InstKind::Cast { op, val, to } => {
                         let (op, val, to) = (*op, *val, *to);
@@ -509,7 +530,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                             }
                             _ => self.cost.simple_op,
                         };
-                        self.charge(hw, c);
+                        self.charge(hw, c, CycleClass::Alu);
                     }
                     InstKind::Gep {
                         base,
@@ -529,7 +550,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
                         f.idx += 1;
-                        self.charge(hw, self.cost.int_op);
+                        self.charge(hw, self.cost.int_op, CycleClass::Alu);
                     }
                     InstKind::Select {
                         cond,
@@ -550,7 +571,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op);
+                        self.charge(hw, self.cost.simple_op, CycleClass::Alu);
                     }
                     InstKind::Phi { .. } => {
                         // Phis are executed as part of block transition;
@@ -624,8 +645,29 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     }
 
     #[inline]
-    fn charge(&mut self, hw: u32, cycles: u64) {
-        self.team.threads[hw as usize].cycles += cycles;
+    fn charge(&mut self, hw: u32, cycles: u64, class: CycleClass) {
+        let th = &mut self.team.threads[hw as usize];
+        th.cycles += cycles;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.on_charge(th.frames.last().map(|f| f.func), class, cycles);
+        }
+    }
+
+    /// Applies a cycle *jump* (barrier release, join alignment, worker
+    /// wakeup) to thread `t`, recording it as stall time when
+    /// profiling. Returns the thread's new cycle count.
+    #[inline]
+    fn align_cycles(&mut self, t: u32, target: u64) -> u64 {
+        let th = &mut self.team.threads[t as usize];
+        let old = th.cycles;
+        th.cycles = th.cycles.max(target);
+        let new = th.cycles;
+        if new > old {
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.on_stall(th.frames.last().map(|f| f.func), new - old);
+            }
+        }
+        new
     }
 
     fn step_terminator(&mut self, hw: u32) -> Result<(), SimError> {
@@ -638,7 +680,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             Terminator::Br(target) => {
                 let target = *target;
                 self.transition(hw, target)?;
-                self.charge(hw, self.cost.simple_op);
+                self.charge(hw, self.cost.simple_op, CycleClass::Branch);
             }
             Terminator::CondBr {
                 cond,
@@ -651,7 +693,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     .as_bool()
                     .ok_or_else(|| SimError::Trap("branch on non-boolean".into()))?;
                 self.transition(hw, if c { then_bb } else { else_bb })?;
-                self.charge(hw, self.cost.simple_op);
+                self.charge(hw, self.cost.simple_op, CycleClass::Branch);
             }
             Terminator::Ret(v) => {
                 let v = *v;
@@ -721,7 +763,18 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             th.status = Status::Done;
         }
         let hook = frame.hook;
+        let popped = frame.func;
+        let now = th.cycles;
         th.pool.push(frame);
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.on_pop(hw, popped, now);
+            // The SPMD region span is tracked on thread 0; it ends when
+            // thread 0 leaves the region body (the implicit barrier that
+            // follows is accounted as stall, not region time).
+            if hook == Some(RetHook::Spmd) && hw == 0 {
+                p.close_region(now);
+            }
+        }
         match hook {
             None => {}
             Some(RetHook::Serialized) => {
@@ -754,19 +807,22 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             .map(|t| t.cycles)
             .max()
             .unwrap_or(0);
+        let new = self.align_cycles(0, max + self.cost.barrier);
         let main = &mut self.team.threads[0];
-        main.cycles = main.cycles.max(max) + self.cost.barrier;
         if main.status == Status::WaitJoin {
             main.status = Status::Ready;
         }
         self.team.dispatch_n = 0;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.close_region(new);
+        }
     }
 
     fn enter_barrier(&mut self, hw: u32, simple: bool) -> Result<(), SimError> {
         // Determine the barrier group.
         let group = self.barrier_group(hw, simple);
         if group.len() <= 1 {
-            self.charge(hw, self.cost.barrier);
+            self.charge(hw, self.cost.barrier, CycleClass::Sync);
             return Ok(());
         }
         self.team.threads[hw as usize].status = Status::AtBarrier(simple);
@@ -780,10 +836,13 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 .map(|t| self.team.threads[t as usize].cycles)
                 .max()
                 .unwrap_or(0);
+            let release = max + self.cost.barrier;
             for t in group {
-                let th = &mut self.team.threads[t as usize];
-                th.cycles = max + self.cost.barrier;
-                th.status = Status::Ready;
+                self.align_cycles(t, release);
+                self.team.threads[t as usize].status = Status::Ready;
+            }
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.record_barrier(release);
             }
             self.stats.barriers += 1;
         }
@@ -831,10 +890,16 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     (AccessClass::Shared, false) => self.cost.shared_access * 8,
                     (_, true) => {
                         self.stats.coalesced_accesses += 1;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_global_access(func, true);
+                        }
                         self.cost.global_coalesced
                     }
                     (_, false) => {
                         self.stats.uncoalesced_accesses += 1;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_global_access(func, false);
+                        }
                         self.cost.global_uncoalesced
                     }
                 }
@@ -941,7 +1006,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 Self::set_reg(f, inst_id, v);
                 f.idx += 1;
-                self.charge(hw, self.cost.math_fn);
+                self.charge(hw, self.cost.math_fn, CycleClass::Math);
                 Ok(())
             }
             CallTarget::Extern(fid) => Err(SimError::Trap(format!(
@@ -969,13 +1034,17 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     fr.args.push(Self::eval(self.globals, team_id, f, *a)?);
                 }
                 th.frames.last_mut().unwrap().idx += 1;
+                let now = th.cycles;
                 th.frames.push(fr);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_push(hw, target, now);
+                }
                 let mut cost = self.cost.call;
                 if indirect {
                     cost += self.cost.indirect_call_penalty;
                     self.stats.indirect_calls += 1;
                 }
-                self.charge(hw, cost);
+                self.charge(hw, cost, CycleClass::Call);
                 Ok(())
             }
             CallTarget::Indirect => unreachable!("indirect targets resolve to a nature"),
@@ -1023,7 +1092,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     Self::set_reg(f, inst_id, v);
                 }
                 f.idx += 1;
-                self.charge(hw, base_cost);
+                self.charge(hw, base_cost, CycleClass::Rtl(rtl));
                 return Ok(());
             }};
         }
@@ -1059,7 +1128,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                 Self::set_reg(f, inst_id, RtVal::I32(ret));
                 f.idx += 1;
-                self.charge(hw, cost);
+                self.charge(hw, cost, CycleClass::Rtl(rtl));
                 Ok(())
             }
             RtlFn::TargetDeinit => {
@@ -1072,7 +1141,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         if th.status == Status::WaitWork {
                             th.resume = Some(RtVal::Ptr(0));
                             th.status = Status::Ready;
-                            th.cycles = th.cycles.max(main_cycles);
+                            self.align_cycles(t, main_cycles);
                         }
                     }
                 }
@@ -1089,7 +1158,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     let f = th.frames.last_mut().unwrap();
                     Self::set_reg(f, inst_id, v);
                     f.idx += 1;
-                    self.charge(hw, self.cost.worker_wakeup);
+                    self.charge(hw, self.cost.worker_wakeup, CycleClass::Rtl(rtl));
                     return Ok(());
                 }
                 if let Some(pos) = self.team.assigned.iter().position(|&a| a == hw) {
@@ -1100,7 +1169,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     let f = th.frames.last_mut().unwrap();
                     Self::set_reg(f, inst_id, tok);
                     f.idx += 1;
-                    self.charge(hw, self.cost.worker_wakeup);
+                    self.charge(hw, self.cost.worker_wakeup, CycleClass::Rtl(rtl));
                     return Ok(());
                 }
                 if self.team.terminated {
@@ -1127,6 +1196,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
                 let addr = self.mem.alloc_shared(size)?;
                 self.stats.globalization_allocs += 1;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    let cycle = self.team.threads[hw as usize].cycles;
+                    p.record_alloc(cycle, size);
+                }
                 self.yield_flag = true;
                 done!(Some(RtVal::Ptr(addr)))
             }
@@ -1143,6 +1216,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let addr = self.mem.alloc_shared(size)?;
                 self.team.push_sizes.insert(addr, size);
                 self.stats.globalization_allocs += 1;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    let cycle = self.team.threads[hw as usize].cycles;
+                    p.record_alloc(cycle, size);
+                }
                 self.yield_flag = true;
                 done!(Some(RtVal::Ptr(addr)))
             }
@@ -1278,8 +1355,12 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             // Nested parallelism is serialized onto the caller.
             let th = &mut self.team.threads[hw as usize];
             th.ctx.push((0, 1));
+            let now = th.cycles;
             push_region_frame(th, RetHook::Serialized, RtVal::Ptr(args_ptr));
-            self.charge(hw, self.cost.call);
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.on_push(hw, region, now);
+            }
+            self.charge(hw, self.cost.call, CycleClass::Call);
             return Ok(());
         }
         match self.team.mode {
@@ -1288,8 +1369,24 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let th = &mut self.team.threads[hw as usize];
                 let (tid, n) = *th.ctx.last().unwrap_or(&(hw as i32, team_size as i32));
                 th.ctx.push((tid, n));
+                let now = th.cycles;
                 push_region_frame(th, RetHook::Spmd, RtVal::Ptr(args_ptr));
-                self.charge(hw, self.cost.parallel_dispatch_spmd);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_push(hw, region, now);
+                }
+                self.charge(
+                    hw,
+                    self.cost.parallel_dispatch_spmd,
+                    CycleClass::Rtl(RtlFn::Parallel51),
+                );
+                // The team-level span is tracked on thread 0: all SPMD
+                // threads enter the region together.
+                if hw == 0 {
+                    let start = self.team.threads[0].cycles;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.open_region(region, start);
+                    }
+                }
                 Ok(())
             }
             ExecMode::Generic => {
@@ -1314,16 +1411,30 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     if th.status == Status::WaitWork {
                         th.resume = Some(token);
                         th.status = Status::Ready;
-                        th.cycles = th.cycles.max(main_cycles);
+                        self.align_cycles(w, main_cycles);
                     } else {
                         self.team.assigned.push(w);
                     }
                 }
                 let th = &mut self.team.threads[hw as usize];
                 th.ctx.push((0, n));
+                let now = th.cycles;
                 push_region_frame(th, RetHook::Generic, RtVal::Ptr(args_ptr));
-                self.charge(hw, self.cost.parallel_dispatch_generic);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_push(hw, region, now);
+                }
+                self.charge(
+                    hw,
+                    self.cost.parallel_dispatch_generic,
+                    CycleClass::Rtl(RtlFn::Parallel51),
+                );
                 self.stats.parallel_regions += 1;
+                // The span runs from dispatch to the end-of-region join
+                // (closed in `finish_join`).
+                let start = self.team.threads[hw as usize].cycles;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.open_region(region, start);
+                }
                 Ok(())
             }
         }

@@ -12,6 +12,7 @@ use crate::cost::CostModel;
 use crate::interp::{SimError, TeamExec, TeamOutcome};
 use crate::mem::Memory;
 use crate::plan::ExecPlan;
+use crate::profile::{LaunchProfile, ProfileMode};
 use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_analysis::{kernel_register_estimate, CallGraph};
@@ -117,6 +118,13 @@ impl<'m> Device<'m> {
         self.jobs
     }
 
+    /// Enables or disables cycle-attribution profiling for subsequent
+    /// launches. With [`ProfileMode::Off`] (the default) launches are
+    /// byte-identical to a device that never profiled.
+    pub fn set_profile(&mut self, mode: ProfileMode) {
+        self.cfg.profile = mode;
+    }
+
     /// Allocates a device buffer of `bytes` bytes; returns its address.
     pub fn alloc(&mut self, bytes: u64) -> Result<u64, SimError> {
         Ok(self.mem.alloc_global(bytes)?)
@@ -204,6 +212,19 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<KernelStats, SimError> {
+        self.launch_profiled(name, args, dims)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Device::launch`], but also returns the launch's
+    /// [`LaunchProfile`] when profiling is enabled (see
+    /// [`Device::set_profile`]); `None` with profiling off.
+    pub fn launch_profiled(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        dims: LaunchDims,
+    ) -> Result<(KernelStats, Option<LaunchProfile>), SimError> {
         let kernel = self
             .module
             .kernels
@@ -250,11 +271,15 @@ impl<'m> Device<'m> {
         let outcomes = self.run_teams(kfunc, args, teams, threads, mode)?;
         let mut stats = KernelStats::default();
         let mut team_cycles = Vec::with_capacity(outcomes.len());
+        let mut team_profiles = Vec::new();
         for outcome in outcomes {
             // Team-id order: the merge below makes parallel execution
             // bit-identical to sequential.
             team_cycles.push(outcome.cycles);
             outcome.stats.merge_into(&mut stats);
+            if let Some(p) = outcome.profile {
+                team_profiles.push(p);
+            }
             self.mem.apply_delta(outcome.delta);
         }
         stats.team_cycles = team_cycles;
@@ -273,7 +298,9 @@ impl<'m> Device<'m> {
         if has_indirect {
             stats.registers += 24;
         }
-        Ok(stats)
+        let profile = (self.cfg.profile == ProfileMode::On)
+            .then(|| LaunchProfile::assemble(self.module, self.cfg.num_sms, &stats, team_profiles));
+        Ok((stats, profile))
     }
 
     /// Runs all teams of a launch — inline, or fanned out over `jobs`

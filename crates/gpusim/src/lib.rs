@@ -50,6 +50,7 @@ pub mod interp;
 pub mod launch;
 pub mod mem;
 pub mod plan;
+pub mod profile;
 pub mod stats;
 pub mod value;
 
@@ -59,5 +60,6 @@ pub use interp::SimError;
 pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
 pub use plan::ExecPlan;
+pub use profile::{FuncProfile, LaunchProfile, ProfileMode, RegionSpan, RtlProfile, TeamTrack};
 pub use stats::{KernelStats, StatsSnapshot};
 pub use value::RtVal;

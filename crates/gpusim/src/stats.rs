@@ -71,8 +71,8 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Serializes to one flat JSON object with stable field order.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(256);
-        s.push('{');
+        let mut w = omp_json::JsonWriter::with_capacity(256);
+        w.begin_object();
         for (k, v) in [
             ("cycles", self.cycles),
             ("shared_mem_bytes", self.shared_mem_bytes),
@@ -85,17 +85,15 @@ impl StatsSnapshot {
             ("parallel_regions", self.parallel_regions),
             ("memory_accesses", self.memory_accesses),
         ] {
-            s.push_str(&format!("\"{k}\":{v},"));
+            w.key(k).u64(v);
         }
-        s.push_str("\"rtl_calls\":{");
-        for (i, (name, n)) in self.rtl_calls.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!("\"{name}\":{n}"));
+        w.key("rtl_calls").begin_object();
+        for (name, n) in &self.rtl_calls {
+            w.key(name).u64(*n);
         }
-        s.push_str("}}");
-        s
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
 }
 

@@ -1,0 +1,472 @@
+//! Minimal JSON support shared across the workspace.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - [`escape_into`] / [`escape`]: JSON string escaping with the exact
+//!   byte-level behavior the remarks JSON-lines format has always used
+//!   (`\"`, `\\`, `\n`, `\r`, `\t`, and `\u00XX` for other control
+//!   characters). Every serializer in the workspace routes through this
+//!   so RTL names, file paths, and error messages are always escaped.
+//! - [`JsonWriter`]: a compact (no-whitespace) streaming writer for the
+//!   machine-readable artifacts (stats snapshots, profiles, traces).
+//!   Comma placement is tracked per nesting level, so callers never
+//!   emit a trailing or missing comma.
+//! - [`validate`]: a full recursive-descent syntax check used by tests
+//!   and by `ompgpu profile --trace` to verify written artifacts load.
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes), appending to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Convenience wrapper over [`escape_into`] returning a new `String`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Compact JSON writer with per-level comma tracking.
+///
+/// Values are emitted in call order; inside an object every value must
+/// be preceded by a `key`. The writer never inserts whitespace, so
+/// output is stable and diff-friendly byte-for-byte.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    // One entry per open container: true once the first element has
+    // been written (so the next one needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> JsonWriter {
+        JsonWriter {
+            buf: String::with_capacity(cap),
+            stack: Vec::new(),
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has_prev) = self.stack.last_mut() {
+            if *has_prev {
+                self.buf.push(',');
+            }
+            *has_prev = true;
+        }
+    }
+
+    /// Writes an object key; the next value call supplies its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.comma();
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        // The value that follows must not emit its own comma.
+        if let Some(has_prev) = self.stack.last_mut() {
+            *has_prev = false;
+        }
+        self
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push('}');
+        if let Some(has_prev) = self.stack.last_mut() {
+            *has_prev = true;
+        }
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push(']');
+        if let Some(has_prev) = self.stack.last_mut() {
+            *has_prev = true;
+        }
+        self
+    }
+
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.comma();
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
+        self
+    }
+
+    pub fn u64(&mut self, n: u64) -> &mut Self {
+        self.comma();
+        self.buf.push_str(&n.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, n: i64) -> &mut Self {
+        self.comma();
+        self.buf.push_str(&n.to_string());
+        self
+    }
+
+    pub fn u32(&mut self, n: u32) -> &mut Self {
+        self.u64(n as u64)
+    }
+
+    pub fn usize(&mut self, n: usize) -> &mut Self {
+        self.u64(n as u64)
+    }
+
+    /// Finite floats only; written via Rust's shortest-roundtrip
+    /// formatting. Non-finite values are emitted as `null` (JSON has no
+    /// NaN/Inf).
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        self.comma();
+        if x.is_finite() {
+            let s = format!("{x}");
+            self.buf.push_str(&s);
+            // `{}` prints integral floats without a decimal point;
+            // keep the value unambiguously a float.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, b: bool) -> &mut Self {
+        self.comma();
+        self.buf.push_str(if b { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Splices a pre-serialized JSON value verbatim (caller guarantees
+    /// validity). Used to embed existing stable formats (for example a
+    /// remark line) without re-encoding.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.comma();
+        self.buf.push_str(json);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.buf
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace). Returns a human-readable error
+/// with a byte offset on failure.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!("bad \\u escape at byte {pos}", pos = *pos))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "unescaped control byte {c:#04x} at {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_matches_remarks_format() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("l1\nl2\tt\rr"), "l1\\nl2\\tt\\rr");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn writer_objects_arrays_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").u64(1);
+        w.key("b").begin_array();
+        w.string("x").string("y");
+        w.end_array();
+        w.key("c").begin_object();
+        w.key("d").null();
+        w.end_object();
+        w.key("e").f64(1.5);
+        w.key("f").f64(2.0);
+        w.key("g").bool(true);
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\"a\":1,\"b\":[\"x\",\"y\"],\"c\":{\"d\":null},\"e\":1.5,\"f\":2.0,\"g\":true}"
+        );
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn writer_escapes_keys_and_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("k\"1").string("v\\2");
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(s, "{\"k\\\"1\":\"v\\\\2\"}");
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        for ok in [
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e3",
+            "\"s\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":{\"b\":[null]}}",
+            "{\"u\":\"\\u00e9\"}",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{} {}",
+            "1.",
+            "1e",
+            "nan",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN).f64(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null]");
+    }
+}

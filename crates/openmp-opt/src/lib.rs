@@ -82,6 +82,40 @@ pub struct OptReport {
     /// Cumulative statistics of the cleanup pipeline rounds (mem2reg,
     /// constprop, DCE, simplify-cfg) run between the OpenMP passes.
     pub cleanup: omp_passes::PipelineStats,
+    /// Per-stage timing and IR-size deltas for the mid-end schedule, in
+    /// execution order (empty unless the driving pass manager records
+    /// them). Printed by `ompgpu --time-passes`.
+    pub pass_timings: Vec<PassTiming>,
+}
+
+/// Wall time and IR-size delta of one mid-end stage. Stages that run
+/// several times (the GVN → LICM → cleanup fixpoint rounds) are merged
+/// into one entry: wall time and `runs` accumulate, `*_before` keeps the
+/// first observation and `*_after` the last.
+///
+/// Wall time is the only non-deterministic field; everything folded into
+/// determinism-compared artifacts (remarks, profiles) must use the IR
+/// deltas only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Stable stage label (e.g. `early-inline`, `openmp-opt`, `gvn`).
+    pub pass: String,
+    /// Accumulated wall time over all runs, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Number of times the stage ran.
+    pub runs: u32,
+    /// Live instructions before the first run.
+    pub insts_before: usize,
+    /// Live instructions after the last run.
+    pub insts_after: usize,
+    /// Basic blocks before the first run.
+    pub blocks_before: usize,
+    /// Basic blocks after the last run.
+    pub blocks_after: usize,
+    /// Functions before the first run.
+    pub funcs_before: usize,
+    /// Functions after the last run.
+    pub funcs_after: usize,
 }
 
 /// Per-pass statistics, derived from the structured remarks and Figure 9

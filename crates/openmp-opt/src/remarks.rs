@@ -23,6 +23,7 @@
 //! [`Remarks::to_json_lines`]); `docs/remarks.md` documents the format
 //! and its stability guarantees.
 
+use omp_json::escape_into as json_escape_into;
 use std::fmt;
 
 /// Remark category.
@@ -239,9 +240,11 @@ pub mod passes {
     pub const GVN: &str = "gvn";
     /// Loop-invariant code motion (classic mid-end).
     pub const LICM: &str = "licm";
+    /// The pass manager itself (stage timing / IR-delta remarks).
+    pub const PIPELINE: &str = "pipeline";
 
     /// All pass names, in pipeline order.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         INLINE,
         INTERNALIZE,
         SPMDIZATION,
@@ -251,6 +254,7 @@ pub mod passes {
         FOLDING,
         GVN,
         LICM,
+        PIPELINE,
     ];
 }
 
@@ -325,22 +329,6 @@ impl fmt::Display for Remark {
             "{}: remark: {} [OMP{}] [{}]",
             self.function, self.message, self.id, flag
         )
-    }
-}
-
-fn json_escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
     }
 }
 
@@ -490,6 +478,10 @@ pub mod ids {
     pub const CSE_ELIMINATED: u32 = 210;
     /// Loop-invariant instructions hoisted by LICM.
     pub const LOOP_INVARIANT_HOISTED: u32 = 220;
+    /// Pass-manager stage summary: runs and IR-size delta (analysis).
+    /// The message carries IR deltas only — never wall time — so remark
+    /// streams stay deterministic across runs.
+    pub const PASS_TIMING: u32 = 230;
 }
 
 /// A collection of remarks with convenience queries.

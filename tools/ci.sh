@@ -4,11 +4,13 @@
 # criterion resolve to the in-tree shims).
 #
 #   tools/ci.sh          # run everything
-#   tools/ci.sh fmt      # just one stage: fmt | clippy | test | bench
+#   tools/ci.sh fmt      # one stage: fmt | clippy | test | bench | smoke
 #
 # Exits non-zero on the first failing stage. The `bench` stage is
 # informational: it regenerates BENCH_gpusim.json (simulator wall-clock
-# per proxy/config) but is not part of the gating `all` run.
+# per proxy/config) but is not part of the gating `all` run. The
+# `smoke` stage runs `ompgpu profile` on one proxy and validates the
+# emitted Chrome trace; it IS part of `all`.
 
 set -eu
 
@@ -65,19 +67,41 @@ run_bench() {
     fi
 }
 
+run_smoke() {
+    echo "==> ompgpu profile smoke (proxy + chrome trace)"
+    trace="$(mktemp -t ompgpu-trace.XXXXXX.json)"
+    trap 'rm -f "$trace"' EXIT
+    # The profile subcommand validates the trace JSON itself and exits
+    # non-zero on any build/interpreter/validation error; `set -eu`
+    # turns that into a stage failure.
+    cargo run -q -p omp-gpu --bin ompgpu --offline -- \
+        profile --proxy su3bench --scale small --config dev \
+        --trace "$trace" > /dev/null
+    # Belt and braces: the artifact must exist, be non-empty, and carry
+    # the trace-event envelope Perfetto expects.
+    [ -s "$trace" ] || { echo "smoke: trace file missing/empty" >&2; exit 1; }
+    grep -q '"traceEvents"' "$trace" || {
+        echo "smoke: trace lacks traceEvents envelope" >&2
+        exit 1
+    }
+    echo "smoke: trace OK ($(wc -c < "$trace") bytes)"
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     bench) run_bench ;;
+    smoke) run_smoke ;;
     all)
         run_fmt
         run_clippy
         run_test
+        run_smoke
         echo "==> tier-1 gate passed"
         ;;
     *)
-        echo "usage: tools/ci.sh [fmt|clippy|test|bench]" >&2
+        echo "usage: tools/ci.sh [fmt|clippy|test|bench|smoke]" >&2
         exit 2
         ;;
 esac
