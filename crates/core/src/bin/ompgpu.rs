@@ -13,7 +13,11 @@
 //!                [--json] [--trace out.json] [--time-passes]
 //! ompgpu profile --proxy NAME [--scale small|bench] [--config dev | --all-configs]
 //!                [--jobs N] [--json] [--trace out.json] [--time-passes]
-//! ompgpu verify  [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]
+//! ompgpu verify  [--scale small|bench] [--examples DIR] [--jobs N]
+//!                [--watchdog SECS] [FILE.c ...]
+//! ompgpu sanitize kernel.c | --proxy NAME | --self-test
+//!                [--config CFG | --all-configs] [--scale small|bench]
+//!                [--jobs N] [--max-insts N] [--json]
 //! ```
 //!
 //! Buffer arguments are device allocations initialized per the optional
@@ -46,14 +50,44 @@
 //! in `--examples DIR` or listed explicitly — are executed under all
 //! six OpenMP-source configurations of the paper's ablation matrix and
 //! must produce bit-identical outputs with monotone resource
-//! statistics. Exit status is non-zero on any divergence.
+//! statistics. Every launch runs under a wall-clock watchdog
+//! (`--watchdog SECS`, default 60, `0` disables): a hung configuration
+//! becomes an ordinary per-configuration failure with a timeout
+//! diagnostic instead of stalling the whole matrix.
+//!
+//! `sanitize` runs the device sanitizer (see `docs/SANITIZER.md`) over
+//! a source file with an `// oracle-*:` header, a proxy benchmark, or
+//! — with `--self-test` — a built-in fault-injection battery that
+//! proves the device degrades gracefully (structured errors, no
+//! panics, no wedged workers) under injected allocation failures,
+//! traps, and team aborts. Findings are merged in team-id order, so
+//! they are bit-identical for every `--jobs` setting.
+//!
+//! Exit codes are stable and machine-checkable: `0` success/clean,
+//! `1` compile or I/O failure, `2` usage error, `3` simulation or
+//! launch failure, `4` oracle divergence, `5` error-severity sanitizer
+//! findings. `ompgpu run --json` prints an `ompgpu-error/v1` JSON
+//! object on stdout when the launch fails; `ompgpu sanitize --json`
+//! prints an `ompgpu-sanitize/v1` report either way.
 
-use omp_gpu::oracle::{self, ArgSpec, BufInit, ExampleSpec};
+use omp_gpu::oracle::{self, ArgSpec, BufInit, ExampleSpec, VerifyOptions};
 use omp_gpu::{
-    all_proxies, pipeline, BuildConfig, Device, KernelStats, LaunchDims, LaunchProfile, OptReport,
-    ProfileMode, Scale,
+    all_proxies, pipeline, BuildConfig, Device, FaultPlan, KernelStats, LaunchDims, LaunchProfile,
+    OptReport, ProfileMode, SanitizeMode, Scale, SimErrorKind,
 };
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for compile/IO failures.
+const EXIT_BUILD: u8 = 1;
+/// Exit code for usage errors.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for simulation/launch failures.
+const EXIT_SIM: u8 = 3;
+/// Exit code for oracle divergence.
+const EXIT_DIVERGED: u8 = 4;
+/// Exit code for error-severity sanitizer findings.
+const EXIT_FINDINGS: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -65,18 +99,28 @@ fn usage() -> ExitCode {
          [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu profile --proxy NAME [--scale small|bench] [--config CFG | --all-configs]\n             \
          [--jobs N] [--json] [--trace FILE] [--time-passes]\n  \
-         ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N] [FILE.c ...]\n\n\
+         ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N]\n             \
+         [--watchdog SECS] [FILE.c ...]\n  \
+         ompgpu sanitize <file.c> | --proxy NAME | --self-test\n             \
+         [--config CFG | --all-configs] [--scale small|bench]\n             \
+         [--jobs N] [--max-insts N] [--json]\n\n\
          CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
          SPEC: buf:f64:LEN[:init] | buf:i64:LEN[:init] | i64:V | i32:V | f64:V\n      \
          (init: zero | iota | pseudo; default zero)\n\
-         --jobs N: simulator worker threads for independent teams (0 = auto)"
+         --jobs N: simulator worker threads for independent teams (0 = auto)\n\
+         --max-insts N: per-thread dynamic instruction budget (runaway guard;\n      \
+         the OMPGPU_MAX_INSTS environment variable is the default)\n\
+         --watchdog SECS: wall-clock budget per launch (0 = off)\n\n\
+         exit codes: 0 ok/clean, 1 compile/IO, 2 usage, 3 simulation,\n      \
+         4 oracle divergence, 5 sanitizer findings"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn verify_main(args: &[String]) -> ExitCode {
     let mut scale = Scale::Small;
     let mut jobs: Option<u32> = None;
+    let mut watchdog_secs: u64 = 60;
     let mut dirs: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -91,6 +135,10 @@ fn verify_main(args: &[String]) -> ExitCode {
                 Some(n) => jobs = Some(n),
                 None => return usage(),
             },
+            "--watchdog" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => watchdog_secs = n,
+                None => return usage(),
+            },
             "--examples" => match it.next() {
                 Some(d) => dirs.push(d.clone()),
                 None => return usage(),
@@ -99,13 +147,17 @@ fn verify_main(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    let mut report = oracle::verify_proxies_jobs(scale, jobs);
+    let opts = VerifyOptions {
+        jobs,
+        watchdog: (watchdog_secs > 0).then(|| Duration::from_secs(watchdog_secs)),
+    };
+    let mut report = oracle::verify_proxies_opts(scale, opts);
     for dir in &dirs {
-        match oracle::verify_examples_dir_jobs(std::path::Path::new(dir), jobs) {
+        match oracle::verify_examples_dir_opts(std::path::Path::new(dir), opts) {
             Ok(r) => report.cases.extend(r.cases),
             Err(e) => {
                 eprintln!("ompgpu verify: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_BUILD);
             }
         }
     }
@@ -114,7 +166,7 @@ fn verify_main(args: &[String]) -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("ompgpu verify: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_BUILD);
             }
         };
         let name = std::path::Path::new(file)
@@ -123,7 +175,7 @@ fn verify_main(args: &[String]) -> ExitCode {
             .unwrap_or_else(|| file.clone());
         report
             .cases
-            .push(oracle::verify_example_jobs(&name, &source, jobs));
+            .push(oracle::verify_example_opts(&name, &source, opts));
     }
     print!("{}", report.render());
     let (pass, total) = (
@@ -134,7 +186,312 @@ fn verify_main(args: &[String]) -> ExitCode {
     if report.passed() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_DIVERGED)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ompgpu sanitize
+// ---------------------------------------------------------------------
+
+/// The OpenMP-source configurations `--all-configs` sweeps (CUDA-style
+/// builds compile a different source and are not part of the ablation).
+const OPENMP_CONFIGS: [BuildConfig; 6] = [
+    BuildConfig::Llvm12Baseline,
+    BuildConfig::NoOpenmpOpt,
+    BuildConfig::H2S2,
+    BuildConfig::H2S2Rtc,
+    BuildConfig::H2S2RtcCsm,
+    BuildConfig::LlvmDev,
+];
+
+fn sanitize_main(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut proxy: Option<String> = None;
+    let mut self_test = false;
+    let mut scale = Scale::Small;
+    let mut config = BuildConfig::LlvmDev;
+    let mut all_configs = false;
+    let mut jobs: Option<u32> = None;
+    let mut max_insts: Option<u64> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--proxy" => proxy = it.next().cloned(),
+            "--self-test" => self_test = true,
+            "--scale" => match it.next().map(String::as_str) {
+                Some("small") => scale = Scale::Small,
+                Some("bench") => scale = Scale::Bench,
+                _ => return usage(),
+            },
+            "--config" => match it.next().and_then(|s| parse_config(s)) {
+                Some(c) => config = c,
+                None => return usage(),
+            },
+            "--all-configs" => all_configs = true,
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = Some(n),
+                None => return usage(),
+            },
+            "--max-insts" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => max_insts = Some(n),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            f if !f.starts_with('-') && path.is_none() => path = Some(f.to_string()),
+            other => {
+                eprintln!("ompgpu sanitize: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    if self_test {
+        if path.is_some() || proxy.is_some() {
+            eprintln!("ompgpu sanitize: --self-test takes no subject");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return sanitize_self_test(jobs);
+    }
+    let opts = pipeline::SanitizeOptions {
+        jobs,
+        fault: FaultPlan::default(),
+        watchdog: Some(Duration::from_secs(60)),
+        max_insts,
+    };
+    let configs: Vec<BuildConfig> = if all_configs {
+        OPENMP_CONFIGS.to_vec()
+    } else {
+        vec![config]
+    };
+
+    let (subject, outcomes): (String, Vec<pipeline::SanitizeOutcome>) = if let Some(name) = proxy {
+        if path.is_some() {
+            eprintln!("ompgpu sanitize: give either a source file or --proxy, not both");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        let proxies = all_proxies(scale);
+        let Some(app) = proxies
+            .iter()
+            .find(|p| p.name().eq_ignore_ascii_case(&name))
+        else {
+            let known: Vec<&str> = proxies.iter().map(|p| p.name()).collect();
+            eprintln!(
+                "ompgpu sanitize: unknown proxy {name:?} (known: {})",
+                known.join(", ")
+            );
+            return ExitCode::from(EXIT_USAGE);
+        };
+        let outcomes = configs
+            .iter()
+            .map(|&c| pipeline::sanitize_proxy(app.as_ref(), c, &opts))
+            .collect();
+        (app.name().to_string(), outcomes)
+    } else {
+        let Some(path) = path else {
+            eprintln!("ompgpu sanitize: need a source file, --proxy NAME, or --self-test");
+            return usage();
+        };
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ompgpu sanitize: cannot read {path}: {e}");
+                return ExitCode::from(EXIT_BUILD);
+            }
+        };
+        let outcomes = configs
+            .iter()
+            .map(|&c| pipeline::sanitize_source(&source, c, &opts))
+            .collect();
+        (path, outcomes)
+    };
+
+    if json {
+        println!("{}", pipeline::sanitize_report_json(&subject, &outcomes));
+    } else {
+        println!("sanitize {subject}:");
+        for o in &outcomes {
+            print!("{}", o.render());
+        }
+        let errors: usize = outcomes.iter().map(|o| o.error_findings()).sum();
+        let notes: usize = outcomes
+            .iter()
+            .map(|o| o.findings.len() - o.error_findings())
+            .sum();
+        println!(
+            "{} configuration(s), {errors} error finding(s), {notes} note(s)",
+            outcomes.len()
+        );
+    }
+    if outcomes.iter().any(|o| o.error_findings() > 0) {
+        ExitCode::from(EXIT_FINDINGS)
+    } else if outcomes.iter().any(|o| o.error.is_some()) {
+        ExitCode::from(EXIT_SIM)
+    } else if outcomes.iter().any(|o| o.setup_error.is_some()) {
+        ExitCode::from(EXIT_BUILD)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// A tiny kernel that globalizes per-dispatch capture structs when the
+/// mid-end does not promote them — enough surface for every injected
+/// fault to land on.
+const SELF_TEST_SRC: &str = r#"
+void counted(double* a, long n) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < n; b++) {
+    double tv = (double)b;
+    #pragma omp parallel for
+    for (long t = 0; t < 4; t++) {
+      a[b * 4 + t] = tv;
+    }
+  }
+}
+"#;
+
+/// Built-in fault-injection battery: every scenario must degrade into a
+/// structured error (or a sanitizer note) — no panic, no hang, and the
+/// same outcome for every worker-thread count.
+fn sanitize_self_test(jobs: Option<u32>) -> ExitCode {
+    let (module, _) = match pipeline::build(SELF_TEST_SRC, BuildConfig::NoOpenmpOpt) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("ompgpu sanitize --self-test: build failed: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    };
+    let dims = LaunchDims {
+        teams: Some(4),
+        threads: Some(4),
+    };
+    type Scenario = (&'static str, FaultPlan, fn(&SimErrorKind) -> bool);
+    let scenarios: [Scenario; 3] = [
+        (
+            "malloc failure falls out as a structured memory error",
+            FaultPlan {
+                fail_alloc_after: Some(0),
+                ..FaultPlan::default()
+            },
+            |k| matches!(k, SimErrorKind::Mem(_)),
+        ),
+        (
+            "trap at the Nth dynamic instruction",
+            FaultPlan {
+                trap_at_inst: Some(20),
+                ..FaultPlan::default()
+            },
+            |k| matches!(k, SimErrorKind::FaultInjected(_)),
+        ),
+        (
+            "single-team abort",
+            FaultPlan {
+                abort_team: Some(2),
+                ..FaultPlan::default()
+            },
+            |k| matches!(k, SimErrorKind::FaultInjected(_)),
+        ),
+    ];
+    let mut failed = 0usize;
+    for (what, plan, expect) in &scenarios {
+        // Run each scenario sequentially and in parallel: the injected
+        // outcome must be byte-identical across worker-thread counts.
+        let mut rendered: Vec<String> = Vec::new();
+        for run_jobs in [1, jobs.unwrap_or(4).max(2)] {
+            let mut dev = match Device::new(&module, Default::default()) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("FAIL {what}: device setup failed: {e}");
+                    failed += 1;
+                    continue;
+                }
+            };
+            dev.set_jobs(run_jobs);
+            dev.set_fault_plan(plan.clone());
+            let a = match dev.alloc_f64(&[0.0; 16]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("FAIL {what}: alloc failed: {e}");
+                    failed += 1;
+                    continue;
+                }
+            };
+            match dev.launch(
+                "counted",
+                &[omp_gpu::RtVal::Ptr(a), omp_gpu::RtVal::I64(4)],
+                dims,
+            ) {
+                Ok(_) => {
+                    eprintln!("FAIL {what}: launch unexpectedly succeeded (jobs {run_jobs})");
+                    failed += 1;
+                }
+                Err(e) if expect(&e.kind) => rendered.push(e.to_string()),
+                Err(e) => {
+                    eprintln!("FAIL {what}: wrong error kind (jobs {run_jobs}): {e}");
+                    failed += 1;
+                }
+            }
+        }
+        if rendered.len() == 2 && rendered[0] != rendered[1] {
+            eprintln!(
+                "FAIL {what}: error differs across --jobs:\n  jobs 1: {}\n  jobs N: {}",
+                rendered[0], rendered[1]
+            );
+            failed += 1;
+        } else if rendered.len() == 2 {
+            println!("PASS {what}: {}", rendered[0]);
+        }
+    }
+    // A capped shared stack must degrade into heap fallback, visible as
+    // a sanitizer note — not an error.
+    {
+        let what = "shared-stack exhaustion falls back to the device heap";
+        let mut dev = match Device::new(&module, Default::default()) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("FAIL {what}: device setup failed: {e}");
+                return ExitCode::from(EXIT_SIM);
+            }
+        };
+        dev.set_sanitize(SanitizeMode::On);
+        dev.set_fault_plan(FaultPlan {
+            shared_stack_limit: Some(0),
+            ..FaultPlan::default()
+        });
+        if let Some(j) = jobs {
+            dev.set_jobs(j);
+        }
+        match dev.alloc_f64(&[0.0; 16]).and_then(|a| {
+            dev.launch_checked(
+                "counted",
+                &[omp_gpu::RtVal::Ptr(a), omp_gpu::RtVal::I64(4)],
+                dims,
+            )
+        }) {
+            Ok((_, findings)) => {
+                let fallbacks = findings
+                    .iter()
+                    .filter(|f| f.kind == omp_gpu::FindingKind::SharedStackFallback)
+                    .count();
+                if fallbacks > 0 {
+                    println!("PASS {what}: {fallbacks} fallback note(s)");
+                } else {
+                    eprintln!("FAIL {what}: no shared-stack-fallback note recorded");
+                    failed += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {what}: launch failed instead of degrading: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed == 0 {
+        println!("self-test passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("self-test: {failed} scenario(s) failed");
+        ExitCode::from(EXIT_SIM)
     }
 }
 
@@ -510,6 +867,9 @@ fn main() -> ExitCode {
     if mode == "profile" {
         return profile_main(&args[1..]);
     }
+    if mode == "sanitize" {
+        return sanitize_main(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return usage();
     };
@@ -517,7 +877,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ompgpu: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BUILD);
         }
     };
     let mut config = BuildConfig::LlvmDev;
@@ -529,6 +889,7 @@ fn main() -> ExitCode {
     let mut teams: Option<u32> = None;
     let mut threads: Option<u32> = None;
     let mut jobs: Option<u32> = None;
+    let mut max_insts: Option<u64> = None;
     let mut specs: Vec<ArgSpec> = Vec::new();
     let mut dump = 0usize;
     let mut it = args.iter().skip(2);
@@ -546,6 +907,7 @@ fn main() -> ExitCode {
             "--teams" => teams = it.next().and_then(|s| s.parse().ok()),
             "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
             "--jobs" => jobs = it.next().and_then(|s| s.parse().ok()),
+            "--max-insts" => max_insts = it.next().and_then(|s| s.parse().ok()),
             "--dump" => dump = it.next().and_then(|s| s.parse().ok()).unwrap_or(8),
             "--arg" => match it.next().and_then(|s| parse_arg(s)) {
                 Some(s) => specs.push(s),
@@ -562,7 +924,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("ompgpu: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BUILD);
         }
     };
     if let Some(r) = &report {
@@ -611,17 +973,20 @@ fn main() -> ExitCode {
                 Ok(d) => d,
                 Err(e) => {
                     eprintln!("ompgpu: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_SIM);
                 }
             };
             if let Some(j) = jobs {
                 dev.set_jobs(j);
             }
+            if let Some(b) = max_insts {
+                dev.set_max_insts(b);
+            }
             let (rt_args, buffers) = match oracle::materialize_args(&mut dev, &specs) {
                 Ok(x) => x,
                 Err(e) => {
                     eprintln!("ompgpu: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_SIM);
                 }
             };
             match dev.launch(&kernel, &rt_args, LaunchDims { teams, threads }) {
@@ -651,18 +1016,28 @@ fn main() -> ExitCode {
                     if dump > 0 {
                         for (i, (addr, len, is_f64)) in buffers.iter().enumerate() {
                             let k = dump.min(*len);
-                            if *is_f64 {
-                                println!("buf{i}[..{k}] = {:?}", dev.read_f64(*addr, k).unwrap());
+                            let rendered = if *is_f64 {
+                                dev.read_f64(*addr, k).map(|v| format!("{v:?}"))
                             } else {
-                                println!("buf{i}[..{k}] = {:?}", dev.read_i64(*addr, k).unwrap());
+                                dev.read_i64(*addr, k).map(|v| format!("{v:?}"))
+                            };
+                            match rendered {
+                                Ok(v) => println!("buf{i}[..{k}] = {v}"),
+                                Err(e) => {
+                                    eprintln!("ompgpu: cannot read back buf{i}: {e}");
+                                    return ExitCode::from(EXIT_SIM);
+                                }
                             }
                         }
                     }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    if json {
+                        println!("{}", e.to_json());
+                    }
                     eprintln!("ompgpu: launch failed: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_SIM)
                 }
             }
         }

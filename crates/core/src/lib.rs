@@ -38,12 +38,15 @@ pub use config::BuildConfig;
 pub use omp_benchmarks::{all_proxies, ProxyApp, Scale};
 pub use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
 pub use omp_gpusim::{
-    Device, DeviceConfig, KernelStats, LaunchDims, LaunchProfile, ProfileMode, RtVal, SimError,
-    StatsSnapshot,
+    findings_to_json, Device, DeviceConfig, FaultPlan, Finding, FindingKind, KernelStats,
+    LaunchDims, LaunchProfile, ProfileMode, Provenance, RtVal, SanitizeMode, Severity, SimError,
+    SimErrorKind, StatsSnapshot, ThreadPos,
 };
 pub use omp_ir::Module;
 pub use omp_opt::{OpenMpOptConfig, OptReport, PassStat, PassTiming};
-pub use oracle::{OracleCase, OracleReport};
+pub use oracle::{OracleCase, OracleReport, VerifyOptions};
 pub use pipeline::{
-    build, profile_proxy, render_pass_timings, run_all_configs, run_proxy, ProfiledRun, RunOutcome,
+    build, profile_proxy, render_pass_timings, run_all_configs, run_proxy, sanitize_proxy,
+    sanitize_report_json, sanitize_source, ProfiledRun, RunOutcome, SanitizeOptions,
+    SanitizeOutcome,
 };

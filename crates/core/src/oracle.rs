@@ -33,6 +33,7 @@ use omp_frontend::GlobalizationScheme;
 use omp_gpusim::{Device, LaunchDims, RtVal, StatsSnapshot};
 use omp_ir::Module;
 use omp_opt::PassStat;
+use std::time::Duration;
 
 /// The configurations the oracle compares: every entry of the paper's
 /// ablation matrix that compiles the *OpenMP* source. (`CudaStyle`
@@ -395,12 +396,35 @@ impl<'s> FrontendCache<'s> {
     }
 }
 
+/// Per-run oracle knobs: simulator worker-thread count and the
+/// wall-clock watchdog applied to every launch. The watchdog turns a
+/// hung configuration into an ordinary per-configuration failure (with
+/// a structured timeout diagnostic) instead of stalling the matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyOptions {
+    /// Simulator worker-thread count (`None` leaves the device default;
+    /// `Some(0)` is auto-detect). Outputs are bit-identical for every
+    /// setting.
+    pub jobs: Option<u32>,
+    /// Wall-clock budget per launch; `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+}
+
+impl VerifyOptions {
+    fn jobs_only(jobs: Option<u32>) -> VerifyOptions {
+        VerifyOptions {
+            jobs,
+            watchdog: None,
+        }
+    }
+}
+
 /// Runs one proxy under one configuration, capturing output bits.
 fn run_proxy_config(
     app: &dyn ProxyApp,
     frontend: Result<Module, String>,
     config: BuildConfig,
-    jobs: Option<u32>,
+    opts: VerifyOptions,
 ) -> CaseResult {
     let module = match frontend {
         Ok(m) => m,
@@ -415,7 +439,8 @@ fn run_proxy_config(
         Ok(d) => d,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
-    if let Some(j) = jobs {
+    dev.set_watchdog(opts.watchdog);
+    if let Some(j) = opts.jobs {
         dev.set_jobs(j);
     }
     let workload = match app.prepare(&mut dev) {
@@ -450,7 +475,7 @@ fn run_example_config(
     frontend: Result<Module, String>,
     spec: &ExampleSpec,
     config: BuildConfig,
-    jobs: Option<u32>,
+    opts: VerifyOptions,
 ) -> CaseResult {
     let module = match frontend {
         Ok(m) => m,
@@ -465,7 +490,8 @@ fn run_example_config(
         Ok(d) => d,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
-    if let Some(j) = jobs {
+    dev.set_watchdog(opts.watchdog);
+    if let Some(j) = opts.jobs {
         dev.set_jobs(j);
     }
     let (args, buffers) = match materialize_args(&mut dev, &spec.args) {
@@ -619,11 +645,17 @@ pub fn verify_proxy(app: &dyn ProxyApp) -> OracleCase {
 /// [`verify_proxy`] with an explicit simulator worker-thread count
 /// (`None` leaves the device default; `Some(0)` is auto-detect).
 pub fn verify_proxy_jobs(app: &dyn ProxyApp, jobs: Option<u32>) -> OracleCase {
+    verify_proxy_opts(app, VerifyOptions::jobs_only(jobs))
+}
+
+/// [`verify_proxy`] with full per-run options (worker-thread count and
+/// wall-clock watchdog).
+pub fn verify_proxy_opts(app: &dyn ProxyApp, opts: VerifyOptions) -> OracleCase {
     let source = app.openmp_source();
     let mut cache = FrontendCache::new(&source);
     let results = ORACLE_CONFIGS
         .iter()
-        .map(|&c| run_proxy_config(app, cache.module(c), c, jobs))
+        .map(|&c| run_proxy_config(app, cache.module(c), c, opts))
         .collect();
     finish_case(app.name(), results)
 }
@@ -635,10 +667,15 @@ pub fn verify_proxies(scale: Scale) -> OracleReport {
 
 /// [`verify_proxies`] with an explicit simulator worker-thread count.
 pub fn verify_proxies_jobs(scale: Scale, jobs: Option<u32>) -> OracleReport {
+    verify_proxies_opts(scale, VerifyOptions::jobs_only(jobs))
+}
+
+/// [`verify_proxies`] with full per-run options.
+pub fn verify_proxies_opts(scale: Scale, opts: VerifyOptions) -> OracleReport {
     OracleReport {
         cases: all_proxies(scale)
             .iter()
-            .map(|a| verify_proxy_jobs(a.as_ref(), jobs))
+            .map(|a| verify_proxy_opts(a.as_ref(), opts))
             .collect(),
     }
 }
@@ -651,6 +688,11 @@ pub fn verify_example(name: &str, source: &str) -> OracleCase {
 
 /// [`verify_example`] with an explicit simulator worker-thread count.
 pub fn verify_example_jobs(name: &str, source: &str, jobs: Option<u32>) -> OracleCase {
+    verify_example_opts(name, source, VerifyOptions::jobs_only(jobs))
+}
+
+/// [`verify_example`] with full per-run options.
+pub fn verify_example_opts(name: &str, source: &str, opts: VerifyOptions) -> OracleCase {
     let spec = match ExampleSpec::parse(source) {
         Ok(s) => s,
         Err(e) => {
@@ -665,7 +707,7 @@ pub fn verify_example_jobs(name: &str, source: &str, jobs: Option<u32>) -> Oracl
     let mut cache = FrontendCache::new(source);
     let results = ORACLE_CONFIGS
         .iter()
-        .map(|&c| run_example_config(cache.module(c), &spec, c, jobs))
+        .map(|&c| run_example_config(cache.module(c), &spec, c, opts))
         .collect();
     finish_case(name, results)
 }
@@ -680,6 +722,14 @@ pub fn verify_examples_dir(dir: &std::path::Path) -> Result<OracleReport, String
 pub fn verify_examples_dir_jobs(
     dir: &std::path::Path,
     jobs: Option<u32>,
+) -> Result<OracleReport, String> {
+    verify_examples_dir_opts(dir, VerifyOptions::jobs_only(jobs))
+}
+
+/// [`verify_examples_dir`] with full per-run options.
+pub fn verify_examples_dir_opts(
+    dir: &std::path::Path,
+    opts: VerifyOptions,
 ) -> Result<OracleReport, String> {
     let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
@@ -699,7 +749,7 @@ pub fn verify_examples_dir_jobs(
             .unwrap_or_else(|| path.display().to_string());
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        report.cases.push(verify_example_jobs(&name, &source, jobs));
+        report.cases.push(verify_example_opts(&name, &source, opts));
     }
     Ok(report)
 }

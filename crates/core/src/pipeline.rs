@@ -3,11 +3,14 @@
 use crate::config::BuildConfig;
 use omp_benchmarks::{verify, ProxyApp, Workload};
 use omp_frontend::CompileError;
-use omp_gpusim::{Device, KernelStats, LaunchProfile, ProfileMode, SimError, StatsSnapshot};
+use omp_gpusim::{
+    Device, FaultPlan, Finding, KernelStats, LaunchProfile, ProfileMode, SanitizeMode, Severity,
+    SimError, SimErrorKind, StatsSnapshot,
+};
 use omp_ir::Module;
 use omp_opt::{OptReport, PassStat, PassTiming};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A compilation failure anywhere in the pipeline.
 #[derive(Debug)]
@@ -437,7 +440,7 @@ pub fn run_proxy(app: &dyn ProxyApp, config: BuildConfig) -> RunOutcome {
                 report,
             },
         },
-        Err(e @ SimError::Mem(_)) => RunOutcome {
+        Err(e) if matches!(e.kind, SimErrorKind::Mem(_)) => RunOutcome {
             config,
             stats: None,
             error: Some(format!("OOM/memory: {e}")),
@@ -562,7 +565,234 @@ pub fn profile_proxy(app: &dyn ProxyApp, config: BuildConfig, jobs: Option<u32>)
             },
             Err(e) => fail(format!("verification failed: {e}"), report),
         },
-        Err(e @ SimError::Mem(_)) => fail(format!("OOM/memory: {e}"), report),
+        Err(e) if matches!(e.kind, SimErrorKind::Mem(_)) => {
+            fail(format!("OOM/memory: {e}"), report)
+        }
         Err(e) => fail(e.to_string(), report),
+    }
+}
+
+/// Options for a sanitized run: worker-thread count, the fault plan to
+/// inject, an optional wall-clock watchdog, and an optional
+/// per-thread instruction budget override.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeOptions {
+    /// Simulator worker-thread count (`None` leaves the device default;
+    /// findings are bit-identical for every setting).
+    pub jobs: Option<u32>,
+    /// Deterministic faults to inject (all-default plan injects none).
+    pub fault: FaultPlan,
+    /// Wall-clock budget for the launch; a hung kernel fails with a
+    /// structured timeout diagnostic instead of stalling the caller.
+    pub watchdog: Option<Duration>,
+    /// Per-thread dynamic-instruction budget override.
+    pub max_insts: Option<u64>,
+}
+
+/// Result of one sanitized run under one configuration.
+#[derive(Debug)]
+pub struct SanitizeOutcome {
+    /// The configuration label.
+    pub config: BuildConfig,
+    /// Launch statistics on success.
+    pub stats: Option<KernelStats>,
+    /// Structured simulation error when the launch failed.
+    pub error: Option<SimError>,
+    /// Build/setup error when the subject never launched (compile or
+    /// verifier failure, bad spec, allocation failure while staging).
+    pub setup_error: Option<String>,
+    /// Sanitizer findings, merged in team-id order. On a failed launch
+    /// these are the findings the error carried (e.g. divergence notes
+    /// attached to a deadlock).
+    pub findings: Vec<Finding>,
+}
+
+impl SanitizeOutcome {
+    fn setup_failed(config: BuildConfig, error: String) -> SanitizeOutcome {
+        SanitizeOutcome {
+            config,
+            stats: None,
+            error: None,
+            setup_error: Some(error),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Error-severity findings (notes like shared-stack fallback do not
+    /// count against cleanliness).
+    pub fn error_findings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// True when the run completed and the sanitizer reported no
+    /// error-severity finding.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none() && self.setup_error.is_none() && self.error_findings() == 0
+    }
+
+    /// Human-readable per-configuration report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.is_clean() {
+            "clean"
+        } else if self.error.is_some() || self.setup_error.is_some() {
+            "failed"
+        } else {
+            "findings"
+        };
+        out.push_str(&format!("{:<12} {}\n", self.config.label(), verdict));
+        if let Some(e) = &self.setup_error {
+            out.push_str(&format!("  setup error: {e}\n"));
+        }
+        if let Some(e) = &self.error {
+            out.push_str(&format!("  error: {e}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&format!("  {}\n", f.render()));
+        }
+        out
+    }
+
+    /// Machine-readable report (`ompgpu-sanitize/v1`).
+    pub fn write_json(&self, w: &mut omp_json::JsonWriter) {
+        w.begin_object();
+        w.key("config").string(self.config.label());
+        w.key("clean").bool(self.is_clean());
+        if let Some(e) = &self.setup_error {
+            w.key("setup_error").string(e);
+        }
+        if let Some(e) = &self.error {
+            w.key("error").raw(&e.to_json());
+        }
+        w.key("findings").begin_array();
+        for f in &self.findings {
+            f.write_json(w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// Serializes sanitize outcomes as one `ompgpu-sanitize/v1` document.
+pub fn sanitize_report_json(subject: &str, outcomes: &[SanitizeOutcome]) -> String {
+    let mut w = omp_json::JsonWriter::with_capacity(1024);
+    w.begin_object();
+    w.key("schema").string("ompgpu-sanitize/v1");
+    w.key("subject").string(subject);
+    w.key("clean").bool(outcomes.iter().all(|o| o.is_clean()));
+    w.key("configs").begin_array();
+    for o in outcomes {
+        o.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn sanitized_device<'m>(
+    module: &'m Module,
+    cfg: omp_gpusim::DeviceConfig,
+    opts: &SanitizeOptions,
+) -> Result<Device<'m>, SimError> {
+    let mut dev = Device::new(module, cfg)?;
+    dev.set_sanitize(SanitizeMode::On);
+    dev.set_fault_plan(opts.fault.clone());
+    dev.set_watchdog(opts.watchdog);
+    if let Some(b) = opts.max_insts {
+        dev.set_max_insts(b);
+    }
+    if let Some(j) = opts.jobs {
+        dev.set_jobs(j);
+    }
+    Ok(dev)
+}
+
+/// Builds and runs `app` under `config` with the sanitizer on,
+/// collecting findings (results are not verified — the differential
+/// oracle owns correctness; the sanitizer owns synchronization).
+pub fn sanitize_proxy(
+    app: &dyn ProxyApp,
+    config: BuildConfig,
+    opts: &SanitizeOptions,
+) -> SanitizeOutcome {
+    let source = if config.uses_cuda_source() {
+        app.cuda_source()
+    } else {
+        app.openmp_source()
+    };
+    let (module, _report) = match build(&source, config) {
+        Ok(x) => x,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e.to_string()),
+    };
+    let mut dev = match sanitized_device(&module, app.device_config(), opts) {
+        Ok(d) => d,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e.to_string()),
+    };
+    let workload: Workload = match app.prepare(&mut dev) {
+        Ok(w) => w,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e.to_string()),
+    };
+    finish_sanitized(
+        config,
+        dev.launch_checked(app.kernel_name(), &workload.args, app.dims()),
+    )
+}
+
+/// Builds and runs an example source (with an `// oracle-*:` spec
+/// header, see [`crate::oracle::ExampleSpec`]) under `config` with the
+/// sanitizer on.
+pub fn sanitize_source(
+    source: &str,
+    config: BuildConfig,
+    opts: &SanitizeOptions,
+) -> SanitizeOutcome {
+    let spec = match crate::oracle::ExampleSpec::parse(source) {
+        Ok(s) => s,
+        Err(e) => return SanitizeOutcome::setup_failed(config, format!("spec error: {e}")),
+    };
+    let (module, _report) = match build(source, config) {
+        Ok(x) => x,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e.to_string()),
+    };
+    let mut dev = match sanitized_device(&module, Default::default(), opts) {
+        Ok(d) => d,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e.to_string()),
+    };
+    let (args, _buffers) = match crate::oracle::materialize_args(&mut dev, &spec.args) {
+        Ok(x) => x,
+        Err(e) => return SanitizeOutcome::setup_failed(config, e),
+    };
+    let dims = omp_gpusim::LaunchDims {
+        teams: spec.teams,
+        threads: spec.threads,
+    };
+    finish_sanitized(config, dev.launch_checked(&spec.kernel, &args, dims))
+}
+
+fn finish_sanitized(
+    config: BuildConfig,
+    launched: Result<(KernelStats, Vec<Finding>), SimError>,
+) -> SanitizeOutcome {
+    match launched {
+        Ok((stats, findings)) => SanitizeOutcome {
+            config,
+            stats: Some(stats),
+            error: None,
+            setup_error: None,
+            findings,
+        },
+        Err(e) => {
+            let findings = e.findings.clone();
+            SanitizeOutcome {
+                config,
+                stats: None,
+                error: Some(e),
+                setup_error: None,
+                findings,
+            }
+        }
     }
 }

@@ -1,6 +1,8 @@
 //! Device configuration.
 
 use crate::profile::ProfileMode;
+use crate::sanitize::{FaultPlan, SanitizeMode};
+use std::time::Duration;
 
 /// Static description of the simulated GPU (defaults are loosely
 /// V100-shaped: 80 SMs, 32-wide warps, 48 KiB of shared memory per
@@ -40,6 +42,18 @@ pub struct DeviceConfig {
     /// behavior and statistics byte-identical to a build without
     /// profiling.
     pub profile: ProfileMode,
+    /// Whether launches run the device sanitizer
+    /// ([`crate::SanitizeMode`]). `Off` (the default) leaves launch
+    /// behavior and statistics byte-identical to a build without
+    /// sanitizing.
+    pub sanitize: SanitizeMode,
+    /// Deterministic fault injection ([`crate::FaultPlan`]); inactive
+    /// by default.
+    pub fault: FaultPlan,
+    /// Wall-clock watchdog per team run: a team exceeding this budget
+    /// fails its launch with a structured timeout diagnostic instead of
+    /// hanging the caller. `None` (the default) disables the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for DeviceConfig {
@@ -56,6 +70,9 @@ impl Default for DeviceConfig {
             trap_on_cross_thread_local: true,
             max_insts_per_thread: 200_000_000,
             profile: ProfileMode::Off,
+            sanitize: SanitizeMode::Off,
+            fault: FaultPlan::default(),
+            watchdog: None,
         }
     }
 }

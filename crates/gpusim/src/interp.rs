@@ -23,9 +23,11 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::mem::{self, AccessClass, FastMap, MemError, TeamMemDelta, TeamMemView};
+use crate::error::{Provenance, ThreadPos};
+use crate::mem::{self, AccessClass, FastMap, TeamMemDelta, TeamMemView};
 use crate::plan::{CallTarget, ExecPlan, MathKind, NUM_RTL_FNS};
 use crate::profile::{CycleClass, ProfileMode, TeamProfile, TeamProfileState};
+use crate::sanitize::{Finding, SanitizeMode, SiteRef, TeamSanState};
 use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_ir::omprtl::{ALL_RTL_FNS, MODE_SPMD};
@@ -33,43 +35,9 @@ use omp_ir::{
     AddrSpace, BinOp, BlockId, CastOp, CmpOp, ExecMode, FuncId, InstId, InstKind, Module, RtlFn,
     Terminator, Type, Value,
 };
-/// A simulation failure.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SimError {
-    /// Memory fault (includes the out-of-memory outcome).
-    Mem(MemError),
-    /// Undefined behaviour or an unresolved operation.
-    Trap(String),
-    /// All threads blocked with no release condition.
-    Deadlock(String),
-    /// The named kernel does not exist in the module.
-    UnknownKernel(String),
-    /// Launch arguments do not match the kernel signature.
-    BadArgs(String),
-    /// A thread exceeded the instruction budget.
-    Runaway,
-}
+use std::time::Instant;
 
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::Mem(e) => write!(f, "memory error: {e}"),
-            SimError::Trap(m) => write!(f, "trap: {m}"),
-            SimError::Deadlock(m) => write!(f, "deadlock: {m}"),
-            SimError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
-            SimError::BadArgs(m) => write!(f, "bad launch arguments: {m}"),
-            SimError::Runaway => write!(f, "instruction budget exceeded"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-impl From<MemError> for SimError {
-    fn from(e: MemError) -> SimError {
-        SimError::Mem(e)
-    }
-}
+pub use crate::error::SimError;
 
 /// Why a thread is not currently runnable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +50,19 @@ enum Status {
     /// Waiting at a barrier (`true` = team-wide "simple" barrier).
     AtBarrier(bool),
     Done,
+}
+
+impl Status {
+    /// Stable diagnostic name for thread-position reports.
+    fn name(self) -> &'static str {
+        match self {
+            Status::Ready => "ready",
+            Status::WaitWork => "wait-work",
+            Status::WaitJoin => "wait-join",
+            Status::AtBarrier(_) => "at-barrier",
+            Status::Done => "done",
+        }
+    }
 }
 
 struct Frame {
@@ -249,6 +230,8 @@ pub(crate) struct TeamOutcome {
     pub delta: TeamMemDelta,
     /// Present iff the device config enables profiling.
     pub profile: Option<TeamProfile>,
+    /// Sanitizer findings (empty unless the config enables sanitizing).
+    pub findings: Vec<Finding>,
 }
 
 /// The interpreter for one team of a kernel launch. Owns the team's
@@ -285,6 +268,16 @@ pub(crate) struct TeamExec<'a, 'm> {
     /// Cycle-attribution collector; `None` when profiling is off, so
     /// the hot path pays one branch per charge.
     prof: Option<Box<TeamProfileState>>,
+    /// Sanitizer shadow state; `None` when sanitizing is off, so the
+    /// hot path pays one branch per access.
+    san: Option<Box<TeamSanState>>,
+    /// Injected trap threshold (`u64::MAX` = disabled), folded into the
+    /// per-instruction budget compare.
+    fault_trap_at: u64,
+    /// Wall-clock deadline for this team (checked every 16 K
+    /// instructions; `None` = no watchdog).
+    deadline: Option<Instant>,
+    watchdog_millis: u64,
 }
 
 impl<'a, 'm> TeamExec<'a, 'm> {
@@ -347,6 +340,9 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             }
             p
         });
+        let san = (cfg.sanitize == SanitizeMode::On)
+            .then(|| Box::new(TeamSanState::new(team_id, team_size as usize)));
+        let watchdog_millis = cfg.watchdog.map(|d| d.as_millis() as u64).unwrap_or(0);
         TeamExec {
             module,
             plan,
@@ -366,6 +362,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             scratch_args: Vec::new(),
             scratch_phis: Vec::new(),
             prof,
+            san,
+            fault_trap_at: cfg.fault.trap_at_inst.unwrap_or(u64::MAX),
+            deadline: cfg.watchdog.map(|d| Instant::now() + d),
+            watchdog_millis,
         }
     }
 
@@ -380,19 +380,32 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     continue;
                 }
                 progressed = true;
-                self.run_thread(hw)?;
+                if let Err(e) = self.run_thread(hw) {
+                    return Err(self.annotate(e, hw));
+                }
             }
             if self.team.threads.iter().all(|t| t.status == Status::Done) {
                 break;
             }
             if !progressed {
-                let states: Vec<String> = self
+                // Threads stuck at a barrier while their peers exited
+                // (or never arrived) are a barrier-divergence finding
+                // on top of the deadlock itself.
+                if self
                     .team
                     .threads
                     .iter()
-                    .map(|t| format!("t{}:{:?}", t.hw, t.status))
-                    .collect();
-                return Err(SimError::Deadlock(states.join(" ")));
+                    .any(|t| matches!(t.status, Status::AtBarrier(_)))
+                {
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.on_barrier_deadlock();
+                    }
+                }
+                let threads = self.thread_positions();
+                let findings = self.take_findings();
+                return Err(SimError::deadlock()
+                    .with_threads(threads)
+                    .with_findings(findings));
             }
         }
         let cycles = self
@@ -405,12 +418,85 @@ impl<'a, 'm> TeamExec<'a, 'm> {
         self.stats.instructions += self.team.threads.iter().map(|t| t.insts).sum::<u64>();
         let total_thread_cycles = self.team.threads.iter().map(|t| t.cycles).sum::<u64>();
         let profile = self.prof.take().map(|p| p.finish(total_thread_cycles));
+        let findings = self.take_findings();
         Ok(TeamOutcome {
             cycles,
             stats: self.stats,
             delta: self.mem.finish(),
             profile,
+            findings,
         })
+    }
+
+    /// Drains the sanitizer state into reportable findings.
+    fn take_findings(&mut self) -> Vec<Finding> {
+        self.san
+            .take()
+            .map(|s| s.finish(self.module))
+            .unwrap_or_default()
+    }
+
+    /// The position of every thread of the team, for deadlock/timeout
+    /// diagnostics.
+    fn thread_positions(&self) -> Vec<ThreadPos> {
+        self.team
+            .threads
+            .iter()
+            .map(|t| {
+                let (function, block, inst) = match t.frames.last() {
+                    Some(f) => (
+                        self.module.func(f.func).name.clone(),
+                        f.block.index() as u32,
+                        f.idx as u32,
+                    ),
+                    None => (String::new(), 0, 0),
+                };
+                ThreadPos {
+                    thread: t.hw,
+                    state: t.status.name().to_string(),
+                    function,
+                    block,
+                    inst,
+                }
+            })
+            .collect()
+    }
+
+    /// Attaches provenance (failing thread's top frame) and any
+    /// sanitizer findings to an error bubbling out of `run_thread`.
+    fn annotate(&mut self, e: SimError, hw: u32) -> SimError {
+        let epoch = self.san.as_deref().map(|s| s.epoch_of(hw)).unwrap_or(0);
+        let th = &self.team.threads[hw as usize];
+        let p = th.frames.last().map(|f| Provenance {
+            function: self.module.func(f.func).name.clone(),
+            block: f.block.index() as u32,
+            inst: f.idx as u32,
+            team: self.team.id,
+            thread: hw,
+            epoch,
+        });
+        let findings = self.take_findings();
+        let mut e = e.with_findings(findings);
+        if let Some(p) = p {
+            e = e.with_provenance(p);
+        }
+        if matches!(e.kind, crate::error::SimErrorKind::Timeout { .. }) {
+            e = e.with_threads(self.thread_positions());
+        }
+        e
+    }
+
+    /// Picks the error for a tripped instruction-count stop: either the
+    /// injected trap of the fault plan or the runaway budget.
+    fn budget_stop(&self, hw: u32) -> SimError {
+        if self.team.threads[hw as usize].insts >= self.fault_trap_at {
+            SimError::fault_injected(format!(
+                "trap at dynamic instruction {}",
+                self.fault_trap_at
+            ))
+        } else {
+            SimError::runaway(self.cfg.max_insts_per_thread)
+        }
     }
 
     /// Runs thread `hw` until it blocks, yields, or finishes.
@@ -423,12 +509,15 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     fn run_thread(&mut self, hw: u32) -> Result<(), SimError> {
         let plan = self.plan;
         let max_insts = self.cfg.max_insts_per_thread;
+        // Fold the injected-trap threshold into the budget compare so
+        // the hot loop pays a single bound check for both.
+        let stop_at = max_insts.saturating_add(1).min(self.fault_trap_at);
         'resolve: while self.team.threads[hw as usize].status == Status::Ready {
             let th = &mut self.team.threads[hw as usize];
             let Some(frame) = th.frames.last() else {
                 th.insts += 1;
-                if th.insts > max_insts {
-                    return Err(SimError::Runaway);
+                if th.insts >= stop_at {
+                    return Err(self.budget_stop(hw));
                 }
                 th.status = Status::Done;
                 continue 'resolve;
@@ -440,9 +529,17 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             loop {
                 let th = &mut self.team.threads[hw as usize];
                 th.insts += 1;
-                if th.insts > max_insts {
-                    return Err(SimError::Runaway);
+                if th.insts >= stop_at {
+                    return Err(self.budget_stop(hw));
                 }
+                if th.insts & 0x3FFF == 0 {
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            return Err(SimError::timeout(self.watchdog_millis));
+                        }
+                    }
+                }
+                let th = &mut self.team.threads[hw as usize];
                 let frame = th.frames.last().unwrap();
                 if frame.idx >= code.len() {
                     self.step_terminator(hw)?;
@@ -456,7 +553,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let addr = mem::local_addr(self.team.id, hw, th.local_sp);
                         th.local_sp += size.max(1).div_ceil(8) * 8;
                         if th.local_sp > self.cfg.local_mem_per_thread {
-                            return Err(SimError::Trap("thread-local stack overflow".into()));
+                            return Err(SimError::trap("thread-local stack overflow"));
                         }
                         let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
@@ -466,10 +563,19 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     InstKind::Load { ptr, ty } => {
                         let (ptr, ty) = (*ptr, *ty);
                         let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let blk = f.block.index() as u32;
                         let p = Self::eval(self.globals, self.team.id, f, ptr)?
                             .as_ptr()
-                            .ok_or_else(|| SimError::Trap("load through non-pointer".into()))?;
+                            .ok_or_else(|| SimError::trap("load through non-pointer"))?;
                         let (v, class) = self.mem.load(p, ty, hw)?;
+                        if let Some(s) = self.san.as_deref_mut() {
+                            let site = SiteRef {
+                                func: fid,
+                                block: blk,
+                                inst: inst_id.0,
+                            };
+                            s.on_access(hw, p, ty.size(), false, class, site);
+                        }
                         let site = fp.site_base + inst_id.0;
                         let cost = self.access_cost(hw, fid, site, p, ty, class);
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
@@ -481,11 +587,20 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     InstKind::Store { ptr, val } => {
                         let (ptr, val) = (*ptr, *val);
                         let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let blk = f.block.index() as u32;
                         let p = Self::eval(self.globals, self.team.id, f, ptr)?
                             .as_ptr()
-                            .ok_or_else(|| SimError::Trap("store through non-pointer".into()))?;
+                            .ok_or_else(|| SimError::trap("store through non-pointer"))?;
                         let v = Self::eval(self.globals, self.team.id, f, val)?;
                         let class = self.mem.store(p, v, hw)?;
+                        if let Some(s) = self.san.as_deref_mut() {
+                            let site = SiteRef {
+                                func: fid,
+                                block: blk,
+                                inst: inst_id.0,
+                            };
+                            s.on_access(hw, p, v.ty().size(), true, class, site);
+                        }
                         let site = fp.site_base + inst_id.0;
                         let cost = self.access_cost(hw, fid, site, p, v.ty(), class);
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
@@ -542,10 +657,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last().unwrap();
                         let b = Self::eval(self.globals, self.team.id, f, base)?
                             .as_ptr()
-                            .ok_or_else(|| SimError::Trap("gep on non-pointer".into()))?;
+                            .ok_or_else(|| SimError::trap("gep on non-pointer"))?;
                         let i = Self::eval(self.globals, self.team.id, f, index)?
                             .as_i64()
-                            .ok_or_else(|| SimError::Trap("gep with non-integer index".into()))?;
+                            .ok_or_else(|| SimError::trap("gep with non-integer index"))?;
                         let addr = (b as i64 + i * scale as i64 + offset) as u64;
                         let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
@@ -562,7 +677,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = self.team.threads[hw as usize].frames.last().unwrap();
                         let c = Self::eval(self.globals, self.team.id, f, cond)?
                             .as_bool()
-                            .ok_or_else(|| SimError::Trap("select on non-boolean".into()))?;
+                            .ok_or_else(|| SimError::trap("select on non-boolean"))?;
                         let v = if c {
                             Self::eval(self.globals, self.team.id, f, on_true)?
                         } else {
@@ -610,11 +725,11 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 .get(i.index())
                 .copied()
                 .flatten()
-                .ok_or_else(|| SimError::Trap(format!("use of undefined value {i}")))?,
+                .ok_or_else(|| SimError::trap(format!("use of undefined value {i}")))?,
             Value::Arg(n) => *frame
                 .args
                 .get(n as usize)
-                .ok_or_else(|| SimError::Trap(format!("missing argument {n}")))?,
+                .ok_or_else(|| SimError::trap(format!("missing argument {n}")))?,
             Value::ConstInt(c, ty) => match ty {
                 Type::I1 => RtVal::Bool(c != 0),
                 Type::I32 => RtVal::I32(c as i32),
@@ -691,7 +806,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let f = self.team.threads[hw as usize].frames.last().unwrap();
                 let c = Self::eval(self.globals, self.team.id, f, cond)?
                     .as_bool()
-                    .ok_or_else(|| SimError::Trap("branch on non-boolean".into()))?;
+                    .ok_or_else(|| SimError::trap("branch on non-boolean"))?;
                 self.transition(hw, if c { then_bb } else { else_bb })?;
                 self.charge(hw, self.cost.simple_op, CycleClass::Branch);
             }
@@ -705,7 +820,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 self.do_return(hw, val)?;
             }
             Terminator::Unreachable => {
-                return Err(SimError::Trap(format!(
+                return Err(SimError::trap(format!(
                     "reached `unreachable` in @{}",
                     self.module.func(fid).name
                 )));
@@ -730,7 +845,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             phi_vals.clear();
             for &(i, incoming) in &tp.phis {
                 let Some(&(_, v)) = incoming.iter().find(|(p, _)| *p == from) else {
-                    return Err(SimError::Trap(format!(
+                    return Err(SimError::trap(format!(
                         "phi {i} has no incoming for predecessor {from}"
                     )));
                 };
@@ -799,6 +914,11 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     }
 
     fn finish_join(&mut self) {
+        // The end-of-region join is a synchronization edge: later
+        // accesses cannot race with accesses before it.
+        if let Some(s) = self.san.as_deref_mut() {
+            s.bump_all();
+        }
         // Align the main thread with the slowest participant.
         let max = self
             .team
@@ -825,6 +945,15 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             self.charge(hw, self.cost.barrier, CycleClass::Sync);
             return Ok(());
         }
+        if self.san.is_some() {
+            let site = self.team.threads[hw as usize]
+                .frames
+                .last()
+                .map(|f| (Self::frame_site(f), simple));
+            if let Some(s) = self.san.as_deref_mut() {
+                s.on_barrier_park(hw, site);
+            }
+        }
         self.team.threads[hw as usize].status = Status::AtBarrier(simple);
         // Release when every member has arrived.
         let all_arrived = group
@@ -837,9 +966,15 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 .max()
                 .unwrap_or(0);
             let release = max + self.cost.barrier;
-            for t in group {
+            for t in group.clone() {
                 self.align_cycles(t, release);
                 self.team.threads[t as usize].status = Status::Ready;
+            }
+            // The release is the happens-before edge the race detector
+            // keys on: check park-site agreement, then advance the
+            // group's epochs.
+            if let Some(s) = self.san.as_deref_mut() {
+                s.on_barrier_release(group);
             }
             if let Some(p) = self.prof.as_deref_mut() {
                 p.record_barrier(release);
@@ -847,6 +982,27 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             self.stats.barriers += 1;
         }
         Ok(())
+    }
+
+    /// The sanitizer site of a frame's current position.
+    fn frame_site(f: &Frame) -> SiteRef {
+        SiteRef {
+            func: f.func,
+            block: f.block.index() as u32,
+            inst: f.idx as u32,
+        }
+    }
+
+    /// The sanitizer site of thread `hw`'s top frame.
+    fn current_site(&self, hw: u32) -> SiteRef {
+        match self.team.threads[hw as usize].frames.last() {
+            Some(f) => Self::frame_site(f),
+            None => SiteRef {
+                func: FuncId(0),
+                block: 0,
+                inst: 0,
+            },
+        }
     }
 
     /// Every barrier group is a contiguous prefix of the team (or the
@@ -976,17 +1132,17 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 let f = self.team.threads[hw as usize].frames.last().unwrap();
                 let p = Self::eval(self.globals, self.team.id, f, callee)?
                     .as_ptr()
-                    .ok_or_else(|| SimError::Trap("indirect call on non-pointer".into()))?;
+                    .ok_or_else(|| SimError::trap("indirect call on non-pointer"))?;
                 let fid = match mem::decode(p) {
                     Some(mem::Space::Func { index }) => FuncId(index),
                     _ => {
-                        return Err(SimError::Trap(format!(
+                        return Err(SimError::trap(format!(
                             "indirect call through invalid target 0x{p:x}"
                         )))
                     }
                 };
                 let t = self.plan.nature(fid).ok_or_else(|| {
-                    SimError::Trap(format!("indirect call through invalid target 0x{p:x}"))
+                    SimError::trap(format!("indirect call through invalid target 0x{p:x}"))
                 })?;
                 (t, true)
             }
@@ -1009,7 +1165,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 self.charge(hw, self.cost.math_fn, CycleClass::Math);
                 Ok(())
             }
-            CallTarget::Extern(fid) => Err(SimError::Trap(format!(
+            CallTarget::Extern(fid) => Err(SimError::trap(format!(
                 "call to unresolved external function @{}",
                 self.module.func(fid).name
             ))),
@@ -1098,7 +1254,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
         }
         match rtl {
             RtlFn::TargetInit => {
-                let mode = vals[0].as_i64().unwrap_or(1);
+                let mode = rtl_arg(vals, 0, rtl)?.as_i64().unwrap_or(1);
                 let spmd = mode == MODE_SPMD;
                 self.team.mode = if spmd {
                     ExecMode::Spmd
@@ -1143,6 +1299,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                             th.status = Status::Ready;
                             self.align_cycles(t, main_cycles);
                         }
+                    }
+                    // Kernel teardown orders everything before it.
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.bump_all();
                     }
                 }
                 done!(None::<RtVal>)
@@ -1193,8 +1353,14 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             }
             RtlFn::Parallel51 => self.exec_parallel51(hw, inst_id, vals),
             RtlFn::AllocShared => {
-                let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
+                let size = rtl_arg(vals, 0, rtl)?.as_i64().unwrap_or(0).max(0) as u64;
                 let addr = self.mem.alloc_shared(size)?;
+                if self.san.is_some() {
+                    let site = self.current_site(hw);
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.on_alloc(addr, size, hw, site);
+                    }
+                }
                 self.stats.globalization_allocs += 1;
                 if let Some(p) = self.prof.as_deref_mut() {
                     let cycle = self.team.threads[hw as usize].cycles;
@@ -1204,16 +1370,25 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 done!(Some(RtVal::Ptr(addr)))
             }
             RtlFn::FreeShared => {
-                let addr = vals[0].as_ptr().unwrap_or(0);
-                let size = vals[1].as_i64().unwrap_or(0).max(0) as u64;
+                let addr = rtl_arg(vals, 0, rtl)?.as_ptr().unwrap_or(0);
+                let size = rtl_arg(vals, 1, rtl)?.as_i64().unwrap_or(0).max(0) as u64;
                 if addr != 0 {
                     self.mem.free_shared(addr, size)?;
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.on_free(addr, size);
+                    }
                 }
                 done!(None::<RtVal>)
             }
             RtlFn::DataSharingPushStack => {
-                let size = vals[0].as_i64().unwrap_or(0).max(0) as u64;
+                let size = rtl_arg(vals, 0, rtl)?.as_i64().unwrap_or(0).max(0) as u64;
                 let addr = self.mem.alloc_shared(size)?;
+                if self.san.is_some() {
+                    let site = self.current_site(hw);
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.on_alloc(addr, size, hw, site);
+                    }
+                }
                 self.team.push_sizes.insert(addr, size);
                 self.stats.globalization_allocs += 1;
                 if let Some(p) = self.prof.as_deref_mut() {
@@ -1224,9 +1399,12 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 done!(Some(RtVal::Ptr(addr)))
             }
             RtlFn::DataSharingPopStack => {
-                let addr = vals[0].as_ptr().unwrap_or(0);
+                let addr = rtl_arg(vals, 0, rtl)?.as_ptr().unwrap_or(0);
                 if let Some(size) = self.team.push_sizes.remove(&addr) {
                     self.mem.free_shared(addr, size)?;
+                    if let Some(s) = self.san.as_deref_mut() {
+                        s.on_free(addr, size);
+                    }
                 }
                 done!(None::<RtVal>)
             }
@@ -1260,7 +1438,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 Ok(())
             }
             RtlFn::StaticChunkLb | RtlFn::StaticChunkUb => {
-                let n = vals[0].as_i64().unwrap_or(0).max(0);
+                let n = rtl_arg(vals, 0, rtl)?.as_i64().unwrap_or(0).max(0);
                 let (tid, nt) = *self.team.threads[hw as usize].ctx.last().unwrap_or(&(0, 1));
                 let nt = nt.max(1) as i64;
                 let tid = tid as i64;
@@ -1271,7 +1449,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 done!(Some(RtVal::I64(v)))
             }
             RtlFn::DistributeChunkLb | RtlFn::DistributeChunkUb => {
-                let n = vals[0].as_i64().unwrap_or(0).max(0);
+                let n = rtl_arg(vals, 0, rtl)?.as_i64().unwrap_or(0).max(0);
                 let teams = self.num_teams.max(1) as i64;
                 let t = self.team.id as i64;
                 let chunk = (n + teams - 1) / teams;
@@ -1306,9 +1484,9 @@ impl<'a, 'm> TeamExec<'a, 'm> {
         inst_id: InstId,
         vals: &[RtVal],
     ) -> Result<(), SimError> {
-        let token = vals[0];
-        let nthreads = vals[1].as_i64().unwrap_or(-1) as i32;
-        let args_ptr = vals[2].as_ptr().unwrap_or(0);
+        let token = rtl_arg(vals, 0, RtlFn::Parallel51)?;
+        let nthreads = rtl_arg(vals, 1, RtlFn::Parallel51)?.as_i64().unwrap_or(-1) as i32;
+        let args_ptr = rtl_arg(vals, 2, RtlFn::Parallel51)?.as_ptr().unwrap_or(0);
         // Resolve the region function from the token: either a function
         // address, or a small integer id installed by the custom
         // state-machine rewrite.
@@ -1319,20 +1497,14 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 .and_then(|p| self.module.region_for_id(p as i64))
             {
                 Some(f) => f,
-                None => {
-                    return Err(SimError::Trap(
-                        "parallel_51 with unresolvable region token".into(),
-                    ))
-                }
+                None => return Err(SimError::trap("parallel_51 with unresolvable region token")),
             },
         };
         if region.index() >= self.module.num_functions() {
-            return Err(SimError::Trap(
-                "parallel_51 with unresolvable region token".into(),
-            ));
+            return Err(SimError::trap("parallel_51 with unresolvable region token"));
         }
         let Some(rplan) = self.plan.func(region) else {
-            return Err(SimError::Trap("parallel region is a declaration".into()));
+            return Err(SimError::trap("parallel region is a declaration"));
         };
         let (entry, num_regs) = (rplan.entry, rplan.num_regs);
         let depth = self.team.threads[hw as usize].ctx.len();
@@ -1391,8 +1563,8 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             }
             ExecMode::Generic => {
                 if hw != 0 {
-                    return Err(SimError::Trap(
-                        "generic-mode parallel dispatch from a worker".into(),
+                    return Err(SimError::trap(
+                        "generic-mode parallel dispatch from a worker",
                     ));
                 }
                 let n = if nthreads <= 0 {
@@ -1405,6 +1577,11 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 self.team.dispatch_n = n;
                 self.team.outstanding = (n - 1).max(0) as u32;
                 self.team.assigned.clear();
+                // Dispatch is a synchronization edge between the main
+                // thread's setup and the workers' region bodies.
+                if let Some(s) = self.san.as_deref_mut() {
+                    s.bump_all();
+                }
                 let main_cycles = self.team.threads[0].cycles + self.cost.parallel_dispatch_generic;
                 for w in 1..n as u32 {
                     let th = &mut self.team.threads[w as usize];
@@ -1441,6 +1618,15 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     }
 }
 
+/// Checked access into a runtime call's evaluated arguments: a
+/// malformed module calling an RTL function with too few arguments is
+/// a trap diagnostic, not an index panic.
+fn rtl_arg(vals: &[RtVal], i: usize, rtl: RtlFn) -> Result<RtVal, SimError> {
+    vals.get(i)
+        .copied()
+        .ok_or_else(|| SimError::trap(format!("{} called with too few arguments", rtl.name())))
+}
+
 // ---- scalar operation semantics ----
 
 fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> {
@@ -1448,9 +1634,9 @@ fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     if op.is_float() {
         let (x, y) = (
             a.as_f64()
-                .ok_or_else(|| SimError::Trap("float op on non-float".into()))?,
+                .ok_or_else(|| SimError::trap("float op on non-float"))?,
             b.as_f64()
-                .ok_or_else(|| SimError::Trap("float op on non-float".into()))?,
+                .ok_or_else(|| SimError::trap("float op on non-float"))?,
         );
         let r = match op {
             BinOp::FAdd => x + y,
@@ -1468,10 +1654,10 @@ fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     // Pointer arithmetic via integer ops on raw addresses is allowed.
     let x = a
         .as_i64()
-        .ok_or_else(|| SimError::Trap("int op on non-int".into()))?;
+        .ok_or_else(|| SimError::trap("int op on non-int"))?;
     let y = b
         .as_i64()
-        .ok_or_else(|| SimError::Trap("int op on non-int".into()))?;
+        .ok_or_else(|| SimError::trap("int op on non-int"))?;
     match fold::fold_bin(
         op,
         if ty == Type::Ptr { Type::I64 } else { ty },
@@ -1489,7 +1675,7 @@ fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
                 }
             }
         }),
-        _ => Err(SimError::Trap(format!(
+        _ => Err(SimError::trap(format!(
             "undefined integer operation {op:?} ({x}, {y})"
         ))),
     }
@@ -1500,9 +1686,9 @@ fn exec_cmp(op: CmpOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     if op.is_float() {
         let (x, y) = (
             a.as_f64()
-                .ok_or_else(|| SimError::Trap("float cmp on non-float".into()))?,
+                .ok_or_else(|| SimError::trap("float cmp on non-float"))?,
             b.as_f64()
-                .ok_or_else(|| SimError::Trap("float cmp on non-float".into()))?,
+                .ok_or_else(|| SimError::trap("float cmp on non-float"))?,
         );
         let r = match op {
             CmpOp::FOeq => x == y,
@@ -1517,14 +1703,14 @@ fn exec_cmp(op: CmpOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     }
     let x = a
         .as_i64()
-        .ok_or_else(|| SimError::Trap("int cmp on non-int".into()))?;
+        .ok_or_else(|| SimError::trap("int cmp on non-int"))?;
     let y = b
         .as_i64()
-        .ok_or_else(|| SimError::Trap("int cmp on non-int".into()))?;
+        .ok_or_else(|| SimError::trap("int cmp on non-int"))?;
     let t = if ty == Type::Ptr { Type::I64 } else { ty };
     match fold::fold_cmp(op, t, Value::ConstInt(x, t), Value::ConstInt(y, t)) {
         Some(Value::ConstInt(v, _)) => Ok(RtVal::Bool(v != 0)),
-        _ => Err(SimError::Trap("undefined comparison".into())),
+        _ => Err(SimError::trap("undefined comparison")),
     }
 }
 
@@ -1535,24 +1721,24 @@ fn exec_cast(op: CastOp, a: RtVal, to: Type) -> Result<RtVal, SimError> {
                 RtVal::Bool(b) => b as u64,
                 RtVal::I32(v) => v as u32 as u64,
                 RtVal::I64(v) => v as u64,
-                _ => return Err(SimError::Trap("zext on non-int".into())),
+                _ => return Err(SimError::trap("zext on non-int")),
             };
             int_to(to, v as i64)
         }
         CastOp::SExt => int_to(
             to,
             a.as_i64()
-                .ok_or_else(|| SimError::Trap("sext on non-int".into()))?,
+                .ok_or_else(|| SimError::trap("sext on non-int"))?,
         ),
         CastOp::Trunc => int_to(
             to,
             a.as_i64()
-                .ok_or_else(|| SimError::Trap("trunc on non-int".into()))?,
+                .ok_or_else(|| SimError::trap("trunc on non-int"))?,
         ),
         CastOp::SiToFp => {
             let v = a
                 .as_i64()
-                .ok_or_else(|| SimError::Trap("sitofp on non-int".into()))?;
+                .ok_or_else(|| SimError::trap("sitofp on non-int"))?;
             match to {
                 Type::F32 => RtVal::F32(v as f32),
                 _ => RtVal::F64(v as f64),
@@ -1561,26 +1747,25 @@ fn exec_cast(op: CastOp, a: RtVal, to: Type) -> Result<RtVal, SimError> {
         CastOp::FpToSi => {
             let v = a
                 .as_f64()
-                .ok_or_else(|| SimError::Trap("fptosi on non-float".into()))?;
+                .ok_or_else(|| SimError::trap("fptosi on non-float"))?;
             int_to(to, v as i64)
         }
         CastOp::FpExt => RtVal::F64(
             a.as_f64()
-                .ok_or_else(|| SimError::Trap("fpext on non-float".into()))?,
+                .ok_or_else(|| SimError::trap("fpext on non-float"))?,
         ),
         CastOp::FpTrunc => RtVal::F32(
             a.as_f64()
-                .ok_or_else(|| SimError::Trap("fptrunc on non-float".into()))? as f32,
+                .ok_or_else(|| SimError::trap("fptrunc on non-float"))? as f32,
         ),
         CastOp::PtrToInt => int_to(
             to,
             a.as_ptr()
-                .ok_or_else(|| SimError::Trap("ptrtoint on non-pointer".into()))?
-                as i64,
+                .ok_or_else(|| SimError::trap("ptrtoint on non-pointer"))? as i64,
         ),
         CastOp::IntToPtr => RtVal::Ptr(
             a.as_i64()
-                .ok_or_else(|| SimError::Trap("inttoptr on non-int".into()))? as u64,
+                .ok_or_else(|| SimError::trap("inttoptr on non-int"))? as u64,
         ),
     };
     Ok(out)
@@ -1600,7 +1785,7 @@ fn exec_math(kind: MathKind, f32out: bool, args: &[RtVal]) -> Result<RtVal, SimE
     let x = args
         .first()
         .and_then(|v| v.as_f64())
-        .ok_or_else(|| SimError::Trap(format!("bad argument to math fn {kind:?}")))?;
+        .ok_or_else(|| SimError::trap(format!("bad argument to math fn {kind:?}")))?;
     let y = args.get(1).and_then(|v| v.as_f64()).unwrap_or(0.0);
     let r = match kind {
         MathKind::Sqrt => x.sqrt(),

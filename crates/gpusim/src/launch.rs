@@ -9,14 +9,17 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::interp::{SimError, TeamExec, TeamOutcome};
+use crate::error::SimError;
+use crate::interp::{TeamExec, TeamOutcome};
 use crate::mem::Memory;
 use crate::plan::ExecPlan;
 use crate::profile::{LaunchProfile, ProfileMode};
+use crate::sanitize::{FaultPlan, Finding, SanitizeMode};
 use crate::stats::KernelStats;
 use crate::value::RtVal;
 use omp_analysis::{kernel_register_estimate, CallGraph};
 use omp_ir::{AddrSpace, ExecMode, Module, Type};
+use std::time::Duration;
 
 /// Launch geometry overrides.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,9 +56,15 @@ impl<'m> Device<'m> {
     /// Creates a device with a custom cost model.
     pub fn with_cost(
         module: &'m Module,
-        cfg: DeviceConfig,
+        mut cfg: DeviceConfig,
         cost: CostModel,
     ) -> Result<Device<'m>, SimError> {
+        if let Some(n) = std::env::var("OMPGPU_MAX_INSTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.max_insts_per_thread = n;
+        }
         let plan = ExecPlan::build(module)?;
         // Lay out shared-space globals at the base of each team's shared
         // memory and global-space globals at the base of global memory.
@@ -123,6 +132,32 @@ impl<'m> Device<'m> {
     /// byte-identical to a device that never profiled.
     pub fn set_profile(&mut self, mode: ProfileMode) {
         self.cfg.profile = mode;
+    }
+
+    /// Enables or disables the device sanitizer for subsequent
+    /// launches. With [`SanitizeMode::Off`] (the default) launches are
+    /// byte-identical to a device that never sanitized.
+    pub fn set_sanitize(&mut self, mode: SanitizeMode) {
+        self.cfg.sanitize = mode;
+    }
+
+    /// Installs a deterministic fault-injection plan for subsequent
+    /// launches (see [`FaultPlan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.fault = plan.clone();
+        self.mem.set_fault_plan(plan);
+    }
+
+    /// Sets the per-team wall-clock watchdog (`None` = off). A team
+    /// exceeding the budget fails its launch with a structured timeout
+    /// diagnostic instead of hanging the caller.
+    pub fn set_watchdog(&mut self, budget: Option<Duration>) {
+        self.cfg.watchdog = budget;
+    }
+
+    /// Sets the per-thread dynamic instruction budget (runaway guard).
+    pub fn set_max_insts(&mut self, budget: u64) {
+        self.cfg.max_insts_per_thread = budget;
     }
 
     /// Allocates a device buffer of `bytes` bytes; returns its address.
@@ -212,8 +247,8 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<KernelStats, SimError> {
-        self.launch_profiled(name, args, dims)
-            .map(|(stats, _)| stats)
+        self.launch_full(name, args, dims)
+            .map(|(stats, _, _)| stats)
     }
 
     /// Like [`Device::launch`], but also returns the launch's
@@ -225,16 +260,40 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<(KernelStats, Option<LaunchProfile>), SimError> {
+        self.launch_full(name, args, dims)
+            .map(|(stats, profile, _)| (stats, profile))
+    }
+
+    /// Like [`Device::launch`], but also returns the sanitizer findings
+    /// gathered by the launch, merged in team-id order (empty unless
+    /// [`Device::set_sanitize`] enabled the sanitizer). The merge order
+    /// makes findings bit-identical for every `jobs` setting.
+    pub fn launch_checked(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        dims: LaunchDims,
+    ) -> Result<(KernelStats, Vec<Finding>), SimError> {
+        self.launch_full(name, args, dims)
+            .map(|(stats, _, findings)| (stats, findings))
+    }
+
+    fn launch_full(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        dims: LaunchDims,
+    ) -> Result<(KernelStats, Option<LaunchProfile>, Vec<Finding>), SimError> {
         let kernel = self
             .module
             .kernels
             .iter()
             .find(|k| k.source_name == name || self.module.func(k.func).name == name)
-            .ok_or_else(|| SimError::UnknownKernel(name.to_string()))?;
+            .ok_or_else(|| SimError::unknown_kernel(name))?;
         let kfunc = kernel.func;
         let f = self.module.func(kfunc);
         if f.params.len() != args.len() {
-            return Err(SimError::BadArgs(format!(
+            return Err(SimError::bad_args(format!(
                 "kernel `{name}` expects {} arguments, got {}",
                 f.params.len(),
                 args.len()
@@ -246,14 +305,14 @@ impl<'m> Device<'m> {
                 t => a.ty() == *t,
             };
             if !compatible {
-                return Err(SimError::BadArgs(format!(
+                return Err(SimError::bad_args(format!(
                     "argument {i} of `{name}`: expected {p}, got {:?}",
                     a.ty()
                 )));
             }
         }
         if self.plan.func(kfunc).is_none() {
-            return Err(SimError::Trap(format!("kernel `{name}` is a declaration")));
+            return Err(SimError::trap(format!("kernel `{name}` is a declaration")));
         }
         let teams = dims
             .teams
@@ -272,6 +331,7 @@ impl<'m> Device<'m> {
         let mut stats = KernelStats::default();
         let mut team_cycles = Vec::with_capacity(outcomes.len());
         let mut team_profiles = Vec::new();
+        let mut findings = Vec::new();
         for outcome in outcomes {
             // Team-id order: the merge below makes parallel execution
             // bit-identical to sequential.
@@ -280,6 +340,7 @@ impl<'m> Device<'m> {
             if let Some(p) = outcome.profile {
                 team_profiles.push(p);
             }
+            findings.extend(outcome.findings);
             self.mem.apply_delta(outcome.delta);
         }
         stats.team_cycles = team_cycles;
@@ -300,7 +361,7 @@ impl<'m> Device<'m> {
         }
         let profile = (self.cfg.profile == ProfileMode::On)
             .then(|| LaunchProfile::assemble(self.module, self.cfg.num_sms, &stats, team_profiles));
-        Ok((stats, profile))
+        Ok((stats, profile, findings))
     }
 
     /// Runs all teams of a launch — inline, or fanned out over `jobs`
@@ -324,6 +385,9 @@ impl<'m> Device<'m> {
         .min(teams)
         .max(1);
         let run_one = |team_id: u32| -> Result<TeamOutcome, SimError> {
+            if self.cfg.fault.abort_team == Some(team_id) {
+                return Err(SimError::fault_injected(format!("team {team_id} aborted")));
+            }
             TeamExec::new(
                 self.module,
                 &self.plan,
@@ -354,6 +418,7 @@ impl<'m> Device<'m> {
         } else {
             // Round-robin team assignment: worker w runs teams w, w+jobs,
             // w+2*jobs, ... and stops its own chain at the first error.
+            let mut worker_panicked = false;
             std::thread::scope(|s| {
                 let run_one = &run_one;
                 let handles: Vec<_> = (0..jobs)
@@ -375,11 +440,22 @@ impl<'m> Device<'m> {
                     })
                     .collect();
                 for h in handles {
-                    for (team_id, r) in h.join().expect("team worker panicked") {
-                        slots[team_id as usize] = Some(r);
+                    match h.join() {
+                        Ok(results) => {
+                            for (team_id, r) in results {
+                                slots[team_id as usize] = Some(r);
+                            }
+                        }
+                        // A panicking worker is an internal bug; turn it
+                        // into a structured error so the launch never
+                        // propagates the panic or wedges siblings.
+                        Err(_) => worker_panicked = true,
                     }
                 }
             });
+            if worker_panicked {
+                return Err(SimError::trap("internal: team worker thread panicked"));
+            }
         }
         // Scan in team-id order: the first error found is the one with
         // the lowest team id, because a missing slot can only trail an
@@ -390,8 +466,8 @@ impl<'m> Device<'m> {
                 Some(Ok(o)) => outcomes.push(o),
                 Some(Err(e)) => return Err(e),
                 None => {
-                    return Err(SimError::Trap(
-                        "internal: team skipped without a prior error".into(),
+                    return Err(SimError::trap(
+                        "internal: team skipped without a prior error",
                     ))
                 }
             }

@@ -46,20 +46,23 @@
 
 pub mod config;
 pub mod cost;
+pub mod error;
 pub mod interp;
 pub mod launch;
 pub mod mem;
 pub mod plan;
 pub mod profile;
+pub mod sanitize;
 pub mod stats;
 pub mod value;
 
 pub use config::DeviceConfig;
 pub use cost::CostModel;
-pub use interp::SimError;
+pub use error::{Provenance, SimError, SimErrorKind, ThreadPos};
 pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
 pub use plan::ExecPlan;
 pub use profile::{FuncProfile, LaunchProfile, ProfileMode, RegionSpan, RtlProfile, TeamTrack};
+pub use sanitize::{findings_to_json, FaultPlan, Finding, FindingKind, SanitizeMode, Severity};
 pub use stats::{KernelStats, StatsSnapshot};
 pub use value::RtVal;

@@ -175,6 +175,11 @@ pub enum MemError {
     },
     /// Global-memory buffer allocation failed.
     GlobalExhausted,
+    /// A fault-injection plan failed this allocation on purpose. The
+    /// message deliberately avoids the OOM vocabulary ("memory",
+    /// "heap") so tolerance for genuine out-of-memory outcomes never
+    /// masks an injected fault.
+    AllocFaultInjected,
 }
 
 impl fmt::Display for MemError {
@@ -191,6 +196,7 @@ impl fmt::Display for MemError {
                 write!(f, "device heap exhausted (requested {requested} bytes)")
             }
             MemError::GlobalExhausted => write!(f, "global memory exhausted"),
+            MemError::AllocFaultInjected => write!(f, "injected allocation fault"),
         }
     }
 }
@@ -297,6 +303,10 @@ pub struct TeamMemView<'a> {
     heap_base: u64,
     local_cap: u64,
     trap_cross_local: bool,
+    /// Remaining globalization allocations before the fault plan fails
+    /// one (`None` = no injected failure). Per-team, so outcomes do not
+    /// depend on `--jobs`.
+    alloc_budget: Option<u64>,
 }
 
 impl<'a> TeamMemView<'a> {
@@ -361,6 +371,12 @@ impl<'a> TeamMemView<'a> {
     /// stack first, falls back to the device heap (the paper's
     /// `LIBOMPTARGET_HEAP_SIZE` fallback). Returns the address.
     pub fn alloc_shared(&mut self, size: u64) -> Result<u64, MemError> {
+        if let Some(left) = self.alloc_budget.as_mut() {
+            if *left == 0 {
+                return Err(MemError::AllocFaultInjected);
+            }
+            *left -= 1;
+        }
         if let Some(off) = self.shared.alloc.alloc(size) {
             return Ok(shared_addr(self.team, off));
         }
@@ -560,6 +576,12 @@ impl Memory {
         }
     }
 
+    /// Installs a fault plan after construction (the device owns the
+    /// authoritative configuration; the memory system keeps a copy).
+    pub fn set_fault_plan(&mut self, plan: crate::sanitize::FaultPlan) {
+        self.cfg.fault = plan;
+    }
+
     /// Allocates a host-visible global buffer; returns its address.
     pub fn alloc_global(&mut self, size: u64) -> Result<u64, MemError> {
         let size = size.max(1).div_ceil(8) * 8;
@@ -577,19 +599,26 @@ impl Memory {
     pub fn team_view(&self, team: u32) -> TeamMemView<'_> {
         let statics = self.shared_static_size;
         let cap = self.cfg.shared_mem_per_team.max(statics);
+        // A fault plan may cap the globalization stack below the
+        // configured shared size, forcing the heap-fallback path.
+        let stack_limit = match self.cfg.fault.shared_stack_limit {
+            Some(l) => (statics + l).min(cap),
+            None => cap,
+        };
         TeamMemView {
             base: &self.global,
             team,
             pages: FastMap::default(),
             shared: TeamShared {
                 data: vec![0; cap as usize],
-                alloc: FreeListAlloc::new(statics, cap),
+                alloc: FreeListAlloc::new(statics, stack_limit),
             },
             local: Vec::new(),
             heap: FreeListAlloc::new(self.heap_base, self.heap_base + self.cfg.global_heap_bytes),
             heap_base: self.heap_base,
             local_cap: self.cfg.local_mem_per_thread,
             trap_cross_local: self.cfg.trap_on_cross_thread_local,
+            alloc_budget: self.cfg.fault.fail_alloc_after,
         }
     }
 
@@ -841,6 +870,46 @@ mod tests {
         let a = m.alloc_global(16).unwrap();
         m.write_bytes(a, &[1, 2, 3, 4]).unwrap();
         assert_eq!(m.read_bytes(a, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fault_plan_caps_shared_stack() {
+        let cfg = DeviceConfig {
+            fault: crate::sanitize::FaultPlan {
+                shared_stack_limit: Some(16),
+                ..Default::default()
+            },
+            ..DeviceConfig::default()
+        };
+        let m = Memory::new(&cfg, 0);
+        let mut v = m.team_view(0);
+        // Fits under the injected cap: stays in shared memory.
+        let a = v.alloc_shared(16).unwrap();
+        assert!(matches!(decode(a), Some(Space::Shared { .. })));
+        // Exceeds the cap: falls back to the heap even though the real
+        // shared capacity has plenty of room.
+        let b = v.alloc_shared(16).unwrap();
+        assert!(matches!(decode(b), Some(Space::Global { .. })));
+    }
+
+    #[test]
+    fn fault_plan_fails_nth_allocation() {
+        let cfg = DeviceConfig {
+            fault: crate::sanitize::FaultPlan {
+                fail_alloc_after: Some(2),
+                ..Default::default()
+            },
+            ..DeviceConfig::default()
+        };
+        let m = Memory::new(&cfg, 0);
+        let mut v = m.team_view(0);
+        v.alloc_shared(8).unwrap();
+        v.alloc_shared(8).unwrap();
+        let err = v.alloc_shared(8).unwrap_err();
+        assert_eq!(err, MemError::AllocFaultInjected);
+        // The injected message must not look like an OOM.
+        let msg = err.to_string();
+        assert!(!msg.contains("memory") && !msg.contains("heap") && !msg.contains("OOM"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! undefined function id is a clean [`SimError`] at `Device::new` time
 //! instead of an index panic mid-run.
 
-use crate::interp::SimError;
+use crate::error::SimError;
 use omp_ir::omprtl::{math_fn_signature, RtlFn, ALL_RTL_FNS};
 use omp_ir::{BlockId, FuncId, InstId, InstKind, Module, Terminator, Value};
 
@@ -131,7 +131,7 @@ impl<'m> ExecPlan<'m> {
                 CallTarget::Rtl(rtl)
             } else if math_fn_signature(&f.name).is_some() {
                 let kind = MathKind::from_name(&f.name)
-                    .ok_or_else(|| SimError::Trap(format!("unknown math fn {}", f.name)))?;
+                    .ok_or_else(|| SimError::trap(format!("unknown math fn {}", f.name)))?;
                 CallTarget::Math(kind, f.name.ends_with('f'))
             } else if f.is_declaration() {
                 CallTarget::Extern(fid)
@@ -150,10 +150,10 @@ impl<'m> ExecPlan<'m> {
             let check =
                 |v: Value| -> Result<(), SimError> {
                     match v {
-                        Value::Func(g) if g.index() >= num_functions => Err(SimError::Trap(
+                        Value::Func(g) if g.index() >= num_functions => Err(SimError::trap(
                             format!("@{}: reference to undefined function {g}", f.name),
                         )),
-                        Value::Global(g) if g.index() >= num_globals => Err(SimError::Trap(
+                        Value::Global(g) if g.index() >= num_globals => Err(SimError::trap(
                             format!("@{}: reference to undefined global {g}", f.name),
                         )),
                         _ => Ok(()),
@@ -268,7 +268,7 @@ fn bad_operand(func: &str, kind: &InstKind, num_functions: usize, num_globals: u
         }
         true
     });
-    SimError::Trap(msg)
+    SimError::trap(msg)
 }
 
 /// Visits each operand; stops early (returning `false`) when the
@@ -347,8 +347,10 @@ mod tests {
     fn plan_rejects_call_to_undefined_function() {
         let m = module_with_call(Value::Func(FuncId(999)));
         let err = ExecPlan::build(&m).err().expect("must not build");
-        match err {
-            SimError::Trap(msg) => assert!(msg.contains("undefined function"), "{msg}"),
+        match err.kind {
+            crate::error::SimErrorKind::Trap(msg) => {
+                assert!(msg.contains("undefined function"), "{msg}")
+            }
             other => panic!("expected a trap, got {other:?}"),
         }
     }
@@ -367,7 +369,10 @@ mod tests {
         );
         f.block_mut(e).term = Terminator::Ret(None);
         m.add_function(f);
-        assert!(matches!(ExecPlan::build(&m), Err(SimError::Trap(_))));
+        assert!(matches!(
+            ExecPlan::build(&m),
+            Err(e) if matches!(e.kind, crate::error::SimErrorKind::Trap(_))
+        ));
     }
 
     #[test]

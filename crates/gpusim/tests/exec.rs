@@ -2,7 +2,7 @@
 //! GPU, checking both results and cost-model behaviour.
 
 use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
-use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal, SimError};
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal};
 
 fn build(src: &str) -> omp_ir::Module {
     let m = compile(src, &FrontendOptions::default()).unwrap();
@@ -246,8 +246,8 @@ void spmd_share(double* out, long n) {
     let err = dev
         .launch("share", &[RtVal::Ptr(out), RtVal::I64(8)], dims(1, 8))
         .unwrap_err();
-    match err {
-        SimError::Mem(omp_gpusim::MemError::CrossThreadLocal { .. }) => {}
+    match err.kind {
+        omp_gpusim::SimErrorKind::Mem(omp_gpusim::MemError::CrossThreadLocal { .. }) => {}
         other => panic!("expected cross-thread trap, got {other:?}"),
     }
 }
@@ -427,8 +427,8 @@ void hog(double* out, long n) {
         .unwrap_err();
     assert!(
         matches!(
-            err,
-            SimError::Mem(omp_gpusim::MemError::HeapExhausted { .. })
+            err.kind,
+            omp_gpusim::SimErrorKind::Mem(omp_gpusim::MemError::HeapExhausted { .. })
         ),
         "expected OOM, got {err:?}"
     );
@@ -510,17 +510,18 @@ void k(double* a) {
 "#,
     );
     let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+    use omp_gpusim::SimErrorKind;
     assert!(matches!(
         dev.launch("nope", &[], LaunchDims::default()),
-        Err(SimError::UnknownKernel(_))
+        Err(e) if matches!(e.kind, SimErrorKind::UnknownKernel(_))
     ));
     assert!(matches!(
         dev.launch("k", &[], LaunchDims::default()),
-        Err(SimError::BadArgs(_))
+        Err(e) if matches!(e.kind, SimErrorKind::BadArgs(_))
     ));
     assert!(matches!(
         dev.launch("k", &[RtVal::I32(1)], LaunchDims::default()),
-        Err(SimError::BadArgs(_))
+        Err(e) if matches!(e.kind, SimErrorKind::BadArgs(_))
     ));
 }
 

@@ -180,7 +180,7 @@ fn division_by_zero_traps() {
     let err = dev
         .launch("d", &[RtVal::Ptr(out), RtVal::I64(0)], one_thread())
         .unwrap_err();
-    assert!(matches!(err, omp_gpusim::SimError::Trap(_)));
+    assert!(matches!(err.kind, omp_gpusim::SimErrorKind::Trap(_)));
 }
 
 /// `unreachable` reached at runtime is reported as a trap with the
@@ -200,8 +200,8 @@ fn unreachable_reports_function() {
     let err = dev
         .launch("bad", &[RtVal::Ptr(out)], one_thread())
         .unwrap_err();
-    match err {
-        omp_gpusim::SimError::Trap(msg) => assert!(msg.contains("bad"), "{msg}"),
+    match err.kind {
+        omp_gpusim::SimErrorKind::Trap(msg) => assert!(msg.contains("bad"), "{msg}"),
         other => panic!("{other:?}"),
     }
 }

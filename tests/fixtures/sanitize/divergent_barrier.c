@@ -1,0 +1,23 @@
+// Seeded bug: every thread reaches *a* barrier, but thread 0 parks at
+// a different barrier site than its peers. The region completes (the
+// counts balance), yet the synchronization is structurally divergent —
+// the sanitizer must report `barrier-divergence`. See
+// divergent_barrier_fixed.c for the clean variant.
+// oracle-kernel: divb
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 8
+// oracle-arg: i64 8
+void divb(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    if (me == 0) {
+      out[4] = 1;
+      #pragma omp barrier
+    } else {
+      #pragma omp barrier
+    }
+    out[me] = out[4];
+  }
+}

@@ -1,0 +1,19 @@
+// Fixed variant of divergent_barrier.c: every thread parks at the same
+// barrier site, so the synchronization is convergent and the sanitizer
+// must stay silent.
+// oracle-kernel: divb
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 8
+// oracle-arg: i64 8
+void divb(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    if (me == 0) {
+      out[4] = 1;
+    }
+    #pragma omp barrier
+    out[me] = out[4];
+  }
+}

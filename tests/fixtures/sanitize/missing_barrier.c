@@ -1,0 +1,21 @@
+// Seeded bug: thread 0 publishes a value that every thread then reads,
+// with no barrier ordering the publication before the reads — a
+// read/write data race in the same barrier epoch. The sanitizer must
+// report `data-race`; see missing_barrier_fixed.c for the clean
+// variant.
+// oracle-kernel: prodcons
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 8
+// oracle-arg: i64 8
+void prodcons(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    if (me == 0) {
+      out[4] = 7;
+    }
+    long v = out[4];
+    out[me] = v;
+  }
+}

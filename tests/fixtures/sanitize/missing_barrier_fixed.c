@@ -1,0 +1,20 @@
+// Fixed variant of missing_barrier.c: the barrier orders thread 0's
+// publication before every read, so the accesses fall into different
+// barrier epochs and the sanitizer must stay silent.
+// oracle-kernel: prodcons
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 8
+// oracle-arg: i64 8
+void prodcons(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    if (me == 0) {
+      out[4] = 7;
+    }
+    #pragma omp barrier
+    long v = out[4];
+    out[me] = v;
+  }
+}

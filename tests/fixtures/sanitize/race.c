@@ -1,0 +1,16 @@
+// Seeded bug: every thread writes the same element without any
+// synchronization — a textbook write/write data race. The sanitizer
+// must report `data-race` on the store; see race_fixed.c for the
+// clean variant.
+// oracle-kernel: race
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 4
+// oracle-arg: i64 4
+void race(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    out[0] = me;
+  }
+}

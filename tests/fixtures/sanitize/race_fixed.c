@@ -1,0 +1,14 @@
+// Fixed variant of race.c: each thread owns a distinct element, so
+// there is no conflicting access and the sanitizer must stay silent.
+// oracle-kernel: race
+// oracle-teams: 1
+// oracle-threads: 4
+// oracle-arg: buf i64 4
+// oracle-arg: i64 4
+void race(long* out, long n) {
+  #pragma omp target parallel
+  {
+    long me = (long)omp_get_thread_num();
+    out[me] = me;
+  }
+}

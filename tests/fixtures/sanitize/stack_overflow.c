@@ -1,0 +1,22 @@
+// Seeded degradation: this kernel globalizes a capture struct per
+// distribute iteration (when the mid-end does not promote it). Run
+// with a fault plan capping the shared globalization stack
+// (`shared_stack_limit: 0`), every allocation falls back to the device
+// heap — the run must still complete with correct results, and the
+// sanitizer must surface each fallback as a `shared-stack-fallback`
+// note (not an error).
+// oracle-kernel: spill
+// oracle-teams: 2
+// oracle-threads: 4
+// oracle-arg: buf f64 16
+// oracle-arg: i64 4
+void spill(double* a, long n) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < n; b++) {
+    double tv = (double)(b + 1);
+    #pragma omp parallel for
+    for (long t = 0; t < 4; t++) {
+      a[b * 4 + t] = tv;
+    }
+  }
+}

@@ -10,7 +10,9 @@
 # informational: it regenerates BENCH_gpusim.json (simulator wall-clock
 # per proxy/config) but is not part of the gating `all` run. The
 # `smoke` stage runs `ompgpu profile` on one proxy and validates the
-# emitted Chrome trace; it IS part of `all`.
+# emitted Chrome trace, then runs the device sanitizer over a proxy's
+# full config matrix and the fault-injection self-test; it IS part of
+# `all`.
 
 set -eu
 
@@ -85,6 +87,21 @@ run_smoke() {
         exit 1
     }
     echo "smoke: trace OK ($(wc -c < "$trace") bytes)"
+
+    echo "==> ompgpu sanitize smoke (proxy matrix + fault-injection self-test)"
+    # Every config of a real proxy must come back sanitizer-clean: no
+    # races, no divergence, no memory-state findings anywhere in the
+    # ablation matrix. Exit code 5 (findings) or 3 (sim error) fails
+    # the stage via `set -eu`.
+    cargo run -q -p omp-gpu --bin ompgpu --offline -- \
+        sanitize --proxy xsbench --scale small --all-configs > /dev/null
+    echo "smoke: sanitize matrix clean (xsbench, all configs)"
+    # The self-test injects faults (alloc failure, trap, team abort,
+    # capped shared stack) and checks each degrades into the expected
+    # structured error, identically across worker-thread counts.
+    cargo run -q -p omp-gpu --bin ompgpu --offline -- \
+        sanitize --self-test > /dev/null
+    echo "smoke: fault-injection self-test passed"
 }
 
 case "$stage" in
