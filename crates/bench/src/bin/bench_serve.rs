@@ -1,0 +1,292 @@
+//! Wall-clock benchmark for the `ompgpu serve` compile service.
+//!
+//! Drives an in-process serve executor with many concurrent clients:
+//! one **cold** pass against empty caches, then a byte-identical
+//! **warm** pass over the same request corpus, measuring requests per
+//! second and cache hit rates for each. The results land as the
+//! informational `"serve"` section of `BENCH_gpusim.json`:
+//!
+//! ```text
+//! cargo run --release -p omp-bench --bin bench_serve -- \
+//!     [--clients N] [--out BENCH_gpusim.json]
+//! ```
+//!
+//! Two oracles ride along with the timing:
+//!
+//! * **determinism** — for every request id, the warm response's
+//!   `result` payload must be byte-identical to the cold one (the
+//!   `stats` op is excluded by the protocol spec; the envelope's
+//!   `cache` accounting is expected to differ);
+//! * **throughput** — the warm pass must clear 3× the cold pass's
+//!   requests per second, the PR's acceptance floor. A miss prints a
+//!   WARNING but, like the rest of the bench stage, stays
+//!   informational.
+
+use omp_gpu::serve::{spawn_executor, ExecutorHandle, Session};
+use omp_json::{JsonWriter, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Source template; each corpus entry varies the loop body so every
+/// source is a distinct frontend-tier entry.
+fn subject_source(variant: usize) -> String {
+    format!(
+        r#"
+// oracle-kernel: work{variant}
+// oracle-teams: 2
+// oracle-threads: 8
+// oracle-arg: buf f64 64 iota
+// oracle-arg: f64 {variant}.5
+// oracle-arg: i64 64
+void work{variant}(double* a, double f, long n) {{
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) {{ a[i] = a[i] * f + {variant}.0; }}
+}}
+"#
+    )
+}
+
+/// Builds the request corpus: for each subject, every request type the
+/// service accepts (minus `stats`/`shutdown`, which are excluded from
+/// the determinism oracle), across two configurations.
+fn build_corpus(subjects: usize) -> Vec<(u64, String)> {
+    let mut corpus = Vec::new();
+    let mut id = 0u64;
+    let mut push = |lines: &mut Vec<(u64, String)>, op: &str, source: &str, config: &str| {
+        id += 1;
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        w.key("id").u64(id);
+        w.key("op").string(op);
+        w.key("source").string(source);
+        w.key("name").string(&format!("bench{id}"));
+        w.key("config").string(config);
+        w.end_object();
+        lines.push((id, w.finish()));
+    };
+    for v in 0..subjects {
+        let source = subject_source(v);
+        for config in ["dev", "llvm12"] {
+            push(&mut corpus, "compile", &source, config);
+            push(&mut corpus, "run", &source, config);
+            push(&mut corpus, "profile", &source, config);
+            push(&mut corpus, "sanitize", &source, config);
+        }
+        push(&mut corpus, "verify", &source, "dev");
+    }
+    corpus
+}
+
+/// Fires the corpus at the executor from `clients` threads (striped
+/// round-robin) and returns wall seconds plus id → response.
+fn run_pass(
+    handle: &ExecutorHandle,
+    corpus: &[(u64, String)],
+    clients: usize,
+) -> (f64, BTreeMap<u64, String>) {
+    let started = Instant::now();
+    let responses = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..clients {
+            let handle = handle.clone();
+            workers.push(scope.spawn(move || {
+                let mut got: Vec<(u64, String)> = Vec::new();
+                for (id, line) in corpus.iter().skip(c).step_by(clients) {
+                    got.push((*id, handle.request(line)));
+                }
+                got
+            }));
+        }
+        let mut merged = BTreeMap::new();
+        for w in workers {
+            merged.extend(w.join().expect("client thread panicked"));
+        }
+        merged
+    });
+    (started.elapsed().as_secs_f64(), responses)
+}
+
+/// Cumulative (hits, misses) per tier from a `stats` response.
+fn tier_totals(handle: &ExecutorHandle) -> [(u64, u64); 3] {
+    let resp = handle.request("{\"op\":\"stats\"}");
+    let v = omp_json::parse(&resp).expect("stats response parses");
+    let cache = v
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("stats result carries cache totals");
+    ["frontend", "optimized", "device"].map(|tier| {
+        let t = cache.get(tier).expect("tier present");
+        (
+            t.get("hits").and_then(Value::as_u64).unwrap_or(0),
+            t.get("misses").and_then(Value::as_u64).unwrap_or(0),
+        )
+    })
+}
+
+/// The `result` payload of a response, normalized through the JSON
+/// printer (both passes use the same serializer, so equal normalized
+/// text is byte-equal wire text).
+fn result_payload(response: &str) -> Option<String> {
+    omp_json::parse(response)
+        .ok()?
+        .get("result")
+        .map(Value::to_json)
+}
+
+fn write_tier_rates(w: &mut JsonWriter, before: &[(u64, u64); 3], after: &[(u64, u64); 3]) {
+    w.begin_object();
+    for (i, tier) in ["frontend", "optimized", "device"].iter().enumerate() {
+        let hits = after[i].0 - before[i].0;
+        let misses = after[i].1 - before[i].1;
+        let total = hits + misses;
+        w.key(tier).begin_object();
+        w.key("hits").u64(hits);
+        w.key("misses").u64(misses);
+        w.key("hit_rate").f64(if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        });
+        w.end_object();
+    }
+    w.end_object();
+}
+
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Replaces (or appends) the top-level `"serve"` member of the bench
+/// artifact, preserving every other member byte-for-byte.
+fn patch_artifact(path: &str, serve_json: &str) -> Result<(), String> {
+    let members: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match omp_json::parse(&text) {
+            Ok(Value::Object(members)) => members,
+            Ok(_) | Err(_) => {
+                return Err(format!("{path} exists but is not a JSON object"));
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    for (k, v) in &members {
+        if k != "serve" {
+            w.key(k).raw(&v.to_json());
+        }
+    }
+    w.key("serve").raw(serve_json);
+    w.end_object();
+    std::fs::write(path, w.finish() + "\n").map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut out_path = "BENCH_gpusim.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => clients = n,
+                _ => {
+                    eprintln!("bench_serve: --clients needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_serve: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_serve: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let corpus = build_corpus(3);
+    let (handle, executor) = spawn_executor(Session::default());
+
+    let base = tier_totals(&handle);
+    let (cold_secs, cold) = run_pass(&handle, &corpus, clients);
+    let after_cold = tier_totals(&handle);
+    let (warm_secs, warm) = run_pass(&handle, &corpus, clients);
+    let after_warm = tier_totals(&handle);
+
+    handle.request("{\"op\":\"shutdown\"}");
+    let _ = executor.join();
+
+    // Determinism oracle: identical request → byte-identical result.
+    let mut mismatched: Vec<u64> = Vec::new();
+    for (id, cold_resp) in &cold {
+        let warm_resp = warm.get(id).expect("warm pass covers every id");
+        if result_payload(cold_resp) != result_payload(warm_resp) {
+            mismatched.push(*id);
+        }
+    }
+
+    let n = corpus.len() as f64;
+    let cold_rps = n / cold_secs;
+    let warm_rps = n / warm_secs;
+    let speedup = warm_rps / cold_rps;
+
+    let mut w = JsonWriter::with_capacity(2048);
+    w.begin_object();
+    w.key("schema").string("ompgpu-bench-serve/v1");
+    w.key("git_revision").string(&git_revision());
+    w.key("clients").usize(clients);
+    w.key("requests_per_pass").usize(corpus.len());
+    w.key("cold").begin_object();
+    w.key("wall_seconds").f64(cold_secs);
+    w.key("req_per_sec").f64(cold_rps);
+    w.key("cache");
+    write_tier_rates(&mut w, &base, &after_cold);
+    w.end_object();
+    w.key("warm").begin_object();
+    w.key("wall_seconds").f64(warm_secs);
+    w.key("req_per_sec").f64(warm_rps);
+    w.key("cache");
+    write_tier_rates(&mut w, &after_cold, &after_warm);
+    w.end_object();
+    w.key("warm_vs_cold_speedup").f64(speedup);
+    w.key("byte_identical_results").bool(mismatched.is_empty());
+    w.key("mismatched_ids").begin_array();
+    for id in &mismatched {
+        w.u64(*id);
+    }
+    w.end_array();
+    w.end_object();
+    let serve_json = w.finish();
+
+    if let Err(e) = patch_artifact(&out_path, &serve_json) {
+        eprintln!("bench_serve: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "serve bench: {} requests x {} clients: cold {:.1} req/s, warm {:.1} req/s ({:.1}x)",
+        corpus.len(),
+        clients,
+        cold_rps,
+        warm_rps,
+        speedup
+    );
+    if !mismatched.is_empty() {
+        eprintln!("bench_serve: WARNING: warm results diverged from cold for ids {mismatched:?}");
+    }
+    if speedup < 3.0 {
+        eprintln!("bench_serve: WARNING: warm/cold speedup {speedup:.2}x below the 3x floor");
+    }
+    println!("serve section written to {out_path}");
+}

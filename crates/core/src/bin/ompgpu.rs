@@ -18,6 +18,8 @@
 //! ompgpu sanitize kernel.c | --proxy NAME | --self-test
 //!                [--config CFG | --all-configs] [--scale small|bench]
 //!                [--jobs N] [--max-insts N] [--json]
+//! ompgpu serve   --socket PATH [--device-cache N]
+//! ompgpu client  --socket PATH [--ping] [--stats] [--shutdown]
 //! ```
 //!
 //! Buffer arguments are device allocations initialized per the optional
@@ -63,6 +65,14 @@
 //! traps, and team aborts. Findings are merged in team-id order, so
 //! they are bit-identical for every `--jobs` setting.
 //!
+//! `serve` runs the compile service daemon (see `docs/SERVE.md`): a
+//! long-lived session with content-addressed artifact caches, speaking
+//! `ompgpu-serve/v1` JSON-lines over a Unix socket. `client` connects
+//! to a running daemon, sends the requests named by its flags — or,
+//! with no request flags, forwards JSON-lines requests from stdin —
+//! prints each response line on stdout, and exits with the highest
+//! exit code any response carried.
+//!
 //! Exit codes are stable and machine-checkable: `0` success/clean,
 //! `1` compile or I/O failure, `2` usage error, `3` simulation or
 //! launch failure, `4` oracle divergence, `5` error-severity sanitizer
@@ -70,7 +80,8 @@
 //! object on stdout when the launch fails; `ompgpu sanitize --json`
 //! prints an `ompgpu-sanitize/v1` report either way.
 
-use omp_gpu::oracle::{self, ArgSpec, BufInit, ExampleSpec, VerifyOptions};
+use omp_gpu::oracle::{self, ArgSpec, ExampleSpec, VerifyOptions};
+use omp_gpu::serve;
 use omp_gpu::{
     all_proxies, pipeline, BuildConfig, Device, FaultPlan, KernelStats, LaunchDims, LaunchProfile,
     OptReport, ProfileMode, SanitizeMode, Scale, SimErrorKind,
@@ -103,7 +114,10 @@ fn usage() -> ExitCode {
          [--watchdog SECS] [FILE.c ...]\n  \
          ompgpu sanitize <file.c> | --proxy NAME | --self-test\n             \
          [--config CFG | --all-configs] [--scale small|bench]\n             \
-         [--jobs N] [--max-insts N] [--json]\n\n\
+         [--jobs N] [--max-insts N] [--json]\n  \
+         ompgpu serve --socket PATH [--device-cache N]\n  \
+         ompgpu client --socket PATH [--ping] [--stats] [--shutdown]\n             \
+         (no request flags: forward JSON-lines requests from stdin)\n\n\
          CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
          SPEC: buf:f64:LEN[:init] | buf:i64:LEN[:init] | i64:V | i32:V | f64:V\n      \
          (init: zero | iota | pseudo; default zero)\n\
@@ -225,7 +239,7 @@ fn sanitize_main(args: &[String]) -> ExitCode {
                 Some("bench") => scale = Scale::Bench,
                 _ => return usage(),
             },
-            "--config" => match it.next().and_then(|s| parse_config(s)) {
+            "--config" => match it.next().and_then(|s| BuildConfig::from_cli_name(s)) {
                 Some(c) => config = c,
                 None => return usage(),
             },
@@ -495,54 +509,128 @@ fn sanitize_self_test(jobs: Option<u32>) -> ExitCode {
     }
 }
 
-fn parse_config(s: &str) -> Option<BuildConfig> {
-    Some(match s {
-        "llvm12" => BuildConfig::Llvm12Baseline,
-        "noopt" => BuildConfig::NoOpenmpOpt,
-        "h2s2" => BuildConfig::H2S2,
-        "h2s2rtc" => BuildConfig::H2S2Rtc,
-        "h2s2rtccsm" => BuildConfig::H2S2RtcCsm,
-        "dev" => BuildConfig::LlvmDev,
-        "cuda" => BuildConfig::CudaStyle,
-        _ => return None,
-    })
-}
+// ---------------------------------------------------------------------
+// ompgpu serve / client
+// ---------------------------------------------------------------------
 
-/// The short CLI spelling of a configuration (the inverse of
-/// [`parse_config`]) — used in tables where the full label is too wide.
-fn config_name(c: BuildConfig) -> &'static str {
-    match c {
-        BuildConfig::Llvm12Baseline => "llvm12",
-        BuildConfig::NoOpenmpOpt => "noopt",
-        BuildConfig::H2S2 => "h2s2",
-        BuildConfig::H2S2Rtc => "h2s2rtc",
-        BuildConfig::H2S2RtcCsm => "h2s2rtccsm",
-        BuildConfig::LlvmDev => "dev",
-        BuildConfig::CudaStyle => "cuda",
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut device_cache = serve::DEFAULT_DEVICE_CAPACITY;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return usage(),
+            },
+            "--device-cache" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => device_cache = n,
+                None => return usage(),
+            },
+            other => {
+                eprintln!("ompgpu serve: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("ompgpu serve: --socket PATH is required");
+        return usage();
+    };
+    match serve::serve_unix(
+        std::path::Path::new(&socket),
+        serve::Session::new(device_cache),
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ompgpu serve: {e}");
+            ExitCode::from(EXIT_BUILD)
+        }
     }
 }
 
-fn parse_buf_init(s: &str) -> Option<BufInit> {
-    Some(match s {
-        "zero" => BufInit::Zero,
-        "iota" => BufInit::Iota,
-        "pseudo" => BufInit::Pseudo,
-        _ => return None,
-    })
-}
-
-fn parse_arg(s: &str) -> Option<ArgSpec> {
-    let parts: Vec<&str> = s.split(':').collect();
-    match parts.as_slice() {
-        ["buf", "f64", n] => Some(ArgSpec::BufF64(n.parse().ok()?, BufInit::Zero)),
-        ["buf", "f64", n, init] => Some(ArgSpec::BufF64(n.parse().ok()?, parse_buf_init(init)?)),
-        ["buf", "i64", n] => Some(ArgSpec::BufI64(n.parse().ok()?, BufInit::Zero)),
-        ["buf", "i64", n, init] => Some(ArgSpec::BufI64(n.parse().ok()?, parse_buf_init(init)?)),
-        ["i64", v] => Some(ArgSpec::I64(v.parse().ok()?)),
-        ["i32", v] => Some(ArgSpec::I32(v.parse().ok()?)),
-        ["f64", v] => Some(ArgSpec::F64(v.parse().ok()?)),
-        _ => None,
+fn client_main(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    let mut socket: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return usage(),
+            },
+            "--ping" => requests.push("{\"op\":\"ping\"}".to_string()),
+            "--stats" => requests.push("{\"op\":\"stats\"}".to_string()),
+            "--shutdown" => requests.push("{\"op\":\"shutdown\"}".to_string()),
+            other => {
+                eprintln!("ompgpu client: unknown flag {other}");
+                return usage();
+            }
+        }
     }
+    let Some(socket) = socket else {
+        eprintln!("ompgpu client: --socket PATH is required");
+        return usage();
+    };
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            match line {
+                Ok(l) => {
+                    if !l.trim().is_empty() {
+                        requests.push(l);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("ompgpu client: stdin read failed: {e}");
+                    return ExitCode::from(EXIT_BUILD);
+                }
+            }
+        }
+    }
+    let stream = match UnixStream::connect(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ompgpu client: cannot connect to {socket}: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("ompgpu client: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    };
+    let mut writer = stream;
+    let mut worst: u8 = 0;
+    for req in &requests {
+        if writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("ompgpu client: connection closed while sending");
+            return ExitCode::from(EXIT_SIM);
+        }
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) | Err(_) => {
+                eprintln!("ompgpu client: connection closed before a response arrived");
+                return ExitCode::from(EXIT_SIM);
+            }
+            Ok(_) => {}
+        }
+        print!("{resp}");
+        if let Ok(v) = omp_json::parse(resp.trim_end()) {
+            if let Some(code) = v.get("exit_code").and_then(omp_json::Value::as_u64) {
+                worst = worst.max(code.min(u8::MAX as u64) as u8);
+            }
+        }
+    }
+    ExitCode::from(worst)
 }
 
 fn print_time_passes(report: Option<&OptReport>) {
@@ -649,7 +737,7 @@ fn render_ablation(results: &[(BuildConfig, Result<Profiled, String>)]) -> Strin
                 let _ = writeln!(
                     out,
                     "  {:<12} {:>12} {:>10} {:>6} {:>12}",
-                    config_name(*config),
+                    config.cli_name(),
                     p.stats.cycles,
                     p.stats.shared_mem_bytes,
                     p.stats.registers,
@@ -657,7 +745,7 @@ fn render_ablation(results: &[(BuildConfig, Result<Profiled, String>)]) -> Strin
                 );
             }
             Err(e) => {
-                let _ = writeln!(out, "  {:<12} failed: {}", config_name(*config), e);
+                let _ = writeln!(out, "  {:<12} failed: {}", config.cli_name(), e);
             }
         }
     }
@@ -677,7 +765,7 @@ fn render_ablation(results: &[(BuildConfig, Result<Profiled, String>)]) -> Strin
     out.push_str("\nexclusive cycles per function (- = not present):\n");
     let mut header = format!("  {:<28}", "FUNCTION");
     for (config, _) in results {
-        let _ = write!(header, " {:>12}", config_name(*config));
+        let _ = write!(header, " {:>12}", config.cli_name());
     }
     out.push_str(&header);
     out.push('\n');
@@ -733,7 +821,7 @@ fn profile_main(args: &[String]) -> ExitCode {
                 Some("bench") => scale = Scale::Bench,
                 _ => return usage(),
             },
-            "--config" => match it.next().and_then(|s| parse_config(s)) {
+            "--config" => match it.next().and_then(|s| BuildConfig::from_cli_name(s)) {
                 Some(c) => config = c,
                 None => return usage(),
             },
@@ -745,7 +833,7 @@ fn profile_main(args: &[String]) -> ExitCode {
             "--trace" => trace = it.next().cloned(),
             "--json" => json = true,
             "--time-passes" => time_passes = true,
-            "--arg" => match it.next().and_then(|s| parse_arg(s)) {
+            "--arg" => match it.next().and_then(|s| ArgSpec::parse_colon(s)) {
                 Some(s) => specs.push(s),
                 None => return usage(),
             },
@@ -870,6 +958,12 @@ fn main() -> ExitCode {
     if mode == "sanitize" {
         return sanitize_main(&args[1..]);
     }
+    if mode == "serve" {
+        return serve_main(&args[1..]);
+    }
+    if mode == "client" {
+        return client_main(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return usage();
     };
@@ -895,7 +989,7 @@ fn main() -> ExitCode {
     let mut it = args.iter().skip(2);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--config" => match it.next().and_then(|s| parse_config(s)) {
+            "--config" => match it.next().and_then(|s| BuildConfig::from_cli_name(s)) {
                 Some(c) => config = c,
                 None => return usage(),
             },
@@ -909,7 +1003,7 @@ fn main() -> ExitCode {
             "--jobs" => jobs = it.next().and_then(|s| s.parse().ok()),
             "--max-insts" => max_insts = it.next().and_then(|s| s.parse().ok()),
             "--dump" => dump = it.next().and_then(|s| s.parse().ok()).unwrap_or(8),
-            "--arg" => match it.next().and_then(|s| parse_arg(s)) {
+            "--arg" => match it.next().and_then(|s| ArgSpec::parse_colon(s)) {
                 Some(s) => specs.push(s),
                 None => return usage(),
             },

@@ -33,6 +33,7 @@
 pub mod config;
 pub mod oracle;
 pub mod pipeline;
+pub mod serve;
 
 pub use config::BuildConfig;
 pub use omp_benchmarks::{all_proxies, ProxyApp, Scale};
@@ -49,4 +50,7 @@ pub use pipeline::{
     build, profile_proxy, render_pass_timings, run_all_configs, run_proxy, sanitize_proxy,
     sanitize_report_json, sanitize_source, ProfiledRun, RunOutcome, SanitizeOptions,
     SanitizeOutcome,
+};
+pub use serve::{
+    serve_unix, spawn_executor, ExecutorHandle, ServeJob, Session, SessionStats, TierStats,
 };

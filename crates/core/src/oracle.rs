@@ -224,6 +224,34 @@ pub struct ExampleSpec {
     pub args: Vec<ArgSpec>,
 }
 
+impl ArgSpec {
+    /// Parses the colon-separated spelling shared by the CLI's `--arg`
+    /// flag and the serve protocol's `"args"` array:
+    /// `buf:f64:LEN[:init]`, `buf:i64:LEN[:init]`, `i64:V`, `i32:V`,
+    /// `f64:V` (init: `zero` — the default — `iota`, or `pseudo`).
+    pub fn parse_colon(s: &str) -> Option<ArgSpec> {
+        let init = |name: &str| -> Option<BufInit> {
+            Some(match name {
+                "zero" => BufInit::Zero,
+                "iota" => BufInit::Iota,
+                "pseudo" => BufInit::Pseudo,
+                _ => return None,
+            })
+        };
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["buf", "f64", n] => Some(ArgSpec::BufF64(n.parse().ok()?, BufInit::Zero)),
+            ["buf", "f64", n, i] => Some(ArgSpec::BufF64(n.parse().ok()?, init(i)?)),
+            ["buf", "i64", n] => Some(ArgSpec::BufI64(n.parse().ok()?, BufInit::Zero)),
+            ["buf", "i64", n, i] => Some(ArgSpec::BufI64(n.parse().ok()?, init(i)?)),
+            ["i64", v] => Some(ArgSpec::I64(v.parse().ok()?)),
+            ["i32", v] => Some(ArgSpec::I32(v.parse().ok()?)),
+            ["f64", v] => Some(ArgSpec::F64(v.parse().ok()?)),
+            _ => None,
+        }
+    }
+}
+
 impl ExampleSpec {
     /// Parses the spec header out of an example source file.
     pub fn parse(source: &str) -> Result<ExampleSpec, String> {
@@ -532,7 +560,7 @@ fn run_example_config(
 /// Derives the verdict from per-configuration results: bit-identical
 /// outputs across every successful configuration, tolerated documented
 /// failures, and monotone resource statistics along [`ABLATION_CHAIN`].
-fn finish_case(name: &str, results: Vec<CaseResult>) -> OracleCase {
+pub(crate) fn finish_case(name: &str, results: Vec<CaseResult>) -> OracleCase {
     let mut failures = Vec::new();
     let mut expected_failures = Vec::new();
 

@@ -1,0 +1,1436 @@
+//! The compile service: `ompgpu serve`.
+//!
+//! A [`Session`] is a long-lived compilation context with
+//! content-addressed caches at the pipeline's three stage boundaries
+//! (see `docs/SERVE.md` for the full protocol specification):
+//!
+//! 1. **frontend tier** — `fnv1a(globalization scheme, CUDA flag,
+//!    source text)` → parsed + lowered [`Module`]. The frontend depends
+//!    on the build configuration only through those two options, so all
+//!    six OpenMP-source configurations share at most two entries per
+//!    source.
+//! 2. **optimized tier** — `fnv1a(frontend IR hash,
+//!    [`BuildConfig::fingerprint`])` → optimized [`Module`] plus the
+//!    pre-serialized deterministic compile result (counts, remarks,
+//!    kernel table). The fingerprint covers every optimizer and
+//!    frontend option, so two configurations can never alias.
+//! 3. **device tier** — an LRU of warmed [`OwnedDevice`]s keyed by the
+//!    optimized module's IR content hash. A device embeds its decoded
+//!    [`ExecPlan`](omp_gpusim::ExecPlan), so this tier is the
+//!    module → ExecPlan cache; on reuse the device is
+//!    [`reset`](omp_gpusim::Device::reset) back to its freshly
+//!    constructed memory state, which makes warm launches byte-identical
+//!    to cold ones.
+//!
+//! Requests arrive as JSON-lines (`ompgpu-serve/v1`); each response
+//! carries per-request cache hit/miss accounting in its envelope and a
+//! deterministic `result` payload: for every request type except
+//! `stats`, the `result` object from a warm cache is byte-identical to
+//! the cold one (the envelope's `cache` field is the only part allowed
+//! to differ). Wall-clock quantities (pass timings) are deliberately
+//! excluded from every payload.
+//!
+//! [`spawn_executor`] runs a session on a dedicated thread behind an
+//! MPSC queue: requests from any number of clients are serialized FIFO
+//! and drained in batches, which is both the concurrency story (the
+//! session needs no locks) and the determinism story (arrival order is
+//! execution order). [`serve_unix`] exposes the executor on a Unix
+//! socket for `ompgpu serve` / `ompgpu client`.
+
+use crate::config::BuildConfig;
+use crate::oracle::{self, ArgSpec, CaseResult, ExampleSpec, ORACLE_CONFIGS};
+use crate::pipeline::{self, SanitizeOutcome};
+use omp_gpusim::{FaultPlan, LaunchDims, OwnedDevice, ProfileMode, SanitizeMode};
+use omp_ir::Module;
+use omp_json::{content_address, fnv1a, JsonWriter, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Schema identifier carried by every response envelope.
+pub const SCHEMA: &str = "ompgpu-serve/v1";
+
+/// Every request type the protocol accepts, in documentation order.
+pub const ALL_OPS: [&str; 8] = [
+    "ping", "compile", "run", "verify", "profile", "sanitize", "stats", "shutdown",
+];
+
+/// Exit-code semantics shared with the CLI: success / clean.
+pub const EXIT_OK: u8 = 0;
+/// Compile or I/O failure.
+pub const EXIT_BUILD: u8 = 1;
+/// Usage error (malformed request, unknown op, bad field).
+pub const EXIT_USAGE: u8 = 2;
+/// Simulation or launch failure.
+pub const EXIT_SIM: u8 = 3;
+/// Oracle divergence.
+pub const EXIT_DIVERGED: u8 = 4;
+/// Error-severity sanitizer findings.
+pub const EXIT_FINDINGS: u8 = 5;
+
+/// Default per-launch wall-clock watchdog, in seconds.
+const DEFAULT_WATCHDOG_SECS: u64 = 60;
+
+/// Default capacity of the warm-device LRU: enough to keep the whole
+/// six-configuration ablation matrix of one subject warm, plus slack.
+pub const DEFAULT_DEVICE_CAPACITY: usize = 8;
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+/// Hit/miss counters of one cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the artifact.
+    pub misses: u64,
+}
+
+impl TierStats {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("hits").u64(self.hits);
+        w.key("misses").u64(self.misses);
+        w.end_object();
+    }
+}
+
+/// Cumulative accounting of one [`Session`], surfaced by the `stats`
+/// request and rendered per request into each response envelope (the
+/// per-request slice lives in [`Session::trace`]-internal counters).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Source → frontend-module tier.
+    pub frontend: TierStats,
+    /// (frontend module, configuration) → optimized-module tier.
+    pub optimized: TierStats,
+    /// Optimized module → warmed device (with decoded ExecPlan) tier.
+    pub device: TierStats,
+    /// Requests handled (including malformed ones).
+    pub requests: u64,
+    /// Requests that produced a non-zero exit code.
+    pub errors: u64,
+    /// Per-op request counts, indexed like [`ALL_OPS`].
+    pub ops: [u64; ALL_OPS.len()],
+    /// Executor batches drained (one batch per wake-up).
+    pub batches: u64,
+    /// Requests drained across all batches.
+    pub batched_requests: u64,
+}
+
+impl SessionStats {
+    /// Total cache hits across all three tiers (the quantity the CI
+    /// smoke test asserts is positive on a warm second pass).
+    pub fn total_hits(&self) -> u64 {
+        self.frontend.hits + self.optimized.hits + self.device.hits
+    }
+}
+
+/// Per-request cache accounting, rendered into the response envelope.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheTrace {
+    frontend: TierStats,
+    optimized: TierStats,
+    device: TierStats,
+}
+
+impl CacheTrace {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("frontend");
+        self.frontend.write_json(w);
+        w.key("optimized");
+        self.optimized.write_json(w);
+        w.key("device");
+        self.device.write_json(w);
+        w.end_object();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache entries
+// ---------------------------------------------------------------------
+
+struct FrontendEntry {
+    module: Arc<Module>,
+    /// FNV-1a of the printed frontend IR — the content half of the
+    /// optimized tier's key.
+    ir_hash: u64,
+}
+
+#[derive(Clone)]
+struct OptimizedEntry {
+    module: Arc<Module>,
+    /// FNV-1a of the printed optimized IR — the device tier's key and
+    /// the artifact's public content address.
+    ir_hash: u64,
+    /// The deterministic `compile` result payload, serialized once at
+    /// miss time so hits are byte-identical by construction.
+    compile_result: String,
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// One decoded request. Field meanings are per-op; see `docs/SERVE.md`.
+struct Request {
+    id: Option<u64>,
+    op: String,
+    source: Option<String>,
+    /// Report name: explicit `name`, else the `path` file stem, else
+    /// `"<inline>"`.
+    subject: String,
+    config: BuildConfig,
+    all_configs: bool,
+    kernel: Option<String>,
+    teams: Option<u32>,
+    threads: Option<u32>,
+    args: Option<Vec<ArgSpec>>,
+    jobs: Option<u32>,
+    watchdog_secs: u64,
+    max_insts: Option<u64>,
+    dump: usize,
+}
+
+/// A request failure before dispatch: `(exit_code, message)`.
+struct RequestError(u8, String);
+
+fn field_u64(v: &Value, key: &str) -> Result<Option<u64>, RequestError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| RequestError(EXIT_USAGE, format!("field {key:?} must be an integer"))),
+    }
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, RequestError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| RequestError(EXIT_USAGE, format!("field {key:?} must be a string"))),
+    }
+}
+
+impl Request {
+    fn from_value(v: &Value) -> Result<Request, RequestError> {
+        let op = field_str(v, "op")?
+            .ok_or_else(|| RequestError(EXIT_USAGE, "missing \"op\" field".into()))?
+            .to_string();
+        if !ALL_OPS.contains(&op.as_str()) {
+            return Err(RequestError(
+                EXIT_USAGE,
+                format!("unknown op {op:?} (known: {})", ALL_OPS.join(", ")),
+            ));
+        }
+        let id = field_u64(v, "id")?;
+        let inline = field_str(v, "source")?.map(str::to_string);
+        let path = field_str(v, "path")?.map(str::to_string);
+        if inline.is_some() && path.is_some() {
+            return Err(RequestError(
+                EXIT_USAGE,
+                "give either \"source\" or \"path\", not both".into(),
+            ));
+        }
+        let mut subject = field_str(v, "name")?.map(str::to_string);
+        let source = match (inline, &path) {
+            (Some(s), _) => Some(s),
+            (None, Some(p)) => {
+                if subject.is_none() {
+                    subject = Path::new(p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned());
+                }
+                Some(
+                    std::fs::read_to_string(p)
+                        .map_err(|e| RequestError(EXIT_BUILD, format!("cannot read {p}: {e}")))?,
+                )
+            }
+            (None, None) => None,
+        };
+        let config = match field_str(v, "config")? {
+            None => BuildConfig::LlvmDev,
+            Some(s) => BuildConfig::from_cli_name(s).ok_or_else(|| {
+                RequestError(
+                    EXIT_USAGE,
+                    format!(
+                        "unknown config {s:?} (known: {})",
+                        BuildConfig::ALL.map(BuildConfig::cli_name).join(", ")
+                    ),
+                )
+            })?,
+        };
+        let args = match v.get("args") {
+            None | Some(Value::Null) => None,
+            Some(Value::Array(items)) => {
+                let mut specs = Vec::with_capacity(items.len());
+                for item in items {
+                    let s = item.as_str().ok_or_else(|| {
+                        RequestError(EXIT_USAGE, "\"args\" entries must be strings".into())
+                    })?;
+                    specs.push(ArgSpec::parse_colon(s).ok_or_else(|| {
+                        RequestError(EXIT_USAGE, format!("malformed arg spec {s:?}"))
+                    })?);
+                }
+                Some(specs)
+            }
+            Some(_) => {
+                return Err(RequestError(
+                    EXIT_USAGE,
+                    "\"args\" must be an array of spec strings".into(),
+                ))
+            }
+        };
+        Ok(Request {
+            id,
+            op,
+            source,
+            subject: subject.unwrap_or_else(|| "<inline>".to_string()),
+            config,
+            all_configs: v
+                .get("all_configs")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            kernel: field_str(v, "kernel")?.map(str::to_string),
+            teams: field_u64(v, "teams")?.map(|n| n as u32),
+            threads: field_u64(v, "threads")?.map(|n| n as u32),
+            args,
+            jobs: field_u64(v, "jobs")?.map(|n| n as u32),
+            watchdog_secs: field_u64(v, "watchdog_secs")?.unwrap_or(DEFAULT_WATCHDOG_SECS),
+            max_insts: field_u64(v, "max_insts")?,
+            dump: field_u64(v, "dump")?.unwrap_or(0) as usize,
+        })
+    }
+
+    fn source(&self) -> Result<&str, RequestError> {
+        self.source.as_deref().ok_or_else(|| {
+            RequestError(
+                EXIT_USAGE,
+                format!("op {:?} needs a \"source\" or \"path\" field", self.op),
+            )
+        })
+    }
+}
+
+/// Outcome of one dispatched request: exit code plus either a `result`
+/// payload or an error (`message`, optional structured `detail`).
+struct Outcome {
+    exit_code: u8,
+    result: Option<String>,
+    error: Option<(String, Option<String>)>,
+}
+
+impl Outcome {
+    fn ok(result: String) -> Outcome {
+        Outcome {
+            exit_code: EXIT_OK,
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    fn ok_with_exit(exit_code: u8, result: String) -> Outcome {
+        Outcome {
+            exit_code,
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    fn fail(exit_code: u8, message: String) -> Outcome {
+        Outcome {
+            exit_code,
+            result: None,
+            error: Some((message, None)),
+        }
+    }
+
+    fn fail_with_detail(exit_code: u8, message: String, detail: String) -> Outcome {
+        Outcome {
+            exit_code,
+            result: None,
+            error: Some((message, Some(detail))),
+        }
+    }
+}
+
+impl From<RequestError> for Outcome {
+    fn from(e: RequestError) -> Outcome {
+        Outcome::fail(e.0, e.1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// The per-request launch knobs applied to a (possibly warmed) device.
+/// Every mode is set explicitly on every request, so a device inherited
+/// from a previous request carries nothing over except its warmed
+/// memory image and decoded plan.
+struct Knobs {
+    jobs: Option<u32>,
+    watchdog_secs: u64,
+    max_insts: Option<u64>,
+    profile: bool,
+    sanitize: bool,
+}
+
+impl Knobs {
+    fn of(req: &Request) -> Knobs {
+        Knobs {
+            jobs: req.jobs,
+            watchdog_secs: req.watchdog_secs,
+            max_insts: req.max_insts,
+            profile: req.op == "profile",
+            sanitize: req.op == "sanitize",
+        }
+    }
+}
+
+/// The per-thread instruction budget a freshly constructed device gets:
+/// the `OMPGPU_MAX_INSTS` override, else the config default. Warm
+/// devices are re-armed with this so they match cold ones.
+fn default_max_insts() -> u64 {
+    std::env::var("OMPGPU_MAX_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(omp_gpusim::DeviceConfig::default().max_insts_per_thread)
+}
+
+/// A long-lived compile-service session: the three artifact cache tiers
+/// plus request accounting. Not internally synchronized — wrap it in
+/// [`spawn_executor`] to share it across clients.
+pub struct Session {
+    frontend: HashMap<u64, FrontendEntry>,
+    optimized: HashMap<u64, OptimizedEntry>,
+    /// Warm-device LRU, oldest first; each entry is keyed by the
+    /// optimized module's IR hash.
+    devices: Vec<(u64, OwnedDevice)>,
+    device_capacity: usize,
+    stats: SessionStats,
+    trace: CacheTrace,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new(DEFAULT_DEVICE_CAPACITY)
+    }
+}
+
+impl Session {
+    /// Creates a session whose warm-device LRU holds up to
+    /// `device_capacity` entries (minimum 1).
+    pub fn new(device_capacity: usize) -> Session {
+        Session {
+            frontend: HashMap::new(),
+            optimized: HashMap::new(),
+            devices: Vec::new(),
+            device_capacity: device_capacity.max(1),
+            stats: SessionStats::default(),
+            trace: CacheTrace::default(),
+        }
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Records one executor batch of `n` requests.
+    pub fn note_batch(&mut self, n: usize) {
+        self.stats.batches += 1;
+        self.stats.batched_requests += n as u64;
+    }
+
+    // -- cache tiers --------------------------------------------------
+
+    fn frontend_key(source: &str, config: BuildConfig) -> u64 {
+        let fe = config.frontend_options("bench");
+        fnv1a(
+            format!(
+                "fe\x00{:?}\x00{}\x00{source}",
+                fe.globalization, fe.cuda_mode
+            )
+            .as_bytes(),
+        )
+    }
+
+    fn frontend_module(
+        &mut self,
+        source: &str,
+        config: BuildConfig,
+    ) -> Result<(Arc<Module>, u64), String> {
+        let key = Session::frontend_key(source, config);
+        if let Some(e) = self.frontend.get(&key) {
+            self.stats.frontend.hits += 1;
+            self.trace.frontend.hits += 1;
+            return Ok((Arc::clone(&e.module), e.ir_hash));
+        }
+        self.stats.frontend.misses += 1;
+        self.trace.frontend.misses += 1;
+        let module = pipeline::compile_frontend(source, config).map_err(|e| e.to_string())?;
+        let ir_hash = fnv1a(omp_ir::printer::print_module(&module).as_bytes());
+        let module = Arc::new(module);
+        self.frontend.insert(
+            key,
+            FrontendEntry {
+                module: Arc::clone(&module),
+                ir_hash,
+            },
+        );
+        Ok((module, ir_hash))
+    }
+
+    fn optimized_module(
+        &mut self,
+        source: &str,
+        config: BuildConfig,
+    ) -> Result<OptimizedEntry, String> {
+        let (fe_module, fe_hash) = self.frontend_module(source, config)?;
+        let key =
+            fnv1a(format!("opt\x00{fe_hash:016x}\x00{:016x}", config.fingerprint()).as_bytes());
+        if let Some(e) = self.optimized.get(&key) {
+            self.stats.optimized.hits += 1;
+            self.trace.optimized.hits += 1;
+            return Ok(e.clone());
+        }
+        self.stats.optimized.misses += 1;
+        self.trace.optimized.misses += 1;
+        let (module, report) =
+            pipeline::optimize((*fe_module).clone(), config).map_err(|e| e.to_string())?;
+        let ir_hash = fnv1a(omp_ir::printer::print_module(&module).as_bytes());
+        let compile_result = render_compile_result(config, &module, ir_hash, report.as_ref());
+        let entry = OptimizedEntry {
+            module: Arc::new(module),
+            ir_hash,
+            compile_result,
+        };
+        self.optimized.insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    /// Returns the LRU index of a warmed device for `entry`, building
+    /// one on miss and resetting the memory image on hit.
+    fn device_for(&mut self, entry: &OptimizedEntry) -> Result<usize, String> {
+        let key = entry.ir_hash;
+        if let Some(pos) = self.devices.iter().position(|(k, _)| *k == key) {
+            self.stats.device.hits += 1;
+            self.trace.device.hits += 1;
+            let mut pair = self.devices.remove(pos);
+            pair.1.with(|d| d.reset());
+            self.devices.push(pair);
+            return Ok(self.devices.len() - 1);
+        }
+        self.stats.device.misses += 1;
+        self.trace.device.misses += 1;
+        let dev = OwnedDevice::new(Arc::clone(&entry.module), Default::default())
+            .map_err(|e| e.to_string())?;
+        if self.devices.len() >= self.device_capacity {
+            self.devices.remove(0);
+        }
+        self.devices.push((key, dev));
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Arms the device at `idx` with this request's launch knobs.
+    fn arm_device(&mut self, idx: usize, knobs: &Knobs) {
+        let watchdog = (knobs.watchdog_secs > 0).then(|| Duration::from_secs(knobs.watchdog_secs));
+        let max_insts = knobs.max_insts.unwrap_or_else(default_max_insts);
+        self.devices[idx].1.with(|d| {
+            d.set_jobs(knobs.jobs.unwrap_or(0));
+            d.set_profile(if knobs.profile {
+                ProfileMode::On
+            } else {
+                ProfileMode::Off
+            });
+            d.set_sanitize(if knobs.sanitize {
+                SanitizeMode::On
+            } else {
+                SanitizeMode::Off
+            });
+            d.set_fault_plan(FaultPlan::default());
+            d.set_watchdog(watchdog);
+            d.set_max_insts(max_insts);
+        });
+    }
+
+    // -- request handling ---------------------------------------------
+
+    /// Handles one JSON-lines request, returning the serialized response
+    /// envelope and whether this request shuts the session down.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        self.trace = CacheTrace::default();
+        self.stats.requests += 1;
+        let (id, op, outcome) = match omp_json::parse(line) {
+            Err(e) => (
+                None,
+                None,
+                Outcome::fail(EXIT_USAGE, format!("malformed request JSON: {e}")),
+            ),
+            Ok(v) => match Request::from_value(&v) {
+                Err(e) => (
+                    v.get("id").and_then(Value::as_u64),
+                    v.get("op").and_then(Value::as_str).map(str::to_string),
+                    e.into(),
+                ),
+                Ok(req) => {
+                    if let Some(i) = ALL_OPS.iter().position(|o| *o == req.op) {
+                        self.stats.ops[i] += 1;
+                    }
+                    let outcome = self.dispatch(&req);
+                    (req.id, Some(req.op), outcome)
+                }
+            },
+        };
+        if outcome.exit_code != EXIT_OK && outcome.result.is_none() {
+            self.stats.errors += 1;
+        }
+        let shutdown = op.as_deref() == Some("shutdown") && outcome.exit_code == EXIT_OK;
+        (self.envelope(id, op.as_deref(), &outcome), shutdown)
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Outcome {
+        match req.op.as_str() {
+            "ping" => Outcome::ok("{\"pong\":true}".to_string()),
+            "stats" => Outcome::ok(self.render_stats()),
+            "shutdown" => Outcome::ok("{\"shutting_down\":true}".to_string()),
+            "compile" => self.op_compile(req),
+            "run" => self.op_run(req),
+            "verify" => self.op_verify(req),
+            "profile" => self.op_profile(req),
+            "sanitize" => self.op_sanitize(req),
+            _ => unreachable!("op validated in Request::from_value"),
+        }
+    }
+
+    fn op_compile(&mut self, req: &Request) -> Outcome {
+        let source = match req.source() {
+            Ok(s) => s.to_string(),
+            Err(e) => return e.into(),
+        };
+        match self.optimized_module(&source, req.config) {
+            Ok(entry) => Outcome::ok(entry.compile_result),
+            Err(e) => Outcome::fail(EXIT_BUILD, e),
+        }
+    }
+
+    /// Resolves kernel/dims/args from request fields with the source's
+    /// `// oracle-*:` header as fallback (same precedence as the CLI).
+    fn resolve_spec(
+        req: &Request,
+        source: &str,
+    ) -> Result<(String, LaunchDims, Vec<ArgSpec>), RequestError> {
+        let header = ExampleSpec::parse(source).ok();
+        let kernel = req
+            .kernel
+            .clone()
+            .or_else(|| header.as_ref().map(|s| s.kernel.clone()))
+            .ok_or_else(|| {
+                RequestError(
+                    EXIT_USAGE,
+                    "need a \"kernel\" field (or an `// oracle-kernel:` header)".into(),
+                )
+            })?;
+        let dims = LaunchDims {
+            teams: req.teams.or(header.as_ref().and_then(|s| s.teams)),
+            threads: req.threads.or(header.as_ref().and_then(|s| s.threads)),
+        };
+        let args = req
+            .args
+            .clone()
+            .or_else(|| header.map(|s| s.args))
+            .unwrap_or_default();
+        Ok((kernel, dims, args))
+    }
+
+    fn op_run(&mut self, req: &Request) -> Outcome {
+        let source = match req.source() {
+            Ok(s) => s.to_string(),
+            Err(e) => return e.into(),
+        };
+        let (kernel, dims, specs) = match Session::resolve_spec(req, &source) {
+            Ok(x) => x,
+            Err(e) => return e.into(),
+        };
+        let entry = match self.optimized_module(&source, req.config) {
+            Ok(e) => e,
+            Err(e) => return Outcome::fail(EXIT_BUILD, e),
+        };
+        let idx = match self.device_for(&entry) {
+            Ok(i) => i,
+            Err(e) => return Outcome::fail(EXIT_SIM, e),
+        };
+        self.arm_device(idx, &Knobs::of(req));
+        let dump = req.dump;
+        let launched = self.devices[idx].1.with(
+            |d| -> Result<(String, Option<String>), (String, Option<String>)> {
+                let (rt_args, buffers) =
+                    oracle::materialize_args(d, &specs).map_err(|e| (e, None))?;
+                let stats = d
+                    .launch(&kernel, &rt_args, dims)
+                    .map_err(|e| (e.to_string(), Some(e.to_json())))?;
+                let dumped = if dump > 0 {
+                    let mut w = JsonWriter::with_capacity(256);
+                    w.begin_array();
+                    for (addr, len, is_f64) in &buffers {
+                        let k = dump.min(*len);
+                        w.begin_array();
+                        if *is_f64 {
+                            let vals = d.read_f64(*addr, k).map_err(|e| (e.to_string(), None))?;
+                            for v in vals {
+                                w.f64(v);
+                            }
+                        } else {
+                            let vals = d.read_i64(*addr, k).map_err(|e| (e.to_string(), None))?;
+                            for v in vals {
+                                w.i64(v);
+                            }
+                        }
+                        w.end_array();
+                    }
+                    w.end_array();
+                    Some(w.finish())
+                } else {
+                    None
+                };
+                Ok((stats.snapshot().to_json(), dumped))
+            },
+        );
+        match launched {
+            Ok((stats, dumped)) => {
+                let mut w = JsonWriter::with_capacity(256);
+                w.begin_object();
+                w.key("config").string(req.config.cli_name());
+                w.key("kernel").string(&kernel);
+                w.key("stats").raw(&stats);
+                if let Some(d) = dumped {
+                    w.key("dump").raw(&d);
+                }
+                w.end_object();
+                Outcome::ok(w.finish())
+            }
+            Err((msg, detail)) => match detail {
+                Some(d) => Outcome::fail_with_detail(EXIT_SIM, msg, d),
+                None => Outcome::fail(EXIT_SIM, msg),
+            },
+        }
+    }
+
+    fn op_profile(&mut self, req: &Request) -> Outcome {
+        let source = match req.source() {
+            Ok(s) => s.to_string(),
+            Err(e) => return e.into(),
+        };
+        let (kernel, dims, specs) = match Session::resolve_spec(req, &source) {
+            Ok(x) => x,
+            Err(e) => return e.into(),
+        };
+        let entry = match self.optimized_module(&source, req.config) {
+            Ok(e) => e,
+            Err(e) => return Outcome::fail(EXIT_BUILD, e),
+        };
+        let idx = match self.device_for(&entry) {
+            Ok(i) => i,
+            Err(e) => return Outcome::fail(EXIT_SIM, e),
+        };
+        self.arm_device(idx, &Knobs::of(req));
+        let launched =
+            self.devices[idx]
+                .1
+                .with(|d| -> Result<(String, String), (String, Option<String>)> {
+                    let (rt_args, _buffers) =
+                        oracle::materialize_args(d, &specs).map_err(|e| (e, None))?;
+                    let (stats, profile) = d
+                        .launch_profiled(&kernel, &rt_args, dims)
+                        .map_err(|e| (e.to_string(), Some(e.to_json())))?;
+                    let profile = profile.expect("profiling was enabled");
+                    Ok((stats.snapshot().to_json(), profile.to_json()))
+                });
+        match launched {
+            Ok((stats, profile)) => {
+                let mut w = JsonWriter::with_capacity(1024);
+                w.begin_object();
+                w.key("config").string(req.config.cli_name());
+                w.key("kernel").string(&kernel);
+                w.key("stats").raw(&stats);
+                w.key("profile").raw(&profile);
+                w.end_object();
+                Outcome::ok(w.finish())
+            }
+            Err((msg, detail)) => match detail {
+                Some(d) => Outcome::fail_with_detail(EXIT_SIM, msg, d),
+                None => Outcome::fail(EXIT_SIM, msg),
+            },
+        }
+    }
+
+    fn op_verify(&mut self, req: &Request) -> Outcome {
+        let source = match req.source() {
+            Ok(s) => s.to_string(),
+            Err(e) => return e.into(),
+        };
+        let spec = match ExampleSpec::parse(&source) {
+            Ok(s) => s,
+            Err(e) => {
+                let mut w = JsonWriter::with_capacity(128);
+                w.begin_object();
+                w.key("name").string(&req.subject);
+                w.key("passed").bool(false);
+                w.key("configs").begin_array().end_array();
+                w.key("failures").begin_array();
+                w.string(&format!("spec error: {e}"));
+                w.end_array();
+                w.key("expected_failures").begin_array().end_array();
+                w.end_object();
+                return Outcome::ok_with_exit(EXIT_DIVERGED, w.finish());
+            }
+        };
+        let failed = |config: BuildConfig, error: String| CaseResult {
+            config,
+            bits: None,
+            stats: None,
+            error: Some(error),
+            pass_stats: Vec::new(),
+        };
+        let mut results: Vec<CaseResult> = Vec::with_capacity(ORACLE_CONFIGS.len());
+        for &config in &ORACLE_CONFIGS {
+            let entry = match self.optimized_module(&source, config) {
+                Ok(e) => e,
+                Err(e) => {
+                    results.push(failed(config, e));
+                    continue;
+                }
+            };
+            let idx = match self.device_for(&entry) {
+                Ok(i) => i,
+                Err(e) => {
+                    results.push(failed(config, e));
+                    continue;
+                }
+            };
+            self.arm_device(idx, &Knobs::of(req));
+            let spec = &spec;
+            let run = self.devices[idx].1.with(
+                |d| -> Result<(Vec<u64>, omp_gpusim::StatsSnapshot), String> {
+                    let (rt_args, buffers) = oracle::materialize_args(d, &spec.args)?;
+                    let dims = LaunchDims {
+                        teams: spec.teams,
+                        threads: spec.threads,
+                    };
+                    let stats = d
+                        .launch(&spec.kernel, &rt_args, dims)
+                        .map_err(|e| e.to_string())?;
+                    let mut bits: Vec<u64> = Vec::new();
+                    for (addr, len, is_f64) in buffers {
+                        if is_f64 {
+                            let v = d
+                                .read_f64(addr, len)
+                                .map_err(|e| format!("readback failed: {e}"))?;
+                            bits.extend(v.iter().map(|x| x.to_bits()));
+                        } else {
+                            let v = d
+                                .read_i64(addr, len)
+                                .map_err(|e| format!("readback failed: {e}"))?;
+                            bits.extend(v.iter().map(|x| *x as u64));
+                        }
+                    }
+                    Ok((bits, stats.snapshot()))
+                },
+            );
+            results.push(match run {
+                Ok((bits, stats)) => CaseResult {
+                    config,
+                    bits: Some(bits),
+                    stats: Some(stats),
+                    error: None,
+                    pass_stats: Vec::new(),
+                },
+                Err(e) => failed(config, e),
+            });
+        }
+        let case = oracle::finish_case(&req.subject, results);
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        w.key("name").string(&case.name);
+        w.key("passed").bool(case.passed());
+        w.key("configs").begin_array();
+        for r in &case.results {
+            w.begin_object();
+            w.key("config").string(r.config.cli_name());
+            match (&r.stats, &r.error) {
+                (Some(s), _) => {
+                    w.key("stats").raw(&s.to_json());
+                }
+                (None, Some(e)) => {
+                    w.key("error").string(e);
+                }
+                (None, None) => {}
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("failures").begin_array();
+        for f in &case.failures {
+            w.string(f);
+        }
+        w.end_array();
+        w.key("expected_failures").begin_array();
+        for f in &case.expected_failures {
+            w.string(f);
+        }
+        w.end_array();
+        w.end_object();
+        let exit = if case.passed() {
+            EXIT_OK
+        } else {
+            EXIT_DIVERGED
+        };
+        Outcome::ok_with_exit(exit, w.finish())
+    }
+
+    fn op_sanitize(&mut self, req: &Request) -> Outcome {
+        let source = match req.source() {
+            Ok(s) => s.to_string(),
+            Err(e) => return e.into(),
+        };
+        let spec = match ExampleSpec::parse(&source) {
+            Ok(s) => s,
+            Err(e) => return Outcome::fail(EXIT_BUILD, format!("spec error: {e}")),
+        };
+        let configs: Vec<BuildConfig> = if req.all_configs {
+            ORACLE_CONFIGS.to_vec()
+        } else {
+            vec![req.config]
+        };
+        let mut outcomes: Vec<SanitizeOutcome> = Vec::with_capacity(configs.len());
+        for &config in &configs {
+            let setup_failed = |error: String| SanitizeOutcome {
+                config,
+                stats: None,
+                error: None,
+                setup_error: Some(error),
+                findings: Vec::new(),
+            };
+            let entry = match self.optimized_module(&source, config) {
+                Ok(e) => e,
+                Err(e) => {
+                    outcomes.push(setup_failed(e));
+                    continue;
+                }
+            };
+            let idx = match self.device_for(&entry) {
+                Ok(i) => i,
+                Err(e) => {
+                    outcomes.push(setup_failed(e));
+                    continue;
+                }
+            };
+            self.arm_device(idx, &Knobs::of(req));
+            let spec = &spec;
+            let outcome = self.devices[idx].1.with(|d| {
+                let (rt_args, _buffers) = match oracle::materialize_args(d, &spec.args) {
+                    Ok(x) => x,
+                    Err(e) => return setup_failed(e),
+                };
+                let dims = LaunchDims {
+                    teams: spec.teams,
+                    threads: spec.threads,
+                };
+                match d.launch_checked(&spec.kernel, &rt_args, dims) {
+                    Ok((stats, findings)) => SanitizeOutcome {
+                        config,
+                        stats: Some(stats),
+                        error: None,
+                        setup_error: None,
+                        findings,
+                    },
+                    Err(e) => {
+                        let findings = e.findings.clone();
+                        SanitizeOutcome {
+                            config,
+                            stats: None,
+                            error: Some(e),
+                            setup_error: None,
+                            findings,
+                        }
+                    }
+                }
+            });
+            outcomes.push(outcome);
+        }
+        let result = pipeline::sanitize_report_json(&req.subject, &outcomes);
+        let exit = if outcomes.iter().any(|o| o.error_findings() > 0) {
+            EXIT_FINDINGS
+        } else if outcomes.iter().any(|o| o.error.is_some()) {
+            EXIT_SIM
+        } else if outcomes.iter().any(|o| o.setup_error.is_some()) {
+            EXIT_BUILD
+        } else {
+            EXIT_OK
+        };
+        Outcome::ok_with_exit(exit, result)
+    }
+
+    fn render_stats(&self) -> String {
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        w.key("requests").u64(self.stats.requests);
+        w.key("errors").u64(self.stats.errors);
+        w.key("ops").begin_object();
+        for (name, count) in ALL_OPS.iter().zip(self.stats.ops.iter()) {
+            w.key(name).u64(*count);
+        }
+        w.end_object();
+        w.key("cache").begin_object();
+        w.key("frontend");
+        self.stats.frontend.write_json(&mut w);
+        w.key("optimized");
+        self.stats.optimized.write_json(&mut w);
+        w.key("device");
+        self.stats.device.write_json(&mut w);
+        w.end_object();
+        w.key("total_hits").u64(self.stats.total_hits());
+        w.key("device_entries").usize(self.devices.len());
+        w.key("device_capacity").usize(self.device_capacity);
+        w.key("batches").u64(self.stats.batches);
+        w.key("batched_requests").u64(self.stats.batched_requests);
+        w.end_object();
+        w.finish()
+    }
+
+    fn envelope(&self, id: Option<u64>, op: Option<&str>, outcome: &Outcome) -> String {
+        let mut w = JsonWriter::with_capacity(512);
+        w.begin_object();
+        w.key("schema").string(SCHEMA);
+        w.key("id");
+        match id {
+            Some(n) => {
+                w.u64(n);
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.key("op");
+        match op {
+            Some(o) => {
+                w.string(o);
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.key("ok").bool(outcome.exit_code == EXIT_OK);
+        w.key("exit_code").u64(outcome.exit_code as u64);
+        w.key("cache");
+        self.trace.write_json(&mut w);
+        if let Some(r) = &outcome.result {
+            w.key("result").raw(r);
+        }
+        if let Some((msg, detail)) = &outcome.error {
+            w.key("error").begin_object();
+            w.key("message").string(msg);
+            if let Some(d) = detail {
+                w.key("detail").raw(d);
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Serializes the deterministic `compile` result payload. Pass timings
+/// (wall clock) are deliberately excluded; everything here is a pure
+/// function of (source, configuration).
+fn render_compile_result(
+    config: BuildConfig,
+    module: &Module,
+    ir_hash: u64,
+    report: Option<&omp_opt::OptReport>,
+) -> String {
+    let mut w = JsonWriter::with_capacity(1024);
+    w.begin_object();
+    w.key("config").string(config.cli_name());
+    w.key("module").string(&content_address(ir_hash));
+    w.key("functions").usize(module.num_functions());
+    w.key("kernels").begin_array();
+    for k in &module.kernels {
+        w.begin_object();
+        w.key("name").string(&k.source_name);
+        w.key("mode").string(&format!("{:?}", k.exec_mode));
+        w.end_object();
+    }
+    w.end_array();
+    match report {
+        Some(r) => {
+            let c = r.counts;
+            w.key("counts").begin_object();
+            w.key("internalized").usize(c.internalized);
+            w.key("heap_to_stack").usize(c.heap_to_stack);
+            w.key("heap_to_shared").usize(c.heap_to_shared);
+            w.key("spmdized").usize(c.spmdized);
+            w.key("csm_possible").usize(c.csm_possible);
+            w.key("csm_rewritten").usize(c.csm_rewritten);
+            w.key("csm_with_fallback").usize(c.csm_with_fallback);
+            w.key("folds_exec_mode").usize(c.folds_exec_mode);
+            w.key("folds_parallel_level").usize(c.folds_parallel_level);
+            w.key("folds_launch_params").usize(c.folds_launch_params);
+            w.key("guard_regions").usize(c.guard_regions);
+            w.key("broadcasts").usize(c.broadcasts);
+            w.end_object();
+            w.key("remarks").begin_array();
+            for remark in r.remarks.all() {
+                w.raw(&remark.to_json());
+            }
+            w.end_array();
+        }
+        None => {
+            w.key("counts").null();
+            w.key("remarks").begin_array().end_array();
+        }
+    }
+    w.end_object();
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Executor: one thread owning the session, FIFO over an MPSC queue
+// ---------------------------------------------------------------------
+
+/// One queued request: the raw JSON line plus the channel the serialized
+/// response goes back on.
+pub struct ServeJob {
+    /// Raw request line (one JSON object).
+    pub line: String,
+    /// Reply channel for the serialized response envelope.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// Handle to a running executor. Cloneable across client threads; every
+/// clone feeds the same FIFO queue.
+#[derive(Clone)]
+pub struct ExecutorHandle {
+    tx: mpsc::Sender<ServeJob>,
+}
+
+impl ExecutorHandle {
+    /// Submits one request line and blocks for its response. Returns a
+    /// synthesized usage-error envelope if the executor has shut down.
+    pub fn request(&self, line: &str) -> String {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = ServeJob {
+            line: line.to_string(),
+            reply: reply_tx,
+        };
+        if self.tx.send(job).is_ok() {
+            if let Ok(resp) = reply_rx.recv() {
+                return resp;
+            }
+        }
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"id\":null,\"op\":null,\"ok\":false,\
+             \"exit_code\":{EXIT_USAGE},\"error\":{{\"message\":\"session is shut down\"}}}}"
+        )
+    }
+
+    /// The raw job queue, for callers managing their own reply channels.
+    pub fn sender(&self) -> mpsc::Sender<ServeJob> {
+        self.tx.clone()
+    }
+}
+
+/// Spawns the executor thread owning `session`. Requests are processed
+/// strictly in arrival order; each wake-up drains everything queued
+/// (the batch) before sleeping, and batch sizes are recorded in the
+/// session statistics. The thread exits — returning the session — when
+/// a `shutdown` request is processed or every handle is dropped.
+pub fn spawn_executor(session: Session) -> (ExecutorHandle, std::thread::JoinHandle<Session>) {
+    let (tx, rx) = mpsc::channel::<ServeJob>();
+    let thread = std::thread::spawn(move || {
+        let mut session = session;
+        'outer: loop {
+            let first = match rx.recv() {
+                Ok(j) => j,
+                Err(_) => break,
+            };
+            let mut batch = vec![first];
+            while let Ok(j) = rx.try_recv() {
+                batch.push(j);
+            }
+            session.note_batch(batch.len());
+            let mut stop = false;
+            for job in batch {
+                let (resp, shutdown) = session.handle_line(&job.line);
+                let _ = job.reply.send(resp);
+                stop = stop || shutdown;
+            }
+            if stop {
+                break 'outer;
+            }
+        }
+        session
+    });
+    (ExecutorHandle { tx }, thread)
+}
+
+// ---------------------------------------------------------------------
+// Unix-socket daemon
+// ---------------------------------------------------------------------
+
+/// Runs the daemon: binds `socket`, accepts any number of concurrent
+/// clients, and feeds their JSON-lines requests into a shared executor.
+/// Returns after a `shutdown` request has been answered (the socket file
+/// is removed on the way out).
+pub fn serve_unix(socket: &Path, session: Session) -> Result<(), String> {
+    let _ = std::fs::remove_file(socket);
+    let listener =
+        UnixListener::bind(socket).map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
+    let (handle, exec_thread) = spawn_executor(session);
+    let shutting = Arc::new(AtomicBool::new(false));
+    eprintln!("ompgpu serve: listening on {}", socket.display());
+    for stream in listener.incoming() {
+        if shutting.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let handle = handle.clone();
+        let shutting = Arc::clone(&shutting);
+        let sock: PathBuf = socket.to_path_buf();
+        // Connection threads are detached: a client that never
+        // disconnects must not block shutdown (its next send simply
+        // fails once the executor is gone).
+        std::thread::spawn(move || serve_connection(stream, handle, shutting, sock));
+    }
+    drop(listener);
+    drop(handle);
+    let _ = exec_thread.join();
+    let _ = std::fs::remove_file(socket);
+    Ok(())
+}
+
+fn serve_connection(
+    stream: UnixStream,
+    handle: ExecutorHandle,
+    shutting: Arc<AtomicBool>,
+    socket: PathBuf,
+) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = handle.request(&line);
+        if writer.write_all(resp.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        // An acknowledged shutdown stops the accept loop: set the flag
+        // and poke the listener with a throwaway connection.
+        if response_is_shutdown(&resp) {
+            shutting.store(true, Ordering::SeqCst);
+            let _ = UnixStream::connect(&socket);
+            break;
+        }
+    }
+}
+
+fn response_is_shutdown(resp: &str) -> bool {
+    match omp_json::parse(resp) {
+        Ok(v) => {
+            v.get("op").and_then(Value::as_str) == Some("shutdown")
+                && v.get("ok").and_then(Value::as_bool) == Some(true)
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+// oracle-kernel: scale
+// oracle-teams: 2
+// oracle-threads: 8
+// oracle-arg: buf f64 32 iota
+// oracle-arg: f64 3.0
+// oracle-arg: i64 32
+void scale(double* a, double f, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
+}
+"#;
+
+    fn request(session: &mut Session, json: &str) -> Value {
+        let (resp, _) = session.handle_line(json);
+        omp_json::parse(&resp).expect("response is valid JSON")
+    }
+
+    fn result_of(v: &Value) -> String {
+        v.get("result").expect("result present").to_json()
+    }
+
+    #[test]
+    fn ping_stats_and_unknown_op() {
+        let mut s = Session::default();
+        let v = request(&mut s, "{\"op\":\"ping\",\"id\":7}");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        let v = request(&mut s, "{\"op\":\"nope\"}");
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        let v = request(&mut s, "not json");
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        let v = request(&mut s, "{\"op\":\"stats\"}");
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("requests"))
+                .and_then(Value::as_u64),
+            Some(4),
+            "stats counts every request including itself"
+        );
+    }
+
+    #[test]
+    fn compile_hits_cache_with_identical_result() {
+        let mut s = Session::default();
+        let line = format!(
+            "{{\"op\":\"compile\",\"source\":{:?},\"config\":\"dev\"}}",
+            SRC
+        );
+        let cold = request(&mut s, &line);
+        assert_eq!(cold.get("ok").and_then(Value::as_bool), Some(true));
+        let cache = cold.get("cache").unwrap();
+        assert_eq!(
+            cache
+                .get("optimized")
+                .and_then(|t| t.get("misses"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let warm = request(&mut s, &line);
+        let cache = warm.get("cache").unwrap();
+        assert_eq!(
+            cache
+                .get("optimized")
+                .and_then(|t| t.get("hits"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            result_of(&cold),
+            result_of(&warm),
+            "cold and warm compile results must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn run_via_oracle_header_is_warm_deterministic() {
+        let mut s = Session::default();
+        let line = format!("{{\"op\":\"run\",\"source\":{:?},\"dump\":4}}", SRC);
+        let cold = request(&mut s, &line);
+        assert_eq!(
+            cold.get("exit_code").and_then(Value::as_u64),
+            Some(0),
+            "{}",
+            cold.to_json()
+        );
+        let warm = request(&mut s, &line);
+        assert_eq!(
+            warm.get("cache")
+                .and_then(|c| c.get("device"))
+                .and_then(|t| t.get("hits"))
+                .and_then(Value::as_u64),
+            Some(1),
+            "second run must reuse the warmed device"
+        );
+        assert_eq!(result_of(&cold), result_of(&warm));
+    }
+
+    #[test]
+    fn verify_passes_and_is_warm_deterministic() {
+        let mut s = Session::default();
+        let line = format!(
+            "{{\"op\":\"verify\",\"source\":{:?},\"name\":\"scale\"}}",
+            SRC
+        );
+        let cold = request(&mut s, &line);
+        assert_eq!(
+            cold.get("exit_code").and_then(Value::as_u64),
+            Some(0),
+            "{}",
+            cold.to_json()
+        );
+        assert_eq!(
+            cold.get("result")
+                .and_then(|r| r.get("passed"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        let warm = request(&mut s, &line);
+        assert_eq!(result_of(&cold), result_of(&warm));
+        assert!(
+            warm.get("cache")
+                .and_then(|c| c.get("device"))
+                .and_then(|t| t.get("hits"))
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn executor_round_trip_and_shutdown() {
+        let (handle, thread) = spawn_executor(Session::default());
+        let resp = handle.request("{\"op\":\"ping\",\"id\":1}");
+        assert!(resp.contains("\"pong\":true"));
+        let resp = handle.request("{\"op\":\"shutdown\",\"id\":2}");
+        assert!(response_is_shutdown(&resp));
+        let session = thread.join().unwrap();
+        assert_eq!(session.stats().requests, 2);
+        // Post-shutdown requests fail gracefully.
+        let resp = handle.request("{\"op\":\"ping\"}");
+        assert!(resp.contains("session is shut down"));
+    }
+
+    #[test]
+    fn device_lru_evicts_oldest() {
+        let mut s = Session::new(1);
+        let src_b = SRC.replace("scale", "scale2");
+        let line_a = format!("{{\"op\":\"run\",\"source\":{:?}}}", SRC);
+        let line_b = format!("{{\"op\":\"run\",\"source\":{:?}}}", src_b);
+        request(&mut s, &line_a);
+        request(&mut s, &line_b);
+        let third = request(&mut s, &line_a);
+        assert_eq!(
+            third
+                .get("cache")
+                .and_then(|c| c.get("device"))
+                .and_then(|t| t.get("misses"))
+                .and_then(Value::as_u64),
+            Some(1),
+            "capacity-1 LRU must have evicted the first device"
+        );
+        assert_eq!(s.stats().device.hits, 0);
+    }
+}

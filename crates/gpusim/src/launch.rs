@@ -42,6 +42,12 @@ pub struct Device<'m> {
     mem: Memory,
     /// Placement of every module global, indexed densely by `GlobalId`.
     globals: Vec<(AddrSpace, u64)>,
+    /// Global-space initializer payloads, re-applied by [`Device::reset`].
+    global_inits: Vec<(u64, Vec<u8>)>,
+    /// Global-memory bump-cursor position right after construction
+    /// (module globals placed, no user buffers) — the state
+    /// [`Device::reset`] rewinds to.
+    base_cursor: u64,
     /// Host worker threads for team execution: 0 = auto (one per
     /// available core, capped by the team count), 1 = run inline.
     jobs: u32,
@@ -92,9 +98,10 @@ impl<'m> Device<'m> {
                 }
             }
         }
-        for (addr, data) in global_inits {
-            mem.write_bytes(addr, &data)?;
+        for (addr, data) in &global_inits {
+            mem.write_bytes(*addr, data)?;
         }
+        let base_cursor = mem.global_cursor();
         let jobs = std::env::var("OMPGPU_JOBS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -106,8 +113,31 @@ impl<'m> Device<'m> {
             cost,
             mem,
             globals,
+            global_inits,
+            base_cursor,
             jobs,
         })
+    }
+
+    /// Restores the device to its freshly constructed memory state:
+    /// every user buffer is released, global memory is zeroed, module
+    /// global initializers are re-applied, and the launch high-water
+    /// marks are cleared. The decoded [`ExecPlan`] and global placement
+    /// survive untouched — that is the point: a long-lived service can
+    /// reuse a warmed device across requests and still produce launches
+    /// byte-identical to a cold `Device::new`.
+    ///
+    /// Mode switches (`set_profile`, `set_sanitize`, `set_fault_plan`,
+    /// `set_watchdog`, `set_jobs`) are *not* reverted; callers that
+    /// share a device across requests set them per request.
+    pub fn reset(&mut self) {
+        self.mem.reset_global(self.base_cursor);
+        for (addr, data) in &self.global_inits {
+            // Writing within [0, base_cursor) cannot fail: the region
+            // was validated at construction and the buffer size is
+            // unchanged.
+            let _ = self.mem.write_bytes(*addr, data);
+        }
     }
 
     /// The device configuration.

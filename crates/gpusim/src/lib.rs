@@ -50,6 +50,7 @@ pub mod error;
 pub mod interp;
 pub mod launch;
 pub mod mem;
+pub mod owned;
 pub mod plan;
 pub mod profile;
 pub mod sanitize;
@@ -61,6 +62,7 @@ pub use cost::CostModel;
 pub use error::{Provenance, SimError, SimErrorKind, ThreadPos};
 pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
+pub use owned::OwnedDevice;
 pub use plan::ExecPlan;
 pub use profile::{FuncProfile, LaunchProfile, ProfileMode, RegionSpan, RtlProfile, TeamTrack};
 pub use sanitize::{findings_to_json, FaultPlan, Finding, FindingKind, SanitizeMode, Severity};

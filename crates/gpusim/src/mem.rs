@@ -593,6 +593,13 @@ impl Memory {
         Ok(global_addr(off))
     }
 
+    /// The current bump-allocator position in global memory (bytes
+    /// allocated so far). Recorded by the device after construction so
+    /// [`Memory::reset_global`] can rewind to exactly that state.
+    pub fn global_cursor(&self) -> u64 {
+        self.global_cursor
+    }
+
     /// Creates the private memory view for one team of a launch. Views
     /// borrow the pre-launch global memory read-only, so every team of a
     /// launch can hold one simultaneously.
@@ -681,6 +688,17 @@ impl Memory {
     pub fn reset_launch_state(&mut self) {
         self.shared_high_water = self.shared_static_size;
         self.heap_high_water = 0;
+    }
+
+    /// Restores global memory to a pristine state: every byte zeroed,
+    /// the bump cursor rewound to `cursor` (the caller's record of the
+    /// post-construction position, after module globals were placed),
+    /// and the launch high-water marks reset. The caller re-writes any
+    /// global initializers afterwards; see `Device::reset`.
+    pub fn reset_global(&mut self, cursor: u64) {
+        self.global.fill(0);
+        self.global_cursor = cursor;
+        self.reset_launch_state();
     }
 }
 

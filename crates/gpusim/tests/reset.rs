@@ -1,0 +1,82 @@
+//! Device reuse: after [`Device::reset`], a warmed device must be
+//! byte-identical to a freshly constructed one — same buffer addresses,
+//! same outputs, same statistics. The serve session's warm-device LRU
+//! depends on exactly this invariant.
+
+use omp_frontend::{compile, FrontendOptions};
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, OwnedDevice, RtVal, StatsSnapshot};
+use std::sync::Arc;
+
+/// Uses a module-level global (init data) plus globalized captures, so
+/// reset has real state to restore.
+const SRC: &str = r#"
+void scale_add(double* a, double f, long n) {
+  #pragma omp target teams distribute
+  for (long b = 0; b < n / 4; b++) {
+    double base = f * (double)b;
+    #pragma omp parallel for
+    for (long t = 0; t < 4; t++) {
+      a[b * 4 + t] = base + (double)t;
+    }
+  }
+}
+"#;
+
+fn run_once(dev: &mut Device) -> (u64, Vec<f64>, StatsSnapshot) {
+    let buf = dev.alloc_f64(&[1.5; 64]).unwrap();
+    let stats = dev
+        .launch(
+            "scale_add",
+            &[RtVal::Ptr(buf), RtVal::F64(3.0), RtVal::I64(64)],
+            LaunchDims {
+                teams: Some(4),
+                threads: Some(4),
+            },
+        )
+        .unwrap();
+    let out = dev.read_f64(buf, 64).unwrap();
+    (buf, out, stats.snapshot())
+}
+
+#[test]
+fn reset_restores_fresh_device_state() {
+    let module = compile(SRC, &FrontendOptions::default()).unwrap();
+    let mut fresh = Device::new(&module, DeviceConfig::default()).unwrap();
+    let cold = run_once(&mut fresh);
+
+    let mut reused = Device::new(&module, DeviceConfig::default()).unwrap();
+    // Dirty the device: extra allocations shift the bump cursor, a
+    // launch leaves high-water marks and global-memory contents behind.
+    let _scratch = reused.alloc_f64(&[9.0; 128]).unwrap();
+    let _ = run_once(&mut reused);
+    reused.reset();
+    let warm = run_once(&mut reused);
+
+    assert_eq!(cold.0, warm.0, "buffer addresses must match after reset");
+    assert_eq!(
+        cold.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        warm.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "outputs must be bit-identical after reset"
+    );
+    assert_eq!(cold.2, warm.2, "stats snapshots must match after reset");
+    assert_eq!(
+        cold.2.to_json(),
+        warm.2.to_json(),
+        "serialized stats must be byte-identical after reset"
+    );
+}
+
+#[test]
+fn reset_applies_to_owned_devices_too() {
+    let module = Arc::new(compile(SRC, &FrontendOptions::default()).unwrap());
+    let mut owned = OwnedDevice::new(Arc::clone(&module), DeviceConfig::default()).unwrap();
+    let first = owned.with(run_once);
+    owned.with(|d| d.reset());
+    let second = owned.with(run_once);
+    assert_eq!(first.0, second.0);
+    assert_eq!(first.2, second.2);
+    assert_eq!(
+        first.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        second.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}

@@ -1,6 +1,6 @@
 //! Minimal JSON support shared across the workspace.
 //!
-//! Three pieces, all dependency-free:
+//! Five pieces, all dependency-free:
 //!
 //! - [`escape_into`] / [`escape`]: JSON string escaping with the exact
 //!   byte-level behavior the remarks JSON-lines format has always used
@@ -13,6 +13,12 @@
 //!   emit a trailing or missing comma.
 //! - [`validate`]: a full recursive-descent syntax check used by tests
 //!   and by `ompgpu profile --trace` to verify written artifacts load.
+//! - [`Value`] / [`parse`]: a JSON reader producing a document tree —
+//!   the decoder side of the `ompgpu-serve/v1` wire protocol. Object
+//!   key order is preserved and numbers keep their source spelling, so
+//!   `parse` → [`Value::to_json`] round-trips byte-identically.
+//! - [`fnv1a`] / [`content_address`]: the 64-bit FNV-1a hash used for
+//!   the compile service's content-addressed artifact cache keys.
 
 /// Escapes `s` for inclusion inside a JSON string literal (without the
 /// surrounding quotes), appending to `out`.
@@ -373,6 +379,367 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------
+
+/// 64-bit FNV-1a over `bytes`. Stable across platforms and runs — the
+/// workspace's content-address hash for cached compile artifacts.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a content hash the way the serve protocol spells artifact
+/// addresses: 16 lowercase hex digits.
+pub fn content_address(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+// ---------------------------------------------------------------------
+// Document tree (the decoder side of the wire protocol)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Two departures from the usual tree shape, both so that
+/// `parse(s).to_json()` reproduces `s` byte-for-byte (modulo
+/// whitespace): object members keep their source order (duplicate keys
+/// are rejected at parse time), and numbers keep their exact source
+/// spelling instead of being narrowed to `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// The number's source spelling (always a valid JSON number).
+    Number(String),
+    String(String),
+    Array(Vec<Value>),
+    /// Members in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object member. `None` for missing keys and for
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer that fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (accepts any JSON number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members in source order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace), preserving member order and
+    /// number spellings — the inverse of [`parse`] for compact input.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(128);
+        self.write_to(&mut w);
+        w.finish()
+    }
+
+    /// Writes this value into an open [`JsonWriter`] position.
+    pub fn write_to(&self, w: &mut JsonWriter) {
+        match self {
+            Value::Null => {
+                w.null();
+            }
+            Value::Bool(b) => {
+                w.bool(*b);
+            }
+            Value::Number(s) => {
+                w.raw(s);
+            }
+            Value::String(s) => {
+                w.string(s);
+            }
+            Value::Array(items) => {
+                w.begin_array();
+                for v in items {
+                    v.write_to(w);
+                }
+                w.end_array();
+            }
+            Value::Object(members) => {
+                w.begin_object();
+                for (k, v) in members {
+                    w.key(k);
+                    v.write_to(w);
+                }
+                w.end_object();
+            }
+        }
+    }
+}
+
+/// Parses exactly one JSON value (with optional surrounding
+/// whitespace) into a [`Value`] tree. Errors carry a byte offset.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    let v = parse_value_tree(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value_tree(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut members: Vec<(String, Value)> = Vec::new();
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b'"') {
+                    return Err(format!("expected object key at byte {pos}", pos = *pos));
+                }
+                let key = parse_string_tree(b, pos)?;
+                if members.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate object key {key:?}"));
+                }
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                let v = parse_value_tree(b, pos)?;
+                members.push((key, v));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            let mut items = Vec::new();
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(parse_value_tree(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::String(parse_string_tree(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            // Safe: a valid JSON number is pure ASCII.
+            Ok(Value::Number(
+                std::str::from_utf8(&b[start..*pos]).unwrap().to_string(),
+            ))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+/// Parses a string literal (cursor on the opening quote), decoding
+/// escapes — including `\uXXXX` surrogate pairs — into the returned
+/// `String`.
+fn parse_string_tree(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // '"'
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(b, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: a `\uXXXX` low surrogate
+                            // must follow.
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return Err(format!(
+                                    "unpaired surrogate at byte {pos}",
+                                    pos = *pos
+                                ));
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!(
+                                    "unpaired surrogate at byte {pos}",
+                                    pos = *pos
+                                ));
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => {
+                                return Err(format!("invalid \\u escape at byte {pos}", pos = *pos))
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!(
+                    "unescaped control byte {c:#04x} at {pos}",
+                    pos = *pos
+                ))
+            }
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}", pos = *pos))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let d = match b.get(*pos) {
+            Some(h) if h.is_ascii_hexdigit() => (*h as char).to_digit(16).unwrap(),
+            _ => return Err(format!("bad \\u escape at byte {pos}", pos = *pos)),
+        };
+        v = v * 16 + d;
+        *pos += 1;
+    }
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,5 +835,76 @@ mod tests {
         w.f64(f64::NAN).f64(f64::INFINITY);
         w.end_array();
         assert_eq!(w.finish(), "[null,null]");
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_documents() {
+        for s in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5e3",
+            "1e-9",
+            "\"s\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":{\"b\":[null]},\"c\":-0.5}",
+            "{\"text\":\"a\\\"b\\\\c\\nd\"}",
+        ] {
+            let v = parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert_eq!(v.to_json(), s, "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_preserves_member_order_and_number_spelling() {
+        let v = parse("{\"z\":1.50,\"a\":2}").unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+        // The spelling `1.50` survives instead of being normalized.
+        assert_eq!(v.to_json(), "{\"z\":1.50,\"a\":2}");
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        let v = parse("\"\\u00e9 \\uD83D\\uDE00 \\t\"").unwrap();
+        assert_eq!(v.as_str(), Some("é 😀 \t"));
+        assert!(parse("\"\\uD83D\"").is_err(), "unpaired high surrogate");
+        assert!(parse("\"\\uDE00\"").is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = parse("{\"n\":42,\"s\":\"x\",\"b\":true,\"a\":[1],\"f\":2.5}").unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(42));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("n"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_duplicates() {
+        for bad in ["", "{", "[1,]", "{\"a\":1,\"a\":2}", "{} {}", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_eq!(content_address(0xab), "00000000000000ab");
     }
 }

@@ -8,11 +8,13 @@
 #
 # Exits non-zero on the first failing stage. The `bench` stage is
 # informational: it regenerates BENCH_gpusim.json (simulator wall-clock
-# per proxy/config) but is not part of the gating `all` run. The
-# `smoke` stage runs `ompgpu profile` on one proxy and validates the
-# emitted Chrome trace, then runs the device sanitizer over a proxy's
-# full config matrix and the fault-injection self-test; it IS part of
-# `all`.
+# per proxy/config, plus the serve cold/warm section from bench_serve)
+# but is not part of the gating `all` run. The `smoke` stage runs
+# `ompgpu profile` on one proxy and validates the emitted Chrome trace,
+# runs the device sanitizer over a proxy's full config matrix and the
+# fault-injection self-test, and round-trips the `ompgpu serve` daemon
+# (two client passes over a Unix socket: the second must hit the warm
+# caches, shutdown must be clean); it IS part of `all`.
 
 set -eu
 
@@ -67,6 +69,10 @@ run_bench() {
                 "(committed: $committed_ratio)"
         fi
     fi
+
+    echo "==> bench_serve (informational, patches the serve section)"
+    cargo run --release -q -p omp-bench --bin bench_serve --offline -- \
+        --out BENCH_gpusim.json
 }
 
 run_smoke() {
@@ -102,6 +108,71 @@ run_smoke() {
     cargo run -q -p omp-gpu --bin ompgpu --offline -- \
         sanitize --self-test > /dev/null
     echo "smoke: fault-injection self-test passed"
+
+    echo "==> ompgpu serve smoke (daemon round-trip, warm second pass)"
+    # Two client passes over a live daemon: the second must answer from
+    # the warm caches, the shutdown must be acknowledged, and the
+    # daemon must exit 0 and remove its socket. Everything is bounded:
+    # launches run under the serve session's default 60s watchdog and
+    # the daemon is killed if it outlives the checks.
+    cargo build -q -p omp-gpu --bin ompgpu --offline
+    ompgpu_bin=target/debug/ompgpu
+    serve_dir="$(mktemp -d -t ompgpu-serve.XXXXXX)"
+    serve_sock="$serve_dir/serve.sock"
+    serve_src="$serve_dir/example.c"
+    cat > "$serve_src" <<'EOF'
+// oracle-kernel: scale
+// oracle-teams: 2
+// oracle-threads: 8
+// oracle-arg: buf f64 32 iota
+// oracle-arg: f64 3.0
+// oracle-arg: i64 32
+void scale(double* a, double f, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
+}
+EOF
+    "$ompgpu_bin" serve --socket "$serve_sock" 2> /dev/null &
+    serve_pid=$!
+    trap 'rm -f "$trace"; kill "$serve_pid" 2> /dev/null; rm -rf "$serve_dir"' EXIT
+    i=0
+    while [ ! -S "$serve_sock" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "smoke: serve socket never appeared" >&2; exit 1; }
+        sleep 0.1
+    done
+    serve_req="{\"op\":\"run\",\"path\":\"$serve_src\"}"
+    # Client one: cold pass (misses fill the caches).
+    printf '%s\n' "$serve_req" | \
+        "$ompgpu_bin" client --socket "$serve_sock" > /dev/null
+    # Client two: the same request must hit all three tiers.
+    warm_resp="$(printf '%s\n' "$serve_req" | \
+        "$ompgpu_bin" client --socket "$serve_sock")"
+    printf '%s' "$warm_resp" | grep -q '"device":{"hits":[1-9]' || {
+        echo "smoke: warm serve pass did not hit the device cache:" >&2
+        printf '%s\n' "$warm_resp" >&2
+        exit 1
+    }
+    # Stats must agree that the session saw cache hits overall.
+    "$ompgpu_bin" client --socket "$serve_sock" --stats | \
+        grep -q '"total_hits":[1-9]' || {
+        echo "smoke: serve stats report no cache hits" >&2
+        exit 1
+    }
+    "$ompgpu_bin" client --socket "$serve_sock" --shutdown > /dev/null
+    serve_rc=0
+    wait "$serve_pid" || serve_rc=$?
+    [ "$serve_rc" -eq 0 ] || {
+        echo "smoke: serve daemon exited non-zero ($serve_rc)" >&2
+        exit 1
+    }
+    [ ! -e "$serve_sock" ] || {
+        echo "smoke: serve socket file survived shutdown" >&2
+        exit 1
+    }
+    rm -rf "$serve_dir"
+    trap 'rm -f "$trace"' EXIT
+    echo "smoke: serve round-trip OK (warm hits, clean shutdown)"
 }
 
 case "$stage" in
