@@ -15,7 +15,8 @@
 //! from the artifact alone.
 
 use omp_benchmarks::Scale;
-use omp_gpu::{all_proxies, oracle, pipeline, BuildConfig};
+use omp_gpu::oracle::VerifyOptions;
+use omp_gpu::{all_proxies, oracle, pipeline, BuildConfig, Tier};
 use omp_json::escape as json_escape;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,6 +34,12 @@ const PRE_PLAN_VERIFY_SMALL_SECONDS: [f64; 7] = [0.180, 0.187, 0.162, 0.207, 0.1
 /// Post-plan `ompgpu verify --scale small` runs from the same
 /// interleaved measurement window as [`PRE_PLAN_VERIFY_SMALL_SECONDS`].
 const INTERLEAVED_POST_PLAN_SECONDS: [f64; 7] = [0.095, 0.096, 0.114, 0.110, 0.113, 0.134, 0.148];
+
+/// The revision the pre-plan baseline was measured against: the tree
+/// immediately before the execution-plan layer landed. Regenerating
+/// the artifact at any other revision reuses these numbers, so the
+/// stamp (plus a stderr warning) keeps the provenance honest.
+const PRE_PLAN_BASELINE_REVISION: &str = "0929b94f9a72d36125e62e8aff068ae8ecc3234f";
 
 struct ConfigRow {
     config: BuildConfig,
@@ -59,6 +66,28 @@ fn git_revision() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Tier-invariant digest of an oracle report: every case verdict and
+/// per-config output bit pattern, error string, and statistic except
+/// the informational `tier` tag. Two tiers running the same suite must
+/// produce equal digests — this is the cross-tier identity check the
+/// bench artifact records alongside the wall clocks.
+fn report_fingerprint(report: &oracle::OracleReport) -> String {
+    let mut s = String::new();
+    for case in &report.cases {
+        let _ = write!(s, "{}\u{1}{:?}\u{1}", case.name, case.failures);
+        for r in &case.results {
+            let _ = write!(s, "{:?}\u{1}{:?}\u{1}", r.config, r.bits);
+            if let Some(st) = &r.stats {
+                let mut st = st.clone();
+                st.tier = Tier::Interp;
+                let _ = write!(s, "{}\u{1}", st.to_json());
+            }
+            let _ = write!(s, "{:?}\u{2}", r.error);
+        }
+    }
+    s
 }
 
 /// Geometric mean of per-proxy Dev-vs-CUDA (or any) cycle ratios.
@@ -145,6 +174,87 @@ fn main() {
         });
     }
 
+    // Tier comparison: the same verify suite forced onto each
+    // execution tier (3 runs per tier, minimum = steady state), plus
+    // per-proxy Dev-pipeline wall clock per tier with a simulated-cycle
+    // cross-check — the tiers must agree bit-for-bit on cycles.
+    //
+    // Always measured at bench scale regardless of `--scale`: the tier
+    // only changes execution, and at small scale the shared frontend +
+    // pass pipeline (~45ms, identical in both tiers) dominates the
+    // wall clock and Amdahl-caps the observable ratio. Bench scale is
+    // execution-dominated, so the number reflects the engine itself.
+    let tier_scale = Scale::Bench;
+    let tier_verify_once = |tier: Tier| -> (f64, bool, String) {
+        let opts = VerifyOptions {
+            jobs,
+            watchdog: None,
+            tier: Some(tier),
+        };
+        let t0 = Instant::now();
+        let report = oracle::verify_proxies_opts(tier_scale, opts);
+        let secs = t0.elapsed().as_secs_f64();
+        let passed = report.passed();
+        (secs, passed, report_fingerprint(&report))
+    };
+    // Interleave the tiers (same-window pairs, like the pre-plan
+    // baseline section) so host drift hits both equally; best-of-5
+    // pairs is the steady-state estimate.
+    let mut tier_interp_seconds = f64::INFINITY;
+    let mut tier_compiled_seconds = f64::INFINITY;
+    let mut tier_interp_passed = true;
+    let mut tier_compiled_passed = true;
+    let mut tier_interp_digest = String::new();
+    let mut tier_compiled_digest = String::new();
+    for _ in 0..5 {
+        let (si, pi, di) = tier_verify_once(Tier::Interp);
+        let (sc, pc, dc) = tier_verify_once(Tier::Compiled);
+        tier_interp_seconds = tier_interp_seconds.min(si);
+        tier_compiled_seconds = tier_compiled_seconds.min(sc);
+        tier_interp_passed &= pi;
+        tier_compiled_passed &= pc;
+        tier_interp_digest = di;
+        tier_compiled_digest = dc;
+    }
+    let tier_verify_speedup = tier_interp_seconds / tier_compiled_seconds.max(1e-9);
+    let tier_reports_identical = tier_interp_digest == tier_compiled_digest;
+
+    struct TierRow {
+        name: &'static str,
+        interp_seconds: f64,
+        compiled_seconds: f64,
+        cycles_identical: bool,
+    }
+    let mut tier_rows: Vec<TierRow> = Vec::new();
+    for app in all_proxies(tier_scale) {
+        let best_run = |tier: Tier| -> (f64, Option<u64>) {
+            let mut best = f64::INFINITY;
+            let mut cycles = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let outcome =
+                    pipeline::run_proxy_tiered(app.as_ref(), BuildConfig::LlvmDev, Some(tier));
+                best = best.min(t0.elapsed().as_secs_f64());
+                cycles = outcome.cycles();
+            }
+            (best, cycles)
+        };
+        let (interp_seconds, interp_cycles) = best_run(Tier::Interp);
+        let (compiled_seconds, compiled_cycles) = best_run(Tier::Compiled);
+        tier_rows.push(TierRow {
+            name: app.name(),
+            interp_seconds,
+            compiled_seconds,
+            cycles_identical: interp_cycles.is_some() && interp_cycles == compiled_cycles,
+        });
+    }
+    let tier_launch_geomean = geomean(
+        &tier_rows
+            .iter()
+            .map(|r| r.interp_seconds / r.compiled_seconds.max(1e-9))
+            .collect::<Vec<_>>(),
+    );
+
     // Informational: what turning the cycle-attribution profiler on
     // costs in host wall-clock, measured on one proxy under the Dev
     // pipeline. Best-of-three per mode so a cold first run does not
@@ -223,6 +333,11 @@ fn main() {
     let _ = writeln!(j, "  \"pre_plan_baseline\": {{");
     let _ = writeln!(
         j,
+        "    \"measured_at_revision\": \"{}\",",
+        json_escape(PRE_PLAN_BASELINE_REVISION)
+    );
+    let _ = writeln!(
+        j,
         "    \"verify_small_wall_seconds\": [{}],",
         PRE_PLAN_VERIFY_SMALL_SECONDS
             .iter()
@@ -289,6 +404,54 @@ fn main() {
             let _ = writeln!(j, "  \"profile_overhead\": null,");
         }
     }
+    // Tier comparison: interpreter vs compiled block engine, same
+    // suite, same knobs. Wall clock is host-dependent; the
+    // `cycles_identical` flags are the invariant part. Measured at
+    // bench scale (execution-dominated) independent of `--scale`.
+    let _ = writeln!(j, "  \"tier\": {{");
+    let _ = writeln!(j, "    \"scale\": \"bench\",");
+    let _ = writeln!(
+        j,
+        "    \"verify_wall_seconds_interp\": {tier_interp_seconds:.4},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"verify_wall_seconds_compiled\": {tier_compiled_seconds:.4},"
+    );
+    let _ = writeln!(j, "    \"verify_speedup\": {tier_verify_speedup:.2},");
+    let _ = writeln!(
+        j,
+        "    \"verify_passed_both_tiers\": {},",
+        tier_interp_passed && tier_compiled_passed
+    );
+    let _ = writeln!(
+        j,
+        "    \"verify_reports_identical\": {tier_reports_identical},"
+    );
+    let _ = writeln!(j, "    \"proxies\": [");
+    for (ri, r) in tier_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{ \"name\": \"{}\", \"interp_wall_seconds\": {:.4}, \
+             \"compiled_wall_seconds\": {:.4}, \"speedup\": {:.2}, \
+             \"cycles_identical\": {} }}{}",
+            json_escape(r.name),
+            r.interp_seconds,
+            r.compiled_seconds,
+            r.interp_seconds / r.compiled_seconds.max(1e-9),
+            r.cycles_identical,
+            if ri + 1 < tier_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "    ],");
+    let _ = writeln!(
+        j,
+        "    \"geomean_pipeline_speedup\": {}",
+        tier_launch_geomean
+            .map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "null".to_string())
+    );
+    let _ = writeln!(j, "  }},");
     if matches!(scale, Scale::Small) {
         // Like-for-like: steady-state minimum against baseline minimum,
         // mean against mean.
@@ -386,8 +549,28 @@ fn main() {
         eprintln!("bench_gpusim: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
+    let rev = git_revision();
+    if rev != PRE_PLAN_BASELINE_REVISION && rev != "unknown" {
+        eprintln!(
+            "bench_gpusim: note: pre_plan_baseline numbers were measured at \
+             {} — current revision {} reuses them (wall clocks are only \
+             comparable within one measurement window)",
+            &PRE_PLAN_BASELINE_REVISION[..12.min(PRE_PLAN_BASELINE_REVISION.len())],
+            &rev[..12.min(rev.len())]
+        );
+    }
+    if tier_verify_speedup < 1.0 {
+        eprintln!(
+            "bench_gpusim: warning: compiled tier is SLOWER than the \
+             interpreter ({tier_compiled_seconds:.3}s vs {tier_interp_seconds:.3}s)"
+        );
+    }
     println!(
         "verify --scale {scale_name}: {verify_seconds:.3}s wall \
          (pre-plan baseline mean {baseline_mean:.3}s) -> {out_path}"
+    );
+    println!(
+        "tier: interp {tier_interp_seconds:.3}s vs compiled \
+         {tier_compiled_seconds:.3}s ({tier_verify_speedup:.2}x verify speedup)"
     );
 }

@@ -84,7 +84,7 @@ use omp_gpu::oracle::{self, ArgSpec, ExampleSpec, VerifyOptions};
 use omp_gpu::serve;
 use omp_gpu::{
     all_proxies, pipeline, BuildConfig, Device, FaultPlan, KernelStats, LaunchDims, LaunchProfile,
-    OptReport, ProfileMode, SanitizeMode, Scale, SimErrorKind,
+    OptReport, ProfileMode, SanitizeMode, Scale, SimErrorKind, Tier,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -104,14 +104,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks] [--time-passes]\n  \
          ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
-         [--jobs N] [--json] [--arg SPEC]... [--dump N] [--time-passes]\n  \
+         [--jobs N] [--tier interp|compiled] [--json] [--arg SPEC]...\n             \
+         [--dump N] [--time-passes]\n  \
          ompgpu profile <file.c> [--kernel NAME] [--config CFG | --all-configs]\n             \
          [--teams N] [--threads N] [--jobs N] [--arg SPEC]...\n             \
          [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu profile --proxy NAME [--scale small|bench] [--config CFG | --all-configs]\n             \
          [--jobs N] [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N]\n             \
-         [--watchdog SECS] [FILE.c ...]\n  \
+         [--watchdog SECS] [--tier interp|compiled] [FILE.c ...]\n  \
          ompgpu sanitize <file.c> | --proxy NAME | --self-test\n             \
          [--config CFG | --all-configs] [--scale small|bench]\n             \
          [--jobs N] [--max-insts N] [--json]\n  \
@@ -124,7 +125,9 @@ fn usage() -> ExitCode {
          --jobs N: simulator worker threads for independent teams (0 = auto)\n\
          --max-insts N: per-thread dynamic instruction budget (runaway guard;\n      \
          the OMPGPU_MAX_INSTS environment variable is the default)\n\
-         --watchdog SECS: wall-clock budget per launch (0 = off)\n\n\
+         --watchdog SECS: wall-clock budget per launch (0 = off)\n\
+         --tier interp|compiled: simulator execution tier (results are\n      \
+         bit-identical; the OMPGPU_TIER environment variable is the default)\n\n\
          exit codes: 0 ok/clean, 1 compile/IO, 2 usage, 3 simulation,\n      \
          4 oracle divergence, 5 sanitizer findings"
     );
@@ -135,6 +138,7 @@ fn verify_main(args: &[String]) -> ExitCode {
     let mut scale = Scale::Small;
     let mut jobs: Option<u32> = None;
     let mut watchdog_secs: u64 = 60;
+    let mut tier: Option<Tier> = None;
     let mut dirs: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -153,6 +157,10 @@ fn verify_main(args: &[String]) -> ExitCode {
                 Some(n) => watchdog_secs = n,
                 None => return usage(),
             },
+            "--tier" => match it.next().and_then(|s| Tier::parse(s)) {
+                Some(t) => tier = Some(t),
+                None => return usage(),
+            },
             "--examples" => match it.next() {
                 Some(d) => dirs.push(d.clone()),
                 None => return usage(),
@@ -164,6 +172,7 @@ fn verify_main(args: &[String]) -> ExitCode {
     let opts = VerifyOptions {
         jobs,
         watchdog: (watchdog_secs > 0).then(|| Duration::from_secs(watchdog_secs)),
+        tier,
     };
     let mut report = oracle::verify_proxies_opts(scale, opts);
     for dir in &dirs {
@@ -984,6 +993,7 @@ fn main() -> ExitCode {
     let mut threads: Option<u32> = None;
     let mut jobs: Option<u32> = None;
     let mut max_insts: Option<u64> = None;
+    let mut tier: Option<Tier> = None;
     let mut specs: Vec<ArgSpec> = Vec::new();
     let mut dump = 0usize;
     let mut it = args.iter().skip(2);
@@ -1002,6 +1012,10 @@ fn main() -> ExitCode {
             "--threads" => threads = it.next().and_then(|s| s.parse().ok()),
             "--jobs" => jobs = it.next().and_then(|s| s.parse().ok()),
             "--max-insts" => max_insts = it.next().and_then(|s| s.parse().ok()),
+            "--tier" => match it.next().and_then(|s| Tier::parse(s)) {
+                Some(t) => tier = Some(t),
+                None => return usage(),
+            },
             "--dump" => dump = it.next().and_then(|s| s.parse().ok()).unwrap_or(8),
             "--arg" => match it.next().and_then(|s| ArgSpec::parse_colon(s)) {
                 Some(s) => specs.push(s),
@@ -1075,6 +1089,9 @@ fn main() -> ExitCode {
             }
             if let Some(b) = max_insts {
                 dev.set_max_insts(b);
+            }
+            if let Some(t) = tier {
+                dev.set_tier(t);
             }
             let (rt_args, buffers) = match oracle::materialize_args(&mut dev, &specs) {
                 Ok(x) => x,

@@ -41,7 +41,7 @@ pub use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
 pub use omp_gpusim::{
     findings_to_json, Device, DeviceConfig, FaultPlan, Finding, FindingKind, KernelStats,
     LaunchDims, LaunchProfile, ProfileMode, Provenance, RtVal, SanitizeMode, Severity, SimError,
-    SimErrorKind, StatsSnapshot, ThreadPos,
+    SimErrorKind, StatsSnapshot, ThreadPos, Tier,
 };
 pub use omp_ir::Module;
 pub use omp_opt::{OpenMpOptConfig, OptReport, PassStat, PassTiming};

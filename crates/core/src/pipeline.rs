@@ -5,7 +5,7 @@ use omp_benchmarks::{verify, ProxyApp, Workload};
 use omp_frontend::CompileError;
 use omp_gpusim::{
     Device, FaultPlan, Finding, KernelStats, LaunchProfile, ProfileMode, SanitizeMode, Severity,
-    SimError, SimErrorKind, StatsSnapshot,
+    SimError, SimErrorKind, StatsSnapshot, Tier,
 };
 use omp_ir::Module;
 use omp_opt::{OptReport, PassStat, PassTiming};
@@ -387,6 +387,15 @@ impl RunOutcome {
 
 /// Builds and runs `app` under `config`, verifying results on success.
 pub fn run_proxy(app: &dyn ProxyApp, config: BuildConfig) -> RunOutcome {
+    run_proxy_tiered(app, config, None)
+}
+
+/// [`run_proxy`] with an explicit simulator execution-tier override:
+/// `Some(Tier::Interp)` forces the reference interpreter,
+/// `Some(Tier::Compiled)` requests the compiled block engine, `None`
+/// keeps the device default (compiled, unless `OMPGPU_TIER` says
+/// otherwise). Results and statistics are bit-identical across tiers.
+pub fn run_proxy_tiered(app: &dyn ProxyApp, config: BuildConfig, tier: Option<Tier>) -> RunOutcome {
     let source = if config.uses_cuda_source() {
         app.cuda_source()
     } else {
@@ -414,6 +423,9 @@ pub fn run_proxy(app: &dyn ProxyApp, config: BuildConfig) -> RunOutcome {
             }
         }
     };
+    if let Some(t) = tier {
+        dev.set_tier(t);
+    }
     let workload: Workload = match app.prepare(&mut dev) {
         Ok(w) => w,
         Err(e) => {

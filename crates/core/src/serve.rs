@@ -408,6 +408,18 @@ fn default_max_insts() -> u64 {
         .unwrap_or(omp_gpusim::DeviceConfig::default().max_insts_per_thread)
 }
 
+/// The execution tier freshly constructed devices request: the
+/// `OMPGPU_TIER` override, else the config default (`compiled`).
+/// Observability knobs (`profile`, `sanitize`) still force individual
+/// launches onto the interpreter; per-launch stats record the tier that
+/// actually ran.
+fn default_tier() -> omp_gpusim::Tier {
+    std::env::var("OMPGPU_TIER")
+        .ok()
+        .and_then(|v| omp_gpusim::Tier::parse(&v))
+        .unwrap_or(omp_gpusim::DeviceConfig::default().tier)
+}
+
 /// A long-lived compile-service session: the three artifact cache tiers
 /// plus request accounting. Not internally synchronized — wrap it in
 /// [`spawn_executor`] to share it across clients.
@@ -1003,6 +1015,7 @@ impl Session {
         w.key("total_hits").u64(self.stats.total_hits());
         w.key("device_entries").usize(self.devices.len());
         w.key("device_capacity").usize(self.device_capacity);
+        w.key("tier").string(default_tier().as_str());
         w.key("batches").u64(self.stats.batches);
         w.key("batched_requests").u64(self.stats.batched_requests);
         w.end_object();

@@ -1,7 +1,7 @@
 //! Profiles must be bit-identical regardless of host parallelism, and
 //! profiling must not perturb the unprofiled pipeline.
 
-use omp_gpu::{all_proxies, pipeline, BuildConfig, Scale};
+use omp_gpu::{all_proxies, pipeline, BuildConfig, Scale, Tier};
 
 #[test]
 fn proxy_profile_is_bit_identical_across_jobs() {
@@ -33,9 +33,21 @@ fn profiling_does_not_perturb_stats() {
         .expect("SU3Bench proxy");
     let plain = pipeline::run_proxy(app.as_ref(), BuildConfig::LlvmDev);
     let profiled = pipeline::profile_proxy(app.as_ref(), BuildConfig::LlvmDev, None);
+    let plain_snap = plain.snapshot();
+    let prof_snap = profiled.outcome.stats.as_ref().map(|s| s.snapshot());
+    assert_eq!(plain_snap.as_ref().map(|s| s.tier), Some(Tier::Compiled));
     assert_eq!(
-        plain.snapshot(),
-        profiled.outcome.stats.as_ref().map(|s| s.snapshot()),
+        prof_snap.as_ref().map(|s| s.tier),
+        Some(Tier::Interp),
+        "profiling must force the interpreter tier"
+    );
+    // The tier tag is informational; every counter must be identical.
+    let plain_snap = plain_snap.map(|mut s| {
+        s.tier = Tier::Interp;
+        s
+    });
+    assert_eq!(
+        plain_snap, prof_snap,
         "profiling on vs off must produce identical statistics"
     );
 }

@@ -1,0 +1,620 @@
+//! Tier-1 block compilation: lowers straight-line [`BlockPlan`] bodies
+//! into pre-decoded step arrays the interpreter executes without
+//! per-instruction dispatch, budget checks, or frame re-borrows.
+//!
+//! Compilation happens once, at plan-build time (`ExecPlan::build`),
+//! per basic block:
+//!
+//! * every operand [`Value`] is pre-decoded into a [`Slot`] — constants
+//!   (including function addresses and `undef`) become materialized
+//!   [`RtVal`]s, so constant-operand arithmetic never re-decodes its
+//!   immediate at run time;
+//! * common idioms fuse into superinstructions: address-calc + load
+//!   ([`Step::GepLoad`]), load + arithmetic + store
+//!   ([`Step::LoadBinStore`]), and a compare feeding the block's
+//!   conditional branch ([`CTerm::CmpBr`]). Fusion elides the
+//!   intermediate register write when whole-function SSA use counts
+//!   prove the fused consumer is the only reader;
+//! * the block's instruction count, static cycle cost, and memory
+//!   access count are pre-summed from the same [`CostModel`] tables the
+//!   interpreter charges, so one compiled block run performs a single
+//!   budget check and a single bulk charge — bit-identical to the
+//!   interpreter's per-instruction accounting;
+//! * branch targets become [`Edge`]s with the successor's phi moves
+//!   pre-resolved for this predecessor.
+//!
+//! A block containing anything effectful or unfusable — `__kmpc_*`
+//! runtime calls, direct/indirect calls, `ret`, `unreachable`, or a phi
+//! without an incoming for some predecessor — either does not compile
+//! at all (`compile_block` returns `None`) or compiles with a
+//! [`CTerm::Bridge`] terminator that hands the frame back to the
+//! interpreter positioned exactly at the terminator. The interpreter
+//! remains the complete tier-0 semantics; compiled blocks are a strict
+//! fast path over it.
+
+use crate::cost::CostModel;
+use crate::plan::{for_each_operand, BlockPlan, CallTarget, MathKind};
+use crate::value::RtVal;
+use omp_ir::{BinOp, BlockId, CastOp, CmpOp, InstId, InstKind, Terminator, Type, Value};
+
+/// A pre-decoded operand: what [`Value`] decodes to once the constant
+/// forms are materialized at compile time. `Global` stays an index
+/// because a global's address depends on the executing team.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// Read the frame register of this instruction (trap message keeps
+    /// the original id, matching the interpreter exactly).
+    Reg(InstId),
+    /// Read a kernel/function argument.
+    Arg(u32),
+    /// A value fully known at compile time.
+    Const(RtVal),
+    /// Dense global-table index, resolved against the team at run time.
+    Global(u32),
+}
+
+/// One compiled step. `site` fields are plan-wide coalescing-site
+/// indices (`site_base + inst`), precomputed so the run-time path feeds
+/// the same classifier as the interpreter.
+#[derive(Debug, Clone)]
+pub(crate) enum Step {
+    Alloca {
+        size: u64,
+        dst: InstId,
+    },
+    Load {
+        ptr: Slot,
+        ty: Type,
+        site: u32,
+        dst: InstId,
+    },
+    Store {
+        ptr: Slot,
+        val: Slot,
+        site: u32,
+    },
+    Bin {
+        op: BinOp,
+        ty: Type,
+        lhs: Slot,
+        rhs: Slot,
+        dst: InstId,
+    },
+    Cmp {
+        op: CmpOp,
+        ty: Type,
+        lhs: Slot,
+        rhs: Slot,
+        dst: InstId,
+    },
+    Cast {
+        op: CastOp,
+        val: Slot,
+        to: Type,
+        dst: InstId,
+    },
+    Gep {
+        base: Slot,
+        index: Slot,
+        scale: u64,
+        offset: i64,
+        dst: InstId,
+    },
+    Select {
+        cond: Slot,
+        on_true: Slot,
+        on_false: Slot,
+        dst: InstId,
+    },
+    /// Pure math intrinsic call (`sqrt`, `pow`, ...): no frame push, no
+    /// scheduler interaction, so it fuses into the straight line.
+    Math {
+        kind: MathKind,
+        f32_out: bool,
+        args: [Slot; 2],
+        n_args: u8,
+        dst: InstId,
+    },
+    /// Superinstruction: `gep` + `load` through the computed address.
+    /// `addr_dst` is `None` when the load is the address's only use.
+    GepLoad {
+        base: Slot,
+        index: Slot,
+        scale: u64,
+        offset: i64,
+        addr_dst: Option<InstId>,
+        ty: Type,
+        site: u32,
+        dst: InstId,
+    },
+    /// Superinstruction: `load` + binary op + `store` of the result.
+    /// `ldst`/`bdst` are `None` when the fused consumer is the loaded
+    /// (resp. computed) value's only use.
+    LoadBinStore {
+        ptr: Slot,
+        lty: Type,
+        lsite: u32,
+        ldst: Option<InstId>,
+        op: BinOp,
+        bty: Type,
+        other: Slot,
+        loaded_is_lhs: bool,
+        bdst: Option<InstId>,
+        sptr: Slot,
+        ssite: u32,
+    },
+}
+
+/// A pre-resolved branch edge: the target block plus the target's phi
+/// assignments for this predecessor, evaluated simultaneously (reads
+/// before writes) exactly like the interpreter's `transition`.
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub target: BlockId,
+    pub moves: Vec<(InstId, Slot)>,
+}
+
+/// Compiled terminator.
+#[derive(Debug, Clone)]
+pub(crate) enum CTerm {
+    /// Hand the frame back to the interpreter, positioned at the
+    /// terminator (`frame.idx = code_len`): `ret`, `unreachable`, or an
+    /// edge that could not be pre-resolved.
+    Bridge,
+    Br(Edge),
+    CondBr {
+        cond: Slot,
+        then_e: Edge,
+        else_e: Edge,
+    },
+    /// Superinstruction: the block's trailing compare feeds the branch
+    /// directly; `at` is the compare's code index for error provenance.
+    CmpBr {
+        op: CmpOp,
+        ty: Type,
+        lhs: Slot,
+        rhs: Slot,
+        at: u32,
+        then_e: Edge,
+        else_e: Edge,
+    },
+}
+
+/// One block, lowered: the step array plus pre-summed accounting.
+///
+/// Executing the block once costs `n_insts` instructions and
+/// `static_cycles` cycles plus the dynamic memory-access costs the
+/// steps accumulate; `mem_accesses` is the number of loads/stores a
+/// full run performs. A run is entered only when the remaining
+/// instruction budget covers `n_insts` (the caller deopts to the
+/// interpreter otherwise), which keeps budget-stop errors at the exact
+/// instruction the interpreter would report.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledBlock {
+    /// `(code index of the first fused component, step)`.
+    pub steps: Vec<(u32, Step)>,
+    /// Dynamic instructions per full run: every code entry (fused
+    /// components and skipped mid-block phis included) plus the
+    /// terminator iteration for non-bridge terminators.
+    pub n_insts: u64,
+    /// Cycles per full run, excluding dynamic memory-access costs.
+    pub static_cycles: u64,
+    /// `memory_accesses` statistic delta per full run.
+    pub mem_accesses: u64,
+    /// `frame.idx` to restore when bridging or trapping at the
+    /// terminator (= `code.len()`).
+    pub code_len: u32,
+    pub term: CTerm,
+}
+
+/// Compiles every block of one function in place. `counts` are the SSA
+/// use counts over the whole function; fusion uses them to prove an
+/// intermediate register write unobservable.
+pub(crate) fn compile_func(
+    blocks: &mut [Option<BlockPlan<'_>>],
+    call_targets: &[CallTarget],
+    num_regs: usize,
+    site_base: u32,
+    cost: &CostModel,
+) {
+    let counts = use_counts(blocks, num_regs);
+    let compiled: Vec<Option<CompiledBlock>> = blocks
+        .iter()
+        .enumerate()
+        .map(|(b, bp)| {
+            bp.as_ref().and_then(|bp| {
+                compile_block(
+                    BlockId::from_index(b),
+                    bp,
+                    blocks,
+                    call_targets,
+                    &counts,
+                    site_base,
+                    cost,
+                )
+            })
+        })
+        .collect();
+    for (bp, c) in blocks.iter_mut().zip(compiled) {
+        if let Some(bp) = bp.as_mut() {
+            bp.compiled = c;
+        }
+    }
+}
+
+/// Whole-function SSA use counts, indexed by `InstId`.
+fn use_counts(blocks: &[Option<BlockPlan<'_>>], num_regs: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; num_regs];
+    let mut bump = |v: Value| {
+        if let Value::Inst(i) = v {
+            counts[i.index()] += 1;
+        }
+        true
+    };
+    for bp in blocks.iter().flatten() {
+        for &(_, incoming) in &bp.phis {
+            for &(_, v) in incoming {
+                bump(v);
+            }
+        }
+        for &(_, kind) in &bp.code {
+            for_each_operand(kind, &mut bump);
+        }
+        match bp.term {
+            Terminator::CondBr { cond, .. } => {
+                bump(*cond);
+            }
+            Terminator::Ret(Some(v)) => {
+                bump(*v);
+            }
+            _ => {}
+        }
+    }
+    counts
+}
+
+fn slot(v: Value) -> Slot {
+    match v {
+        Value::Inst(i) => Slot::Reg(i),
+        Value::Arg(n) => Slot::Arg(n),
+        Value::ConstInt(c, ty) => Slot::Const(match ty {
+            Type::I1 => RtVal::Bool(c != 0),
+            Type::I32 => RtVal::I32(c as i32),
+            _ => RtVal::I64(c),
+        }),
+        Value::ConstFloat(bits, ty) => Slot::Const(match ty {
+            Type::F32 => RtVal::F32(f64::from_bits(bits) as f32),
+            _ => RtVal::F64(f64::from_bits(bits)),
+        }),
+        Value::Global(g) => Slot::Global(g.index() as u32),
+        Value::Func(f) => Slot::Const(RtVal::Ptr(crate::mem::func_addr(f.0))),
+        Value::Null => Slot::Const(RtVal::Ptr(0)),
+        Value::Undef(ty) => Slot::Const(RtVal::zero(ty)),
+    }
+}
+
+/// Pre-resolves the phi moves of `target` for predecessor `from`.
+/// `None` when a phi lacks an incoming for `from` (the interpreter's
+/// trap path owns that case) or the target block is dead.
+fn edge(from: BlockId, target: BlockId, blocks: &[Option<BlockPlan<'_>>]) -> Option<Edge> {
+    let tp = blocks.get(target.index())?.as_ref()?;
+    let mut moves = Vec::with_capacity(tp.phis.len());
+    for &(i, incoming) in &tp.phis {
+        let &(_, v) = incoming.iter().find(|(p, _)| *p == from)?;
+        moves.push((i, slot(v)));
+    }
+    Some(Edge { target, moves })
+}
+
+/// Lowers one decoded instruction that is not part of a wider fusion.
+/// Returns the step and its static cycle / memory-access contribution,
+/// or `None` when the instruction cannot execute inside a compiled
+/// body (calls other than pure math intrinsics).
+fn lower_one(
+    id: InstId,
+    kind: &InstKind,
+    call_targets: &[CallTarget],
+    site_base: u32,
+    cost: &CostModel,
+) -> Option<(Step, u64, u64)> {
+    Some(match *kind {
+        InstKind::Alloca { size, .. } => (Step::Alloca { size, dst: id }, cost.simple_op, 0),
+        InstKind::Load { ptr, ty } => (
+            Step::Load {
+                ptr: slot(ptr),
+                ty,
+                site: site_base + id.0,
+                dst: id,
+            },
+            0,
+            1,
+        ),
+        InstKind::Store { ptr, val } => (
+            Step::Store {
+                ptr: slot(ptr),
+                val: slot(val),
+                site: site_base + id.0,
+            },
+            0,
+            1,
+        ),
+        InstKind::Bin { op, ty, lhs, rhs } => (
+            Step::Bin {
+                op,
+                ty,
+                lhs: slot(lhs),
+                rhs: slot(rhs),
+                dst: id,
+            },
+            cost.bin_cost(op),
+            0,
+        ),
+        InstKind::Cmp { op, ty, lhs, rhs } => (
+            Step::Cmp {
+                op,
+                ty,
+                lhs: slot(lhs),
+                rhs: slot(rhs),
+                dst: id,
+            },
+            cost.simple_op,
+            0,
+        ),
+        InstKind::Cast { op, val, to } => {
+            let c = match op {
+                CastOp::IntToPtr | CastOp::PtrToInt => cost.ptr_reinterpret,
+                _ => cost.simple_op,
+            };
+            (
+                Step::Cast {
+                    op,
+                    val: slot(val),
+                    to,
+                    dst: id,
+                },
+                c,
+                0,
+            )
+        }
+        InstKind::Gep {
+            base,
+            index,
+            scale,
+            offset,
+        } => (
+            Step::Gep {
+                base: slot(base),
+                index: slot(index),
+                scale,
+                offset,
+                dst: id,
+            },
+            cost.int_op,
+            0,
+        ),
+        InstKind::Select {
+            cond,
+            on_true,
+            on_false,
+            ..
+        } => (
+            Step::Select {
+                cond: slot(cond),
+                on_true: slot(on_true),
+                on_false: slot(on_false),
+                dst: id,
+            },
+            cost.simple_op,
+            0,
+        ),
+        InstKind::Call { ref args, .. } => match call_targets[id.index()] {
+            CallTarget::Math(kind, f32_out) if args.len() <= 2 => {
+                let mut slots = [Slot::Const(RtVal::I64(0)); 2];
+                for (k, &a) in args.iter().enumerate() {
+                    slots[k] = slot(a);
+                }
+                (
+                    Step::Math {
+                        kind,
+                        f32_out,
+                        args: slots,
+                        n_args: args.len() as u8,
+                        dst: id,
+                    },
+                    cost.math_fn,
+                    0,
+                )
+            }
+            _ => return None,
+        },
+        // Mid-block phis are skipped by the interpreter (no charge);
+        // the caller counts them in `n_insts` without emitting a step.
+        InstKind::Phi { .. } => return None,
+    })
+}
+
+/// Compiles one block, or `None` when any instruction cannot run
+/// inside a compiled body.
+fn compile_block(
+    from: BlockId,
+    bp: &BlockPlan<'_>,
+    blocks: &[Option<BlockPlan<'_>>],
+    call_targets: &[CallTarget],
+    counts: &[u32],
+    site_base: u32,
+    cost: &CostModel,
+) -> Option<CompiledBlock> {
+    let code = bp.code.as_slice();
+
+    // Terminator first: a fused compare-and-branch trims the step
+    // range, and an unresolvable edge degrades to a bridge.
+    let mut upper = code.len();
+    let mut static_cycles: u64 = 0;
+    let cterm = match bp.term {
+        Terminator::Br(t) => match edge(from, *t, blocks) {
+            Some(e) => {
+                static_cycles += cost.simple_op;
+                CTerm::Br(e)
+            }
+            None => CTerm::Bridge,
+        },
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => match (edge(from, *then_bb, blocks), edge(from, *else_bb, blocks)) {
+            (Some(then_e), Some(else_e)) => {
+                let fused = match (cond, code.last()) {
+                    (&Value::Inst(c), Some(&(id, kind))) => match *kind {
+                        InstKind::Cmp { op, ty, lhs, rhs } if id == c && counts[c.index()] == 1 => {
+                            Some((op, ty, lhs, rhs))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match fused {
+                    Some((op, ty, lhs, rhs)) => {
+                        upper = code.len() - 1;
+                        // Compare (Alu) + branch, same as unfused.
+                        static_cycles += cost.simple_op + cost.simple_op;
+                        CTerm::CmpBr {
+                            op,
+                            ty,
+                            lhs: slot(lhs),
+                            rhs: slot(rhs),
+                            at: upper as u32,
+                            then_e,
+                            else_e,
+                        }
+                    }
+                    None => {
+                        static_cycles += cost.simple_op;
+                        CTerm::CondBr {
+                            cond: slot(*cond),
+                            then_e,
+                            else_e,
+                        }
+                    }
+                }
+            }
+            _ => CTerm::Bridge,
+        },
+        Terminator::Ret(_) | Terminator::Unreachable => CTerm::Bridge,
+    };
+    let bridge = matches!(cterm, CTerm::Bridge);
+    if bridge && code.is_empty() {
+        // Nothing to speed up, and an empty bridge body would re-enter
+        // itself from the resolve loop.
+        return None;
+    }
+
+    let mut steps: Vec<(u32, Step)> = Vec::new();
+    let mut mem_accesses: u64 = 0;
+    let mut i = 0usize;
+    while i < upper {
+        let (id, kind) = code[i];
+        let at = i as u32;
+
+        // Superinstruction: load + bin + store (the canonical
+        // read-modify-write idiom).
+        if i + 2 < upper {
+            if let (
+                &InstKind::Load { ptr, ty: lty },
+                (
+                    bid,
+                    &InstKind::Bin {
+                        op,
+                        ty: bty,
+                        lhs,
+                        rhs,
+                    },
+                ),
+                (_, &InstKind::Store { ptr: sptr, val }),
+            ) = (kind, code[i + 1], code[i + 2])
+            {
+                let loaded_lhs = lhs == Value::Inst(id);
+                let loaded_rhs = rhs == Value::Inst(id);
+                if (loaded_lhs ^ loaded_rhs) && val == Value::Inst(bid) {
+                    let other = if loaded_lhs { rhs } else { lhs };
+                    steps.push((
+                        at,
+                        Step::LoadBinStore {
+                            ptr: slot(ptr),
+                            lty,
+                            lsite: site_base + id.0,
+                            ldst: (counts[id.index()] > 1).then_some(id),
+                            op,
+                            bty,
+                            other: slot(other),
+                            loaded_is_lhs: loaded_lhs,
+                            bdst: (counts[bid.index()] > 1).then_some(bid),
+                            sptr: slot(sptr),
+                            ssite: site_base + code[i + 2].0 .0,
+                        },
+                    ));
+                    static_cycles += cost.bin_cost(op);
+                    mem_accesses += 2;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+
+        // Superinstruction: address calculation + load.
+        if i + 1 < upper {
+            if let (
+                &InstKind::Gep {
+                    base,
+                    index,
+                    scale,
+                    offset,
+                },
+                (lid, &InstKind::Load { ptr, ty }),
+            ) = (kind, code[i + 1])
+            {
+                if ptr == Value::Inst(id) {
+                    steps.push((
+                        at,
+                        Step::GepLoad {
+                            base: slot(base),
+                            index: slot(index),
+                            scale,
+                            offset,
+                            addr_dst: (counts[id.index()] > 1).then_some(id),
+                            ty,
+                            site: site_base + lid.0,
+                            dst: lid,
+                        },
+                    ));
+                    static_cycles += cost.int_op;
+                    mem_accesses += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+
+        if matches!(kind, InstKind::Phi { .. }) {
+            // Counted in `n_insts`, never executed (the interpreter
+            // skips mid-block phis without charging).
+            i += 1;
+            continue;
+        }
+        let (step, st, mem) = lower_one(id, kind, call_targets, site_base, cost)?;
+        steps.push((at, step));
+        static_cycles += st;
+        mem_accesses += mem;
+        i += 1;
+    }
+
+    let n_insts = code.len() as u64 + if bridge { 0 } else { 1 };
+    Some(CompiledBlock {
+        steps,
+        n_insts,
+        static_cycles,
+        mem_accesses,
+        code_len: code.len() as u32,
+        term: cterm,
+    })
+}

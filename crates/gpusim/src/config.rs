@@ -4,6 +4,43 @@ use crate::profile::ProfileMode;
 use crate::sanitize::{FaultPlan, SanitizeMode};
 use std::time::Duration;
 
+/// Execution tier for kernel launches.
+///
+/// `Compiled` (the default) runs straight-line blocks through the
+/// pre-compiled superinstruction bodies built at plan time and falls
+/// back to the interpreter per block for runtime calls, barriers, and
+/// other effectful constructs. `Interp` forces every instruction
+/// through the tier-0 interpreter. Outputs, statistics, and simulated
+/// cycles are bit-identical between tiers; only wall-clock differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Tier 0: the per-instruction interpreter (also the deopt path).
+    Interp,
+    /// Tier 1: pre-compiled block bodies with interpreter bridging.
+    #[default]
+    Compiled,
+}
+
+impl Tier {
+    /// Stable lower-case name, as used in JSON artifacts and the
+    /// `OMPGPU_TIER` environment variable.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::Compiled => "compiled",
+        }
+    }
+
+    /// Parses the `OMPGPU_TIER` / `--tier` spelling.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "interp" => Some(Tier::Interp),
+            "compiled" => Some(Tier::Compiled),
+            _ => None,
+        }
+    }
+}
+
 /// Static description of the simulated GPU (defaults are loosely
 /// V100-shaped: 80 SMs, 32-wide warps, 48 KiB of shared memory per
 /// resident team).
@@ -54,6 +91,31 @@ pub struct DeviceConfig {
     /// fails its launch with a structured timeout diagnostic instead of
     /// hanging the caller. `None` (the default) disables the watchdog.
     pub watchdog: Option<Duration>,
+    /// Requested execution tier ([`Tier`]). The tier that actually runs
+    /// is [`DeviceConfig::effective_tier`]: profiling, sanitizing, and
+    /// fault injection all force the interpreter tier regardless of
+    /// this setting.
+    pub tier: Tier,
+}
+
+impl DeviceConfig {
+    /// The tier a launch under this configuration actually executes.
+    ///
+    /// The compiled tier runs only when profiling, sanitizing, and
+    /// fault injection are all off — those modes need the interpreter's
+    /// per-instruction hooks, exactly like a production VM deopting for
+    /// its debugger/profiler tier.
+    pub fn effective_tier(&self) -> Tier {
+        if self.tier == Tier::Compiled
+            && self.profile == ProfileMode::Off
+            && self.sanitize == SanitizeMode::Off
+            && !self.fault.is_active()
+        {
+            Tier::Compiled
+        } else {
+            Tier::Interp
+        }
+    }
 }
 
 impl Default for DeviceConfig {
@@ -73,6 +135,7 @@ impl Default for DeviceConfig {
             sanitize: SanitizeMode::Off,
             fault: FaultPlan::default(),
             watchdog: None,
+            tier: Tier::Compiled,
         }
     }
 }
@@ -88,5 +151,40 @@ mod tests {
         assert_eq!(c.warp_size, 32);
         assert!(c.shared_mem_per_team >= 16 * 1024);
         assert!(c.trap_on_cross_thread_local);
+        assert_eq!(c.tier, Tier::Compiled);
+        assert_eq!(c.effective_tier(), Tier::Compiled);
+    }
+
+    #[test]
+    fn observability_modes_force_the_interpreter_tier() {
+        let c = DeviceConfig {
+            profile: ProfileMode::On,
+            ..DeviceConfig::default()
+        };
+        assert_eq!(c.effective_tier(), Tier::Interp);
+
+        let c = DeviceConfig {
+            sanitize: SanitizeMode::On,
+            ..DeviceConfig::default()
+        };
+        assert_eq!(c.effective_tier(), Tier::Interp);
+
+        let mut c = DeviceConfig::default();
+        c.fault.trap_at_inst = Some(10);
+        assert_eq!(c.effective_tier(), Tier::Interp);
+
+        let c = DeviceConfig {
+            tier: Tier::Interp,
+            ..DeviceConfig::default()
+        };
+        assert_eq!(c.effective_tier(), Tier::Interp);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in [Tier::Interp, Tier::Compiled] {
+            assert_eq!(Tier::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(Tier::parse("jit"), None);
     }
 }

@@ -21,7 +21,8 @@
 //! (`launch.rs`) may run several on parallel host threads and merge the
 //! resulting [`TeamOutcome`]s in team-id order.
 
-use crate::config::DeviceConfig;
+use crate::compile::{CTerm, CompiledBlock, Edge, Slot, Step};
+use crate::config::{DeviceConfig, Tier};
 use crate::cost::CostModel;
 use crate::error::{Provenance, ThreadPos};
 use crate::mem::{self, AccessClass, FastMap, TeamMemDelta, TeamMemView};
@@ -274,6 +275,10 @@ pub(crate) struct TeamExec<'a, 'm> {
     /// Injected trap threshold (`u64::MAX` = disabled), folded into the
     /// per-instruction budget compare.
     fault_trap_at: u64,
+    /// Whether this launch executes tier-1 compiled block bodies
+    /// ([`DeviceConfig::effective_tier`]): profiling, sanitizing, and
+    /// fault injection all force the interpreter.
+    tier1: bool,
     /// Wall-clock deadline for this team (checked every 16 K
     /// instructions; `None` = no watchdog).
     deadline: Option<Instant>,
@@ -364,6 +369,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
             prof,
             san,
             fault_trap_at: cfg.fault.trap_at_inst.unwrap_or(u64::MAX),
+            tier1: cfg.effective_tier() == Tier::Compiled,
             deadline: cfg.watchdog.map(|d| Instant::now() + d),
             watchdog_millis,
         }
@@ -508,6 +514,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     /// terminators and status changes break back out to re-resolve.
     fn run_thread(&mut self, hw: u32) -> Result<(), SimError> {
         let plan = self.plan;
+        let team_id = self.team.id;
         let max_insts = self.cfg.max_insts_per_thread;
         // Fold the injected-trap threshold into the budget compare so
         // the hot loop pays a single bound check for both.
@@ -523,10 +530,30 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 continue 'resolve;
             };
             let fid = frame.func;
+            let at_entry = frame.idx == 0;
+            let insts_now = th.insts;
             let fp = plan.func(fid).expect("frame in undefined function");
             let bp = fp.block(frame.block);
+            // Tier 1: a block entered at its head runs through its
+            // compiled body when the remaining instruction budget
+            // covers the whole run. The budget pre-check lives *here*
+            // so a budget deopt falls through to the per-instruction
+            // interpreter below instead of re-entering the compiled
+            // body forever; mid-block resumption (returning calls)
+            // always interprets.
+            if self.tier1 && at_entry {
+                if let Some(cb) = bp.compiled.as_ref() {
+                    if insts_now.saturating_add(cb.n_insts) < stop_at {
+                        self.run_compiled(hw, fid, fp, cb, stop_at)?;
+                        continue 'resolve;
+                    }
+                }
+            }
             let code = bp.code.as_slice();
             loop {
+                // One mutable borrow of the thread per instruction; the
+                // memory arms re-borrow only around `access_cost`
+                // (which needs the whole executor).
                 let th = &mut self.team.threads[hw as usize];
                 th.insts += 1;
                 if th.insts >= stop_at {
@@ -539,7 +566,6 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         }
                     }
                 }
-                let th = &mut self.team.threads[hw as usize];
                 let frame = th.frames.last().unwrap();
                 if frame.idx >= code.len() {
                     self.step_terminator(hw)?;
@@ -549,8 +575,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                 match kind {
                     InstKind::Alloca { size, .. } => {
                         let size = *size;
-                        let th = &mut self.team.threads[hw as usize];
-                        let addr = mem::local_addr(self.team.id, hw, th.local_sp);
+                        let addr = mem::local_addr(team_id, hw, th.local_sp);
                         th.local_sp += size.max(1).div_ceil(8) * 8;
                         if th.local_sp > self.cfg.local_mem_per_thread {
                             return Err(SimError::trap("thread-local stack overflow"));
@@ -558,13 +583,17 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op, CycleClass::Alloca);
+                        let c = self.cost.simple_op;
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alloca, c);
+                        }
                     }
                     InstKind::Load { ptr, ty } => {
                         let (ptr, ty) = (*ptr, *ty);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let f = th.frames.last().unwrap();
                         let blk = f.block.index() as u32;
-                        let p = Self::eval(self.globals, self.team.id, f, ptr)?
+                        let p = Self::eval(self.globals, team_id, f, ptr)?
                             .as_ptr()
                             .ok_or_else(|| SimError::trap("load through non-pointer"))?;
                         let (v, class) = self.mem.load(p, ty, hw)?;
@@ -578,20 +607,24 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         }
                         let site = fp.site_base + inst_id.0;
                         let cost = self.access_cost(hw, fid, site, p, ty, class);
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let th = &mut self.team.threads[hw as usize];
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, cost, CycleClass::Load);
+                        th.cycles += cost;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Load, cost);
+                        }
                         self.stats.memory_accesses += 1;
                     }
                     InstKind::Store { ptr, val } => {
                         let (ptr, val) = (*ptr, *val);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
+                        let f = th.frames.last().unwrap();
                         let blk = f.block.index() as u32;
-                        let p = Self::eval(self.globals, self.team.id, f, ptr)?
+                        let p = Self::eval(self.globals, team_id, f, ptr)?
                             .as_ptr()
                             .ok_or_else(|| SimError::trap("store through non-pointer"))?;
-                        let v = Self::eval(self.globals, self.team.id, f, val)?;
+                        let v = Self::eval(self.globals, team_id, f, val)?;
                         let class = self.mem.store(p, v, hw)?;
                         if let Some(s) = self.san.as_deref_mut() {
                             let site = SiteRef {
@@ -603,40 +636,51 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         }
                         let site = fp.site_base + inst_id.0;
                         let cost = self.access_cost(hw, fid, site, p, v.ty(), class);
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let th = &mut self.team.threads[hw as usize];
+                        let f = th.frames.last_mut().unwrap();
                         f.idx += 1;
-                        self.charge(hw, cost, CycleClass::Store);
+                        th.cycles += cost;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Store, cost);
+                        }
                         self.stats.memory_accesses += 1;
                     }
                     InstKind::Bin { op, ty, lhs, rhs } => {
                         let (op, ty, lhs, rhs) = (*op, *ty, *lhs, *rhs);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
-                        let a = Self::eval(self.globals, self.team.id, f, lhs)?;
-                        let b = Self::eval(self.globals, self.team.id, f, rhs)?;
+                        let f = th.frames.last().unwrap();
+                        let a = Self::eval(self.globals, team_id, f, lhs)?;
+                        let b = Self::eval(self.globals, team_id, f, rhs)?;
                         let v = exec_bin(op, ty, a, b)?;
-                        let cost = self.cost.bin_cost(op);
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, cost, CycleClass::Alu);
+                        let c = self.cost.bin_cost(op);
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alu, c);
+                        }
                     }
                     InstKind::Cmp { op, ty, lhs, rhs } => {
                         let (op, ty, lhs, rhs) = (*op, *ty, *lhs, *rhs);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
-                        let a = Self::eval(self.globals, self.team.id, f, lhs)?;
-                        let b = Self::eval(self.globals, self.team.id, f, rhs)?;
+                        let f = th.frames.last().unwrap();
+                        let a = Self::eval(self.globals, team_id, f, lhs)?;
+                        let b = Self::eval(self.globals, team_id, f, rhs)?;
                         let v = exec_cmp(op, ty, a, b)?;
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op, CycleClass::Alu);
+                        let c = self.cost.simple_op;
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alu, c);
+                        }
                     }
                     InstKind::Cast { op, val, to } => {
                         let (op, val, to) = (*op, *val, *to);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
-                        let a = Self::eval(self.globals, self.team.id, f, val)?;
+                        let f = th.frames.last().unwrap();
+                        let a = Self::eval(self.globals, team_id, f, val)?;
                         let v = exec_cast(op, a, to)?;
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
                         let c = match op {
@@ -645,7 +689,10 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                             }
                             _ => self.cost.simple_op,
                         };
-                        self.charge(hw, c, CycleClass::Alu);
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alu, c);
+                        }
                     }
                     InstKind::Gep {
                         base,
@@ -654,18 +701,22 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         offset,
                     } => {
                         let (base, index, scale, offset) = (*base, *index, *scale, *offset);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
-                        let b = Self::eval(self.globals, self.team.id, f, base)?
+                        let f = th.frames.last().unwrap();
+                        let b = Self::eval(self.globals, team_id, f, base)?
                             .as_ptr()
                             .ok_or_else(|| SimError::trap("gep on non-pointer"))?;
-                        let i = Self::eval(self.globals, self.team.id, f, index)?
+                        let i = Self::eval(self.globals, team_id, f, index)?
                             .as_i64()
                             .ok_or_else(|| SimError::trap("gep with non-integer index"))?;
                         let addr = (b as i64 + i * scale as i64 + offset) as u64;
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, RtVal::Ptr(addr));
                         f.idx += 1;
-                        self.charge(hw, self.cost.int_op, CycleClass::Alu);
+                        let c = self.cost.int_op;
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alu, c);
+                        }
                     }
                     InstKind::Select {
                         cond,
@@ -674,26 +725,30 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                         ..
                     } => {
                         let (cond, on_true, on_false) = (*cond, *on_true, *on_false);
-                        let f = self.team.threads[hw as usize].frames.last().unwrap();
-                        let c = Self::eval(self.globals, self.team.id, f, cond)?
+                        let f = th.frames.last().unwrap();
+                        let c = Self::eval(self.globals, team_id, f, cond)?
                             .as_bool()
                             .ok_or_else(|| SimError::trap("select on non-boolean"))?;
                         let v = if c {
-                            Self::eval(self.globals, self.team.id, f, on_true)?
+                            Self::eval(self.globals, team_id, f, on_true)?
                         } else {
-                            Self::eval(self.globals, self.team.id, f, on_false)?
+                            Self::eval(self.globals, team_id, f, on_false)?
                         };
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         Self::set_reg(f, inst_id, v);
                         f.idx += 1;
-                        self.charge(hw, self.cost.simple_op, CycleClass::Alu);
+                        let c = self.cost.simple_op;
+                        th.cycles += c;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_charge(Some(fid), CycleClass::Alu, c);
+                        }
                     }
                     InstKind::Phi { .. } => {
                         // Phis are executed as part of block transition;
                         // a phi in the middle of a block (not the leading
                         // header the plan splits off) is skipped
                         // defensively.
-                        let f = self.team.threads[hw as usize].frames.last_mut().unwrap();
+                        let f = th.frames.last_mut().unwrap();
                         f.idx += 1;
                     }
                     InstKind::Call { callee, args, .. } => {
@@ -766,6 +821,401 @@ impl<'a, 'm> TeamExec<'a, 'm> {
         if let Some(p) = self.prof.as_deref_mut() {
             p.on_charge(th.frames.last().map(|f| f.func), class, cycles);
         }
+    }
+
+    /// Evaluates a pre-decoded tier-1 operand slot. Mirrors
+    /// [`TeamExec::eval`] exactly (including trap messages); constants
+    /// were materialized at compile time.
+    ///
+    /// `inline(always)` matters: this runs for every operand of every
+    /// compiled step, and as an outlined call (large `Result` return,
+    /// cold `format!` paths) it costs as much as a whole interpreted
+    /// instruction. The trap constructors are outlined instead.
+    #[inline(always)]
+    fn slot_val(
+        globals: &[(AddrSpace, u64)],
+        team_id: u32,
+        frame: &Frame,
+        s: Slot,
+    ) -> Result<RtVal, SimError> {
+        Ok(match s {
+            Slot::Const(v) => v,
+            Slot::Reg(i) => match frame.regs.get(i.index()) {
+                Some(&Some(v)) => v,
+                _ => return Err(undef_value_trap(i)),
+            },
+            Slot::Arg(n) => match frame.args.get(n as usize) {
+                Some(&v) => v,
+                None => return Err(missing_arg_trap(n)),
+            },
+            Slot::Global(g) => {
+                let (space, offset) = globals[g as usize];
+                match space {
+                    AddrSpace::Global => RtVal::Ptr(mem::global_addr(offset)),
+                    AddrSpace::Shared => RtVal::Ptr(mem::shared_addr(team_id, offset)),
+                }
+            }
+        })
+    }
+
+    /// Runs compiled blocks for thread `hw` starting at the top frame's
+    /// current block, chaining across compiled successors. The frame is
+    /// popped into a local for the duration (pushed back by
+    /// [`TeamExec::exit_compiled`] on every path), and cycle/instruction
+    /// deltas accumulate in locals, flushed once per exit.
+    ///
+    /// Callers guarantee `frame.idx == 0` and that the instruction
+    /// budget covers the first block's `n_insts`; the loop re-checks the
+    /// budget per chained block and exits back to the interpreter (same
+    /// position, nothing charged for the unexecuted block) when the
+    /// budget might trip inside it — the interpreter then stops at the
+    /// exact instruction tier 0 would.
+    fn run_compiled<'p>(
+        &mut self,
+        hw: u32,
+        fid: FuncId,
+        fp: &'p crate::plan::FuncPlan<'m>,
+        cb: &'p CompiledBlock,
+        stop_at: u64,
+    ) -> Result<(), SimError> {
+        let mut cb = cb;
+        let th = &mut self.team.threads[hw as usize];
+        let mut insts = th.insts;
+        let mut cycles: u64 = 0;
+        let mut frame = th.frames.pop().expect("compiled run without a frame");
+        loop {
+            let before = insts;
+            if before.saturating_add(cb.n_insts) >= stop_at {
+                // Budget deopt: let the interpreter run this block.
+                return self.exit_compiled(hw, frame, cycles, insts, Ok(()));
+            }
+            let mut failed: Option<SimError> = None;
+            for &(at, ref step) in &cb.steps {
+                if let Err((rel, e)) = self.exec_step(hw, fid, step, &mut frame, &mut cycles) {
+                    frame.idx = (at + rel) as usize;
+                    failed = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failed {
+                return self.exit_compiled(hw, frame, cycles, insts, Err(e));
+            }
+            insts += cb.n_insts;
+            cycles += cb.static_cycles;
+            self.stats.memory_accesses += cb.mem_accesses;
+            frame.idx = cb.code_len as usize;
+            // Amortized watchdog: fire on the same 16 K-instruction
+            // cadence as the interpreter's per-instruction check.
+            if (before >> 14) != (insts >> 14) {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        let e = SimError::timeout(self.watchdog_millis);
+                        return self.exit_compiled(hw, frame, cycles, insts, Err(e));
+                    }
+                }
+            }
+            let taken: &Edge = match &cb.term {
+                CTerm::Bridge => {
+                    // Terminator (or unresolved edge) belongs to the
+                    // interpreter; the frame sits at `idx == code_len`.
+                    return self.exit_compiled(hw, frame, cycles, insts, Ok(()));
+                }
+                CTerm::Br(e) => e,
+                CTerm::CondBr {
+                    cond,
+                    then_e,
+                    else_e,
+                } => {
+                    let v = match Self::slot_val(self.globals, self.team.id, &frame, *cond) {
+                        Ok(v) => v,
+                        Err(e) => return self.exit_compiled(hw, frame, cycles, insts, Err(e)),
+                    };
+                    match v.as_bool() {
+                        Some(true) => then_e,
+                        Some(false) => else_e,
+                        None => {
+                            let e = SimError::trap("branch on non-boolean");
+                            return self.exit_compiled(hw, frame, cycles, insts, Err(e));
+                        }
+                    }
+                }
+                CTerm::CmpBr {
+                    op,
+                    ty,
+                    lhs,
+                    rhs,
+                    at,
+                    then_e,
+                    else_e,
+                } => {
+                    let r = (|| {
+                        let a = Self::slot_val(self.globals, self.team.id, &frame, *lhs)?;
+                        let b = Self::slot_val(self.globals, self.team.id, &frame, *rhs)?;
+                        exec_cmp(*op, *ty, a, b)
+                    })();
+                    match r.map(|v| v.as_bool()) {
+                        Ok(Some(true)) => then_e,
+                        Ok(Some(false)) => else_e,
+                        Ok(None) => unreachable!("cmp produced a non-boolean"),
+                        Err(e) => {
+                            // The fused compare's own code position.
+                            frame.idx = *at as usize;
+                            return self.exit_compiled(hw, frame, cycles, insts, Err(e));
+                        }
+                    }
+                }
+            };
+            if let Err(e) = self.take_edge(&mut frame, taken) {
+                return self.exit_compiled(hw, frame, cycles, insts, Err(e));
+            }
+            cb = match fp.block(frame.block).compiled.as_ref() {
+                Some(c) => c,
+                // Successor needs the interpreter (runtime calls,
+                // returns, ...): bridge with the frame at its head.
+                None => return self.exit_compiled(hw, frame, cycles, insts, Ok(())),
+            };
+        }
+    }
+
+    /// Pushes the popped frame back and flushes the accumulated
+    /// instruction/cycle deltas of a compiled run.
+    fn exit_compiled(
+        &mut self,
+        hw: u32,
+        frame: Frame,
+        cycles: u64,
+        insts: u64,
+        r: Result<(), SimError>,
+    ) -> Result<(), SimError> {
+        let th = &mut self.team.threads[hw as usize];
+        th.frames.push(frame);
+        th.cycles += cycles;
+        th.insts = insts;
+        r
+    }
+
+    /// Follows a pre-resolved tier-1 edge: applies the target's phi
+    /// moves for this predecessor (simultaneously, like
+    /// [`TeamExec::transition`]) and repositions the frame.
+    fn take_edge(&mut self, frame: &mut Frame, edge: &Edge) -> Result<(), SimError> {
+        match edge.moves.as_slice() {
+            [] => {}
+            &[(i, s)] => {
+                let v = Self::slot_val(self.globals, self.team.id, frame, s)?;
+                Self::set_reg(frame, i, v);
+            }
+            moves => {
+                let mut vals = std::mem::take(&mut self.scratch_phis);
+                vals.clear();
+                for &(i, s) in moves {
+                    match Self::slot_val(self.globals, self.team.id, frame, s) {
+                        Ok(v) => vals.push((i, v)),
+                        Err(e) => {
+                            self.scratch_phis = vals;
+                            return Err(e);
+                        }
+                    }
+                }
+                for &(i, v) in &vals {
+                    Self::set_reg(frame, i, v);
+                }
+                self.scratch_phis = vals;
+            }
+        }
+        frame.prev_block = Some(frame.block);
+        frame.block = edge.target;
+        frame.idx = 0;
+        Ok(())
+    }
+
+    /// Executes one tier-1 step against the popped frame, accumulating
+    /// dynamic (memory-access) cycle costs into `cycles`. Static costs
+    /// are pre-summed per block. On error, returns the offset of the
+    /// failing fused component so the caller can restore the exact
+    /// interpreter code position.
+    fn exec_step(
+        &mut self,
+        hw: u32,
+        fid: FuncId,
+        step: &Step,
+        frame: &mut Frame,
+        cycles: &mut u64,
+    ) -> Result<(), (u32, SimError)> {
+        let globals = self.globals;
+        let team_id = self.team.id;
+        match *step {
+            Step::Alloca { size, dst } => {
+                let th = &mut self.team.threads[hw as usize];
+                let addr = mem::local_addr(team_id, hw, th.local_sp);
+                th.local_sp += size.max(1).div_ceil(8) * 8;
+                if th.local_sp > self.cfg.local_mem_per_thread {
+                    return Err((0, SimError::trap("thread-local stack overflow")));
+                }
+                Self::set_reg(frame, dst, RtVal::Ptr(addr));
+            }
+            Step::Load { ptr, ty, site, dst } => {
+                let p = Self::slot_val(globals, team_id, frame, ptr)
+                    .map_err(|e| (0, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (0, SimError::trap("load through non-pointer")))?;
+                let (v, class) = self.mem.load(p, ty, hw).map_err(|e| (0, e.into()))?;
+                *cycles += self.access_cost(hw, fid, site, p, ty, class);
+                Self::set_reg(frame, dst, v);
+            }
+            Step::Store { ptr, val, site } => {
+                let p = Self::slot_val(globals, team_id, frame, ptr)
+                    .map_err(|e| (0, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (0, SimError::trap("store through non-pointer")))?;
+                let v = Self::slot_val(globals, team_id, frame, val).map_err(|e| (0, e))?;
+                let class = self.mem.store(p, v, hw).map_err(|e| (0, e.into()))?;
+                *cycles += self.access_cost(hw, fid, site, p, v.ty(), class);
+            }
+            Step::Bin {
+                op,
+                ty,
+                lhs,
+                rhs,
+                dst,
+            } => {
+                let a = Self::slot_val(globals, team_id, frame, lhs).map_err(|e| (0, e))?;
+                let b = Self::slot_val(globals, team_id, frame, rhs).map_err(|e| (0, e))?;
+                let v = exec_bin(op, ty, a, b).map_err(|e| (0, e))?;
+                Self::set_reg(frame, dst, v);
+            }
+            Step::Cmp {
+                op,
+                ty,
+                lhs,
+                rhs,
+                dst,
+            } => {
+                let a = Self::slot_val(globals, team_id, frame, lhs).map_err(|e| (0, e))?;
+                let b = Self::slot_val(globals, team_id, frame, rhs).map_err(|e| (0, e))?;
+                let v = exec_cmp(op, ty, a, b).map_err(|e| (0, e))?;
+                Self::set_reg(frame, dst, v);
+            }
+            Step::Cast { op, val, to, dst } => {
+                let a = Self::slot_val(globals, team_id, frame, val).map_err(|e| (0, e))?;
+                let v = exec_cast(op, a, to).map_err(|e| (0, e))?;
+                Self::set_reg(frame, dst, v);
+            }
+            Step::Gep {
+                base,
+                index,
+                scale,
+                offset,
+                dst,
+            } => {
+                let b = Self::slot_val(globals, team_id, frame, base)
+                    .map_err(|e| (0, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (0, SimError::trap("gep on non-pointer")))?;
+                let i = Self::slot_val(globals, team_id, frame, index)
+                    .map_err(|e| (0, e))?
+                    .as_i64()
+                    .ok_or_else(|| (0, SimError::trap("gep with non-integer index")))?;
+                let addr = (b as i64 + i * scale as i64 + offset) as u64;
+                Self::set_reg(frame, dst, RtVal::Ptr(addr));
+            }
+            Step::Select {
+                cond,
+                on_true,
+                on_false,
+                dst,
+            } => {
+                let c = Self::slot_val(globals, team_id, frame, cond)
+                    .map_err(|e| (0, e))?
+                    .as_bool()
+                    .ok_or_else(|| (0, SimError::trap("select on non-boolean")))?;
+                let v = if c {
+                    Self::slot_val(globals, team_id, frame, on_true).map_err(|e| (0, e))?
+                } else {
+                    Self::slot_val(globals, team_id, frame, on_false).map_err(|e| (0, e))?
+                };
+                Self::set_reg(frame, dst, v);
+            }
+            Step::Math {
+                kind,
+                f32_out,
+                args,
+                n_args,
+                dst,
+            } => {
+                let mut buf = [RtVal::I64(0); 2];
+                for (k, slot) in args.iter().take(n_args as usize).enumerate() {
+                    buf[k] = Self::slot_val(globals, team_id, frame, *slot).map_err(|e| (0, e))?;
+                }
+                let v = exec_math(kind, f32_out, &buf[..n_args as usize]).map_err(|e| (0, e))?;
+                Self::set_reg(frame, dst, v);
+            }
+            Step::GepLoad {
+                base,
+                index,
+                scale,
+                offset,
+                addr_dst,
+                ty,
+                site,
+                dst,
+            } => {
+                let b = Self::slot_val(globals, team_id, frame, base)
+                    .map_err(|e| (0, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (0, SimError::trap("gep on non-pointer")))?;
+                let i = Self::slot_val(globals, team_id, frame, index)
+                    .map_err(|e| (0, e))?
+                    .as_i64()
+                    .ok_or_else(|| (0, SimError::trap("gep with non-integer index")))?;
+                let addr = (b as i64 + i * scale as i64 + offset) as u64;
+                if let Some(d) = addr_dst {
+                    Self::set_reg(frame, d, RtVal::Ptr(addr));
+                }
+                let (v, class) = self.mem.load(addr, ty, hw).map_err(|e| (1, e.into()))?;
+                *cycles += self.access_cost(hw, fid, site, addr, ty, class);
+                Self::set_reg(frame, dst, v);
+            }
+            Step::LoadBinStore {
+                ptr,
+                lty,
+                lsite,
+                ldst,
+                op,
+                bty,
+                other,
+                loaded_is_lhs,
+                bdst,
+                sptr,
+                ssite,
+            } => {
+                let p = Self::slot_val(globals, team_id, frame, ptr)
+                    .map_err(|e| (0, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (0, SimError::trap("load through non-pointer")))?;
+                let (lv, class) = self.mem.load(p, lty, hw).map_err(|e| (0, e.into()))?;
+                *cycles += self.access_cost(hw, fid, lsite, p, lty, class);
+                if let Some(d) = ldst {
+                    Self::set_reg(frame, d, lv);
+                }
+                let bv = if loaded_is_lhs {
+                    let b = Self::slot_val(globals, team_id, frame, other).map_err(|e| (1, e))?;
+                    exec_bin(op, bty, lv, b).map_err(|e| (1, e))?
+                } else {
+                    let a = Self::slot_val(globals, team_id, frame, other).map_err(|e| (1, e))?;
+                    exec_bin(op, bty, a, lv).map_err(|e| (1, e))?
+                };
+                if let Some(d) = bdst {
+                    Self::set_reg(frame, d, bv);
+                }
+                let sp = Self::slot_val(globals, team_id, frame, sptr)
+                    .map_err(|e| (2, e))?
+                    .as_ptr()
+                    .ok_or_else(|| (2, SimError::trap("store through non-pointer")))?;
+                let class = self.mem.store(sp, bv, hw).map_err(|e| (2, e.into()))?;
+                *cycles += self.access_cost(hw, fid, ssite, sp, bv.ty(), class);
+            }
+        }
+        Ok(())
     }
 
     /// Applies a cycle *jump* (barrier release, join alignment, worker
@@ -1627,6 +2077,22 @@ fn rtl_arg(vals: &[RtVal], i: usize, rtl: RtlFn) -> Result<RtVal, SimError> {
         .ok_or_else(|| SimError::trap(format!("{} called with too few arguments", rtl.name())))
 }
 
+/// Outlined trap constructors for [`TeamExec::slot_val`]: keeping the
+/// `format!` machinery out of line is what lets the hot accessor
+/// inline into the compiled-step loop. Messages match
+/// [`TeamExec::eval`] byte for byte.
+#[cold]
+#[inline(never)]
+fn undef_value_trap(i: InstId) -> SimError {
+    SimError::trap(format!("use of undefined value {i}"))
+}
+
+#[cold]
+#[inline(never)]
+fn missing_arg_trap(n: u32) -> SimError {
+    SimError::trap(format!("missing argument {n}"))
+}
+
 // ---- scalar operation semantics ----
 
 fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> {
@@ -1658,6 +2124,28 @@ fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     let y = b
         .as_i64()
         .ok_or_else(|| SimError::trap("int op on non-int"))?;
+    // Total integer ops take a direct path: same wrapping semantics as
+    // `fold::fold_bin` (`wrap_int` + the `ConstInt` conversion below),
+    // minus the per-instruction `Value` round trip. Partial ops
+    // (divisions, shifts — they can be undefined) keep using the
+    // folder so the trap behavior stays identical.
+    let fast = match op {
+        BinOp::Add => Some(x.wrapping_add(y)),
+        BinOp::Sub => Some(x.wrapping_sub(y)),
+        BinOp::Mul => Some(x.wrapping_mul(y)),
+        BinOp::And => Some(x & y),
+        BinOp::Or => Some(x | y),
+        BinOp::Xor => Some(x ^ y),
+        _ => None,
+    };
+    if let Some(r) = fast {
+        return Ok(match ty {
+            Type::I1 => RtVal::Bool(r & 1 != 0),
+            Type::I32 => RtVal::I32(r as i32),
+            Type::Ptr => RtVal::Ptr(r as u64),
+            _ => RtVal::I64(r),
+        });
+    }
     match fold::fold_bin(
         op,
         if ty == Type::Ptr { Type::I64 } else { ty },
@@ -1682,7 +2170,6 @@ fn exec_bin(op: BinOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
 }
 
 fn exec_cmp(op: CmpOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> {
-    use omp_ir::fold;
     if op.is_float() {
         let (x, y) = (
             a.as_f64()
@@ -1707,11 +2194,30 @@ fn exec_cmp(op: CmpOp, ty: Type, a: RtVal, b: RtVal) -> Result<RtVal, SimError> 
     let y = b
         .as_i64()
         .ok_or_else(|| SimError::trap("int cmp on non-int"))?;
+    // Every integer comparison is total, so the generic constant
+    // folder is skipped; semantics mirror `fold::fold_cmp` exactly
+    // (pointers compare as raw i64 addresses, unsigned views truncate
+    // per `to_unsigned`).
     let t = if ty == Type::Ptr { Type::I64 } else { ty };
-    match fold::fold_cmp(op, t, Value::ConstInt(x, t), Value::ConstInt(y, t)) {
-        Some(Value::ConstInt(v, _)) => Ok(RtVal::Bool(v != 0)),
-        _ => Err(SimError::trap("undefined comparison")),
-    }
+    let (ux, uy) = match t {
+        Type::I1 => ((x as u64) & 1, (y as u64) & 1),
+        Type::I32 => (x as u32 as u64, y as u32 as u64),
+        _ => (x as u64, y as u64),
+    };
+    let r = match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Slt => x < y,
+        CmpOp::Sle => x <= y,
+        CmpOp::Sgt => x > y,
+        CmpOp::Sge => x >= y,
+        CmpOp::Ult => ux < uy,
+        CmpOp::Ule => ux <= uy,
+        CmpOp::Ugt => ux > uy,
+        CmpOp::Uge => ux >= uy,
+        _ => return Err(SimError::trap("undefined comparison")),
+    };
+    Ok(RtVal::Bool(r))
 }
 
 fn exec_cast(op: CastOp, a: RtVal, to: Type) -> Result<RtVal, SimError> {

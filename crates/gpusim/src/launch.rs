@@ -7,7 +7,7 @@
 //! so the scheduler can fan them out over host threads (`jobs`) and
 //! still merge results deterministically in team-id order.
 
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, Tier};
 use crate::cost::CostModel;
 use crate::error::SimError;
 use crate::interp::{TeamExec, TeamOutcome};
@@ -51,6 +51,9 @@ pub struct Device<'m> {
     /// Host worker threads for team execution: 0 = auto (one per
     /// available core, capped by the team count), 1 = run inline.
     jobs: u32,
+    /// Per-kernel static register estimates, cached across launches
+    /// (pure function of the immutable module).
+    reg_estimates: std::collections::HashMap<omp_ir::FuncId, u32>,
 }
 
 impl<'m> Device<'m> {
@@ -71,7 +74,15 @@ impl<'m> Device<'m> {
         {
             cfg.max_insts_per_thread = n;
         }
-        let plan = ExecPlan::build(module)?;
+        if let Some(t) = std::env::var("OMPGPU_TIER")
+            .ok()
+            .and_then(|v| Tier::parse(&v))
+        {
+            cfg.tier = t;
+        }
+        // Tier-1 blocks pre-sum cycle charges from the device's cost
+        // model, so plan construction takes it as an input.
+        let plan = ExecPlan::build_with_cost(module, &cost)?;
         // Lay out shared-space globals at the base of each team's shared
         // memory and global-space globals at the base of global memory.
         let mut shared_off = 0u64;
@@ -116,6 +127,7 @@ impl<'m> Device<'m> {
             global_inits,
             base_cursor,
             jobs,
+            reg_estimates: std::collections::HashMap::new(),
         })
     }
 
@@ -188,6 +200,15 @@ impl<'m> Device<'m> {
     /// Sets the per-thread dynamic instruction budget (runaway guard).
     pub fn set_max_insts(&mut self, budget: u64) {
         self.cfg.max_insts_per_thread = budget;
+    }
+
+    /// Requests an execution tier for subsequent launches. The tier
+    /// that actually runs is [`DeviceConfig::effective_tier`]:
+    /// profiling, sanitizing, and fault injection force the
+    /// interpreter. Outputs, statistics, and simulated cycles are
+    /// bit-identical across tiers; only host wall-clock differs.
+    pub fn set_tier(&mut self, tier: Tier) {
+        self.cfg.tier = tier;
     }
 
     /// Allocates a device buffer of `bytes` bytes; returns its address.
@@ -374,6 +395,7 @@ impl<'m> Device<'m> {
             self.mem.apply_delta(outcome.delta);
         }
         stats.team_cycles = team_cycles;
+        stats.tier = self.cfg.effective_tier();
         stats.finish(self.cfg.num_sms);
         stats.shared_mem_bytes = self.mem.shared_high_water;
         stats.heap_bytes = self.mem.heap_high_water;
@@ -381,14 +403,23 @@ impl<'m> Device<'m> {
         // kernel. Indirect calls add a fixed penalty: the toolchain must
         // assume spurious call edges to every address-taken function
         // (the paper's PR46450 register-pressure effect that the custom
-        // state-machine rewrite eliminates).
-        let cg = CallGraph::build(self.module);
-        let reachable = cg.reachable_from([kfunc]);
-        let has_indirect = reachable.iter().any(|f| cg.has_indirect_call.contains(f));
-        stats.registers = kernel_register_estimate(self.module, reachable.iter().copied());
-        if has_indirect {
-            stats.registers += 24;
-        }
+        // state-machine rewrite eliminates). The estimate is a pure
+        // function of the (immutable) module, so it is computed once per
+        // kernel and cached across launches.
+        stats.registers = match self.reg_estimates.get(&kfunc) {
+            Some(&r) => r,
+            None => {
+                let cg = CallGraph::build(self.module);
+                let reachable = cg.reachable_from([kfunc]);
+                let has_indirect = reachable.iter().any(|f| cg.has_indirect_call.contains(f));
+                let mut r = kernel_register_estimate(self.module, reachable.iter().copied());
+                if has_indirect {
+                    r += 24;
+                }
+                self.reg_estimates.insert(kfunc, r);
+                r
+            }
+        };
         let profile = (self.cfg.profile == ProfileMode::On)
             .then(|| LaunchProfile::assemble(self.module, self.cfg.num_sms, &stats, team_profiles));
         Ok((stats, profile, findings))
@@ -418,7 +449,7 @@ impl<'m> Device<'m> {
             if self.cfg.fault.abort_team == Some(team_id) {
                 return Err(SimError::fault_injected(format!("team {team_id} aborted")));
             }
-            TeamExec::new(
+            let te = TeamExec::new(
                 self.module,
                 &self.plan,
                 &self.cfg,
@@ -431,8 +462,8 @@ impl<'m> Device<'m> {
                 mode,
                 kfunc,
                 args,
-            )
-            .run()
+            );
+            te.run()
         };
         let mut slots: Vec<Option<Result<TeamOutcome, SimError>>> =
             (0..teams).map(|_| None).collect();

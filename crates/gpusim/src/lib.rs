@@ -44,6 +44,7 @@
 //! assert_eq!(out[10], 20.0);
 //! ```
 
+pub(crate) mod compile;
 pub mod config;
 pub mod cost;
 pub mod error;
@@ -57,7 +58,7 @@ pub mod sanitize;
 pub mod stats;
 pub mod value;
 
-pub use config::DeviceConfig;
+pub use config::{DeviceConfig, Tier};
 pub use cost::CostModel;
 pub use error::{Provenance, SimError, SimErrorKind, ThreadPos};
 pub use launch::{Device, LaunchDims};

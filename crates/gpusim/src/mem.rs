@@ -283,7 +283,7 @@ struct CowPage {
 /// [`Memory`] with [`Memory::apply_delta`] after the team finishes.
 #[derive(Debug)]
 pub struct TeamMemDelta {
-    pages: FastMap<CowPage>,
+    pages: Vec<(u64, CowPage)>,
     shared_high_water: u64,
     heap_live_high: u64,
 }
@@ -296,7 +296,16 @@ pub struct TeamMemDelta {
 pub struct TeamMemView<'a> {
     base: &'a [u8],
     team: u32,
-    pages: FastMap<CowPage>,
+    /// COW store journal: pages in first-write order plus a page# →
+    /// slot index. Slots are never removed during a launch, so the
+    /// direct-mapped two-entry `last_page` lookup cache (shared by the
+    /// load and store paths, indexed by page parity so an input/output
+    /// buffer pair does not thrash it; `u32::MAX` slot = "page not
+    /// journalled") stays valid until a conflicting access overwrites
+    /// its way.
+    page_slots: Vec<(u64, CowPage)>,
+    page_index: FastMap<u32>,
+    last_page: [(u64, u32); 2],
     shared: TeamShared,
     local: Vec<Vec<u8>>,
     heap: FreeListAlloc,
@@ -310,21 +319,47 @@ pub struct TeamMemView<'a> {
 }
 
 impl<'a> TeamMemView<'a> {
-    fn page_for_write(&mut self, page: u64) -> &mut CowPage {
-        let base = self.base;
-        self.pages.entry(page).or_insert_with(|| {
-            let mut data = Box::new([0u8; PAGE]);
-            let start = (page as usize) * PAGE;
-            let n = PAGE.min(base.len().saturating_sub(start));
-            data[..n].copy_from_slice(&base[start..start + n]);
-            CowPage {
-                data,
-                dirty: [0; PAGE_WORDS],
-            }
-        })
+    /// Slot of `page` in the journal, `None` when the team never wrote
+    /// it. One-entry cache in front of the hash lookup: the hot loops
+    /// touch the same page repeatedly (sequential buffers), so most
+    /// accesses skip the map entirely.
+    #[inline(always)]
+    fn page_slot(&mut self, page: u64) -> Option<u32> {
+        let way = (page & 1) as usize;
+        let (cached_page, cached_slot) = self.last_page[way];
+        if cached_page == page {
+            return (cached_slot != u32::MAX).then_some(cached_slot);
+        }
+        let slot = self.page_index.get(&page).copied().unwrap_or(u32::MAX);
+        self.last_page[way] = (page, slot);
+        (slot != u32::MAX).then_some(slot)
     }
 
-    fn read_global(&self, addr: u64, offset: u64, out: &mut [u8]) -> Result<(), MemError> {
+    fn page_for_write(&mut self, page: u64) -> &mut CowPage {
+        let slot = match self.page_slot(page) {
+            Some(s) => s,
+            None => {
+                let mut data = Box::new([0u8; PAGE]);
+                let start = (page as usize) * PAGE;
+                let n = PAGE.min(self.base.len().saturating_sub(start));
+                data[..n].copy_from_slice(&self.base[start..start + n]);
+                let s = self.page_slots.len() as u32;
+                self.page_slots.push((
+                    page,
+                    CowPage {
+                        data,
+                        dirty: [0; PAGE_WORDS],
+                    },
+                ));
+                self.page_index.insert(page, s);
+                self.last_page[(page & 1) as usize] = (page, s);
+                s
+            }
+        };
+        &mut self.page_slots[slot as usize].1
+    }
+
+    fn read_global(&mut self, addr: u64, offset: u64, out: &mut [u8]) -> Result<(), MemError> {
         let end = offset + out.len() as u64;
         if end > self.base.len() as u64 {
             return Err(MemError::OutOfBounds(addr));
@@ -335,8 +370,11 @@ impl<'a> TeamMemView<'a> {
             let page = (o / PAGE) as u64;
             let po = o % PAGE;
             let n = (PAGE - po).min(out.len() - i);
-            match self.pages.get(&page) {
-                Some(p) => out[i..i + n].copy_from_slice(&p.data[po..po + n]),
+            match self.page_slot(page) {
+                Some(s) => {
+                    let p = &self.page_slots[s as usize].1;
+                    out[i..i + n].copy_from_slice(&p.data[po..po + n]);
+                }
                 None => out[i..i + n].copy_from_slice(&self.base[o..o + n]),
             }
             i += n;
@@ -535,7 +573,7 @@ impl<'a> TeamMemView<'a> {
     /// launch-level [`Memory`].
     pub fn finish(self) -> TeamMemDelta {
         TeamMemDelta {
-            pages: self.pages,
+            pages: self.page_slots,
             shared_high_water: self.shared.alloc.high_water,
             heap_live_high: self.heap.live_high,
         }
@@ -615,7 +653,9 @@ impl Memory {
         TeamMemView {
             base: &self.global,
             team,
-            pages: FastMap::default(),
+            page_slots: Vec::new(),
+            page_index: FastMap::default(),
+            last_page: [(u64::MAX, u32::MAX); 2],
             shared: TeamShared {
                 data: vec![0; cap as usize],
                 alloc: FreeListAlloc::new(statics, stack_limit),

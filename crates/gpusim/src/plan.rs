@@ -18,6 +18,8 @@
 //! undefined function id is a clean [`SimError`] at `Device::new` time
 //! instead of an index panic mid-run.
 
+use crate::compile::{self, CompiledBlock};
+use crate::cost::CostModel;
 use crate::error::SimError;
 use omp_ir::omprtl::{math_fn_signature, RtlFn, ALL_RTL_FNS};
 use omp_ir::{BlockId, FuncId, InstId, InstKind, Module, Terminator, Value};
@@ -81,6 +83,9 @@ pub(crate) struct BlockPlan<'m> {
     pub phis: Vec<(InstId, &'m [(BlockId, Value)])>,
     pub code: Vec<(InstId, &'m InstKind)>,
     pub term: &'m Terminator,
+    /// Tier-1 lowering of this block ([`crate::compile`]); `None` when
+    /// the block contains a construct only the interpreter handles.
+    pub compiled: Option<CompiledBlock>,
 }
 
 /// The decoded form of one defined function.
@@ -120,8 +125,17 @@ pub struct ExecPlan<'m> {
 
 impl<'m> ExecPlan<'m> {
     /// Decodes `module` into an execution plan, validating every call
-    /// target and operand reference.
+    /// target and operand reference. Tier-1 blocks are compiled against
+    /// the default cost model; use [`ExecPlan::build_with_cost`] when
+    /// the device charges a non-default one.
     pub fn build(module: &'m Module) -> Result<ExecPlan<'m>, SimError> {
+        Self::build_with_cost(module, &CostModel::default())
+    }
+
+    /// Like [`ExecPlan::build`], pre-summing tier-1 block cycle costs
+    /// from `cost` so compiled-tier charges are bit-identical to the
+    /// interpreter's under any cost model.
+    pub fn build_with_cost(module: &'m Module, cost: &CostModel) -> Result<ExecPlan<'m>, SimError> {
         let num_functions = module.num_functions();
         let num_globals = module.global_ids().count();
         let mut nature = Vec::with_capacity(num_functions);
@@ -209,8 +223,10 @@ impl<'m> ExecPlan<'m> {
                     phis,
                     code,
                     term: &data.term,
+                    compiled: None,
                 });
             }
+            compile::compile_func(&mut blocks, &call_targets, num_regs, total_sites, cost);
             funcs.push(Some(FuncPlan {
                 entry: f.entry(),
                 num_regs,
@@ -273,7 +289,7 @@ fn bad_operand(func: &str, kind: &InstKind, num_functions: usize, num_globals: u
 
 /// Visits each operand; stops early (returning `false`) when the
 /// visitor does.
-fn for_each_operand(kind: &InstKind, f: &mut impl FnMut(Value) -> bool) -> bool {
+pub(crate) fn for_each_operand(kind: &InstKind, f: &mut impl FnMut(Value) -> bool) -> bool {
     let mut ok = true;
     let mut visit = |v: Value| {
         if ok && !f(v) {

@@ -1,6 +1,7 @@
 //! Launch statistics — the quantities the paper's Figure 10 reports
 //! (kernel time, shared memory, registers) plus diagnostic counters.
 
+use crate::config::Tier;
 use std::collections::HashMap;
 
 /// Statistics of one kernel launch.
@@ -36,6 +37,11 @@ pub struct KernelStats {
     pub coalesced_accesses: u64,
     /// Global-memory accesses classified as uncoalesced.
     pub uncoalesced_accesses: u64,
+    /// Execution tier this launch ran under
+    /// ([`crate::DeviceConfig::effective_tier`]). Every counter above is
+    /// bit-identical across tiers; the tier is recorded so regressions
+    /// are diagnosable from artifacts alone.
+    pub tier: Tier,
 }
 
 /// A deterministic, order-stable projection of [`KernelStats`]: the
@@ -64,6 +70,9 @@ pub struct StatsSnapshot {
     pub parallel_regions: u64,
     /// Memory accesses executed.
     pub memory_accesses: u64,
+    /// Execution tier the launch ran under (`interp` or `compiled`).
+    /// Informational: all other fields are bit-identical across tiers.
+    pub tier: Tier,
     /// Dynamic calls per runtime entry point, sorted by name.
     pub rtl_calls: Vec<(String, u64)>,
 }
@@ -87,6 +96,7 @@ impl StatsSnapshot {
         ] {
             w.key(k).u64(v);
         }
+        w.key("tier").string(self.tier.as_str());
         w.key("rtl_calls").begin_object();
         for (name, n) in &self.rtl_calls {
             w.key(name).u64(*n);
@@ -123,6 +133,7 @@ impl KernelStats {
             indirect_calls: self.indirect_calls,
             parallel_regions: self.parallel_regions,
             memory_accesses: self.memory_accesses,
+            tier: self.tier,
             rtl_calls,
         }
     }
@@ -192,6 +203,7 @@ mod tests {
         s.rtl_calls.insert("__kmpc_barrier".into(), 3);
         let j = s.snapshot().to_json();
         assert!(j.starts_with("{\"cycles\":7,"));
+        assert!(j.contains("\"tier\":\"compiled\""));
         assert!(j.contains("\"rtl_calls\":{\"__kmpc_barrier\":3}"));
         assert!(j.ends_with("}}"));
     }

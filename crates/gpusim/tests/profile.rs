@@ -3,7 +3,7 @@
 //! across worker-thread counts, and well-formed trace artifacts.
 
 use omp_frontend::{compile, FrontendOptions, GlobalizationScheme};
-use omp_gpusim::{Device, DeviceConfig, LaunchDims, LaunchProfile, ProfileMode, RtVal};
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, LaunchProfile, ProfileMode, RtVal, Tier};
 
 fn build(src: &str) -> omp_ir::Module {
     let m = compile(src, &FrontendOptions::default()).unwrap();
@@ -87,8 +87,17 @@ fn profile_off_leaves_stats_and_results_identical() {
     assert!(off_profile.is_none(), "Off must not produce a profile");
     assert!(on_profile.is_some(), "On must produce a profile");
     assert_eq!(off_out, on_out, "profiling must not change results");
+    assert_eq!(off_stats.tier, Tier::Compiled);
     assert_eq!(
-        off_stats.snapshot(),
+        on_stats.tier,
+        Tier::Interp,
+        "profiling must force the interpreter tier"
+    );
+    // The tier tag is informational; every counter must be identical.
+    let mut off_snap = off_stats.snapshot();
+    off_snap.tier = on_stats.tier;
+    assert_eq!(
+        off_snap,
         on_stats.snapshot(),
         "profiling must not change statistics"
     );

@@ -1,0 +1,369 @@
+//! Differential testing of the two execution tiers: the compiled
+//! block engine (tier 1) must be observationally indistinguishable
+//! from the reference interpreter (tier 0) — bit-identical outputs,
+//! statistics, per-team cycle counts, and failure diagnostics — for
+//! every program, launch geometry, worker-thread count, and
+//! instruction budget.
+
+use omp_frontend::{compile, FrontendOptions};
+use omp_gpusim::{Device, DeviceConfig, KernelStats, LaunchDims, RtVal, StatsSnapshot, Tier};
+use omp_ir::{BinOp, Builder, CmpOp, ExecMode, Function, KernelInfo, Module, Type, Value};
+use proptest::prelude::*;
+
+/// A kernel mixing every fusion-eligible idiom: address-calc + load,
+/// load + arith + store, compare + branch, constant-operand
+/// arithmetic, selects, and a math call.
+const MIXED_SRC: &str = r#"
+void mixed(double* a, double* b, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) {
+    double x = a[i] * 2.0 + b[i];
+    double y = fabs(x);
+    if (i % 3 == 0) { y = y + sqrt(y + 1.0); }
+    a[i] = y;
+  }
+}
+"#;
+
+/// A generic-mode kernel: the sequential team loop bridges to the
+/// interpreter at every runtime call while the parallel body runs
+/// compiled.
+const GENERIC_SRC: &str = r#"
+void nested(double* a, long n) {
+  #pragma omp target teams distribute
+  for (long blk = 0; blk < n; blk++) {
+    double base = (double)blk * 1.5;
+    #pragma omp parallel for
+    for (long t = 0; t < 8; t++) { a[blk * 8 + t] = base + (double)t; }
+  }
+}
+"#;
+
+fn build(src: &str) -> Module {
+    let m = compile(src, &FrontendOptions::default()).unwrap();
+    omp_ir::verifier::assert_valid(&m);
+    m
+}
+
+/// Snapshot with the (informational) tier tag normalized away so the
+/// counters can be compared across tiers.
+fn norm(s: &KernelStats) -> StatsSnapshot {
+    let mut snap = s.snapshot();
+    snap.tier = Tier::Interp;
+    snap
+}
+
+/// Runs `kernel` twice — interpreter, then compiled — with identical
+/// inputs and knobs, and asserts every observable is bit-identical.
+/// Returns the interpreter outcome for additional checks.
+#[allow(clippy::too_many_arguments)]
+fn assert_tiers_agree(
+    m: &Module,
+    kernel: &str,
+    init: &[f64],
+    extra: &[RtVal],
+    dims: LaunchDims,
+    jobs: u32,
+    num_sms: u32,
+    max_insts: Option<u64>,
+) -> Result<(Vec<f64>, KernelStats), String> {
+    let run = |tier: Tier| {
+        let mut dev = Device::new(
+            m,
+            DeviceConfig {
+                num_sms,
+                ..DeviceConfig::default()
+            },
+        )
+        .unwrap();
+        dev.set_tier(tier);
+        dev.set_jobs(jobs);
+        if let Some(b) = max_insts {
+            dev.set_max_insts(b);
+        }
+        let buf = dev.alloc_f64(init).unwrap();
+        let mut args = vec![RtVal::Ptr(buf)];
+        args.extend_from_slice(extra);
+        match dev.launch(kernel, &args, dims) {
+            Ok(stats) => {
+                let out = dev.read_f64(buf, init.len()).unwrap();
+                assert_eq!(stats.tier, tier, "stats must record the tier that ran");
+                Ok((out, stats))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    let interp = run(Tier::Interp);
+    let compiled = run(Tier::Compiled);
+    match (&interp, &compiled) {
+        (Ok((oi, si)), Ok((oc, sc))) => {
+            assert_eq!(
+                oi.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                oc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "outputs diverged between tiers"
+            );
+            assert_eq!(norm(si), norm(sc), "statistics diverged between tiers");
+            assert_eq!(si.team_cycles, sc.team_cycles, "team cycles diverged");
+            assert_eq!(si.coalesced_accesses, sc.coalesced_accesses);
+            assert_eq!(si.uncoalesced_accesses, sc.uncoalesced_accesses);
+            for (k, v) in &si.rtl_calls {
+                assert_eq!(sc.rtl_calls.get(k), Some(v), "rtl call count for {k}");
+            }
+        }
+        (Err(ei), Err(ec)) => {
+            assert_eq!(ei, ec, "failure diagnostics diverged between tiers");
+        }
+        (Ok(_), Err(e)) => panic!("interp succeeded but compiled failed: {e}"),
+        (Err(e), Ok(_)) => panic!("compiled succeeded but interp failed: {e}"),
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random geometry × worker count × SM count on the fusion-heavy
+    /// SPMD kernel: outputs, stats, and team cycles bit-identical.
+    #[test]
+    fn mixed_kernel_is_tier_invariant(
+        n in 1usize..64,
+        teams in 1u32..5,
+        threads in 1u32..33,
+        jobs in 1u32..4,
+        num_sms in 1u32..5,
+    ) {
+        let m = build(MIXED_SRC);
+        let a: Vec<f64> = (0..n).map(|i| (i as f64) - 7.5).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i * 3) as f64 * 0.25).collect();
+        let dims = LaunchDims { teams: Some(teams), threads: Some(threads) };
+        let run = |tier: Tier| {
+            let mut dev = Device::new(
+                &m,
+                DeviceConfig { num_sms, ..DeviceConfig::default() },
+            )
+            .unwrap();
+            dev.set_tier(tier);
+            dev.set_jobs(jobs);
+            let ab = dev.alloc_f64(&a).unwrap();
+            let bb = dev.alloc_f64(&b).unwrap();
+            let stats = dev
+                .launch("mixed", &[RtVal::Ptr(ab), RtVal::Ptr(bb), RtVal::I64(n as i64)], dims)
+                .unwrap();
+            (dev.read_f64(ab, n).unwrap(), stats)
+        };
+        let (oi, si) = run(Tier::Interp);
+        let (oc, sc) = run(Tier::Compiled);
+        prop_assert_eq!(
+            oi.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            oc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(norm(&si), norm(&sc));
+        prop_assert_eq!(si.team_cycles, sc.team_cycles);
+    }
+
+    /// Generic-mode worker state machine under both tiers: the
+    /// parallel-region bridges must preserve every counter.
+    #[test]
+    fn generic_kernel_is_tier_invariant(
+        n in 1usize..9,
+        jobs in 1u32..4,
+        num_sms in 1u32..5,
+    ) {
+        let m = build(GENERIC_SRC);
+        let init = vec![0.0; n * 8];
+        let dims = LaunchDims { teams: Some(2), threads: Some(8) };
+        let _ = assert_tiers_agree(
+            &m, "nested", &init, &[RtVal::I64(n as i64)], dims, jobs, num_sms, None,
+        );
+    }
+
+    /// Instruction-budget sweep: for every budget the two tiers stop
+    /// at the same instruction with the same diagnostic — the compiled
+    /// engine's amortized budget check must deopt, not overshoot.
+    #[test]
+    fn budget_exhaustion_is_tier_exact(budget in 1u64..2_500) {
+        let m = build(MIXED_SRC);
+        let n = 24usize;
+        let init: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let dims = LaunchDims { teams: Some(2), threads: Some(8) };
+        let run = |tier: Tier| {
+            let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+            dev.set_tier(tier);
+            dev.set_max_insts(budget);
+            let ab = dev.alloc_f64(&init).unwrap();
+            let bb = dev.alloc_f64(&init).unwrap();
+            dev.launch("mixed", &[RtVal::Ptr(ab), RtVal::Ptr(bb), RtVal::I64(n as i64)], dims)
+                .map(|s| {
+                    (dev.read_f64(ab, n).unwrap(), norm(&s), s.team_cycles.clone())
+                })
+                .map_err(|e| e.to_string())
+        };
+        prop_assert_eq!(run(Tier::Interp), run(Tier::Compiled));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Superinstruction decomposition: each fused pattern must charge the
+// same instructions, cycles, and memory accesses as its unfused
+// sequence — asserted by running the *same* IR under both tiers, with
+// use counts steering whether the intermediate register is written.
+// ---------------------------------------------------------------------
+
+fn kernelize(m: &mut Module, f: omp_ir::FuncId, name: &str) {
+    m.kernels.push(KernelInfo {
+        func: f,
+        exec_mode: ExecMode::Spmd,
+        num_teams: Some(1),
+        thread_limit: Some(1),
+        source_name: name.into(),
+    });
+}
+
+fn one_thread() -> LaunchDims {
+    LaunchDims {
+        teams: Some(1),
+        threads: Some(1),
+    }
+}
+
+/// Runs a handwritten one-thread kernel under both tiers over an i64
+/// buffer and asserts outputs and statistics are bit-identical.
+fn assert_ir_tier_identical(m: &Module, kernel: &str, init: &[i64]) -> Vec<i64> {
+    let run = |tier: Tier| {
+        let mut dev = Device::new(m, DeviceConfig::default()).unwrap();
+        dev.set_tier(tier);
+        let buf = dev.alloc_i64(init).unwrap();
+        let stats = dev
+            .launch(kernel, &[RtVal::Ptr(buf)], one_thread())
+            .unwrap();
+        (dev.read_i64(buf, init.len()).unwrap(), norm(&stats))
+    };
+    let (oi, si) = run(Tier::Interp);
+    let (oc, sc) = run(Tier::Compiled);
+    assert_eq!(oi, oc, "outputs diverged");
+    assert_eq!(si, sc, "stats diverged");
+    oi
+}
+
+/// gep → load where the address has exactly one use: fuses into a
+/// GepLoad with no intermediate register write.
+#[test]
+fn gep_load_fusion_single_use() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("k", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.gep_const(Value::Arg(0), 8);
+        let v = b.load(Type::I64, p);
+        let v2 = b.bin(BinOp::Mul, Type::I64, v, Value::i64(3));
+        b.store(v2, Value::Arg(0));
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "k");
+    omp_ir::verifier::assert_valid(&m);
+    let out = assert_ir_tier_identical(&m, "k", &[0, 11]);
+    assert_eq!(out[0], 33);
+}
+
+/// gep → load where the address is reused by a later store: still
+/// fuses, but the intermediate register must be materialized.
+#[test]
+fn gep_load_fusion_multi_use_writes_intermediate() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("k", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let p = b.gep_const(Value::Arg(0), 8);
+        let v = b.load(Type::I64, p);
+        let v2 = b.bin(BinOp::Add, Type::I64, v, Value::i64(5));
+        // Second use of `p`: the fused GepLoad must still write it.
+        b.store(v2, p);
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "k");
+    omp_ir::verifier::assert_valid(&m);
+    let out = assert_ir_tier_identical(&m, "k", &[0, 11]);
+    assert_eq!(out[1], 16);
+}
+
+/// load → bin → store read-modify-write collapses into one
+/// superinstruction when the intermediates are single-use.
+#[test]
+fn load_bin_store_fusion() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("k", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let v = b.load(Type::I64, Value::Arg(0));
+        let v2 = b.bin(BinOp::Add, Type::I64, v, Value::i64(100));
+        b.store(v2, Value::Arg(0));
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "k");
+    omp_ir::verifier::assert_valid(&m);
+    let out = assert_ir_tier_identical(&m, "k", &[7]);
+    assert_eq!(out[0], 107);
+}
+
+/// cmp → cond_br feeding the terminator fuses into a CmpBr; both
+/// branch directions and the loop back-edge phi moves must agree.
+#[test]
+fn cmp_branch_fusion_loop() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("k", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Type::I64);
+        let acc = b.phi(Type::I64);
+        b.add_phi_incoming(i, entry, Value::i64(0));
+        b.add_phi_incoming(acc, entry, Value::i64(0));
+        let c = b.cmp(CmpOp::Slt, Type::I64, i, Value::i64(10));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add_i64(i, Value::i64(1));
+        let acc2 = b.add_i64(acc, i2);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to(exit);
+        b.store(acc, Value::Arg(0));
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "k");
+    omp_ir::verifier::assert_valid(&m);
+    let out = assert_ir_tier_identical(&m, "k", &[0]);
+    assert_eq!(out[0], 55);
+}
+
+/// Runtime traps must carry identical diagnostics from both tiers,
+/// including the faulting position restored by a fused step.
+#[test]
+fn trap_diagnostics_are_tier_identical() {
+    let mut m = Module::new("t");
+    let f = m.add_function(Function::definition("k", vec![Type::Ptr], Type::Void));
+    {
+        let mut b = Builder::at_entry(&mut m, f);
+        // Load through a wild pointer from inside a fused gep+load.
+        let p = b.gep_const(Value::i64(0x7777_7777), 8);
+        let v = b.load(Type::I64, p);
+        b.store(v, Value::Arg(0));
+        b.ret(None);
+    }
+    kernelize(&mut m, f, "k");
+    let run = |tier: Tier| {
+        let mut dev = Device::new(&m, DeviceConfig::default()).unwrap();
+        dev.set_tier(tier);
+        let buf = dev.alloc_i64(&[0]).unwrap();
+        dev.launch("k", &[RtVal::Ptr(buf)], one_thread())
+            .map(|_| ())
+            .unwrap_err()
+            .to_string()
+    };
+    assert_eq!(run(Tier::Interp), run(Tier::Compiled));
+}

@@ -208,10 +208,38 @@ impl Function {
     /// Removes an instruction from its block and frees its arena slot.
     /// Uses of its result become dangling; callers must rewrite them first.
     pub fn remove_inst(&mut self, id: InstId) {
-        for b in self.layout.clone() {
-            self.block_mut(b).insts.retain(|&i| i != id);
+        for &b in &self.layout {
+            self.blocks[b.index()]
+                .as_mut()
+                .expect("dead block")
+                .insts
+                .retain(|&i| i != id);
         }
         self.insts[id.index()] = None;
+    }
+
+    /// Removes a batch of instructions in a single pass over the layout
+    /// (one `retain` per block instead of one per instruction). Same
+    /// contract as [`Function::remove_inst`]: uses become dangling.
+    pub fn remove_insts(&mut self, ids: &[InstId]) {
+        match ids {
+            [] => {}
+            &[id] => self.remove_inst(id),
+            ids => {
+                let mut dead = vec![false; self.insts.len()];
+                for &i in ids {
+                    dead[i.index()] = true;
+                    self.insts[i.index()] = None;
+                }
+                for &b in &self.layout {
+                    self.blocks[b.index()]
+                        .as_mut()
+                        .expect("dead block")
+                        .insts
+                        .retain(|&i| !dead[i.index()]);
+                }
+            }
+        }
     }
 
     /// Replaces the body of an instruction in place (keeps the id).
@@ -252,16 +280,40 @@ impl Function {
     /// Replaces every use of `from` with `to`, in instructions and
     /// terminators alike.
     pub fn replace_all_uses(&mut self, from: Value, to: Value) {
-        let blocks = self.layout.clone();
-        for b in blocks {
-            let insts = self.block(b).insts.clone();
-            for i in insts {
-                self.inst_mut(i)
+        // Split field borrows: walk the layout in place, no id-list
+        // clones on this (very hot) path.
+        for &b in &self.layout {
+            let block = self.blocks[b.index()].as_mut().expect("dead block");
+            for &i in &block.insts {
+                self.insts[i.index()]
+                    .as_mut()
+                    .expect("dead instruction")
                     .map_operands(|v| if v == from { to } else { v });
             }
-            self.block_mut(b)
+            block.term.map_operands(|v| if v == from { to } else { v });
+        }
+    }
+
+    /// Applies a whole substitution map in a single pass: every operand
+    /// present as a key becomes its mapped value. Chained substitutions
+    /// must be pre-resolved by the caller (values in the map are
+    /// inserted verbatim). One traversal regardless of map size — use
+    /// this instead of repeated [`Function::replace_all_uses`] calls.
+    pub fn replace_uses_bulk(&mut self, map: &HashMap<Value, Value>) {
+        if map.is_empty() {
+            return;
+        }
+        for &b in &self.layout {
+            let block = self.blocks[b.index()].as_mut().expect("dead block");
+            for &i in &block.insts {
+                self.insts[i.index()]
+                    .as_mut()
+                    .expect("dead instruction")
+                    .map_operands(|v| map.get(&v).copied().unwrap_or(v));
+            }
+            block
                 .term
-                .map_operands(|v| if v == from { to } else { v });
+                .map_operands(|v| map.get(&v).copied().unwrap_or(v));
         }
     }
 

@@ -88,10 +88,13 @@ fn run_function(m: &mut Module, fid: FuncId) -> usize {
                 v
             };
             let fm = m.func_mut(fid);
-            for &(i, v) in &subs {
-                fm.replace_all_uses(Value::Inst(i), resolve(v));
-                fm.remove_inst(i);
-            }
+            let bulk: std::collections::HashMap<Value, Value> = subs
+                .iter()
+                .map(|&(i, v)| (Value::Inst(i), resolve(v)))
+                .collect();
+            fm.replace_uses_bulk(&bulk);
+            let ids: Vec<omp_ir::InstId> = subs.iter().map(|&(i, _)| i).collect();
+            fm.remove_insts(&ids);
             folded += subs.len();
             changed = true;
         }

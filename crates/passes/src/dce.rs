@@ -72,10 +72,8 @@ fn run_function(m: &mut Module, fid: FuncId) -> usize {
             break;
         }
         let fm = m.func_mut(fid);
-        for i in dead.drain(..) {
-            fm.remove_inst(i);
-            removed += 1;
-        }
+        fm.remove_insts(&dead);
+        removed += dead.len();
     }
     removed
 }

@@ -356,9 +356,7 @@ fn run_function(m: &mut Module, cache: &mut AnalysisCache, fid: FuncId) -> GvnSt
             }
         }
     }
-    for i in dead {
-        f.remove_inst(i);
-    }
+    f.remove_insts(&dead);
     loads_forwarded += forward_dominating_stores(f, &dom, &escaped);
     let dead_stores = eliminate_dead_private_stores(f, &escaped);
     GvnStats {
@@ -470,9 +468,7 @@ fn forward_dominating_stores(
         dead.push(load.inst);
         forwarded += 1;
     }
-    for i in dead {
-        f.remove_inst(i);
-    }
+    f.remove_insts(&dead);
     forwarded
 }
 
@@ -490,9 +486,7 @@ fn eliminate_dead_private_stores(f: &mut Function, escaped: &HashSet<InstId>) ->
     }
     dead.sort();
     let n = dead.len();
-    for i in dead {
-        f.remove_inst(i);
-    }
+    f.remove_insts(&dead);
     n
 }
 

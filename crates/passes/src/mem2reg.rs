@@ -218,19 +218,16 @@ fn promote_one(
         }
     }
     // Replace loads with the reaching values, transitively resolving
-    // loads that were themselves replaced.
-    let final_replacements: Vec<(InstId, Value)> = replacements
+    // loads that were themselves replaced. One bulk pass over the
+    // function instead of one full traversal per promoted load.
+    let final_replacements: HashMap<Value, Value> = replacements
         .keys()
-        .map(|&l| (l, resolve(&replacements, Value::Inst(l))))
+        .map(|&l| (Value::Inst(l), resolve(&replacements, Value::Inst(l))))
         .collect();
     let fmut = m.func_mut(fid);
-    for (load, v) in final_replacements {
-        fmut.replace_all_uses(Value::Inst(load), v);
-    }
-    for r in removals {
-        fmut.remove_inst(r);
-    }
-    fmut.remove_inst(alloca);
+    fmut.replace_uses_bulk(&final_replacements);
+    removals.push(alloca);
+    fmut.remove_insts(&removals);
 }
 
 fn resolve(replacements: &HashMap<InstId, Value>, mut v: Value) -> Value {

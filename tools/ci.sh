@@ -39,6 +39,13 @@ run_clippy() {
 run_test() {
     echo "==> cargo test -q"
     cargo test -q --workspace --offline
+    # The compiled tier is the default everywhere above; run the verify
+    # suite once more pinned to the reference interpreter so the deopt
+    # path cannot rot unnoticed.
+    echo "==> ompgpu verify (OMPGPU_TIER=interp)"
+    OMPGPU_TIER=interp cargo run -q -p omp-gpu --bin ompgpu --offline -- \
+        verify --scale small > /dev/null
+    echo "verify: interpreter tier passed"
 }
 
 run_bench() {
@@ -68,6 +75,30 @@ run_bench() {
             echo "geomean Dev cycles-vs-CUDA ratio: $new_ratio" \
                 "(committed: $committed_ratio)"
         fi
+    fi
+
+    # Non-gating: the compiled tier exists to be faster; a slowdown is
+    # a perf regression worth a warning but never a CI failure.
+    tier_speedup=$(sed -n 's/.*"verify_speedup": \([0-9.]*\).*/\1/p' \
+        BENCH_gpusim.json | head -n 1)
+    if [ -n "$tier_speedup" ]; then
+        slower=$(awk "BEGIN { print ($tier_speedup < 1.0) ? 1 : 0 }")
+        if [ "$slower" = "1" ]; then
+            echo "WARNING: compiled tier is slower than the interpreter" \
+                "(verify speedup ${tier_speedup}x)" >&2
+        else
+            echo "tier: compiled verify speedup ${tier_speedup}x"
+        fi
+    fi
+    # Non-gating here (the gating cross-tier check is the differential
+    # test suite): the bench-scale verify reports must be identical
+    # between tiers modulo the informational tier tag.
+    tier_identical=$(sed -n \
+        's/.*"verify_reports_identical": \(true\|false\).*/\1/p' \
+        BENCH_gpusim.json | head -n 1)
+    if [ "$tier_identical" = "false" ]; then
+        echo "WARNING: bench-scale verify reports differ between the" \
+            "interpreter and compiled tiers" >&2
     fi
 
     echo "==> bench_serve (informational, patches the serve section)"
