@@ -242,6 +242,7 @@ mod tests {
             num_teams: None,
             thread_limit: None,
             source_name: "k".into(),
+            launch: Default::default(),
         });
         let cg = CallGraph::build(&m);
         let kr = cg.kernels_reaching(&m);

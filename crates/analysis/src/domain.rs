@@ -309,6 +309,7 @@ mod tests {
             num_teams: None,
             thread_limit: None,
             source_name: "kern".into(),
+            launch: Default::default(),
         });
         k
     }

@@ -17,6 +17,7 @@
 use omp_benchmarks::Scale;
 use omp_gpu::oracle::VerifyOptions;
 use omp_gpu::{all_proxies, oracle, pipeline, BuildConfig, Tier};
+use omp_gpusim::{Device, DeviceConfig, LaunchDims, RtVal};
 use omp_json::escape as json_escape;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -68,6 +69,18 @@ fn git_revision() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Whether the working tree differs from `git_revision` — a dirty
+/// artifact is not traceable to its recorded commit. `None` when git is
+/// unavailable.
+fn git_dirty() -> Option<bool> {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.iter().all(|b| b.is_ascii_whitespace()))
+}
+
 /// Tier-invariant digest of an oracle report: every case verdict and
 /// per-config output bit pattern, error string, and statistic except
 /// the informational `tier` tag. Two tiers running the same suite must
@@ -82,6 +95,10 @@ fn report_fingerprint(report: &oracle::OracleReport) -> String {
             if let Some(st) = &r.stats {
                 let mut st = st.clone();
                 st.tier = Tier::Interp;
+                // The superinstruction hit counters are tier-dependent
+                // by construction (the interpreter executes no compiled
+                // steps), so they are normalized away like the tag.
+                st.superinstructions = [0; 4];
                 let _ = write!(s, "{}\u{1}", st.to_json());
             }
             let _ = write!(s, "{:?}\u{2}", r.error);
@@ -255,6 +272,149 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    // Graph capture-and-replay headline: a chain of tiny dependent
+    // `nowait` targets where per-launch host setup (kernel resolution,
+    // argument validation, plan derivation, per-launch worker spawns)
+    // dominates the simulated work. Eager `launch_plan` pays that setup
+    // on every run; `capture_graph` pays it once and `replay_graph`
+    // reuses the pre-resolved plan with one pooled worker-spawn set per
+    // replay. The speedup is the amortization the taskgraph layer
+    // exists for. Workers are forced above one because the pooled
+    // replay path only engages with more than one worker — the worker
+    // count is a determinism-neutral knob, so this is valid on any
+    // host CPU count (and recorded in the artifact).
+    struct GraphsBench {
+        kernel: &'static str,
+        nodes: usize,
+        jobs: u32,
+        iterations: u32,
+        capture_seconds: f64,
+        eager_seconds: f64,
+        replay_seconds: f64,
+        bit_identical_replay_vs_eager: bool,
+        bit_identical_across_tiers: bool,
+        bit_identical_across_jobs: bool,
+    }
+    const GRAPH_SRC: &str = r#"
+void gchain(double* a, long n) {
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 2.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 3.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 4.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 5.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 6.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 7.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 8.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 9.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 10.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 11.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 12.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 13.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 14.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 15.0; }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(4) thread_limit(1)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 16.0; }
+}
+"#;
+    let graphs_bench = (|| -> Option<GraphsBench> {
+        let kernel = "gchain";
+        let (module, _) = pipeline::build(GRAPH_SRC, BuildConfig::LlvmDev).ok()?;
+        let n = 4usize;
+        let dims = LaunchDims::default();
+        let graph_jobs = jobs.filter(|&x| x > 1).unwrap_or(4);
+
+        // Bit-identity matrix: eager vs replay, both tiers, one vs
+        // many workers — all must reproduce the reference run exactly
+        // (outputs and normalized statistics).
+        let run_once = |tier: Tier, jobs_n: u32, replay: bool| {
+            let mut dev = Device::new(&module, DeviceConfig::default()).ok()?;
+            dev.set_tier(tier);
+            dev.set_jobs(jobs_n);
+            let buf = dev.alloc_f64(&vec![0.0; n]).ok()?;
+            let args = [RtVal::Ptr(buf), RtVal::I64(n as i64)];
+            let stats = if replay {
+                let g = dev.capture_graph(kernel, &args, dims).ok()?;
+                dev.replay_graph(&g).ok()?
+            } else {
+                dev.launch_plan(kernel, &args, dims).ok()?
+            };
+            let mut snap = stats.snapshot();
+            snap.tier = Tier::Interp;
+            snap.superinstructions = [0; 4];
+            let bits: Vec<u64> = dev
+                .read_f64(buf, n)
+                .ok()?
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            Some((bits, snap))
+        };
+        let reference = run_once(Tier::Interp, 1, false)?;
+        let bit_identical_replay_vs_eager = run_once(Tier::Interp, 1, true)? == reference
+            && run_once(Tier::Compiled, graph_jobs, true)? == reference;
+        let bit_identical_across_tiers = run_once(Tier::Compiled, 1, false)? == reference;
+        let bit_identical_across_jobs = run_once(Tier::Interp, graph_jobs, false)? == reference
+            && run_once(Tier::Compiled, graph_jobs, false)? == reference;
+
+        // Wall clocks: one device, interleaved eager/replay windows so
+        // host drift hits both modes equally; best window is the
+        // steady-state figure.
+        let mut dev = Device::new(&module, DeviceConfig::default()).ok()?;
+        dev.set_tier(Tier::Compiled);
+        dev.set_jobs(graph_jobs);
+        let buf = dev.alloc_f64(&vec![0.0; n]).ok()?;
+        let args = [RtVal::Ptr(buf), RtVal::I64(n as i64)];
+        dev.launch_plan(kernel, &args, dims).ok()?;
+        dev.launch_plan(kernel, &args, dims).ok()?;
+        let t0 = Instant::now();
+        let graph = dev.capture_graph(kernel, &args, dims).ok()?;
+        let capture_seconds = t0.elapsed().as_secs_f64();
+        dev.replay_graph(&graph).ok()?;
+        dev.replay_graph(&graph).ok()?;
+        let iterations = 60u32;
+        let mut eager_seconds = f64::INFINITY;
+        let mut replay_seconds = f64::INFINITY;
+        for _ in 0..6 {
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                dev.launch_plan(kernel, &args, dims).ok()?;
+            }
+            eager_seconds = eager_seconds.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                dev.replay_graph(&graph).ok()?;
+            }
+            replay_seconds = replay_seconds.min(t0.elapsed().as_secs_f64());
+        }
+        Some(GraphsBench {
+            kernel,
+            nodes: dev.plan_width(kernel),
+            jobs: graph_jobs,
+            iterations,
+            capture_seconds,
+            eager_seconds,
+            replay_seconds,
+            bit_identical_replay_vs_eager,
+            bit_identical_across_tiers,
+            bit_identical_across_jobs,
+        })
+    })();
+
     // Informational: what turning the cycle-attribution profiler on
     // costs in host wall-clock, measured on one proxy under the Dev
     // pipeline. Best-of-three per mode so a cold first run does not
@@ -317,19 +477,21 @@ fn main() {
         "  \"git_revision\": \"{}\",",
         json_escape(&git_revision())
     );
+    let _ = writeln!(
+        j,
+        "  \"git_dirty\": {},",
+        git_dirty().map_or_else(|| "null".to_string(), |d| d.to_string())
+    );
     let _ = writeln!(j, "  \"scale\": \"{scale_name}\",");
     // Parallel team execution only improves wall-clock with >1 host
     // CPU; record the core count so speedups are interpretable.
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(j, "  \"host_cpus\": {cpus},");
-    match jobs {
-        Some(n) => {
-            let _ = writeln!(j, "  \"jobs\": {n},");
-        }
-        None => {
-            let _ = writeln!(j, "  \"jobs\": null,");
-        }
-    }
+    // The effective worker count: `--jobs N` verbatim, otherwise the
+    // value `jobs: auto` resolves to on this host. Never null — the
+    // artifact records what actually ran.
+    let effective_jobs = jobs.filter(|&n| n > 0).map_or(cpus, |n| n as usize);
+    let _ = writeln!(j, "  \"jobs\": {effective_jobs},");
     let _ = writeln!(j, "  \"pre_plan_baseline\": {{");
     let _ = writeln!(
         j,
@@ -452,6 +614,43 @@ fn main() {
             .unwrap_or_else(|| "null".to_string())
     );
     let _ = writeln!(j, "  }},");
+    // Captured-graph replay vs eager plan launches. Wall clock is
+    // host-dependent; the `bit_identical_*` flags are the invariant
+    // part (outputs and normalized stats equal across eager/replay,
+    // tiers, and worker counts).
+    match &graphs_bench {
+        Some(g) => {
+            let speedup = g.eager_seconds / g.replay_seconds.max(1e-9);
+            let _ = writeln!(j, "  \"graphs\": {{");
+            let _ = writeln!(j, "    \"kernel\": \"{}\",", json_escape(g.kernel));
+            let _ = writeln!(j, "    \"nodes\": {},", g.nodes);
+            let _ = writeln!(j, "    \"jobs\": {},", g.jobs);
+            let _ = writeln!(j, "    \"iterations\": {},", g.iterations);
+            let _ = writeln!(j, "    \"capture_wall_seconds\": {:.6},", g.capture_seconds);
+            let _ = writeln!(j, "    \"eager_wall_seconds\": {:.6},", g.eager_seconds);
+            let _ = writeln!(j, "    \"replay_wall_seconds\": {:.6},", g.replay_seconds);
+            let _ = writeln!(j, "    \"replay_speedup\": {speedup:.2},");
+            let _ = writeln!(
+                j,
+                "    \"bit_identical_replay_vs_eager\": {},",
+                g.bit_identical_replay_vs_eager
+            );
+            let _ = writeln!(
+                j,
+                "    \"bit_identical_across_tiers\": {},",
+                g.bit_identical_across_tiers
+            );
+            let _ = writeln!(
+                j,
+                "    \"bit_identical_across_jobs\": {}",
+                g.bit_identical_across_jobs
+            );
+            let _ = writeln!(j, "  }},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"graphs\": null,");
+        }
+    }
     if matches!(scale, Scale::Small) {
         // Like-for-like: steady-state minimum against baseline minimum,
         // mean against mean.
@@ -564,6 +763,29 @@ fn main() {
             "bench_gpusim: warning: compiled tier is SLOWER than the \
              interpreter ({tier_compiled_seconds:.3}s vs {tier_interp_seconds:.3}s)"
         );
+    }
+    match &graphs_bench {
+        Some(g) => {
+            let speedup = g.eager_seconds / g.replay_seconds.max(1e-9);
+            if speedup < 3.0 {
+                eprintln!(
+                    "bench_gpusim: warning: graph replay speedup {speedup:.2}x \
+                     is below the 3x floor"
+                );
+            }
+            if !(g.bit_identical_replay_vs_eager
+                && g.bit_identical_across_tiers
+                && g.bit_identical_across_jobs)
+            {
+                eprintln!("bench_gpusim: warning: graph replay is NOT bit-identical");
+            }
+            println!(
+                "graphs: replay {speedup:.2}x vs eager ({} nodes, jobs {}, \
+                 {:.4}s vs {:.4}s per {} runs)",
+                g.nodes, g.jobs, g.replay_seconds, g.eager_seconds, g.iterations
+            );
+        }
+        None => eprintln!("bench_gpusim: warning: graphs benchmark failed to run"),
     }
     println!(
         "verify --scale {scale_name}: {verify_seconds:.3}s wall \

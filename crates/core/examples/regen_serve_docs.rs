@@ -1,0 +1,125 @@
+//! Regenerates the response examples in `docs/SERVE.md` from a live
+//! session, keeping the byte-replay test `serve_docs.rs` green.
+//!
+//! Walks the fenced ```json blocks in document order: request examples
+//! (an `"op"` member, no `"schema"`) are replayed through a real
+//! executor; response examples (`"schema": "ompgpu-serve/v1"`) are
+//! rewritten with a pretty-printed rendering of the actual wire bytes
+//! for the same `id`.
+//!
+//! Usage: cargo run -p omp-gpu --example regen_serve_docs
+
+use omp_gpu::serve::{spawn_executor, Session, SCHEMA};
+use omp_json::Value;
+use std::collections::HashMap;
+
+fn pretty_into(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(s) => out.push_str(s),
+        Value::String(s) => {
+            out.push('"');
+            out.push_str(&omp_json::escape(s));
+            out.push('"');
+        }
+        Value::Array(items) if items.is_empty() => out.push_str("[]"),
+        Value::Array(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty_into(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(members) if members.is_empty() => out.push_str("{}"),
+        Value::Object(members) => {
+            out.push_str("{\n");
+            for (i, (k, mv)) in members.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push('"');
+                out.push_str(&omp_json::escape(k));
+                out.push_str("\": ");
+                pretty_into(out, mv, indent + 1);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVE.md");
+    let text = std::fs::read_to_string(path).expect("docs/SERVE.md exists");
+
+    let (handle, executor) = spawn_executor(Session::default());
+    let mut actual_by_id: HashMap<u64, String> = HashMap::new();
+
+    let mut out: Vec<String> = Vec::new();
+    let mut block: Option<Vec<String>> = None;
+    let mut rewritten = 0usize;
+    for line in text.lines() {
+        match &mut block {
+            None => {
+                out.push(line.to_string());
+                if line.trim() == "```json" {
+                    block = Some(Vec::new());
+                }
+            }
+            Some(buf) => {
+                if line.trim() == "```" {
+                    let body = buf.join("\n");
+                    let v = omp_json::parse(&body).expect("doc json block parses");
+                    if v.get("schema").and_then(Value::as_str) == Some(SCHEMA) {
+                        let id = v
+                            .get("id")
+                            .and_then(Value::as_u64)
+                            .expect("response example has a numeric id");
+                        let actual = actual_by_id
+                            .get(&id)
+                            .unwrap_or_else(|| panic!("no request replayed for id {id}"));
+                        let parsed = omp_json::parse(actual).expect("wire response parses");
+                        let mut pretty = String::new();
+                        pretty_into(&mut pretty, &parsed, 0);
+                        out.extend(pretty.lines().map(str::to_string));
+                        rewritten += 1;
+                    } else {
+                        if let Some(op) = v.get("op").and_then(Value::as_str) {
+                            let response = handle.request(&v.to_json());
+                            if let Some(id) = v.get("id").and_then(Value::as_u64) {
+                                actual_by_id.insert(id, response);
+                            }
+                            eprintln!("replayed op {op:?}");
+                        }
+                        out.extend(buf.iter().cloned());
+                    }
+                    out.push(line.to_string());
+                    block = None;
+                } else {
+                    buf.push(line.to_string());
+                }
+            }
+        }
+    }
+    assert!(block.is_none(), "unterminated json fence");
+
+    drop(handle);
+    let _ = executor.join();
+
+    let mut joined = out.join("\n");
+    joined.push('\n');
+    std::fs::write(path, joined).expect("write SERVE.md");
+    eprintln!("rewrote {rewritten} response examples in {path}");
+}

@@ -118,7 +118,8 @@ fn usage() -> ExitCode {
          [--jobs N] [--max-insts N] [--json]\n  \
          ompgpu serve --socket PATH [--device-cache N]\n  \
          ompgpu client --socket PATH [--ping] [--stats] [--shutdown]\n             \
-         (no request flags: forward JSON-lines requests from stdin)\n\n\
+         (no request flags: forward JSON-lines requests from stdin)\n  \
+         ompgpu json-validate <file.json>\n\n\
          CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
          SPEC: buf:f64:LEN[:init] | buf:i64:LEN[:init] | i64:V | i32:V | f64:V\n      \
          (init: zero | iota | pseudo; default zero)\n\
@@ -689,7 +690,7 @@ fn profile_file(
     }
     let (args, _buffers) = oracle::materialize_args(&mut dev, specs)?;
     let (stats, profile) = dev
-        .launch_profiled(kernel, &args, dims)
+        .launch_plan_profiled(kernel, &args, dims)
         .map_err(|e| format!("launch failed: {e}"))?;
     let profile = profile.expect("profiling was enabled");
     Ok(Profiled {
@@ -973,6 +974,30 @@ fn main() -> ExitCode {
     if mode == "client" {
         return client_main(&args[1..]);
     }
+    if mode == "json-validate" {
+        // Strict syntax check of a JSON artifact (e.g. the committed
+        // BENCH_gpusim.json) with the in-tree parser CI relies on.
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ompgpu: cannot read {path}: {e}");
+                return ExitCode::from(EXIT_BUILD);
+            }
+        };
+        return match omp_json::validate(&text) {
+            Ok(()) => {
+                println!("{path}: valid JSON");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ompgpu: {path}: invalid JSON: {e}");
+                ExitCode::from(EXIT_BUILD)
+            }
+        };
+    }
     let Some(path) = args.get(1) else {
         return usage();
     };
@@ -1100,7 +1125,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(EXIT_SIM);
                 }
             };
-            match dev.launch(&kernel, &rt_args, LaunchDims { teams, threads }) {
+            match dev.launch_plan(&kernel, &rt_args, LaunchDims { teams, threads }) {
                 Ok(stats) => {
                     if json {
                         println!("{}", stats.snapshot().to_json());

@@ -482,7 +482,7 @@ fn run_proxy_config(
         Ok(w) => w,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
-    let stats = match dev.launch(app.kernel_name(), &workload.args, app.dims()) {
+    let stats = match dev.launch_plan(app.kernel_name(), &workload.args, app.dims()) {
         Ok(s) => s,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };
@@ -540,7 +540,7 @@ fn run_example_config(
         teams: spec.teams,
         threads: spec.threads,
     };
-    let stats = match dev.launch(&spec.kernel, &args, dims) {
+    let stats = match dev.launch_plan(&spec.kernel, &args, dims) {
         Ok(s) => s,
         Err(e) => return CaseResult::failed(config, e.to_string()),
     };

@@ -437,7 +437,7 @@ pub fn run_proxy_tiered(app: &dyn ProxyApp, config: BuildConfig, tier: Option<Ti
             }
         }
     };
-    match dev.launch(app.kernel_name(), &workload.args, app.dims()) {
+    match dev.launch_plan(app.kernel_name(), &workload.args, app.dims()) {
         Ok(stats) => match verify(&mut dev, &workload) {
             Ok(()) => RunOutcome {
                 config,
@@ -564,7 +564,7 @@ pub fn profile_proxy(app: &dyn ProxyApp, config: BuildConfig, jobs: Option<u32>)
         Ok(w) => w,
         Err(e) => return fail(e.to_string(), report),
     };
-    match dev.launch_profiled(app.kernel_name(), &workload.args, app.dims()) {
+    match dev.launch_plan_profiled(app.kernel_name(), &workload.args, app.dims()) {
         Ok((stats, profile)) => match verify(&mut dev, &workload) {
             Ok(()) => ProfiledRun {
                 outcome: RunOutcome {
@@ -749,7 +749,7 @@ pub fn sanitize_proxy(
     };
     finish_sanitized(
         config,
-        dev.launch_checked(app.kernel_name(), &workload.args, app.dims()),
+        dev.launch_plan_checked(app.kernel_name(), &workload.args, app.dims()),
     )
 }
 
@@ -781,7 +781,7 @@ pub fn sanitize_source(
         teams: spec.teams,
         threads: spec.threads,
     };
-    finish_sanitized(config, dev.launch_checked(&spec.kernel, &args, dims))
+    finish_sanitized(config, dev.launch_plan_checked(&spec.kernel, &args, dims))
 }
 
 fn finish_sanitized(

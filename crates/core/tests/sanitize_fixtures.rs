@@ -175,6 +175,45 @@ fn capped_shared_stack_degrades_to_heap_fallback_notes() {
 }
 
 #[test]
+fn seeded_cross_kernel_race_is_reported_and_depend_edges_fix_it() {
+    for config in BOTH_ENDS {
+        let bad = sanitize("cross_kernel_race.c", config);
+        let races: Vec<_> = bad
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::CrossKernelRace)
+            .collect();
+        assert_eq!(
+            races.len(),
+            1,
+            "exactly one unordered pair under {}: {:?}",
+            config.label(),
+            bad.findings
+        );
+        let f = races[0];
+        assert_eq!(f.severity, Severity::Error);
+        assert!(
+            f.function.contains("__omp_offloading_xrace"),
+            "provenance names the later node: {}",
+            f.function
+        );
+        assert!(
+            f.message.contains("depend") && f.message.contains("write-write"),
+            "message explains the missing edge: {}",
+            f.message
+        );
+        assert!(!bad.is_clean());
+        let good = sanitize("cross_kernel_race_fixed.c", config);
+        assert!(
+            good.is_clean(),
+            "depend-ordered kernels misreported under {}: {:?}",
+            config.label(),
+            good.findings
+        );
+    }
+}
+
+#[test]
 fn findings_are_identical_across_worker_thread_counts() {
     for jobs in [1u32, 4] {
         let opts = SanitizeOptions {

@@ -107,6 +107,73 @@ fn warm_session_is_byte_identical_to_cold_across_the_matrix() {
     );
 }
 
+/// A multi-kernel async pipeline: `run` requests for it go through the
+/// captured-graph cache.
+const PIPE_SRC: &str = r#"
+// oracle-kernel: pipe
+// oracle-arg: buf f64 32 pseudo
+// oracle-arg: buf f64 32 zero
+// oracle-arg: i64 32
+void pipe(double* a, double* b, long n) {
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+  #pragma omp target teams distribute parallel for nowait depend(in: a) depend(out: b) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+}
+"#;
+
+fn tier_misses(response: &str, tier: &str) -> u64 {
+    omp_json::parse(response)
+        .ok()
+        .and_then(|v| v.get("cache")?.get(tier)?.get("misses")?.as_u64())
+        .unwrap_or(0)
+}
+
+#[test]
+fn captured_graphs_are_cached_and_replay_byte_identically() {
+    let mut session = Session::default();
+    let escaped = omp_json::escape(PIPE_SRC);
+    let run = format!(
+        "{{\"op\":\"run\",\"source\":\"{escaped}\",\"name\":\"pipe\",\
+         \"config\":\"dev\",\"dump\":8}}"
+    );
+
+    // Cold: the plan is captured (graph-cache miss), then replayed.
+    let cold = session.handle_line(&run).0;
+    assert_eq!(tier_misses(&cold, "graphs"), 1, "cold run must capture");
+    assert_eq!(tier_hits(&cold, "graphs"), 0);
+
+    // Warm: the captured graph answers (hit), with byte-identical
+    // results — stats, dumped output bits, everything.
+    let warm = session.handle_line(&run).0;
+    assert_eq!(tier_hits(&warm, "graphs"), 1, "warm run must replay");
+    assert_eq!(tier_misses(&warm, "graphs"), 0);
+    assert_eq!(
+        result_payload(&cold),
+        result_payload(&warm),
+        "graph replay must be byte-identical to the eager capture run"
+    );
+
+    // The stats op surfaces both the per-tier device cache and the
+    // captured-graph cache accounting.
+    let stats = session.handle_line("{\"op\":\"stats\"}").0;
+    let v = omp_json::parse(&result_payload(&stats)).unwrap();
+    let graphs = v.get("cache").and_then(|c| c.get("graphs")).unwrap();
+    assert_eq!(graphs.get("hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(graphs.get("misses").and_then(Value::as_u64), Some(1));
+    assert_eq!(v.get("graph_entries").and_then(Value::as_u64), Some(1));
+    assert!(v.get("cache").and_then(|c| c.get("device")).is_some());
+
+    // Single-kernel sources never touch the graph cache.
+    let escaped = omp_json::escape(SRC);
+    let single = format!(
+        "{{\"op\":\"run\",\"source\":\"{escaped}\",\"name\":\"blend\",\
+         \"config\":\"dev\"}}"
+    );
+    let resp = session.handle_line(&single).0;
+    assert_eq!(tier_hits(&resp, "graphs") + tier_misses(&resp, "graphs"), 0);
+}
+
 #[test]
 fn fingerprints_are_pairwise_distinct() {
     // Every pair of configurations differs in at least one frontend or

@@ -154,6 +154,10 @@ pub struct CanonicalLoop {
     pub step: Expr,
 }
 
+/// Dependence kind of one `depend(...)` clause (re-exported from the
+/// IR so the frontend and simulator agree on the spelling).
+pub use omp_ir::DependKind;
+
 /// An OpenMP directive attached to a statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OmpDirective {
@@ -172,6 +176,10 @@ pub enum OmpDirective {
         num_teams: Option<u32>,
         /// `thread_limit(N)` clause.
         thread_limit: Option<u32>,
+        /// `nowait` clause: the host does not wait for the region.
+        nowait: bool,
+        /// `depend(kind: var, ...)` clause items, in source order.
+        depends: Vec<(DependKind, String)>,
     },
     /// `#pragma omp parallel [for] [num_threads(N)]`
     Parallel {
@@ -182,6 +190,13 @@ pub enum OmpDirective {
     },
     /// `#pragma omp barrier`
     Barrier,
+    /// `#pragma omp taskwait` — host-side fence: wait for every
+    /// outstanding `nowait` target region.
+    Taskwait,
+    /// `#pragma omp taskgraph { ... }` — a capture-and-replay region:
+    /// the enclosed target launches are recorded as a dependency graph
+    /// on first execution and replayed afterwards.
+    Taskgraph,
 }
 
 /// A statement.

@@ -77,22 +77,84 @@ pub(crate) fn ct2ty(ct: CType) -> Type {
     }
 }
 
-/// Detects the kernel shape: a body consisting of exactly one target
-/// directive statement.
-fn kernel_region(f: &FuncDecl) -> Option<(&OmpDirective, &Stmt)> {
+/// One target region of a host launch plan, with the host-side launch
+/// attributes derived from its clauses and position.
+struct PlanTarget<'a> {
+    directive: &'a OmpDirective,
+    region: &'a Stmt,
+    /// A `taskwait` immediately precedes this region.
+    wait_before: bool,
+    /// `taskgraph` region index, when enclosed in one.
+    graph: Option<u32>,
+}
+
+/// Detects the host launch plan of a target function: a body that is a
+/// sequence of `target` statements, `taskwait` fences, and `taskgraph`
+/// regions (each wrapping only `target` statements). A plain
+/// single-target function is the one-element special case.
+///
+/// Returns `None` when the body contains anything else — the function
+/// is then an ordinary device function.
+fn host_plan(f: &FuncDecl) -> Option<Vec<PlanTarget<'_>>> {
     let Some(Stmt::Block(stmts)) = &f.body else {
         return None;
     };
-    if stmts.len() != 1 {
+    let mut plan: Vec<PlanTarget<'_>> = Vec::new();
+    let mut pending_wait = false;
+    let mut graphs = 0u32;
+    for s in stmts {
+        match s {
+            Stmt::Omp {
+                directive: d @ OmpDirective::Target { .. },
+                body: Some(b),
+            } => {
+                plan.push(PlanTarget {
+                    directive: d,
+                    region: b,
+                    wait_before: std::mem::take(&mut pending_wait),
+                    graph: None,
+                });
+            }
+            Stmt::Omp {
+                directive: OmpDirective::Taskwait,
+                body: None,
+            } => pending_wait = true,
+            Stmt::Omp {
+                directive: OmpDirective::Taskgraph,
+                body: Some(region),
+            } => {
+                let Stmt::Block(inner) = region.as_ref() else {
+                    return None;
+                };
+                let gi = graphs;
+                graphs += 1;
+                let mut first = true;
+                for gs in inner {
+                    let Stmt::Omp {
+                        directive: d @ OmpDirective::Target { .. },
+                        body: Some(b),
+                    } = gs
+                    else {
+                        return None;
+                    };
+                    plan.push(PlanTarget {
+                        directive: d,
+                        region: b,
+                        // The graph boundary fences against preceding
+                        // launches.
+                        wait_before: std::mem::take(&mut pending_wait) || first,
+                        graph: Some(gi),
+                    });
+                    first = false;
+                }
+            }
+            _ => return None,
+        }
+    }
+    if plan.is_empty() {
         return None;
     }
-    match &stmts[0] {
-        Stmt::Omp {
-            directive: d @ OmpDirective::Target { .. },
-            body: Some(b),
-        } => Some((d, b)),
-        _ => None,
-    }
+    Some(plan)
 }
 
 /// Lowers a parsed program.
@@ -101,49 +163,68 @@ pub fn lower_program(prog: &Program, opts: &FrontendOptions) -> Result<Module> {
     let mut sigs: HashMap<String, (Vec<CType>, CType)> = HashMap::new();
     let mut fids: HashMap<String, FuncId> = HashMap::new();
 
-    // Pass 1: declare every function (and kernel stubs).
+    // Pass 1: declare every function (and kernel stubs). A target
+    // function with K regions declares K kernel functions, each taking
+    // the full host parameter list.
+    let mut kernel_fids: HashMap<String, Vec<FuncId>> = HashMap::new();
     for d in &prog.decls {
         let Decl::Func(f) = d;
         sigs.insert(
             f.name.clone(),
             (f.params.iter().map(|p| p.ty).collect(), f.ret),
         );
-        let is_kernel = kernel_region(f).is_some();
-        let ir_name = if is_kernel {
-            if f.ret != CType::Void {
-                return Err(CompileError::new(
-                    f.line,
-                    "a function containing a target region must return void",
-                ));
-            }
-            format!("__omp_offloading_{}", f.name)
-        } else {
-            f.name.clone()
-        };
-        let params: Vec<Type> = f.params.iter().map(|p| ct2ty(p.ty)).collect();
-        let ret = ct2ty(f.ret);
-        let mut fun = if f.body.is_some() {
-            Function::definition(&ir_name, params, ret)
-        } else {
-            Function::declaration(&ir_name, params, ret)
-        };
-        for (i, p) in f.params.iter().enumerate() {
-            fun.param_attrs[i].noescape = p.noescape;
-        }
-        fun.attrs.spmd_amenable = f.assumptions.spmd_amenable;
-        fun.attrs.no_openmp = f.assumptions.no_openmp;
-        fun.attrs.pure_fn = f.assumptions.pure_fn;
-        if f.is_static {
-            fun.linkage = Linkage::Internal;
-        }
-        if m.function_id(&ir_name).is_some() {
+        let num_kernels = host_plan(f).map(|p| p.len()).unwrap_or(0);
+        if num_kernels > 0 && f.ret != CType::Void {
             return Err(CompileError::new(
                 f.line,
-                format!("duplicate function `{}`", f.name),
+                "a function containing a target region must return void",
             ));
         }
-        let id = m.add_function(fun);
-        fids.insert(f.name.clone(), id);
+        let params: Vec<Type> = f.params.iter().map(|p| ct2ty(p.ty)).collect();
+        let ret = ct2ty(f.ret);
+        let names: Vec<String> = if num_kernels > 0 {
+            (0..num_kernels)
+                .map(|k| {
+                    let base = format!("__omp_offloading_{}", f.name);
+                    if k == 0 {
+                        base
+                    } else {
+                        format!("{base}.{k}")
+                    }
+                })
+                .collect()
+        } else {
+            vec![f.name.clone()]
+        };
+        for (k, ir_name) in names.iter().enumerate() {
+            let mut fun = if f.body.is_some() {
+                Function::definition(ir_name, params.clone(), ret)
+            } else {
+                Function::declaration(ir_name, params.clone(), ret)
+            };
+            for (i, p) in f.params.iter().enumerate() {
+                fun.param_attrs[i].noescape = p.noescape;
+            }
+            fun.attrs.spmd_amenable = f.assumptions.spmd_amenable;
+            fun.attrs.no_openmp = f.assumptions.no_openmp;
+            fun.attrs.pure_fn = f.assumptions.pure_fn;
+            if f.is_static {
+                fun.linkage = Linkage::Internal;
+            }
+            if m.function_id(ir_name).is_some() {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+            let id = m.add_function(fun);
+            if num_kernels > 0 {
+                kernel_fids.entry(f.name.clone()).or_default().push(id);
+            }
+            if k == 0 {
+                fids.insert(f.name.clone(), id);
+            }
+        }
     }
 
     // Pass 2: lower bodies.
@@ -152,11 +233,13 @@ pub fn lower_program(prog: &Program, opts: &FrontendOptions) -> Result<Module> {
         if f.body.is_none() {
             continue;
         }
-        let fid = fids[&f.name];
-        if let Some((directive, region)) = kernel_region(f) {
-            lower_kernel(&mut m, opts, &sigs, f, fid, directive, region)?;
+        if let Some(plan) = host_plan(f) {
+            let kfids = &kernel_fids[&f.name];
+            for (target, &fid) in plan.iter().zip(kfids) {
+                lower_kernel(&mut m, opts, &sigs, f, fid, target)?;
+            }
         } else {
-            lower_device_function(&mut m, opts, &sigs, f, fid)?;
+            lower_device_function(&mut m, opts, &sigs, f, fids[&f.name])?;
         }
     }
     Ok(m)
@@ -434,6 +517,14 @@ impl<'m, 'p> FnLowerer<'m, 'p> {
                 OmpDirective::Target { .. } => {
                     Err(self.err("nested target regions are not supported"))
                 }
+                OmpDirective::Taskwait => Err(self.err(
+                    "`taskwait` is only supported between target regions \
+                     at the top level of a target function",
+                )),
+                OmpDirective::Taskgraph => Err(self.err(
+                    "`taskgraph` is only supported at the top level of a \
+                     target function",
+                )),
             },
         }
     }
@@ -1029,9 +1120,9 @@ fn lower_kernel(
     sigs: &HashMap<String, (Vec<CType>, CType)>,
     f: &FuncDecl,
     fid: FuncId,
-    directive: &OmpDirective,
-    region: &Stmt,
+    target: &PlanTarget<'_>,
 ) -> Result<()> {
+    let region = target.region;
     let OmpDirective::Target {
         teams,
         distribute,
@@ -1039,7 +1130,9 @@ fn lower_kernel(
         for_loop,
         num_teams,
         thread_limit,
-    } = directive
+        nowait,
+        depends,
+    } = target.directive
     else {
         unreachable!()
     };
@@ -1050,12 +1143,37 @@ fn lower_kernel(
     };
     // Without a `teams` construct the target region runs on one team.
     let num_teams = if *teams { *num_teams } else { Some(1) };
+    // Resolve `depend` variables to host-function parameter indices.
+    let mut depend_idx = Vec::with_capacity(depends.len());
+    for (kind, var) in depends {
+        let idx = f
+            .params
+            .iter()
+            .position(|p| p.name == *var)
+            .ok_or_else(|| {
+                CompileError::new(
+                    f.line,
+                    format!(
+                        "depend clause names `{var}`, which is not a \
+                     parameter of `{}`",
+                        f.name
+                    ),
+                )
+            })?;
+        depend_idx.push((*kind, idx as u32));
+    }
     m.kernels.push(KernelInfo {
         func: fid,
         exec_mode: mode,
         num_teams,
         thread_limit: *thread_limit,
         source_name: f.name.clone(),
+        launch: omp_ir::LaunchAttrs {
+            nowait: *nowait,
+            depends: depend_idx,
+            wait_before: target.wait_before,
+            graph: target.graph,
+        },
     });
     let escaping = escaping_locals(f);
     let all_names = collect_all_names(f);

@@ -350,8 +350,8 @@ impl Parser {
             self.err(format!("unsupported OpenMP directive `#pragma omp {text}`"))
         })?;
         match d {
-            OmpDirective::Barrier => Ok(Stmt::Omp {
-                directive: OmpDirective::Barrier,
+            d @ (OmpDirective::Barrier | OmpDirective::Taskwait) => Ok(Stmt::Omp {
+                directive: d,
                 body: None,
             }),
             directive => {
@@ -364,7 +364,9 @@ impl Parser {
                         ..
                     } => *distribute || *for_loop,
                     OmpDirective::Parallel { for_loop, .. } => *for_loop,
-                    OmpDirective::Barrier => false,
+                    OmpDirective::Barrier | OmpDirective::Taskwait | OmpDirective::Taskgraph => {
+                        false
+                    }
                 };
                 if needs_loop && !matches!(*body, Stmt::For { .. }) {
                     return Err(self.err("worksharing directive must be followed by a for loop"));
@@ -674,11 +676,29 @@ fn parse_assume_pragma(text: &str) -> Option<Assumptions> {
     Some(a)
 }
 
+/// Parses the payload of one `depend(kind: a, b, ...)` clause.
+fn parse_depend_items(payload: &str) -> Option<Vec<(DependKind, String)>> {
+    let (kind, vars) = payload.split_once(':')?;
+    let kind = DependKind::parse(kind.trim())?;
+    let mut items = Vec::new();
+    for v in vars.split(',') {
+        let v = v.trim();
+        if v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return None;
+        }
+        items.push((kind, v.to_string()));
+    }
+    if items.is_empty() {
+        return None;
+    }
+    Some(items)
+}
+
 /// Parses an executable OpenMP directive payload.
 fn parse_directive(text: &str) -> Option<OmpDirective> {
     let mut words: Vec<&str> = Vec::new();
-    let mut clauses: Vec<(&str, u32)> = Vec::new();
-    // Split words and `name(N)` clauses.
+    // `name(payload)` clauses with the raw payload text.
+    let mut clauses: Vec<(&str, &str)> = Vec::new();
     let mut rest = text.trim();
     while !rest.is_empty() {
         let end = rest.find([' ', '(']).unwrap_or(rest.len());
@@ -686,8 +706,7 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
         rest = rest[end..].trim_start();
         if let Some(r) = rest.strip_prefix('(') {
             let close = r.find(')')?;
-            let n: u32 = r[..close].trim().parse().ok()?;
-            clauses.push((word, n));
+            clauses.push((word, r[..close].trim()));
             rest = r[close + 1..].trim_start();
         } else if !word.is_empty() {
             words.push(word);
@@ -695,20 +714,30 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
             break;
         }
     }
-    let clause = |name: &str| clauses.iter().find(|(w, _)| *w == name).map(|&(_, n)| n);
+    // Numeric clauses (`num_teams(8)`) must parse as u32.
+    let clause = |name: &str| -> Option<u32> {
+        clauses
+            .iter()
+            .find(|(w, _)| *w == name)
+            .and_then(|&(_, p)| p.parse().ok())
+    };
     match *words.first()? {
         "barrier" if words.len() == 1 && clauses.is_empty() => Some(OmpDirective::Barrier),
+        "taskwait" if words.len() == 1 && clauses.is_empty() => Some(OmpDirective::Taskwait),
+        "taskgraph" if words.len() == 1 && clauses.is_empty() => Some(OmpDirective::Taskgraph),
         "target" => {
             let mut teams = false;
             let mut distribute = false;
             let mut parallel = false;
             let mut for_loop = false;
+            let mut nowait = false;
             for w in &words[1..] {
                 match *w {
                     "teams" => teams = true,
                     "distribute" => distribute = true,
                     "parallel" => parallel = true,
                     "for" => for_loop = true,
+                    "nowait" => nowait = true,
                     _ => return None,
                 }
             }
@@ -721,6 +750,18 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
             if distribute && !(parallel && for_loop) && (parallel || for_loop) {
                 return None; // distribute combines only with `parallel for`
             }
+            // Every numeric clause payload must actually be numeric,
+            // and `depend` payloads must be well-formed.
+            let mut depends = Vec::new();
+            for &(w, p) in &clauses {
+                match w {
+                    "num_teams" | "thread_limit" => {
+                        let _: u32 = p.parse().ok()?;
+                    }
+                    "depend" => depends.extend(parse_depend_items(p)?),
+                    _ => return None,
+                }
+            }
             Some(OmpDirective::Target {
                 teams,
                 distribute,
@@ -728,6 +769,8 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
                 for_loop,
                 num_teams: clause("num_teams"),
                 thread_limit: clause("thread_limit"),
+                nowait,
+                depends,
             })
         }
         "parallel" => {
@@ -735,6 +778,14 @@ fn parse_directive(text: &str) -> Option<OmpDirective> {
             for w in &words[1..] {
                 match *w {
                     "for" => for_loop = true,
+                    _ => return None,
+                }
+            }
+            for &(w, p) in &clauses {
+                match w {
+                    "num_threads" => {
+                        let _: u32 = p.parse().ok()?;
+                    }
                     _ => return None,
                 }
             }
@@ -798,6 +849,8 @@ void kern(double* a, long n) {
                 for_loop: false,
                 num_teams: Some(8),
                 thread_limit: Some(128),
+                nowait: false,
+                depends: vec![],
             }
         );
         assert!(matches!(**body.as_ref().unwrap(), Stmt::For { .. }));

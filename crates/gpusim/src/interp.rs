@@ -203,6 +203,14 @@ pub(crate) struct TeamStats {
     pub memory_accesses: u64,
     pub coalesced_accesses: u64,
     pub uncoalesced_accesses: u64,
+    /// Tier-1 superinstruction hit counters: steps executed per fused
+    /// kind versus plain decoded steps. Tier-dependent by construction
+    /// (the interpreter executes no compiled steps at all), so they are
+    /// excluded from cross-tier differential comparisons.
+    pub fused_gep_load: u64,
+    pub fused_load_bin_store: u64,
+    pub fused_cmp_br: u64,
+    pub plain_steps: u64,
 }
 
 impl TeamStats {
@@ -216,6 +224,10 @@ impl TeamStats {
         s.memory_accesses += self.memory_accesses;
         s.coalesced_accesses += self.coalesced_accesses;
         s.uncoalesced_accesses += self.uncoalesced_accesses;
+        s.fused_gep_load += self.fused_gep_load;
+        s.fused_load_bin_store += self.fused_load_bin_store;
+        s.fused_cmp_br += self.fused_cmp_br;
+        s.plain_steps += self.plain_steps;
         for (i, f) in ALL_RTL_FNS.iter().enumerate() {
             if self.rtl_calls[i] != 0 {
                 *s.rtl_calls.entry(f.name().to_string()).or_insert(0) += self.rtl_calls[i];
@@ -948,6 +960,7 @@ impl<'a, 'm> TeamExec<'a, 'm> {
                     then_e,
                     else_e,
                 } => {
+                    self.stats.fused_cmp_br += 1;
                     let r = (|| {
                         let a = Self::slot_val(self.globals, self.team.id, &frame, *lhs)?;
                         let b = Self::slot_val(self.globals, self.team.id, &frame, *rhs)?;
@@ -1043,6 +1056,12 @@ impl<'a, 'm> TeamExec<'a, 'm> {
     ) -> Result<(), (u32, SimError)> {
         let globals = self.globals;
         let team_id = self.team.id;
+        // Superinstruction hit accounting: fused kinds vs plain steps.
+        match step {
+            Step::GepLoad { .. } => self.stats.fused_gep_load += 1,
+            Step::LoadBinStore { .. } => self.stats.fused_load_bin_store += 1,
+            _ => self.stats.plain_steps += 1,
+        }
         match *step {
             Step::Alloca { size, dst } => {
                 let th = &mut self.team.threads[hw as usize];

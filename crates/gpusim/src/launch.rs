@@ -35,13 +35,13 @@ pub struct LaunchDims {
 /// buffers persist across launches; shared memory and the globalization
 /// heap are per-launch.
 pub struct Device<'m> {
-    module: &'m Module,
-    plan: ExecPlan<'m>,
-    cfg: DeviceConfig,
-    cost: CostModel,
-    mem: Memory,
+    pub(crate) module: &'m Module,
+    pub(crate) plan: ExecPlan<'m>,
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) mem: Memory,
     /// Placement of every module global, indexed densely by `GlobalId`.
-    globals: Vec<(AddrSpace, u64)>,
+    pub(crate) globals: Vec<(AddrSpace, u64)>,
     /// Global-space initializer payloads, re-applied by [`Device::reset`].
     global_inits: Vec<(u64, Vec<u8>)>,
     /// Global-memory bump-cursor position right after construction
@@ -329,7 +329,7 @@ impl<'m> Device<'m> {
             .map(|(stats, _, findings)| (stats, findings))
     }
 
-    fn launch_full(
+    pub(crate) fn launch_full(
         &mut self,
         name: &str,
         args: &[RtVal],
@@ -342,29 +342,7 @@ impl<'m> Device<'m> {
             .find(|k| k.source_name == name || self.module.func(k.func).name == name)
             .ok_or_else(|| SimError::unknown_kernel(name))?;
         let kfunc = kernel.func;
-        let f = self.module.func(kfunc);
-        if f.params.len() != args.len() {
-            return Err(SimError::bad_args(format!(
-                "kernel `{name}` expects {} arguments, got {}",
-                f.params.len(),
-                args.len()
-            )));
-        }
-        for (i, (a, p)) in args.iter().zip(&f.params).enumerate() {
-            let compatible = match p {
-                Type::Ptr => a.ty() == Type::Ptr,
-                t => a.ty() == *t,
-            };
-            if !compatible {
-                return Err(SimError::bad_args(format!(
-                    "argument {i} of `{name}`: expected {p}, got {:?}",
-                    a.ty()
-                )));
-            }
-        }
-        if self.plan.func(kfunc).is_none() {
-            return Err(SimError::trap(format!("kernel `{name}` is a declaration")));
-        }
+        self.validate_args(name, kfunc, args)?;
         let teams = dims
             .teams
             .or(kernel.num_teams)
@@ -399,14 +377,56 @@ impl<'m> Device<'m> {
         stats.finish(self.cfg.num_sms);
         stats.shared_mem_bytes = self.mem.shared_high_water;
         stats.heap_bytes = self.mem.heap_high_water;
-        // Static register estimate over all functions reachable from the
-        // kernel. Indirect calls add a fixed penalty: the toolchain must
-        // assume spurious call edges to every address-taken function
-        // (the paper's PR46450 register-pressure effect that the custom
-        // state-machine rewrite eliminates). The estimate is a pure
-        // function of the (immutable) module, so it is computed once per
-        // kernel and cached across launches.
-        stats.registers = match self.reg_estimates.get(&kfunc) {
+        stats.registers = self.register_estimate(kfunc);
+        let profile = (self.cfg.profile == ProfileMode::On)
+            .then(|| LaunchProfile::assemble(self.module, self.cfg.num_sms, &stats, team_profiles));
+        Ok((stats, profile, findings))
+    }
+
+    /// Checks the argument vector against the kernel function's
+    /// signature and rejects launches of declarations. Shared by single
+    /// launches and (once, at resolution/capture time) launch plans.
+    pub(crate) fn validate_args(
+        &self,
+        name: &str,
+        kfunc: omp_ir::FuncId,
+        args: &[RtVal],
+    ) -> Result<(), SimError> {
+        let f = self.module.func(kfunc);
+        if f.params.len() != args.len() {
+            return Err(SimError::bad_args(format!(
+                "kernel `{name}` expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (a, p)) in args.iter().zip(&f.params).enumerate() {
+            let compatible = match p {
+                Type::Ptr => a.ty() == Type::Ptr,
+                t => a.ty() == *t,
+            };
+            if !compatible {
+                return Err(SimError::bad_args(format!(
+                    "argument {i} of `{name}`: expected {p}, got {:?}",
+                    a.ty()
+                )));
+            }
+        }
+        if self.plan.func(kfunc).is_none() {
+            return Err(SimError::trap(format!("kernel `{name}` is a declaration")));
+        }
+        Ok(())
+    }
+
+    /// Static register estimate over all functions reachable from the
+    /// kernel. Indirect calls add a fixed penalty: the toolchain must
+    /// assume spurious call edges to every address-taken function
+    /// (the paper's PR46450 register-pressure effect that the custom
+    /// state-machine rewrite eliminates). The estimate is a pure
+    /// function of the (immutable) module, so it is computed once per
+    /// kernel and cached across launches.
+    pub(crate) fn register_estimate(&mut self, kfunc: omp_ir::FuncId) -> u32 {
+        match self.reg_estimates.get(&kfunc) {
             Some(&r) => r,
             None => {
                 let cg = CallGraph::build(self.module);
@@ -419,17 +439,28 @@ impl<'m> Device<'m> {
                 self.reg_estimates.insert(kfunc, r);
                 r
             }
-        };
-        let profile = (self.cfg.profile == ProfileMode::On)
-            .then(|| LaunchProfile::assemble(self.module, self.cfg.num_sms, &stats, team_profiles));
-        Ok((stats, profile, findings))
+        }
+    }
+
+    /// Resolves the configured `jobs` setting (0 = auto) against a team
+    /// count: the number of host worker threads a launch of `teams`
+    /// teams fans out over.
+    pub(crate) fn worker_count(&self, teams: u32) -> u32 {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(teams)
+        .max(1)
     }
 
     /// Runs all teams of a launch — inline, or fanned out over `jobs`
     /// host threads — and returns their outcomes in team-id order. On
     /// error, the lowest team id's error is returned (the one sequential
     /// execution would hit first) and no memory effects are applied.
-    fn run_teams(
+    pub(crate) fn run_teams(
         &self,
         kfunc: omp_ir::FuncId,
         args: &[RtVal],
@@ -437,14 +468,7 @@ impl<'m> Device<'m> {
         threads: u32,
         mode: ExecMode,
     ) -> Result<Vec<TeamOutcome>, SimError> {
-        let jobs = match self.jobs {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get() as u32)
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(teams)
-        .max(1);
+        let jobs = self.worker_count(teams);
         let run_one = |team_id: u32| -> Result<TeamOutcome, SimError> {
             if self.cfg.fault.abort_team == Some(team_id) {
                 return Err(SimError::fault_injected(format!("team {team_id} aborted")));

@@ -56,6 +56,7 @@ pub mod plan;
 pub mod profile;
 pub mod sanitize;
 pub mod stats;
+pub mod stream;
 pub mod value;
 
 pub use config::{DeviceConfig, Tier};
@@ -65,7 +66,10 @@ pub use launch::{Device, LaunchDims};
 pub use mem::MemError;
 pub use owned::OwnedDevice;
 pub use plan::ExecPlan;
-pub use profile::{FuncProfile, LaunchProfile, ProfileMode, RegionSpan, RtlProfile, TeamTrack};
+pub use profile::{
+    FuncProfile, LaunchProfile, ProfileMode, RegionSpan, RtlProfile, StreamSpan, TeamTrack,
+};
 pub use sanitize::{findings_to_json, FaultPlan, Finding, FindingKind, SanitizeMode, Severity};
 pub use stats::{KernelStats, StatsSnapshot};
+pub use stream::{CapturedGraph, LaunchPlan, PlanNode};
 pub use value::RtVal;

@@ -288,6 +288,22 @@ pub struct TeamMemDelta {
     heap_live_high: u64,
 }
 
+/// Page granule of the COW store journal in bytes, re-exported for the
+/// cross-kernel race detector's diagnostics.
+pub(crate) const PAGE_BYTES: u64 = PAGE as u64;
+
+impl TeamMemDelta {
+    /// Numbers of the pages this team actually stored to (at least one
+    /// dirty byte), in first-write order. Page `p` covers global bytes
+    /// `[p * PAGE_BYTES, (p + 1) * PAGE_BYTES)`.
+    pub(crate) fn written_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages
+            .iter()
+            .filter(|(_, p)| p.dirty.iter().any(|&w| w != 0))
+            .map(|&(n, _)| n)
+    }
+}
+
 /// One team's private window onto device memory during a launch: a
 /// read-only borrow of pre-launch global memory plus team-owned shared
 /// memory, local arenas, a full-capacity globalization heap, and the

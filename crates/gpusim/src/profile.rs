@@ -298,6 +298,20 @@ pub struct TeamTrack {
     pub allocs: Vec<(u64, u64)>,
 }
 
+/// One launch node's span on its stream track of a plan or captured
+/// task-graph launch. Cycles are absolute plan coordinates from the
+/// deterministic list schedule, so traces are bit-identical across
+/// `--jobs`, tiers, and eager-vs-replay execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSpan {
+    /// Stream the node was scheduled on (0-based, deterministic).
+    pub stream: u32,
+    /// Kernel (device function) name of the node.
+    pub label: String,
+    pub start: u64,
+    pub end: u64,
+}
+
 /// The merged profile of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaunchProfile {
@@ -316,6 +330,10 @@ pub struct LaunchProfile {
     pub rtl: Vec<RtlProfile>,
     /// One entry per team, in team-id order.
     pub teams: Vec<TeamTrack>,
+    /// Stream spans of a plan/graph launch, one per node in submission
+    /// order. Empty for plain single-kernel launches, which keeps their
+    /// serialized profiles byte-identical to pre-stream builds.
+    pub streams: Vec<StreamSpan>,
 }
 
 impl LaunchProfile {
@@ -431,6 +449,7 @@ impl LaunchProfile {
             class_cycles,
             rtl,
             teams: tracks,
+            streams: Vec::new(),
         }
     }
 
@@ -514,6 +533,18 @@ impl LaunchProfile {
             w.end_object();
         }
         w.end_array();
+        if !self.streams.is_empty() {
+            w.key("streams").begin_array();
+            for s in &self.streams {
+                w.begin_object();
+                w.key("stream").u32(s.stream);
+                w.key("label").string(&s.label);
+                w.key("start").u64(s.start);
+                w.key("end").u64(s.end);
+                w.end_object();
+            }
+            w.end_array();
+        }
         w.end_object();
         w.finish()
     }
@@ -522,8 +553,10 @@ impl LaunchProfile {
     /// format (loadable in Perfetto / `chrome://tracing`): one track
     /// per SM (`tid`), an `X` duration span per team and per parallel
     /// region, and `i` instant events for barrier releases and
-    /// globalization allocations. Timestamps are model cycles exposed
-    /// through the format's microsecond field.
+    /// globalization allocations. Plan/graph launches additionally get
+    /// one track per stream (tids above the SM range) with a span per
+    /// launch node. Timestamps are model cycles exposed through the
+    /// format's microsecond field.
     pub fn chrome_trace(&self) -> String {
         let mut w = JsonWriter::with_capacity(4096);
         w.begin_object();
@@ -548,6 +581,20 @@ impl LaunchProfile {
         sms.dedup();
         for &sm in &sms {
             meta(&mut w, "thread_name", Some(sm), &format!("SM {sm}"));
+        }
+        // Plan/graph launches add one track per stream, placed above the
+        // SM tid range so the two families never collide.
+        let stream_base = self.num_sms.max(1);
+        let mut stream_ids: Vec<u32> = self.streams.iter().map(|s| s.stream).collect();
+        stream_ids.sort_unstable();
+        stream_ids.dedup();
+        for &sid in &stream_ids {
+            meta(
+                &mut w,
+                "thread_name",
+                Some(stream_base + sid),
+                &format!("stream {sid}"),
+            );
         }
         let span = |w: &mut JsonWriter, name: &str, cat: &str, tid: u32, start: u64, end: u64| {
             w.begin_object();
@@ -597,6 +644,16 @@ impl LaunchProfile {
                 w.end_object();
                 w.end_object();
             }
+        }
+        for s in &self.streams {
+            span(
+                &mut w,
+                &s.label,
+                "stream",
+                stream_base + s.stream,
+                s.start,
+                s.end,
+            );
         }
         w.end_array();
         w.end_object();

@@ -93,6 +93,11 @@ pub enum FindingKind {
     BarrierDivergence,
     UninitRead,
     UseAfterFree,
+    /// Two kernels of one launch plan write the same global-memory page
+    /// without an ordering edge (`depend`/`taskwait`/sync) between them.
+    /// Page-granular and write-write only: cross-kernel reads are not
+    /// tracked, so read-write conflicts go undetected.
+    CrossKernelRace,
     SharedStackFallback,
 }
 
@@ -104,6 +109,7 @@ impl FindingKind {
             FindingKind::BarrierDivergence => "barrier-divergence",
             FindingKind::UninitRead => "uninit-read",
             FindingKind::UseAfterFree => "use-after-free",
+            FindingKind::CrossKernelRace => "cross-kernel-race",
             FindingKind::SharedStackFallback => "shared-stack-fallback",
         }
     }
@@ -117,6 +123,7 @@ impl FindingKind {
             FindingKind::BarrierDivergence => 301,
             FindingKind::UninitRead => 302,
             FindingKind::UseAfterFree => 303,
+            FindingKind::CrossKernelRace => 304,
             FindingKind::SharedStackFallback => 310,
         }
     }

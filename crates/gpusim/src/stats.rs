@@ -37,6 +37,19 @@ pub struct KernelStats {
     pub coalesced_accesses: u64,
     /// Global-memory accesses classified as uncoalesced.
     pub uncoalesced_accesses: u64,
+    /// Tier-1 steps executed through the `gep+load` superinstruction.
+    pub fused_gep_load: u64,
+    /// Tier-1 steps executed through the `load+bin+store`
+    /// superinstruction.
+    pub fused_load_bin_store: u64,
+    /// Tier-1 fused compare-and-branch terminators executed.
+    pub fused_cmp_br: u64,
+    /// Tier-1 steps executed without fusion. Together with the fused
+    /// counters this gives the superinstruction hit rate; all four are
+    /// zero under the interpreter tier and therefore tier-*dependent*
+    /// (unlike every counter above, which is bit-identical across
+    /// tiers).
+    pub plain_steps: u64,
     /// Execution tier this launch ran under
     /// ([`crate::DeviceConfig::effective_tier`]). Every counter above is
     /// bit-identical across tiers; the tier is recorded so regressions
@@ -71,8 +84,14 @@ pub struct StatsSnapshot {
     /// Memory accesses executed.
     pub memory_accesses: u64,
     /// Execution tier the launch ran under (`interp` or `compiled`).
-    /// Informational: all other fields are bit-identical across tiers.
+    /// Informational: all other fields are bit-identical across tiers,
+    /// except the superinstruction counters below.
     pub tier: Tier,
+    /// Superinstruction hit counters, in the fixed order `gep_load`,
+    /// `load_bin_store`, `cmp_br`, `plain`. Tier-dependent (all zero
+    /// under the interpreter) — cross-tier comparisons must zero them
+    /// alongside normalizing `tier`.
+    pub superinstructions: [u64; 4],
     /// Dynamic calls per runtime entry point, sorted by name.
     pub rtl_calls: Vec<(String, u64)>,
 }
@@ -97,6 +116,16 @@ impl StatsSnapshot {
             w.key(k).u64(v);
         }
         w.key("tier").string(self.tier.as_str());
+        w.key("superinstructions").begin_object();
+        for (k, v) in [
+            ("gep_load", self.superinstructions[0]),
+            ("load_bin_store", self.superinstructions[1]),
+            ("cmp_br", self.superinstructions[2]),
+            ("plain", self.superinstructions[3]),
+        ] {
+            w.key(k).u64(v);
+        }
+        w.end_object();
         w.key("rtl_calls").begin_object();
         for (name, n) in &self.rtl_calls {
             w.key(name).u64(*n);
@@ -134,6 +163,12 @@ impl KernelStats {
             parallel_regions: self.parallel_regions,
             memory_accesses: self.memory_accesses,
             tier: self.tier,
+            superinstructions: [
+                self.fused_gep_load,
+                self.fused_load_bin_store,
+                self.fused_cmp_br,
+                self.plain_steps,
+            ],
             rtl_calls,
         }
     }
@@ -204,7 +239,27 @@ mod tests {
         let j = s.snapshot().to_json();
         assert!(j.starts_with("{\"cycles\":7,"));
         assert!(j.contains("\"tier\":\"compiled\""));
+        assert!(j.contains(
+            "\"superinstructions\":{\"gep_load\":0,\"load_bin_store\":0,\"cmp_br\":0,\"plain\":0}"
+        ));
         assert!(j.contains("\"rtl_calls\":{\"__kmpc_barrier\":3}"));
         assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn snapshot_carries_superinstruction_counters() {
+        let s = KernelStats {
+            fused_gep_load: 4,
+            fused_load_bin_store: 3,
+            fused_cmp_br: 2,
+            plain_steps: 11,
+            ..KernelStats::default()
+        };
+        let snap = s.snapshot();
+        assert_eq!(snap.superinstructions, [4, 3, 2, 11]);
+        let j = snap.to_json();
+        assert!(j.contains(
+            "\"superinstructions\":{\"gep_load\":4,\"load_bin_store\":3,\"cmp_br\":2,\"plain\":11}"
+        ));
     }
 }

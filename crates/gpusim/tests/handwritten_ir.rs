@@ -12,6 +12,7 @@ fn kernelize(m: &mut Module, f: omp_ir::FuncId, name: &str) {
         num_teams: Some(1),
         thread_limit: Some(1),
         source_name: name.into(),
+        launch: Default::default(),
     });
 }
 

@@ -134,6 +134,7 @@ fn memory_state_kernel() -> Module {
         num_teams: Some(1),
         thread_limit: Some(1),
         source_name: "mem".into(),
+        launch: Default::default(),
     });
     omp_ir::verifier::assert_valid(&m);
     m

@@ -48,7 +48,7 @@ pub use builder::Builder;
 pub use dom::DomTree;
 pub use function::{BlockData, FuncAttrs, Function, Linkage, ParamAttrs};
 pub use inst::{BinOp, CastOp, CmpOp, InstKind, Terminator};
-pub use module::{AddrSpace, ExecMode, Global, KernelInfo, Module};
+pub use module::{AddrSpace, DependKind, ExecMode, Global, KernelInfo, LaunchAttrs, Module};
 pub use omprtl::{math_fn_signature, RtlFn};
 pub use types::Type;
 pub use value::{BlockId, FuncId, GlobalId, InstId, Value};

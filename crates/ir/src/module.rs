@@ -44,6 +44,69 @@ pub enum ExecMode {
     Spmd,
 }
 
+/// Dependence kind of one `depend(...)` clause item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependKind {
+    /// `depend(in: x)` — the region reads `x`.
+    In,
+    /// `depend(out: x)` — the region writes `x`.
+    Out,
+    /// `depend(inout: x)` — the region reads and writes `x`.
+    Inout,
+}
+
+impl DependKind {
+    /// Stable lowercase spelling (textual IR and diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            DependKind::In => "in",
+            DependKind::Out => "out",
+            DependKind::Inout => "inout",
+        }
+    }
+
+    /// Parses the textual spelling.
+    pub fn parse(s: &str) -> Option<DependKind> {
+        Some(match s {
+            "in" => DependKind::In,
+            "out" => DependKind::Out,
+            "inout" => DependKind::Inout,
+            _ => return None,
+        })
+    }
+
+    /// Whether two accesses of these kinds on the same variable order
+    /// the regions (at least one side writes).
+    pub fn conflicts_with(self, other: DependKind) -> bool {
+        !(self == DependKind::In && other == DependKind::In)
+    }
+}
+
+/// Host-side launch attributes of one target region: the async-offload
+/// clauses (`nowait`, `depend`), a `taskwait` fence preceding the
+/// region, and `taskgraph` membership. All default-false/empty for a
+/// plain synchronous `target`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchAttrs {
+    /// `nowait` was present: the launch may overlap with siblings.
+    pub nowait: bool,
+    /// `depend(kind: var)` items, as host-function parameter indices.
+    pub depends: Vec<(DependKind, u32)>,
+    /// A `taskwait` directive immediately precedes this region.
+    pub wait_before: bool,
+    /// `taskgraph` region index within the host function, when the
+    /// region is part of a capture-and-replay graph.
+    pub graph: Option<u32>,
+}
+
+impl LaunchAttrs {
+    /// True when every attribute is at its synchronous default (the
+    /// printer omits the clauses entirely in that case).
+    pub fn is_default(&self) -> bool {
+        *self == LaunchAttrs::default()
+    }
+}
+
 /// Per-kernel metadata attached by the frontend and updated by the
 /// optimizer (e.g. SPMDization flips `exec_mode`).
 #[derive(Debug, Clone)]
@@ -58,6 +121,10 @@ pub struct KernelInfo {
     pub thread_limit: Option<u32>,
     /// Source-level name of the originating target region (diagnostics).
     pub source_name: String,
+    /// Async-offload launch attributes (`nowait`, `depend`, `taskwait`,
+    /// `taskgraph`). Kernels sharing a `source_name` form one host
+    /// launch plan, in `Module::kernels` order.
+    pub launch: LaunchAttrs,
 }
 
 /// A translation unit.
@@ -290,6 +357,7 @@ mod tests {
             num_teams: Some(4),
             thread_limit: None,
             source_name: "target region".into(),
+            launch: Default::default(),
         });
         assert!(m.is_kernel(f));
         assert_eq!(m.kernel_for(f).unwrap().num_teams, Some(4));

@@ -2,7 +2,7 @@
 
 use crate::function::{Function, Linkage, ParamAttrs};
 use crate::inst::{BinOp, CastOp, CmpOp, InstKind, Terminator};
-use crate::module::{AddrSpace, ExecMode, Global, KernelInfo, Module};
+use crate::module::{AddrSpace, DependKind, ExecMode, Global, KernelInfo, LaunchAttrs, Module};
 use crate::types::Type;
 use crate::value::{BlockId, InstId, Value};
 use std::collections::HashMap;
@@ -230,9 +230,16 @@ enum RawInst {
 type RawInstLine = (usize, Option<u32>, RawInst);
 /// One parsed block: (label, instructions, terminator, terminator line).
 type RawBlock = (u32, Vec<RawInstLine>, RawTerm, usize);
-/// A `kernel` header awaiting symbol resolution:
-/// (line, function name, mode, num_teams, thread_limit, source name).
-type PendingKernel = (usize, String, ExecMode, Option<u32>, Option<u32>, String);
+/// A `kernel` header awaiting symbol resolution.
+struct PendingKernel {
+    line: usize,
+    name: String,
+    mode: ExecMode,
+    num_teams: Option<u32>,
+    thread_limit: Option<u32>,
+    source: String,
+    launch: LaunchAttrs,
+}
 /// A resolved block ready for placement: (block, (line, id, inst) triples,
 /// terminator, terminator line).
 type Placement = (BlockId, Vec<(usize, InstId, RawInst)>, RawTerm, usize);
@@ -298,6 +305,7 @@ impl<'a> Parser<'a> {
                 let mut num_teams = None;
                 let mut thread_limit = None;
                 let mut source = String::new();
+                let mut launch = LaunchAttrs::default();
                 loop {
                     if c.eat("num_teams") {
                         c.expect("(")?;
@@ -309,11 +317,35 @@ impl<'a> Parser<'a> {
                         c.expect(")")?;
                     } else if c.eat("source") {
                         source = c.quoted()?;
+                    } else if c.eat("nowait") {
+                        launch.nowait = true;
+                    } else if c.eat("taskwait_before") {
+                        launch.wait_before = true;
+                    } else if c.eat("graph") {
+                        c.expect("(")?;
+                        launch.graph = Some(c.number_u64()? as u32);
+                        c.expect(")")?;
+                    } else if c.eat("depend") {
+                        c.expect("(")?;
+                        let kw = c.word()?;
+                        let kind = DependKind::parse(kw)
+                            .ok_or_else(|| c.err(format!("unknown depend kind `{kw}`")))?;
+                        let idx = c.number_u64()? as u32;
+                        c.expect(")")?;
+                        launch.depends.push((kind, idx));
                     } else {
                         break;
                     }
                 }
-                pending_kernels.push((ln, name, mode, num_teams, thread_limit, source));
+                pending_kernels.push(PendingKernel {
+                    line: ln,
+                    name,
+                    mode,
+                    num_teams,
+                    thread_limit,
+                    source,
+                    launch,
+                });
             } else if c.eat("declare") || line.starts_with("define") {
                 let is_def = line.starts_with("define");
                 if is_def {
@@ -331,17 +363,18 @@ impl<'a> Parser<'a> {
         for raw in pending_bodies {
             self.resolve_function(raw, &mut m)?;
         }
-        for (ln, name, mode, num_teams, thread_limit, source) in pending_kernels {
-            let func = m.function_id(&name).ok_or(ParseError {
-                line: ln,
-                message: format!("kernel references unknown function `{name}`"),
+        for k in pending_kernels {
+            let func = m.function_id(&k.name).ok_or(ParseError {
+                line: k.line,
+                message: format!("kernel references unknown function `{}`", k.name),
             })?;
             m.kernels.push(KernelInfo {
                 func,
-                exec_mode: mode,
-                num_teams,
-                thread_limit,
-                source_name: source,
+                exec_mode: k.mode,
+                num_teams: k.num_teams,
+                thread_limit: k.thread_limit,
+                source_name: k.source,
+                launch: k.launch,
             });
         }
         Ok(m)

@@ -97,7 +97,20 @@ pub fn print_module(m: &Module) -> String {
         if let Some(t) = k.thread_limit {
             let _ = write!(out, " thread_limit({t})");
         }
-        let _ = writeln!(out, " source \"{}\"", k.source_name);
+        let _ = write!(out, " source \"{}\"", k.source_name);
+        if k.launch.nowait {
+            out.push_str(" nowait");
+        }
+        if k.launch.wait_before {
+            out.push_str(" taskwait_before");
+        }
+        if let Some(g) = k.launch.graph {
+            let _ = write!(out, " graph({g})");
+        }
+        for (kind, idx) in &k.launch.depends {
+            let _ = write!(out, " depend({} {})", kind.name(), idx);
+        }
+        out.push('\n');
     }
     if !m.kernels.is_empty() {
         out.push('\n');
@@ -353,6 +366,7 @@ mod tests {
             num_teams: Some(8),
             thread_limit: Some(128),
             source_name: "region".into(),
+            launch: Default::default(),
         });
         let mut b = Builder::at_entry(&mut m, f);
         b.ret(None);

@@ -292,6 +292,7 @@ mod tests {
             num_teams: Some(8),
             thread_limit: Some(64),
             source_name: name.into(),
+            launch: Default::default(),
         });
         f
     }

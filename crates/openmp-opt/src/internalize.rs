@@ -122,6 +122,7 @@ mod tests {
             num_teams: None,
             thread_limit: None,
             source_name: "kern".into(),
+            launch: Default::default(),
         });
         assert_eq!(run(&mut m), 1);
         let copy = m.function_id("helper.internalized").unwrap();
@@ -166,6 +167,7 @@ mod tests {
             num_teams: None,
             thread_limit: None,
             source_name: "kern".into(),
+            launch: Default::default(),
         });
         assert_eq!(run(&mut m), 0);
     }

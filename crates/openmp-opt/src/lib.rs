@@ -225,7 +225,53 @@ pub fn run(m: &mut Module, cfg: &OpenMpOptConfig) -> OptReport {
             accumulate(&mut report.cleanup, omp_passes::run_pipeline(m));
         }
     }
+
+    // 9. Async-offload launch analysis: surface capture-and-replay and
+    //    stream-overlap eligibility derived from the frontend's launch
+    //    metadata (analysis only — no IR is changed).
+    emit_launch_remarks(m, &mut report.remarks);
     report
+}
+
+/// Emits OMP240/OMP241 analysis remarks for kernels whose launch
+/// attributes make them part of a `taskgraph` capture-and-replay region
+/// or candidates for asynchronous (`nowait`) stream overlap.
+fn emit_launch_remarks(m: &Module, remarks: &mut Remarks) {
+    use remarks::{actions, ids, passes, Remark, RemarkKind};
+    for k in &m.kernels {
+        let name = &m.func(k.func).name;
+        if let Some(g) = k.launch.graph {
+            remarks.push(
+                Remark::new(
+                    ids::TASKGRAPH_CAPTURED,
+                    RemarkKind::Analysis,
+                    name.clone(),
+                    format!(
+                        "Kernel is part of `taskgraph` region {g}: the host launch \
+                         plan is captured once (lookup, validation, argument \
+                         marshalling, plan resolution) and replayed without \
+                         per-launch setup."
+                    ),
+                )
+                .in_pass(passes::TASKGRAPH)
+                .with_action(actions::CAPTURE_REPLAY),
+            );
+        } else if k.launch.nowait {
+            remarks.push(
+                Remark::new(
+                    ids::ASYNC_OFFLOAD,
+                    RemarkKind::Analysis,
+                    name.clone(),
+                    "Kernel is launched with `nowait`: eligible for asynchronous \
+                     stream overlap with sibling launches, ordered only by its \
+                     `depend` edges."
+                        .to_string(),
+                )
+                .in_pass(passes::TASKGRAPH)
+                .with_action(actions::ASYNC_OVERLAP),
+            );
+        }
+    }
 }
 
 fn accumulate(total: &mut omp_passes::PipelineStats, round: omp_passes::PipelineStats) {

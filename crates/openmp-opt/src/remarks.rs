@@ -240,11 +240,14 @@ pub mod passes {
     pub const GVN: &str = "gvn";
     /// Loop-invariant code motion (classic mid-end).
     pub const LICM: &str = "licm";
+    /// Task-graph / async-offload launch analysis (capture-and-replay
+    /// eligibility and `nowait` overlap, from kernel launch metadata).
+    pub const TASKGRAPH: &str = "taskgraph";
     /// The pass manager itself (stage timing / IR-delta remarks).
     pub const PIPELINE: &str = "pipeline";
 
     /// All pass names, in pipeline order.
-    pub const ALL: [&str; 10] = [
+    pub const ALL: [&str; 11] = [
         INLINE,
         INTERNALIZE,
         SPMDIZATION,
@@ -254,6 +257,7 @@ pub mod passes {
         FOLDING,
         GVN,
         LICM,
+        TASKGRAPH,
         PIPELINE,
     ];
 }
@@ -290,6 +294,10 @@ pub mod actions {
     pub const CSE: &str = "cse";
     /// Loop-invariant instructions moved to a preheader.
     pub const HOIST: &str = "hoist";
+    /// Kernel is part of a `taskgraph` capture-and-replay region.
+    pub const CAPTURE_REPLAY: &str = "capture-replay";
+    /// `nowait` kernel eligible for asynchronous stream overlap.
+    pub const ASYNC_OVERLAP: &str = "async-overlap";
 }
 
 fn intern_pass(s: &str) -> &'static str {
@@ -297,7 +305,7 @@ fn intern_pass(s: &str) -> &'static str {
 }
 
 fn intern_action(s: &str) -> &'static str {
-    const ALL: [&str; 15] = [
+    const ALL: [&str; 17] = [
         actions::STACKIFY,
         actions::SHARIFY,
         actions::KEEP_GLOBALIZED,
@@ -313,6 +321,8 @@ fn intern_action(s: &str) -> &'static str {
         actions::KEEP_CALL,
         actions::CSE,
         actions::HOIST,
+        actions::CAPTURE_REPLAY,
+        actions::ASYNC_OVERLAP,
     ];
     ALL.iter().find(|a| **a == s).copied().unwrap_or("")
 }
@@ -482,6 +492,12 @@ pub mod ids {
     /// The message carries IR deltas only — never wall time — so remark
     /// streams stay deterministic across runs.
     pub const PASS_TIMING: u32 = 230;
+    /// Kernel belongs to a `taskgraph` region: the host plan is
+    /// captured once and replayed without per-launch setup (analysis).
+    pub const TASKGRAPH_CAPTURED: u32 = 240;
+    /// Kernel launched with `nowait`: eligible for asynchronous stream
+    /// overlap with its sibling launches (analysis).
+    pub const ASYNC_OFFLOAD: u32 = 241;
 }
 
 /// A collection of remarks with convenience queries.

@@ -1,0 +1,28 @@
+// A `taskgraph` region around a dependent pipeline: the region is the
+// capture/replay unit — its boundary fences entry and exit, and inside
+// it the `depend` edges alone order the nodes. Replaying the captured
+// graph skips kernel lookup, argument validation and marshalling, plan
+// resolution, and per-launch worker-pool setup, and must reproduce the
+// eager launch bit for bit.
+//
+// Run it by hand:
+//   cargo run -p omp-gpu --bin ompgpu -- run examples/omp/task_graph.c \
+//     --kernel stages --arg buf:f64:32 --arg buf:f64:32 --arg i64:32 --dump 4
+//
+// oracle-kernel: stages
+// oracle-arg: buf f64 32 iota
+// oracle-arg: buf f64 32 zero
+// oracle-arg: i64 32
+void stages(double* a, double* b, long n) {
+  #pragma omp taskgraph
+  {
+    #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(2) thread_limit(8)
+    for (long i = 0; i < n; i++) {
+      a[i] = a[i] + 3.0;
+    }
+    #pragma omp target teams distribute parallel for nowait depend(in: a) depend(out: b) num_teams(2) thread_limit(8)
+    for (long i = 0; i < n; i++) {
+      b[i] = a[i] * a[i];
+    }
+  }
+}

@@ -1,0 +1,32 @@
+// Asynchronous producer/consumer pipeline: two independent `nowait`
+// producers feed one consumer through `depend` clauses. The host lowers
+// the whole function to a three-node launch plan — the producers land
+// on separate streams and overlap in the cycle makespan, while the
+// consumer waits for both. Outputs are bit-identical whether the plan
+// runs eagerly or as a captured/replayed task graph.
+//
+// Run it by hand:
+//   cargo run -p omp-gpu --bin ompgpu -- run examples/omp/task_pipeline.c \
+//     --kernel pipeline --arg buf:f64:48 --arg buf:f64:48 \
+//     --arg buf:f64:48 --arg i64:48 --dump 4
+//
+// oracle-kernel: pipeline
+// oracle-arg: buf f64 48 pseudo
+// oracle-arg: buf f64 48 zero
+// oracle-arg: buf f64 48 zero
+// oracle-arg: i64 48
+void pipeline(double* a, double* b, double* c, long n) {
+  #pragma omp target teams distribute parallel for nowait depend(out: a) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0 + 1.0;
+  }
+  #pragma omp target teams distribute parallel for nowait depend(out: b) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    b[i] = (double)i * 0.5;
+  }
+  #pragma omp target teams distribute parallel for nowait depend(in: a, b) depend(out: c) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+  #pragma omp taskwait
+}

@@ -1,0 +1,24 @@
+// A seeded cross-kernel race: two `nowait` targets write the same
+// buffer with NO `depend` edge between them. Execution stays
+// deterministic — plan nodes commit in submission order, so the second
+// writer wins and the oracle still sees bit-identical outputs — but
+// the sanitizer reports a page-granular write-write cross-kernel race
+// (finding `cross-kernel-race`, OMPSAN304) on the unordered pair.
+//
+// Run it by hand (expect the finding):
+//   cargo run -p omp-gpu --bin ompgpu -- sanitize examples/omp/task_race.c
+//
+// oracle-kernel: racy
+// oracle-arg: buf f64 32 zero
+// oracle-arg: i64 32
+void racy(double* a, long n) {
+  #pragma omp target teams distribute parallel for nowait num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = 1.0;
+  }
+  #pragma omp target teams distribute parallel for nowait num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = a[i] + 1.0;
+  }
+  #pragma omp taskwait
+}

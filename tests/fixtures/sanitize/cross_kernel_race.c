@@ -1,0 +1,20 @@
+// Seeded bug: two `nowait` target kernels write the same buffer with
+// no `depend` edge or `taskwait` between them — a cross-kernel
+// write/write race on the launch plan. Each kernel is internally
+// race-free; only the missing ordering edge is wrong. The sanitizer
+// must report `cross-kernel-race` on the unordered pair; see
+// cross_kernel_race_fixed.c for the clean variant.
+// oracle-kernel: xrace
+// oracle-arg: buf f64 32
+// oracle-arg: i64 32
+void xrace(double* a, long n) {
+  #pragma omp target teams distribute parallel for nowait num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = 1.0;
+  }
+  #pragma omp target teams distribute parallel for nowait num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = a[i] + 1.0;
+  }
+  #pragma omp taskwait
+}

@@ -1,0 +1,17 @@
+// Clean variant of cross_kernel_race.c: the same two kernels, ordered
+// by `depend(inout: a)` edges. The dependency serializes the writers,
+// so the sanitizer must stay silent.
+// oracle-kernel: xrace
+// oracle-arg: buf f64 32
+// oracle-arg: i64 32
+void xrace(double* a, long n) {
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = 1.0;
+  }
+  #pragma omp target teams distribute parallel for nowait depend(inout: a) num_teams(2) thread_limit(8)
+  for (long i = 0; i < n; i++) {
+    a[i] = a[i] + 1.0;
+  }
+  #pragma omp taskwait
+}
