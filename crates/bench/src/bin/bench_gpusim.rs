@@ -442,6 +442,33 @@ void gchain(double* a, long n) {
             (off, on)
         });
 
+    // Informational: what enabling the span tracer costs in verify
+    // wall-clock. Off and on runs alternate inside one measurement
+    // window (best-of-3 each) so the ratio compares like with like —
+    // reusing the cold verify runs from the top of the bench as the
+    // off side would fold unrelated machine drift into the ratio.
+    // Spans are drained between runs so the store does not grow.
+    let (telemetry_off_seconds, telemetry_on_seconds) = {
+        let _ = oracle::verify_proxies_jobs(scale, jobs); // warm-up
+        let mut off = f64::INFINITY;
+        let mut on = f64::INFINITY;
+        for _ in 0..verify_runs.len() {
+            omp_telemetry::set_enabled(false);
+            let t0 = Instant::now();
+            let _ = oracle::verify_proxies_jobs(scale, jobs);
+            off = off.min(t0.elapsed().as_secs_f64());
+
+            omp_telemetry::set_enabled(true);
+            omp_telemetry::clear_spans();
+            let t0 = Instant::now();
+            let _ = oracle::verify_proxies_jobs(scale, jobs);
+            on = on.min(t0.elapsed().as_secs_f64());
+            omp_telemetry::clear_spans();
+        }
+        omp_telemetry::set_enabled(false);
+        (off, on)
+    };
+
     let baseline_mean = PRE_PLAN_VERIFY_SMALL_SECONDS.iter().sum::<f64>()
         / PRE_PLAN_VERIFY_SMALL_SECONDS.len() as f64;
     let baseline_min = PRE_PLAN_VERIFY_SMALL_SECONDS
@@ -566,6 +593,17 @@ void gchain(double* a, long n) {
             let _ = writeln!(j, "  \"profile_overhead\": null,");
         }
     }
+    // Informational only — not gated: verify wall-clock with the span
+    // tracer on vs off (`tools/ci.sh bench` warns above a 1.03 ratio).
+    let _ = writeln!(j, "  \"telemetry_overhead\": {{");
+    let _ = writeln!(j, "    \"off_wall_seconds\": {telemetry_off_seconds:.4},");
+    let _ = writeln!(j, "    \"on_wall_seconds\": {telemetry_on_seconds:.4},");
+    let _ = writeln!(
+        j,
+        "    \"ratio\": {:.3}",
+        telemetry_on_seconds / telemetry_off_seconds.max(1e-9)
+    );
+    let _ = writeln!(j, "  }},");
     // Tier comparison: interpreter vs compiled block engine, same
     // suite, same knobs. Wall clock is host-dependent; the
     // `cycles_identical` flags are the invariant part. Measured at

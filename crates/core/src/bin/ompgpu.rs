@@ -3,23 +3,24 @@
 //!
 //! ```text
 //! ompgpu build   kernel.c [--config dev] [--emit-ir] [--remarks] [--time-passes]
+//!                [--telemetry out.json]
 //! ompgpu run     kernel.c --kernel name [--config dev]
 //!                [--teams N] [--threads N] [--jobs N] [--json]
 //!                [--arg buf:f64:LEN[:init] | --arg buf:i64:LEN[:init]
 //!                 | --arg i64:VALUE | --arg f64:VALUE | --arg i32:VALUE]
-//!                [--dump N] [--time-passes]
+//!                [--dump N] [--time-passes] [--telemetry out.json]
 //! ompgpu profile kernel.c --kernel name [--config dev | --all-configs]
 //!                [--teams N] [--threads N] [--jobs N] [--arg SPEC]...
 //!                [--json] [--trace out.json] [--time-passes]
 //! ompgpu profile --proxy NAME [--scale small|bench] [--config dev | --all-configs]
 //!                [--jobs N] [--json] [--trace out.json] [--time-passes]
 //! ompgpu verify  [--scale small|bench] [--examples DIR] [--jobs N]
-//!                [--watchdog SECS] [FILE.c ...]
+//!                [--watchdog SECS] [--telemetry out.json] [FILE.c ...]
 //! ompgpu sanitize kernel.c | --proxy NAME | --self-test
 //!                [--config CFG | --all-configs] [--scale small|bench]
 //!                [--jobs N] [--max-insts N] [--json]
-//! ompgpu serve   --socket PATH [--device-cache N]
-//! ompgpu client  --socket PATH [--ping] [--stats] [--shutdown]
+//! ompgpu serve   --socket PATH [--device-cache N] [--access-log PATH]
+//! ompgpu client  --socket PATH [--ping] [--stats] [--metrics] [--shutdown]
 //! ```
 //!
 //! Buffer arguments are device allocations initialized per the optional
@@ -73,12 +74,20 @@
 //! prints each response line on stdout, and exits with the highest
 //! exit code any response carried.
 //!
+//! `--telemetry FILE` (on `build`, `run`, and `verify`) enables the
+//! span tracer for the invocation and writes an `ompgpu-telemetry/v1`
+//! artifact — spans with parent links plus a metrics snapshot — or a
+//! Chrome trace-event timeline when FILE ends in `.trace.json` (see
+//! `docs/TELEMETRY.md`). Telemetry is off by default and costs one
+//! atomic load per instrumentation point when disabled.
+//!
 //! Exit codes are stable and machine-checkable: `0` success/clean,
 //! `1` compile or I/O failure, `2` usage error, `3` simulation or
 //! launch failure, `4` oracle divergence, `5` error-severity sanitizer
-//! findings. `ompgpu run --json` prints an `ompgpu-error/v1` JSON
-//! object on stdout when the launch fails; `ompgpu sanitize --json`
-//! prints an `ompgpu-sanitize/v1` report either way.
+//! findings, `6` unknown `schema` id under `json-validate`. `ompgpu
+//! run --json` prints an `ompgpu-error/v1` JSON object on stdout when
+//! the launch fails; `ompgpu sanitize --json` prints an
+//! `ompgpu-sanitize/v1` report either way.
 
 use omp_gpu::oracle::{self, ArgSpec, ExampleSpec, VerifyOptions};
 use omp_gpu::serve;
@@ -99,25 +108,43 @@ const EXIT_SIM: u8 = 3;
 const EXIT_DIVERGED: u8 = 4;
 /// Exit code for error-severity sanitizer findings.
 const EXIT_FINDINGS: u8 = 5;
+/// Exit code for artifacts that carry an unknown `schema` id.
+const EXIT_SCHEMA: u8 = 6;
+
+/// Schema ids `json-validate` recognizes. Artifacts with a top-level
+/// `schema` member outside this list fail with [`EXIT_SCHEMA`];
+/// artifacts without one only get the syntax check.
+const KNOWN_SCHEMAS: [&str; 8] = [
+    "bench_gpusim/v2",
+    "ompgpu-access-log/v1",
+    "ompgpu-bench-serve/v1",
+    "ompgpu-error/v1",
+    "ompgpu-profile/v1",
+    "ompgpu-sanitize/v1",
+    "ompgpu-serve/v1",
+    "ompgpu-telemetry/v1",
+];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks] [--time-passes]\n  \
+        "usage:\n  ompgpu build <file.c> [--config CFG] [--emit-ir] [--remarks] [--time-passes]\n             \
+         [--telemetry FILE]\n  \
          ompgpu run <file.c> --kernel NAME [--config CFG] [--teams N] [--threads N]\n             \
          [--jobs N] [--tier interp|compiled] [--json] [--arg SPEC]...\n             \
-         [--dump N] [--time-passes]\n  \
+         [--dump N] [--time-passes] [--telemetry FILE]\n  \
          ompgpu profile <file.c> [--kernel NAME] [--config CFG | --all-configs]\n             \
          [--teams N] [--threads N] [--jobs N] [--arg SPEC]...\n             \
          [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu profile --proxy NAME [--scale small|bench] [--config CFG | --all-configs]\n             \
          [--jobs N] [--json] [--trace FILE] [--time-passes]\n  \
          ompgpu verify [--scale small|bench] [--examples DIR] [--jobs N]\n             \
-         [--watchdog SECS] [--tier interp|compiled] [FILE.c ...]\n  \
+         [--watchdog SECS] [--tier interp|compiled] [--telemetry FILE]\n             \
+         [FILE.c ...]\n  \
          ompgpu sanitize <file.c> | --proxy NAME | --self-test\n             \
          [--config CFG | --all-configs] [--scale small|bench]\n             \
          [--jobs N] [--max-insts N] [--json]\n  \
-         ompgpu serve --socket PATH [--device-cache N]\n  \
-         ompgpu client --socket PATH [--ping] [--stats] [--shutdown]\n             \
+         ompgpu serve --socket PATH [--device-cache N] [--access-log PATH]\n  \
+         ompgpu client --socket PATH [--ping] [--stats] [--metrics] [--shutdown]\n             \
          (no request flags: forward JSON-lines requests from stdin)\n  \
          ompgpu json-validate <file.json>\n\n\
          CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
@@ -128,9 +155,11 @@ fn usage() -> ExitCode {
          the OMPGPU_MAX_INSTS environment variable is the default)\n\
          --watchdog SECS: wall-clock budget per launch (0 = off)\n\
          --tier interp|compiled: simulator execution tier (results are\n      \
-         bit-identical; the OMPGPU_TIER environment variable is the default)\n\n\
+         bit-identical; the OMPGPU_TIER environment variable is the default)\n\
+         --telemetry FILE: write spans + metrics as ompgpu-telemetry/v1\n      \
+         (or a Chrome trace when FILE ends in .trace.json)\n\n\
          exit codes: 0 ok/clean, 1 compile/IO, 2 usage, 3 simulation,\n      \
-         4 oracle divergence, 5 sanitizer findings"
+         4 oracle divergence, 5 sanitizer findings, 6 unknown schema id"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -140,6 +169,7 @@ fn verify_main(args: &[String]) -> ExitCode {
     let mut jobs: Option<u32> = None;
     let mut watchdog_secs: u64 = 60;
     let mut tier: Option<Tier> = None;
+    let mut telemetry: Option<String> = None;
     let mut dirs: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -149,6 +179,10 @@ fn verify_main(args: &[String]) -> ExitCode {
                 Some("small") => scale = Scale::Small,
                 Some("bench") => scale = Scale::Bench,
                 _ => return usage(),
+            },
+            "--telemetry" => match it.next() {
+                Some(p) => telemetry = Some(p.clone()),
+                None => return usage(),
             },
             "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => jobs = Some(n),
@@ -175,6 +209,9 @@ fn verify_main(args: &[String]) -> ExitCode {
         watchdog: (watchdog_secs > 0).then(|| Duration::from_secs(watchdog_secs)),
         tier,
     };
+    if telemetry.is_some() {
+        telemetry_begin();
+    }
     let mut report = oracle::verify_proxies_opts(scale, opts);
     for dir in &dirs {
         match oracle::verify_examples_dir_opts(std::path::Path::new(dir), opts) {
@@ -207,6 +244,16 @@ fn verify_main(args: &[String]) -> ExitCode {
         report.cases.len(),
     );
     println!("{pass}/{total} cases passed");
+    if let Some(tpath) = &telemetry {
+        let mut reg = omp_telemetry::MetricsRegistry::new();
+        reg.counter_add("verify.cases", total as u64);
+        reg.counter_add("verify.passed", pass as u64);
+        reg.counter_add("verify.failed", (total - pass) as u64);
+        if let Err(e) = telemetry_write(tpath, &reg) {
+            eprintln!("ompgpu verify: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {
@@ -526,6 +573,7 @@ fn sanitize_self_test(jobs: Option<u32>) -> ExitCode {
 fn serve_main(args: &[String]) -> ExitCode {
     let mut socket: Option<String> = None;
     let mut device_cache = serve::DEFAULT_DEVICE_CAPACITY;
+    let mut access_log: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -535,6 +583,10 @@ fn serve_main(args: &[String]) -> ExitCode {
             },
             "--device-cache" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => device_cache = n,
+                None => return usage(),
+            },
+            "--access-log" => match it.next() {
+                Some(p) => access_log = Some(p.clone()),
                 None => return usage(),
             },
             other => {
@@ -547,10 +599,14 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("ompgpu serve: --socket PATH is required");
         return usage();
     };
-    match serve::serve_unix(
-        std::path::Path::new(&socket),
-        serve::Session::new(device_cache),
-    ) {
+    let mut session = serve::Session::new(device_cache);
+    if let Some(path) = &access_log {
+        if let Err(e) = session.set_access_log(std::path::Path::new(path)) {
+            eprintln!("ompgpu serve: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    }
+    match serve::serve_unix(std::path::Path::new(&socket), session) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("ompgpu serve: {e}");
@@ -573,6 +629,7 @@ fn client_main(args: &[String]) -> ExitCode {
             },
             "--ping" => requests.push("{\"op\":\"ping\"}".to_string()),
             "--stats" => requests.push("{\"op\":\"stats\"}".to_string()),
+            "--metrics" => requests.push("{\"op\":\"metrics\"}".to_string()),
             "--shutdown" => requests.push("{\"op\":\"shutdown\"}".to_string()),
             other => {
                 eprintln!("ompgpu client: unknown flag {other}");
@@ -641,6 +698,150 @@ fn client_main(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::from(worst)
+}
+
+// ---------------------------------------------------------------------
+// --telemetry support
+// ---------------------------------------------------------------------
+
+/// Turns the span tracer on for a `--telemetry PATH` invocation.
+fn telemetry_begin() {
+    omp_telemetry::clear_spans();
+    omp_telemetry::set_enabled(true);
+}
+
+/// Drains the tracer and writes the telemetry artifact: a Chrome
+/// trace-event envelope when `path` ends in `.trace.json` (load it in
+/// Perfetto or `chrome://tracing`), otherwise the `ompgpu-telemetry/v1`
+/// artifact bundling the spans with a metrics-registry snapshot.
+fn telemetry_write(path: &str, metrics: &omp_telemetry::MetricsRegistry) -> Result<(), String> {
+    omp_telemetry::set_enabled(false);
+    let spans = omp_telemetry::take_spans();
+    let text = if path.ends_with(".trace.json") {
+        omp_telemetry::chrome_trace(&spans)
+    } else {
+        omp_telemetry::telemetry_json(&spans, metrics)
+    };
+    debug_assert!(omp_json::validate(&text).is_ok());
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// ompgpu json-validate
+// ---------------------------------------------------------------------
+
+/// Shape check for schema-bearing artifacts beyond plain JSON syntax.
+fn check_artifact_shape(value: &omp_json::Value, schema: &str) -> Result<(), String> {
+    match schema {
+        "ompgpu-telemetry/v1" => {
+            if value
+                .get("spans")
+                .and_then(omp_json::Value::as_array)
+                .is_none()
+            {
+                return Err("telemetry artifact lacks a spans array".to_string());
+            }
+            let metrics = value
+                .get("metrics")
+                .ok_or_else(|| "telemetry artifact lacks a metrics object".to_string())?;
+            for section in ["counters", "gauges", "histograms"] {
+                if metrics
+                    .get(section)
+                    .and_then(omp_json::Value::as_object)
+                    .is_none()
+                {
+                    return Err(format!("telemetry metrics lack the {section} object"));
+                }
+            }
+            Ok(())
+        }
+        "ompgpu-access-log/v1" => {
+            for key in [
+                "ts_micros",
+                "op",
+                "ok",
+                "queue_micros",
+                "service_micros",
+                "bytes",
+            ] {
+                if value.get(key).is_none() {
+                    return Err(format!("access-log record lacks the {key} member"));
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Strict check of a JSON artifact (e.g. the committed
+/// BENCH_gpusim.json, a telemetry trace, or a serve access log) with
+/// the in-tree parser CI relies on. JSON-lines artifacts — one object
+/// per line, like the access log — are validated record by record.
+/// Known `schema` ids additionally get a shape check; unknown ids fail
+/// with exit code [`EXIT_SCHEMA`].
+fn json_validate_main(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ompgpu: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_BUILD);
+        }
+    };
+    let values: Vec<(usize, omp_json::Value)> = match omp_json::parse(&text) {
+        Ok(v) => vec![(0, v)],
+        Err(whole_file_err) => {
+            // Not a single document: accept JSON-lines (every non-empty
+            // line its own object), else report the whole-file error.
+            let mut records = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match omp_json::parse(line) {
+                    Ok(v) => records.push((i + 1, v)),
+                    Err(_) => {
+                        eprintln!("ompgpu: {path}: invalid JSON: {whole_file_err}");
+                        return ExitCode::from(EXIT_BUILD);
+                    }
+                }
+            }
+            if records.len() < 2 {
+                eprintln!("ompgpu: {path}: invalid JSON: {whole_file_err}");
+                return ExitCode::from(EXIT_BUILD);
+            }
+            records
+        }
+    };
+    let mut schemas: Vec<&str> = Vec::new();
+    for (line_no, value) in &values {
+        let at = if *line_no == 0 {
+            String::new()
+        } else {
+            format!(" (line {line_no})")
+        };
+        if let Some(schema) = value.get("schema").and_then(omp_json::Value::as_str) {
+            if !KNOWN_SCHEMAS.contains(&schema) {
+                eprintln!("ompgpu: {path}{at}: unknown schema id {schema:?}");
+                return ExitCode::from(EXIT_SCHEMA);
+            }
+            if let Err(e) = check_artifact_shape(value, schema) {
+                eprintln!("ompgpu: {path}{at}: {e}");
+                return ExitCode::from(EXIT_BUILD);
+            }
+            if !schemas.contains(&schema) {
+                schemas.push(schema);
+            }
+        }
+    }
+    match schemas.as_slice() {
+        [] => println!("{path}: valid JSON"),
+        s => println!("{path}: valid JSON ({})", s.join(", ")),
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_time_passes(report: Option<&OptReport>) {
@@ -975,28 +1176,7 @@ fn main() -> ExitCode {
         return client_main(&args[1..]);
     }
     if mode == "json-validate" {
-        // Strict syntax check of a JSON artifact (e.g. the committed
-        // BENCH_gpusim.json) with the in-tree parser CI relies on.
-        let Some(path) = args.get(1) else {
-            return usage();
-        };
-        let text = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("ompgpu: cannot read {path}: {e}");
-                return ExitCode::from(EXIT_BUILD);
-            }
-        };
-        return match omp_json::validate(&text) {
-            Ok(()) => {
-                println!("{path}: valid JSON");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("ompgpu: {path}: invalid JSON: {e}");
-                ExitCode::from(EXIT_BUILD)
-            }
-        };
+        return json_validate_main(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return usage();
@@ -1021,11 +1201,16 @@ fn main() -> ExitCode {
     let mut tier: Option<Tier> = None;
     let mut specs: Vec<ArgSpec> = Vec::new();
     let mut dump = 0usize;
+    let mut telemetry: Option<String> = None;
     let mut it = args.iter().skip(2);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => match it.next().and_then(|s| BuildConfig::from_cli_name(s)) {
                 Some(c) => config = c,
+                None => return usage(),
+            },
+            "--telemetry" => match it.next() {
+                Some(p) => telemetry = Some(p.clone()),
                 None => return usage(),
             },
             "--emit-ir" => emit_ir = true,
@@ -1053,6 +1238,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if telemetry.is_some() {
+        telemetry_begin();
+    }
     let (module, report) = match pipeline::build(&source, config) {
         Ok(x) => x,
         Err(e) => {
@@ -1093,6 +1281,16 @@ fn main() -> ExitCode {
                         k.exec_mode,
                         module.num_functions()
                     );
+                }
+            }
+            if let Some(tpath) = &telemetry {
+                let mut reg = omp_telemetry::MetricsRegistry::new();
+                if let Some(r) = &report {
+                    pipeline::record_pipeline_metrics(r, &mut reg);
+                }
+                if let Err(e) = telemetry_write(tpath, &reg) {
+                    eprintln!("ompgpu: {e}");
+                    return ExitCode::from(EXIT_BUILD);
                 }
             }
             ExitCode::SUCCESS
@@ -1164,6 +1362,17 @@ fn main() -> ExitCode {
                                     return ExitCode::from(EXIT_SIM);
                                 }
                             }
+                        }
+                    }
+                    if let Some(tpath) = &telemetry {
+                        let mut reg = omp_telemetry::MetricsRegistry::new();
+                        if let Some(r) = &report {
+                            pipeline::record_pipeline_metrics(r, &mut reg);
+                        }
+                        stats.snapshot().record_metrics(&mut reg);
+                        if let Err(e) = telemetry_write(tpath, &reg) {
+                            eprintln!("ompgpu: {e}");
+                            return ExitCode::from(EXIT_BUILD);
                         }
                     }
                     ExitCode::SUCCESS

@@ -40,6 +40,7 @@ impl std::error::Error for BuildError {}
 /// the same source can compile once per distinct option set, clone the
 /// module, and feed each clone to [`optimize`].
 pub fn compile_frontend(source: &str, config: BuildConfig) -> Result<Module, BuildError> {
+    let _span = omp_telemetry::span("frontend.compile", "pipeline");
     let fe = config.frontend_options("bench");
     omp_frontend::compile(source, &fe).map_err(BuildError::Compile)
 }
@@ -120,6 +121,7 @@ impl PassManager {
     /// time and `runs` accumulate, the before-shape keeps the first
     /// observation and the after-shape the last.
     fn record(&mut self, pass: &str, t0: Instant, before: ModuleShape, after: ModuleShape) {
+        omp_telemetry::record_completed(pass, "pass", t0);
         let nanos = t0.elapsed().as_nanos() as u64;
         match self.timings.iter_mut().find(|t| t.pass == pass) {
             Some(t) => {
@@ -328,6 +330,7 @@ pub fn optimize(
     mut module: Module,
     config: BuildConfig,
 ) -> Result<(Module, Option<OptReport>), BuildError> {
+    let _span = omp_telemetry::span_lazy("pipeline", || format!("optimize {}", config.cli_name()));
     let report = match config.opt_config() {
         Some(cfg) => Some(PassManager::new().run(&mut module, &cfg)),
         None => {
@@ -347,6 +350,31 @@ pub fn optimize(
 /// the optimizer's report (when the OpenMP pass ran).
 pub fn build(source: &str, config: BuildConfig) -> Result<(Module, Option<OptReport>), BuildError> {
     optimize(compile_frontend(source, config)?, config)
+}
+
+/// Folds an optimizer report into a metrics registry: per-pass run
+/// counts and IR deltas. Every recorded value is deterministic — wall
+/// time is deliberately excluded, so registries built from the same
+/// source and configuration are bit-identical across `--jobs` and
+/// tiers.
+pub fn record_pipeline_metrics(report: &OptReport, reg: &mut omp_telemetry::MetricsRegistry) {
+    for t in &report.pass_timings {
+        let p = &t.pass;
+        reg.counter_add(&format!("pipeline.pass.{p}.runs"), t.runs as u64);
+        reg.counter_add(
+            &format!("pipeline.pass.{p}.insts_removed"),
+            t.insts_before.saturating_sub(t.insts_after) as u64,
+        );
+        reg.counter_add(
+            &format!("pipeline.pass.{p}.insts_added"),
+            t.insts_after.saturating_sub(t.insts_before) as u64,
+        );
+        reg.counter_add(
+            &format!("pipeline.pass.{p}.blocks_removed"),
+            t.blocks_before.saturating_sub(t.blocks_after) as u64,
+        );
+    }
+    reg.counter_add("pipeline.remarks", report.remarks.len() as u64);
 }
 
 /// Result of running one proxy application under one configuration.

@@ -61,8 +61,8 @@ use std::time::Duration;
 pub const SCHEMA: &str = "ompgpu-serve/v1";
 
 /// Every request type the protocol accepts, in documentation order.
-pub const ALL_OPS: [&str; 8] = [
-    "ping", "compile", "run", "verify", "profile", "sanitize", "stats", "shutdown",
+pub const ALL_OPS: [&str; 9] = [
+    "ping", "compile", "run", "verify", "profile", "sanitize", "metrics", "stats", "shutdown",
 ];
 
 /// Exit-code semantics shared with the CLI: success / clean.
@@ -126,8 +126,10 @@ pub struct SessionStats {
     pub requests: u64,
     /// Requests that produced a non-zero exit code.
     pub errors: u64,
-    /// Per-op request counts, indexed like [`ALL_OPS`].
-    pub ops: [u64; ALL_OPS.len()],
+    /// Per-op request counts, keyed by the op's stable [`ALL_OPS`]
+    /// name (not positionally — the protocol gaining an op must never
+    /// silently re-index existing counters).
+    pub ops: std::collections::BTreeMap<&'static str, u64>,
     /// Executor batches drained (one batch per wake-up).
     pub batches: u64,
     /// Requests drained across all batches.
@@ -449,6 +451,13 @@ pub struct Session {
     graphs: HashMap<u64, omp_gpusim::CapturedGraph>,
     stats: SessionStats,
     trace: CacheTrace,
+    /// Live latency/batch-size histograms (wall clock — informational).
+    /// Deterministic counters are *not* stored here: the `metrics` op
+    /// derives them from [`SessionStats`] at render time so the two
+    /// expositions can never drift apart.
+    metrics: omp_telemetry::MetricsRegistry,
+    /// Opt-in JSON-lines access log, one record per request.
+    access_log: Option<std::io::BufWriter<std::fs::File>>,
 }
 
 impl Default for Session {
@@ -469,6 +478,8 @@ impl Session {
             graphs: HashMap::new(),
             stats: SessionStats::default(),
             trace: CacheTrace::default(),
+            metrics: omp_telemetry::MetricsRegistry::new(),
+            access_log: None,
         }
     }
 
@@ -477,10 +488,23 @@ impl Session {
         &self.stats
     }
 
+    /// Opens (appending) the JSON-lines access log at `path`; every
+    /// subsequent request writes one `ompgpu-access-log/v1` record.
+    pub fn set_access_log(&mut self, path: &Path) -> Result<(), String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open access log {}: {e}", path.display()))?;
+        self.access_log = Some(std::io::BufWriter::new(file));
+        Ok(())
+    }
+
     /// Records one executor batch of `n` requests.
     pub fn note_batch(&mut self, n: usize) {
         self.stats.batches += 1;
         self.stats.batched_requests += n as u64;
+        self.metrics.observe("serve.batch_size", n as u64);
     }
 
     // -- cache tiers --------------------------------------------------
@@ -600,6 +624,14 @@ impl Session {
     /// Handles one JSON-lines request, returning the serialized response
     /// envelope and whether this request shuts the session down.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        self.handle_line_timed(line, 0)
+    }
+
+    /// Like [`Session::handle_line`], with the request's executor-queue
+    /// wait (microseconds) supplied by the caller so it can be folded
+    /// into the latency histograms and the access log.
+    pub fn handle_line_timed(&mut self, line: &str, queue_micros: u64) -> (String, bool) {
+        let t0 = std::time::Instant::now();
         self.trace = CacheTrace::default();
         self.stats.requests += 1;
         let (id, op, outcome) = match omp_json::parse(line) {
@@ -615,9 +647,10 @@ impl Session {
                     e.into(),
                 ),
                 Ok(req) => {
-                    if let Some(i) = ALL_OPS.iter().position(|o| *o == req.op) {
-                        self.stats.ops[i] += 1;
+                    if let Some(name) = ALL_OPS.iter().find(|o| **o == req.op) {
+                        *self.stats.ops.entry(name).or_insert(0) += 1;
                     }
+                    let _span = omp_telemetry::span_lazy("serve", || format!("serve.{}", req.op));
                     let outcome = self.dispatch(&req);
                     (req.id, Some(req.op), outcome)
                 }
@@ -626,13 +659,83 @@ impl Session {
         if outcome.exit_code != EXIT_OK && outcome.result.is_none() {
             self.stats.errors += 1;
         }
+        let service_micros = t0.elapsed().as_micros() as u64;
+        self.metrics.observe("serve.queue_micros", queue_micros);
+        self.metrics.observe(
+            &match op.as_deref() {
+                Some(o) => format!("serve.service_micros.{o}"),
+                None => "serve.service_micros.invalid".to_string(),
+            },
+            service_micros,
+        );
         let shutdown = op.as_deref() == Some("shutdown") && outcome.exit_code == EXIT_OK;
-        (self.envelope(id, op.as_deref(), &outcome), shutdown)
+        let response = self.envelope(id, op.as_deref(), &outcome);
+        self.log_access(
+            id,
+            op.as_deref(),
+            &outcome,
+            queue_micros,
+            service_micros,
+            response.len(),
+        );
+        (response, shutdown)
+    }
+
+    /// Writes one access-log record, if the log is enabled.
+    fn log_access(
+        &mut self,
+        id: Option<u64>,
+        op: Option<&str>,
+        outcome: &Outcome,
+        queue_micros: u64,
+        service_micros: u64,
+        bytes: usize,
+    ) {
+        let Some(out) = self.access_log.as_mut() else {
+            return;
+        };
+        let ts_micros = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut w = JsonWriter::with_capacity(256);
+        w.begin_object();
+        w.key("schema").string(omp_telemetry::ACCESS_LOG_SCHEMA);
+        w.key("ts_micros").u64(ts_micros);
+        w.key("id");
+        match id {
+            Some(n) => {
+                w.u64(n);
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.key("op");
+        match op {
+            Some(o) => {
+                w.string(o);
+            }
+            None => {
+                w.null();
+            }
+        }
+        w.key("ok").bool(outcome.exit_code == EXIT_OK);
+        w.key("exit_code").u64(outcome.exit_code as u64);
+        w.key("cache");
+        self.trace.write_json(&mut w);
+        w.key("queue_micros").u64(queue_micros);
+        w.key("service_micros").u64(service_micros);
+        w.key("bytes").u64(bytes as u64);
+        w.end_object();
+        let _ = writeln!(out, "{}", w.finish());
+        let _ = out.flush();
     }
 
     fn dispatch(&mut self, req: &Request) -> Outcome {
         match req.op.as_str() {
             "ping" => Outcome::ok("{\"pong\":true}".to_string()),
+            "metrics" => Outcome::ok(self.render_metrics()),
             "stats" => Outcome::ok(self.render_stats()),
             "shutdown" => Outcome::ok("{\"shutting_down\":true}".to_string()),
             "compile" => self.op_compile(req),
@@ -1059,14 +1162,60 @@ impl Session {
         Outcome::ok_with_exit(exit, result)
     }
 
+    /// The current metrics registry: the live latency/batch-size
+    /// histograms plus every deterministic counter and gauge derived
+    /// from [`SessionStats`] at call time. Deriving (rather than
+    /// double-booking) keeps the `metrics` exposition consistent with
+    /// the `stats` op by construction.
+    pub fn metrics_registry(&self) -> omp_telemetry::MetricsRegistry {
+        let mut reg = self.metrics.clone();
+        reg.counter_add("serve.requests", self.stats.requests);
+        reg.counter_add("serve.errors", self.stats.errors);
+        for op in ALL_OPS {
+            reg.counter_add(
+                &format!("serve.ops.{op}"),
+                self.stats.ops.get(op).copied().unwrap_or(0),
+            );
+        }
+        for (tier, t) in [
+            ("frontend", self.stats.frontend),
+            ("optimized", self.stats.optimized),
+            ("device", self.stats.device),
+            ("graphs", self.stats.graphs),
+        ] {
+            reg.counter_add(&format!("serve.cache.{tier}.hits"), t.hits);
+            reg.counter_add(&format!("serve.cache.{tier}.misses"), t.misses);
+        }
+        reg.counter_add("serve.batches", self.stats.batches);
+        reg.counter_add("serve.batched_requests", self.stats.batched_requests);
+        reg.gauge_set("serve.device_entries", self.devices.len() as i64);
+        reg.gauge_set("serve.device_capacity", self.device_capacity as i64);
+        reg.gauge_set("serve.graph_entries", self.graphs.len() as i64);
+        reg
+    }
+
+    /// The `metrics` result payload: the Prometheus text exposition and
+    /// the JSON rendering of one registry snapshot.
+    fn render_metrics(&self) -> String {
+        let reg = self.metrics_registry();
+        let mut w = JsonWriter::with_capacity(2048);
+        w.begin_object();
+        w.key("prometheus").string(&reg.render_prometheus());
+        w.key("metrics");
+        reg.write_json(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
     fn render_stats(&self) -> String {
         let mut w = JsonWriter::with_capacity(512);
         w.begin_object();
         w.key("requests").u64(self.stats.requests);
         w.key("errors").u64(self.stats.errors);
         w.key("ops").begin_object();
-        for (name, count) in ALL_OPS.iter().zip(self.stats.ops.iter()) {
-            w.key(name).u64(*count);
+        for name in ALL_OPS {
+            w.key(name)
+                .u64(self.stats.ops.get(name).copied().unwrap_or(0));
         }
         w.end_object();
         w.key("cache").begin_object();
@@ -1197,6 +1346,20 @@ pub struct ServeJob {
     pub line: String,
     /// Reply channel for the serialized response envelope.
     pub reply: mpsc::Sender<String>,
+    /// When the job entered the queue; the executor derives the
+    /// queue-wait histogram and access-log field from it.
+    pub enqueued: std::time::Instant,
+}
+
+impl ServeJob {
+    /// A job stamped with the current time as its enqueue instant.
+    pub fn new(line: String, reply: mpsc::Sender<String>) -> ServeJob {
+        ServeJob {
+            line,
+            reply,
+            enqueued: std::time::Instant::now(),
+        }
+    }
 }
 
 /// Handle to a running executor. Cloneable across client threads; every
@@ -1211,10 +1374,7 @@ impl ExecutorHandle {
     /// synthesized usage-error envelope if the executor has shut down.
     pub fn request(&self, line: &str) -> String {
         let (reply_tx, reply_rx) = mpsc::channel();
-        let job = ServeJob {
-            line: line.to_string(),
-            reply: reply_tx,
-        };
+        let job = ServeJob::new(line.to_string(), reply_tx);
         if self.tx.send(job).is_ok() {
             if let Ok(resp) = reply_rx.recv() {
                 return resp;
@@ -1253,7 +1413,8 @@ pub fn spawn_executor(session: Session) -> (ExecutorHandle, std::thread::JoinHan
             session.note_batch(batch.len());
             let mut stop = false;
             for job in batch {
-                let (resp, shutdown) = session.handle_line(&job.line);
+                let queue_micros = job.enqueued.elapsed().as_micros() as u64;
+                let (resp, shutdown) = session.handle_line_timed(&job.line, queue_micros);
                 let _ = job.reply.send(resp);
                 stop = stop || shutdown;
             }
@@ -1492,6 +1653,190 @@ void scale(double* a, double f, long n) {
         // Post-shutdown requests fail gracefully.
         let resp = handle.request("{\"op\":\"ping\"}");
         assert!(resp.contains("session is shut down"));
+    }
+
+    /// Parse Prometheus text exposition into (plain samples, bucket samples).
+    ///
+    /// Plain samples map a metric name (including `_sum`/`_count` suffixes)
+    /// to its value; bucket samples map `(name, le)` to a cumulative count.
+    fn parse_prometheus(
+        text: &str,
+    ) -> (
+        std::collections::BTreeMap<String, u64>,
+        std::collections::BTreeMap<(String, String), u64>,
+    ) {
+        let mut plain = std::collections::BTreeMap::new();
+        let mut buckets = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
+            let value: u64 = value_part.parse().expect("sample value parses as u64");
+            if let Some(idx) = name_part.find('{') {
+                let name = &name_part[..idx];
+                let labels = name_part[idx..]
+                    .strip_prefix("{le=\"")
+                    .and_then(|s| s.strip_suffix("\"}"))
+                    .expect("only le labels are emitted");
+                assert!(name.ends_with("_bucket"), "labelled sample is a bucket");
+                buckets.insert((name.to_string(), labels.to_string()), value);
+            } else {
+                plain.insert(name_part.to_string(), value);
+            }
+        }
+        (plain, buckets)
+    }
+
+    #[test]
+    fn metrics_exposition_is_consistent() {
+        let mut s = Session::default();
+        request(&mut s, "{\"op\":\"ping\"}");
+        let line = format!("{{\"op\":\"run\",\"source\":{:?}}}", SRC);
+        request(&mut s, &line);
+        request(&mut s, &line);
+        request(&mut s, "{\"op\":\"nonsense\"}");
+        let resp = request(&mut s, "{\"op\":\"metrics\"}");
+        let result = resp.get("result").expect("metrics returns a result");
+        let prom = result
+            .get("prometheus")
+            .and_then(Value::as_str)
+            .expect("prometheus text rendering");
+        let json = result.get("metrics").expect("json rendering");
+
+        let (plain, buckets) = parse_prometheus(prom);
+
+        // Deterministic counters derived from SessionStats.
+        let counters = json
+            .get("counters")
+            .and_then(Value::as_object)
+            .expect("counters object");
+        assert!(!counters.is_empty());
+        for (name, value) in counters {
+            let v = value.as_u64().expect("counter is u64");
+            let sanitized = omp_telemetry::sanitize_metric_name(name);
+            assert_eq!(
+                plain.get(&sanitized).copied(),
+                Some(v),
+                "counter {name} must match between renderings"
+            );
+        }
+        assert_eq!(
+            counters
+                .iter()
+                .find(|(k, _)| k == "serve.requests")
+                .and_then(|(_, v)| v.as_u64()),
+            Some(5),
+            "metrics request counts itself"
+        );
+        assert_eq!(
+            counters
+                .iter()
+                .find(|(k, _)| k == "serve.ops.metrics")
+                .and_then(|(_, v)| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            counters
+                .iter()
+                .find(|(k, _)| k == "serve.errors")
+                .and_then(|(_, v)| v.as_u64()),
+            Some(1),
+            "the unknown op is the only error"
+        );
+
+        // Gauges appear in both renderings too.
+        for (name, value) in json.get("gauges").and_then(Value::as_object).unwrap() {
+            let v = value.as_i64().expect("gauge is i64");
+            let sanitized = omp_telemetry::sanitize_metric_name(name);
+            assert_eq!(plain.get(&sanitized).copied(), Some(v as u64));
+        }
+
+        // Histograms: _count/_sum and cumulative buckets must agree with the
+        // JSON rendering's non-cumulative, non-empty bucket map.
+        let histograms = json
+            .get("histograms")
+            .and_then(Value::as_object)
+            .expect("histograms object");
+        assert!(
+            histograms
+                .iter()
+                .any(|(k, _)| k == "serve.service_micros.run"),
+            "per-op latency histogram is exported"
+        );
+        for (name, h) in histograms {
+            let sanitized = omp_telemetry::sanitize_metric_name(name);
+            let count = h.get("count").and_then(Value::as_u64).unwrap();
+            let sum = h.get("sum").and_then(Value::as_u64).unwrap();
+            assert_eq!(
+                plain.get(&format!("{sanitized}_count")).copied(),
+                Some(count)
+            );
+            assert_eq!(plain.get(&format!("{sanitized}_sum")).copied(), Some(sum));
+            let bucket_name = format!("{sanitized}_bucket");
+            assert_eq!(
+                buckets
+                    .get(&(bucket_name.clone(), "+Inf".to_string()))
+                    .copied(),
+                Some(count),
+                "{name}: +Inf bucket is the total count"
+            );
+            // De-cumulate the finite text buckets and compare with JSON.
+            let mut finite: Vec<(u64, u64)> = buckets
+                .iter()
+                .filter(|((n, le), _)| n == &bucket_name && le != "+Inf")
+                .map(|((_, le), v)| (le.parse::<u64>().expect("finite bound"), *v))
+                .collect();
+            finite.sort_unstable();
+            let mut prev = 0u64;
+            let mut derived: Vec<(String, u64)> = Vec::new();
+            for (bound, cumulative) in finite {
+                let per_bucket = cumulative - prev;
+                prev = cumulative;
+                if per_bucket > 0 {
+                    derived.push((bound.to_string(), per_bucket));
+                }
+            }
+            let json_buckets: Vec<(String, u64)> = h
+                .get("buckets")
+                .and_then(Value::as_object)
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k != "inf")
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+                .collect();
+            assert_eq!(derived, json_buckets, "{name}: bucket counts must agree");
+        }
+    }
+
+    #[test]
+    fn access_log_writes_one_record_per_request() {
+        let path = std::env::temp_dir().join(format!(
+            "ompgpu_access_log_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut s = Session::default();
+        s.set_access_log(&path).expect("access log opens");
+        request(&mut s, "{\"op\":\"ping\",\"id\":7}");
+        let (resp, _) = s.handle_line("not json");
+        assert!(resp.contains("\"ok\":false"));
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2, "one record per request");
+        let first = omp_json::parse(lines[0]).expect("access-log line is valid JSON");
+        assert_eq!(
+            first.get("schema").and_then(Value::as_str),
+            Some(omp_telemetry::ACCESS_LOG_SCHEMA)
+        );
+        assert_eq!(first.get("id").and_then(Value::as_u64), Some(7));
+        assert_eq!(first.get("op").and_then(Value::as_str), Some("ping"));
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(first.get("bytes").and_then(Value::as_u64).unwrap() > 0);
+        let second = omp_json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(second.get("op").unwrap().as_str().is_none(), "op is null");
     }
 
     #[test]

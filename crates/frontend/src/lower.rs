@@ -61,7 +61,11 @@ type Result<T> = std::result::Result<T, CompileError>;
 
 /// Compiles source text to an IR module.
 pub fn compile(src: &str, opts: &FrontendOptions) -> Result<Module> {
-    let prog = parse_program(src)?;
+    let prog = {
+        let _span = omp_telemetry::span("frontend.parse", "frontend");
+        parse_program(src)?
+    };
+    let _span = omp_telemetry::span("frontend.lower", "frontend");
     lower_program(&prog, opts)
 }
 

@@ -82,7 +82,10 @@ impl<'m> Device<'m> {
         }
         // Tier-1 blocks pre-sum cycle charges from the device's cost
         // model, so plan construction takes it as an input.
-        let plan = ExecPlan::build_with_cost(module, &cost)?;
+        let plan = {
+            let _span = omp_telemetry::span("execplan.build", "gpusim");
+            ExecPlan::build_with_cost(module, &cost)?
+        };
         // Lay out shared-space globals at the base of each team's shared
         // memory and global-space globals at the base of global memory.
         let mut shared_off = 0u64;
@@ -335,6 +338,7 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<(KernelStats, Option<LaunchProfile>, Vec<Finding>), SimError> {
+        let _span = omp_telemetry::span_lazy("gpusim", || format!("launch {name}"));
         let kernel = self
             .module
             .kernels

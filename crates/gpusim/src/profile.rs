@@ -558,29 +558,17 @@ impl LaunchProfile {
     /// launch node. Timestamps are model cycles exposed through the
     /// format's microsecond field.
     pub fn chrome_trace(&self) -> String {
+        use omp_telemetry::trace::{instant_event, meta_event, span_event};
         let mut w = JsonWriter::with_capacity(4096);
         w.begin_object();
         w.key("displayTimeUnit").string("ms");
         w.key("traceEvents").begin_array();
-        let meta = |w: &mut JsonWriter, name: &str, tid: Option<u32>, value: &str| {
-            w.begin_object();
-            w.key("name").string(name);
-            w.key("ph").string("M");
-            w.key("pid").u32(0);
-            if let Some(tid) = tid {
-                w.key("tid").u32(tid);
-            }
-            w.key("args").begin_object();
-            w.key("name").string(value);
-            w.end_object();
-            w.end_object();
-        };
-        meta(&mut w, "process_name", None, "gpusim");
+        meta_event(&mut w, "process_name", None, "gpusim");
         let mut sms: Vec<u32> = self.teams.iter().map(|t| t.sm).collect();
         sms.sort_unstable();
         sms.dedup();
         for &sm in &sms {
-            meta(&mut w, "thread_name", Some(sm), &format!("SM {sm}"));
+            meta_event(&mut w, "thread_name", Some(sm), &format!("SM {sm}"));
         }
         // Plan/graph launches add one track per stream, placed above the
         // SM tid range so the two families never collide.
@@ -589,26 +577,15 @@ impl LaunchProfile {
         stream_ids.sort_unstable();
         stream_ids.dedup();
         for &sid in &stream_ids {
-            meta(
+            meta_event(
                 &mut w,
                 "thread_name",
                 Some(stream_base + sid),
                 &format!("stream {sid}"),
             );
         }
-        let span = |w: &mut JsonWriter, name: &str, cat: &str, tid: u32, start: u64, end: u64| {
-            w.begin_object();
-            w.key("name").string(name);
-            w.key("cat").string(cat);
-            w.key("ph").string("X");
-            w.key("pid").u32(0);
-            w.key("tid").u32(tid);
-            w.key("ts").u64(start);
-            w.key("dur").u64(end.saturating_sub(start));
-            w.end_object();
-        };
         for t in &self.teams {
-            span(
+            span_event(
                 &mut w,
                 &format!("team {}", t.team),
                 "team",
@@ -617,36 +594,17 @@ impl LaunchProfile {
                 t.end,
             );
             for r in &t.regions {
-                span(&mut w, &r.func, "parallel", t.sm, r.start, r.end);
+                span_event(&mut w, &r.func, "parallel", t.sm, r.start, r.end);
             }
             for &b in &t.barriers {
-                w.begin_object();
-                w.key("name").string("barrier");
-                w.key("cat").string("sync");
-                w.key("ph").string("i");
-                w.key("s").string("t");
-                w.key("pid").u32(0);
-                w.key("tid").u32(t.sm);
-                w.key("ts").u64(b);
-                w.end_object();
+                instant_event(&mut w, "barrier", "sync", t.sm, b, None);
             }
             for &(c, bytes) in &t.allocs {
-                w.begin_object();
-                w.key("name").string("globalization_alloc");
-                w.key("cat").string("alloc");
-                w.key("ph").string("i");
-                w.key("s").string("t");
-                w.key("pid").u32(0);
-                w.key("tid").u32(t.sm);
-                w.key("ts").u64(c);
-                w.key("args").begin_object();
-                w.key("bytes").u64(bytes);
-                w.end_object();
-                w.end_object();
+                instant_event(&mut w, "globalization_alloc", "alloc", t.sm, c, Some(bytes));
             }
         }
         for s in &self.streams {
-            span(
+            span_event(
                 &mut w,
                 &s.label,
                 "stream",

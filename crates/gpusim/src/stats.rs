@@ -97,6 +97,26 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Folds this launch into a [`omp_telemetry::MetricsRegistry`]:
+    /// per-tier launch counts, instruction/memory/barrier counters, the
+    /// deopt (unfused-step) counter, and a histogram of kernel model
+    /// cycles. Every input is deterministic, so identical launches
+    /// produce bit-identical registries; the `sim.launches.<tier>` and
+    /// `sim.deopt_steps` entries are tier-*dependent* (like the
+    /// superinstruction counters they derive from) and must be
+    /// normalized before cross-tier comparison.
+    pub fn record_metrics(&self, reg: &mut omp_telemetry::MetricsRegistry) {
+        reg.counter_add("sim.launches", 1);
+        reg.counter_add(&format!("sim.launches.{}", self.tier.as_str()), 1);
+        reg.counter_add("sim.instructions", self.instructions);
+        reg.counter_add("sim.memory_accesses", self.memory_accesses);
+        reg.counter_add("sim.barriers", self.barriers);
+        reg.counter_add("sim.parallel_regions", self.parallel_regions);
+        reg.counter_add("sim.globalization_allocs", self.globalization_allocs);
+        reg.counter_add("sim.deopt_steps", self.superinstructions[3]);
+        reg.observe("sim.kernel_cycles", self.cycles);
+    }
+
     /// Serializes to one flat JSON object with stable field order.
     pub fn to_json(&self) -> String {
         let mut w = omp_json::JsonWriter::with_capacity(256);

@@ -414,6 +414,7 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<LaunchPlan, SimError> {
+        let _span = omp_telemetry::span_lazy("gpusim", || format!("plan.resolve {name}"));
         let mut kernels: Vec<&omp_ir::KernelInfo> = self
             .module
             .kernels
@@ -527,6 +528,7 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         dims: LaunchDims,
     ) -> Result<CapturedGraph, SimError> {
+        let _span = omp_telemetry::span_lazy("gpusim", || format!("graph.capture {name}"));
         let plan = self.resolve_plan(name, args, dims)?;
         for node in &plan.nodes {
             self.register_estimate(node.kfunc);
@@ -579,6 +581,14 @@ impl<'m> Device<'m> {
         args: &[RtVal],
         pooled: bool,
     ) -> Result<(KernelStats, Option<LaunchProfile>, Vec<Finding>), SimError> {
+        let _span = omp_telemetry::span(
+            if pooled {
+                "graph.replay"
+            } else {
+                "plan.execute"
+            },
+            "gpusim",
+        );
         let track_writes = self.cfg.sanitize != SanitizeMode::Off;
         let num_sms = self.cfg.num_sms;
         let mut registers = 0u32;

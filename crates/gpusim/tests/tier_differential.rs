@@ -448,6 +448,38 @@ fn plans_and_replays_are_tier_and_jobs_invariant() {
     }
 }
 
+/// Every telemetry metric derived from a launch — counters and
+/// histogram bucket counts alike — must be bit-identical across tiers,
+/// worker counts, and the eager-vs-replay axis. Wall clock never
+/// enters the registry; model cycles do, and they are deterministic.
+#[test]
+fn telemetry_metrics_are_tier_and_jobs_invariant() {
+    let m = build(PIPELINE_SRC);
+    let registry_of = |tier, jobs, replay| {
+        let (_, stats) = run_pipeline(&m, tier, jobs, replay);
+        let mut reg = omp_telemetry::MetricsRegistry::new();
+        stats.record_metrics(&mut reg);
+        reg
+    };
+    let reference = registry_of(Tier::Interp, 1, false);
+    assert!(!reference.is_empty());
+    for tier in [Tier::Interp, Tier::Compiled] {
+        for jobs in [1, 4] {
+            for replay in [false, true] {
+                let reg = registry_of(tier, jobs, replay);
+                assert_eq!(
+                    reg, reference,
+                    "metric divergence: tier={tier:?} jobs={jobs} replay={replay}"
+                );
+                // The renderings are pure functions of the registry,
+                // so they must be byte-identical too.
+                assert_eq!(reg.render_json(), reference.render_json());
+                assert_eq!(reg.render_prometheus(), reference.render_prometheus());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
     /// Fuzz the host-parallelism and replay axes: any (jobs, replay)

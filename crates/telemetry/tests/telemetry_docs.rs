@@ -1,0 +1,70 @@
+//! Doc-drift guard for `docs/TELEMETRY.md`: the exposition examples on
+//! that page must be the *verbatim* output of
+//! [`omp_telemetry::example_registry`]'s renderers, byte for byte, so
+//! the documented wire format can never silently diverge from the
+//! code. Mirrors the approach `crates/core/tests/serve_docs.rs` takes
+//! for the serve protocol page.
+
+const DOC: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../docs/TELEMETRY.md"
+));
+
+/// Extracts the bodies of all fenced code blocks with the given info
+/// string (e.g. `text` or `json`), in document order.
+fn fenced_blocks(doc: &str, info: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        match &mut current {
+            Some(body) => {
+                if line.trim_end() == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+            None => {
+                if line.trim_end() == format!("```{info}") {
+                    current = Some(String::new());
+                }
+            }
+        }
+    }
+    blocks
+}
+
+#[test]
+fn prometheus_example_is_byte_identical() {
+    let rendered = omp_telemetry::example_registry().render_prometheus();
+    let blocks = fenced_blocks(DOC, "text");
+    assert!(
+        blocks.contains(&rendered),
+        "docs/TELEMETRY.md has no ```text block matching \
+         example_registry().render_prometheus() — regenerate the page.\n\
+         expected:\n{rendered}"
+    );
+}
+
+#[test]
+fn json_example_is_byte_identical() {
+    let rendered = omp_telemetry::example_registry().render_json();
+    let blocks = fenced_blocks(DOC, "json");
+    assert!(
+        blocks.iter().any(|b| b.trim_end() == rendered.trim_end()),
+        "docs/TELEMETRY.md has no ```json block matching \
+         example_registry().render_json() — regenerate the page.\n\
+         expected:\n{rendered}"
+    );
+}
+
+#[test]
+fn doc_names_both_schemas_and_the_schema_exit_code() {
+    assert!(DOC.contains(omp_telemetry::TELEMETRY_SCHEMA));
+    assert!(DOC.contains(omp_telemetry::ACCESS_LOG_SCHEMA));
+    assert!(
+        DOC.contains('6'),
+        "the unknown-schema exit code must be documented"
+    );
+}

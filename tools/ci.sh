@@ -12,9 +12,11 @@
 # but is not part of the gating `all` run. The `smoke` stage runs
 # `ompgpu profile` on one proxy and validates the emitted Chrome trace,
 # runs the device sanitizer over a proxy's full config matrix and the
-# fault-injection self-test, and round-trips the `ompgpu serve` daemon
+# fault-injection self-test, round-trips the `ompgpu serve` daemon
 # (two client passes over a Unix socket: the second must hit the warm
-# caches, shutdown must be clean); it IS part of `all`.
+# caches, shutdown must be clean), and checks the telemetry surface
+# (metrics op, access log, --telemetry artifact, unknown-schema exit
+# code); it IS part of `all`.
 
 set -eu
 
@@ -120,6 +122,21 @@ run_bench() {
             "execution (see the graphs section of BENCH_gpusim.json)" >&2
     fi
 
+    # Non-gating: the span tracer must stay near-free when enabled. A
+    # "ratio" key also lives under profile_overhead, so scope the
+    # extraction to the telemetry_overhead object.
+    telemetry_ratio=$(sed -n '/"telemetry_overhead"/,/}/ s/.*"ratio": \([0-9.]*\).*/\1/p' \
+        BENCH_gpusim.json | head -n 1)
+    if [ -n "$telemetry_ratio" ]; then
+        costly=$(awk "BEGIN { print ($telemetry_ratio > 1.03) ? 1 : 0 }")
+        if [ "$costly" = "1" ]; then
+            echo "WARNING: telemetry-on verify overhead ratio" \
+                "${telemetry_ratio} exceeds the 1.03 budget" >&2
+        else
+            echo "telemetry: verify overhead ratio ${telemetry_ratio}"
+        fi
+    fi
+
     echo "==> bench_serve (informational, patches the serve section)"
     cargo run --release -q -p omp-bench --bin bench_serve --offline -- \
         --out BENCH_gpusim.json
@@ -187,7 +204,9 @@ void scale(double* a, double f, long n) {
   for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
 }
 EOF
-    "$ompgpu_bin" serve --socket "$serve_sock" 2> /dev/null &
+    access_log="$serve_dir/access.jsonl"
+    "$ompgpu_bin" serve --socket "$serve_sock" --access-log "$access_log" \
+        2> /dev/null &
     serve_pid=$!
     trap 'rm -f "$trace"; kill "$serve_pid" 2> /dev/null; rm -rf "$serve_dir"' EXIT
     i=0
@@ -214,6 +233,14 @@ EOF
         echo "smoke: serve stats report no cache hits" >&2
         exit 1
     }
+    # The metrics op must expose Prometheus text including the per-op
+    # service-time histograms (docs/TELEMETRY.md has the catalog).
+    "$ompgpu_bin" client --socket "$serve_sock" --metrics | \
+        grep -q 'serve_service_micros_run_bucket' || {
+        echo "smoke: metrics op lacks per-op latency histograms" >&2
+        exit 1
+    }
+    echo "smoke: metrics exposition OK"
     # Taskgraph round-trip: a multi-kernel async pipeline goes through
     # the captured-graph cache — the cold pass captures (miss), the
     # warm pass replays (hit).
@@ -257,9 +284,38 @@ EOF
         echo "smoke: serve socket file survived shutdown" >&2
         exit 1
     }
+    echo "smoke: serve round-trip OK (warm hits, clean shutdown)"
+
+    echo "==> ompgpu telemetry smoke (access log + artifacts + exit codes)"
+    # The access log must have one JSON record per request and validate
+    # as an ompgpu-access-log/v1 artifact (JSON-lines).
+    [ -s "$access_log" ] || { echo "smoke: access log missing/empty" >&2; exit 1; }
+    "$ompgpu_bin" json-validate "$access_log" | \
+        grep -q 'ompgpu-access-log/v1' || {
+        echo "smoke: access log did not validate" >&2
+        exit 1
+    }
+    echo "smoke: access log OK ($(wc -l < "$access_log") records)"
+    # run --telemetry writes an ompgpu-telemetry/v1 artifact.
+    tele="$serve_dir/telemetry.json"
+    "$ompgpu_bin" run "$serve_src" --kernel scale --teams 2 --threads 8 \
+        --arg buf:f64:32:iota --arg f64:3.0 --arg i64:32 \
+        --telemetry "$tele" > /dev/null 2> /dev/null
+    "$ompgpu_bin" json-validate "$tele" | grep -q 'ompgpu-telemetry/v1' || {
+        echo "smoke: telemetry artifact did not validate" >&2
+        exit 1
+    }
+    # Unknown schema ids must fail with the distinct exit code 6.
+    printf '{"schema":"bogus/v0"}\n' > "$serve_dir/bogus.json"
+    schema_rc=0
+    "$ompgpu_bin" json-validate "$serve_dir/bogus.json" 2> /dev/null || schema_rc=$?
+    [ "$schema_rc" -eq 6 ] || {
+        echo "smoke: unknown schema id exited $schema_rc, want 6" >&2
+        exit 1
+    }
     rm -rf "$serve_dir"
     trap 'rm -f "$trace"' EXIT
-    echo "smoke: serve round-trip OK (warm hits, clean shutdown)"
+    echo "smoke: telemetry OK (artifact, access log, unknown-schema exit 6)"
 }
 
 case "$stage" in
