@@ -20,7 +20,9 @@
 //!                [--config CFG | --all-configs] [--scale small|bench]
 //!                [--jobs N] [--max-insts N] [--json]
 //! ompgpu serve   --socket PATH [--device-cache N] [--access-log PATH]
-//! ompgpu client  --socket PATH [--ping] [--stats] [--metrics] [--shutdown]
+//!                [--queue N] [--deadline-ms N]
+//! ompgpu client  --socket PATH [--retries N] [--ping] [--stats] [--metrics]
+//!                [--shutdown]
 //! ```
 //!
 //! Buffer arguments are device allocations initialized per the optional
@@ -143,9 +145,10 @@ fn usage() -> ExitCode {
          ompgpu sanitize <file.c> | --proxy NAME | --self-test\n             \
          [--config CFG | --all-configs] [--scale small|bench]\n             \
          [--jobs N] [--max-insts N] [--json]\n  \
-         ompgpu serve --socket PATH [--device-cache N] [--access-log PATH]\n  \
-         ompgpu client --socket PATH [--ping] [--stats] [--metrics] [--shutdown]\n             \
-         (no request flags: forward JSON-lines requests from stdin)\n  \
+         ompgpu serve --socket PATH [--device-cache N] [--access-log PATH]\n             \
+         [--queue N] [--deadline-ms N]\n  \
+         ompgpu client --socket PATH [--retries N] [--ping] [--stats] [--metrics]\n             \
+         [--shutdown] (no request flags: forward JSON-lines requests from stdin)\n  \
          ompgpu json-validate <file.json>\n\n\
          CFG:  llvm12 | noopt | h2s2 | h2s2rtc | h2s2rtccsm | dev (default) | cuda\n\
          SPEC: buf:f64:LEN[:init] | buf:i64:LEN[:init] | i64:V | i32:V | f64:V\n      \
@@ -159,7 +162,8 @@ fn usage() -> ExitCode {
          --telemetry FILE: write spans + metrics as ompgpu-telemetry/v1\n      \
          (or a Chrome trace when FILE ends in .trace.json)\n\n\
          exit codes: 0 ok/clean, 1 compile/IO, 2 usage, 3 simulation,\n      \
-         4 oracle divergence, 5 sanitizer findings, 6 unknown schema id"
+         4 oracle divergence, 5 sanitizer findings, 6 unknown schema id,\n      \
+         7 deadline exceeded, 8 overloaded (retry), 9 isolated panic"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -570,10 +574,30 @@ fn sanitize_self_test(jobs: Option<u32>) -> ExitCode {
 // ompgpu serve / client
 // ---------------------------------------------------------------------
 
+/// Prints a structured (envelope-shaped) startup error on stdout and a
+/// human-readable line on stderr, then exits with `EXIT_USAGE`. Startup
+/// failures are machine-readable the same way request failures are.
+fn serve_startup_error(message: &str) -> ExitCode {
+    let mut w = omp_json::JsonWriter::with_capacity(192);
+    w.begin_object();
+    w.key("schema").string(serve::SCHEMA);
+    w.key("ok").bool(false);
+    w.key("exit_code").u64(EXIT_USAGE as u64);
+    w.key("error").begin_object();
+    w.key("message").string(message);
+    w.end_object();
+    w.end_object();
+    println!("{}", w.finish());
+    eprintln!("ompgpu serve: {message}");
+    ExitCode::from(EXIT_USAGE)
+}
+
 fn serve_main(args: &[String]) -> ExitCode {
     let mut socket: Option<String> = None;
     let mut device_cache = serve::DEFAULT_DEVICE_CAPACITY;
     let mut access_log: Option<String> = None;
+    let mut queue: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -589,6 +613,14 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(p) => access_log = Some(p.clone()),
                 None => return usage(),
             },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => queue = Some(n),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => deadline_ms = Some(n),
+                None => return usage(),
+            },
             other => {
                 eprintln!("ompgpu serve: unknown flag {other}");
                 return usage();
@@ -599,7 +631,16 @@ fn serve_main(args: &[String]) -> ExitCode {
         eprintln!("ompgpu serve: --socket PATH is required");
         return usage();
     };
-    let mut session = serve::Session::new(device_cache);
+    let mut session = match serve::Session::try_new(device_cache) {
+        Ok(s) => s,
+        Err(e) => return serve_startup_error(&e),
+    };
+    if let Some(n) = queue {
+        session.set_queue_capacity(n);
+    }
+    if let Some(ms) = deadline_ms {
+        session.set_default_deadline_ms(ms);
+    }
     if let Some(path) = &access_log {
         if let Err(e) = session.set_access_log(std::path::Path::new(path)) {
             eprintln!("ompgpu serve: {e}");
@@ -620,11 +661,16 @@ fn client_main(args: &[String]) -> ExitCode {
     use std::os::unix::net::UnixStream;
     let mut socket: Option<String> = None;
     let mut requests: Vec<String> = Vec::new();
+    let mut retries: u32 = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => match it.next() {
                 Some(p) => socket = Some(p.clone()),
+                None => return usage(),
+            },
+            "--retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => retries = n,
                 None => return usage(),
             },
             "--ping" => requests.push("{\"op\":\"ping\"}".to_string()),
@@ -673,23 +719,47 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut writer = stream;
     let mut worst: u8 = 0;
     for req in &requests {
-        if writer
-            .write_all(req.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            eprintln!("ompgpu client: connection closed while sending");
-            return ExitCode::from(EXIT_SIM);
-        }
-        let mut resp = String::new();
-        match reader.read_line(&mut resp) {
-            Ok(0) | Err(_) => {
-                eprintln!("ompgpu client: connection closed before a response arrived");
+        // A response with the overload exit code is retried (when
+        // --retries allows) with capped exponential backoff seeded by
+        // the server's retry_after_ms hint; only the final response of
+        // a request is printed.
+        let mut attempt: u32 = 0;
+        let resp = loop {
+            if writer
+                .write_all(req.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                eprintln!("ompgpu client: connection closed while sending");
                 return ExitCode::from(EXIT_SIM);
             }
-            Ok(_) => {}
-        }
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => {
+                    eprintln!("ompgpu client: connection closed before a response arrived");
+                    return ExitCode::from(EXIT_SIM);
+                }
+                Ok(_) => {}
+            }
+            let parsed = omp_json::parse(resp.trim_end()).ok();
+            let code = parsed
+                .as_ref()
+                .and_then(|v| v.get("exit_code"))
+                .and_then(omp_json::Value::as_u64);
+            if code != Some(serve::EXIT_OVERLOAD as u64) || attempt >= retries {
+                break resp;
+            }
+            let base = parsed
+                .as_ref()
+                .and_then(|v| v.get("error"))
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(omp_json::Value::as_u64)
+                .unwrap_or(serve::RETRY_AFTER_MS);
+            let backoff = (base << attempt.min(5)).min(1_000);
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+            attempt += 1;
+        };
         print!("{resp}");
         if let Ok(v) = omp_json::parse(resp.trim_end()) {
             if let Some(code) = v.get("exit_code").and_then(omp_json::Value::as_u64) {

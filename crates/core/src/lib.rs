@@ -52,5 +52,6 @@ pub use pipeline::{
     SanitizeOutcome,
 };
 pub use serve::{
-    serve_unix, spawn_executor, ExecutorHandle, ServeJob, Session, SessionStats, TierStats,
+    serve_unix, spawn_executor, ExecShared, ExecutorHandle, ServeJob, Session, SessionStats,
+    TierStats,
 };

@@ -53,7 +53,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -77,9 +77,39 @@ pub const EXIT_SIM: u8 = 3;
 pub const EXIT_DIVERGED: u8 = 4;
 /// Error-severity sanitizer findings.
 pub const EXIT_FINDINGS: u8 = 5;
+// 6 is `ompgpu json-validate`'s unknown-schema exit; serve never
+// produces it, so the serve-specific codes start at 7.
+/// The request's deadline (`deadline_ms`) expired before or during
+/// execution.
+pub const EXIT_TIMEOUT: u8 = 7;
+/// Admission control shed the request (executor queue full); retry
+/// after the `retry_after_ms` hint in the error object.
+pub const EXIT_OVERLOAD: u8 = 8;
+/// Request execution panicked. The panic is isolated: the session rolls
+/// back the request's cache insertions and stays usable.
+pub const EXIT_INTERNAL: u8 = 9;
 
 /// Default per-launch wall-clock watchdog, in seconds.
 const DEFAULT_WATCHDOG_SECS: u64 = 60;
+
+/// Default server-side request deadline (queue wait plus execution) in
+/// milliseconds, applied when a request carries no `deadline_ms` field.
+/// `0` disables the default.
+pub const DEFAULT_DEADLINE_MS: u64 = 300_000;
+
+/// Default bound on the executor's admission queue. A request arriving
+/// while the queue holds this many is shed with [`EXIT_OVERLOAD`]
+/// instead of waiting unboundedly.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// Backoff hint carried by a shed response (`error.retry_after_ms`) and
+/// the base delay of [`ExecutorHandle::request_with_retry`].
+pub const RETRY_AFTER_MS: u64 = 25;
+
+/// Upper bound on one request frame (a single JSON line), in bytes.
+/// Longer frames are answered with a structured usage error instead of
+/// being buffered without bound.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
 
 /// Default capacity of the warm-device LRU: enough to keep the whole
 /// six-configuration ablation matrix of one subject warm, plus slack.
@@ -134,6 +164,12 @@ pub struct SessionStats {
     pub batches: u64,
     /// Requests drained across all batches.
     pub batched_requests: u64,
+    /// Requests that exceeded their deadline, whether while queued or
+    /// mid-execution (exit code [`EXIT_TIMEOUT`]).
+    pub timeouts: u64,
+    /// Requests whose execution panicked; the panic was isolated and
+    /// the session kept running (exit code [`EXIT_INTERNAL`]).
+    pub panics: u64,
 }
 
 impl SessionStats {
@@ -142,6 +178,24 @@ impl SessionStats {
     pub fn total_hits(&self) -> u64 {
         self.frontend.hits + self.optimized.hits + self.device.hits + self.graphs.hits
     }
+}
+
+/// Accounting shared between the executor thread, its handles, and the
+/// connection threads. Shedding and client retries happen *outside* the
+/// session (a shed request never reaches it), so they live in atomics
+/// here and are folded into the `stats`/`metrics` renderings at read
+/// time.
+#[derive(Debug, Default)]
+pub struct ExecShared {
+    /// Requests shed by admission control (executor queue full).
+    pub shed: AtomicU64,
+    /// Retries performed by [`ExecutorHandle::request_with_retry`]
+    /// after shed submissions.
+    pub retries: AtomicU64,
+    /// Set once the executor has processed a `shutdown` request (or
+    /// exited for any reason); connection threads poll this instead of
+    /// re-parsing every response JSON on the hot path.
+    pub shutdown: AtomicBool,
 }
 
 /// Per-request cache accounting, rendered into the response envelope.
@@ -194,6 +248,57 @@ struct OptimizedEntry {
 // Requests
 // ---------------------------------------------------------------------
 
+/// A serve-pipeline stage boundary that fault injection can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeStage {
+    /// Source parsing + lowering (the frontend cache tier).
+    Frontend,
+    /// The optimizer pipeline (the optimized cache tier).
+    Optimize,
+    /// Device construction / plan decode (the device cache tier).
+    Device,
+    /// Kernel launch on the armed device.
+    Launch,
+    /// Captured-graph replay (multi-kernel runs only).
+    Replay,
+}
+
+impl ServeStage {
+    const ALL: [ServeStage; 5] = [
+        ServeStage::Frontend,
+        ServeStage::Optimize,
+        ServeStage::Device,
+        ServeStage::Launch,
+        ServeStage::Replay,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            ServeStage::Frontend => "frontend",
+            ServeStage::Optimize => "optimize",
+            ServeStage::Device => "device",
+            ServeStage::Launch => "launch",
+            ServeStage::Replay => "replay",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ServeStage> {
+        ServeStage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+/// A seeded serve-layer fault, parsed from a request's `"fault"` object:
+/// the stage boundary to fail at, and whether to fail by returning a
+/// structured error or by panicking (to exercise panic isolation). The
+/// `launch` stage in error mode is injected through the simulator's own
+/// [`FaultPlan`], so the fault crosses the serve/device boundary the way
+/// a real device fault would.
+#[derive(Debug, Clone, Copy)]
+struct ServeFault {
+    stage: ServeStage,
+    panic: bool,
+}
+
 /// One decoded request. Field meanings are per-op; see `docs/SERVE.md`.
 struct Request {
     id: Option<u64>,
@@ -212,6 +317,11 @@ struct Request {
     watchdog_secs: u64,
     max_insts: Option<u64>,
     dump: usize,
+    /// Total request budget (queue wait + execution) in milliseconds;
+    /// `None` falls back to the session default.
+    deadline_ms: Option<u64>,
+    /// Seeded serve-layer fault (chaos testing only).
+    fault: Option<ServeFault>,
 }
 
 /// A request failure before dispatch: `(exit_code, message)`.
@@ -306,6 +416,34 @@ impl Request {
                 ))
             }
         };
+        let fault = match v.get("fault") {
+            None | Some(Value::Null) => None,
+            Some(f) => {
+                let stage_name = field_str(f, "stage")?.ok_or_else(|| {
+                    RequestError(EXIT_USAGE, "\"fault\" needs a \"stage\" field".into())
+                })?;
+                let stage = ServeStage::parse(stage_name).ok_or_else(|| {
+                    RequestError(
+                        EXIT_USAGE,
+                        format!(
+                            "unknown fault stage {stage_name:?} (known: {})",
+                            ServeStage::ALL.map(ServeStage::name).join(", ")
+                        ),
+                    )
+                })?;
+                let panic = match field_str(f, "mode")? {
+                    None | Some("error") => false,
+                    Some("panic") => true,
+                    Some(m) => {
+                        return Err(RequestError(
+                            EXIT_USAGE,
+                            format!("unknown fault mode {m:?} (known: error, panic)"),
+                        ))
+                    }
+                };
+                Some(ServeFault { stage, panic })
+            }
+        };
         Ok(Request {
             id,
             op,
@@ -324,6 +462,8 @@ impl Request {
             watchdog_secs: field_u64(v, "watchdog_secs")?.unwrap_or(DEFAULT_WATCHDOG_SECS),
             max_insts: field_u64(v, "max_insts")?,
             dump: field_u64(v, "dump")?.unwrap_or(0) as usize,
+            deadline_ms: field_u64(v, "deadline_ms")?,
+            fault,
         })
     }
 
@@ -399,6 +539,10 @@ struct Knobs {
     max_insts: Option<u64>,
     profile: bool,
     sanitize: bool,
+    /// Arm the simulator's own [`FaultPlan`] (trap at instruction 0):
+    /// set for error-mode `launch`-stage fault injection so the fault
+    /// crosses the serve/device boundary through the real machinery.
+    launch_fault: bool,
 }
 
 impl Knobs {
@@ -409,30 +553,61 @@ impl Knobs {
             max_insts: req.max_insts,
             profile: req.op == "profile",
             sanitize: req.op == "sanitize",
+            launch_fault: matches!(
+                req.fault,
+                Some(ServeFault {
+                    stage: ServeStage::Launch,
+                    panic: false,
+                })
+            ),
         }
     }
 }
 
-/// The per-thread instruction budget a freshly constructed device gets:
-/// the `OMPGPU_MAX_INSTS` override, else the config default. Warm
-/// devices are re-armed with this so they match cold ones.
-fn default_max_insts() -> u64 {
-    std::env::var("OMPGPU_MAX_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(omp_gpusim::DeviceConfig::default().max_insts_per_thread)
+/// Strictly parses an `OMPGPU_MAX_INSTS` value: the per-thread
+/// instruction budget freshly constructed (and re-armed warm) devices
+/// get.
+fn parse_max_insts(v: &str) -> Result<u64, String> {
+    v.parse().map_err(|_| {
+        format!("invalid OMPGPU_MAX_INSTS {v:?}: expected a non-negative integer budget")
+    })
 }
 
-/// The execution tier freshly constructed devices request: the
-/// `OMPGPU_TIER` override, else the config default (`compiled`).
-/// Observability knobs (`profile`, `sanitize`) still force individual
-/// launches onto the interpreter; per-launch stats record the tier that
-/// actually ran.
-fn default_tier() -> omp_gpusim::Tier {
-    std::env::var("OMPGPU_TIER")
-        .ok()
-        .and_then(|v| omp_gpusim::Tier::parse(&v))
-        .unwrap_or(omp_gpusim::DeviceConfig::default().tier)
+/// Strictly parses an `OMPGPU_TIER` value.
+fn parse_tier(v: &str) -> Result<omp_gpusim::Tier, String> {
+    omp_gpusim::Tier::parse(v)
+        .ok_or_else(|| format!("invalid OMPGPU_TIER {v:?}: expected \"interp\" or \"compiled\""))
+}
+
+/// Resolves one `OMPGPU_*` override at session construction: absent
+/// means the built-in default; present-but-invalid is a hard error (it
+/// must never be silently swallowed into the default).
+fn env_override<T>(
+    name: &str,
+    default: T,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<T, String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("invalid {name}: not valid UTF-8")),
+        Ok(v) => parse(&v),
+    }
+}
+
+/// The in-flight request's cache-mutation journal: the keys it inserted
+/// into each tier plus every device it touched. A failed request's
+/// insertions are rolled back so no failure can populate a cache tier,
+/// and a panicking or timed-out request's devices are quarantined
+/// (dropped from the LRU, rebuilt cold on next use) so a possibly
+/// inconsistent warm image can never answer a later request.
+#[derive(Default)]
+struct Journal {
+    frontend: Vec<u64>,
+    optimized: Vec<u64>,
+    devices: Vec<u64>,
+    graphs: Vec<u64>,
+    /// Device-tier keys this request armed or built (hit or miss).
+    touched_devices: Vec<u64>,
 }
 
 /// A long-lived compile-service session: the three artifact cache tiers
@@ -458,6 +633,24 @@ pub struct Session {
     metrics: omp_telemetry::MetricsRegistry,
     /// Opt-in JSON-lines access log, one record per request.
     access_log: Option<std::io::BufWriter<std::fs::File>>,
+    /// Shed/retry/shutdown accounting shared with executor handles.
+    shared: Arc<ExecShared>,
+    /// Bound of the executor admission queue ([`spawn_executor`]).
+    queue_capacity: usize,
+    /// Server-side default deadline in milliseconds (0 = none) for
+    /// requests without a `deadline_ms` field.
+    default_deadline_ms: u64,
+    /// Deadline of the in-flight request: (total budget ms, budget
+    /// remaining at dispatch). Set around `dispatch` only.
+    current_deadline: Option<(u64, u64)>,
+    /// Cache mutations of the in-flight request, for failure rollback.
+    journal: Journal,
+    /// `OMPGPU_MAX_INSTS` override resolved (and validated) at
+    /// construction, else the config default.
+    env_max_insts: u64,
+    /// `OMPGPU_TIER` override resolved at construction, else the
+    /// config default.
+    env_tier: omp_gpusim::Tier,
 }
 
 impl Default for Session {
@@ -468,9 +661,28 @@ impl Default for Session {
 
 impl Session {
     /// Creates a session whose warm-device LRU holds up to
-    /// `device_capacity` entries (minimum 1).
+    /// `device_capacity` entries (minimum 1). Panics on an invalid
+    /// `OMPGPU_*` environment override; daemons should prefer
+    /// [`Session::try_new`] and report the structured error.
     pub fn new(device_capacity: usize) -> Session {
-        Session {
+        Session::try_new(device_capacity).expect("invalid OMPGPU_* environment override")
+    }
+
+    /// Like [`Session::new`], but an invalid `OMPGPU_MAX_INSTS` or
+    /// `OMPGPU_TIER` override is a structured startup error instead of
+    /// being silently swallowed into the default.
+    pub fn try_new(device_capacity: usize) -> Result<Session, String> {
+        let env_max_insts = env_override(
+            "OMPGPU_MAX_INSTS",
+            omp_gpusim::DeviceConfig::default().max_insts_per_thread,
+            parse_max_insts,
+        )?;
+        let env_tier = env_override(
+            "OMPGPU_TIER",
+            omp_gpusim::DeviceConfig::default().tier,
+            parse_tier,
+        )?;
+        Ok(Session {
             frontend: HashMap::new(),
             optimized: HashMap::new(),
             devices: Vec::new(),
@@ -480,12 +692,36 @@ impl Session {
             trace: CacheTrace::default(),
             metrics: omp_telemetry::MetricsRegistry::new(),
             access_log: None,
-        }
+            shared: Arc::new(ExecShared::default()),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            default_deadline_ms: DEFAULT_DEADLINE_MS,
+            current_deadline: None,
+            journal: Journal::default(),
+            env_max_insts,
+            env_tier,
+        })
     }
 
     /// Cumulative session statistics.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// The shed/retry/shutdown accounting shared with executor handles.
+    pub fn shared(&self) -> Arc<ExecShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Sets the executor admission-queue bound (minimum 1) used by
+    /// [`spawn_executor`].
+    pub fn set_queue_capacity(&mut self, n: usize) {
+        self.queue_capacity = n.max(1);
+    }
+
+    /// Sets the server-side default deadline in milliseconds applied to
+    /// requests without a `deadline_ms` field (0 disables it).
+    pub fn set_default_deadline_ms(&mut self, ms: u64) {
+        self.default_deadline_ms = ms;
     }
 
     /// Opens (appending) the JSON-lines access log at `path`; every
@@ -520,11 +756,29 @@ impl Session {
         )
     }
 
+    /// Fires a seeded fault if the request arms one at `stage`: panic
+    /// mode unwinds (caught by the per-request `catch_unwind`
+    /// isolation), error mode returns the structured message every
+    /// caller degrades into a failure outcome.
+    fn stage_fault(fault: Option<ServeFault>, stage: ServeStage) -> Result<(), String> {
+        match fault {
+            Some(f) if f.stage == stage => {
+                if f.panic {
+                    panic!("injected panic at {} stage", stage.name());
+                }
+                Err(format!("injected fault: {} stage failure", stage.name()))
+            }
+            _ => Ok(()),
+        }
+    }
+
     fn frontend_module(
         &mut self,
         source: &str,
         config: BuildConfig,
+        fault: Option<ServeFault>,
     ) -> Result<(Arc<Module>, u64), String> {
+        Session::stage_fault(fault, ServeStage::Frontend)?;
         let key = Session::frontend_key(source, config);
         if let Some(e) = self.frontend.get(&key) {
             self.stats.frontend.hits += 1;
@@ -543,6 +797,7 @@ impl Session {
                 ir_hash,
             },
         );
+        self.journal.frontend.push(key);
         Ok((module, ir_hash))
     }
 
@@ -550,8 +805,10 @@ impl Session {
         &mut self,
         source: &str,
         config: BuildConfig,
+        fault: Option<ServeFault>,
     ) -> Result<OptimizedEntry, String> {
-        let (fe_module, fe_hash) = self.frontend_module(source, config)?;
+        let (fe_module, fe_hash) = self.frontend_module(source, config, fault)?;
+        Session::stage_fault(fault, ServeStage::Optimize)?;
         let key =
             fnv1a(format!("opt\x00{fe_hash:016x}\x00{:016x}", config.fingerprint()).as_bytes());
         if let Some(e) = self.optimized.get(&key) {
@@ -571,13 +828,20 @@ impl Session {
             compile_result,
         };
         self.optimized.insert(key, entry.clone());
+        self.journal.optimized.push(key);
         Ok(entry)
     }
 
     /// Returns the LRU index of a warmed device for `entry`, building
     /// one on miss and resetting the memory image on hit.
-    fn device_for(&mut self, entry: &OptimizedEntry) -> Result<usize, String> {
+    fn device_for(
+        &mut self,
+        entry: &OptimizedEntry,
+        fault: Option<ServeFault>,
+    ) -> Result<usize, String> {
+        Session::stage_fault(fault, ServeStage::Device)?;
         let key = entry.ir_hash;
+        self.journal.touched_devices.push(key);
         if let Some(pos) = self.devices.iter().position(|(k, _)| *k == key) {
             self.stats.device.hits += 1;
             self.trace.device.hits += 1;
@@ -594,13 +858,39 @@ impl Session {
             self.devices.remove(0);
         }
         self.devices.push((key, dev));
+        self.journal.devices.push(key);
         Ok(self.devices.len() - 1)
     }
 
-    /// Arms the device at `idx` with this request's launch knobs.
-    fn arm_device(&mut self, idx: usize, knobs: &Knobs) {
-        let watchdog = (knobs.watchdog_secs > 0).then(|| Duration::from_secs(knobs.watchdog_secs));
-        let max_insts = knobs.max_insts.unwrap_or_else(default_max_insts);
+    /// Arms the device at `idx` with this request's launch knobs. The
+    /// effective wall-clock watchdog is the tighter of the request's
+    /// `watchdog_secs` budget and the remaining request deadline;
+    /// returns the deadline's total budget when the deadline is the
+    /// binding constraint, so a watchdog expiry can be classified as a
+    /// deadline timeout by [`classify_launch_error`].
+    fn arm_device(&mut self, idx: usize, knobs: &Knobs) -> Option<u64> {
+        let watchdog_ms = knobs.watchdog_secs.checked_mul(1000).filter(|ms| *ms > 0);
+        let (deadline_total, deadline_remaining) = match self.current_deadline {
+            Some((total, remaining)) => (Some(total), Some(remaining)),
+            None => (None, None),
+        };
+        let (budget_ms, deadline_bound) = match (watchdog_ms, deadline_remaining) {
+            (None, None) => (None, false),
+            (Some(w), None) => (Some(w), false),
+            (None, Some(r)) => (Some(r), true),
+            (Some(w), Some(r)) if r <= w => (Some(r), true),
+            (Some(w), Some(_)) => (Some(w), false),
+        };
+        let watchdog = budget_ms.map(Duration::from_millis);
+        let max_insts = knobs.max_insts.unwrap_or(self.env_max_insts);
+        let fault_plan = if knobs.launch_fault {
+            FaultPlan {
+                trap_at_inst: Some(0),
+                ..FaultPlan::default()
+            }
+        } else {
+            FaultPlan::default()
+        };
         self.devices[idx].1.with(|d| {
             d.set_jobs(knobs.jobs.unwrap_or(0));
             d.set_profile(if knobs.profile {
@@ -613,10 +903,15 @@ impl Session {
             } else {
                 SanitizeMode::Off
             });
-            d.set_fault_plan(FaultPlan::default());
+            d.set_fault_plan(fault_plan);
             d.set_watchdog(watchdog);
             d.set_max_insts(max_insts);
         });
+        if deadline_bound {
+            deadline_total
+        } else {
+            None
+        }
     }
 
     // -- request handling ---------------------------------------------
@@ -633,29 +928,90 @@ impl Session {
     pub fn handle_line_timed(&mut self, line: &str, queue_micros: u64) -> (String, bool) {
         let t0 = std::time::Instant::now();
         self.trace = CacheTrace::default();
+        self.journal = Journal::default();
         self.stats.requests += 1;
-        let (id, op, outcome) = match omp_json::parse(line) {
-            Err(e) => (
+        let mut panicked = false;
+        let (id, op, outcome) = if line.len() > MAX_FRAME_BYTES {
+            (
                 None,
                 None,
-                Outcome::fail(EXIT_USAGE, format!("malformed request JSON: {e}")),
-            ),
-            Ok(v) => match Request::from_value(&v) {
-                Err(e) => (
-                    v.get("id").and_then(Value::as_u64),
-                    v.get("op").and_then(Value::as_str).map(str::to_string),
-                    e.into(),
+                Outcome::fail(
+                    EXIT_USAGE,
+                    format!(
+                        "frame too large: {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+                        line.len()
+                    ),
                 ),
-                Ok(req) => {
-                    if let Some(name) = ALL_OPS.iter().find(|o| **o == req.op) {
-                        *self.stats.ops.entry(name).or_insert(0) += 1;
+            )
+        } else {
+            match omp_json::parse(line) {
+                Err(e) => (
+                    None,
+                    None,
+                    Outcome::fail(EXIT_USAGE, format!("malformed request JSON: {e}")),
+                ),
+                Ok(v) => match Request::from_value(&v) {
+                    Err(e) => (
+                        v.get("id").and_then(Value::as_u64),
+                        v.get("op").and_then(Value::as_str).map(str::to_string),
+                        e.into(),
+                    ),
+                    Ok(req) => {
+                        if let Some(name) = ALL_OPS.iter().find(|o| **o == req.op) {
+                            *self.stats.ops.entry(name).or_insert(0) += 1;
+                        }
+                        let _span =
+                            omp_telemetry::span_lazy("serve", || format!("serve.{}", req.op));
+                        let deadline_ms = req
+                            .deadline_ms
+                            .or((self.default_deadline_ms > 0).then_some(self.default_deadline_ms));
+                        let queued_ms = queue_micros / 1000;
+                        let outcome = match deadline_ms {
+                            // Expired while queued: never dispatched, so
+                            // the caches and devices are untouched.
+                            Some(ms) if queued_ms >= ms => {
+                                let e = omp_gpusim::SimError::deadline_exceeded(ms);
+                                Outcome::fail_with_detail(EXIT_TIMEOUT, e.to_string(), e.to_json())
+                            }
+                            _ => {
+                                self.current_deadline = deadline_ms.map(|ms| (ms, ms - queued_ms));
+                                // Panic isolation: a panicking op must
+                                // not take down the executor. The
+                                // rollback below restores consistency,
+                                // so resuming on the &mut session is
+                                // sound despite the unwind.
+                                let dispatched =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        self.dispatch(&req)
+                                    }));
+                                self.current_deadline = None;
+                                match dispatched {
+                                    Ok(o) => o,
+                                    Err(payload) => {
+                                        panicked = true;
+                                        Outcome::fail(
+                                            EXIT_INTERNAL,
+                                            format!(
+                                                "internal: request panicked: {}",
+                                                panic_message(payload.as_ref())
+                                            ),
+                                        )
+                                    }
+                                }
+                            }
+                        };
+                        (req.id, Some(req.op), outcome)
                     }
-                    let _span = omp_telemetry::span_lazy("serve", || format!("serve.{}", req.op));
-                    let outcome = self.dispatch(&req);
-                    (req.id, Some(req.op), outcome)
-                }
-            },
+                },
+            }
         };
+        if outcome.exit_code == EXIT_TIMEOUT {
+            self.stats.timeouts += 1;
+        }
+        if panicked {
+            self.stats.panics += 1;
+        }
+        self.isolate_failure(&outcome, panicked);
         if outcome.exit_code != EXIT_OK && outcome.result.is_none() {
             self.stats.errors += 1;
         }
@@ -679,6 +1035,32 @@ impl Session {
             response.len(),
         );
         (response, shutdown)
+    }
+
+    /// Enforces the failure-consistency rule after one request: a
+    /// failed request must never populate a cache tier (every insertion
+    /// it made is rolled back), and a panicking or timed-out request's
+    /// touched devices are quarantined — dropped from the LRU, rebuilt
+    /// cold on next use — so the warm==cold byte-identity invariant
+    /// survives a fault that may have left a device mid-launch.
+    fn isolate_failure(&mut self, outcome: &Outcome, panicked: bool) {
+        let journal = std::mem::take(&mut self.journal);
+        if outcome.error.is_some() {
+            for k in &journal.frontend {
+                self.frontend.remove(k);
+            }
+            for k in &journal.optimized {
+                self.optimized.remove(k);
+            }
+            for k in &journal.graphs {
+                self.graphs.remove(k);
+            }
+            self.devices.retain(|(k, _)| !journal.devices.contains(k));
+        }
+        if panicked || outcome.exit_code == EXIT_TIMEOUT {
+            self.devices
+                .retain(|(k, _)| !journal.touched_devices.contains(k));
+        }
     }
 
     /// Writes one access-log record, if the log is enabled.
@@ -752,7 +1134,7 @@ impl Session {
             Ok(s) => s.to_string(),
             Err(e) => return e.into(),
         };
-        match self.optimized_module(&source, req.config) {
+        match self.optimized_module(&source, req.config, req.fault) {
             Ok(entry) => Outcome::ok(entry.compile_result),
             Err(e) => Outcome::fail(EXIT_BUILD, e),
         }
@@ -796,15 +1178,20 @@ impl Session {
             Ok(x) => x,
             Err(e) => return e.into(),
         };
-        let entry = match self.optimized_module(&source, req.config) {
+        let entry = match self.optimized_module(&source, req.config, req.fault) {
             Ok(e) => e,
             Err(e) => return Outcome::fail(EXIT_BUILD, e),
         };
-        let idx = match self.device_for(&entry) {
+        let idx = match self.device_for(&entry, req.fault) {
             Ok(i) => i,
             Err(e) => return Outcome::fail(EXIT_SIM, e),
         };
-        self.arm_device(idx, &Knobs::of(req));
+        let deadline_ms = self.arm_device(idx, &Knobs::of(req));
+        if let Some(f) = req.fault {
+            if f.stage == ServeStage::Launch && f.panic {
+                panic!("injected panic at launch stage");
+            }
+        }
         let dump = req.dump;
         // Multi-kernel launch plans go through the captured-graph
         // cache: capture once per (module, kernel, dims, args), replay
@@ -826,14 +1213,25 @@ impl Session {
                 .as_bytes(),
             )
         });
+        // The replay boundary only exists for multi-kernel plans, which
+        // are the runs that go through graph capture + replay.
+        if let Some(f) = req.fault {
+            if f.stage == ServeStage::Replay && graph_key.is_some() {
+                if f.panic {
+                    panic!("injected panic at replay stage");
+                }
+                return Outcome::fail(EXIT_SIM, "injected fault: replay stage failure".to_string());
+            }
+        }
         let cached = graph_key.and_then(|k| self.graphs.get(&k).cloned());
         // (stats json, dumped buffers, graph captured by this request)
         type RunOk = (String, Option<String>, Option<omp_gpusim::CapturedGraph>);
-        // (message, structured SimError json)
-        type RunErr = (String, Option<String>);
+        // (exit code, message, structured SimError json)
+        type RunErr = (u8, String, Option<String>);
         let launched = self.devices[idx].1.with(|d| -> Result<RunOk, RunErr> {
-            let (rt_args, buffers) = oracle::materialize_args(d, &specs).map_err(|e| (e, None))?;
-            let sim = |e: omp_gpusim::SimError| (e.to_string(), Some(e.to_json()));
+            let (rt_args, buffers) =
+                oracle::materialize_args(d, &specs).map_err(|e| (EXIT_SIM, e, None))?;
+            let sim = |e: omp_gpusim::SimError| classify_launch_error(e, deadline_ms);
             let (stats, captured) = if graph_key.is_some() {
                 match cached {
                     // The device is reset to a pristine image before
@@ -855,12 +1253,16 @@ impl Session {
                     let k = dump.min(*len);
                     w.begin_array();
                     if *is_f64 {
-                        let vals = d.read_f64(*addr, k).map_err(|e| (e.to_string(), None))?;
+                        let vals = d
+                            .read_f64(*addr, k)
+                            .map_err(|e| (EXIT_SIM, e.to_string(), None))?;
                         for v in vals {
                             w.f64(v);
                         }
                     } else {
-                        let vals = d.read_i64(*addr, k).map_err(|e| (e.to_string(), None))?;
+                        let vals = d
+                            .read_i64(*addr, k)
+                            .map_err(|e| (EXIT_SIM, e.to_string(), None))?;
                         for v in vals {
                             w.i64(v);
                         }
@@ -882,6 +1284,7 @@ impl Session {
                             self.stats.graphs.misses += 1;
                             self.trace.graphs.misses += 1;
                             self.graphs.insert(k, g);
+                            self.journal.graphs.push(k);
                         }
                         None => {
                             self.stats.graphs.hits += 1;
@@ -900,9 +1303,9 @@ impl Session {
                 w.end_object();
                 Outcome::ok(w.finish())
             }
-            Err((msg, detail)) => match detail {
-                Some(d) => Outcome::fail_with_detail(EXIT_SIM, msg, d),
-                None => Outcome::fail(EXIT_SIM, msg),
+            Err((code, msg, detail)) => match detail {
+                Some(d) => Outcome::fail_with_detail(code, msg, d),
+                None => Outcome::fail(code, msg),
             },
         }
     }
@@ -916,27 +1319,31 @@ impl Session {
             Ok(x) => x,
             Err(e) => return e.into(),
         };
-        let entry = match self.optimized_module(&source, req.config) {
+        let entry = match self.optimized_module(&source, req.config, req.fault) {
             Ok(e) => e,
             Err(e) => return Outcome::fail(EXIT_BUILD, e),
         };
-        let idx = match self.device_for(&entry) {
+        let idx = match self.device_for(&entry, req.fault) {
             Ok(i) => i,
             Err(e) => return Outcome::fail(EXIT_SIM, e),
         };
-        self.arm_device(idx, &Knobs::of(req));
-        let launched =
-            self.devices[idx]
-                .1
-                .with(|d| -> Result<(String, String), (String, Option<String>)> {
-                    let (rt_args, _buffers) =
-                        oracle::materialize_args(d, &specs).map_err(|e| (e, None))?;
-                    let (stats, profile) = d
-                        .launch_plan_profiled(&kernel, &rt_args, dims)
-                        .map_err(|e| (e.to_string(), Some(e.to_json())))?;
-                    let profile = profile.expect("profiling was enabled");
-                    Ok((stats.snapshot().to_json(), profile.to_json()))
-                });
+        let deadline_ms = self.arm_device(idx, &Knobs::of(req));
+        if let Some(f) = req.fault {
+            if f.stage == ServeStage::Launch && f.panic {
+                panic!("injected panic at launch stage");
+            }
+        }
+        let launched = self.devices[idx].1.with(
+            |d| -> Result<(String, String), (u8, String, Option<String>)> {
+                let (rt_args, _buffers) =
+                    oracle::materialize_args(d, &specs).map_err(|e| (EXIT_SIM, e, None))?;
+                let (stats, profile) = d
+                    .launch_plan_profiled(&kernel, &rt_args, dims)
+                    .map_err(|e| classify_launch_error(e, deadline_ms))?;
+                let profile = profile.expect("profiling was enabled");
+                Ok((stats.snapshot().to_json(), profile.to_json()))
+            },
+        );
         match launched {
             Ok((stats, profile)) => {
                 let mut w = JsonWriter::with_capacity(1024);
@@ -948,9 +1355,9 @@ impl Session {
                 w.end_object();
                 Outcome::ok(w.finish())
             }
-            Err((msg, detail)) => match detail {
-                Some(d) => Outcome::fail_with_detail(EXIT_SIM, msg, d),
-                None => Outcome::fail(EXIT_SIM, msg),
+            Err((code, msg, detail)) => match detail {
+                Some(d) => Outcome::fail_with_detail(code, msg, d),
+                None => Outcome::fail(code, msg),
             },
         }
     }
@@ -985,21 +1392,21 @@ impl Session {
         };
         let mut results: Vec<CaseResult> = Vec::with_capacity(ORACLE_CONFIGS.len());
         for &config in &ORACLE_CONFIGS {
-            let entry = match self.optimized_module(&source, config) {
+            let entry = match self.optimized_module(&source, config, req.fault) {
                 Ok(e) => e,
                 Err(e) => {
                     results.push(failed(config, e));
                     continue;
                 }
             };
-            let idx = match self.device_for(&entry) {
+            let idx = match self.device_for(&entry, req.fault) {
                 Ok(i) => i,
                 Err(e) => {
                     results.push(failed(config, e));
                     continue;
                 }
             };
-            self.arm_device(idx, &Knobs::of(req));
+            let _ = self.arm_device(idx, &Knobs::of(req));
             let spec = &spec;
             let run = self.devices[idx].1.with(
                 |d| -> Result<(Vec<u64>, omp_gpusim::StatsSnapshot), String> {
@@ -1102,21 +1509,21 @@ impl Session {
                 setup_error: Some(error),
                 findings: Vec::new(),
             };
-            let entry = match self.optimized_module(&source, config) {
+            let entry = match self.optimized_module(&source, config, req.fault) {
                 Ok(e) => e,
                 Err(e) => {
                     outcomes.push(setup_failed(e));
                     continue;
                 }
             };
-            let idx = match self.device_for(&entry) {
+            let idx = match self.device_for(&entry, req.fault) {
                 Ok(i) => i,
                 Err(e) => {
                     outcomes.push(setup_failed(e));
                     continue;
                 }
             };
-            self.arm_device(idx, &Knobs::of(req));
+            let _ = self.arm_device(idx, &Knobs::of(req));
             let spec = &spec;
             let outcome = self.devices[idx].1.with(|d| {
                 let (rt_args, _buffers) = match oracle::materialize_args(d, &spec.args) {
@@ -1188,6 +1595,10 @@ impl Session {
         }
         reg.counter_add("serve.batches", self.stats.batches);
         reg.counter_add("serve.batched_requests", self.stats.batched_requests);
+        reg.counter_add("serve.timeout", self.stats.timeouts);
+        reg.counter_add("serve.panic", self.stats.panics);
+        reg.counter_add("serve.shed", self.shared.shed.load(Ordering::Relaxed));
+        reg.counter_add("serve.retries", self.shared.retries.load(Ordering::Relaxed));
         reg.gauge_set("serve.device_entries", self.devices.len() as i64);
         reg.gauge_set("serve.device_capacity", self.device_capacity as i64);
         reg.gauge_set("serve.graph_entries", self.graphs.len() as i64);
@@ -1232,9 +1643,14 @@ impl Session {
         w.key("device_entries").usize(self.devices.len());
         w.key("device_capacity").usize(self.device_capacity);
         w.key("graph_entries").usize(self.graphs.len());
-        w.key("tier").string(default_tier().as_str());
+        w.key("tier").string(self.env_tier.as_str());
         w.key("batches").u64(self.stats.batches);
         w.key("batched_requests").u64(self.stats.batched_requests);
+        w.key("timeouts").u64(self.stats.timeouts);
+        w.key("panics").u64(self.stats.panics);
+        w.key("shed").u64(self.shared.shed.load(Ordering::Relaxed));
+        w.key("retries")
+            .u64(self.shared.retries.load(Ordering::Relaxed));
         w.end_object();
         w.finish()
     }
@@ -1279,6 +1695,32 @@ impl Session {
         w.end_object();
         w.finish()
     }
+}
+
+/// Best-effort extraction of a panic payload's message (the common
+/// `&str`/`String` payloads panics carry).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Maps a launch failure to `(exit code, message, structured detail)`.
+/// A watchdog timeout that fired under a binding request deadline *is*
+/// the deadline expiring, so it is reported as the dedicated
+/// deadline-exceeded error and exit code instead of a generic
+/// simulation failure.
+fn classify_launch_error(
+    e: omp_gpusim::SimError,
+    deadline_ms: Option<u64>,
+) -> (u8, String, Option<String>) {
+    if let (omp_gpusim::SimErrorKind::Timeout { .. }, Some(total)) = (&e.kind, deadline_ms) {
+        let d = omp_gpusim::SimError::deadline_exceeded(total).with_threads(e.threads.clone());
+        return (EXIT_TIMEOUT, d.to_string(), Some(d.to_json()));
+    }
+    (EXIT_SIM, e.to_string(), Some(e.to_json()))
 }
 
 /// Serializes the deterministic `compile` result payload. Pass timings
@@ -1362,43 +1804,172 @@ impl ServeJob {
     }
 }
 
+/// How one submission to the executor resolved.
+enum Submit {
+    /// The executor answered.
+    Reply(String),
+    /// Admission control shed the request (queue full).
+    Shed,
+    /// The executor is gone (shut down or crashed).
+    Closed,
+}
+
 /// Handle to a running executor. Cloneable across client threads; every
-/// clone feeds the same FIFO queue.
+/// clone feeds the same bounded FIFO queue.
 #[derive(Clone)]
 pub struct ExecutorHandle {
-    tx: mpsc::Sender<ServeJob>,
+    tx: mpsc::SyncSender<ServeJob>,
+    shared: Arc<ExecShared>,
 }
 
 impl ExecutorHandle {
-    /// Submits one request line and blocks for its response. Returns a
-    /// synthesized usage-error envelope if the executor has shut down.
-    pub fn request(&self, line: &str) -> String {
+    fn submit(&self, line: &str) -> Submit {
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = ServeJob::new(line.to_string(), reply_tx);
-        if self.tx.send(job).is_ok() {
-            if let Ok(resp) = reply_rx.recv() {
-                return resp;
+        match self.tx.try_send(job) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(resp) => Submit::Reply(resp),
+                Err(_) => Submit::Closed,
+            },
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                Submit::Shed
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Submit::Closed,
+        }
+    }
+
+    /// Submits one request line and blocks for its response. A full
+    /// queue is shed immediately with an [`EXIT_OVERLOAD`] envelope
+    /// carrying a `retry_after_ms` hint — admission control never makes
+    /// a client hang — and a shut-down executor answers a synthesized
+    /// usage-error envelope.
+    pub fn request(&self, line: &str) -> String {
+        match self.submit(line) {
+            Submit::Reply(r) => r,
+            Submit::Shed => overload_envelope(line),
+            Submit::Closed => shutdown_envelope(line),
+        }
+    }
+
+    /// Like [`ExecutorHandle::request`], but retries a shed submission
+    /// up to `retries` times with capped exponential backoff
+    /// ([`RETRY_AFTER_MS`] doubled per attempt, capped at 1 s). Returns
+    /// the overload envelope if every attempt is shed.
+    pub fn request_with_retry(&self, line: &str, retries: u32) -> String {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.submit(line) {
+                Submit::Reply(r) => return r,
+                Submit::Closed => return shutdown_envelope(line),
+                Submit::Shed if attempt < retries => {
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = (RETRY_AFTER_MS << attempt.min(5)).min(1_000);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    attempt += 1;
+                }
+                Submit::Shed => return overload_envelope(line),
             }
         }
-        format!(
-            "{{\"schema\":\"{SCHEMA}\",\"id\":null,\"op\":null,\"ok\":false,\
-             \"exit_code\":{EXIT_USAGE},\"error\":{{\"message\":\"session is shut down\"}}}}"
-        )
+    }
+
+    /// True once the executor has processed a `shutdown` request (or
+    /// exited); connection loops poll this instead of parsing response
+    /// JSON on the hot path.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The shed/retry/shutdown accounting shared with the executor.
+    pub fn shared(&self) -> Arc<ExecShared> {
+        Arc::clone(&self.shared)
     }
 
     /// The raw job queue, for callers managing their own reply channels.
-    pub fn sender(&self) -> mpsc::Sender<ServeJob> {
+    /// A full queue blocks (no shedding) on this path.
+    pub fn sender(&self) -> mpsc::SyncSender<ServeJob> {
         self.tx.clone()
     }
+}
+
+/// Builds a minimal response envelope for failures that happen outside
+/// the session (shed or shut down — the request never reached the
+/// executor, so there is no `cache` trace). Echoes `id`/`op` when the
+/// request line parses; this is a cold path, so the extra parse is fine.
+fn synthesized_envelope(
+    line: &str,
+    exit_code: u8,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let parsed = omp_json::parse(line).ok();
+    let id = parsed
+        .as_ref()
+        .and_then(|v| v.get("id"))
+        .and_then(Value::as_u64);
+    let op = parsed
+        .as_ref()
+        .and_then(|v| v.get("op"))
+        .and_then(Value::as_str)
+        .filter(|o| ALL_OPS.contains(o));
+    let mut w = JsonWriter::with_capacity(192);
+    w.begin_object();
+    w.key("schema").string(SCHEMA);
+    w.key("id");
+    match id {
+        Some(n) => {
+            w.u64(n);
+        }
+        None => {
+            w.null();
+        }
+    }
+    w.key("op");
+    match op {
+        Some(o) => {
+            w.string(o);
+        }
+        None => {
+            w.null();
+        }
+    }
+    w.key("ok").bool(false);
+    w.key("exit_code").u64(exit_code as u64);
+    w.key("error").begin_object();
+    w.key("message").string(message);
+    if let Some(ms) = retry_after_ms {
+        w.key("retry_after_ms").u64(ms);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+fn overload_envelope(line: &str) -> String {
+    synthesized_envelope(
+        line,
+        EXIT_OVERLOAD,
+        &format!("server overloaded: executor queue is full, retry after {RETRY_AFTER_MS} ms"),
+        Some(RETRY_AFTER_MS),
+    )
+}
+
+fn shutdown_envelope(line: &str) -> String {
+    synthesized_envelope(line, EXIT_USAGE, "session is shut down", None)
 }
 
 /// Spawns the executor thread owning `session`. Requests are processed
 /// strictly in arrival order; each wake-up drains everything queued
 /// (the batch) before sleeping, and batch sizes are recorded in the
-/// session statistics. The thread exits — returning the session — when
-/// a `shutdown` request is processed or every handle is dropped.
+/// session statistics. The queue is bounded by the session's
+/// [`Session::set_queue_capacity`] — a submission against a full queue
+/// is shed by [`ExecutorHandle::request`], never blocked. The thread
+/// exits — returning the session — when a `shutdown` request is
+/// processed or every handle is dropped.
 pub fn spawn_executor(session: Session) -> (ExecutorHandle, std::thread::JoinHandle<Session>) {
-    let (tx, rx) = mpsc::channel::<ServeJob>();
+    let shared = session.shared();
+    let (tx, rx) = mpsc::sync_channel::<ServeJob>(session.queue_capacity.max(1));
+    let exec_shared = Arc::clone(&shared);
     let thread = std::thread::spawn(move || {
         let mut session = session;
         'outer: loop {
@@ -1415,6 +1986,11 @@ pub fn spawn_executor(session: Session) -> (ExecutorHandle, std::thread::JoinHan
             for job in batch {
                 let queue_micros = job.enqueued.elapsed().as_micros() as u64;
                 let (resp, shutdown) = session.handle_line_timed(&job.line, queue_micros);
+                if shutdown {
+                    // Flip the flag before replying so a connection
+                    // thread that sees the response also sees the flag.
+                    exec_shared.shutdown.store(true, Ordering::SeqCst);
+                }
                 let _ = job.reply.send(resp);
                 stop = stop || shutdown;
             }
@@ -1422,9 +1998,10 @@ pub fn spawn_executor(session: Session) -> (ExecutorHandle, std::thread::JoinHan
                 break 'outer;
             }
         }
+        exec_shared.shutdown.store(true, Ordering::SeqCst);
         session
     });
-    (ExecutorHandle { tx }, thread)
+    (ExecutorHandle { tx, shared }, thread)
 }
 
 // ---------------------------------------------------------------------
@@ -1465,44 +2042,98 @@ pub fn serve_unix(socket: &Path, session: Session) -> Result<(), String> {
     Ok(())
 }
 
+/// One frame read from a connection.
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line ran past the size limit; the reader discarded through
+    /// the next newline, so the connection stays usable. Carries the
+    /// total number of bytes in the oversized line.
+    TooLarge(usize),
+    /// End of stream (or a read error).
+    Eof,
+}
+
+/// Reads one newline-terminated frame, buffering at most `max + 1`
+/// bytes no matter how long the incoming line is — a single client
+/// cannot make the daemon buffer an unbounded frame.
+fn read_frame(reader: &mut impl BufRead, max: usize) -> Frame {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total: usize = 0;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                return match (total, total > max) {
+                    (0, _) => Frame::Eof,
+                    (_, true) => Frame::TooLarge(total),
+                    (_, false) => Frame::Line(String::from_utf8_lossy(&buf).into_owned()),
+                }
+            }
+            Ok(c) => c,
+            Err(_) => return Frame::Eof,
+        };
+        let (line_bytes, consumed, complete) = match chunk.iter().position(|b| *b == b'\n') {
+            Some(pos) => (pos, pos + 1, true),
+            None => (chunk.len(), chunk.len(), false),
+        };
+        if total <= max {
+            // Keep at most one byte past the limit: enough to detect
+            // overflow without buffering the rest of a huge line.
+            let keep = line_bytes.min(max + 1 - total);
+            buf.extend_from_slice(&chunk[..keep]);
+        }
+        total += line_bytes;
+        reader.consume(consumed);
+        if complete {
+            return if total > max {
+                Frame::TooLarge(total)
+            } else {
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+            };
+        }
+    }
+}
+
 fn serve_connection(
     stream: UnixStream,
     handle: ExecutorHandle,
     shutting: Arc<AtomicBool>,
     socket: PathBuf,
 ) {
-    let reader = match stream.try_clone() {
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let resp = handle.request(&line);
+    loop {
+        let resp = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Frame::Eof => break,
+            Frame::TooLarge(n) => synthesized_envelope(
+                "",
+                EXIT_USAGE,
+                &format!("frame too large: {n} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+                None,
+            ),
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle.request(&line)
+            }
+        };
         if writer.write_all(resp.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
             break;
         }
         let _ = writer.flush();
-        // An acknowledged shutdown stops the accept loop: set the flag
-        // and poke the listener with a throwaway connection.
-        if response_is_shutdown(&resp) {
+        // The executor flips the shared shutdown flag before answering
+        // a `shutdown` request; polling it here replaces the old
+        // re-parse of every response JSON on the hot path. Poke the
+        // listener with a throwaway connection to stop the accept loop.
+        if handle.is_shut_down() {
             shutting.store(true, Ordering::SeqCst);
             let _ = UnixStream::connect(&socket);
             break;
         }
-    }
-}
-
-fn response_is_shutdown(resp: &str) -> bool {
-    match omp_json::parse(resp) {
-        Ok(v) => {
-            v.get("op").and_then(Value::as_str) == Some("shutdown")
-                && v.get("ok").and_then(Value::as_bool) == Some(true)
-        }
-        Err(_) => false,
     }
 }
 
@@ -1644,15 +2275,296 @@ void scale(double* a, double f, long n) {
     #[test]
     fn executor_round_trip_and_shutdown() {
         let (handle, thread) = spawn_executor(Session::default());
+        assert!(!handle.is_shut_down());
         let resp = handle.request("{\"op\":\"ping\",\"id\":1}");
         assert!(resp.contains("\"pong\":true"));
         let resp = handle.request("{\"op\":\"shutdown\",\"id\":2}");
-        assert!(response_is_shutdown(&resp));
+        assert!(resp.contains("\"shutting_down\":true"));
+        assert!(
+            handle.is_shut_down(),
+            "shutdown flag is visible to connection threads once the response is out"
+        );
         let session = thread.join().unwrap();
         assert_eq!(session.stats().requests, 2);
         // Post-shutdown requests fail gracefully.
         let resp = handle.request("{\"op\":\"ping\"}");
         assert!(resp.contains("session is shut down"));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_structured_overload() {
+        // An executor handle over a capacity-1 queue nobody drains:
+        // the first job parks in the buffer, the second is shed.
+        let (tx, _rx) = mpsc::sync_channel::<ServeJob>(1);
+        let handle = ExecutorHandle {
+            tx,
+            shared: Arc::new(ExecShared::default()),
+        };
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        handle
+            .sender()
+            .try_send(ServeJob::new("{\"op\":\"ping\"}".into(), reply_tx))
+            .expect("first job fits");
+        let resp = handle.request("{\"op\":\"ping\",\"id\":9}");
+        let v = omp_json::parse(&resp).expect("shed envelope is valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("exit_code").and_then(Value::as_u64),
+            Some(EXIT_OVERLOAD as u64)
+        );
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(9), "id echoed");
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("ping"));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Value::as_u64),
+            Some(RETRY_AFTER_MS)
+        );
+        assert_eq!(handle.shared().shed.load(Ordering::Relaxed), 1);
+        // Retries back off and are counted; the queue never drains, so
+        // the final answer is still the overload envelope.
+        let resp = handle.request_with_retry("{\"op\":\"ping\"}", 2);
+        assert!(resp.contains("server overloaded"));
+        assert_eq!(handle.shared().retries.load(Ordering::Relaxed), 2);
+        assert_eq!(handle.shared().shed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deadline_zero_times_out_before_dispatch() {
+        let mut s = Session::default();
+        let line = format!(
+            "{{\"op\":\"run\",\"source\":{:?},\"deadline_ms\":0,\"id\":3}}",
+            SRC
+        );
+        let v = request(&mut s, &line);
+        assert_eq!(
+            v.get("exit_code").and_then(Value::as_u64),
+            Some(EXIT_TIMEOUT as u64)
+        );
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(msg, "request deadline of 0 ms exceeded");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("detail"))
+                .and_then(|d| d.get("kind"))
+                .and_then(Value::as_str),
+            Some("deadline-exceeded")
+        );
+        assert_eq!(s.stats().timeouts, 1);
+        // Nothing was dispatched: every tier is untouched and the
+        // session is still usable.
+        assert_eq!(s.stats().frontend, TierStats::default());
+        let v = request(&mut s, &format!("{{\"op\":\"run\",\"source\":{:?}}}", SRC));
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn deadline_mid_launch_times_out_and_quarantines_device() {
+        // A kernel that runs far longer than the 50 ms deadline; the
+        // watchdog is narrowed to the remaining deadline budget and the
+        // expiry is reported as deadline-exceeded, not a generic
+        // simulation failure.
+        let slow = SRC
+            .replace("oracle-arg: i64 32", "oracle-arg: i64 2000000000")
+            .replace("a[i] = a[i] * f", "a[0] = a[0] + f");
+        let mut s = Session::default();
+        let line = format!(
+            "{{\"op\":\"run\",\"source\":{:?},\"deadline_ms\":50,\"watchdog_secs\":60,\
+             \"max_insts\":400000000000}}",
+            slow
+        );
+        let v = request(&mut s, &line);
+        assert_eq!(
+            v.get("exit_code").and_then(Value::as_u64),
+            Some(EXIT_TIMEOUT as u64),
+            "{}",
+            v.to_json()
+        );
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("detail"))
+                .and_then(|d| d.get("kind"))
+                .and_then(Value::as_str),
+            Some("deadline-exceeded")
+        );
+        assert_eq!(s.stats().timeouts, 1);
+        // The interrupted device was quarantined, so a healthy run of
+        // the same source builds a cold device again...
+        let ok_line = format!("{{\"op\":\"run\",\"source\":{:?},\"dump\":2}}", SRC);
+        let healthy = request(&mut s, &ok_line);
+        assert_eq!(healthy.get("exit_code").and_then(Value::as_u64), Some(0));
+        // ...and its result is byte-identical to a fresh session's.
+        let mut fresh = Session::default();
+        let reference = request(&mut fresh, &ok_line);
+        assert_eq!(result_of(&healthy), result_of(&reference));
+    }
+
+    #[test]
+    fn injected_faults_degrade_each_stage_cleanly() {
+        let mut s = Session::default();
+        let fault_line = |stage: &str| {
+            format!(
+                "{{\"op\":\"run\",\"source\":{:?},\"fault\":{{\"stage\":{:?}}}}}",
+                SRC, stage
+            )
+        };
+        for (stage, exit) in [
+            ("frontend", EXIT_BUILD),
+            ("optimize", EXIT_BUILD),
+            ("device", EXIT_SIM),
+        ] {
+            let v = request(&mut s, &fault_line(stage));
+            assert_eq!(
+                v.get("exit_code").and_then(Value::as_u64),
+                Some(exit as u64),
+                "stage {stage}: {}",
+                v.to_json()
+            );
+            let msg = v
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap();
+            assert!(msg.contains(stage), "stage {stage}: {msg}");
+        }
+        // Error-mode launch faults go through the simulator's own
+        // FaultPlan, so the failure surfaces as a structured
+        // ompgpu-error/v1 fault-injected diagnostic.
+        let v = request(&mut s, &fault_line("launch"));
+        assert_eq!(
+            v.get("exit_code").and_then(Value::as_u64),
+            Some(EXIT_SIM as u64)
+        );
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("detail"))
+                .and_then(|d| d.get("kind"))
+                .and_then(Value::as_str),
+            Some("fault-injected")
+        );
+        // No failed request may populate a cache tier.
+        assert_eq!(s.stats().frontend.hits, 0, "no tier served a warm entry");
+        let clean = request(&mut s, &format!("{{\"op\":\"run\",\"source\":{:?}}}", SRC));
+        assert_eq!(
+            clean
+                .get("cache")
+                .and_then(|c| c.get("frontend"))
+                .and_then(|t| t.get("misses"))
+                .and_then(Value::as_u64),
+            Some(1),
+            "faulted requests left no frontend entry behind"
+        );
+        // Unknown stages and modes are usage errors.
+        let v = request(
+            &mut s,
+            &format!(
+                "{{\"op\":\"run\",\"source\":{:?},\"fault\":{{\"stage\":\"nope\"}}}}",
+                SRC
+            ),
+        );
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn panic_is_isolated_and_rolls_back_every_tier() {
+        let mut s = Session::default();
+        let line = format!(
+            "{{\"op\":\"compile\",\"source\":{:?},\"fault\":{{\"stage\":\"optimize\",\"mode\":\"panic\"}}}}",
+            SRC
+        );
+        let v = request(&mut s, &line);
+        assert_eq!(
+            v.get("exit_code").and_then(Value::as_u64),
+            Some(EXIT_INTERNAL as u64)
+        );
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(
+            msg,
+            "internal: request panicked: injected panic at optimize stage"
+        );
+        assert_eq!(s.stats().panics, 1);
+        // The frontend insertion made before the panic was rolled back:
+        // a clean compile misses cold again, and its result is
+        // byte-identical to a fresh session's.
+        let clean_line = format!("{{\"op\":\"compile\",\"source\":{:?}}}", SRC);
+        let clean = request(&mut s, &clean_line);
+        assert_eq!(
+            clean
+                .get("cache")
+                .and_then(|c| c.get("frontend"))
+                .and_then(|t| t.get("misses"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let mut fresh = Session::default();
+        let reference = request(&mut fresh, &clean_line);
+        assert_eq!(result_of(&clean), result_of(&reference));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_structurally() {
+        let mut s = Session::default();
+        let huge = format!(
+            "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
+            "x".repeat(MAX_FRAME_BYTES)
+        );
+        let v = request(&mut s, &huge);
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(msg.starts_with("frame too large:"), "{msg}");
+        let v = request(&mut s, "{\"op\":\"ping\"}");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn read_frame_bounds_the_line_buffer() {
+        use std::io::Cursor;
+        let mut data = Vec::new();
+        data.extend_from_slice(&[b'a'; 100]);
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        data.extend_from_slice(b"tail-no-newline");
+        let mut reader = Cursor::new(data);
+        match read_frame(&mut reader, 10) {
+            Frame::TooLarge(n) => assert_eq!(n, 100),
+            _ => panic!("oversized line must be rejected"),
+        }
+        match read_frame(&mut reader, 10) {
+            Frame::Line(l) => assert_eq!(l, "ok", "connection stays usable after overflow"),
+            _ => panic!("short line after overflow must parse"),
+        }
+        match read_frame(&mut reader, 1024) {
+            Frame::Line(l) => assert_eq!(l, "tail-no-newline"),
+            _ => panic!("trailing unterminated line is returned at EOF"),
+        }
+        match read_frame(&mut reader, 1024) {
+            Frame::Eof => {}
+            _ => panic!("exhausted reader yields Eof"),
+        }
+    }
+
+    #[test]
+    fn env_override_parsers_are_strict() {
+        assert_eq!(parse_max_insts("123"), Ok(123));
+        assert!(parse_max_insts("").is_err());
+        assert!(parse_max_insts("12k").is_err());
+        assert!(parse_max_insts("-5").is_err());
+        assert!(parse_tier("interp").is_ok());
+        assert!(parse_tier("compiled").is_ok());
+        assert!(parse_tier("turbo").is_err());
     }
 
     /// Parse Prometheus text exposition into (plain samples, bucket samples).

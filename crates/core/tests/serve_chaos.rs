@@ -1,0 +1,226 @@
+//! Chaos soak: concurrent clients mixing valid requests, malformed
+//! frames, oversized frames, mid-request disconnects, injected faults
+//! (error and panic mode), and deadline expiries against a live daemon
+//! with a tiny admission queue. The daemon must answer every frame with
+//! a valid envelope, never hang or die, and every successful `run`
+//! result — cold, warm, any interleaving, any `jobs` value — must be
+//! byte-identical. Afterwards the daemon still answers clean `stats` /
+//! `metrics` / `shutdown`.
+
+use omp_gpu::serve::{serve_unix, Session, EXIT_OK, MAX_FRAME_BYTES, SCHEMA};
+use omp_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+const SRC: &str = r#"
+// oracle-kernel: scale
+// oracle-teams: 2
+// oracle-threads: 8
+// oracle-arg: buf f64 32 iota
+// oracle-arg: f64 3.0
+// oracle-arg: i64 32
+void scale(double* a, double f, long n) {
+  #pragma omp target teams distribute parallel for
+  for (long i = 0; i < n; i++) { a[i] = a[i] * f; }
+}
+"#;
+
+fn socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!("ompgpu_chaos_{}.sock", std::process::id()))
+}
+
+fn connect(socket: &PathBuf) -> UnixStream {
+    for _ in 0..100 {
+        if let Ok(s) = UnixStream::connect(socket) {
+            return s;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("daemon did not come up on {}", socket.display());
+}
+
+/// Sends one frame and returns the parsed reply after validating the
+/// envelope invariants every response must satisfy. Under pressure the
+/// tiny admission queue may shed ANY frame; a shed must be a structured
+/// overload reply carrying a retry hint, and the retried frame must
+/// eventually get its real answer — so shedding is handled here, once.
+fn roundtrip(reader: &mut BufReader<UnixStream>, writer: &mut UnixStream, frame: &str) -> Value {
+    loop {
+        writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .expect("send");
+        let mut resp = String::new();
+        let n = reader.read_line(&mut resp).expect("read reply");
+        assert!(n > 0, "daemon closed the connection mid-protocol");
+        let v = omp_json::parse(resp.trim_end())
+            .unwrap_or_else(|e| panic!("invalid reply JSON ({e}): {resp}"));
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        let exit = v
+            .get("exit_code")
+            .and_then(Value::as_u64)
+            .expect("exit_code");
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(exit == EXIT_OK as u64)
+        );
+        if exit != 8 {
+            return v;
+        }
+        let wait = v
+            .get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Value::as_u64)
+            .expect("shed replies carry a retry hint");
+        std::thread::sleep(std::time::Duration::from_millis(wait));
+    }
+}
+
+/// One chaos client: mixed good/bad/fault-injected traffic. Returns the
+/// serialized `result` of every successful run response it saw.
+fn chaos_client(socket: PathBuf, jobs: u32, rounds: usize) -> Vec<String> {
+    let stream = connect(&socket);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let run_line = format!("{{\"op\":\"run\",\"source\":{SRC:?},\"jobs\":{jobs},\"dump\":4}}");
+    let mut results = Vec::new();
+    for round in 0..rounds {
+        // Valid run.
+        let v = roundtrip(&mut reader, &mut writer, &run_line);
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(0));
+        results.push(v.get("result").expect("run result").to_json());
+        // Malformed frame.
+        let v = roundtrip(&mut reader, &mut writer, "{\"op\":chaos");
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        // Unknown op.
+        let v = roundtrip(&mut reader, &mut writer, "{\"op\":\"warp\"}");
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        // Deadline already expired when admitted.
+        let v = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!("{{\"op\":\"run\",\"source\":{SRC:?},\"deadline_ms\":0}}"),
+        );
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(7));
+        // Injected stage fault (error mode) — degrades to a build error.
+        let v = roundtrip(
+            &mut reader,
+            &mut writer,
+            &format!(
+                "{{\"op\":\"compile\",\"source\":{SRC:?},\"fault\":{{\"stage\":\"optimize\"}}}}"
+            ),
+        );
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(1));
+        // Injected panic — isolated into exit code 9.
+        if round == 0 {
+            let v = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!(
+                    "{{\"op\":\"compile\",\"source\":{SRC:?},\
+                     \"fault\":{{\"stage\":\"frontend\",\"mode\":\"panic\"}}}}"
+                ),
+            );
+            assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(9));
+        }
+    }
+    results
+}
+
+#[test]
+fn chaos_soak_survives_and_stays_deterministic() {
+    let socket = socket_path();
+    let _ = std::fs::remove_file(&socket);
+    let mut session = Session::new(2);
+    session.set_queue_capacity(4);
+    session.set_default_deadline_ms(60_000);
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve_unix(&socket, session))
+    };
+    // Wait for the daemon, then unleash 4 chaos clients with different
+    // jobs values (byte-identity must hold across them).
+    drop(connect(&socket));
+    let clients: Vec<_> = [0u32, 1, 2, 4]
+        .into_iter()
+        .map(|jobs| {
+            let socket = socket.clone();
+            std::thread::spawn(move || chaos_client(socket, jobs, 3))
+        })
+        .collect();
+    // One client sends an oversized frame and one disconnects
+    // mid-request; neither may destabilize the daemon.
+    {
+        let stream = connect(&socket);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let huge = format!(
+            "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
+            "z".repeat(MAX_FRAME_BYTES)
+        );
+        let v = roundtrip(&mut reader, &mut writer, &huge);
+        assert_eq!(v.get("exit_code").and_then(Value::as_u64), Some(2));
+        assert!(v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap()
+            .starts_with("frame too large:"));
+        let v = roundtrip(&mut reader, &mut writer, "{\"op\":\"ping\"}");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    {
+        let mut half = connect(&socket);
+        half.write_all(b"{\"op\":\"run\",\"source\":\"void")
+            .expect("partial write");
+        drop(half); // mid-request disconnect
+    }
+    let mut all_results: Vec<String> = Vec::new();
+    for c in clients {
+        all_results.extend(c.join().expect("chaos client must not panic"));
+    }
+    // Every successful run result across every client, jobs value, and
+    // warm/cold state is byte-identical.
+    assert!(all_results.len() >= 12);
+    for r in &all_results {
+        assert_eq!(r, &all_results[0], "run results diverged under chaos");
+    }
+    // Post-chaos: a fresh (cold) session must agree byte-for-byte with
+    // the daemon's post-chaos warm answer.
+    let mut cold = Session::default();
+    let run_line = format!("{{\"op\":\"run\",\"source\":{SRC:?},\"jobs\":0,\"dump\":4}}");
+    let (cold_resp, _) = cold.handle_line(&run_line);
+    let cold_result = omp_json::parse(&cold_resp)
+        .unwrap()
+        .get("result")
+        .expect("cold run result")
+        .to_json();
+    assert_eq!(cold_result, all_results[0], "warm diverged from cold");
+    // Clean stats / metrics / shutdown.
+    let stream = connect(&socket);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let stats = roundtrip(&mut reader, &mut writer, "{\"op\":\"stats\"}");
+    let result = stats.get("result").expect("stats result");
+    assert!(result.get("panics").and_then(Value::as_u64).unwrap() >= 4);
+    assert!(result.get("timeouts").and_then(Value::as_u64).unwrap() >= 12);
+    assert!(result.get("requests").and_then(Value::as_u64).unwrap() >= 60);
+    let metrics = roundtrip(&mut reader, &mut writer, "{\"op\":\"metrics\"}");
+    let prom = metrics
+        .get("result")
+        .and_then(|r| r.get("prometheus"))
+        .and_then(Value::as_str)
+        .expect("prometheus text");
+    assert!(prom.contains("serve_panic"));
+    assert!(prom.contains("serve_timeout"));
+    assert!(prom.contains("serve_shed"));
+    let bye = roundtrip(&mut reader, &mut writer, "{\"op\":\"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    server
+        .join()
+        .expect("server thread")
+        .expect("serve_unix exits cleanly");
+    assert!(!socket.exists(), "socket removed on shutdown");
+}

@@ -137,7 +137,7 @@ fn serve_md_examples_are_wire_truth() {
 #[test]
 fn serve_md_documents_every_exit_code_and_config() {
     let text = spec_text();
-    for code in 0..=5u8 {
+    for code in 0..=9u8 {
         assert!(
             text.lines().any(|l| l.contains(&format!("| {code} |"))),
             "SERVE.md exit-code table lacks code {code}"

@@ -36,6 +36,14 @@ pub enum SimErrorKind {
         /// Configured watchdog budget in milliseconds.
         millis: u64,
     },
+    /// A request-level deadline (queue wait plus execution) expired.
+    /// Raised by the serve layer, which narrows the watchdog to the
+    /// remaining deadline budget and reclassifies the resulting
+    /// [`SimErrorKind::Timeout`].
+    DeadlineExceeded {
+        /// The request's total deadline budget in milliseconds.
+        millis: u64,
+    },
 }
 
 impl SimErrorKind {
@@ -50,6 +58,7 @@ impl SimErrorKind {
             SimErrorKind::Runaway { .. } => "runaway",
             SimErrorKind::FaultInjected(_) => "fault-injected",
             SimErrorKind::Timeout { .. } => "timeout",
+            SimErrorKind::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 }
@@ -137,6 +146,11 @@ impl SimError {
     /// The wall-clock watchdog expired.
     pub fn timeout(millis: u64) -> SimError {
         SimError::of(SimErrorKind::Timeout { millis })
+    }
+
+    /// A request-level deadline expired.
+    pub fn deadline_exceeded(millis: u64) -> SimError {
+        SimError::of(SimErrorKind::DeadlineExceeded { millis })
     }
 
     /// Attaches provenance (keeps existing provenance if already set:
@@ -227,6 +241,9 @@ impl std::fmt::Display for SimError {
             }
             SimErrorKind::FaultInjected(m) => write!(f, "injected fault: {m}")?,
             SimErrorKind::Timeout { millis } => write!(f, "watchdog timeout after {millis} ms")?,
+            SimErrorKind::DeadlineExceeded { millis } => {
+                write!(f, "request deadline of {millis} ms exceeded")?
+            }
         }
         if let Some(p) = &self.provenance {
             write!(
@@ -273,6 +290,9 @@ mod tests {
         assert!(SimError::timeout(5)
             .to_string()
             .contains("watchdog timeout"));
+        assert!(SimError::deadline_exceeded(5)
+            .to_string()
+            .starts_with("request deadline of 5 ms exceeded"));
     }
 
     #[test]
